@@ -1,0 +1,293 @@
+//! The Pthreads-style bind-to-stage pipeline executor.
+//!
+//! Mirrors the PARSEC implementations of ferret and dedup: every stage owns
+//! dedicated threads — one for a serial stage, `Q` for a parallel stage
+//! (the *oversubscription* parameter, Section 10) — connected by bounded
+//! queues whose capacity throttles the pipeline. The producer closure plays
+//! the role of the serial input stage.
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::queue::BoundedQueue;
+use crate::stages::{StageKind, StageSet};
+
+/// Configuration of the bind-to-stage executor.
+#[derive(Debug, Clone, Copy)]
+pub struct BindToStageConfig {
+    /// Threads per parallel stage (`Q`); serial stages always get one.
+    pub threads_per_parallel_stage: usize,
+    /// Capacity of each inter-stage queue (the throttling knob).
+    pub queue_capacity: usize,
+}
+
+impl Default for BindToStageConfig {
+    fn default() -> Self {
+        BindToStageConfig {
+            threads_per_parallel_stage: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A bind-to-stage pipeline over items of type `T`.
+pub struct BindToStagePipeline<T> {
+    stages: StageSet<T>,
+    config: BindToStageConfig,
+}
+
+impl<T: Send + 'static> BindToStagePipeline<T> {
+    /// Creates an executor for the given stages.
+    pub fn new(stages: StageSet<T>, config: BindToStageConfig) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        BindToStagePipeline { stages, config }
+    }
+
+    /// Runs the pipeline to completion: `producer` is called serially (it is
+    /// the pipeline's input stage) until it returns `None`, and every
+    /// produced item flows through all stages. Returns the number of items
+    /// processed.
+    ///
+    /// Serial stages consume items strictly in production order (using the
+    /// sequence numbers attached by the input stage), so a serial output
+    /// stage observes the same order a serial execution would — the same
+    /// guarantee the PARSEC Pthreads pipelines provide with their ordered
+    /// queues.
+    pub fn run<P>(&self, mut producer: P) -> u64
+    where
+        P: FnMut() -> Option<T> + Send,
+    {
+        let num_stages = self.stages.len();
+        // queues[s] feeds stage s.
+        let queues: Vec<Arc<BoundedQueue<T>>> = (0..num_stages)
+            .map(|_| Arc::new(BoundedQueue::new(self.config.queue_capacity)))
+            .collect();
+
+        let mut produced = 0u64;
+        thread::scope(|scope| {
+            let mut handles_per_stage: Vec<Vec<thread::ScopedJoinHandle<'_, ()>>> = Vec::new();
+            for (s, stage) in self.stages.stages().iter().enumerate() {
+                let mut handles = Vec::new();
+                let threads = match stage.kind {
+                    StageKind::Serial => 1,
+                    StageKind::Parallel => self.config.threads_per_parallel_stage.max(1),
+                };
+                for _ in 0..threads {
+                    let body = Arc::clone(&stage.body);
+                    let input = Arc::clone(&queues[s]);
+                    let output = queues.get(s + 1).cloned();
+                    let kind = stage.kind;
+                    handles.push(scope.spawn(move || {
+                        match kind {
+                            StageKind::Parallel => {
+                                while let Some((seq, mut item)) = input.pop_any() {
+                                    body(&mut item);
+                                    if let Some(out) = &output {
+                                        out.push(seq, item);
+                                    }
+                                }
+                            }
+                            StageKind::Serial => {
+                                // A serial stage must process items in
+                                // production order even though an upstream
+                                // parallel stage finishes them out of order.
+                                // Crucially it keeps draining its input queue
+                                // into a local reorder buffer while waiting
+                                // for the next expected item: popping only
+                                // the expected sequence number would let
+                                // out-of-order items fill the bounded queue
+                                // and deadlock the upstream stage — the exact
+                                // failure mode the paper mentions for dedup's
+                                // output queue (Section 10, footnote on the
+                                // 2^20 default limit).
+                                let mut expected = 0u64;
+                                let mut pending: std::collections::BTreeMap<u64, T> =
+                                    std::collections::BTreeMap::new();
+                                let handle = |seq: u64, mut item: T| {
+                                    body(&mut item);
+                                    if let Some(out) = &output {
+                                        out.push(seq, item);
+                                    }
+                                };
+                                loop {
+                                    while let Some(item) = pending.remove(&expected) {
+                                        handle(expected, item);
+                                        expected += 1;
+                                    }
+                                    match input.pop_any() {
+                                        Some((seq, item)) if seq == expected => {
+                                            handle(seq, item);
+                                            expected += 1;
+                                        }
+                                        Some((seq, item)) => {
+                                            pending.insert(seq, item);
+                                        }
+                                        None => {
+                                            // Closed and drained: everything
+                                            // still pending is contiguous.
+                                            while let Some(item) = pending.remove(&expected) {
+                                                handle(expected, item);
+                                                expected += 1;
+                                            }
+                                            debug_assert!(pending.is_empty());
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }));
+                }
+                handles_per_stage.push(handles);
+            }
+
+            // The serial input stage runs on the calling thread.
+            while let Some(item) = producer() {
+                queues[0].push(produced, item);
+                produced += 1;
+            }
+
+            // Cascading shutdown: close stage s's input queue, wait for its
+            // threads to drain it and exit (everything they forwarded is now
+            // in stage s+1's queue), then shut down the next stage.
+            for (s, handles) in handles_per_stage.into_iter().enumerate() {
+                queues[s].close();
+                for h in handles {
+                    h.join().expect("stage thread panicked");
+                }
+            }
+        });
+        produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn processes_every_item_through_all_stages() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let stages: StageSet<u64> = StageSet::new()
+            .parallel(|x| *x *= 2)
+            .serial(move |x| {
+                c.fetch_add(*x, Ordering::SeqCst);
+            });
+        let pipeline = BindToStagePipeline::new(stages, BindToStageConfig::default());
+        let mut next = 0u64;
+        let produced = pipeline.run(move || {
+            if next == 100 {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            }
+        });
+        assert_eq!(produced, 100);
+        assert_eq!(count.load(Ordering::SeqCst), (0..100).map(|x| x * 2).sum());
+    }
+
+    #[test]
+    fn serial_output_stage_sees_items_in_order() {
+        let output = Arc::new(Mutex::new(Vec::new()));
+        let out = Arc::clone(&output);
+        let stages: StageSet<u64> = StageSet::new()
+            .parallel(|x| {
+                // Uneven work so parallel threads finish out of order.
+                let delay = (*x % 7) * 10;
+                for _ in 0..delay * 100 {
+                    std::hint::spin_loop();
+                }
+                *x += 1000;
+            })
+            .serial(move |x| out.lock().unwrap().push(*x));
+        let pipeline = BindToStagePipeline::new(
+            stages,
+            BindToStageConfig {
+                threads_per_parallel_stage: 4,
+                queue_capacity: 8,
+            },
+        );
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 200 {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            }
+        });
+        let got = output.lock().unwrap().clone();
+        assert_eq!(got, (1000..1200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input_completes() {
+        let stages: StageSet<u64> = StageSet::new().serial(|_| {});
+        let pipeline = BindToStagePipeline::new(stages, BindToStageConfig::default());
+        let produced = pipeline.run(|| None);
+        assert_eq!(produced, 0);
+    }
+
+    #[test]
+    fn small_queue_capacity_still_completes() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let stages: StageSet<u64> = StageSet::new()
+            .serial(|x| *x += 1)
+            .parallel(|x| *x += 1)
+            .serial(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        let pipeline = BindToStagePipeline::new(
+            stages,
+            BindToStageConfig {
+                threads_per_parallel_stage: 2,
+                queue_capacity: 1,
+            },
+        );
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 50 {
+                None
+            } else {
+                next += 1;
+                Some(0)
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn three_stage_ssps_preserves_output_order() {
+        let output = Arc::new(Mutex::new(Vec::new()));
+        let out = Arc::clone(&output);
+        let stages: StageSet<(u64, u64)> = StageSet::new()
+            .serial(|pair: &mut (u64, u64)| pair.1 = pair.0 * 10)
+            .parallel(|pair| pair.1 += 1)
+            .serial(move |pair| out.lock().unwrap().push(pair.1));
+        let pipeline = BindToStagePipeline::new(stages, BindToStageConfig::default());
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 80 {
+                None
+            } else {
+                next += 1;
+                Some((next - 1, 0))
+            }
+        });
+        assert_eq!(
+            *output.lock().unwrap(),
+            (0..80).map(|x| x * 10 + 1).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stage_set_rejected() {
+        let _ = BindToStagePipeline::<u64>::new(StageSet::new(), BindToStageConfig::default());
+    }
+}

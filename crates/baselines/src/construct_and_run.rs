@@ -1,0 +1,315 @@
+//! The TBB-style construct-and-run pipeline executor.
+//!
+//! TBB's `parallel_pipeline` fixes the sequence of stages (filters) before
+//! execution and then lets a team of threads execute items end-to-end
+//! (bind-to-element), bounding the number of items in flight with a token
+//! limit, and running serial filters in input order. This executor
+//! reproduces that model with plain threads and condition variables — it is
+//! the "TBB" column of the paper's Figures 6–7.
+//!
+//! Note what it *cannot* express, which is the paper's core argument: the
+//! stage sequence and the serial/parallel decision are fixed up front, so a
+//! pipeline whose dependency structure is data dependent (x264) does not fit
+//! this model.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use crate::stages::{StageKind, StageSet};
+
+/// Configuration of the construct-and-run executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstructAndRunConfig {
+    /// Number of worker threads (`P`).
+    pub threads: usize,
+    /// Maximum number of items in flight (TBB's `max_number_of_live_tokens`).
+    pub max_tokens: usize,
+}
+
+impl Default for ConstructAndRunConfig {
+    fn default() -> Self {
+        ConstructAndRunConfig {
+            threads: 4,
+            max_tokens: 16,
+        }
+    }
+}
+
+/// Progress tracker for one serial stage: the sequence number of the next
+/// item allowed to enter it.
+struct SerialGate {
+    next: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl SerialGate {
+    fn new() -> Self {
+        SerialGate {
+            next: Mutex::new(0),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until it is `seq`'s turn to execute the stage.
+    fn enter(&self, seq: u64) {
+        let mut next = self.next.lock().unwrap();
+        while *next != seq {
+            next = self.ready.wait(next).unwrap();
+        }
+    }
+
+    /// Marks `seq` as having finished the stage.
+    fn leave(&self, seq: u64) {
+        let mut next = self.next.lock().unwrap();
+        debug_assert_eq!(*next, seq);
+        *next = seq + 1;
+        drop(next);
+        self.ready.notify_all();
+    }
+}
+
+/// Shared in-flight token accounting.
+struct TokenPool {
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl TokenPool {
+    fn new(tokens: usize) -> Self {
+        TokenPool {
+            available: Mutex::new(tokens.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut avail = self.available.lock().unwrap();
+        while *avail == 0 {
+            avail = self.freed.wait(avail).unwrap();
+        }
+        *avail -= 1;
+    }
+
+    fn release(&self) {
+        let mut avail = self.available.lock().unwrap();
+        *avail += 1;
+        drop(avail);
+        self.freed.notify_one();
+    }
+}
+
+/// A construct-and-run (TBB-style) pipeline over items of type `T`.
+pub struct ConstructAndRunPipeline<T> {
+    stages: StageSet<T>,
+    config: ConstructAndRunConfig,
+}
+
+impl<T: Send + 'static> ConstructAndRunPipeline<T> {
+    /// Creates an executor for the given (static) stage sequence.
+    pub fn new(stages: StageSet<T>, config: ConstructAndRunConfig) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        ConstructAndRunPipeline { stages, config }
+    }
+
+    /// Runs the pipeline to completion and returns the number of items
+    /// processed. `producer` is the serial input filter.
+    pub fn run<P>(&self, producer: P) -> u64
+    where
+        P: FnMut() -> Option<T> + Send,
+    {
+        struct Source<P> {
+            producer: P,
+            next_seq: u64,
+            done: bool,
+        }
+        let source = Arc::new(Mutex::new(Source {
+            producer,
+            next_seq: 0,
+            done: false,
+        }));
+        let tokens = Arc::new(TokenPool::new(self.config.max_tokens));
+        let gates: Vec<Arc<SerialGate>> = self
+            .stages
+            .stages()
+            .iter()
+            .map(|_| Arc::new(SerialGate::new()))
+            .collect();
+        let processed = Arc::new(Mutex::new(0u64));
+
+        thread::scope(|scope| {
+            for _ in 0..self.config.threads.max(1) {
+                let source = Arc::clone(&source);
+                let tokens = Arc::clone(&tokens);
+                let gates = gates.clone();
+                let processed = Arc::clone(&processed);
+                let stages = &self.stages;
+                scope.spawn(move || {
+                    loop {
+                        // Respect the in-flight token limit before pulling
+                        // the next item from the (serial) input filter.
+                        tokens.acquire();
+                        let (seq, item) = {
+                            let mut src = source.lock().unwrap();
+                            if src.done {
+                                tokens.release();
+                                return;
+                            }
+                            match (src.producer)() {
+                                None => {
+                                    src.done = true;
+                                    tokens.release();
+                                    return;
+                                }
+                                Some(item) => {
+                                    let seq = src.next_seq;
+                                    src.next_seq += 1;
+                                    (seq, item)
+                                }
+                            }
+                        };
+                        let mut item = item;
+                        for (s, stage) in stages.stages().iter().enumerate() {
+                            match stage.kind {
+                                StageKind::Parallel => (stage.body)(&mut item),
+                                StageKind::Serial => {
+                                    gates[s].enter(seq);
+                                    (stage.body)(&mut item);
+                                    gates[s].leave(seq);
+                                }
+                            }
+                        }
+                        drop(item);
+                        *processed.lock().unwrap() += 1;
+                        tokens.release();
+                    }
+                });
+            }
+        });
+
+        let done = *processed.lock().unwrap();
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn processes_all_items() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        let stages: StageSet<u64> = StageSet::new()
+            .parallel(|x| *x = *x * 2 + 1)
+            .serial(move |x| {
+                t.fetch_add(*x, Ordering::SeqCst);
+            });
+        let pipeline = ConstructAndRunPipeline::new(stages, ConstructAndRunConfig::default());
+        let mut next = 0u64;
+        let n = pipeline.run(move || {
+            if next == 200 {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            }
+        });
+        assert_eq!(n, 200);
+        assert_eq!(
+            total.load(Ordering::SeqCst),
+            (0..200).map(|x| x * 2 + 1).sum()
+        );
+    }
+
+    #[test]
+    fn serial_stages_execute_in_input_order() {
+        let output = Arc::new(Mutex::new(Vec::new()));
+        let out = Arc::clone(&output);
+        let stages: StageSet<u64> = StageSet::new()
+            .parallel(|x| {
+                for _ in 0..(*x % 5) * 200 {
+                    std::hint::spin_loop();
+                }
+            })
+            .serial(move |x| out.lock().unwrap().push(*x));
+        let pipeline = ConstructAndRunPipeline::new(
+            stages,
+            ConstructAndRunConfig {
+                threads: 4,
+                max_tokens: 8,
+            },
+        );
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 150 {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            }
+        });
+        assert_eq!(*output.lock().unwrap(), (0..150).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn token_limit_of_one_still_completes() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let stages: StageSet<u64> = StageSet::new().serial(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let pipeline = ConstructAndRunPipeline::new(
+            stages,
+            ConstructAndRunConfig {
+                threads: 3,
+                max_tokens: 1,
+            },
+        );
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 40 {
+                None
+            } else {
+                next += 1;
+                Some(0)
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn empty_input_completes() {
+        let stages: StageSet<u64> = StageSet::new().serial(|_| {});
+        let pipeline = ConstructAndRunPipeline::new(stages, ConstructAndRunConfig::default());
+        assert_eq!(pipeline.run(|| None), 0);
+    }
+
+    #[test]
+    fn single_thread_configuration_works() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&total);
+        let stages: StageSet<u64> = StageSet::new()
+            .serial(|x| *x += 1)
+            .parallel(move |x| {
+                t.fetch_add(*x, Ordering::SeqCst);
+            });
+        let pipeline = ConstructAndRunPipeline::new(
+            stages,
+            ConstructAndRunConfig {
+                threads: 1,
+                max_tokens: 4,
+            },
+        );
+        let mut next = 0u64;
+        pipeline.run(move || {
+            if next == 30 {
+                None
+            } else {
+                next += 1;
+                Some(next - 1)
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), (1..=30).sum());
+    }
+}

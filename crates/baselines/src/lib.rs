@@ -1,0 +1,26 @@
+//! Baseline pipeline executors the paper compares Cilk-P against
+//! (Section 10):
+//!
+//! * [`BindToStagePipeline`] — the PARSEC Pthreads strategy: each stage owns
+//!   its own thread(s) (one for serial stages, `Q` for parallel stages, the
+//!   "oversubscription" knob), items flow through bounded queues, and the
+//!   queue capacity provides throttling.
+//! * [`ConstructAndRunPipeline`] — the TBB strategy: the pipeline's stage
+//!   sequence is fixed before execution, a team of `P` threads executes
+//!   items end-to-end (bind-to-element), with an in-flight token limit and
+//!   in-order execution of serial stages.
+//!
+//! Both run on plain `std::thread` with no dependence on the `piper` crate,
+//! so the three-way comparison in the evaluation harness really does compare
+//! three independent scheduling strategies. Both executors preserve the
+//!   iteration order at serial stages, as the PARSEC implementations do.
+
+pub mod bind_to_stage;
+pub mod construct_and_run;
+pub mod queue;
+pub mod stages;
+
+pub use bind_to_stage::{BindToStageConfig, BindToStagePipeline};
+pub use construct_and_run::{ConstructAndRunConfig, ConstructAndRunPipeline};
+pub use queue::BoundedQueue;
+pub use stages::{Stage, StageKind, StageSet};

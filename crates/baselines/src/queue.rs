@@ -1,0 +1,203 @@
+//! A bounded MPMC queue with blocking push/pop and in-order retrieval.
+//!
+//! The PARSEC Pthreads pipelines connect stages with bounded concurrent
+//! queues; the bound is their throttling mechanism. Serial stages must also
+//! consume items in iteration order even when an upstream parallel stage
+//! finished them out of order, so the queue supports both `pop_any` (for
+//! parallel consumers) and `pop_in_order` (for serial consumers, which wait
+//! for the next expected sequence number).
+
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: BTreeMap<u64, T>,
+    closed: bool,
+}
+
+/// A bounded queue of `(sequence number, item)` pairs.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with the given capacity (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: BTreeMap::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts an item, blocking while the queue is full. Returns `false`
+    /// if the queue was closed.
+    pub fn push(&self, seq: u64, item: T) -> bool {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.insert(seq, item);
+        drop(state);
+        self.not_empty.notify_all();
+        true
+    }
+
+    /// Removes any available item (the smallest sequence currently present),
+    /// blocking while the queue is empty. Returns `None` once the queue is
+    /// closed and drained.
+    pub fn pop_any(&self) -> Option<(u64, T)> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some((&seq, _)) = state.items.iter().next() {
+                let item = state.items.remove(&seq).unwrap();
+                drop(state);
+                self.not_full.notify_all();
+                return Some((seq, item));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Removes the item with sequence number exactly `expected`, blocking
+    /// until it arrives. Returns `None` once the queue is closed and the
+    /// expected item can no longer arrive.
+    pub fn pop_in_order(&self, expected: u64) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.remove(&expected) {
+                drop(state);
+                self.not_full.notify_all();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: blocked producers give up, consumers drain what is
+    /// left and then receive `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_any_roundtrip() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(0, "a"));
+        assert!(q.push(1, "b"));
+        assert_eq!(q.pop_any(), Some((0, "a")));
+        assert_eq!(q.pop_any(), Some((1, "b")));
+    }
+
+    #[test]
+    fn pop_in_order_waits_for_expected_sequence() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_in_order(0));
+        // Push out of order; the consumer must wait for seq 0.
+        q.push(1, "later");
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.push(0, "first");
+        assert_eq!(h.join().unwrap(), Some("first"));
+        assert_eq!(q.pop_in_order(1), Some("later"));
+    }
+
+    #[test]
+    fn capacity_blocks_producer_until_consumed() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push(0, 0);
+        q.push(1, 1);
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(2, 2));
+        thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.len(), 2, "producer must be blocked");
+        assert_eq!(q.pop_any(), Some((0, 0)));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_unblocks_consumers_and_producers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop_any());
+        thread::sleep(std::time::Duration::from_millis(5));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+        assert!(!q.push(5, 5), "push after close must fail");
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.push(p * 500 + i, p * 500 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some((_, v)) = q.pop_any() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..2000).collect::<Vec<_>>());
+    }
+}

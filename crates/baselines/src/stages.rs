@@ -1,0 +1,126 @@
+//! Static pipeline-stage definitions shared by both baseline executors.
+
+use std::sync::Arc;
+
+/// Whether a stage must process items in iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Items are processed one at a time in iteration order.
+    Serial,
+    /// Items may be processed concurrently and out of order.
+    Parallel,
+}
+
+/// One pipeline stage: a kind plus the work to perform on each item.
+pub struct Stage<T> {
+    /// Serial or parallel.
+    pub kind: StageKind,
+    /// The stage body.
+    pub body: Arc<dyn Fn(&mut T) + Send + Sync>,
+}
+
+impl<T> Clone for Stage<T> {
+    fn clone(&self) -> Self {
+        Stage {
+            kind: self.kind,
+            body: Arc::clone(&self.body),
+        }
+    }
+}
+
+/// An ordered list of stages (excluding the implicit serial input stage,
+/// which is the producer closure handed to the executors).
+pub struct StageSet<T> {
+    stages: Vec<Stage<T>>,
+}
+
+impl<T> Default for StageSet<T> {
+    fn default() -> Self {
+        StageSet { stages: Vec::new() }
+    }
+}
+
+impl<T> Clone for StageSet<T> {
+    fn clone(&self) -> Self {
+        StageSet {
+            stages: self.stages.clone(),
+        }
+    }
+}
+
+impl<T> StageSet<T> {
+    /// Creates an empty stage list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a serial stage.
+    pub fn serial(mut self, body: impl Fn(&mut T) + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage {
+            kind: StageKind::Serial,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Appends a parallel stage.
+    pub fn parallel(mut self, body: impl Fn(&mut T) + Send + Sync + 'static) -> Self {
+        self.stages.push(Stage {
+            kind: StageKind::Parallel,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if no stages were added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Stage<T>] {
+        &self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_stages_in_order() {
+        let set: StageSet<u32> = StageSet::new()
+            .serial(|x| *x += 1)
+            .parallel(|x| *x *= 2)
+            .serial(|_| {});
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.stages()[0].kind, StageKind::Serial);
+        assert_eq!(set.stages()[1].kind, StageKind::Parallel);
+        assert_eq!(set.stages()[2].kind, StageKind::Serial);
+    }
+
+    #[test]
+    fn stage_bodies_apply() {
+        let set: StageSet<u32> = StageSet::new().serial(|x| *x += 5).parallel(|x| *x *= 3);
+        let mut value = 1u32;
+        for stage in set.stages() {
+            (stage.body)(&mut value);
+        }
+        assert_eq!(value, 18);
+    }
+
+    #[test]
+    fn clone_shares_bodies() {
+        let set: StageSet<u32> = StageSet::new().serial(|x| *x += 1);
+        let cloned = set.clone();
+        assert_eq!(cloned.len(), 1);
+        let mut v = 0;
+        (cloned.stages()[0].body)(&mut v);
+        assert_eq!(v, 1);
+    }
+}

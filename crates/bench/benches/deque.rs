@@ -1,0 +1,62 @@
+//! Microbenchmarks of the Chase–Lev deque substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsdeque::{deque, Steal};
+
+fn bench_deque(c: &mut Criterion) {
+    c.bench_function("deque/push_pop_1k", |b| {
+        let (w, _s) = deque::<u64>();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                w.push(black_box(i));
+            }
+            let mut sum = 0u64;
+            while let Some(v) = w.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+
+    c.bench_function("deque/steal_1k", |b| {
+        let (w, s) = deque::<u64>();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                w.push(i);
+            }
+            let mut sum = 0u64;
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => sum += v,
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            }
+            black_box(sum)
+        });
+    });
+
+    c.bench_function("deque/swap_tail", |b| {
+        let (w, _s) = deque::<u64>();
+        w.push(1);
+        b.iter(|| {
+            let prev = w.swap_tail(black_box(2)).unwrap();
+            black_box(prev)
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_deque
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the fork-join layer: join overhead and parallel-for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piper::ThreadPool;
+use std::hint::black_box;
+
+fn fib(pool: &ThreadPool, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    if n < 16 {
+        return fib_seq(n);
+    }
+    let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+    a + b
+}
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn bench_forkjoin(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+
+    c.bench_function("forkjoin/fib_26_join", |b| {
+        b.iter(|| black_box(fib(&pool, 26)));
+    });
+    c.bench_function("forkjoin/fib_26_serial", |b| {
+        b.iter(|| black_box(fib_seq(26)));
+    });
+
+    c.bench_function("forkjoin/par_for_64k", |b| {
+        let data: Vec<u64> = (0..65_536).collect();
+        b.iter(|| {
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            pool.par_for(0..data.len(), 1024, |i| {
+                sum.fetch_add(data[i], std::sync::atomic::Ordering::Relaxed);
+            });
+            black_box(sum.into_inner())
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_forkjoin
+}
+criterion_main!(benches);

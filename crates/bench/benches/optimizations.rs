@@ -1,0 +1,54 @@
+//! Ablation benchmarks of the two runtime optimizations of Section 9:
+//! lazy enabling and dependency folding (the Figure 9 study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piper::{PipeOptions, ThreadPool};
+use std::hint::black_box;
+use workloads::pipefib::{self, PipeFibConfig};
+
+fn bench_optimizations(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let fine = PipeFibConfig { n: 800, block_bits: 1 };
+    let coarse = PipeFibConfig::coarsened(800);
+
+    for (name, folding, lazy) in [
+        ("folding_on_lazy_on", true, true),
+        ("folding_off_lazy_on", false, true),
+        ("folding_on_lazy_off", true, false),
+        ("folding_off_lazy_off", false, false),
+    ] {
+        let options = PipeOptions::default()
+            .dependency_folding(folding)
+            .lazy_enabling(lazy);
+        c.bench_function(&format!("optimizations/pipefib_fine_{name}"), |b| {
+            b.iter(|| black_box(pipefib::run_piper(&fine, &pool, options.clone())));
+        });
+    }
+
+    c.bench_function("optimizations/pipefib_coarse_folding_on", |b| {
+        b.iter(|| black_box(pipefib::run_piper(&coarse, &pool, PipeOptions::default())));
+    });
+    c.bench_function("optimizations/pipefib_coarse_folding_off", |b| {
+        b.iter(|| {
+            black_box(pipefib::run_piper(
+                &coarse,
+                &pool,
+                PipeOptions::default().dependency_folding(false),
+            ))
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_optimizations
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Serial overhead of `pipe_while` (the `T_1/T_S` columns of the paper's
+//! tables): the same computation as a plain loop, as a PIPER pipeline on
+//! one worker, and on the bind-to-stage baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piper::{PipeOptions, StagedPipeline, ThreadPool};
+use std::hint::black_box;
+
+const N: u64 = 5_000;
+const WORK: u64 = 200;
+
+fn stage_work(x: u64) -> u64 {
+    let mut acc = x;
+    for k in 0..WORK {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    c.bench_function("pipeline_overhead/serial_loop", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..N {
+                sum = sum.wrapping_add(stage_work(i)).wrapping_add(stage_work(i ^ 0xFF));
+            }
+            black_box(sum)
+        });
+    });
+
+    let pool1 = ThreadPool::new(1);
+    c.bench_function("pipeline_overhead/pipe_while_1_worker", |b| {
+        b.iter(|| {
+            let mut next = 0u64;
+            let stats = StagedPipeline::<u64>::new()
+                .parallel(|x| *x = stage_work(*x))
+                .serial(|x| {
+                    black_box(stage_work(*x ^ 0xFF));
+                })
+                .run(&pool1, PipeOptions::default(), move || {
+                    if next == N {
+                        None
+                    } else {
+                        next += 1;
+                        Some(next - 1)
+                    }
+                });
+            black_box(stats.iterations)
+        });
+    });
+
+    c.bench_function("pipeline_overhead/bind_to_stage", |b| {
+        b.iter(|| {
+            let stages: baselines::StageSet<u64> = baselines::StageSet::new()
+                .parallel(|x| *x = stage_work(*x))
+                .serial(|x| {
+                    black_box(stage_work(*x ^ 0xFF));
+                });
+            let pipeline = baselines::BindToStagePipeline::new(
+                stages,
+                baselines::BindToStageConfig {
+                    threads_per_parallel_stage: 1,
+                    queue_capacity: 16,
+                },
+            );
+            let mut next = 0u64;
+            black_box(pipeline.run(move || {
+                if next == N {
+                    None
+                } else {
+                    next += 1;
+                    Some(next - 1)
+                }
+            }))
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! End-to-end benchmarks of the PARSEC-analogue workloads (small inputs):
+//! serial vs one-worker PIPER, giving the measured serial-overhead component
+//! of Figures 6–8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use piper::{PipeOptions, ThreadPool};
+use std::hint::black_box;
+use workloads::{dedup, ferret, pipefib, x264};
+
+fn bench_workloads(c: &mut Criterion) {
+    let pool = ThreadPool::new(1);
+
+    let fcfg = ferret::FerretConfig {
+        queries: 48,
+        database_size: 96,
+        ..ferret::FerretConfig::tiny()
+    };
+    let index = ferret::build_index(&fcfg);
+    c.bench_function("workloads/ferret_serial", |b| {
+        b.iter(|| black_box(ferret::run_serial(&fcfg, &index)));
+    });
+    c.bench_function("workloads/ferret_piper_1w", |b| {
+        b.iter(|| black_box(ferret::run_piper(&fcfg, &index, &pool, PipeOptions::default())));
+    });
+
+    let dcfg = dedup::DedupConfig::tiny();
+    let input = dcfg.generate_input();
+    c.bench_function("workloads/dedup_serial", |b| {
+        b.iter(|| black_box(dedup::run_serial(&dcfg, &input)));
+    });
+    c.bench_function("workloads/dedup_piper_1w", |b| {
+        b.iter(|| black_box(dedup::run_piper(&dcfg, &input, &pool, PipeOptions::default())));
+    });
+
+    let xcfg = x264::X264Config::tiny();
+    c.bench_function("workloads/x264_serial", |b| {
+        b.iter(|| black_box(x264::run_serial(&xcfg)));
+    });
+    c.bench_function("workloads/x264_piper_1w", |b| {
+        b.iter(|| black_box(x264::run_piper(&xcfg, &pool, PipeOptions::default())));
+    });
+
+    let pcfg = pipefib::PipeFibConfig { n: 1_000, block_bits: 1 };
+    c.bench_function("workloads/pipefib_serial", |b| {
+        b.iter(|| black_box(pipefib::run_serial(&pcfg)));
+    });
+    c.bench_function("workloads/pipefib_piper_1w", |b| {
+        b.iter(|| black_box(pipefib::run_piper(&pcfg, &pool, PipeOptions::default())));
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates Figure 3: the structure of the x264 pipeline dag — stage
+//! skipping per iteration, I/P-dependent cross edges, null nodes — and its
+//! work/span properties.
+
+use pipe_bench::Table;
+use pipedag::analyze_unthrottled;
+use workloads::x264::{build_spec, X264Config};
+
+fn main() {
+    let config = X264Config {
+        frames: 24,
+        width: 128,
+        height: 96,
+        gop: 4,
+        bframes: 1,
+        ..Default::default()
+    };
+    let spec = build_spec(&config, 10, 20, 1);
+
+    println!("Figure 3: x264 pipeline dag structure (w = {}, gop = {})", config.encode.mv_row_window, config.gop);
+    println!();
+    let mut table = Table::new(&["iteration", "first row stage", "stages skipped", "row nodes", "waiting rows (P) / continue rows (I)"]);
+    for (i, nodes) in spec.iterations.iter().enumerate() {
+        let first_row_stage = nodes[1].stage;
+        let rows = nodes.len() - 3; // minus stage 0, B-frame stage, END stage
+        let waits = nodes[1..1 + rows].iter().filter(|n| n.wait).count();
+        table.row(vec![
+            i.to_string(),
+            first_row_stage.to_string(),
+            (first_row_stage - 1).to_string(),
+            rows.to_string(),
+            format!("{}/{}", waits, rows - waits),
+        ]);
+    }
+    table.print();
+
+    let a = analyze_unthrottled(&spec);
+    println!(
+        "work = {}, span = {}, parallelism = {:.2}",
+        a.work,
+        a.span,
+        a.parallelism()
+    );
+    println!("Stage skipping shifts each iteration down by w rows (cross edges land on null nodes of the");
+    println!("previous iteration), and I-frame iterations have pipe_continue rows (no cross edges).");
+}

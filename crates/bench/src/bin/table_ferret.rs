@@ -1,0 +1,74 @@
+//! Regenerates Figure 6: ferret performance comparison (Cilk-P vs
+//! Pthreads-style bind-to-stage vs TBB-style construct-and-run).
+//!
+//! Real executions on the host provide `T_S`, `T_1` and output-correctness
+//! checks; the processor sweep is produced by replaying the recorded
+//! weighted dag through the scheduler simulator (see DESIGN.md §"Per-
+//! experiment index", E3).
+
+use pipe_bench::{secs, time, Table, PAPER_PROCESSOR_COUNTS};
+use pipedag::{simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig};
+use piper::{PipeOptions, ThreadPool};
+use workloads::ferret;
+
+fn main() {
+    let config = ferret::FerretConfig::default();
+    let index = ferret::build_index(&config);
+
+    // Real executions: serial reference and one-worker PIPER run.
+    let (serial_out, t_s) = time(|| ferret::run_serial(&config, &index));
+    let pool1 = ThreadPool::new(1);
+    let ((), t_1) = time(|| {
+        let out = ferret::run_piper(&config, &index, &pool1, PipeOptions::with_throttle(10));
+        assert_eq!(out.len(), serial_out.len(), "PIPER output must match serial");
+    });
+    println!("ferret (synthetic): {} queries, {} database images", config.queries, config.database_size);
+    println!("measured on this host:  T_S = {}s   T_1 = {}s   serial overhead T_1/T_S = {:.3}", secs(t_s), secs(t_1), t_1.as_secs_f64() / t_s.as_secs_f64());
+    println!();
+
+    // Recorded dag for the processor sweep.
+    let spec = ferret::record_spec(&config, &index);
+    let analysis = pipedag::analyze_unthrottled(&spec);
+    println!(
+        "recorded dag: work = {} ms, span = {} ms, parallelism = {:.1}",
+        analysis.work / 1_000_000,
+        analysis.span / 1_000_000,
+        analysis.parallelism()
+    );
+    println!();
+
+    let serial_time = spec.work();
+    let mut table = Table::new(&[
+        "P",
+        "Cilk-P T_P",
+        "Pthreads T_P",
+        "TBB T_P",
+        "Cilk-P speedup",
+        "Pthreads speedup",
+        "TBB speedup",
+    ]);
+    for &p in &PAPER_PROCESSOR_COUNTS {
+        // The paper uses K = 10P for ferret.
+        let cilkp = simulate_piper(&spec, p, Some(10 * p));
+        let pthreads = simulate_bind_to_stage(
+            &spec,
+            p,
+            BindToStageConfig {
+                threads_per_parallel_stage: p.max(1),
+                queue_capacity: 10 * p,
+            },
+        );
+        let tbb = simulate_construct_and_run(&spec, p, 10 * p);
+        table.row(vec![
+            p.to_string(),
+            format!("{:.3}", cilkp.makespan as f64 / 1e9),
+            format!("{:.3}", pthreads.makespan as f64 / 1e9),
+            format!("{:.3}", tbb.makespan as f64 / 1e9),
+            format!("{:.2}", cilkp.speedup_vs(serial_time)),
+            format!("{:.2}", pthreads.speedup_vs(serial_time)),
+            format!("{:.2}", tbb.speedup_vs(serial_time)),
+        ]);
+    }
+    println!("Figure 6 (shape): simulated schedule of the recorded ferret dag, K = 10P");
+    table.print();
+}

@@ -1,0 +1,71 @@
+//! Regenerates Figure 9: the pipe-fib study of serial overhead and the
+//! dependency-folding optimization, for the fine-grained pipeline and the
+//! coarsened pipe-fib-256 variant.
+
+use pipe_bench::{secs, time, Table};
+use pipedag::simulate_piper;
+use piper::{PipeOptions, ThreadPool};
+use workloads::pipefib::{self, PipeFibConfig};
+
+fn run_variant(
+    name: &str,
+    config: &PipeFibConfig,
+    folding: bool,
+    t_s: std::time::Duration,
+    serial_bits: &[u8],
+    table: &mut Table,
+) {
+    let pool1 = ThreadPool::new(1);
+    let options = PipeOptions::default().dependency_folding(folding);
+    let ((stats1,), t_1) = time(|| {
+        let (bits, stats) = pipefib::run_piper(config, &pool1, options.clone());
+        assert_eq!(bits, serial_bits, "pipe-fib output must match serial");
+        (stats,)
+    });
+
+    // Scalability on 16 processors comes from the simulated schedule of the
+    // triangular dag (the host may have fewer cores).
+    let spec = pipefib::build_spec(config, 1);
+    let sim1 = simulate_piper(&spec, 1, Some(4));
+    let sim16 = simulate_piper(&spec, 16, Some(64));
+    let scalability = sim1.makespan as f64 / sim16.makespan as f64;
+
+    table.row(vec![
+        name.to_string(),
+        if folding { "yes" } else { "no" }.to_string(),
+        secs(t_s),
+        secs(t_1),
+        format!("{:.2}", t_1.as_secs_f64() / t_s.as_secs_f64()),
+        format!("{:.2}", scalability),
+        stats1.cross_checks.to_string(),
+        stats1.folded_checks.to_string(),
+    ]);
+}
+
+fn main() {
+    let n = 6_000;
+    let fine = PipeFibConfig { n, block_bits: 1 };
+    let coarse = PipeFibConfig::coarsened(n);
+
+    let (serial_bits, t_s) = time(|| pipefib::run_serial(&fine));
+
+    println!("pipe-fib: F_{n} in binary; fine-grained (1 bit/stage) vs coarsened (256 bits/stage)");
+    println!();
+    let mut table = Table::new(&[
+        "program",
+        "dep. folding",
+        "T_S",
+        "T_1",
+        "overhead T_1/T_S",
+        "scalability T_1/T_16 (sim)",
+        "stage-counter reads",
+        "folded checks",
+    ]);
+    run_variant("pipe-fib", &fine, false, t_s, &serial_bits, &mut table);
+    run_variant("pipe-fib-256", &coarse, false, t_s, &serial_bits, &mut table);
+    run_variant("pipe-fib", &fine, true, t_s, &serial_bits, &mut table);
+    run_variant("pipe-fib-256", &coarse, true, t_s, &serial_bits, &mut table);
+    println!("Figure 9 (shape): dependency folding removes most stage-counter reads for the");
+    println!("fine-grained pipeline; coarsening helps both overhead and scalability.");
+    table.print();
+}

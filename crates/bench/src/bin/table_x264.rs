@@ -1,0 +1,72 @@
+//! Regenerates Figure 8: x264 performance (Cilk-P vs Pthreads-style). As in
+//! the paper, there is no TBB column: the construct-and-run model cannot
+//! express x264's on-the-fly pipeline.
+
+use pipe_bench::{secs, time, Table, PAPER_PROCESSOR_COUNTS};
+use pipedag::{simulate_bind_to_stage, simulate_piper, BindToStageConfig};
+use piper::{PipeOptions, ThreadPool};
+use workloads::x264;
+
+fn main() {
+    let config = x264::X264Config::default();
+
+    // Real executions: serial and one-worker PIPER, checked for equality.
+    let (serial_out, t_s) = time(|| x264::run_serial(&config));
+    let pool1 = ThreadPool::new(1);
+    let ((), t_1) = time(|| {
+        let out = x264::run_piper(&config, &pool1, PipeOptions::with_throttle(4));
+        assert_eq!(out, serial_out, "PIPER output must match serial");
+    });
+    println!(
+        "x264 (synthetic video): {} frames {}x{}, gop {}, {} B-frames",
+        config.frames, config.width, config.height, config.gop, config.bframes
+    );
+    println!(
+        "measured on this host:  T_S = {}s   T_1 = {}s   serial overhead T_1/T_S = {:.3}",
+        secs(t_s),
+        secs(t_1),
+        t_1.as_secs_f64() / t_s.as_secs_f64()
+    );
+    println!();
+
+    // Weighted dag for the processor sweep: per-row cost from the measured
+    // serial time divided across row nodes.
+    let rows_per_frame = (config.height / 16) as u64;
+    let ip_frames = serial_out.len() as u64;
+    let row_work = (t_s.as_nanos() as u64 / (ip_frames * rows_per_frame).max(1)).max(1);
+    let spec = x264::build_spec(&config, row_work, row_work * 2, row_work / 4 + 1);
+    let analysis = pipedag::analyze_unthrottled(&spec);
+    println!(
+        "x264 dag: {} iterations, work = {} ms, span = {} ms, parallelism = {:.1}",
+        spec.num_iterations(),
+        analysis.work / 1_000_000,
+        analysis.span / 1_000_000,
+        analysis.parallelism()
+    );
+    println!();
+
+    let serial_time = spec.work();
+    let mut table = Table::new(&["P", "Cilk-P speedup", "Pthreads speedup", "Cilk-P scalability"]);
+    for &p in &PAPER_PROCESSOR_COUNTS {
+        let cilkp = simulate_piper(&spec, p, Some(4 * p));
+        // The Pthreads x264 uses its own row-level threading; bind-to-stage
+        // over the same dag is the closest queue-based analogue.
+        let pthreads = simulate_bind_to_stage(
+            &spec,
+            p,
+            BindToStageConfig {
+                threads_per_parallel_stage: p.max(1),
+                queue_capacity: 4 * p,
+            },
+        );
+        let t1 = simulate_piper(&spec, 1, Some(4)).makespan;
+        table.row(vec![
+            p.to_string(),
+            format!("{:.2}", cilkp.speedup_vs(serial_time)),
+            format!("{:.2}", pthreads.speedup_vs(serial_time)),
+            format!("{:.2}", t1 as f64 / cilkp.makespan as f64),
+        ]);
+    }
+    println!("Figure 8 (shape): simulated schedule of the x264 dag, K = 4P (no TBB column: not expressible)");
+    table.print();
+}

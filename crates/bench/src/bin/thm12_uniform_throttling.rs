@@ -1,0 +1,50 @@
+//! Empirical check of Theorem 12: for uniform pipelines, throttling with a
+//! window K = aP does not hurt asymptotic performance — the throttled
+//! schedule stays within (1 + c/a)·T1/P + c·T∞.
+
+use pipe_bench::Table;
+use pipedag::{analyze_unthrottled, generators, simulate_piper};
+
+fn main() {
+    let n = 4_096;
+    let s = 8;
+    let w = 64;
+    let spec = generators::uniform_sps(n, s, w, 8 * w);
+    let a = analyze_unthrottled(&spec);
+    println!(
+        "Theorem 12: uniform pipeline ({} iterations x {} stages), work {}, span {}, parallelism {:.1}",
+        n,
+        s + 2,
+        a.work,
+        a.span,
+        a.parallelism()
+    );
+    println!();
+
+    let mut table = Table::new(&[
+        "P",
+        "a (K = aP)",
+        "T_P throttled",
+        "T_P unthrottled",
+        "throttled / unthrottled",
+        "greedy bound T1/P + Tinf",
+    ]);
+    for &p in &[4usize, 8, 16] {
+        for &factor in &[1usize, 2, 4, 8] {
+            let throttled = simulate_piper(&spec, p, Some(factor * p));
+            let unthrottled = simulate_piper(&spec, p, None);
+            let bound = a.work / p as u64 + a.span;
+            table.row(vec![
+                p.to_string(),
+                factor.to_string(),
+                throttled.makespan.to_string(),
+                unthrottled.makespan.to_string(),
+                format!("{:.3}", throttled.makespan as f64 / unthrottled.makespan as f64),
+                bound.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("For uniform pipelines the throttled schedule tracks the unthrottled one closely even for");
+    println!("small a, matching Theorem 12; contrast with the pathological dag of fig10_pathological.");
+}

@@ -1,0 +1,126 @@
+//! Shared helpers for the evaluation harness (table and figure binaries).
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! see `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md` for the
+//! mapping. The binaries combine two kinds of measurements:
+//!
+//! * **real executions** on the host — the serial reference `T_S`, the
+//!   one-worker runtime `T_1` (serial overhead), correctness checks, and
+//!   runtime counters (steals, live iterations, cross-edge checks);
+//! * **simulated schedules** over recorded/synthetic weighted dags (via
+//!   `pipedag::simulator`) — used for the `P`-processor sweeps, so the
+//!   tables' *shape* (speedup/scalability trends, who wins) can be
+//!   reproduced even when the host has fewer cores than the paper's
+//!   16-core test machine.
+
+use std::time::{Duration, Instant};
+
+/// The processor counts used by the paper's tables (Figures 6–8).
+pub const PAPER_PROCESSOR_COUNTS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+
+/// Measures the wall-clock time of `f`, returning (result, elapsed).
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `runs` times and returns the mean duration (after one warm-up).
+pub fn time_mean<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let _ = f();
+    let mut total = Duration::ZERO;
+    for _ in 0..runs.max(1) {
+        let (_, d) = time(&mut f);
+        total += d;
+    }
+    total / runs.max(1) as u32
+}
+
+/// Formats a duration in seconds with 3 decimal places.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// A simple fixed-width table printer for the harness binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["P", "speedup"]);
+        t.row(vec!["1".into(), "1.00".into()]);
+        t.row(vec!["16".into(), "13.87".into()]);
+        let s = t.render();
+        assert!(s.contains("speedup"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49995000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Adler-32 checksum (RFC 1950), used as a cheap integrity check in the
+//! dedup workload's output verification and by tests.
+
+const MOD_ADLER: u32 = 65_521;
+
+/// Computes the Adler-32 checksum of `data`.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in runs small enough that the u32 accumulators cannot
+    // overflow before reduction (5552 is the standard bound).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD_ADLER;
+        b %= MOD_ADLER;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn long_input_does_not_overflow() {
+        let data = vec![0xFFu8; 1_000_000];
+        // Value computed with the reference algorithm (zlib).
+        let value = adler32(&data);
+        // a = (1 + 255*1e6) mod 65521, recompute independently:
+        let a = (1u64 + 255u64 * 1_000_000) % 65_521;
+        assert_eq!(value & 0xFFFF, a as u32);
+    }
+
+    #[test]
+    fn sensitive_to_byte_order() {
+        assert_ne!(adler32(b"ab"), adler32(b"ba"));
+    }
+}

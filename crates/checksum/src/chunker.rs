@@ -1,0 +1,226 @@
+//! Content-defined chunking with a polynomial rolling hash.
+//!
+//! dedup's first pipeline stage breaks the input stream into chunks whose
+//! boundaries are chosen by content (a Rabin fingerprint over a sliding
+//! window), so that inserting bytes near the beginning of a file does not
+//! shift every later chunk boundary. This module implements the same idea
+//! with a simple multiplicative rolling hash.
+
+/// Parameters of the content-defined chunker.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkerConfig {
+    /// Minimum chunk size in bytes (boundaries are not considered earlier).
+    pub min_size: usize,
+    /// Maximum chunk size in bytes (a boundary is forced at this size).
+    pub max_size: usize,
+    /// Average chunk size target; must be a power of two. A boundary is
+    /// declared when the low `log2(avg_size)` bits of the rolling hash are
+    /// all ones.
+    pub avg_size: usize,
+    /// Sliding-window width in bytes.
+    pub window: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        ChunkerConfig {
+            min_size: 1 << 10,
+            max_size: 1 << 15,
+            avg_size: 1 << 12,
+            window: 48,
+        }
+    }
+}
+
+impl ChunkerConfig {
+    /// A configuration scaled for small synthetic inputs (tests and the
+    /// example programs), keeping the same structure at 1/16 the sizes.
+    pub fn small() -> Self {
+        ChunkerConfig {
+            min_size: 64,
+            max_size: 2048,
+            avg_size: 256,
+            window: 16,
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        debug_assert!(self.avg_size.is_power_of_two());
+        (self.avg_size as u64) - 1
+    }
+}
+
+/// Multiplier for the polynomial rolling hash (a large odd constant).
+const PRIME: u64 = 0x3B9A_CA07;
+
+/// Returns the chunk boundaries (exclusive end offsets) of `data` under the
+/// given configuration. The final boundary is always `data.len()`.
+pub fn chunk_boundaries(data: &[u8], config: &ChunkerConfig) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    if data.is_empty() {
+        return boundaries;
+    }
+    let mask = config.mask();
+    // Precompute PRIME^(window-1) for removing the outgoing byte.
+    let mut out_factor: u64 = 1;
+    for _ in 0..config.window.saturating_sub(1) {
+        out_factor = out_factor.wrapping_mul(PRIME);
+    }
+
+    let mut start = 0usize;
+    let mut hash: u64 = 0;
+    let mut filled = 0usize;
+
+    let mut i = 0usize;
+    while i < data.len() {
+        let byte = data[i] as u64 + 1;
+        if filled < config.window {
+            hash = hash.wrapping_mul(PRIME).wrapping_add(byte);
+            filled += 1;
+        } else {
+            let out = data[i - config.window] as u64 + 1;
+            hash = hash
+                .wrapping_sub(out.wrapping_mul(out_factor))
+                .wrapping_mul(PRIME)
+                .wrapping_add(byte);
+        }
+        let size = i - start + 1;
+        let is_cut = (hash & mask) == mask && size >= config.min_size;
+        if is_cut || size >= config.max_size {
+            boundaries.push(i + 1);
+            start = i + 1;
+            hash = 0;
+            filled = 0;
+        }
+        i += 1;
+    }
+    if start < data.len() {
+        boundaries.push(data.len());
+    }
+    boundaries
+}
+
+/// Splits `data` into content-defined chunks.
+pub fn split_chunks<'a>(data: &'a [u8], config: &ChunkerConfig) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    for end in chunk_boundaries(data, config) {
+        chunks.push(&data[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(len: usize, seed: u64) -> Vec<u8> {
+        // Simple xorshift byte stream.
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xFF) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_reassemble_to_input() {
+        let data = synthetic(200_000, 42);
+        let config = ChunkerConfig::small();
+        let chunks = split_chunks(&data, &config);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, data.len());
+        let mut rebuilt = Vec::with_capacity(data.len());
+        for c in &chunks {
+            rebuilt.extend_from_slice(c);
+        }
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let data = synthetic(300_000, 7);
+        let config = ChunkerConfig::small();
+        let chunks = split_chunks(&data, &config);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= config.max_size);
+            if i + 1 != chunks.len() {
+                assert!(c.len() >= config.min_size, "chunk {i} is {}", c.len());
+            }
+        }
+        // Average size should be in the right ballpark (between min and max).
+        let avg = data.len() / chunks.len();
+        assert!(avg >= config.min_size && avg <= config.max_size);
+    }
+
+    #[test]
+    fn boundaries_are_content_defined() {
+        // Repeating the same content yields repeating chunk patterns:
+        // duplicate detection across repeats is what dedup exploits.
+        let unit = synthetic(50_000, 99);
+        let mut data = Vec::new();
+        for _ in 0..4 {
+            data.extend_from_slice(&unit);
+        }
+        let config = ChunkerConfig::small();
+        let chunks = split_chunks(&data, &config);
+        let mut seen = std::collections::HashMap::new();
+        let mut duplicates = 0usize;
+        for c in &chunks {
+            let d = crate::sha1(c);
+            *seen.entry(d).or_insert(0usize) += 1;
+            if seen[&d] > 1 {
+                duplicates += 1;
+            }
+        }
+        assert!(
+            duplicates * 2 >= chunks.len() / 2,
+            "expected many duplicate chunks, got {duplicates} of {}",
+            chunks.len()
+        );
+    }
+
+    #[test]
+    fn insertion_only_shifts_local_boundaries() {
+        let data = synthetic(100_000, 3);
+        let config = ChunkerConfig::small();
+        let before: std::collections::HashSet<[u8; 20]> = split_chunks(&data, &config)
+            .iter()
+            .map(|c| crate::sha1(c))
+            .collect();
+        // Insert a few bytes near the start.
+        let mut edited = data.clone();
+        for (k, b) in [1u8, 2, 3, 4, 5].iter().enumerate() {
+            edited.insert(1000 + k, *b);
+        }
+        let after = split_chunks(&edited, &config);
+        let unchanged = after
+            .iter()
+            .filter(|c| before.contains(&crate::sha1(c)))
+            .count();
+        // Most chunks away from the edit are unchanged.
+        assert!(
+            unchanged * 3 >= after.len() * 2,
+            "only {unchanged} of {} chunks unchanged",
+            after.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_has_no_chunks() {
+        assert!(chunk_boundaries(&[], &ChunkerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_input_is_a_single_chunk() {
+        let data = vec![1u8, 2, 3];
+        let chunks = split_chunks(&data, &ChunkerConfig::default());
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], &data[..]);
+    }
+}

@@ -1,0 +1,135 @@
+//! CRC-32 (IEEE 802.3 polynomial, the gzip/zlib variant), implemented from
+//! scratch with a lazily built lookup table.
+//!
+//! dedup-style archives commonly carry a cheap integrity checksum next to the
+//! cryptographic fingerprint; CRC-32 fills that role here and is also used by
+//! the deflate-like codec in the `compress` crate to validate round trips.
+
+use std::sync::OnceLock;
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data` into the checksum state.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut crc = self.state;
+        for &byte in data {
+            crc = t[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Finalises and returns the checksum.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+/// Combines a running CRC with more data: `crc32_append(crc32(a), b) ==
+/// crc32(a ++ b)` only holds when resuming from the raw (non-finalised)
+/// state, so this helper re-opens a finalised checksum and continues it.
+pub fn crc32_append(previous: u32, data: &[u8]) -> u32 {
+    let mut c = Crc32 {
+        state: previous ^ 0xFFFF_FFFF,
+    };
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC ("check" value) vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..8192u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let oneshot = crc32(&data);
+        for chunk_size in [1usize, 7, 256, 1000] {
+            let mut c = Crc32::new();
+            for chunk in data.chunks(chunk_size) {
+                c.update(chunk);
+            }
+            assert_eq!(c.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn append_continues_a_finalised_checksum() {
+        let a = b"hello, ";
+        let b = b"world";
+        let whole = {
+            let mut all = a.to_vec();
+            all.extend_from_slice(b);
+            crc32(&all)
+        };
+        assert_eq!(crc32_append(crc32(a), b), whole);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = vec![0x42u8; 128];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Hashing and content-defined chunking, the substrate of the dedup
+//! workload.
+//!
+//! PARSEC's dedup pipeline (paper, Figure 4) breaks its input into chunks,
+//! computes each chunk's SHA-1 signature, and uses a hash table keyed by the
+//! signature to detect duplicates. This crate provides those pieces from
+//! scratch:
+//!
+//! * [`sha1`] — the SHA-1 message digest (FIPS 180-1), used as the chunk
+//!   fingerprint exactly as dedup does.
+//! * [`sha256`] — SHA-256 (FIPS 180-4), the fingerprint modern deduplicators
+//!   use; selectable in the dedup workload in place of SHA-1.
+//! * [`adler32`] — a cheap rolling-friendly checksum used for quick
+//!   comparisons and test oracles.
+//! * [`crc32`] — the gzip/zlib CRC-32 used as an archive integrity checksum.
+//! * [`chunker`] — content-defined chunking with a polynomial rolling hash
+//!   (Rabin-style), so chunk boundaries depend on content rather than
+//!   offsets, matching dedup's behaviour.
+
+pub mod adler32;
+pub mod chunker;
+pub mod crc32;
+pub mod sha1;
+pub mod sha256;
+
+pub use adler32::adler32;
+pub use chunker::{chunk_boundaries, split_chunks, ChunkerConfig};
+pub use crc32::{crc32, crc32_append, Crc32};
+pub use sha1::{sha1, sha1_hex, Sha1, DIGEST_LEN};
+pub use sha256::{sha256, sha256_hex, Sha256, SHA256_DIGEST_LEN};
+
+/// Which cryptographic digest fingerprints a chunk (dedup's Stage 1).
+///
+/// The paper's dedup uses SHA-1; production systems moved to SHA-256. Both
+/// are 160/256-bit digests stored here in a fixed 32-byte buffer so the
+/// pipeline code is independent of the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Digest {
+    /// SHA-1, as in PARSEC's dedup (the paper-faithful configuration).
+    #[default]
+    Sha1,
+    /// SHA-256, the modern fingerprint choice.
+    Sha256,
+}
+
+impl Digest {
+    /// Fingerprints `data`, returning the digest left-aligned in a 32-byte
+    /// array (SHA-1 pads the tail with zeros) plus its true length.
+    pub fn fingerprint(self, data: &[u8]) -> ([u8; 32], usize) {
+        match self {
+            Digest::Sha1 => {
+                let d = sha1(data);
+                let mut out = [0u8; 32];
+                out[..DIGEST_LEN].copy_from_slice(&d);
+                (out, DIGEST_LEN)
+            }
+            Digest::Sha256 => (sha256(data), SHA256_DIGEST_LEN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod digest_tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_lengths_match_algorithm() {
+        let (_, n1) = Digest::Sha1.fingerprint(b"abc");
+        let (_, n2) = Digest::Sha256.fingerprint(b"abc");
+        assert_eq!(n1, DIGEST_LEN);
+        assert_eq!(n2, SHA256_DIGEST_LEN);
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_oneshot_functions() {
+        let data = b"the same chunk seen twice";
+        let (f1, n1) = Digest::Sha1.fingerprint(data);
+        assert_eq!(&f1[..n1], &sha1(data));
+        let (f2, n2) = Digest::Sha256.fingerprint(data);
+        assert_eq!(&f2[..n2], &sha256(data));
+    }
+
+    #[test]
+    fn different_algorithms_give_different_fingerprints() {
+        let data = b"fingerprint me";
+        assert_ne!(
+            Digest::Sha1.fingerprint(data).0,
+            Digest::Sha256.fingerprint(data).0
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the hashing and content-defined-chunking
+//! substrate that dedup's pipeline stages are built on.
+
+use checksum::adler32::adler32;
+use checksum::chunker::{chunk_boundaries, split_chunks, ChunkerConfig};
+use checksum::crc32::{crc32, crc32_append, Crc32};
+use checksum::sha1::{sha1, Sha1};
+use checksum::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..4_096),
+        // Low-entropy content exercises the chunker's max-size forcing path.
+        proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8)], 0..4_096),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sha1_incremental_matches_one_shot(data in payload(), split in 0usize..4_096) {
+        let split = split.min(data.len());
+        let mut hasher = Sha1::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha1(&data));
+    }
+
+    #[test]
+    fn sha256_incremental_matches_one_shot(data in payload(), pieces in 1usize..8) {
+        let mut hasher = Sha256::new();
+        for chunk in data.chunks(data.len().div_ceil(pieces).max(1)) {
+            hasher.update(chunk);
+        }
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn crc32_append_composes(data in payload(), split in 0usize..4_096) {
+        let split = split.min(data.len());
+        let direct = crc32(&data);
+        let composed = crc32_append(crc32(&data[..split]), &data[split..]);
+        prop_assert_eq!(direct, composed);
+
+        let mut streaming = Crc32::new();
+        streaming.update(&data[..split]);
+        streaming.update(&data[split..]);
+        prop_assert_eq!(streaming.finalize(), direct);
+    }
+
+    #[test]
+    fn digests_distinguish_a_single_flipped_bit(data in proptest::collection::vec(any::<u8>(), 1..1_024), pos in 0usize..1_024, bit in 0u8..8) {
+        let pos = pos % data.len();
+        let mut flipped = data.clone();
+        flipped[pos] ^= 1 << bit;
+        prop_assert_ne!(sha1(&data), sha1(&flipped));
+        prop_assert_ne!(sha256(&data), sha256(&flipped));
+        prop_assert_ne!(crc32(&data), crc32(&flipped));
+        prop_assert_ne!(adler32(&data), adler32(&flipped));
+    }
+
+    #[test]
+    fn chunk_boundaries_partition_the_input(data in payload()) {
+        let config = ChunkerConfig::small();
+        let boundaries = chunk_boundaries(&data, &config);
+        if data.is_empty() {
+            prop_assert!(boundaries.is_empty());
+        } else {
+            // Strictly increasing, ending exactly at the input length.
+            prop_assert_eq!(*boundaries.last().unwrap(), data.len());
+            for pair in boundaries.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+            // Chunks concatenate back to the input.
+            let chunks = split_chunks(&data, &config);
+            let rejoined: Vec<u8> = chunks.concat();
+            prop_assert_eq!(rejoined, data);
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_the_configured_bounds(data in proptest::collection::vec(any::<u8>(), 4_096..16_384)) {
+        let config = ChunkerConfig::small();
+        let chunks = split_chunks(&data, &config);
+        for (i, chunk) in chunks.iter().enumerate() {
+            prop_assert!(chunk.len() <= config.max_size, "chunk {i} too large: {}", chunk.len());
+            // Every chunk except possibly the last respects the minimum.
+            if i + 1 != chunks.len() {
+                prop_assert!(chunk.len() >= config.min_size, "chunk {i} too small: {}", chunk.len());
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_is_content_defined_after_a_prefix_edit(suffix in proptest::collection::vec(any::<u8>(), 8_192..16_384)) {
+        // Content-defined chunking's purpose: editing bytes near the start
+        // must not move every later boundary (a fixed-size splitter would
+        // shift them all). The boundaries inside the shared suffix, expressed
+        // relative to the end of the input, should largely coincide.
+        let config = ChunkerConfig::small();
+        let mut a = vec![0xAAu8; 17];
+        a.extend_from_slice(&suffix);
+        let mut b = vec![0x55u8; 399];
+        b.extend_from_slice(&suffix);
+
+        let ends_a: Vec<usize> = chunk_boundaries(&a, &config)
+            .into_iter()
+            .map(|off| a.len() - off)
+            .collect();
+        let ends_b: Vec<usize> = chunk_boundaries(&b, &config)
+            .into_iter()
+            .map(|off| b.len() - off)
+            .collect();
+        let shared = ends_a.iter().filter(|e| ends_b.contains(e)).count();
+        // At least the final boundary (distance 0) is shared; for inputs this
+        // large the cut points re-synchronise and most tail boundaries agree.
+        prop_assert!(shared >= 1);
+        let min_cuts = ends_a.len().min(ends_b.len());
+        if min_cuts >= 6 {
+            prop_assert!(
+                shared * 2 >= min_cuts,
+                "only {shared} of {min_cuts} boundaries survived a prefix edit"
+            );
+        }
+    }
+}
+
+#[test]
+fn sha1_matches_known_vectors() {
+    // FIPS 180-1 test vectors.
+    let empty = sha1(b"");
+    assert_eq!(
+        hex(&empty),
+        "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+    );
+    let abc = sha1(b"abc");
+    assert_eq!(hex(&abc), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+#[test]
+fn sha256_matches_known_vectors() {
+    assert_eq!(
+        hex(&sha256(b"")),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    );
+    assert_eq!(
+        hex(&sha256(b"abc")),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    );
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

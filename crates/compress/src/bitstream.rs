@@ -1,0 +1,206 @@
+//! LSB-first bit packing, the I/O layer under the Huffman coder.
+//!
+//! Bits are appended least-significant-first into successive bytes, the same
+//! convention DEFLATE uses, so a code of length `n` written with
+//! [`BitWriter::write_bits`] is read back by [`BitReader::read_bits`] with
+//! the same length.
+
+/// Accumulates bits into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits not yet flushed to `out`, LSB-aligned.
+    accumulator: u64,
+    /// Number of valid bits in `accumulator` (always < 8 after `flush_full_bytes`).
+    bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value` (LSB first). `count` must be
+    /// at most 57 so the accumulator cannot overflow.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        debug_assert!(count <= 57, "write_bits count {count} too large");
+        debug_assert!(count > 0 || value == 0, "zero-width write must carry value 0");
+        debug_assert!(count == 0 || value < (1u64 << count), "value wider than count");
+        if count == 0 {
+            return;
+        }
+        self.accumulator |= value << self.bits;
+        self.bits += count;
+        while self.bits >= 8 {
+            self.out.push((self.accumulator & 0xFF) as u8);
+            self.accumulator >>= 8;
+            self.bits -= 8;
+        }
+    }
+
+    /// Appends a whole byte (convenience for headers).
+    pub fn write_byte(&mut self, byte: u8) {
+        self.write_bits(byte as u64, 8);
+    }
+
+    /// Number of complete bytes written so far (not counting pending bits).
+    pub fn byte_len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Pads the final partial byte with zero bits and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.bits > 0 {
+            self.out.push((self.accumulator & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Reads bits back in the order [`BitWriter`] wrote them.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Index of the next unread byte.
+    pos: usize,
+    accumulator: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            accumulator: 0,
+            bits: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.bits <= 56 && self.pos < self.data.len() {
+            self.accumulator |= (self.data[self.pos] as u64) << self.bits;
+            self.pos += 1;
+            self.bits += 8;
+        }
+    }
+
+    /// Reads `count` bits (LSB first). Returns `None` if the stream is
+    /// exhausted before `count` bits are available.
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        debug_assert!(count <= 57);
+        if count == 0 {
+            return Some(0);
+        }
+        if self.bits < count {
+            self.refill();
+            if self.bits < count {
+                return None;
+            }
+        }
+        let value = self.accumulator & ((1u64 << count) - 1);
+        self.accumulator >>= count;
+        self.bits -= count;
+        Some(value)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Option<u64> {
+        self.read_bits(1)
+    }
+
+    /// Reads a whole byte.
+    pub fn read_byte(&mut self) -> Option<u8> {
+        self.read_bits(8).map(|v| v as u8)
+    }
+
+    /// True when every input bit has been consumed (ignoring final padding
+    /// bits inside the last byte).
+    pub fn is_drained(&self) -> bool {
+        self.pos >= self.data.len() && self.bits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [1u64, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            w.write_bits(b, 1);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let fields: Vec<(u64, u32)> = vec![
+            (0b1, 1),
+            (0b1010, 4),
+            (0xFF, 8),
+            (0x12345, 20),
+            (0, 3),
+            (0x1FFFFF, 21),
+            (42, 13),
+            (1, 1),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_through_bit_layer() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut w = BitWriter::new();
+        for &b in &data {
+            w.write_byte(b);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes, data);
+        let mut r = BitReader::new(&bytes);
+        for &b in &data {
+            assert_eq!(r.read_byte(), Some(b));
+        }
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    fn reading_past_the_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        // The padding bits of the final byte are still readable…
+        assert!(r.read_bits(5).is_some());
+        // …but the next full byte is not there.
+        assert_eq!(r.read_bits(8), None);
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        w.write_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bits(2), Some(0b11));
+    }
+}

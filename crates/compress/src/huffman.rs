@@ -1,0 +1,433 @@
+//! Canonical Huffman coding over byte symbols, implemented from scratch.
+//!
+//! The coder builds an optimal prefix code from byte frequencies, limits code
+//! lengths to [`MAX_CODE_BITS`] (re-balancing lengths the way DEFLATE does so
+//! the Kraft inequality still holds), and stores the code *canonically*: the
+//! compressed stream carries only the 256 code lengths (4 bits each), from
+//! which the decoder reconstructs the exact same codebook.
+//!
+//! This is the entropy-coding half of the [`deflate`](crate::deflate)-like
+//! codec; it is also usable on its own for already-match-free data.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Maximum code length in bits. 15 matches DEFLATE and keeps the canonical
+/// decoding tables small.
+pub const MAX_CODE_BITS: u32 = 15;
+
+/// Number of symbols (we always code raw bytes).
+const NUM_SYMBOLS: usize = 256;
+
+/// A canonical Huffman codebook: for every byte symbol, its code length and
+/// the code value (MSB-first, as canonical codes are conventionally stated;
+/// the bit layer stores them LSB-first after reversal).
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// Code length in bits for each symbol; 0 means the symbol does not occur.
+    pub lengths: [u8; NUM_SYMBOLS],
+    /// Canonical code value for each symbol (valid only if length > 0).
+    pub codes: [u16; NUM_SYMBOLS],
+}
+
+impl Codebook {
+    /// Builds the optimal (length-limited) canonical codebook for `freqs`.
+    ///
+    /// Returns `None` when no symbol has a nonzero frequency (empty input).
+    pub fn from_frequencies(freqs: &[u64; NUM_SYMBOLS]) -> Option<Codebook> {
+        let used: Vec<usize> = (0..NUM_SYMBOLS).filter(|&s| freqs[s] > 0).collect();
+        if used.is_empty() {
+            return None;
+        }
+        let mut lengths = [0u8; NUM_SYMBOLS];
+        if used.len() == 1 {
+            // A single distinct symbol still needs a 1-bit code so the
+            // decoder can count occurrences.
+            lengths[used[0]] = 1;
+        } else {
+            huffman_code_lengths(freqs, &mut lengths);
+            limit_code_lengths(&mut lengths, MAX_CODE_BITS as u8);
+        }
+        Some(Self::from_lengths(lengths))
+    }
+
+    /// Builds the canonical codebook from explicit code lengths (as read from
+    /// a stream header).
+    pub fn from_lengths(lengths: [u8; NUM_SYMBOLS]) -> Codebook {
+        let mut codes = [0u16; NUM_SYMBOLS];
+        // Count codes of each length.
+        let mut count = [0u16; (MAX_CODE_BITS + 1) as usize];
+        for &len in lengths.iter() {
+            if len > 0 {
+                count[len as usize] += 1;
+            }
+        }
+        // First code of each length (canonical construction).
+        let mut next_code = [0u16; (MAX_CODE_BITS + 2) as usize];
+        let mut code = 0u16;
+        for bits in 1..=MAX_CODE_BITS as usize {
+            code = (code + count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        // Assign codes in symbol order within each length.
+        for symbol in 0..NUM_SYMBOLS {
+            let len = lengths[symbol] as usize;
+            if len > 0 {
+                codes[symbol] = next_code[len];
+                next_code[len] += 1;
+            }
+        }
+        Codebook { lengths, codes }
+    }
+
+    /// Verifies the Kraft inequality: sum over symbols of 2^-len ≤ 1.
+    /// Canonical decoding only requires this (an *incomplete* code is fine).
+    pub fn kraft_sum_times_2_pow_max(&self) -> u64 {
+        self.lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_BITS - l as u32))
+            .sum()
+    }
+}
+
+/// Computes unlimited Huffman code lengths with the classic two-queue /
+/// heap construction.
+fn huffman_code_lengths(freqs: &[u64; NUM_SYMBOLS], lengths: &mut [u8; NUM_SYMBOLS]) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Internal tree nodes: (frequency, node id). Leaves are 0..256, internal
+    // nodes get ids from 256 upward.
+    #[derive(Clone, Copy)]
+    struct Node {
+        freq: u64,
+        left: i32,
+        right: i32,
+    }
+    let mut nodes: Vec<Node> = (0..NUM_SYMBOLS)
+        .map(|s| Node {
+            freq: freqs[s],
+            left: -1,
+            right: -1,
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..NUM_SYMBOLS)
+        .filter(|&s| freqs[s] > 0)
+        .map(|s| Reverse((freqs[s], s)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().unwrap();
+        let Reverse((fb, b)) = heap.pop().unwrap();
+        let id = nodes.len();
+        nodes.push(Node {
+            freq: fa + fb,
+            left: a as i32,
+            right: b as i32,
+        });
+        heap.push(Reverse((fa + fb, id)));
+    }
+    let root = heap.pop().unwrap().0 .1;
+    // Depth-first traversal assigning depths to leaves.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((node, depth)) = stack.pop() {
+        let n = nodes[node];
+        if n.left < 0 {
+            // Leaf.
+            lengths[node] = depth.max(1).min(255) as u8;
+        } else {
+            stack.push((n.left as usize, depth + 1));
+            stack.push((n.right as usize, depth + 1));
+        }
+    }
+}
+
+/// Limits code lengths to `max_bits`, preserving the Kraft inequality.
+///
+/// Any length above the limit is clamped; the resulting Kraft overflow is
+/// repaid by lengthening the shortest over-provisioned codes, one bit at a
+/// time (the same repair DEFLATE implementations perform).
+fn limit_code_lengths(lengths: &mut [u8; NUM_SYMBOLS], max_bits: u8) {
+    let mut overflowed = false;
+    for len in lengths.iter_mut() {
+        if *len > max_bits {
+            *len = max_bits;
+            overflowed = true;
+        }
+    }
+    if !overflowed {
+        return;
+    }
+    let budget = 1u64 << max_bits;
+    loop {
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_bits - l))
+            .sum();
+        if kraft <= budget {
+            break;
+        }
+        // Lengthen the longest code that is still below the limit; that
+        // frees 2^(max-len-1) units of Kraft budget while distorting the
+        // code the least.
+        let candidate = (0..NUM_SYMBOLS)
+            .filter(|&s| lengths[s] > 0 && lengths[s] < max_bits)
+            .max_by_key(|&s| lengths[s])
+            .expect("kraft overflow implies some code can be lengthened");
+        lengths[candidate] += 1;
+    }
+}
+
+/// Compresses `data` with a canonical Huffman code built from its byte
+/// frequencies. The output begins with the uncompressed length (varint) and
+/// the 256 4-bit code lengths.
+pub fn huffman_compress(data: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; NUM_SYMBOLS];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let mut writer = BitWriter::new();
+    write_varint_bits(&mut writer, data.len() as u64);
+    let book = match Codebook::from_frequencies(&freqs) {
+        Some(b) => b,
+        None => return writer.finish(), // empty input: header only
+    };
+    // Header: 4-bit code length per symbol.
+    for symbol in 0..NUM_SYMBOLS {
+        writer.write_bits(book.lengths[symbol] as u64, 4);
+    }
+    // Body: one code per input byte, emitted LSB-first after bit reversal so
+    // the canonical (MSB-first) prefix property maps onto the LSB-first bit
+    // layer.
+    for &b in data {
+        let len = book.lengths[b as usize] as u32;
+        let code = book.codes[b as usize];
+        let reversed = reverse_bits(code, len);
+        writer.write_bits(reversed as u64, len);
+    }
+    writer.finish()
+}
+
+/// Decompresses data produced by [`huffman_compress`]. Returns `None` on a
+/// malformed stream.
+pub fn huffman_decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut reader = BitReader::new(data);
+    let expected = read_varint_bits(&mut reader)? as usize;
+    if expected == 0 {
+        return Some(Vec::new());
+    }
+    let mut lengths = [0u8; NUM_SYMBOLS];
+    for length in lengths.iter_mut() {
+        *length = reader.read_bits(4)? as u8;
+        if *length as u32 > MAX_CODE_BITS {
+            return None;
+        }
+    }
+    let book = Codebook::from_lengths(lengths);
+    if book.kraft_sum_times_2_pow_max() > (1u64 << MAX_CODE_BITS) {
+        return None;
+    }
+    // Build a decoding map from (length, canonical code) to symbol.
+    let mut decode: std::collections::HashMap<(u8, u16), u8> = std::collections::HashMap::new();
+    for symbol in 0..NUM_SYMBOLS {
+        if book.lengths[symbol] > 0 {
+            decode.insert((book.lengths[symbol], book.codes[symbol]), symbol as u8);
+        }
+    }
+    let mut out = Vec::with_capacity(expected);
+    while out.len() < expected {
+        let mut code = 0u16;
+        let mut len = 0u8;
+        loop {
+            let bit = reader.read_bit()?;
+            code = (code << 1) | bit as u16;
+            len += 1;
+            if len as u32 > MAX_CODE_BITS {
+                return None;
+            }
+            if let Some(&symbol) = decode.get(&(len, code)) {
+                out.push(symbol);
+                break;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Reverses the low `len` bits of `code`.
+fn reverse_bits(code: u16, len: u32) -> u16 {
+    let mut out = 0u16;
+    for i in 0..len {
+        if code & (1 << i) != 0 {
+            out |= 1 << (len - 1 - i);
+        }
+    }
+    out
+}
+
+fn write_varint_bits(writer: &mut BitWriter, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            writer.write_byte(byte);
+            break;
+        }
+        writer.write_byte(byte | 0x80);
+    }
+}
+
+fn read_varint_bits(reader: &mut BitReader<'_>) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = reader.read_byte()?;
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entropy_skewed(len: usize, seed: u64) -> Vec<u8> {
+        // Heavily skewed byte distribution (few symbols dominate), where
+        // entropy coding pays off.
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let r = (state >> 24) & 0xFF;
+                match r {
+                    0..=180 => b'a',
+                    181..=230 => b'b',
+                    231..=250 => b'c',
+                    _ => (state >> 40) as u8,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_empty_single_and_small() {
+        for data in [&b""[..], b"x", b"xx", b"xyz", b"aaaaabbbbccdd"] {
+            let compressed = huffman_compress(data);
+            assert_eq!(huffman_decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let compressed = huffman_compress(&data);
+        assert_eq!(huffman_decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distributions() {
+        for len in [10usize, 1_000, 50_000] {
+            let data = entropy_skewed(len, 0xC0FFEE + len as u64);
+            let compressed = huffman_compress(&data);
+            assert_eq!(huffman_decompress(&compressed).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn skewed_data_actually_compresses() {
+        let data = entropy_skewed(100_000, 7);
+        let compressed = huffman_compress(&data);
+        // 3 dominant symbols: should take well under 4 bits/byte on average,
+        // even with the 128-byte header.
+        assert!(
+            compressed.len() * 2 < data.len(),
+            "compressed {} of {}",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn single_symbol_runs_cost_about_one_bit_per_byte() {
+        let data = vec![b'z'; 64_000];
+        let compressed = huffman_compress(&data);
+        assert_eq!(huffman_decompress(&compressed).unwrap(), data);
+        assert!(compressed.len() < 64_000 / 7, "got {}", compressed.len());
+    }
+
+    #[test]
+    fn codebook_satisfies_kraft_and_prefix_property() {
+        let data = entropy_skewed(10_000, 99);
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let book = Codebook::from_frequencies(&freqs).unwrap();
+        assert!(book.kraft_sum_times_2_pow_max() <= 1 << MAX_CODE_BITS);
+        // No code is a prefix of another (check pairwise over used symbols).
+        let used: Vec<usize> = (0..256).filter(|&s| book.lengths[s] > 0).collect();
+        for &a in &used {
+            for &b in &used {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (book.lengths[a] as u32, book.lengths[b] as u32);
+                if la <= lb {
+                    let prefix = book.codes[b] >> (lb - la);
+                    assert!(
+                        prefix != book.codes[a],
+                        "code for {a} is a prefix of code for {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_limiting_engages_on_pathological_frequencies() {
+        // Fibonacci-like frequencies force an unbalanced tree deeper than
+        // MAX_CODE_BITS; the limiter must clamp it while keeping Kraft valid.
+        let mut freqs = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for symbol in 0..40usize {
+            freqs[symbol] = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let book = Codebook::from_frequencies(&freqs).unwrap();
+        assert!(book.lengths.iter().all(|&l| l as u32 <= MAX_CODE_BITS));
+        assert!(book.kraft_sum_times_2_pow_max() <= 1 << MAX_CODE_BITS);
+        // And the code must still round-trip real data drawn from it.
+        let data: Vec<u8> = (0..40u8).flat_map(|s| std::iter::repeat(s).take(1 + s as usize)).collect();
+        let compressed = huffman_compress(&data);
+        assert_eq!(huffman_decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        // Truncated header.
+        assert_eq!(huffman_decompress(&[0x10, 0x01]), None);
+        // Body shorter than the declared length.
+        let compressed = huffman_compress(b"hello hello hello");
+        let truncated = &compressed[..compressed.len() - 2];
+        assert_eq!(huffman_decompress(truncated), None);
+    }
+
+    #[test]
+    fn reverse_bits_is_an_involution() {
+        for len in 1..=15u32 {
+            for code in 0..(1u16 << len.min(10)) {
+                assert_eq!(reverse_bits(reverse_bits(code, len), len), code);
+            }
+        }
+    }
+}

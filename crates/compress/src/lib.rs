@@ -1,0 +1,31 @@
+//! Compression substrate for the dedup workload.
+//!
+//! PARSEC's dedup compresses every previously unseen chunk (with gzip in the
+//! original). This crate provides two from-scratch codecs with round-trip
+//! guarantees:
+//!
+//! * [`lz`] — a byte-oriented LZ77 compressor with a hash-chain match
+//!   finder and a varint token encoding. This is the workhorse used by the
+//!   dedup workload's parallel "compress" stage.
+//! * [`huffman`] — canonical Huffman coding over byte symbols with
+//!   DEFLATE-style length limiting.
+//! * [`deflate`] — the gzip-like composite (LZ77 → Huffman → CRC-32
+//!   trailer), the closest analogue of what PARSEC's dedup actually runs,
+//!   plus the [`Codec`] selector the dedup workload exposes.
+//! * [`rle`] — a trivial run-length coder, useful as a much cheaper stage
+//!   body when benchmarks want to vary the work of the parallel stage.
+//!
+//! None of the codecs aims at gzip-competitive ratios; they exist to give
+//! the pipeline stage a realistic, data-dependent amount of CPU work and an
+//! output whose correctness can be verified by decompression.
+
+pub mod bitstream;
+pub mod deflate;
+pub mod huffman;
+pub mod lz;
+pub mod rle;
+
+pub use deflate::{deflate_compress, deflate_decompress, Codec};
+pub use huffman::{huffman_compress, huffman_decompress, Codebook, MAX_CODE_BITS};
+pub use lz::{lz_compress, lz_decompress};
+pub use rle::{rle_compress, rle_decompress};

@@ -1,0 +1,260 @@
+//! A small LZ77 compressor with hash-chain matching and varint tokens.
+//!
+//! Format: a sequence of tokens. Each token starts with a control byte
+//! `0x00` (literal run) or `0x01` (match), followed by varint-encoded
+//! fields: literal runs carry `(length, bytes…)`; matches carry
+//! `(distance, length)`. The format favours simplicity and deterministic
+//! behaviour over ratio.
+
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum match length per token.
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding-window size (maximum match distance).
+const WINDOW: usize = 1 << 16;
+/// Number of head slots in the hash chain.
+const HASH_SIZE: usize = 1 << 15;
+/// How many chain links to follow when searching for a match.
+const MAX_CHAIN: usize = 32;
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) as usize >> 17) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`.
+pub fn lz_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Uncompressed length header so decompression can pre-allocate.
+    write_varint(&mut out, data.len() as u64);
+
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut chain = vec![usize::MAX; data.len()];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        if to > from {
+            out.push(0x00);
+            write_varint(out, (to - from) as u64);
+            out.extend_from_slice(&data[from..to]);
+        }
+    };
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(&data[i..]);
+            let mut candidate = head[h];
+            let mut steps = 0usize;
+            while candidate != usize::MAX && steps < MAX_CHAIN {
+                if i - candidate <= WINDOW {
+                    let max_len = (data.len() - i).min(MAX_MATCH);
+                    let mut len = 0usize;
+                    while len < max_len && data[candidate + len] == data[i + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = i - candidate;
+                    }
+                } else {
+                    break;
+                }
+                candidate = chain[candidate];
+                steps += 1;
+            }
+            // Insert current position into the chain.
+            chain[i] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i, data);
+            out.push(0x01);
+            write_varint(&mut out, best_dist as u64);
+            write_varint(&mut out, best_len as u64);
+            // Insert the skipped positions into the hash chains too (cheap
+            // and improves later matches).
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= data.len() && j < end {
+                let h = hash4(&data[j..]);
+                chain[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len(), data);
+    out
+}
+
+/// Decompresses data produced by [`lz_compress`]. Returns `None` if the
+/// input is malformed.
+pub fn lz_decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let expected = read_varint(data, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(expected);
+    while pos < data.len() {
+        let control = data[pos];
+        pos += 1;
+        match control {
+            0x00 => {
+                let len = read_varint(data, &mut pos)? as usize;
+                if pos + len > data.len() {
+                    return None;
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                let dist = read_varint(data, &mut pos)? as usize;
+                let len = read_varint(data, &mut pos)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+            _ => return None,
+        }
+    }
+    if out.len() != expected {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(len: usize, seed: u64, repetitiveness: u8) -> Vec<u8> {
+        let mut state = seed | 1;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if (state & 0xFF) as u8 <= repetitiveness && out.len() >= 32 {
+                // Copy a previous run to create matches.
+                let start = (state as usize >> 8) % (out.len() - 16);
+                let run = 8 + (state as usize >> 24) % 24;
+                let run = run.min(len - out.len()).min(out.len() - start);
+                let copied: Vec<u8> = out[start..start + run].to_vec();
+                out.extend_from_slice(&copied);
+            } else {
+                out.push((state >> 32) as u8);
+            }
+        }
+        out.truncate(len);
+        out
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"aaaa", b"abcabcabcabc"] {
+            let compressed = lz_compress(data);
+            assert_eq!(lz_decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_and_repetitive() {
+        for repetitiveness in [0u8, 64, 200] {
+            for len in [100usize, 4096, 100_000] {
+                let data = synthetic(len, 0x1234 + len as u64, repetitiveness);
+                let compressed = lz_compress(&data);
+                let restored = lz_decompress(&compressed).expect("valid stream");
+                assert_eq!(restored, data, "len={len} rep={repetitiveness}");
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_data_actually_compresses() {
+        let unit: Vec<u8> = (0..64u8).collect();
+        let mut data = Vec::new();
+        for _ in 0..256 {
+            data.extend_from_slice(&unit);
+        }
+        let compressed = lz_compress(&data);
+        assert!(
+            compressed.len() * 4 < data.len(),
+            "compressed {} of {}",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaa..." forces matches whose source overlaps the output tail.
+        let data = vec![b'a'; 10_000];
+        let compressed = lz_compress(&data);
+        assert_eq!(lz_decompress(&compressed).unwrap(), data);
+        assert!(compressed.len() < 200);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        assert_eq!(lz_decompress(&[0x05, 0x02]), None); // truncated literal
+        assert_eq!(lz_decompress(&[0x01, 0xFF]), None); // bad control byte
+        // Match before any output exists.
+        let mut bad = Vec::new();
+        super::write_varint(&mut bad, 10);
+        bad.push(0x01);
+        super::write_varint(&mut bad, 4);
+        super::write_varint(&mut bad, 4);
+        assert_eq!(lz_decompress(&bad), None);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for value in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(value));
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

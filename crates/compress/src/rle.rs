@@ -1,0 +1,90 @@
+//! Byte-wise run-length encoding.
+//!
+//! Used by benchmarks that want a *cheap* parallel stage (to explore how the
+//! pipelines behave when the parallel stage no longer dominates), and as a
+//! second, independent codec for differential testing.
+
+/// Compresses `data` as `(count, byte)` pairs with 8-bit counts.
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0usize;
+    while i < data.len() {
+        let byte = data[i];
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == byte {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(byte);
+        i += run;
+    }
+    out
+}
+
+/// Decompresses an RLE stream. Returns `None` on malformed input.
+pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::new();
+    for pair in data.chunks(2) {
+        let count = pair[0] as usize;
+        if count == 0 {
+            return None;
+        }
+        out.extend(std::iter::repeat(pair[1]).take(count));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        for data in [
+            &b""[..],
+            b"a",
+            b"aaaabbbcc",
+            b"abcdefg",
+            &[0u8; 1000],
+            &[7u8; 300],
+        ] {
+            assert_eq!(rle_decompress(&rle_compress(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn runs_longer_than_255_split() {
+        let data = vec![9u8; 1000];
+        let compressed = rle_compress(&data);
+        assert_eq!(compressed.len(), 2 * (1000 / 255 + 1));
+        assert_eq!(rle_decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert_eq!(rle_decompress(&[1]), None); // odd length
+        assert_eq!(rle_decompress(&[0, 5]), None); // zero count
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Bias towards runs.
+                if state & 0x3 == 0 {
+                    0xAA
+                } else {
+                    (state >> 56) as u8
+                }
+            })
+            .collect();
+        assert_eq!(rle_decompress(&rle_compress(&data)).unwrap(), data);
+    }
+}

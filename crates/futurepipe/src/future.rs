@@ -1,0 +1,295 @@
+//! Write-once futures with callback chaining.
+//!
+//! Blelloch and Reid-Miller's pipelining scheme (SPAA 1997, cited as [6] in
+//! the paper) coordinates pipeline stages with *futures*: a stage's output is
+//! a future, and consumers either block on it or attach a continuation. This
+//! module provides that primitive — a single-assignment cell supporting both
+//! blocking [`Future::wait`] and non-blocking [`Future::on_ready`]
+//! continuations — with no scheduler policy attached, so the executor in
+//! [`crate::pipeline`] can decide when continuations run.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Continuations registered before fulfilment.
+type Callback<T> = Box<dyn FnOnce(&T) + Send>;
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+enum State<T> {
+    /// Not yet fulfilled; callbacks wait here.
+    Pending(Vec<Callback<T>>),
+    /// Fulfilled with a value.
+    Ready(Arc<T>),
+}
+
+/// The write side of a future. Dropping a promise without fulfilling it
+/// leaves waiters pending forever, so executors must always fulfil.
+pub struct Promise<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The read side of a future: clonable, waitable, and composable through
+/// [`Future::on_ready`].
+pub struct Future<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a connected promise/future pair.
+pub fn future<T>() -> (Promise<T>, Future<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State::Pending(Vec::new())),
+        ready: Condvar::new(),
+    });
+    (
+        Promise {
+            inner: Arc::clone(&inner),
+        },
+        Future { inner },
+    )
+}
+
+/// Creates a future that is already fulfilled with `value`.
+pub fn ready<T>(value: T) -> Future<T> {
+    let (promise, fut) = future();
+    promise.fulfil(value);
+    fut
+}
+
+impl<T> Promise<T> {
+    /// Fulfils the future, running any registered continuations on the
+    /// calling thread (the executor decides where fulfilment happens, which
+    /// is where continuations should run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the future was already fulfilled: futures are
+    /// single-assignment.
+    pub fn fulfil(self, value: T) {
+        let callbacks = {
+            let mut state = self.inner.state.lock().unwrap();
+            match std::mem::replace(&mut *state, State::Ready(Arc::new(value))) {
+                State::Pending(callbacks) => callbacks,
+                State::Ready(_) => panic!("future fulfilled twice"),
+            }
+        };
+        self.inner.ready.notify_all();
+        if !callbacks.is_empty() {
+            let value = {
+                let state = self.inner.state.lock().unwrap();
+                match &*state {
+                    State::Ready(v) => Arc::clone(v),
+                    State::Pending(_) => unreachable!(),
+                }
+            };
+            for cb in callbacks {
+                cb(&value);
+            }
+        }
+    }
+}
+
+impl<T> Future<T> {
+    /// True if the future has been fulfilled.
+    pub fn is_ready(&self) -> bool {
+        matches!(&*self.inner.state.lock().unwrap(), State::Ready(_))
+    }
+
+    /// Returns the value if already fulfilled.
+    pub fn try_get(&self) -> Option<Arc<T>> {
+        match &*self.inner.state.lock().unwrap() {
+            State::Ready(v) => Some(Arc::clone(v)),
+            State::Pending(_) => None,
+        }
+    }
+
+    /// Blocks the calling thread until the future is fulfilled and returns
+    /// the value.
+    pub fn wait(&self) -> Arc<T> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            match &*state {
+                State::Ready(v) => return Arc::clone(v),
+                State::Pending(_) => {
+                    state = self.inner.ready.wait(state).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Runs `callback` with the value: immediately if the future is already
+    /// fulfilled, otherwise at fulfilment time on the fulfilling thread.
+    pub fn on_ready(&self, callback: impl FnOnce(&T) + Send + 'static) {
+        let mut callback = Some(callback);
+        let immediate = {
+            let mut state = self.inner.state.lock().unwrap();
+            match &mut *state {
+                State::Ready(v) => Some(Arc::clone(v)),
+                State::Pending(callbacks) => {
+                    let cb = callback.take().expect("callback registered once");
+                    callbacks.push(Box::new(cb));
+                    None
+                }
+            }
+        };
+        if let Some(value) = immediate {
+            let cb = callback.take().expect("callback ran once");
+            cb(&value);
+        }
+    }
+}
+
+/// Runs `continuation` once every future in `deps` is fulfilled. The
+/// continuation runs immediately on the calling thread if all dependencies
+/// are already ready, otherwise on the thread that fulfils the last one.
+pub fn when_all<T: Send + Sync + 'static>(
+    deps: &[Future<T>],
+    continuation: impl FnOnce() + Send + 'static,
+) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if deps.is_empty() {
+        continuation();
+        return;
+    }
+    let remaining = Arc::new(AtomicUsize::new(deps.len()));
+    let continuation = Arc::new(Mutex::new(Some(continuation)));
+    for dep in deps {
+        let remaining = Arc::clone(&remaining);
+        let continuation = Arc::clone(&continuation);
+        dep.on_ready(move |_| {
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let f = continuation
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("when_all continuation runs exactly once");
+                f();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn wait_sees_value_fulfilled_from_another_thread() {
+        let (promise, fut) = future::<u64>();
+        let handle = thread::spawn(move || *fut.wait());
+        thread::sleep(std::time::Duration::from_millis(10));
+        promise.fulfil(42);
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn try_get_and_is_ready_track_fulfilment() {
+        let (promise, fut) = future::<String>();
+        assert!(!fut.is_ready());
+        assert!(fut.try_get().is_none());
+        promise.fulfil("done".to_string());
+        assert!(fut.is_ready());
+        assert_eq!(*fut.try_get().unwrap(), "done");
+    }
+
+    #[test]
+    fn on_ready_runs_immediately_if_already_fulfilled() {
+        let fut = ready(7u64);
+        let seen = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&seen);
+        fut.on_ready(move |v| sink.store(*v, Ordering::SeqCst));
+        assert_eq!(seen.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn on_ready_runs_at_fulfilment_otherwise() {
+        let (promise, fut) = future::<u64>();
+        let seen = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&seen);
+        fut.on_ready(move |v| sink.store(*v, Ordering::SeqCst));
+        assert_eq!(seen.load(Ordering::SeqCst), 0);
+        promise.fulfil(9);
+        assert_eq!(seen.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn multiple_callbacks_all_run() {
+        let (promise, fut) = future::<u64>();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let count = Arc::clone(&count);
+            fut.on_ready(move |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        promise.fulfil(1);
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "fulfilled twice")]
+    fn double_fulfilment_panics() {
+        let (promise, fut) = future::<u64>();
+        promise.fulfil(1);
+        // Recreate a promise over the same inner cell to simulate a buggy
+        // executor fulfilling twice.
+        let bogus = Promise {
+            inner: Arc::clone(&fut.inner),
+        };
+        bogus.fulfil(2);
+    }
+
+    #[test]
+    fn when_all_fires_after_the_last_dependency() {
+        let (p1, f1) = future::<u64>();
+        let (p2, f2) = future::<u64>();
+        let (p3, f3) = future::<u64>();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&fired);
+        when_all(&[f1, f2, f3], move || {
+            sink.fetch_add(1, Ordering::SeqCst);
+        });
+        p1.fulfil(1);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        p3.fulfil(3);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        p2.fulfil(2);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn when_all_with_no_dependencies_fires_immediately() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&fired);
+        when_all::<u64>(&[], move || {
+            sink.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_threads_waiting_on_one_future_all_wake() {
+        let (promise, fut) = future::<u64>();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let fut = fut.clone();
+            handles.push(thread::spawn(move || *fut.wait()));
+        }
+        promise.fulfil(123);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 123);
+        }
+    }
+}

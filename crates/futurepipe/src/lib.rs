@@ -1,0 +1,57 @@
+//! **futurepipe** — a futures-based on-the-fly pipelining baseline.
+//!
+//! The paper (Section 1) contrasts Cilk-P's `pipe_while` with the scheme of
+//! Blelloch and Reid-Miller, *Pipelining with futures* (SPAA 1997), in which
+//! pipeline stages are coordinated by futures. Futures are more expressive —
+//! nonlinear pipelines can be wired on the fly — but the paper notes that
+//! "this generality can lead to unbounded space requirements to attain even
+//! modest speedups". This crate implements that baseline so the claim can be
+//! measured against PIPER on the same workloads:
+//!
+//! * [`future`] — write-once futures with blocking waits and continuation
+//!   callbacks (the coordination primitive);
+//! * [`pool`] — a shared-FIFO task pool (ready continuations run on any idle
+//!   worker; deliberately *not* work-stealing, to keep the baseline distinct
+//!   from PIPER);
+//! * [`pipeline`] — [`futures_pipe_while`], a drop-in scheduler for the same
+//!   [`piper::PipelineIteration`] programs that `piper::pipe_while` runs,
+//!   with no throttling by default and space instrumentation
+//!   ([`FuturePipeStats::peak_live_iterations`]) exposing the runaway-pipeline
+//!   behaviour that PIPER's throttling edge prevents.
+//!
+//! # Quick start
+//!
+//! ```
+//! use futurepipe::{futures_pipe_while, FuturePipeOptions};
+//! use piper::{Stage0, NodeOutcome, PipelineIteration};
+//! use std::sync::{Arc, Mutex};
+//!
+//! struct Square { x: u64, out: Arc<Mutex<Vec<u64>>> }
+//! impl PipelineIteration for Square {
+//!     fn run_node(&mut self, stage: u64) -> NodeOutcome {
+//!         match stage {
+//!             1 => { self.x *= self.x; NodeOutcome::WaitFor(2) }
+//!             2 => { self.out.lock().unwrap().push(self.x); NodeOutcome::Done }
+//!             _ => unreachable!(),
+//!         }
+//!     }
+//! }
+//!
+//! let out = Arc::new(Mutex::new(Vec::new()));
+//! let sink = Arc::clone(&out);
+//! futures_pipe_while(FuturePipeOptions::unthrottled(2), move |i| {
+//!     if i == 5 { return Stage0::Stop; }
+//!     Stage0::proceed(Square { x: i + 1, out: Arc::clone(&sink) })
+//! });
+//! assert_eq!(*out.lock().unwrap(), vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod future;
+pub mod pipeline;
+pub mod pool;
+
+pub use future::{future, ready, when_all, Future, Promise};
+pub use pipeline::{futures_pipe_while, FuturePipeOptions, FuturePipeStats};
+pub use pool::TaskPool;

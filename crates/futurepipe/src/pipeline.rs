@@ -1,0 +1,607 @@
+//! A futures-coordinated on-the-fly pipeline executor.
+//!
+//! This is the baseline the paper contrasts PIPER with in Section 1: the
+//! scheme of Blelloch and Reid-Miller (reference [6]) coordinates pipeline
+//! stages with futures. It is *more* expressive than `pipe_while` — any dag
+//! wiring of futures is allowed — but, as the paper notes (citing [7]),
+//! "this generality can lead to unbounded space requirements to attain even
+//! modest speedups". This executor reproduces that behaviour:
+//!
+//! * iterations of a linear pipeline are spawned **eagerly** by the producer,
+//!   with no throttling edge limiting how far the first stage may run ahead;
+//! * each cross and stage dependency is a future; a node schedules its
+//!   successor by registering a continuation on the future it needs;
+//! * [`FuturePipeStats::peak_live_iterations`] records the resulting space
+//!   high-water mark, which grows with the iteration count whenever a later
+//!   serial stage is the bottleneck — exactly the "runaway pipeline" PIPER's
+//!   throttling precludes.
+//!
+//! The executor accepts the same [`PipelineIteration`] programs as
+//! [`piper::pipe_while`], so every workload in this repository can be run on
+//! both schedulers and their space compared (see the `fig_futures_space`
+//! bench binary).
+//!
+//! An optional `throttle_limit` is provided purely for the comparison: with
+//! it set, the producer blocks when the window fills, mimicking PIPER's
+//! throttling edge (at the producer rather than in the scheduler).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use piper::{NodeOutcome, PipelineIteration, Stage0};
+
+use crate::future::{ready, Future, Promise};
+use crate::pool::TaskPool;
+
+/// Options for [`futures_pipe_while`].
+#[derive(Debug, Clone)]
+pub struct FuturePipeOptions {
+    /// Number of worker threads executing ready nodes.
+    pub workers: usize,
+    /// Maximum number of simultaneously live iterations, or `None` for the
+    /// unthrottled futures baseline.
+    pub throttle_limit: Option<usize>,
+}
+
+impl Default for FuturePipeOptions {
+    fn default() -> Self {
+        FuturePipeOptions {
+            workers: 2,
+            throttle_limit: None,
+        }
+    }
+}
+
+impl FuturePipeOptions {
+    /// Options with `workers` worker threads and no throttling.
+    pub fn unthrottled(workers: usize) -> Self {
+        FuturePipeOptions {
+            workers,
+            throttle_limit: None,
+        }
+    }
+
+    /// Options with `workers` worker threads and a producer-side window of
+    /// `k` live iterations.
+    pub fn throttled(workers: usize, k: usize) -> Self {
+        FuturePipeOptions {
+            workers,
+            throttle_limit: Some(k.max(1)),
+        }
+    }
+}
+
+/// Execution statistics of one [`futures_pipe_while`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuturePipeStats {
+    /// Iterations started (and completed).
+    pub iterations: u64,
+    /// Nodes executed across all iterations.
+    pub nodes: u64,
+    /// High-water mark of iterations that were started but not yet complete —
+    /// the pipeline's space requirement in iteration frames.
+    pub peak_live_iterations: u64,
+    /// Tasks submitted to the futures pool (nodes plus continuations).
+    pub tasks_spawned: u64,
+}
+
+/// Tracks how far an iteration has progressed so that the next iteration's
+/// cross edges (including those into null nodes) can be resolved.
+struct IterationProgress {
+    /// The smallest stage number not yet known to be complete: the stage of
+    /// the node currently running or waiting to run. Every stage below the
+    /// frontier is complete or null.
+    frontier: AtomicU64,
+    done: AtomicBool,
+    /// Waiters keyed by the stage whose completion they need.
+    waiters: Mutex<Vec<(u64, Promise<()>)>>,
+}
+
+impl IterationProgress {
+    fn new(first_stage: u64) -> Self {
+        IterationProgress {
+            frontier: AtomicU64::new(first_stage),
+            done: AtomicBool::new(false),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns a future fulfilled once stage `stage` of this iteration has
+    /// completed (or turned out to be a null node the iteration skipped).
+    fn completion_of(&self, stage: u64) -> Future<()> {
+        if self.satisfied(stage) {
+            return ready(());
+        }
+        let (promise, fut) = crate::future::future();
+        {
+            let mut waiters = self.waiters.lock().unwrap();
+            // Re-check under the lock to avoid racing with an advance.
+            if self.satisfied(stage) {
+                drop(waiters);
+                promise.fulfil(());
+                return fut;
+            }
+            waiters.push((stage, promise));
+        }
+        fut
+    }
+
+    fn satisfied(&self, stage: u64) -> bool {
+        self.done.load(Ordering::Acquire) || self.frontier.load(Ordering::Acquire) > stage
+    }
+
+    /// Announces that every stage below `next_stage` is complete or null.
+    fn advance_to(&self, next_stage: u64) {
+        self.frontier.fetch_max(next_stage, Ordering::AcqRel);
+        self.release_waiters();
+    }
+
+    /// Marks the iteration complete, releasing every waiter.
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        self.release_waiters();
+    }
+
+    fn release_waiters(&self) {
+        let released: Vec<Promise<()>> = {
+            let mut waiters = self.waiters.lock().unwrap();
+            let mut released = Vec::new();
+            let mut kept = Vec::with_capacity(waiters.len());
+            for (stage, promise) in waiters.drain(..) {
+                if self.satisfied(stage) {
+                    released.push(promise);
+                } else {
+                    kept.push((stage, promise));
+                }
+            }
+            *waiters = kept;
+            released
+        };
+        for promise in released {
+            promise.fulfil(());
+        }
+    }
+}
+
+/// Shared bookkeeping for one pipeline execution.
+struct ExecState {
+    pool: Arc<TaskPool>,
+    nodes: AtomicU64,
+    peak_live: AtomicU64,
+    window: Mutex<WindowState>,
+    window_changed: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct WindowState {
+    live: u64,
+    completed: u64,
+    spawned: u64,
+}
+
+impl ExecState {
+    fn iteration_started(&self) {
+        let mut window = self.window.lock().unwrap();
+        window.live += 1;
+        window.spawned += 1;
+        let live = window.live;
+        drop(window);
+        self.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn iteration_finished(&self) {
+        let mut window = self.window.lock().unwrap();
+        window.live -= 1;
+        window.completed += 1;
+        drop(window);
+        self.window_changed.notify_all();
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// Executes a linear pipeline coordinated by futures.
+///
+/// The programming model is identical to [`piper::pipe_while`] — the same
+/// producer closure and [`PipelineIteration`] implementations run unchanged —
+/// but the scheduling is the futures baseline described in the
+/// [module documentation](self).
+pub fn futures_pipe_while<F, I>(options: FuturePipeOptions, mut producer: F) -> FuturePipeStats
+where
+    F: FnMut(u64) -> Stage0<I>,
+    I: PipelineIteration,
+{
+    let pool = Arc::new(TaskPool::new(options.workers));
+    let exec = Arc::new(ExecState {
+        pool: Arc::clone(&pool),
+        nodes: AtomicU64::new(0),
+        peak_live: AtomicU64::new(0),
+        window: Mutex::new(WindowState {
+            live: 0,
+            completed: 0,
+            spawned: 0,
+        }),
+        window_changed: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    let mut previous: Option<Arc<IterationProgress>> = None;
+    let mut index = 0u64;
+    loop {
+        // Producer-side throttling (only when requested; the futures
+        // baseline default is unthrottled).
+        if let Some(limit) = options.throttle_limit {
+            let mut window = exec.window.lock().unwrap();
+            while window.live >= limit as u64 {
+                window = exec.window_changed.wait(window).unwrap();
+            }
+        }
+        if exec.panic.lock().unwrap().is_some() {
+            break;
+        }
+        match producer(index) {
+            Stage0::Stop => break,
+            Stage0::Proceed {
+                state,
+                first_stage,
+                wait,
+            } => {
+                let first_stage = first_stage.max(1);
+                exec.iteration_started();
+                let progress = Arc::new(IterationProgress::new(first_stage));
+                let entry: Future<()> = match (&previous, wait) {
+                    (Some(prev), true) => prev.completion_of(first_stage),
+                    _ => ready(()),
+                };
+                let exec2 = Arc::clone(&exec);
+                let progress2 = Arc::clone(&progress);
+                let prev2 = previous.clone();
+                entry.on_ready(move |_| {
+                    schedule_node(exec2, progress2, prev2, state, first_stage);
+                });
+                previous = Some(progress);
+                index += 1;
+            }
+        }
+    }
+
+    // Wait for every spawned iteration to drain.
+    {
+        let mut window = exec.window.lock().unwrap();
+        while window.completed < window.spawned {
+            window = exec.window_changed.wait(window).unwrap();
+        }
+    }
+    let stats = FuturePipeStats {
+        iterations: exec.window.lock().unwrap().completed,
+        nodes: exec.nodes.load(Ordering::Relaxed),
+        peak_live_iterations: exec.peak_live.load(Ordering::Relaxed),
+        tasks_spawned: pool.submitted(),
+    };
+    let panic = exec.panic.lock().unwrap().take();
+    drop(exec);
+    drop(pool);
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    stats
+}
+
+/// Submits the node at `stage` of the iteration tracked by `progress` to the
+/// pool, continuing the iteration until it completes or suspends on a cross
+/// edge.
+fn schedule_node<I: PipelineIteration>(
+    exec: Arc<ExecState>,
+    progress: Arc<IterationProgress>,
+    previous: Option<Arc<IterationProgress>>,
+    state: I,
+    stage: u64,
+) {
+    let pool = Arc::clone(&exec.pool);
+    pool.submit(move || run_nodes(exec, progress, previous, state, stage));
+}
+
+fn run_nodes<I: PipelineIteration>(
+    exec: Arc<ExecState>,
+    progress: Arc<IterationProgress>,
+    previous: Option<Arc<IterationProgress>>,
+    mut state: I,
+    mut stage: u64,
+) {
+    loop {
+        if exec.panic.lock().unwrap().is_some() {
+            // A sibling iteration panicked: drain without running more user
+            // code so the executor can shut down cleanly.
+            progress.finish();
+            exec.iteration_finished();
+            return;
+        }
+        let outcome =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.run_node(stage))) {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    exec.record_panic(payload);
+                    progress.finish();
+                    exec.iteration_finished();
+                    return;
+                }
+            };
+        exec.nodes.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            NodeOutcome::ContinueTo(next) => {
+                assert!(next > stage, "stage numbers must strictly increase");
+                progress.advance_to(next);
+                stage = next;
+            }
+            NodeOutcome::WaitFor(next) => {
+                assert!(next > stage, "stage numbers must strictly increase");
+                progress.advance_to(next);
+                match &previous {
+                    Some(prev) if !prev.satisfied(next) => {
+                        // Suspend: re-schedule the rest of the iteration when
+                        // the cross edge is satisfied.
+                        let cross = prev.completion_of(next);
+                        let exec2 = Arc::clone(&exec);
+                        let progress2 = Arc::clone(&progress);
+                        let prev2 = previous.clone();
+                        cross.on_ready(move |_| {
+                            schedule_node(exec2, progress2, prev2, state, next);
+                        });
+                        return;
+                    }
+                    _ => {
+                        stage = next;
+                    }
+                }
+            }
+            NodeOutcome::Done => {
+                progress.finish();
+                exec.iteration_finished();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Sps {
+        i: u64,
+        out: Arc<Mutex<Vec<u64>>>,
+        spin: u64,
+    }
+
+    impl PipelineIteration for Sps {
+        fn run_node(&mut self, stage: u64) -> NodeOutcome {
+            match stage {
+                1 => {
+                    let mut acc = self.i;
+                    for k in 0..self.spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    NodeOutcome::WaitFor(2)
+                }
+                2 => {
+                    self.out.lock().unwrap().push(self.i);
+                    NodeOutcome::Done
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn run_sps(options: FuturePipeOptions, n: u64, spin: u64) -> (Vec<u64>, FuturePipeStats) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        let stats = futures_pipe_while(options, move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(Sps {
+                i,
+                out: Arc::clone(&sink),
+                spin,
+            })
+        });
+        let result = out.lock().unwrap().clone();
+        (result, stats)
+    }
+
+    #[test]
+    fn empty_pipeline_completes() {
+        let stats = futures_pipe_while(FuturePipeOptions::default(), |_i| Stage0::<Sps>::Stop);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn sps_pipeline_preserves_serial_output_order() {
+        let (out, stats) = run_sps(FuturePipeOptions::unthrottled(4), 200, 200);
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+        assert_eq!(stats.iterations, 200);
+        assert_eq!(stats.nodes, 400);
+    }
+
+    #[test]
+    fn fully_serial_pipeline_is_ordered_even_with_many_workers() {
+        struct Serial {
+            i: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl PipelineIteration for Serial {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                match stage {
+                    1 => NodeOutcome::WaitFor(2),
+                    2 => NodeOutcome::WaitFor(3),
+                    3 => {
+                        self.out.lock().unwrap().push(self.i);
+                        NodeOutcome::Done
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        let n = 150;
+        futures_pipe_while(FuturePipeOptions::unthrottled(4), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::wait(Serial {
+                i,
+                out: Arc::clone(&sink),
+            })
+        });
+        assert_eq!(*out.lock().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unthrottled_run_lets_the_producer_run_away() {
+        // The serial output stage is the bottleneck (heavy spin in stage 1
+        // keeps the workers busy), so the producer sprints ahead and the
+        // space high-water mark approaches the iteration count — exactly the
+        // runaway pipeline the paper's throttling prevents.
+        let n = 400;
+        let (_, stats) = run_sps(FuturePipeOptions::unthrottled(2), n, 2_000);
+        assert!(
+            stats.peak_live_iterations > n / 4,
+            "unthrottled futures pipeline should run away (peak {} of {})",
+            stats.peak_live_iterations,
+            n
+        );
+    }
+
+    #[test]
+    fn producer_side_throttling_bounds_live_iterations() {
+        for k in [1u64, 2, 8, 16] {
+            let (out, stats) = run_sps(FuturePipeOptions::throttled(3, k as usize), 120, 500);
+            assert_eq!(out.len(), 120);
+            assert!(
+                stats.peak_live_iterations <= k,
+                "K={k}: peak {}",
+                stats.peak_live_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn stage_skipping_entry_and_varying_stage_counts_work() {
+        struct Skipper {
+            i: u64,
+            log: Arc<Mutex<Vec<(u64, u64)>>>,
+        }
+        impl PipelineIteration for Skipper {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                self.log.lock().unwrap().push((self.i, stage));
+                if self.i % 2 == 0 {
+                    match stage {
+                        s if s == 1 + self.i => NodeOutcome::WaitFor(100),
+                        100 => NodeOutcome::Done,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    NodeOutcome::Done
+                }
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let n = 40;
+        let stats = futures_pipe_while(FuturePipeOptions::unthrottled(3), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::into_stage(
+                Skipper {
+                    i,
+                    log: Arc::clone(&sink),
+                },
+                1 + i,
+                i % 3 == 0,
+            )
+        });
+        assert_eq!(stats.iterations, n);
+        let log = log.lock().unwrap();
+        for i in 0..n {
+            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            if i % 2 == 0 {
+                assert_eq!(stages, vec![1 + i, 100]);
+            } else {
+                assert_eq!(stages, vec![1 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_a_node_propagates_after_draining() {
+        struct Panicky {
+            i: u64,
+        }
+        impl PipelineIteration for Panicky {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                if self.i == 7 {
+                    panic!("futures node panic");
+                }
+                NodeOutcome::Done
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            futures_pipe_while(FuturePipeOptions::unthrottled(2), move |i| {
+                if i == 20 {
+                    return Stage0::Stop;
+                }
+                Stage0::wait(Panicky { i })
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_program_runs_on_piper_and_futures_with_equal_output() {
+        // The two schedulers accept identical programs; outputs must match.
+        let run_futures = || {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&out);
+            futures_pipe_while(FuturePipeOptions::unthrottled(3), move |i| {
+                if i == 64 {
+                    return Stage0::Stop;
+                }
+                Stage0::proceed(Sps {
+                    i,
+                    out: Arc::clone(&sink),
+                    spin: 50,
+                })
+            });
+            let result: Vec<_> = out.lock().unwrap().clone();
+            result
+        };
+        let run_piper = || {
+            let pool = piper::ThreadPool::new(3);
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&out);
+            pool.pipe_while(piper::PipeOptions::default(), move |i| {
+                if i == 64 {
+                    return Stage0::Stop;
+                }
+                Stage0::proceed(Sps {
+                    i,
+                    out: Arc::clone(&sink),
+                    spin: 50,
+                })
+            });
+            let result: Vec<_> = out.lock().unwrap().clone();
+            result
+        };
+        assert_eq!(run_futures(), run_piper());
+    }
+}

@@ -1,0 +1,245 @@
+//! A small shared-queue task pool for the futures executor.
+//!
+//! The Blelloch–Reid-Miller-style baseline does not need (and historically
+//! did not have) a work-stealing scheduler: stages become ready when their
+//! futures are fulfilled and any idle worker may run them. A single shared
+//! FIFO queue with a condition variable captures that model and keeps the
+//! baseline clearly distinct from PIPER's per-worker deques.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type TaskFn = Box<dyn FnOnce() + Send>;
+
+/// Queue state protected by a single mutex so that the sleep/wake protocol
+/// has no lost-wakeup windows.
+struct QueueState {
+    queue: VecDeque<TaskFn>,
+    /// Tasks currently executing on some worker.
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that a task arrived or shutdown began.
+    work_available: Condvar,
+    /// Signals `wait_idle` callers that the pool may have drained.
+    maybe_idle: Condvar,
+    /// Tasks ever submitted (for statistics).
+    submitted: AtomicU64,
+    /// High-water mark of queued-but-not-started tasks.
+    peak_queue_len: AtomicUsize,
+}
+
+/// A fixed-size pool of worker threads executing submitted closures FIFO.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            maybe_idle: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            peak_queue_len: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("futurepipe-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn futurepipe worker")
+            })
+            .collect();
+        TaskPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a task for execution.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let len = {
+            let mut state = self.shared.state.lock().unwrap();
+            state.queue.push_back(Box::new(task));
+            state.queue.len()
+        };
+        self.shared.peak_queue_len.fetch_max(len, Ordering::Relaxed);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Blocks until the queue is empty and no task is running.
+    ///
+    /// Only meaningful when the caller knows no further tasks will be
+    /// submitted from outside the pool (tasks submitted *by* running tasks
+    /// are awaited correctly).
+    pub fn wait_idle(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while !(state.queue.is_empty() && state.running == 0) {
+            state = self.shared.maybe_idle.wait(state).unwrap();
+        }
+    }
+
+    /// Total tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of tasks queued but not yet started.
+    pub fn peak_queue_len(&self) -> usize {
+        self.shared.peak_queue_len.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(task) = state.queue.pop_front() {
+                    state.running += 1;
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_available.wait(state).unwrap();
+            }
+        };
+        task();
+        {
+            let mut state = shared.state.lock().unwrap();
+            state.running -= 1;
+        }
+        shared.maybe_idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_submitted_tasks_run() {
+        let pool = TaskPool::new(4);
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn tasks_submitted_by_tasks_are_awaited() {
+        let pool = Arc::new(TaskPool::new(3));
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let pool2 = Arc::clone(&pool);
+            let count = Arc::clone(&count);
+            pool.submit(move || {
+                for _ in 0..50 {
+                    let count = Arc::clone(&count);
+                    pool2.submit(move || {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn wait_idle_on_an_empty_pool_returns_immediately() {
+        let pool = TaskPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.submitted(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_preserves_fifo_order() {
+        let pool = TaskPool::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..100u32 {
+            let log = Arc::clone(&log);
+            pool.submit(move || log.lock().unwrap().push(i));
+        }
+        pool.wait_idle();
+        assert_eq!(*log.lock().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peak_queue_len_reflects_backlog() {
+        let pool = TaskPool::new(1);
+        // Block the only worker so submissions pile up.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        for _ in 0..64 {
+            pool.submit(|| {});
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.wait_idle();
+        assert!(pool.peak_queue_len() >= 64);
+        assert_eq!(pool.submitted(), 65);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let count = Arc::new(AtomicU64::new(0));
+        {
+            let pool = TaskPool::new(2);
+            for _ in 0..100 {
+                let count = Arc::clone(&count);
+                pool.submit(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_idle();
+        } // drop joins
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,203 @@
+//! Earth Mover's Distance between region signatures.
+//!
+//! The real ferret ranks candidate images with the Earth Mover's Distance
+//! (EMD) between their segmented-region signatures: each image is a set of
+//! weighted regions, and the distance is the minimum cost of transporting
+//! one image's region weights onto the other's. Solving the transportation
+//! problem exactly requires an LP; ferret (and this module) use the standard
+//! greedy approximation, which is deterministic, cheap, and admits the exact
+//! closed form in one dimension (used by the tests as an oracle).
+
+use crate::segment::Region;
+
+/// A weighted point in feature space: the projection of a [`Region`] used by
+/// the transportation problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignaturePoint {
+    /// Feature value (here: mean intensity, normalised to `[0, 1]`).
+    pub value: f32,
+    /// Weight (the region's share of the image's pixels). Weights of one
+    /// signature sum to 1.
+    pub weight: f32,
+}
+
+/// An image signature: the weighted regions produced by segmentation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Signature {
+    /// The signature's weighted points, in any order.
+    pub points: Vec<SignaturePoint>,
+}
+
+impl Signature {
+    /// Builds a signature from segmentation regions (intensity normalised to
+    /// `[0, 1]`).
+    pub fn from_regions(regions: &[Region]) -> Signature {
+        Signature {
+            points: regions
+                .iter()
+                .map(|r| SignaturePoint {
+                    value: r.mean_intensity / 255.0,
+                    weight: r.weight,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total weight of the signature (≈ 1 for a full segmentation).
+    pub fn total_weight(&self) -> f32 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+}
+
+/// Greedy Earth Mover's Distance between two signatures: repeatedly moves as
+/// much weight as possible along the cheapest remaining (source, sink) pair.
+/// In one dimension (scalar `value`s) the greedy solution of the
+/// transportation problem is optimal, so this equals the true EMD.
+pub fn emd(a: &Signature, b: &Signature) -> f32 {
+    if a.points.is_empty() || b.points.is_empty() {
+        return if a.points.is_empty() && b.points.is_empty() {
+            0.0
+        } else {
+            f32::MAX
+        };
+    }
+    // Sort both sides by value; sweeping in order is the optimal 1-D
+    // transportation plan.
+    let mut supply: Vec<SignaturePoint> = a.points.clone();
+    let mut demand: Vec<SignaturePoint> = b.points.clone();
+    supply.sort_by(|x, y| x.value.partial_cmp(&y.value).unwrap());
+    demand.sort_by(|x, y| x.value.partial_cmp(&y.value).unwrap());
+
+    let total_flow = a.total_weight().min(b.total_weight());
+    let mut cost = 0.0f64;
+    let mut moved = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut remaining_supply = supply[0].weight;
+    let mut remaining_demand = demand[0].weight;
+    while i < supply.len() && j < demand.len() {
+        let flow = remaining_supply.min(remaining_demand);
+        if flow > 0.0 {
+            cost += flow as f64 * (supply[i].value - demand[j].value).abs() as f64;
+            moved += flow as f64;
+        }
+        remaining_supply -= flow;
+        remaining_demand -= flow;
+        if remaining_supply <= f32::EPSILON {
+            i += 1;
+            if i < supply.len() {
+                remaining_supply = supply[i].weight;
+            }
+        }
+        if remaining_demand <= f32::EPSILON {
+            j += 1;
+            if j < demand.len() {
+                remaining_demand = demand[j].weight;
+            }
+        }
+    }
+    if moved <= 0.0 || total_flow <= 0.0 {
+        return 0.0;
+    }
+    (cost / moved as f64) as f32
+}
+
+/// Exact 1-D EMD between two *histograms* with equal total mass: the L1
+/// distance between their cumulative distributions (used as a test oracle
+/// and for histogram-feature ranking).
+pub fn emd_histogram(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "histograms must have the same length");
+    let mut cumulative = 0.0f64;
+    let mut total = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        cumulative += (*x - *y) as f64;
+        total += cumulative.abs();
+    }
+    total as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::segment;
+    use crate::Image;
+
+    fn sig(points: &[(f32, f32)]) -> Signature {
+        Signature {
+            points: points
+                .iter()
+                .map(|&(value, weight)| SignaturePoint { value, weight })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_signatures_have_zero_distance() {
+        let s = sig(&[(0.2, 0.5), (0.8, 0.5)]);
+        assert!(emd(&s, &s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let a = sig(&[(0.1, 0.3), (0.5, 0.7)]);
+        let b = sig(&[(0.4, 0.6), (0.9, 0.4)]);
+        assert!((emd(&a, &b) - emd(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_signatures_reduce_to_absolute_difference() {
+        let a = sig(&[(0.25, 1.0)]);
+        let b = sig(&[(0.75, 1.0)]);
+        assert!((emd(&a, &b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moving_mass_further_costs_more() {
+        let base = sig(&[(0.5, 1.0)]);
+        let near = sig(&[(0.6, 1.0)]);
+        let far = sig(&[(0.9, 1.0)]);
+        assert!(emd(&base, &near) < emd(&base, &far));
+    }
+
+    #[test]
+    fn split_mass_matches_the_hand_computed_plan() {
+        // Supply: 0.5 at 0.0 and 0.5 at 1.0; demand: all at 0.5.
+        // Optimal plan moves each half a distance of 0.5: EMD = 0.5.
+        let a = sig(&[(0.0, 0.5), (1.0, 0.5)]);
+        let b = sig(&[(0.5, 1.0)]);
+        assert!((emd(&a, &b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_emd_matches_cumulative_formula() {
+        let a = [0.5f32, 0.5, 0.0, 0.0];
+        let b = [0.0f32, 0.0, 0.5, 0.5];
+        // Cumulative differences: 0.5, 1.0, 0.5, 0.0 → EMD = 2.0.
+        assert!((emd_histogram(&a, &b) - 2.0).abs() < 1e-6);
+        assert!(emd_histogram(&a, &a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_signatures_are_handled() {
+        let empty = Signature::default();
+        let s = sig(&[(0.3, 1.0)]);
+        assert_eq!(emd(&empty, &empty), 0.0);
+        assert_eq!(emd(&empty, &s), f32::MAX);
+    }
+
+    #[test]
+    fn segmented_images_of_the_same_class_are_closer_than_other_classes() {
+        let classes = 6u64;
+        let base = Image::synthetic(2, classes, 32, 32);
+        let same_class = Image::synthetic(2 + classes, classes, 32, 32);
+        let other_class = Image::synthetic(3, classes, 32, 32);
+
+        let to_sig = |img: &Image| Signature::from_regions(&segment(img, 4).regions);
+        let base_sig = to_sig(&base);
+        let near = emd(&base_sig, &to_sig(&same_class));
+        let far = emd(&base_sig, &to_sig(&other_class));
+        assert!(
+            near <= far,
+            "same-class EMD {near} should not exceed cross-class EMD {far}"
+        );
+    }
+}

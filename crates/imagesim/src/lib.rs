@@ -1,0 +1,278 @@
+//! Image-similarity substrate: the work done by the stages of the ferret
+//! workload.
+//!
+//! PARSEC's ferret is a content-based similarity search: for each query
+//! image it extracts features, probes an index of a large image database,
+//! and ranks candidates to produce the top-k most similar images. Its
+//! pipeline shape (Figure 1 of the paper) is serial–parallel–serial: a
+//! serial input stage, a heavy parallel stage doing
+//! segmentation/extraction/indexing/ranking, and a serial output stage.
+//!
+//! The real ferret depends on proprietary image data and the `cass` library;
+//! this crate provides a synthetic but structurally equivalent substitute:
+//!
+//! * [`Image`] — deterministic pseudo-random grayscale images,
+//! * [`features`] — block-histogram feature extraction (the "vectorization"
+//!   step),
+//! * [`Index`] — an in-memory database of feature vectors with approximate
+//!   candidate probing and exact top-k ranking.
+//!
+//! The amount of work per query is configurable so the benchmark harness
+//! can reproduce a heavy parallel stage (`r ≫ 1` in the paper's analysis).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod emd;
+pub mod segment;
+
+/// A synthetic grayscale image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel data.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Generates a deterministic synthetic image for `id`. Images with the
+    /// same `class` (id modulo `classes`) share low-frequency structure, so
+    /// that similarity search has actual structure to find.
+    pub fn synthetic(id: u64, classes: u64, width: usize, height: usize) -> Image {
+        let class = id % classes.max(1);
+        let mut rng = StdRng::seed_from_u64(0xFE44E7 ^ (class.wrapping_mul(0x9E3779B97F4A7C15)));
+        // Class-dependent structure: a low-frequency pattern plus a
+        // class-specific brightness/contrast signature (block histograms
+        // capture the latter very reliably, giving the index real classes to
+        // discover).
+        let fx = rng.gen_range(1..6) as f64;
+        let fy = rng.gen_range(1..6) as f64;
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let brightness = rng.gen_range(-70.0..70.0);
+        let amplitude = rng.gen_range(30.0..110.0);
+        // Instance-dependent noise.
+        let mut noise = StdRng::seed_from_u64(0xA11CE ^ id.wrapping_mul(0x2545F4914F6CDD1D));
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let u = x as f64 / width as f64;
+                let v = y as f64 / height as f64;
+                let base = ((u * fx + v * fy) * std::f64::consts::TAU + phase).sin();
+                let value = 128.0 + brightness + amplitude * base + noise.gen_range(-15.0..15.0);
+                pixels.push(value.clamp(0.0, 255.0) as u8);
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+}
+
+/// Number of blocks per image side used by feature extraction.
+pub const FEATURE_GRID: usize = 4;
+/// Number of histogram bins per block.
+pub const FEATURE_BINS: usize = 8;
+/// Total feature-vector dimensionality.
+pub const FEATURE_DIM: usize = FEATURE_GRID * FEATURE_GRID * FEATURE_BINS;
+
+/// A feature vector extracted from an image.
+pub type Features = Vec<f32>;
+
+/// Extracts block-histogram features: the image is divided into a
+/// `FEATURE_GRID`×`FEATURE_GRID` grid and each block contributes a
+/// normalised `FEATURE_BINS`-bin intensity histogram.
+pub fn features(image: &Image) -> Features {
+    let mut feats = vec![0.0f32; FEATURE_DIM];
+    let bw = (image.width / FEATURE_GRID).max(1);
+    let bh = (image.height / FEATURE_GRID).max(1);
+    for y in 0..image.height {
+        for x in 0..image.width {
+            let bx = (x / bw).min(FEATURE_GRID - 1);
+            let by = (y / bh).min(FEATURE_GRID - 1);
+            let p = image.pixels[y * image.width + x] as usize;
+            let bin = p * FEATURE_BINS / 256;
+            feats[(by * FEATURE_GRID + bx) * FEATURE_BINS + bin] += 1.0;
+        }
+    }
+    let block = (bw * bh) as f32;
+    for f in &mut feats {
+        *f /= block;
+    }
+    feats
+}
+
+/// Squared Euclidean distance between two feature vectors.
+pub fn distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// An in-memory feature database with bucketed candidate probing.
+#[derive(Debug, Clone)]
+pub struct Index {
+    entries: Vec<(u64, Features)>,
+    /// Coarse buckets keyed by a quantised projection of the feature vector,
+    /// which narrows the candidate set before exact ranking (an LSH-style
+    /// shortcut, standing in for ferret's `cass` index).
+    buckets: Vec<Vec<usize>>,
+    num_buckets: usize,
+}
+
+impl Index {
+    /// Builds an index over `database_size` synthetic images.
+    pub fn build_synthetic(database_size: usize, classes: u64, width: usize, height: usize) -> Index {
+        let num_buckets = 64;
+        let mut entries = Vec::with_capacity(database_size);
+        let mut buckets = vec![Vec::new(); num_buckets];
+        for id in 0..database_size as u64 {
+            let image = Image::synthetic(id, classes, width, height);
+            let feats = features(&image);
+            let b = Self::bucket_of(&feats, num_buckets);
+            buckets[b].push(entries.len());
+            entries.push((id, feats));
+        }
+        Index {
+            entries,
+            buckets,
+            num_buckets,
+        }
+    }
+
+    fn bucket_of(feats: &[f32], num_buckets: usize) -> usize {
+        // Project onto a fixed pattern and quantise.
+        let mut acc = 0.0f32;
+        for (i, f) in feats.iter().enumerate() {
+            let sign = if i % 3 == 0 { 1.0 } else { -0.5 };
+            acc += f * sign;
+        }
+        ((acc.abs() * 8.0) as usize) % num_buckets
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds the `k` most similar database images to the query features.
+    /// `probe_factor` controls how many extra buckets are probed (more work,
+    /// better recall), which is how the benchmark harness tunes the weight
+    /// of ferret's parallel stage.
+    pub fn query(&self, query: &[f32], k: usize, probe_factor: usize) -> Vec<(u64, f32)> {
+        let home = Self::bucket_of(query, self.num_buckets);
+        let mut candidates: Vec<usize> = Vec::new();
+        let probes = (1 + probe_factor).min(self.num_buckets);
+        for offset in 0..probes {
+            let b = (home + offset) % self.num_buckets;
+            candidates.extend_from_slice(&self.buckets[b]);
+        }
+        // Fall back to scanning everything when probing found too little.
+        if candidates.len() < k {
+            candidates = (0..self.entries.len()).collect();
+        }
+        let mut scored: Vec<(u64, f32)> = candidates
+            .into_iter()
+            .map(|idx| {
+                let (id, feats) = &self.entries[idx];
+                (*id, distance(query, feats))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_images_are_deterministic() {
+        let a = Image::synthetic(5, 10, 32, 32);
+        let b = Image::synthetic(5, 10, 32, 32);
+        assert_eq!(a.pixels, b.pixels);
+        let c = Image::synthetic(6, 10, 32, 32);
+        assert_ne!(a.pixels, c.pixels);
+    }
+
+    #[test]
+    fn features_have_expected_dimension_and_normalisation() {
+        let image = Image::synthetic(1, 4, 64, 64);
+        let f = features(&image);
+        assert_eq!(f.len(), FEATURE_DIM);
+        // Each block's histogram sums to ~1 after normalisation.
+        for block in f.chunks(FEATURE_BINS) {
+            let sum: f32 = block.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "block sum {sum}");
+        }
+    }
+
+    #[test]
+    fn distance_is_zero_for_identical_vectors() {
+        let image = Image::synthetic(7, 4, 32, 32);
+        let f = features(&image);
+        assert_eq!(distance(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn query_returns_self_as_best_match() {
+        let index = Index::build_synthetic(200, 10, 32, 32);
+        for id in [0u64, 17, 63, 150] {
+            let image = Image::synthetic(id, 10, 32, 32);
+            let f = features(&image);
+            let top = index.query(&f, 5, 64);
+            assert_eq!(top[0].0, id, "query {id} should match itself first");
+            assert!(top[0].1 <= top[1].1);
+        }
+    }
+
+    #[test]
+    fn same_class_images_rank_higher_than_other_classes() {
+        let classes = 8u64;
+        let index = Index::build_synthetic(160, classes, 32, 32);
+        // A fresh image of class 3 (id beyond the database range).
+        let query_img = Image::synthetic(3 + 10 * classes, classes, 32, 32);
+        let f = features(&query_img);
+        let top = index.query(&f, 10, 64);
+        let same_class = top.iter().filter(|(id, _)| id % classes == 3).count();
+        assert!(
+            same_class >= 6,
+            "expected most of the top-10 to be class 3, got {same_class}"
+        );
+    }
+
+    #[test]
+    fn query_respects_k() {
+        let index = Index::build_synthetic(50, 5, 16, 16);
+        let f = features(&Image::synthetic(1, 5, 16, 16));
+        assert_eq!(index.query(&f, 3, 2).len(), 3);
+        assert_eq!(index.query(&f, 100, 2).len(), 50);
+    }
+
+    #[test]
+    fn probe_factor_increases_work_but_keeps_correct_top1() {
+        let index = Index::build_synthetic(300, 10, 32, 32);
+        let f = features(&Image::synthetic(42, 10, 32, 32));
+        let narrow = index.query(&f, 1, 64);
+        let wide = index.query(&f, 1, 0);
+        assert_eq!(narrow[0].0, 42);
+        // With few probes the best match may differ, but it must still be a
+        // valid database id.
+        assert!(wide[0].0 < 300);
+    }
+}

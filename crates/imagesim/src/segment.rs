@@ -1,0 +1,217 @@
+//! Image segmentation: the first processing stage of the real ferret
+//! pipeline.
+//!
+//! PARSEC's ferret runs each query image through *segmentation* before
+//! feature extraction: the image is split into a handful of regions and a
+//! feature vector is extracted per region, so that the similarity measure
+//! can match pictures region by region. This module provides a
+//! deterministic, dependency-free equivalent: k-means clustering on
+//! intensity over a coarse grid of cells, followed by extraction of a
+//! per-region summary ([`Region`]).
+
+use crate::Image;
+
+/// A segmented region of an image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Number of pixels assigned to the region.
+    pub area: usize,
+    /// Mean intensity of the region's pixels.
+    pub mean_intensity: f32,
+    /// Normalised centroid (x, y) of the region in `[0, 1]²`.
+    pub centroid: (f32, f32),
+    /// Fraction of the image's pixels in this region (the region's weight in
+    /// the Earth-Mover's-Distance signature).
+    pub weight: f32,
+}
+
+/// Result of segmenting one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segmentation {
+    /// The regions, ordered by decreasing area. Never empty for a non-empty
+    /// image.
+    pub regions: Vec<Region>,
+    /// Number of k-means iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Segments `image` into at most `max_regions` regions with k-means on pixel
+/// intensity (deterministic: centroids are initialised from evenly spaced
+/// quantiles, and ties break towards the lower cluster index).
+pub fn segment(image: &Image, max_regions: usize) -> Segmentation {
+    let k = max_regions.clamp(1, 16);
+    let pixels = &image.pixels;
+    assert!(!pixels.is_empty(), "cannot segment an empty image");
+
+    // Initialise centroids at evenly spaced intensity quantiles.
+    let mut sorted: Vec<u8> = pixels.clone();
+    sorted.sort_unstable();
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|c| sorted[(c * (sorted.len() - 1)) / k.max(1)] as f32)
+        .collect();
+    centroids.dedup_by(|a, b| (*a - *b).abs() < f32::EPSILON);
+    let k = centroids.len();
+
+    let mut assignment = vec![0usize; pixels.len()];
+    let mut iterations = 0usize;
+    const MAX_ITERATIONS: usize = 12;
+    loop {
+        iterations += 1;
+        // Assign each pixel to the nearest centroid.
+        let mut changed = false;
+        for (i, &p) in pixels.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::MAX;
+            for (c, &centre) in centroids.iter().enumerate() {
+                let d = (p as f32 - centre).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &p) in pixels.iter().enumerate() {
+            sums[assignment[i]] += p as f64;
+            counts[assignment[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = (sums[c] / counts[c] as f64) as f32;
+            }
+        }
+        if !changed || iterations >= MAX_ITERATIONS {
+            break;
+        }
+    }
+
+    // Build the per-region summaries.
+    let total = pixels.len() as f32;
+    let mut regions: Vec<Region> = (0..k)
+        .filter_map(|c| {
+            let mut area = 0usize;
+            let mut sum = 0.0f64;
+            let mut cx = 0.0f64;
+            let mut cy = 0.0f64;
+            for (i, &p) in pixels.iter().enumerate() {
+                if assignment[i] == c {
+                    area += 1;
+                    sum += p as f64;
+                    cx += (i % image.width) as f64;
+                    cy += (i / image.width) as f64;
+                }
+            }
+            if area == 0 {
+                return None;
+            }
+            Some(Region {
+                area,
+                mean_intensity: (sum / area as f64) as f32,
+                centroid: (
+                    (cx / area as f64 / image.width.max(1) as f64) as f32,
+                    (cy / area as f64 / image.height.max(1) as f64) as f32,
+                ),
+                weight: area as f32 / total,
+            })
+        })
+        .collect();
+    regions.sort_by(|a, b| b.area.cmp(&a.area).then(
+        a.mean_intensity
+            .partial_cmp(&b.mean_intensity)
+            .unwrap_or(std::cmp::Ordering::Equal),
+    ));
+
+    Segmentation { regions, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmentation_is_deterministic() {
+        let image = Image::synthetic(11, 6, 48, 48);
+        let a = segment(&image, 4);
+        let b = segment(&image, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn region_weights_sum_to_one_and_areas_to_the_pixel_count() {
+        let image = Image::synthetic(3, 6, 40, 56);
+        let seg = segment(&image, 5);
+        let total_area: usize = seg.regions.iter().map(|r| r.area).sum();
+        assert_eq!(total_area, image.pixels.len());
+        let total_weight: f32 = seg.regions.iter().map(|r| r.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-4, "weights sum to {total_weight}");
+    }
+
+    #[test]
+    fn regions_are_ordered_by_decreasing_area() {
+        let image = Image::synthetic(9, 6, 64, 64);
+        let seg = segment(&image, 6);
+        for pair in seg.regions.windows(2) {
+            assert!(pair[0].area >= pair[1].area);
+        }
+    }
+
+    #[test]
+    fn centroids_and_means_are_in_range() {
+        let image = Image::synthetic(21, 6, 32, 32);
+        for region in segment(&image, 4).regions {
+            assert!(region.mean_intensity >= 0.0 && region.mean_intensity <= 255.0);
+            assert!(region.centroid.0 >= 0.0 && region.centroid.0 <= 1.0);
+            assert!(region.centroid.1 >= 0.0 && region.centroid.1 <= 1.0);
+            assert!(region.weight > 0.0 && region.weight <= 1.0);
+        }
+    }
+
+    #[test]
+    fn a_flat_image_yields_a_single_region() {
+        let image = Image {
+            width: 16,
+            height: 16,
+            pixels: vec![77u8; 256],
+        };
+        let seg = segment(&image, 8);
+        assert_eq!(seg.regions.len(), 1);
+        assert_eq!(seg.regions[0].area, 256);
+        assert!((seg.regions[0].mean_intensity - 77.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn a_two_tone_image_yields_two_dominant_regions() {
+        let mut pixels = vec![20u8; 512];
+        pixels.extend(vec![230u8; 512]);
+        let image = Image {
+            width: 32,
+            height: 32,
+            pixels,
+        };
+        let seg = segment(&image, 4);
+        assert!(seg.regions.len() >= 2);
+        // The two largest regions carry (almost) all the weight and sit near
+        // the two tones.
+        let top: f32 = seg.regions.iter().take(2).map(|r| r.weight).sum();
+        assert!(top > 0.95, "two regions should dominate, weight {top}");
+        let means: Vec<f32> = seg.regions.iter().take(2).map(|r| r.mean_intensity).collect();
+        assert!(means.iter().any(|&m| (m - 20.0).abs() < 15.0));
+        assert!(means.iter().any(|&m| (m - 230.0).abs() < 15.0));
+    }
+
+    #[test]
+    fn max_regions_is_respected() {
+        let image = Image::synthetic(2, 6, 48, 48);
+        for k in [1usize, 2, 3, 8] {
+            let seg = segment(&image, k);
+            assert!(!seg.regions.is_empty());
+            assert!(seg.regions.len() <= k);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Work/span analysis of pipeline dags (a Cilkview analogue).
+//!
+//! The paper's Section 1 analyses the ferret SPS pipeline in closed form
+//! (work `n(r+2)`, span `n + r`, parallelism ≥ `r/2 + 1`) and Section 10
+//! reports a measured parallelism of 7.4 for dedup. This module computes
+//! those quantities for any [`PipelineSpec`] by dynamic programming over the
+//! dag, optionally including the throttling edges that PIPER adds (the
+//! Section 11 discussion and Theorems 12–13 are about exactly the difference
+//! between the throttled and unthrottled span).
+
+use crate::spec::PipelineSpec;
+
+/// Work, span and derived quantities of a pipeline dag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagAnalysis {
+    /// Total work `T_1` (sum of node weights).
+    pub work: u64,
+    /// Span `T_∞` (weight of the longest path).
+    pub span: u64,
+    /// Number of iterations `n`.
+    pub iterations: usize,
+    /// Number of real (non-null) nodes.
+    pub nodes: usize,
+}
+
+impl DagAnalysis {
+    /// Parallelism `T_1 / T_∞`, the maximum possible speedup.
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+}
+
+/// Analyses the dag including throttling edges for a window of `K`
+/// iterations: the first node of iteration `i` additionally depends on the
+/// completion of the last node of iteration `i - K`.
+pub fn analyze(spec: &PipelineSpec, throttle: Option<usize>) -> DagAnalysis {
+    let n = spec.num_iterations();
+    // completion[i][idx] = earliest completion time of node idx of iteration
+    // i on infinitely many processors = weight of the longest path ending at
+    // that node.
+    let mut completion: Vec<Vec<u64>> = Vec::with_capacity(n);
+    let mut span = 0u64;
+
+    for i in 0..n {
+        let nodes = &spec.iterations[i];
+        let mut row = Vec::with_capacity(nodes.len());
+        for (idx, node) in nodes.iter().enumerate() {
+            let mut start = 0u64;
+
+            // Stage edge from the previous node of the same iteration.
+            if idx > 0 {
+                start = start.max(row[idx - 1]);
+            }
+
+            // The serial control chain: the first node of iteration i starts
+            // after the first node of iteration i-1 completes (the paper's
+            // Stage 0 / loop test is always serial).
+            if idx == 0 && i > 0 {
+                start = start.max(completion[i - 1][0]);
+            }
+
+            // Cross edge from the previous iteration (pipe_wait), collapsing
+            // onto the last real node before a null node.
+            if node.wait && i > 0 {
+                if let Some(src) = spec.cross_edge_source(i, node.stage) {
+                    start = start.max(completion[i - 1][src]);
+                }
+            }
+
+            // Throttling edge: iteration i cannot start before iteration
+            // i - K has fully completed.
+            if idx == 0 {
+                if let Some(k) = throttle {
+                    if k > 0 && i >= k {
+                        let donor = &completion[i - k];
+                        if let Some(&last) = donor.last() {
+                            start = start.max(last);
+                        }
+                    }
+                }
+            }
+
+            let finish = start + node.work;
+            span = span.max(finish);
+            row.push(finish);
+        }
+        completion.push(row);
+    }
+
+    DagAnalysis {
+        work: spec.work(),
+        span,
+        iterations: n,
+        nodes: spec.num_nodes(),
+    }
+}
+
+/// Analyses the unthrottled dag `Ĝ` (no throttling edges).
+pub fn analyze_unthrottled(spec: &PipelineSpec) -> DagAnalysis {
+    analyze(spec, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::spec::NodeSpec;
+
+    /// Brute-force longest path via memoized recursion over an explicit edge
+    /// list, used as an oracle for the DP.
+    fn brute_force_span(spec: &PipelineSpec, throttle: Option<usize>) -> u64 {
+        // Build explicit predecessor lists.
+        let n = spec.num_iterations();
+        let mut ids = Vec::new(); // (iteration, idx)
+        for i in 0..n {
+            for idx in 0..spec.iterations[i].len() {
+                ids.push((i, idx));
+            }
+        }
+        let index_of = |i: usize, idx: usize| -> usize {
+            ids.iter().position(|&(a, b)| a == i && b == idx).unwrap()
+        };
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+        for &(i, idx) in &ids {
+            let me = index_of(i, idx);
+            let node = spec.iterations[i][idx];
+            if idx > 0 {
+                preds[me].push(index_of(i, idx - 1));
+            }
+            if idx == 0 && i > 0 {
+                preds[me].push(index_of(i - 1, 0));
+            }
+            if node.wait && i > 0 {
+                if let Some(src) = spec.cross_edge_source(i, node.stage) {
+                    preds[me].push(index_of(i - 1, src));
+                }
+            }
+            if idx == 0 {
+                if let Some(k) = throttle {
+                    if k > 0 && i >= k {
+                        let last = spec.iterations[i - k].len() - 1;
+                        preds[me].push(index_of(i - k, last));
+                    }
+                }
+            }
+        }
+        // Longest path by DP in id order (ids are topologically sorted:
+        // predecessors always have smaller iteration or smaller idx).
+        let mut dist = vec![0u64; ids.len()];
+        let mut best = 0;
+        for v in 0..ids.len() {
+            let (i, idx) = ids[v];
+            let start = preds[v].iter().map(|&p| dist[p]).max().unwrap_or(0);
+            dist[v] = start + spec.iterations[i][idx].work;
+            best = best.max(dist[v]);
+        }
+        best
+    }
+
+    #[test]
+    fn sps_pipeline_matches_paper_closed_form() {
+        // Paper, Section 1: serial stages of unit work, parallel stage of
+        // work r. T1 = n(r+2); the staircase span evaluates to n + r + 1
+        // with the boundary convention used here (the paper states n + r).
+        // The parallelism bound r/2 + 1 requires 1 << r <= n.
+        let n = 500;
+        let r = 200;
+        let spec = generators::sps(n, 1, r, 1);
+        let a = analyze_unthrottled(&spec);
+        assert_eq!(a.work, (n as u64) * (r + 2));
+        assert_eq!(a.span, n as u64 + r + 1);
+        let parallelism = a.parallelism();
+        assert!(
+            parallelism >= r as f64 / 2.0,
+            "parallelism {parallelism} should be at least r/2"
+        );
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_irregular_dags() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 3),
+            NodeSpec::cont(2, 7),
+            NodeSpec::wait(5, 2),
+        ]);
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::wait(3, 9),
+            NodeSpec::wait(5, 4),
+        ]);
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 2),
+            NodeSpec::wait(2, 2),
+            NodeSpec::cont(4, 8),
+            NodeSpec::wait(6, 1),
+        ]);
+        spec.push_iteration(vec![NodeSpec::wait(0, 5), NodeSpec::wait(6, 5)]);
+        for throttle in [None, Some(1), Some(2), Some(3)] {
+            assert_eq!(
+                analyze(&spec, throttle).span,
+                brute_force_span(&spec, throttle),
+                "throttle {throttle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_dags_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..12);
+            let mut spec = PipelineSpec::new();
+            for _ in 0..n {
+                let mut stage = 0u64;
+                let mut nodes = Vec::new();
+                let count = rng.gen_range(1..6);
+                for c in 0..count {
+                    nodes.push(NodeSpec {
+                        stage,
+                        work: rng.gen_range(1..20),
+                        wait: c == 0 || rng.gen_bool(0.5),
+                    });
+                    stage += rng.gen_range(1..4);
+                }
+                spec.push_iteration(nodes);
+            }
+            for throttle in [None, Some(1), Some(2), Some(4)] {
+                assert_eq!(
+                    analyze(&spec, throttle).span,
+                    brute_force_span(&spec, throttle)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn throttling_never_decreases_span() {
+        let spec = generators::pathological(1_000_000);
+        let unthrottled = analyze_unthrottled(&spec).span;
+        for k in [64usize, 16, 4, 1] {
+            let throttled = analyze(&spec, Some(k)).span;
+            // Throttling only adds edges, so the span can only grow.
+            assert!(throttled >= unthrottled, "K={k}");
+        }
+        // With K=1 the whole dag becomes a chain: span equals work.
+        assert_eq!(analyze(&spec, Some(1)).span, spec.work());
+    }
+
+    #[test]
+    fn parallelism_of_single_iteration_is_serial() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(0, 4), NodeSpec::cont(1, 6)]);
+        let a = analyze_unthrottled(&spec);
+        assert_eq!(a.work, 10);
+        assert_eq!(a.span, 10);
+        assert!((a.parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_spec_is_degenerate() {
+        let spec = PipelineSpec::new();
+        let a = analyze_unthrottled(&spec);
+        assert_eq!(a.work, 0);
+        assert_eq!(a.span, 0);
+        assert_eq!(a.parallelism(), 0.0);
+    }
+
+    #[test]
+    fn uniform_pipeline_throttled_span_close_to_unthrottled() {
+        // Theorem 12: for uniform pipelines, throttling with K = aP does not
+        // hurt asymptotically. Check that the throttled span stays within a
+        // small factor of the unthrottled span for a uniform SPS pipeline.
+        let spec = generators::uniform(256, 4, 10);
+        let unthrottled = analyze_unthrottled(&spec);
+        let throttled = analyze(&spec, Some(32));
+        assert!(throttled.span <= 3 * unthrottled.span);
+    }
+}

@@ -1,0 +1,288 @@
+//! Graphviz (DOT) export of pipeline dags.
+//!
+//! The paper presents its pipelines visually: Figure 1 (the ferret SPS
+//! grid), Figure 3 (the x264 dag with stage skipping and null nodes) and
+//! Figure 10 (the pathological nonuniform pipeline). This module renders a
+//! [`PipelineSpec`] in the same visual vocabulary so that generated or
+//! recorded dags can be inspected with `dot -Tsvg`:
+//!
+//! * one column (Graphviz `rank`) per iteration,
+//! * stage edges drawn solid down each column,
+//! * cross edges drawn solid between adjacent columns,
+//! * the serial Stage-0 control chain drawn like any other cross edge,
+//! * optional throttling edges drawn dashed,
+//! * null nodes (skipped stages that a later cross edge collapses onto)
+//!   drawn as points, as in Figure 3.
+
+use crate::spec::PipelineSpec;
+use std::fmt::Write as _;
+
+/// Rendering options for [`to_dot`].
+#[derive(Debug, Clone, Copy)]
+pub struct DotOptions {
+    /// Include throttling edges for this window (drawn dashed) if set.
+    pub throttle: Option<usize>,
+    /// Label each node with its work weight.
+    pub show_work: bool,
+    /// Render skipped stages that receive a collapsed cross edge as point
+    /// nodes (Figure 3's null nodes).
+    pub show_null_nodes: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            throttle: None,
+            show_work: true,
+            show_null_nodes: true,
+        }
+    }
+}
+
+fn node_name(iteration: usize, stage: u64) -> String {
+    format!("n_{iteration}_{stage}")
+}
+
+fn null_name(iteration: usize, stage: u64) -> String {
+    format!("null_{iteration}_{stage}")
+}
+
+/// Renders `spec` as a Graphviz digraph.
+///
+/// The output is deterministic (nodes and edges are emitted in iteration and
+/// stage order), so it can be snapshot-tested and diffed.
+pub fn to_dot(spec: &PipelineSpec, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph pipeline {\n");
+    out.push_str("  rankdir=TB;\n");
+    out.push_str("  node [shape=circle, fontsize=10];\n");
+
+    let n = spec.num_iterations();
+
+    // Nodes, one subgraph (column) per iteration.
+    for (i, nodes) in spec.iterations.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_iter{i} {{");
+        let _ = writeln!(out, "    label=\"i={i}\";");
+        out.push_str("    style=invis;\n");
+        for node in nodes {
+            let name = node_name(i, node.stage);
+            let label = if options.show_work {
+                format!("({i},{})\\nw={}", node.stage, node.work)
+            } else {
+                format!("({i},{})", node.stage)
+            };
+            let _ = writeln!(out, "    {name} [label=\"{label}\"];");
+        }
+        out.push_str("  }\n");
+    }
+
+    // Null nodes: a stage j in iteration i is a null node if iteration i has
+    // no real node at stage j but iteration i+1 enters stage j with a
+    // pipe_wait and collapses its cross edge onto an earlier node of i.
+    let mut null_nodes: Vec<(usize, u64)> = Vec::new();
+    if options.show_null_nodes {
+        for i in 1..n {
+            for node in &spec.iterations[i] {
+                if node.wait
+                    && spec.iterations[i - 1]
+                        .iter()
+                        .all(|p| p.stage != node.stage)
+                    && spec.iterations[i - 1]
+                        .iter()
+                        .any(|p| p.stage < node.stage)
+                {
+                    null_nodes.push((i - 1, node.stage));
+                }
+            }
+        }
+        null_nodes.sort_unstable();
+        null_nodes.dedup();
+        for &(i, stage) in &null_nodes {
+            let _ = writeln!(
+                out,
+                "  {} [shape=point, width=0.05, label=\"\"];",
+                null_name(i, stage)
+            );
+        }
+    }
+
+    // Stage edges down each column.
+    for (i, nodes) in spec.iterations.iter().enumerate() {
+        for pair in nodes.windows(2) {
+            let _ = writeln!(
+                out,
+                "  {} -> {};",
+                node_name(i, pair[0].stage),
+                node_name(i, pair[1].stage)
+            );
+        }
+    }
+
+    // Serial control chain between consecutive Stage-0 nodes.
+    for i in 1..n {
+        let prev0 = spec.iterations[i - 1][0].stage;
+        let cur0 = spec.iterations[i][0].stage;
+        let _ = writeln!(
+            out,
+            "  {} -> {} [constraint=false];",
+            node_name(i - 1, prev0),
+            node_name(i, cur0)
+        );
+    }
+
+    // Cross edges (pipe_wait), routed through null nodes when the source
+    // stage was skipped in the previous iteration.
+    for i in 1..n {
+        for node in &spec.iterations[i] {
+            if !node.wait {
+                continue;
+            }
+            let target = node_name(i, node.stage);
+            let exact = spec.iterations[i - 1]
+                .iter()
+                .find(|p| p.stage == node.stage);
+            if exact.is_some() {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [constraint=false];",
+                    node_name(i - 1, node.stage),
+                    target
+                );
+            } else if let Some(src) = spec.iterations[i - 1]
+                .iter()
+                .filter(|p| p.stage < node.stage)
+                .last()
+            {
+                if options.show_null_nodes {
+                    let null = null_name(i - 1, node.stage);
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [style=dotted];",
+                        node_name(i - 1, src.stage),
+                        null
+                    );
+                    let _ = writeln!(out, "  {null} -> {target} [constraint=false];");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [constraint=false];",
+                        node_name(i - 1, src.stage),
+                        target
+                    );
+                }
+            }
+        }
+    }
+
+    // Throttling edges (dashed): end of iteration i -> start of i + K.
+    if let Some(k) = options.throttle {
+        if k > 0 {
+            for i in k..n {
+                let donor = i - k;
+                let last = spec.iterations[donor]
+                    .last()
+                    .expect("iterations are non-empty");
+                let first = &spec.iterations[i][0];
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [style=dashed, color=gray, constraint=false];",
+                    node_name(donor, last.stage),
+                    node_name(i, first.stage)
+                );
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::spec::NodeSpec;
+
+    #[test]
+    fn sps_dag_renders_all_nodes_and_edges() {
+        let spec = generators::sps(3, 1, 5, 1);
+        let dot = to_dot(&spec, &DotOptions::default());
+        assert!(dot.starts_with("digraph pipeline {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every real node appears exactly once as a declaration.
+        for i in 0..3 {
+            for stage in 0..3u64 {
+                assert!(
+                    dot.contains(&format!("n_{i}_{stage} [label=")),
+                    "missing node ({i},{stage})"
+                );
+            }
+        }
+        // An SPS pipeline has cross edges on stages 0 and 2 but not stage 1.
+        assert!(dot.contains("n_0_2 -> n_1_2"));
+        assert!(!dot.contains("n_0_1 -> n_1_1"));
+    }
+
+    #[test]
+    fn throttling_edges_are_dashed_and_optional() {
+        let spec = generators::sps(6, 1, 5, 1);
+        let without = to_dot(&spec, &DotOptions::default());
+        assert!(!without.contains("style=dashed"));
+        let with = to_dot(
+            &spec,
+            &DotOptions {
+                throttle: Some(2),
+                ..DotOptions::default()
+            },
+        );
+        assert!(with.contains("style=dashed"));
+        // End of iteration 0 (stage 2) throttles the start of iteration 2.
+        assert!(with.contains("n_0_2 -> n_2_0 [style=dashed"));
+    }
+
+    #[test]
+    fn skipped_stages_produce_null_point_nodes() {
+        // Iteration 0 has stages {0, 3}; iteration 1 waits on stage 2 which
+        // iteration 0 skipped, so the dag must route through a null node.
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(0, 1), NodeSpec::cont(3, 1)]);
+        spec.push_iteration(vec![NodeSpec::wait(0, 1), NodeSpec::wait(2, 1)]);
+        let dot = to_dot(&spec, &DotOptions::default());
+        assert!(dot.contains("null_0_2 [shape=point"));
+        assert!(dot.contains("n_0_0 -> null_0_2"));
+        assert!(dot.contains("null_0_2 -> n_1_2"));
+
+        let flat = to_dot(
+            &spec,
+            &DotOptions {
+                show_null_nodes: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!flat.contains("null_0_2"));
+        assert!(flat.contains("n_0_0 -> n_1_2"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let spec = generators::x264_dag(8, 4, 2, 1, 3, 2, 3, 1);
+        let a = to_dot(&spec, &DotOptions::default());
+        let b = to_dot(&spec, &DotOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn work_labels_can_be_hidden() {
+        let spec = generators::sps(2, 1, 9, 1);
+        let with = to_dot(&spec, &DotOptions::default());
+        assert!(with.contains("w=9"));
+        let without = to_dot(
+            &spec,
+            &DotOptions {
+                show_work: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!without.contains("w=9"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Generators for the dag families the paper uses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{NodeSpec, PipelineSpec};
+
+/// The ferret-style SPS pipeline of Figure 1: `n` iterations of a serial
+/// stage (work `s0`), a parallel stage (work `r`), and a serial stage
+/// (work `s2`).
+pub fn sps(n: usize, s0: u64, r: u64, s2: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    for _ in 0..n {
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, s0),
+            NodeSpec::cont(1, r),
+            NodeSpec::wait(2, s2),
+        ]);
+    }
+    spec
+}
+
+/// The dedup-style SSPS pipeline of Figure 4: serial input, serial
+/// deduplication, parallel compression, serial output.
+pub fn ssps(n: usize, s0: u64, s1: u64, p2: u64, s3: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    for _ in 0..n {
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, s0),
+            NodeSpec::wait(1, s1),
+            NodeSpec::cont(2, p2),
+            NodeSpec::wait(3, s3),
+        ]);
+    }
+    spec
+}
+
+/// A uniform pipeline (Theorem 12): `n` iterations × `s` stages, every node
+/// of identical weight `w`, all stages serial. Stage 0 is the control stage.
+pub fn uniform(n: usize, s: usize, w: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    for _ in 0..n {
+        let nodes = (0..s as u64).map(|j| NodeSpec::wait(j, w)).collect();
+        spec.push_iteration(nodes);
+    }
+    spec
+}
+
+/// A uniform pipeline whose inner stages are parallel (no cross edges),
+/// bracketed by serial input/output stages — a generalised ferret shape.
+pub fn uniform_sps(n: usize, inner_stages: usize, serial_w: u64, parallel_w: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    for _ in 0..n {
+        let mut nodes = vec![NodeSpec::wait(0, serial_w)];
+        for j in 0..inner_stages as u64 {
+            nodes.push(NodeSpec::cont(1 + j, parallel_w));
+        }
+        nodes.push(NodeSpec::wait(1 + inner_stages as u64, serial_w));
+        spec.push_iteration(nodes);
+    }
+    spec
+}
+
+/// The x264-style dag of Figure 3.
+///
+/// Each iteration processes one I- or P-frame of `rows` macroblock rows.
+/// Iteration `i` skips `w·i` stages on entry (the motion-vector window
+/// offset), then processes its rows as a hybrid stage sequence: every row
+/// node of a P-frame has a cross edge (`pipe_wait`), rows of an I-frame do
+/// not (`pipe_continue`). After the rows, a parallel B-frame stage (weight
+/// `b_work·bframes`) and a serial output stage follow. `i_every` controls
+/// how often an I-frame appears (e.g. every 4th iteration).
+#[allow(clippy::too_many_arguments)]
+pub fn x264_dag(
+    iterations: usize,
+    rows: usize,
+    row_work: u64,
+    w: u64,
+    i_every: usize,
+    bframes: usize,
+    b_work: u64,
+    out_work: u64,
+) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    // Large symbolic stage numbers, as in Figure 2 of the paper.
+    let process_bframes: u64 = 1 << 40;
+    let end: u64 = process_bframes + 1;
+    for i in 0..iterations {
+        let is_iframe = i_every != 0 && i % i_every == 0;
+        let skip = w * i as u64;
+        let mut nodes = vec![NodeSpec::wait(0, row_work)];
+        for row in 0..rows as u64 {
+            let stage = 1 + skip + row;
+            let node = if is_iframe {
+                NodeSpec::cont(stage, row_work)
+            } else {
+                NodeSpec::wait(stage, row_work)
+            };
+            // The first row node is entered with pipe_wait(1 + skip) in the
+            // pseudocode regardless of frame type.
+            let node = if row == 0 {
+                NodeSpec::wait(stage, row_work)
+            } else {
+                node
+            };
+            nodes.push(node);
+        }
+        nodes.push(NodeSpec::cont(process_bframes, b_work * bframes as u64));
+        nodes.push(NodeSpec::wait(end, out_work));
+        spec.push_iteration(nodes);
+    }
+    spec
+}
+
+/// The triangular pipe-fib dag (Section 10): iteration `i` computes
+/// `F_{i+2}` bit by bit; the number of stages grows with the iteration
+/// index, so the dag is a triangle rather than a grid. `bits_per_stage`
+/// coarsens the pipeline (`pipe-fib-256` uses 256).
+pub fn pipe_fib(n: usize, bits_per_stage: usize, stage_work: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    // Number of bits of F_{i+2} grows linearly (the golden ratio has
+    // log2(phi) ≈ 0.694 bits per index).
+    for i in 0..n {
+        let bits = ((i + 2) as f64 * 0.6942419).ceil() as usize + 1;
+        let stages = bits.div_ceil(bits_per_stage).max(1);
+        let mut nodes = vec![NodeSpec::wait(0, stage_work)];
+        for j in 0..stages as u64 {
+            nodes.push(NodeSpec::wait(1 + j, stage_work));
+        }
+        spec.push_iteration(nodes);
+    }
+    spec
+}
+
+/// The pathological nonuniform unthrottled pipeline of Figure 10
+/// (Theorem 13), parameterised by total work `t1` (approximately).
+///
+/// The dag has `(T1^{2/3} + T1^{1/3})/2` iterations arranged in clusters of
+/// `T1^{1/3} + 1` consecutive iterations: each cluster has one *heavy*
+/// iteration of work `T1^{2/3}` followed by `T1^{1/3}` *light* iterations of
+/// work `T1^{1/3}` each. Each iteration is a unit-work serial control node
+/// (the Stage-0 chain) followed by a **parallel** body node carrying the
+/// iteration's weight: bodies of different iterations are independent, so
+/// the unthrottled dag has parallelism ~`T1^{1/3}`, but achieving speedup
+/// `ρ` requires ~`ρ·T1^{1/3}` iterations live at once — which is exactly
+/// what a throttling scheduler with `K = o(T1^{1/3})` cannot provide
+/// (Theorem 13).
+pub fn pathological(t1: u64) -> PipelineSpec {
+    let cube = (t1 as f64).powf(1.0 / 3.0).round().max(1.0) as u64;
+    let heavy = (cube * cube).max(1);
+    let light = cube.max(1);
+    let cluster = cube as usize + 1;
+    let clusters = ((cube * cube + cube) / 2 / cluster as u64).max(1) as usize;
+    let mut spec = PipelineSpec::new();
+    for _ in 0..clusters {
+        // One heavy iteration...
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::cont(1, heavy.saturating_sub(2).max(1)),
+        ]);
+        // ...followed by `cube` light iterations.
+        for _ in 0..cluster - 1 {
+            spec.push_iteration(vec![
+                NodeSpec::wait(0, 1),
+                NodeSpec::cont(1, light.saturating_sub(2).max(1)),
+            ]);
+        }
+    }
+    spec
+}
+
+/// A randomly perturbed pipeline used by property tests: `n` iterations,
+/// random stage skipping, random serial/parallel decisions and random node
+/// weights, all drawn from `seed` deterministically.
+pub fn random(n: usize, max_stages: usize, max_work: u64, seed: u64) -> PipelineSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = PipelineSpec::new();
+    for _ in 0..n {
+        let count = rng.gen_range(1..=max_stages.max(1));
+        let mut stage = 0u64;
+        let mut nodes = Vec::with_capacity(count);
+        for c in 0..count {
+            nodes.push(NodeSpec {
+                stage,
+                work: rng.gen_range(1..=max_work.max(1)),
+                wait: c == 0 || rng.gen_bool(0.5),
+            });
+            stage += rng.gen_range(1..=3);
+        }
+        spec.push_iteration(nodes);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_unthrottled;
+
+    #[test]
+    fn sps_dimensions() {
+        let spec = sps(10, 1, 50, 1);
+        assert_eq!(spec.num_iterations(), 10);
+        assert_eq!(spec.num_nodes(), 30);
+        assert_eq!(spec.work(), 10 * 52);
+    }
+
+    #[test]
+    fn ssps_matches_dedup_shape() {
+        let spec = ssps(5, 1, 2, 10, 1);
+        assert_eq!(spec.num_nodes(), 20);
+        // Stage 2 is the only parallel stage.
+        for it in &spec.iterations {
+            assert!(it[0].wait && it[1].wait && !it[2].wait && it[3].wait);
+        }
+    }
+
+    #[test]
+    fn uniform_is_a_grid() {
+        let spec = uniform(7, 3, 5);
+        assert_eq!(spec.num_nodes(), 21);
+        assert_eq!(spec.max_stage(), 2);
+        assert_eq!(spec.work(), 7 * 3 * 5);
+    }
+
+    #[test]
+    fn x264_dag_skips_stages_per_iteration() {
+        let spec = x264_dag(6, 4, 2, 1, 3, 2, 3, 1);
+        assert_eq!(spec.num_iterations(), 6);
+        // Iteration i's first row node is at stage 1 + w*i.
+        for (i, it) in spec.iterations.iter().enumerate() {
+            assert_eq!(it[1].stage, 1 + i as u64);
+        }
+        // The dag has decent parallelism despite the serial rows.
+        let a = analyze_unthrottled(&spec);
+        assert!(a.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn pipe_fib_is_triangular() {
+        let spec = pipe_fib(100, 1, 1);
+        let early = spec.iterations[5].len();
+        let late = spec.iterations[95].len();
+        assert!(late > early, "stage count must grow with iteration index");
+        // Coarsening reduces the number of stages.
+        let coarse = pipe_fib(100, 256, 1);
+        assert!(coarse.iterations[95].len() < spec.iterations[95].len());
+    }
+
+    #[test]
+    fn pathological_has_heavy_and_light_clusters() {
+        let spec = pathological(1_000_000);
+        assert!(spec.num_iterations() > 10);
+        let works: Vec<u64> = spec
+            .iterations
+            .iter()
+            .map(|it| it.iter().map(|n| n.work).sum())
+            .collect();
+        let max = *works.iter().max().unwrap();
+        let min = *works.iter().min().unwrap();
+        // Heavy iterations are much heavier than light ones (T1^{2/3} vs T1^{1/3}).
+        assert!(max >= 50 * min, "heavy {max} vs light {min}");
+        // Span is dominated by the serial control chain plus one heavy body:
+        // far below the work, so the unthrottled dag has ample parallelism.
+        let a = analyze_unthrottled(&spec);
+        assert!(a.parallelism() > 3.0);
+    }
+
+    #[test]
+    fn random_generator_is_deterministic_per_seed() {
+        let a = random(20, 5, 50, 42);
+        let b = random(20, 5, 50, 42);
+        assert_eq!(a.work(), b.work());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        let c = random(20, 5, 50, 43);
+        assert!(a.work() != c.work() || a.num_nodes() != c.num_nodes());
+    }
+}

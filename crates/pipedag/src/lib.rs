@@ -1,0 +1,46 @@
+//! Pipeline-dag modelling, work/span analysis and scheduler simulation.
+//!
+//! The paper reasons about pipeline programs through their **pipeline dag**
+//! (Figure 1): a grid-like dag whose columns are iterations, whose rows are
+//! stages, with *stage edges* down each column, optional *cross edges*
+//! between corresponding stages of adjacent iterations, and *throttling
+//! edges* from the end of iteration `i` to the start of iteration `i + K`.
+//!
+//! This crate provides that model as data:
+//!
+//! * [`spec`] — [`PipelineSpec`]: an explicit weighted pipeline dag, either
+//!   generated synthetically or recorded from a real workload run.
+//! * [`analysis`] — work, span and parallelism (a Cilkview analogue), with
+//!   and without throttling edges, used to verify the paper's closed-form
+//!   examples (Section 1) and to measure the parallelism of the PARSEC
+//!   workloads (Section 10 reports 7.4 for dedup).
+//! * [`generators`] — the dag families used throughout the paper: the SPS
+//!   ferret pipeline, the SSPS dedup pipeline, uniform pipelines
+//!   (Theorem 12), the x264 dag with stage skipping (Figure 3), the
+//!   triangular pipe-fib dag, and the pathological nonuniform pipeline of
+//!   Figure 10 (Theorem 13).
+//! * [`simulator`] — a discrete-event simulator that executes a
+//!   [`PipelineSpec`] on `P` virtual workers under several scheduling
+//!   policies (PIPER-style bind-to-element with throttling, TBB-style
+//!   construct-and-run with a token limit, and Pthreads-style bind-to-stage
+//!   with bounded queues and oversubscription). The evaluation harness uses
+//!   it to regenerate the *shape* of Figures 6–10 independently of how many
+//!   physical cores the host machine has.
+
+pub mod analysis;
+pub mod burdened;
+pub mod dot;
+pub mod generators;
+pub mod simulator;
+pub mod spec;
+pub mod validate;
+
+pub use analysis::{analyze, analyze_unthrottled, DagAnalysis};
+pub use burdened::{analyze_burdened, BurdenModel, BurdenedAnalysis, SpeedupEstimate};
+pub use dot::{to_dot, DotOptions};
+pub use simulator::{
+    simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig,
+    SimResult,
+};
+pub use spec::{NodeSpec, PipelineSpec};
+pub use validate::{classify_stages, signature, validate, StageClass, Violation};

@@ -1,0 +1,643 @@
+//! Discrete-event simulation of pipeline schedules on `P` virtual workers.
+//!
+//! The evaluation tables of the paper (Figures 6–8) compare three execution
+//! strategies on 1–16 cores. This module reproduces the *shape* of those
+//! comparisons on any host by simulating the schedules over a weighted
+//! [`PipelineSpec`] (either synthetic or recorded from a real run of the
+//! workloads):
+//!
+//! * [`simulate_piper`] — bind-to-element greedy scheduling with PIPER's
+//!   throttling window `K`: the model of Cilk-P (and, with a token limit,
+//!   of TBB's construct-and-run pipelines — [`simulate_construct_and_run`]).
+//! * [`simulate_bind_to_stage`] — the Pthreads model: one thread per serial
+//!   stage, `Q` threads per parallel stage, bounded queues between stages,
+//!   and at most `P` threads executing simultaneously.
+//!
+//! Greedy list scheduling obeys the same bound PIPER's analysis gives
+//! (`T_P ≤ T_1/P + T_∞` by Brent's theorem), so simulated speedups are a
+//! faithful stand-in for the asymptotic behaviour the paper measures, while
+//! obviously abstracting away constant-factor effects (cache locality,
+//! memory bandwidth, I/O overlap).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet, VecDeque};
+
+use crate::spec::PipelineSpec;
+
+/// The outcome of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Simulated completion time `T_P`.
+    pub makespan: u64,
+    /// Total work executed (equals the spec's work; a sanity check).
+    pub work_executed: u64,
+    /// Maximum number of simultaneously live (started but unfinished)
+    /// iterations — the quantity PIPER's throttling bounds.
+    pub peak_live_iterations: usize,
+    /// Number of processors simulated.
+    pub workers: usize,
+}
+
+impl SimResult {
+    /// Speedup with respect to a serial time (usually the spec's work).
+    pub fn speedup_vs(&self, serial_time: u64) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            serial_time as f64 / self.makespan as f64
+        }
+    }
+
+    /// Fraction of processor-time spent executing work.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.workers == 0 {
+            0.0
+        } else {
+            self.work_executed as f64 / (self.makespan as f64 * self.workers as f64)
+        }
+    }
+}
+
+/// Internal node identifier: (iteration, index within the iteration).
+type NodeId = (usize, usize);
+
+/// Builds predecessor counts and successor lists for the dag (same edge set
+/// as [`crate::analysis::analyze`]).
+fn build_edges(
+    spec: &PipelineSpec,
+    throttle: Option<usize>,
+) -> (Vec<Vec<usize>>, Vec<Vec<Vec<NodeId>>>) {
+    let n = spec.num_iterations();
+    let mut indegree: Vec<Vec<usize>> = (0..n)
+        .map(|i| vec![0; spec.iterations[i].len()])
+        .collect();
+    let mut successors: Vec<Vec<Vec<NodeId>>> = (0..n)
+        .map(|i| vec![Vec::new(); spec.iterations[i].len()])
+        .collect();
+
+    let add_edge = |from: NodeId, to: NodeId, indeg: &mut Vec<Vec<usize>>, succ: &mut Vec<Vec<Vec<NodeId>>>| {
+        indeg[to.0][to.1] += 1;
+        succ[from.0][from.1].push(to);
+    };
+
+    for i in 0..n {
+        for (idx, node) in spec.iterations[i].iter().enumerate() {
+            let me = (i, idx);
+            if idx > 0 {
+                add_edge((i, idx - 1), me, &mut indegree, &mut successors);
+            }
+            if idx == 0 && i > 0 {
+                // Serial control chain (Stage 0 / loop test).
+                add_edge((i - 1, 0), me, &mut indegree, &mut successors);
+            }
+            if node.wait && i > 0 {
+                if let Some(src) = spec.cross_edge_source(i, node.stage) {
+                    add_edge((i - 1, src), me, &mut indegree, &mut successors);
+                }
+            }
+            if idx == 0 {
+                if let Some(k) = throttle {
+                    if k > 0 && i >= k {
+                        let last = spec.iterations[i - k].len() - 1;
+                        add_edge((i - k, last), me, &mut indegree, &mut successors);
+                    }
+                }
+            }
+        }
+    }
+    (indegree, successors)
+}
+
+/// Simulates PIPER-style execution: greedy bind-to-element list scheduling
+/// on `P` workers over the dag including throttling edges for window `K`
+/// (`None` simulates the unthrottled dag).
+pub fn simulate_piper(spec: &PipelineSpec, workers: usize, throttle: Option<usize>) -> SimResult {
+    assert!(workers >= 1);
+    let n = spec.num_iterations();
+    let total_nodes = spec.num_nodes();
+    if total_nodes == 0 {
+        return SimResult {
+            makespan: 0,
+            work_executed: 0,
+            peak_live_iterations: 0,
+            workers,
+        };
+    }
+    let (mut indegree, successors) = build_edges(spec, throttle);
+
+    // Ready nodes, ordered by (iteration, index): the greedy scheduler
+    // prefers the oldest iteration, mimicking PIPER's bind-to-element
+    // tendency to finish old iterations before starting new ones.
+    let mut ready: BTreeSet<NodeId> = BTreeSet::new();
+    for i in 0..n {
+        for idx in 0..spec.iterations[i].len() {
+            if indegree[i][idx] == 0 {
+                ready.insert((i, idx));
+            }
+        }
+    }
+
+    let mut events: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    let mut idle = workers;
+    let mut now = 0u64;
+    let mut done = 0usize;
+    let mut work_executed = 0u64;
+
+    // Live-iteration tracking.
+    let mut remaining_per_iter: Vec<usize> = spec.iterations.iter().map(|it| it.len()).collect();
+    let mut started: Vec<bool> = vec![false; n];
+    let mut live = 0usize;
+    let mut peak_live = 0usize;
+
+    while done < total_nodes {
+        // Assign ready nodes to idle workers.
+        while idle > 0 {
+            let Some(&node) = ready.iter().next() else { break };
+            ready.remove(&node);
+            idle -= 1;
+            if !started[node.0] {
+                started[node.0] = true;
+                live += 1;
+                peak_live = peak_live.max(live);
+            }
+            let work = spec.iterations[node.0][node.1].work;
+            events.push(Reverse((now + work, node.0, node.1)));
+        }
+
+        // Advance to the next completion.
+        let Some(Reverse((t, i, idx))) = events.pop() else {
+            panic!("simulation deadlock: no running nodes but work remains");
+        };
+        now = t;
+        let mut finished = vec![(i, idx)];
+        // Batch all completions at the same timestamp.
+        while let Some(&Reverse((t2, i2, idx2))) = events.peek() {
+            if t2 == now {
+                events.pop();
+                finished.push((i2, idx2));
+            } else {
+                break;
+            }
+        }
+        for (fi, fidx) in finished {
+            done += 1;
+            idle += 1;
+            work_executed += spec.iterations[fi][fidx].work;
+            remaining_per_iter[fi] -= 1;
+            if remaining_per_iter[fi] == 0 {
+                live -= 1;
+            }
+            for &(si, sidx) in &successors[fi][fidx] {
+                indegree[si][sidx] -= 1;
+                if indegree[si][sidx] == 0 {
+                    ready.insert((si, sidx));
+                }
+            }
+        }
+    }
+
+    SimResult {
+        makespan: now,
+        work_executed,
+        peak_live_iterations: peak_live,
+        workers,
+    }
+}
+
+/// Simulates a TBB-style construct-and-run pipeline: bind-to-element
+/// scheduling with a limit on the number of in-flight iterations (TBB's
+/// `max_number_of_live_tokens`), which plays the same role as PIPER's
+/// throttling limit.
+pub fn simulate_construct_and_run(spec: &PipelineSpec, workers: usize, tokens: usize) -> SimResult {
+    simulate_piper(spec, workers, Some(tokens.max(1)))
+}
+
+/// Configuration for the bind-to-stage (Pthreads-style) simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct BindToStageConfig {
+    /// Number of threads dedicated to each parallel stage (the PARSEC
+    /// Pthreads implementations' `Q`); serial stages always get one thread.
+    pub threads_per_parallel_stage: usize,
+    /// Capacity of the queue in front of each stage (the Pthreads
+    /// throttling mechanism).
+    pub queue_capacity: usize,
+}
+
+impl Default for BindToStageConfig {
+    fn default() -> Self {
+        BindToStageConfig {
+            threads_per_parallel_stage: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Simulates a Pthreads-style bind-to-stage pipeline execution.
+///
+/// Every distinct stage of the spec gets a dedicated set of threads (one for
+/// serial/hybrid stages, `Q` for parallel stages). Items (iterations) flow
+/// through every stage in order through bounded FIFO queues; at most
+/// `workers` threads execute at any instant (extra threads model
+/// oversubscription and simply wait for a processor slot).
+pub fn simulate_bind_to_stage(
+    spec: &PipelineSpec,
+    workers: usize,
+    config: BindToStageConfig,
+) -> SimResult {
+    assert!(workers >= 1);
+    let n = spec.num_iterations();
+    if n == 0 || spec.num_nodes() == 0 {
+        return SimResult {
+            makespan: 0,
+            work_executed: 0,
+            peak_live_iterations: 0,
+            workers,
+        };
+    }
+
+    // Distinct stages in increasing order.
+    let mut stages: Vec<u64> = spec
+        .iterations
+        .iter()
+        .flat_map(|it| it.iter().map(|nd| nd.stage))
+        .collect();
+    stages.sort_unstable();
+    stages.dedup();
+    let num_stages = stages.len();
+
+    // A stage is parallel if no node of that stage (beyond iteration 0) has
+    // a cross edge; hybrid and serial stages are handled by a single thread
+    // to preserve ordering.
+    let is_parallel: Vec<bool> = stages
+        .iter()
+        .map(|&s| {
+            spec.iterations
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i > 0)
+                .flat_map(|(_, it)| it.iter())
+                .filter(|nd| nd.stage == s)
+                .all(|nd| !nd.wait)
+        })
+        .collect();
+
+    // Work of iteration `i` at stage position `sp` (0 if the iteration has
+    // no node at that stage: a null pass-through).
+    let work_at = |i: usize, sp: usize| -> u64 {
+        spec.iterations[i]
+            .iter()
+            .find(|nd| nd.stage == stages[sp])
+            .map(|nd| nd.work)
+            .unwrap_or(0)
+    };
+
+    // Threads: (stage position, id). Serial stages get 1, parallel get Q.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum ThreadState {
+        /// Waiting for an input item.
+        Idle,
+        /// Holding an item, waiting for a processor slot.
+        Ready { item: usize },
+        /// Executing an item until the given time.
+        Running { item: usize, until: u64 },
+        /// Finished executing an item but the downstream queue is full.
+        Blocked { item: usize },
+    }
+    struct StageThread {
+        stage_pos: usize,
+        state: ThreadState,
+    }
+
+    let mut threads: Vec<StageThread> = Vec::new();
+    for (sp, &parallel) in is_parallel.iter().enumerate() {
+        let count = if parallel {
+            config.threads_per_parallel_stage.max(1)
+        } else {
+            1
+        };
+        for _ in 0..count {
+            threads.push(StageThread {
+                stage_pos: sp,
+                state: ThreadState::Idle,
+            });
+        }
+    }
+
+    // Input queues per stage. Stage 0's queue is fed by the source, which
+    // respects the queue capacity as well (this is the Pthreads throttling).
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); num_stages];
+    let mut next_to_produce = 0usize;
+
+    let mut now = 0u64;
+    let mut completed_items = 0usize;
+    let mut work_executed = 0u64;
+    let mut live = 0usize;
+    let mut peak_live = 0usize;
+    let mut item_started = vec![false; n];
+
+    loop {
+        // Source: feed stage 0's queue while there is room.
+        while next_to_produce < n && queues[0].len() < config.queue_capacity {
+            queues[0].push_back(next_to_produce);
+            next_to_produce += 1;
+        }
+
+        // Idle threads fetch items from their stage's queue (serial stages
+        // have one thread, so order is preserved automatically).
+        for t in threads.iter_mut() {
+            if t.state == ThreadState::Idle {
+                if let Some(item) = queues[t.stage_pos].pop_front() {
+                    t.state = ThreadState::Ready { item };
+                }
+            }
+        }
+
+        // Allocate processor slots: running threads keep theirs; remaining
+        // slots go to Ready threads in thread order (FIFO-ish).
+        let running = threads
+            .iter()
+            .filter(|t| matches!(t.state, ThreadState::Running { .. }))
+            .count();
+        let mut free_slots = workers.saturating_sub(running);
+        for t in threads.iter_mut() {
+            if free_slots == 0 {
+                break;
+            }
+            if let ThreadState::Ready { item } = t.state {
+                let w = work_at(item, t.stage_pos);
+                if !item_started[item] {
+                    item_started[item] = true;
+                    live += 1;
+                    peak_live = peak_live.max(live);
+                }
+                t.state = ThreadState::Running {
+                    item,
+                    until: now + w,
+                };
+                free_slots -= 1;
+            }
+        }
+
+        // Termination check.
+        if completed_items == n {
+            break;
+        }
+
+        // Advance time to the earliest running completion.
+        let next_time = threads
+            .iter()
+            .filter_map(|t| match t.state {
+                ThreadState::Running { until, .. } => Some(until),
+                _ => None,
+            })
+            .min();
+        let Some(next_time) = next_time else {
+            // Nothing is running. If items remain, we must be able to make
+            // progress by unblocking below; if not, the configuration
+            // deadlocks (queue capacity 0), which we guard against.
+            if completed_items == n {
+                break;
+            }
+            // Try unblocking blocked threads (space may have appeared).
+            let mut progressed = false;
+            for ti in 0..threads.len() {
+                if let ThreadState::Blocked { item } = threads[ti].state {
+                    let sp = threads[ti].stage_pos;
+                    if sp + 1 == num_stages {
+                        unreachable!("final stage never blocks");
+                    } else if queues[sp + 1].len() < config.queue_capacity {
+                        queues[sp + 1].push_back(item);
+                        threads[ti].state = ThreadState::Idle;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                panic!("bind-to-stage simulation deadlock (queue capacity too small?)");
+            }
+            continue;
+        };
+        now = next_time;
+
+        // Complete every thread finishing at `now`.
+        for ti in 0..threads.len() {
+            let (item, until) = match threads[ti].state {
+                ThreadState::Running { item, until } => (item, until),
+                _ => continue,
+            };
+            if until != now {
+                continue;
+            }
+            work_executed += work_at(item, threads[ti].stage_pos);
+            let sp = threads[ti].stage_pos;
+            if sp + 1 == num_stages {
+                completed_items += 1;
+                live -= 1;
+                threads[ti].state = ThreadState::Idle;
+            } else if queues[sp + 1].len() < config.queue_capacity {
+                queues[sp + 1].push_back(item);
+                threads[ti].state = ThreadState::Idle;
+            } else {
+                threads[ti].state = ThreadState::Blocked { item };
+            }
+        }
+
+        // Unblock threads whose downstream queue has space now.
+        for ti in 0..threads.len() {
+            if let ThreadState::Blocked { item } = threads[ti].state {
+                let sp = threads[ti].stage_pos;
+                if queues[sp + 1].len() < config.queue_capacity {
+                    queues[sp + 1].push_back(item);
+                    threads[ti].state = ThreadState::Idle;
+                }
+            }
+        }
+    }
+
+    SimResult {
+        makespan: now,
+        work_executed,
+        peak_live_iterations: peak_live,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, analyze_unthrottled};
+    use crate::generators;
+
+    #[test]
+    fn single_worker_makespan_equals_work() {
+        let spec = generators::sps(20, 1, 10, 1);
+        let r = simulate_piper(&spec, 1, Some(8));
+        assert_eq!(r.makespan, spec.work());
+        assert_eq!(r.work_executed, spec.work());
+    }
+
+    #[test]
+    fn makespan_never_below_span_or_work_over_p() {
+        let spec = generators::sps(64, 1, 40, 1);
+        for p in [1usize, 2, 4, 8, 16] {
+            let r = simulate_piper(&spec, p, Some(4 * p));
+            let a = analyze(&spec, Some(4 * p));
+            assert!(r.makespan >= a.span, "P={p}");
+            assert!(r.makespan >= spec.work() / p as u64, "P={p}");
+            // Greedy (Brent) bound: T_P <= T_1/P + T_inf.
+            assert!(
+                r.makespan <= spec.work() / p as u64 + a.span,
+                "P={p}: {} > {} + {}",
+                r.makespan,
+                spec.work() / p as u64,
+                a.span
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_scales_with_processors_when_parallelism_allows() {
+        let spec = generators::sps(256, 1, 100, 1);
+        let serial = spec.work();
+        let s4 = simulate_piper(&spec, 4, Some(16)).speedup_vs(serial);
+        let s16 = simulate_piper(&spec, 16, Some(64)).speedup_vs(serial);
+        assert!(s4 > 3.0, "speedup on 4 workers was {s4}");
+        assert!(s16 > 10.0, "speedup on 16 workers was {s16}");
+    }
+
+    #[test]
+    fn speedup_capped_by_parallelism() {
+        // A pipeline with almost no parallelism (all serial stages).
+        let spec = generators::uniform(50, 3, 5);
+        let a = analyze_unthrottled(&spec);
+        let r = simulate_piper(&spec, 16, Some(64));
+        let speedup = r.speedup_vs(spec.work());
+        assert!(
+            speedup <= a.parallelism() + 1e-9,
+            "speedup {speedup} exceeds parallelism {}",
+            a.parallelism()
+        );
+    }
+
+    #[test]
+    fn throttling_limits_live_iterations_in_simulation() {
+        let spec = generators::sps(200, 1, 50, 1);
+        for k in [2usize, 4, 8, 16] {
+            let r = simulate_piper(&spec, 8, Some(k));
+            assert!(
+                r.peak_live_iterations <= k,
+                "K={k} but {} live",
+                r.peak_live_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn unthrottled_runaway_pipeline_uses_unbounded_space() {
+        // Without throttling, a greedy scheduler on a pipeline whose first
+        // stage is much cheaper than the rest starts many iterations: the
+        // peak number of live iterations grows with n (the "runaway
+        // pipeline" the paper warns about), unlike the throttled run.
+        let spec = generators::sps(400, 1, 200, 200);
+        let unthrottled = simulate_piper(&spec, 4, None);
+        let throttled = simulate_piper(&spec, 4, Some(16));
+        assert!(unthrottled.peak_live_iterations > 100);
+        assert!(throttled.peak_live_iterations <= 16);
+    }
+
+    #[test]
+    fn construct_and_run_equals_piper_with_token_limit() {
+        let spec = generators::ssps(100, 1, 3, 30, 2);
+        let a = simulate_construct_and_run(&spec, 8, 32);
+        let b = simulate_piper(&spec, 8, Some(32));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equal_one_serializes_iterations() {
+        let spec = generators::sps(30, 1, 10, 1);
+        let r = simulate_piper(&spec, 8, Some(1));
+        // With K=1 every iteration must finish before the next starts, and
+        // within an iteration the three stages are a chain, so the makespan
+        // equals the total work.
+        assert_eq!(r.makespan, spec.work());
+    }
+
+    #[test]
+    fn bind_to_stage_executes_all_work() {
+        let spec = generators::ssps(60, 1, 2, 20, 1);
+        let r = simulate_bind_to_stage(&spec, 8, BindToStageConfig::default());
+        assert_eq!(r.work_executed, spec.work());
+        assert!(r.makespan >= spec.work() / 8);
+    }
+
+    #[test]
+    fn bind_to_stage_serial_bottleneck_limits_speedup() {
+        // If a serial stage dominates, bind-to-stage cannot beat 1/serial
+        // fraction (and neither can anything else).
+        let spec = generators::ssps(60, 1, 50, 5, 1);
+        let r = simulate_bind_to_stage(&spec, 8, BindToStageConfig::default());
+        let speedup = r.speedup_vs(spec.work());
+        assert!(speedup < 1.4, "speedup {speedup} is impossible for this dag");
+    }
+
+    #[test]
+    fn bind_to_stage_pipeline_overlaps_stages() {
+        // With a balanced SPS pipeline and enough queue room, bind-to-stage
+        // overlaps the serial stages with the parallel stage and beats
+        // serial execution.
+        let spec = generators::sps(200, 1, 20, 1);
+        let r = simulate_bind_to_stage(
+            &spec,
+            8,
+            BindToStageConfig {
+                threads_per_parallel_stage: 6,
+                queue_capacity: 32,
+            },
+        );
+        assert!(r.speedup_vs(spec.work()) > 3.0);
+    }
+
+    #[test]
+    fn bind_to_stage_queue_capacity_bounds_live_items() {
+        let spec = generators::sps(300, 1, 30, 1);
+        let r = simulate_bind_to_stage(
+            &spec,
+            8,
+            BindToStageConfig {
+                threads_per_parallel_stage: 4,
+                queue_capacity: 8,
+            },
+        );
+        // Live items are bounded by total queue space plus one per thread.
+        let stages = 3;
+        let threads = 1 + 4 + 1;
+        assert!(r.peak_live_iterations <= stages * 8 + threads);
+    }
+
+    #[test]
+    fn empty_spec_simulates_to_zero() {
+        let spec = PipelineSpec::new();
+        let r = simulate_piper(&spec, 4, Some(4));
+        assert_eq!(r.makespan, 0);
+        let r = simulate_bind_to_stage(&spec, 4, BindToStageConfig::default());
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn pathological_dag_throttled_speedup_is_poor_unthrottled_good() {
+        // Theorem 13 / Figure 10: any scheduler with a small throttling
+        // window cannot achieve good speedup on the pathological pipeline,
+        // whereas the unthrottled dag has plenty of parallelism.
+        let spec = generators::pathological(1_000_000);
+        let work = spec.work();
+        let small_k = simulate_piper(&spec, 8, Some(4));
+        let unthrottled = simulate_piper(&spec, 8, None);
+        assert!(
+            unthrottled.speedup_vs(work) > 2.0 * small_k.speedup_vs(work),
+            "unthrottled {} vs throttled {}",
+            unthrottled.speedup_vs(work),
+            small_k.speedup_vs(work)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! The explicit pipeline-dag representation.
+
+/// One node `(i, j)` of a pipeline dag: stage `j` of iteration `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Stage number `j`. Stage numbers strictly increase within an
+    /// iteration; gaps correspond to skipped (null) stages.
+    pub stage: u64,
+    /// The node's work (execution time in arbitrary units, e.g. nanoseconds
+    /// when recorded from a real run).
+    pub work: u64,
+    /// Whether the node has an incoming cross edge from iteration `i-1`
+    /// (i.e. it was entered with `pipe_wait`). Ignored for iteration 0.
+    pub wait: bool,
+}
+
+impl NodeSpec {
+    /// Convenience constructor for a node entered with `pipe_wait`.
+    pub fn wait(stage: u64, work: u64) -> Self {
+        NodeSpec {
+            stage,
+            work,
+            wait: true,
+        }
+    }
+
+    /// Convenience constructor for a node entered with `pipe_continue`.
+    pub fn cont(stage: u64, work: u64) -> Self {
+        NodeSpec {
+            stage,
+            work,
+            wait: false,
+        }
+    }
+}
+
+/// A weighted pipeline dag: one column of nodes per iteration.
+///
+/// Stage 0 of each iteration is represented like every other node (it is by
+/// construction serial: the model treats it as having an implicit cross edge
+/// from the previous iteration's stage 0, matching the paper's requirement
+/// that the loop test executes serially).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineSpec {
+    /// Node lists, one per iteration, each sorted by increasing stage.
+    pub iterations: Vec<Vec<NodeSpec>>,
+}
+
+impl PipelineSpec {
+    /// Creates an empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an iteration given as a list of nodes. Panics if stages are
+    /// not strictly increasing.
+    pub fn push_iteration(&mut self, nodes: Vec<NodeSpec>) {
+        assert!(!nodes.is_empty(), "an iteration needs at least one node");
+        for pair in nodes.windows(2) {
+            assert!(
+                pair[0].stage < pair[1].stage,
+                "stage numbers must strictly increase within an iteration"
+            );
+        }
+        self.iterations.push(nodes);
+    }
+
+    /// Number of iterations (`n`).
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total number of (real) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.iterations.iter().map(|it| it.len()).sum()
+    }
+
+    /// The largest stage number appearing anywhere (the pipeline's "depth").
+    pub fn max_stage(&self) -> u64 {
+        self.iterations
+            .iter()
+            .flat_map(|it| it.iter().map(|n| n.stage))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total work `T_1`: the sum of all node weights.
+    pub fn work(&self) -> u64 {
+        self.iterations
+            .iter()
+            .flat_map(|it| it.iter().map(|n| n.work))
+            .sum()
+    }
+
+    /// Index of the last node in iteration `i` whose stage is **strictly
+    /// less than** `stage`, used to resolve cross edges whose nominal source
+    /// `(i, stage)` is a null node: the paper collapses such edges onto the
+    /// last real node before the null node.
+    pub(crate) fn last_real_node_before(&self, iteration: usize, stage: u64) -> Option<usize> {
+        let nodes = &self.iterations[iteration];
+        let mut found = None;
+        for (idx, n) in nodes.iter().enumerate() {
+            if n.stage < stage {
+                found = Some(idx);
+            } else {
+                break;
+            }
+        }
+        found
+    }
+
+    /// Index of the node in iteration `i` with stage exactly `stage`, if it
+    /// is a real (non-null) node.
+    pub(crate) fn node_at_stage(&self, iteration: usize, stage: u64) -> Option<usize> {
+        self.iterations[iteration]
+            .iter()
+            .position(|n| n.stage == stage)
+    }
+
+    /// The source node index in iteration `i-1` for a cross edge into
+    /// `(i, stage)`: the node at `stage` if it exists, otherwise the last
+    /// real node before it (null-node collapsing), otherwise `None`
+    /// (the cross edge degenerates to nothing and the node only depends on
+    /// its own iteration).
+    pub(crate) fn cross_edge_source(&self, iteration: usize, stage: u64) -> Option<usize> {
+        if iteration == 0 {
+            return None;
+        }
+        let prev = iteration - 1;
+        self.node_at_stage(prev, stage)
+            .or_else(|| self.last_real_node_before(prev, stage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_spec() -> PipelineSpec {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::cont(1, 10),
+            NodeSpec::wait(2, 1),
+        ]);
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::cont(1, 10),
+            NodeSpec::wait(2, 1),
+        ]);
+        spec
+    }
+
+    #[test]
+    fn work_is_sum_of_weights() {
+        let spec = simple_spec();
+        assert_eq!(spec.work(), 24);
+        assert_eq!(spec.num_nodes(), 6);
+        assert_eq!(spec.num_iterations(), 2);
+        assert_eq!(spec.max_stage(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_stages_rejected() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(0, 1), NodeSpec::wait(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_iteration_rejected() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![]);
+    }
+
+    #[test]
+    fn cross_edge_source_resolves_null_nodes() {
+        let mut spec = PipelineSpec::new();
+        // Iteration 0 has stages 0, 3, 7.
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::cont(3, 1),
+            NodeSpec::cont(7, 1),
+        ]);
+        // Iteration 1 has stages 0, 5, 7.
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, 1),
+            NodeSpec::wait(5, 1),
+            NodeSpec::wait(7, 1),
+        ]);
+        // Cross edge into (1, 5): iteration 0 has no stage 5, so the edge
+        // collapses onto the last real node before it, stage 3 (index 1).
+        assert_eq!(spec.cross_edge_source(1, 5), Some(1));
+        // Cross edge into (1, 7): stage 7 exists in iteration 0 (index 2).
+        assert_eq!(spec.cross_edge_source(1, 7), Some(2));
+        // Cross edge into (1, 0): exact match at index 0.
+        assert_eq!(spec.cross_edge_source(1, 0), Some(0));
+        // Iteration 0 has no cross edges at all.
+        assert_eq!(spec.cross_edge_source(0, 7), None);
+    }
+
+    #[test]
+    fn last_real_node_before_handles_boundaries() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(2, 1), NodeSpec::cont(4, 1)]);
+        assert_eq!(spec.last_real_node_before(0, 2), None);
+        assert_eq!(spec.last_real_node_before(0, 3), Some(0));
+        assert_eq!(spec.last_real_node_before(0, 100), Some(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Structural validation of pipeline dags.
+//!
+//! Section 2 of the paper constrains the pipelines Cilk-P accepts: stage
+//! numbers strictly increase within an iteration, Stage 0 is always serial
+//! (every iteration starts there and the loop test is part of it), and cross
+//! edges only go between adjacent iterations. [`PipelineSpec::push_iteration`]
+//! enforces the strictly-increasing rule eagerly; this module provides a
+//! whole-dag check that recorded or hand-built specs obey the remaining
+//! rules, plus a classification of stages into serial / parallel / hybrid
+//! (the paper's Section 1 taxonomy) that the evaluation harness prints.
+
+use crate::spec::PipelineSpec;
+use std::collections::BTreeMap;
+
+/// A violation of the Cilk-P pipeline structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An iteration contains no nodes.
+    EmptyIteration {
+        /// Offending iteration index.
+        iteration: usize,
+    },
+    /// Stage numbers do not strictly increase within the iteration.
+    NonIncreasingStages {
+        /// Offending iteration index.
+        iteration: usize,
+        /// Position within the iteration where the violation occurs.
+        position: usize,
+    },
+    /// An iteration does not begin at stage 0.
+    MissingStageZero {
+        /// Offending iteration index.
+        iteration: usize,
+        /// The stage the iteration actually starts at.
+        first_stage: u64,
+    },
+    /// A node has zero work, which the analysis treats as a real node; zero
+    /// weights usually indicate a recording bug (null nodes should simply be
+    /// absent from the spec).
+    ZeroWorkNode {
+        /// Offending iteration index.
+        iteration: usize,
+        /// Stage of the zero-work node.
+        stage: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::EmptyIteration { iteration } => {
+                write!(f, "iteration {iteration} has no nodes")
+            }
+            Violation::NonIncreasingStages {
+                iteration,
+                position,
+            } => write!(
+                f,
+                "iteration {iteration}: stage numbers do not strictly increase at position {position}"
+            ),
+            Violation::MissingStageZero {
+                iteration,
+                first_stage,
+            } => write!(
+                f,
+                "iteration {iteration} starts at stage {first_stage}, not stage 0"
+            ),
+            Violation::ZeroWorkNode { iteration, stage } => {
+                write!(f, "node ({iteration}, {stage}) has zero work")
+            }
+        }
+    }
+}
+
+/// How the nodes of one stage relate across iterations (Section 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageClass {
+    /// Every node of the stage (beyond iteration 0) has an incoming cross
+    /// edge.
+    Serial,
+    /// No node of the stage has an incoming cross edge.
+    Parallel,
+    /// Some do, some do not (the x264 rows, for example).
+    Hybrid,
+}
+
+impl StageClass {
+    /// One-letter code used by the paper's "SPS" / "SSPS" notation.
+    pub fn code(self) -> char {
+        match self {
+            StageClass::Serial => 'S',
+            StageClass::Parallel => 'P',
+            StageClass::Hybrid => 'H',
+        }
+    }
+}
+
+/// Validates `spec` against the Cilk-P structural rules. Returns all
+/// violations found (empty means the spec is well formed).
+pub fn validate(spec: &PipelineSpec) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (i, nodes) in spec.iterations.iter().enumerate() {
+        if nodes.is_empty() {
+            violations.push(Violation::EmptyIteration { iteration: i });
+            continue;
+        }
+        if nodes[0].stage != 0 {
+            violations.push(Violation::MissingStageZero {
+                iteration: i,
+                first_stage: nodes[0].stage,
+            });
+        }
+        for (pos, pair) in nodes.windows(2).enumerate() {
+            if pair[0].stage >= pair[1].stage {
+                violations.push(Violation::NonIncreasingStages {
+                    iteration: i,
+                    position: pos + 1,
+                });
+            }
+        }
+        for node in nodes {
+            if node.work == 0 {
+                violations.push(Violation::ZeroWorkNode {
+                    iteration: i,
+                    stage: node.stage,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Classifies every stage that appears in the dag as serial, parallel or
+/// hybrid, returning them in increasing stage order. Stage 0 is serial by
+/// construction (the control chain) and is reported as such regardless of
+/// the recorded `wait` flags.
+pub fn classify_stages(spec: &PipelineSpec) -> Vec<(u64, StageClass)> {
+    // For each stage: (nodes seen beyond iteration 0, nodes with a cross edge).
+    let mut counts: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for (i, nodes) in spec.iterations.iter().enumerate() {
+        for node in nodes {
+            let entry = counts.entry(node.stage).or_insert((0, 0));
+            if i > 0 {
+                entry.0 += 1;
+                if node.wait {
+                    entry.1 += 1;
+                }
+            } else {
+                // Make sure stages that only appear in iteration 0 are still
+                // reported.
+                counts.entry(node.stage).or_insert((0, 0));
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(stage, (total, waits))| {
+            let class = if stage == 0 {
+                StageClass::Serial
+            } else if total == 0 {
+                // Only iteration 0 reached this stage; with a single column
+                // there are no cross edges either way — call it parallel.
+                StageClass::Parallel
+            } else if waits == total {
+                StageClass::Serial
+            } else if waits == 0 {
+                StageClass::Parallel
+            } else {
+                StageClass::Hybrid
+            };
+            (stage, class)
+        })
+        .collect()
+}
+
+/// The "SPS"-style signature string of a dag (one letter per stage in stage
+/// order), e.g. `"SPS"` for ferret and `"SSPS"` for dedup.
+pub fn signature(spec: &PipelineSpec) -> String {
+    classify_stages(spec)
+        .into_iter()
+        .map(|(_, class)| class.code())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::spec::NodeSpec;
+
+    #[test]
+    fn generated_dags_are_well_formed() {
+        for spec in [
+            generators::sps(10, 1, 5, 1),
+            generators::ssps(10, 1, 2, 9, 1),
+            generators::uniform(8, 3, 2),
+            generators::pipe_fib(30, 1, 1),
+            generators::pathological(100_000),
+            generators::x264_dag(6, 4, 2, 1, 3, 2, 3, 1),
+            generators::random(25, 6, 20, 11),
+        ] {
+            assert!(validate(&spec).is_empty(), "violations: {:?}", validate(&spec));
+        }
+    }
+
+    #[test]
+    fn ferret_and_dedup_signatures_match_the_paper() {
+        assert_eq!(signature(&generators::sps(10, 1, 5, 1)), "SPS");
+        assert_eq!(signature(&generators::ssps(10, 1, 2, 9, 1)), "SSPS");
+    }
+
+    #[test]
+    fn x264_rows_are_hybrid_stages() {
+        // With an I-frame every 3 iterations and P-frames otherwise, row
+        // stages have cross edges for some iterations only.
+        let spec = generators::x264_dag(9, 3, 2, 0, 3, 2, 3, 1);
+        let classes = classify_stages(&spec);
+        assert!(
+            classes
+                .iter()
+                .any(|&(stage, class)| stage > 0 && class == StageClass::Hybrid),
+            "expected at least one hybrid row stage, got {classes:?}"
+        );
+    }
+
+    #[test]
+    fn missing_stage_zero_detected() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(2, 1), NodeSpec::cont(3, 1)]);
+        let violations = validate(&spec);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingStageZero { iteration: 0, first_stage: 2 })));
+    }
+
+    #[test]
+    fn zero_work_nodes_detected() {
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::wait(0, 1), NodeSpec::cont(1, 0)]);
+        let violations = validate(&spec);
+        assert_eq!(
+            violations,
+            vec![Violation::ZeroWorkNode {
+                iteration: 0,
+                stage: 1
+            }]
+        );
+        assert!(violations[0].to_string().contains("zero work"));
+    }
+
+    #[test]
+    fn empty_iterations_detected_without_panicking() {
+        // push_iteration panics on empty input, so build the struct directly
+        // the way a buggy recorder might.
+        let spec = PipelineSpec {
+            iterations: vec![vec![NodeSpec::wait(0, 1)], vec![]],
+        };
+        let violations = validate(&spec);
+        assert_eq!(violations, vec![Violation::EmptyIteration { iteration: 1 }]);
+    }
+
+    #[test]
+    fn stage_zero_always_reported_serial() {
+        // Even if a recorder produced wait=false on stage 0, the control
+        // chain is serial by construction.
+        let mut spec = PipelineSpec::new();
+        spec.push_iteration(vec![NodeSpec::cont(0, 1), NodeSpec::cont(1, 1)]);
+        spec.push_iteration(vec![NodeSpec::cont(0, 1), NodeSpec::cont(1, 1)]);
+        let classes = classify_stages(&spec);
+        assert_eq!(classes[0], (0, StageClass::Serial));
+        assert_eq!(classes[1], (1, StageClass::Parallel));
+    }
+}

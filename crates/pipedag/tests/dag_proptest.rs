@@ -1,0 +1,131 @@
+//! Property-based tests over arbitrary pipeline dags: the analyzer, the
+//! burdened model, the validator, the DOT exporter and the scheduler
+//! simulator must agree with each other and with the general laws of
+//! work/span analysis on any well-formed dag, not just the paper's examples.
+
+use pipedag::{
+    analyze, analyze_burdened, analyze_unthrottled, generators, simulate_piper, to_dot, validate,
+    BurdenModel, DotOptions, NodeSpec, PipelineSpec,
+};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary well-formed pipeline specs.
+fn spec_strategy() -> impl Strategy<Value = PipelineSpec> {
+    let node = (1u64..4, 1u64..30, any::<bool>());
+    let iteration = proptest::collection::vec(node, 1..7);
+    proptest::collection::vec(iteration, 1..20).prop_map(|raw| {
+        let mut spec = PipelineSpec::new();
+        for nodes in raw {
+            let mut stage = 0u64;
+            let mut column = Vec::with_capacity(nodes.len());
+            for (k, (gap, work, wait)) in nodes.into_iter().enumerate() {
+                if k > 0 {
+                    stage += gap;
+                }
+                column.push(NodeSpec { stage, work, wait });
+            }
+            spec.push_iteration(column);
+        }
+        spec
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn span_is_between_bottleneck_iteration_and_work(spec in spec_strategy()) {
+        let a = analyze_unthrottled(&spec);
+        prop_assert_eq!(a.work, spec.work());
+        prop_assert!(a.span <= a.work);
+        // The span is at least the heaviest single iteration (its nodes form
+        // a chain of stage edges) and at least the serial Stage-0 chain.
+        let heaviest_iteration: u64 = spec
+            .iterations
+            .iter()
+            .map(|it| it.iter().map(|n| n.work).sum())
+            .max()
+            .unwrap_or(0);
+        let control_chain: u64 = spec.iterations.iter().map(|it| it[0].work).sum();
+        prop_assert!(a.span >= heaviest_iteration);
+        prop_assert!(a.span >= control_chain);
+        prop_assert!(a.parallelism() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn throttling_never_shortens_the_span(spec in spec_strategy()) {
+        // Throttling edges only add constraints relative to the unthrottled
+        // dag, and K = 1 serialises the whole computation.
+        let unthrottled = analyze_unthrottled(&spec).span;
+        for k in [1usize, 2, 3, 5, 9, 17] {
+            let span = analyze(&spec, Some(k)).span;
+            prop_assert!(span >= unthrottled, "K={k}");
+            prop_assert!(span <= spec.work(), "K={k}: span cannot exceed the work");
+        }
+        prop_assert_eq!(analyze(&spec, Some(1)).span, spec.work());
+    }
+
+    #[test]
+    fn simulator_obeys_greedy_bounds(spec in spec_strategy(), workers in 1usize..9) {
+        let a = analyze_unthrottled(&spec);
+        let sim = simulate_piper(&spec, workers, None);
+        prop_assert_eq!(sim.work_executed, a.work);
+        prop_assert!(sim.makespan >= a.span);
+        prop_assert!(sim.makespan as f64 >= a.work as f64 / workers as f64 - 1e-9);
+        prop_assert!(sim.makespan <= a.work.div_ceil(workers as u64) + a.span);
+        prop_assert!(sim.utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulated_throttling_bounds_live_iterations(spec in spec_strategy(), workers in 1usize..9, k in 1usize..8) {
+        let sim = simulate_piper(&spec, workers, Some(k));
+        prop_assert!(sim.peak_live_iterations <= k);
+        // One simulated worker is exactly serial.
+        let serial = simulate_piper(&spec, 1, Some(k));
+        prop_assert_eq!(serial.makespan, spec.work());
+    }
+
+    #[test]
+    fn burden_interpolates_between_plain_and_saturated(spec in spec_strategy(), burden in 0u64..10_000) {
+        let plain = analyze_unthrottled(&spec);
+        let b = analyze_burdened(&spec, &BurdenModel { burden_per_edge: burden, throttle: None });
+        prop_assert!(b.burdened_span >= plain.span);
+        // Each burdened edge adds at most `burden` to any path, and a path
+        // visits fewer vertices than the dag has nodes (plus Stage-0 links).
+        let max_edges = (spec.num_nodes() + spec.num_iterations()) as u64;
+        prop_assert!(b.burdened_span <= plain.span + burden.saturating_mul(max_edges));
+        prop_assert!(b.burdened_parallelism() <= plain.parallelism() + 1e-9);
+    }
+
+    #[test]
+    fn generated_specs_validate_and_export(spec in spec_strategy()) {
+        prop_assert!(validate(&spec).is_empty());
+        let dot = to_dot(&spec, &DotOptions { throttle: Some(3), ..DotOptions::default() });
+        prop_assert!(dot.starts_with("digraph"));
+        // One declaration per real node.
+        prop_assert_eq!(dot.matches(" [label=").count(), spec.num_nodes());
+        let signature = pipedag::signature(&spec);
+        prop_assert!(!signature.is_empty());
+        prop_assert!(signature.starts_with('S'), "stage 0 is always serial: {signature}");
+    }
+
+    #[test]
+    fn random_generator_respects_its_bounds(n in 1usize..30, stages in 1usize..8, work in 1u64..50, seed in any::<u64>()) {
+        let spec = generators::random(n, stages, work, seed);
+        prop_assert_eq!(spec.num_iterations(), n);
+        prop_assert!(validate(&spec).is_empty());
+        for it in &spec.iterations {
+            prop_assert!(it.len() <= stages);
+            prop_assert!(it.iter().all(|node| node.work >= 1 && node.work <= work));
+        }
+    }
+}
+
+#[test]
+fn single_node_dag_is_trivial_everywhere() {
+    let mut spec = PipelineSpec::new();
+    spec.push_iteration(vec![NodeSpec::wait(0, 7)]);
+    assert_eq!(analyze_unthrottled(&spec).span, 7);
+    assert_eq!(simulate_piper(&spec, 4, Some(2)).makespan, 7);
+    assert_eq!(pipedag::signature(&spec), "S");
+}

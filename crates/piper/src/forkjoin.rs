@@ -1,0 +1,475 @@
+//! Fork-join parallelism: `join`, `scope`, `spawn` and `par_for`.
+//!
+//! The paper's `pipe_while` composes with Cilk's native fork-join
+//! parallelism — stages may contain `cilk_spawn`/`cilk_sync`/`cilk_for`
+//! (x264 processes its buffered B-frames with a `cilk_for`, Figure 2
+//! line 27). This module provides the equivalent primitives on the same
+//! worker deques the pipeline scheduler uses, so pipeline and fork-join
+//! parallelism nest arbitrarily, as in Cilk-P.
+//!
+//! The implementation is rayon-style *child stealing*: `join(a, b)` pushes a
+//! job for `b`, runs `a` inline, then either pops `b` back or helps with
+//! other work until a thief finishes `b`. This differs from Cilk's
+//! continuation stealing (which Rust cannot express without compiler
+//! support) but preserves the same asymptotic work/span behaviour for the
+//! programs in this repository.
+
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::job::{HeapJob, StackJob};
+use crate::latch::Latch;
+use crate::pool::{Task, ThreadPool, WorkerThread};
+
+impl ThreadPool {
+    /// Runs `a` and `b`, potentially in parallel, and returns both results.
+    ///
+    /// Either closure may itself call `join`, `scope`, `par_for` or
+    /// `pipe_while`, nesting arbitrarily.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.in_worker(|worker| join_on_worker(worker, a, b))
+    }
+
+    /// Structured task parallelism: spawns tasks that may borrow from the
+    /// enclosing stack frame; all spawned tasks complete before `scope`
+    /// returns.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        self.in_worker(|worker| scope_on_worker(worker, f))
+    }
+
+    /// Parallel loop over `range`, invoking `body(i)` for each index.
+    ///
+    /// `grain` controls the smallest chunk executed serially; pass 0 to let
+    /// the pool pick a grain aiming at ~8 chunks per worker.
+    pub fn par_for<F>(&self, range: std::ops::Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = range.len();
+        if len == 0 {
+            return;
+        }
+        let grain = if grain == 0 {
+            (len / (self.num_threads() * 8)).max(1)
+        } else {
+            grain.max(1)
+        };
+        self.in_worker(|worker| par_for_rec(worker, range, grain, &body));
+    }
+
+    /// Fire-and-forget spawn of a `'static` task onto the pool.
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::new(Box::new(f));
+        self.registry().inject(Task::Job(job.into_job_ref()));
+    }
+}
+
+/// Runs `a` and `b` in parallel on the pool owning the current worker
+/// thread, or on the global pool if called from outside any pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match WorkerThread::current() {
+        Some(worker) => join_on_worker(worker, a, b),
+        None => ThreadPool::global().join(a, b),
+    }
+}
+
+/// The worker-side implementation of `join`.
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    let job_b_id = job_b_ref.id();
+    worker.push(Task::Job(job_b_ref));
+
+    // Run `a` inline; even if it panics we must not return until `b` is no
+    // longer reachable from any deque, or its stack storage would dangle.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Retrieve `b`: pop our own deque until we find it (executing anything
+    // else we pushed meanwhile), or help with other work until a thief
+    // completes it.
+    while !job_b.latch.probe() {
+        match worker.pop() {
+            Some(Task::Job(job)) if job.id() == job_b_id => {
+                job_b.run_inline();
+                break;
+            }
+            Some(other) => worker.execute(other),
+            None => {
+                // `b` was stolen; help with whatever work exists while the
+                // thief finishes it.
+                if let Some(task) = worker.find_task() {
+                    worker.execute(task);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        Err(payload) => {
+            // Make sure `b`'s result (and possible panic) is consumed before
+            // propagating `a`'s panic, to avoid losing track of it silently.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| job_b.into_result()));
+            panic::resume_unwind(payload)
+        }
+    }
+}
+
+/// A scope handle for spawning tasks that borrow from the enclosing frame.
+pub struct Scope<'scope> {
+    /// Number of spawned tasks not yet finished.
+    pending: AtomicUsize,
+    /// First panic raised by any spawned task.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The pool the scope executes on.
+    registry: Arc<crate::pool::Registry>,
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that runs inside the scope. The closure may borrow data
+    /// that outlives the scope (`'scope`).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // A raw pointer to the scope, wrapped so the closure is Send. The
+        // scope itself is Sync (all fields are), so sharing it with the
+        // worker that runs the task is sound.
+        struct ScopePtr<'scope>(*const Scope<'scope>);
+        unsafe impl<'scope> Send for ScopePtr<'scope> {}
+        impl<'scope> ScopePtr<'scope> {
+            /// Accessor method (rather than direct field access) so that the
+            /// closure captures the whole Send wrapper, not the raw pointer
+            /// field (edition-2021 closures capture disjoint fields).
+            fn get(&self) -> *const Scope<'scope> {
+                self.0
+            }
+        }
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        // SAFETY: the scope does not return until `pending` reaches zero, so
+        // the closure (which may borrow 'scope data) and the scope pointer
+        // remain valid for the task's whole execution. The lifetime is
+        // erased only to satisfy HeapJob's 'static bound.
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = unsafe { &*scope_ptr.get() };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if let Err(payload) = result {
+                scope.panic.lock().unwrap().get_or_insert(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::SeqCst);
+        });
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job = HeapJob::new(task);
+        match WorkerThread::current() {
+            Some(w) if Arc::ptr_eq(w.registry(), &self.registry) => {
+                w.push(Task::Job(job.into_job_ref()))
+            }
+            _ => self.registry.inject(Task::Job(job.into_job_ref())),
+        }
+    }
+}
+
+struct ScopePendingLatch<'a, 'scope>(&'a Scope<'scope>);
+
+impl<'a, 'scope> Latch for ScopePendingLatch<'a, 'scope> {
+    fn probe(&self) -> bool {
+        self.0.pending.load(Ordering::SeqCst) == 0
+    }
+    fn set(&self) {}
+}
+
+fn scope_on_worker<'scope, F, R>(worker: &WorkerThread, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        registry: Arc::clone(worker.registry()),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Help until every spawned task has completed, whether or not the scope
+    // body panicked (spawned tasks may borrow the enclosing frame).
+    worker.wait_until(&ScopePendingLatch(&scope));
+    // Propagate panics: scope body first, then any spawned task's.
+    let spawned_panic = scope.panic.lock().unwrap().take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(value) => {
+            if let Some(payload) = spawned_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
+/// Structured scope on the current pool (or the global pool when called from
+/// a non-worker thread).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    match WorkerThread::current() {
+        Some(worker) => scope_on_worker(worker, f),
+        None => ThreadPool::global().scope(f),
+    }
+}
+
+fn par_for_rec<F>(worker: &WorkerThread, range: std::ops::Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if range.len() <= grain {
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    let left = range.start..mid;
+    let right = mid..range.end;
+    join_on_worker(
+        worker,
+        || par_for_rec_current(left, grain, body),
+        || par_for_rec_current(right, grain, body),
+    );
+}
+
+/// Re-resolves the current worker (a stolen half executes on the thief's
+/// worker, not the original one).
+fn par_for_rec_current<F>(range: std::ops::Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let worker = WorkerThread::current().expect("par_for halves run on workers");
+    par_for_rec(worker, range, grain, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(pool: &ThreadPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 12 {
+            return fib_seq(n);
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_computes_fib_correctly() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(fib(&pool, 25), fib_seq(25));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_a() {
+        let pool = ThreadPool::new(2);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| panic!("a"), || 2);
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let pool = ThreadPool::new(2);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || panic!("b"));
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn deeply_nested_joins() {
+        let pool = ThreadPool::new(3);
+        fn sum(pool: &ThreadPool, lo: usize, hi: usize) -> usize {
+            if hi - lo <= 8 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = pool.join(|| sum(pool, lo, mid), || sum(pool, mid, hi));
+            a + b
+        }
+        assert_eq!(sum(&pool, 0, 10_000), (0..10_000).sum());
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..4 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 + 8 * 4);
+    }
+
+    #[test]
+    fn scope_can_borrow_stack_data() {
+        let pool = ThreadPool::new(2);
+        let mut results = vec![0u64; 16];
+        {
+            let chunks: Vec<&mut u64> = results.iter_mut().collect();
+            pool.scope(|s| {
+                for (i, slot) in chunks.into_iter().enumerate() {
+                    s.spawn(move |_| {
+                        *slot = (i * i) as u64;
+                    });
+                }
+            });
+        }
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic() {
+        let pool = ThreadPool::new(2);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("spawned panic"));
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 3), 3);
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for(0..n, 16, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_and_tiny_ranges() {
+        let pool = ThreadPool::new(2);
+        pool.par_for(0..0, 4, |_| panic!("must not be called"));
+        let count = AtomicU64::new(0);
+        pool.par_for(0..1, 0, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn free_join_works_from_external_thread() {
+        let (a, b) = join(|| 2, || 3);
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn free_scope_works_from_external_thread() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn join_inside_install_inside_scope() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            let total = &total;
+            for i in 0..6u64 {
+                s.spawn(move |_| {
+                    let (a, b) = join(|| i, || i * 10);
+                    total.fetch_add(a + b, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), (0..6).map(|i| i * 11).sum());
+    }
+}

@@ -1,0 +1,207 @@
+//! Fork-join job representations.
+//!
+//! A *job* is a unit of fork-join work that can sit in a worker deque and be
+//! executed exactly once, either by its owner (popped) or by a thief
+//! (stolen). Two flavours exist:
+//!
+//! * [`StackJob`] — lives on the stack of the forking function (`join`),
+//!   which blocks (while helping) until the job's latch is set, so the
+//!   borrow is valid for the job's whole lifetime.
+//! * [`HeapJob`] — boxed closure used by `Scope::spawn`, whose lifetime is
+//!   guaranteed by the scope's completion latch.
+//!
+//! Both catch panics during execution and allow the panic to be resumed on
+//! the thread that logically owns the result, mirroring `rayon`'s behaviour.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::{Latch, SpinLatch};
+
+/// A type-erased reference to a job.
+///
+/// The pointer identifies the job; `execute_fn` knows how to run it. The
+/// creator of a `JobRef` guarantees the pointed-to job outlives its
+/// execution (via a latch for stack jobs, or ownership transfer for heap
+/// jobs).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl JobRef {
+    /// Creates a job reference from a pointer to a job implementation.
+    ///
+    /// # Safety
+    /// The caller must guarantee `data` remains valid until the job has been
+    /// executed exactly once.
+    pub(crate) unsafe fn new<T>(data: *const T, execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef {
+            pointer: data as *const (),
+            execute_fn,
+        }
+    }
+
+    /// Executes the job. Must be called exactly once.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer)
+    }
+
+    /// Identity used by `join` to recognise its own job when popping.
+    pub(crate) fn id(&self) -> *const () {
+        self.pointer
+    }
+}
+
+/// The payload captured by a panicking job.
+pub(crate) type PanicPayload = Box<dyn Any + Send>;
+
+/// A job allocated on the forking function's stack.
+pub(crate) struct StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Set once the job has run (successfully or by panicking).
+    pub(crate) latch: SpinLatch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+pub(crate) enum JobResult<R> {
+    NotRun,
+    Ok(R),
+    Panic(PanicPayload),
+}
+
+unsafe impl<F, R> Sync for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            latch: SpinLatch::new(),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::NotRun),
+        }
+    }
+
+    /// Produces a type-erased reference to this job.
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive until the latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self as *const (), Self::execute_erased)
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        this.latch.set();
+    }
+
+    /// Runs the job inline on the current thread (used when `join` pops its
+    /// own deferred job back off the deque).
+    pub(crate) fn run_inline(&self) {
+        unsafe { Self::execute_erased(self as *const Self as *const ()) }
+    }
+
+    /// Retrieves the result after the latch has been set, resuming a panic
+    /// if the job panicked.
+    pub(crate) fn into_result(&self) -> R {
+        debug_assert!(self.latch.probe(), "result taken before completion");
+        let result = unsafe { std::ptr::replace(self.result.get(), JobResult::NotRun) };
+        match result {
+            JobResult::Ok(value) => value,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::NotRun => unreachable!("latch set but job result missing"),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job, used by scopes.
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(func: Box<dyn FnOnce() + Send>) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Converts the boxed job into a `JobRef`, transferring ownership to the
+    /// scheduler (the job frees itself after running).
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        let ptr = Box::into_raw(self);
+        unsafe { JobRef::new(ptr as *const (), Self::execute_erased) }
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let this = Box::from_raw(this as *mut Self);
+        (this.func)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_job_runs_and_returns_result() {
+        let job = StackJob::new(|| 21 * 2);
+        job.run_inline();
+        assert!(job.latch.probe());
+        assert_eq!(job.into_result(), 42);
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job = StackJob::new(|| -> i32 { panic!("boom") });
+        job.run_inline();
+        assert!(job.latch.probe());
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| job.into_result()));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn heap_job_executes_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let job = HeapJob::new(Box::new(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        }));
+        let job_ref = job.into_job_ref();
+        unsafe { job_ref.execute() };
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn job_ref_identity_is_stable() {
+        let job = StackJob::new(|| 0);
+        let r1 = unsafe { job.as_job_ref() };
+        let r2 = unsafe { job.as_job_ref() };
+        assert_eq!(r1.id(), r2.id());
+        job.run_inline();
+        let _ = job.into_result();
+    }
+}

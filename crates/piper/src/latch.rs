@@ -1,0 +1,182 @@
+//! Completion latches.
+//!
+//! Latches signal "this piece of work is finished" between workers and
+//! waiters. Three flavours are used by the runtime:
+//!
+//! * [`SpinLatch`] — a single-shot flag probed by a worker that is actively
+//!   helping (executing other tasks) while it waits, as in `join`.
+//! * [`CountLatch`] — counts outstanding children; used by `scope` and by
+//!   the `pipe_while` control frame to wait for all iterations.
+//! * [`LockLatch`] — a mutex/condvar latch for external (non-worker)
+//!   threads that must block rather than help.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Anything that can be probed for completion.
+pub trait Latch {
+    /// Returns true once the latch has been set.
+    fn probe(&self) -> bool;
+    /// Marks the latch as set.
+    fn set(&self);
+}
+
+/// A single-shot boolean latch.
+#[derive(Debug, Default)]
+pub struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A latch that becomes set when its counter reaches zero.
+///
+/// Currently used only by tests and kept for future structured constructs;
+/// `scope` tracks its pending count inline.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub struct CountLatch {
+    counter: AtomicUsize,
+}
+
+#[allow(dead_code)]
+impl CountLatch {
+    /// Creates a latch with an initial count.
+    pub fn with_count(count: usize) -> Self {
+        CountLatch {
+            counter: AtomicUsize::new(count),
+        }
+    }
+
+    /// Increments the outstanding count.
+    pub fn increment(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the count; returns true if this decrement set the latch.
+    pub fn decrement(&self) -> bool {
+        self.counter.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Current count (diagnostic only).
+    pub fn count(&self) -> usize {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl Latch for CountLatch {
+    fn probe(&self) -> bool {
+        self.counter.load(Ordering::Acquire) == 0
+    }
+
+    fn set(&self) {
+        self.counter.store(0, Ordering::Release);
+    }
+}
+
+/// A blocking latch for external threads.
+#[derive(Debug, Default)]
+pub struct LockLatch {
+    state: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl LockLatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks the calling thread until the latch is set.
+    pub fn wait(&self) {
+        let mut done = self.state.lock().unwrap();
+        while !*done {
+            done = self.condvar.wait(done).unwrap();
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn probe(&self) -> bool {
+        *self.state.lock().unwrap()
+    }
+
+    fn set(&self) {
+        let mut done = self.state.lock().unwrap();
+        *done = true;
+        drop(done);
+        self.condvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_counts_down() {
+        let l = CountLatch::with_count(3);
+        assert!(!l.probe());
+        assert!(!l.decrement());
+        assert!(!l.decrement());
+        assert!(l.decrement());
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_increment_then_decrement() {
+        let l = CountLatch::with_count(1);
+        l.increment();
+        assert!(!l.decrement());
+        assert!(l.decrement());
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_unblocks_waiter() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = thread::spawn(move || {
+            l2.wait();
+            7
+        });
+        thread::sleep(std::time::Duration::from_millis(5));
+        l.set();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn lock_latch_wait_after_set_returns_immediately() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait();
+        assert!(l.probe());
+    }
+}

@@ -1,0 +1,60 @@
+//! **piper** — a work-stealing runtime with *on-the-fly pipeline
+//! parallelism*, reproducing the Cilk-P system and its PIPER scheduler from
+//! I-Ting Angelina Lee et al., *On-the-Fly Pipeline Parallelism* (SPAA
+//! 2013).
+//!
+//! The crate provides:
+//!
+//! * a work-stealing [`ThreadPool`] with rayon-style fork-join primitives
+//!   ([`join`], [`scope`], [`ThreadPool::par_for`]) built on the Chase–Lev
+//!   deques of the [`wsdeque`] crate;
+//! * the [`pipe_while`] construct (and its builder-style convenience
+//!   wrapper [`StagedPipeline`]) implementing the paper's on-the-fly
+//!   pipeline linguistics: per-iteration stage structure decided during
+//!   execution, cross edges between adjacent iterations (`pipe_wait`),
+//!   stage skipping, and nesting with fork-join parallelism;
+//! * the PIPER scheduling behaviour: bind-to-element execution on the
+//!   work-stealing deques, automatic throttling with limit `K` (default
+//!   `4·P`), the tail-swap rule, and the two runtime optimizations — lazy
+//!   enabling and dependency folding — individually switchable through
+//!   [`PipeOptions`] for ablation studies;
+//! * instrumentation ([`MetricsSnapshot`], [`PipeStats`]) for the paper's
+//!   Theorem 10 (steal bound), Theorem 11 (space bound) and Figure 9
+//!   (dependency folding) experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use piper::{ThreadPool, PipeOptions, StagedPipeline};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let pool = ThreadPool::new(4);
+//! let out = Arc::new(Mutex::new(Vec::new()));
+//! let sink = Arc::clone(&out);
+//! let mut next = 0u32;
+//! // A serial-parallel-serial pipeline (the shape of PARSEC's ferret).
+//! StagedPipeline::<u32>::new()
+//!     .parallel(|x| *x = *x * *x)
+//!     .serial(move |x| sink.lock().unwrap().push(*x))
+//!     .run(&pool, PipeOptions::default(), move || {
+//!         next += 1;
+//!         if next <= 5 { Some(next) } else { None }
+//!     });
+//! assert_eq!(*out.lock().unwrap(), vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod forkjoin;
+mod job;
+mod latch;
+mod metrics;
+mod pipeline;
+mod pool;
+
+pub use forkjoin::{join, scope, Scope};
+pub use metrics::{Metrics, MetricsSnapshot, PipeStats};
+pub use pipeline::{
+    pipe_while, NodeOutcome, PipeOptions, PipelineIteration, Stage0, StageKind, StagedPipeline,
+};
+pub use pool::{PoolBuilder, ThreadPool};

@@ -1,0 +1,192 @@
+//! Scheduler instrumentation.
+//!
+//! The paper's evaluation relies on two kinds of measurements beyond wall
+//! clock: Cilkview-style work/span numbers (provided by the `pipedag` crate)
+//! and runtime counters — steal attempts (for the Theorem 10 time bound),
+//! live iteration frames (for the Theorem 11 space bound), and cross-edge
+//! check counts (for the Figure 9 dependency-folding study). All counters
+//! here are updated with relaxed atomics so that instrumentation does not
+//! perturb the scheduling fast paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters kept by a [`crate::ThreadPool`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Steal attempts (successful or not) by all workers.
+    pub steal_attempts: AtomicU64,
+    /// Successful steals.
+    pub steals: AtomicU64,
+    /// Fork-join jobs executed.
+    pub jobs_executed: AtomicU64,
+    /// Pipeline nodes executed (one per `run_node` call).
+    pub nodes_executed: AtomicU64,
+    /// Pipeline iterations started.
+    pub iterations_started: AtomicU64,
+    /// Pipeline iterations completed.
+    pub iterations_completed: AtomicU64,
+    /// Times an iteration suspended on an unsatisfied cross edge.
+    pub cross_suspensions: AtomicU64,
+    /// Times the control frame suspended because the throttling limit was
+    /// reached.
+    pub throttle_suspensions: AtomicU64,
+    /// Cross-edge checks that actually read the left neighbour's stage
+    /// counter.
+    pub cross_checks: AtomicU64,
+    /// Cross-edge checks satisfied from the dependency-folding cache without
+    /// reading the left neighbour's stage counter.
+    pub folded_checks: AtomicU64,
+    /// PIPER tail-swap operations performed.
+    pub tail_swaps: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            nodes_executed: self.nodes_executed.load(Ordering::Relaxed),
+            iterations_started: self.iterations_started.load(Ordering::Relaxed),
+            iterations_completed: self.iterations_completed.load(Ordering::Relaxed),
+            cross_suspensions: self.cross_suspensions.load(Ordering::Relaxed),
+            throttle_suspensions: self.throttle_suspensions.load(Ordering::Relaxed),
+            cross_checks: self.cross_checks.load(Ordering::Relaxed),
+            folded_checks: self.folded_checks.load(Ordering::Relaxed),
+            tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the pool counters; two snapshots can be
+/// subtracted to measure a region of execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Steal attempts (successful or not) by all workers.
+    pub steal_attempts: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Fork-join jobs executed.
+    pub jobs_executed: u64,
+    /// Pipeline nodes executed.
+    pub nodes_executed: u64,
+    /// Pipeline iterations started.
+    pub iterations_started: u64,
+    /// Pipeline iterations completed.
+    pub iterations_completed: u64,
+    /// Suspensions on unsatisfied cross edges.
+    pub cross_suspensions: u64,
+    /// Control-frame suspensions due to throttling.
+    pub throttle_suspensions: u64,
+    /// Cross-edge checks that read the neighbour's stage counter.
+    pub cross_checks: u64,
+    /// Cross-edge checks answered by the dependency-folding cache.
+    pub folded_checks: u64,
+    /// PIPER tail-swap operations.
+    pub tail_swaps: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            steals: self.steals.saturating_sub(earlier.steals),
+            jobs_executed: self.jobs_executed.saturating_sub(earlier.jobs_executed),
+            nodes_executed: self.nodes_executed.saturating_sub(earlier.nodes_executed),
+            iterations_started: self
+                .iterations_started
+                .saturating_sub(earlier.iterations_started),
+            iterations_completed: self
+                .iterations_completed
+                .saturating_sub(earlier.iterations_completed),
+            cross_suspensions: self
+                .cross_suspensions
+                .saturating_sub(earlier.cross_suspensions),
+            throttle_suspensions: self
+                .throttle_suspensions
+                .saturating_sub(earlier.throttle_suspensions),
+            cross_checks: self.cross_checks.saturating_sub(earlier.cross_checks),
+            folded_checks: self.folded_checks.saturating_sub(earlier.folded_checks),
+            tail_swaps: self.tail_swaps.saturating_sub(earlier.tail_swaps),
+        }
+    }
+}
+
+/// Statistics for one `pipe_while` invocation, returned by
+/// [`crate::pipeline::pipe_while`]. These are the quantities bounded by the
+/// paper's theorems: the number of iterations simultaneously alive is what
+/// Theorem 11's `K`-dependent term controls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PipeStats {
+    /// Total number of iterations executed.
+    pub iterations: u64,
+    /// Total number of pipeline nodes executed across all iterations.
+    pub nodes: u64,
+    /// Maximum number of simultaneously live (started but not completed)
+    /// iterations observed — bounded by the throttling limit `K`.
+    pub peak_active_iterations: u64,
+    /// Iterations that suspended at least once on a cross edge.
+    pub cross_suspensions: u64,
+    /// Times the control frame suspended due to throttling.
+    pub throttle_suspensions: u64,
+    /// Cross-edge checks that read the neighbour's stage counter.
+    pub cross_checks: u64,
+    /// Cross-edge checks answered from the dependency-folding cache.
+    pub folded_checks: u64,
+    /// Tail-swap operations performed while finishing iterations.
+    pub tail_swaps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_subtraction() {
+        let m = Metrics::new();
+        m.steal_attempts.store(10, Ordering::Relaxed);
+        m.steals.store(4, Ordering::Relaxed);
+        let a = m.snapshot();
+        m.steal_attempts.store(25, Ordering::Relaxed);
+        m.steals.store(9, Ordering::Relaxed);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.steal_attempts, 15);
+        assert_eq!(d.steals, 5);
+        assert_eq!(d.jobs_executed, 0);
+    }
+
+    #[test]
+    fn since_saturates_rather_than_underflows() {
+        let a = MetricsSnapshot {
+            steal_attempts: 3,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            steal_attempts: 10,
+            ..Default::default()
+        };
+        assert_eq!(a.since(&b).steal_attempts, 0);
+    }
+
+    #[test]
+    fn bump_increments() {
+        let m = Metrics::new();
+        Metrics::bump(&m.nodes_executed);
+        Metrics::bump(&m.nodes_executed);
+        assert_eq!(m.snapshot().nodes_executed, 2);
+    }
+}

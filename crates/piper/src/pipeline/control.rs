@@ -1,0 +1,277 @@
+//! The control frame of a `pipe_while` loop.
+//!
+//! In the paper's computation-dag model (Section 4, Figure 5), the control
+//! contour of a `pipe_while` runs the loop test and Stage 0 of each
+//! iteration serially, spawns the rest of each iteration, and carries the
+//! *join counter* that implements throttling. This module reifies that
+//! contour as a schedulable task ([`PipeShared`]) plus the non-generic state
+//! shared with iteration frames ([`ControlCore`]).
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::latch::{Latch, SpinLatch};
+use crate::metrics::{Metrics, PipeStats};
+use crate::pool::{ControlTask, Task, WorkerThread};
+
+use super::frame::IterFrame;
+use super::{PipelineIteration, Stage0};
+
+/// Control-frame status values.
+pub(crate) const CONTROL_RUNNABLE: u8 = 0;
+pub(crate) const CONTROL_THROTTLED: u8 = 1;
+
+/// The non-generic part of a `pipe_while`'s state, shared between the
+/// control frame and every iteration frame.
+pub(crate) struct ControlCore {
+    /// The throttling limit `K`.
+    pub(crate) throttle_limit: usize,
+    /// Lazy-enabling optimization switch.
+    pub(crate) lazy_enabling: bool,
+    /// Dependency-folding optimization switch.
+    pub(crate) dependency_folding: bool,
+    /// Join counter: number of started-but-unfinished iterations.
+    pub(crate) active: AtomicUsize,
+    /// High-water mark of `active` (Theorem 11's measured quantity).
+    pub(crate) peak_active: AtomicUsize,
+    /// Whether the control token is parked on an unsatisfied throttling edge.
+    pub(crate) control_status: AtomicU8,
+    /// Set once the producer has returned `Stage0::Stop` (or panicked).
+    pub(crate) producer_done: AtomicBool,
+    /// Set when the whole pipeline (producer + all iterations) has finished.
+    completion: SpinLatch,
+    /// First panic raised by the producer or any node.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    // Per-pipeline statistics (see `PipeStats`).
+    pub(crate) iterations: AtomicU64,
+    pub(crate) nodes: AtomicU64,
+    pub(crate) cross_suspensions: AtomicU64,
+    pub(crate) throttle_suspensions: AtomicU64,
+    pub(crate) cross_checks: AtomicU64,
+    pub(crate) folded_checks: AtomicU64,
+    pub(crate) tail_swaps: AtomicU64,
+}
+
+impl ControlCore {
+    pub(crate) fn new(throttle_limit: usize, lazy_enabling: bool, dependency_folding: bool) -> Arc<Self> {
+        Arc::new(ControlCore {
+            throttle_limit,
+            lazy_enabling,
+            dependency_folding,
+            active: AtomicUsize::new(0),
+            peak_active: AtomicUsize::new(0),
+            control_status: AtomicU8::new(CONTROL_RUNNABLE),
+            producer_done: AtomicBool::new(false),
+            completion: SpinLatch::new(),
+            panic: Mutex::new(None),
+            iterations: AtomicU64::new(0),
+            nodes: AtomicU64::new(0),
+            cross_suspensions: AtomicU64::new(0),
+            throttle_suspensions: AtomicU64::new(0),
+            cross_checks: AtomicU64::new(0),
+            folded_checks: AtomicU64::new(0),
+            tail_swaps: AtomicU64::new(0),
+        })
+    }
+
+    /// The latch set when the pipeline has fully completed.
+    pub(crate) fn completion_latch(&self) -> &SpinLatch {
+        &self.completion
+    }
+
+    /// Records a panic from the producer or a node (keeping only the first).
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.panic.lock().unwrap().get_or_insert(payload);
+    }
+
+    /// Takes the recorded panic, if any.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+
+    /// Raises the peak-active high-water mark to at least `current`.
+    pub(crate) fn update_peak(&self, current: usize) {
+        self.peak_active.fetch_max(current, Ordering::Relaxed);
+    }
+
+    /// Signals completion if the producer has stopped and no iteration is
+    /// still active.
+    pub(crate) fn maybe_complete(&self) {
+        if self.producer_done.load(Ordering::SeqCst) && self.active.load(Ordering::SeqCst) == 0 {
+            self.completion.set();
+        }
+    }
+
+    /// Collects the pipeline statistics.
+    pub(crate) fn stats(&self) -> PipeStats {
+        PipeStats {
+            iterations: self.iterations.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
+            peak_active_iterations: self.peak_active.load(Ordering::Relaxed) as u64,
+            cross_suspensions: self.cross_suspensions.load(Ordering::Relaxed),
+            throttle_suspensions: self.throttle_suspensions.load(Ordering::Relaxed),
+            cross_checks: self.cross_checks.load(Ordering::Relaxed),
+            folded_checks: self.folded_checks.load(Ordering::Relaxed),
+            tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The producer-side state of a `pipe_while` (everything that is generic
+/// over the user's closure and iteration types).
+struct ProducerState<F, I>
+where
+    I: PipelineIteration,
+{
+    /// The Stage-0 closure; dropped as soon as the loop stops.
+    producer: Option<F>,
+    /// Index of the next iteration to start.
+    next_index: u64,
+    /// The most recently started iteration (the left neighbour of the next
+    /// one), used to wire cross edges.
+    last_frame: Option<Arc<IterFrame<I>>>,
+}
+
+/// The control frame, schedulable as [`Task::Control`].
+pub(crate) struct PipeShared<F, I>
+where
+    I: PipelineIteration,
+{
+    core: Arc<ControlCore>,
+    producer: Mutex<ProducerState<F, I>>,
+}
+
+impl<F, I> PipeShared<F, I>
+where
+    F: FnMut(u64) -> Stage0<I> + Send + 'static,
+    I: PipelineIteration,
+{
+    pub(crate) fn new(core: Arc<ControlCore>, producer: F) -> Arc<Self> {
+        Arc::new(PipeShared {
+            core,
+            producer: Mutex::new(ProducerState {
+                producer: Some(producer),
+                next_index: 0,
+                last_frame: None,
+            }),
+        })
+    }
+
+    /// Handle on the shared, non-generic core.
+    pub(crate) fn core_handle(&self) -> Arc<ControlCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Finishes the loop: drops the producer and the last-frame link, marks
+    /// the producer done and completes the pipeline if nothing is active.
+    fn finish_loop(&self, prod: &mut ProducerState<F, I>) {
+        prod.producer = None;
+        prod.last_frame = None;
+        self.core.producer_done.store(true, Ordering::SeqCst);
+        self.core.maybe_complete();
+    }
+}
+
+impl<F, I> ControlTask for PipeShared<F, I>
+where
+    F: FnMut(u64) -> Stage0<I> + Send + 'static,
+    I: PipelineIteration,
+{
+    fn control_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task> {
+        let core = &self.core;
+
+        // Throttling gate (paper, Section 9 "join counter"): iteration
+        // `i + K` may not start before iteration `i` has completed, i.e. at
+        // most K iterations are active. If the limit is reached, the control
+        // token parks in the THROTTLED state; an iteration completion
+        // re-creates it. The store/re-check/CAS dance closes the race in
+        // which the last active iteration completes concurrently with us.
+        loop {
+            if core.active.load(Ordering::SeqCst) < core.throttle_limit {
+                break;
+            }
+            Metrics::bump(&core.throttle_suspensions);
+            Metrics::bump(&worker.metrics().throttle_suspensions);
+            core.control_status
+                .store(CONTROL_THROTTLED, Ordering::SeqCst);
+            if core.active.load(Ordering::SeqCst) < core.throttle_limit {
+                if core
+                    .control_status
+                    .compare_exchange(
+                        CONTROL_THROTTLED,
+                        CONTROL_RUNNABLE,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    // Re-acquired the token ourselves; re-evaluate the gate.
+                    continue;
+                }
+            }
+            // Token parked (or handed to the completing iteration).
+            return None;
+        }
+
+        // Run Stage 0 of the next iteration (the loop test + serial stage-0
+        // body). The mutex serializes Stage 0 across the (single) control
+        // token and makes the producer's `FnMut` state safe to mutate.
+        let mut prod = self.producer.lock().unwrap();
+        let index = prod.next_index;
+        let producer = match prod.producer.as_mut() {
+            Some(p) => p,
+            None => return None, // loop already finished
+        };
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| producer(index)));
+
+        match outcome {
+            Err(payload) => {
+                core.record_panic(payload);
+                self.finish_loop(&mut prod);
+                None
+            }
+            Ok(Stage0::Stop) => {
+                self.finish_loop(&mut prod);
+                None
+            }
+            Ok(Stage0::Proceed {
+                state,
+                first_stage,
+                wait,
+            }) => {
+                assert!(
+                    first_stage >= 1,
+                    "the first node after Stage 0 must have stage number >= 1"
+                );
+                prod.next_index += 1;
+                let prev = prod.last_frame.take();
+                let frame = Arc::new(IterFrame::new(
+                    index,
+                    Arc::clone(core),
+                    Arc::downgrade(&(self.clone() as Arc<dyn ControlTask>)),
+                    state,
+                    first_stage,
+                    wait,
+                    prev.clone(),
+                ));
+                if let Some(p) = &prev {
+                    p.set_next(Arc::clone(&frame));
+                }
+                prod.last_frame = Some(Arc::clone(&frame));
+                drop(prod);
+
+                let now_active = core.active.fetch_add(1, Ordering::SeqCst) + 1;
+                core.update_peak(now_active);
+                Metrics::bump(&worker.metrics().iterations_started);
+
+                // PIPER's rule for a spawn: push the continuation (the next
+                // control vertex) and make the child (the new iteration's
+                // first node) the assigned vertex.
+                worker.push(Task::Control(self));
+                Some(Task::Node(frame))
+            }
+        }
+    }
+}

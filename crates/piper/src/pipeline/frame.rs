@@ -1,0 +1,333 @@
+//! Iteration frames and the PIPER execution of pipeline nodes.
+//!
+//! Each started iteration of a `pipe_while` owns an [`IterFrame`], the
+//! analogue of Cilk-P's *iteration frame* (paper, Section 9): it holds the
+//! iteration's user state, a **stage counter** tracking progress through the
+//! iteration's nodes, and a **status** used by the cross-edge
+//! suspend/resume protocol. Frames of adjacent iterations are linked so
+//! that iteration `i` can check its left neighbour's progress (the
+//! `pipe_wait` test) and wake its right neighbour when it advances
+//! (*check-right*, deferred under lazy enabling).
+//!
+//! ## The cross-edge protocol
+//!
+//! The stage counter (`progress`) of a frame holds the smallest stage
+//! number that has not yet completed in that iteration; a completed
+//! iteration stores `u64::MAX`. The cross edge into node `(i, j)` is
+//! therefore satisfied exactly when `progress(i-1) > j`.
+//!
+//! Suspension and resumption race benignly: the consumer publishes its
+//! `Suspended` status *before* re-reading the producer's counter, and the
+//! producer advances its counter *before* reading the consumer's status
+//! (both with sequentially consistent ordering), so at least one side
+//! observes the other; the CAS on the status field then decides which side
+//! owns the frame and schedules it.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::metrics::Metrics;
+use crate::pool::{ControlTask, NodeTask, Task, WorkerThread};
+
+use super::control::{ControlCore, CONTROL_RUNNABLE, CONTROL_THROTTLED};
+use super::{NodeOutcome, PipelineIteration};
+
+/// Frame status: the iteration is runnable or currently executing.
+const STATUS_RUNNING: u8 = 0;
+/// Frame status: the iteration is suspended on an unsatisfied cross edge.
+const STATUS_SUSPENDED: u8 = 1;
+/// Frame status: the iteration has completed.
+const STATUS_DONE: u8 = 2;
+
+/// The runtime frame of one pipeline iteration.
+pub(crate) struct IterFrame<I>
+where
+    I: PipelineIteration,
+{
+    /// Iteration index `i` (diagnostics only).
+    index: u64,
+    /// Shared `pipe_while` state (join counter, options, statistics).
+    core: Arc<ControlCore>,
+    /// The control frame, needed when this iteration's completion re-enables
+    /// it through the throttling edge. Weak to avoid a reference cycle
+    /// (control → last_frame → control).
+    control: Weak<dyn ControlTask>,
+    /// Stage counter: smallest stage not yet completed; `u64::MAX` when the
+    /// iteration is done.
+    progress: AtomicU64,
+    /// Whether the next node has an incoming cross edge (`pipe_wait`).
+    pending_wait: AtomicBool,
+    /// Cross-edge protocol status (RUNNING / SUSPENDED / DONE).
+    status: AtomicU8,
+    /// The user's iteration state; dropped as soon as the iteration
+    /// completes so that live state is bounded by the throttling limit.
+    state: Mutex<Option<I>>,
+    /// Left neighbour (iteration `i-1`), present until it completes.
+    prev: Mutex<Option<Arc<IterFrame<I>>>>,
+    /// Right neighbour (iteration `i+1`), set when that iteration starts.
+    next: Mutex<Option<Arc<IterFrame<I>>>>,
+    /// Dependency folding: cached copy of the left neighbour's stage counter.
+    cached_prev_progress: AtomicU64,
+}
+
+impl<I> IterFrame<I>
+where
+    I: PipelineIteration,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: u64,
+        core: Arc<ControlCore>,
+        control: Weak<dyn ControlTask>,
+        state: I,
+        first_stage: u64,
+        wait: bool,
+        prev: Option<Arc<IterFrame<I>>>,
+    ) -> Self {
+        IterFrame {
+            index,
+            core,
+            control,
+            progress: AtomicU64::new(first_stage),
+            pending_wait: AtomicBool::new(wait),
+            status: AtomicU8::new(STATUS_RUNNING),
+            state: Mutex::new(Some(state)),
+            prev: Mutex::new(prev),
+            next: Mutex::new(None),
+            cached_prev_progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Iteration index (used by tests and diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Links the right neighbour, so this iteration can wake it.
+    pub(crate) fn set_next(&self, next: Arc<IterFrame<I>>) {
+        *self.next.lock().unwrap() = Some(next);
+    }
+
+    /// Tests whether the cross edge into stage `stage` of this iteration is
+    /// satisfied, i.e. whether the left neighbour has completed its node for
+    /// that stage. `use_cache` selects whether dependency folding may answer
+    /// from the cached counter.
+    fn cross_satisfied(&self, worker: &WorkerThread, stage: u64, use_cache: bool) -> bool {
+        let prev = self.prev.lock().unwrap().clone();
+        let prev = match prev {
+            None => return true, // iteration 0, or the left neighbour already completed
+            Some(p) => p,
+        };
+        if use_cache && self.core.dependency_folding {
+            let cached = self.cached_prev_progress.load(Ordering::Relaxed);
+            if cached > stage {
+                Metrics::bump(&self.core.folded_checks);
+                Metrics::bump(&worker.metrics().folded_checks);
+                return true;
+            }
+        }
+        Metrics::bump(&self.core.cross_checks);
+        Metrics::bump(&worker.metrics().cross_checks);
+        let current = prev.progress.load(Ordering::SeqCst);
+        // Dependency folding's cache: a completed neighbour stores u64::MAX,
+        // so after one read every later cross edge of this iteration folds.
+        // (The neighbour's frame shell stays linked until *this* iteration
+        // completes; its user state was already dropped, so live space is
+        // still bounded by the throttling limit.)
+        self.cached_prev_progress.store(current, Ordering::Relaxed);
+        current > stage
+    }
+
+    /// The *check-right* operation: if the right neighbour is suspended on a
+    /// stage this iteration has now passed, resume it by pushing it onto the
+    /// worker's deque.
+    fn check_right(&self, worker: &WorkerThread) {
+        let next = self.next.lock().unwrap().clone();
+        let next = match next {
+            None => return,
+            Some(n) => n,
+        };
+        if next.status.load(Ordering::SeqCst) != STATUS_SUSPENDED {
+            return;
+        }
+        let wanted = next.progress.load(Ordering::SeqCst);
+        let ours = self.progress.load(Ordering::SeqCst);
+        if ours > wanted
+            && next
+                .status
+                .compare_exchange(
+                    STATUS_SUSPENDED,
+                    STATUS_RUNNING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+        {
+            // We won the race to resume the neighbour; it becomes stealable
+            // work on our deque (the PIPER "enabled vertex" push).
+            worker.push(Task::Node(next));
+        }
+    }
+
+    /// Completes the iteration: releases its state, wakes the right
+    /// neighbour, updates the join counter, and — if this completion enables
+    /// the control frame through the throttling edge — performs PIPER's
+    /// tail-swap. Returns the worker's next assigned task, if any.
+    fn complete(&self, worker: &WorkerThread) -> Option<Task> {
+        // Publish completion before waking anyone.
+        *self.state.lock().unwrap() = None;
+        self.progress.store(u64::MAX, Ordering::SeqCst);
+        self.status.store(STATUS_DONE, Ordering::SeqCst);
+        *self.prev.lock().unwrap() = None;
+
+        Metrics::bump(&self.core.iterations);
+        Metrics::bump(&worker.metrics().iterations_completed);
+
+        // A completed iteration always checks right (lazy enabling defers
+        // intermediate checks, not this one).
+        self.check_right(worker);
+
+        // Leave the throttling edge: one fewer active iteration.
+        let previous_active = self.core.active.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(previous_active >= 1);
+        let remaining = previous_active - 1;
+
+        let mut assigned = None;
+        if remaining < self.core.throttle_limit
+            && self.core.control_status.load(Ordering::SeqCst) == CONTROL_THROTTLED
+            && self
+                .core
+                .control_status
+                .compare_exchange(
+                    CONTROL_THROTTLED,
+                    CONTROL_RUNNABLE,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+        {
+            // This completion enabled the control frame (the throttling edge
+            // of the computation dag). Per PIPER, the enabled vertex becomes
+            // the assigned vertex unless the deque is non-empty, in which
+            // case it is exchanged with the deque's tail (the tail-swap),
+            // keeping consecutive iterations on this worker and exposing the
+            // control frame for stealing.
+            if let Some(control) = self.control.upgrade() {
+                match worker.swap_tail(Task::Control(control)) {
+                    Ok(previous_tail) => {
+                        Metrics::bump(&self.core.tail_swaps);
+                        Metrics::bump(&worker.metrics().tail_swaps);
+                        assigned = Some(previous_tail);
+                    }
+                    Err(control_task) => assigned = Some(control_task),
+                }
+            }
+        }
+
+        // If the loop has stopped producing and this was the last active
+        // iteration, the whole pipe_while is complete.
+        self.core.maybe_complete();
+        assigned
+    }
+}
+
+impl<I> NodeTask for IterFrame<I>
+where
+    I: PipelineIteration,
+{
+    fn node_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task> {
+        loop {
+            let stage = self.progress.load(Ordering::SeqCst);
+            let needs_wait = self.pending_wait.load(Ordering::SeqCst);
+
+            if needs_wait && !self.cross_satisfied(worker, stage, true) {
+                // Publish the suspension, then re-check without the cache to
+                // close the race with a concurrently advancing neighbour.
+                self.status.store(STATUS_SUSPENDED, Ordering::SeqCst);
+                if self.cross_satisfied(worker, stage, false) {
+                    if self
+                        .status
+                        .compare_exchange(
+                            STATUS_SUSPENDED,
+                            STATUS_RUNNING,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_err()
+                    {
+                        // The left neighbour won the race and has already
+                        // re-scheduled this frame; drop our claim to it.
+                        return None;
+                    }
+                    // We re-claimed the frame; fall through and execute.
+                } else {
+                    Metrics::bump(&self.core.cross_suspensions);
+                    Metrics::bump(&worker.metrics().cross_suspensions);
+                    return None;
+                }
+            }
+
+            // Execute node (i, stage).
+            Metrics::bump(&self.core.nodes);
+            Metrics::bump(&worker.metrics().nodes_executed);
+            let mut state = self
+                .state
+                .lock()
+                .unwrap()
+                .take()
+                .expect("iteration state must be present while the iteration is live");
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                let o = state.run_node(stage);
+                (state, o)
+            }));
+
+            match outcome {
+                Err(payload) => {
+                    // A panicking node terminates its iteration; the panic is
+                    // re-raised from pipe_while once the pipeline drains.
+                    self.core.record_panic(payload);
+                    return self.complete(worker);
+                }
+                Ok((_state, NodeOutcome::Done)) => {
+                    return self.complete(worker);
+                }
+                Ok((state, outcome @ (NodeOutcome::ContinueTo(_) | NodeOutcome::WaitFor(_)))) => {
+                    let (next, is_wait) = match outcome {
+                        NodeOutcome::ContinueTo(next) => (next, false),
+                        NodeOutcome::WaitFor(next) => (next, true),
+                        NodeOutcome::Done => unreachable!(),
+                    };
+                    assert!(
+                        next > stage,
+                        "stage numbers must strictly increase within an iteration \
+                         (iteration {}, stage {} -> {})",
+                        self.index,
+                        stage,
+                        next
+                    );
+                    // Put the state back and advance the stage counter
+                    // *before* any check-right, so a waiting right neighbour
+                    // observes the new progress (Dekker-style pairing with
+                    // its suspend protocol).
+                    *self.state.lock().unwrap() = Some(state);
+                    self.pending_wait.store(is_wait, Ordering::SeqCst);
+                    self.progress.store(next, Ordering::SeqCst);
+
+                    // Eager enabling checks right at every node boundary;
+                    // lazy enabling (the default, per the paper's work-first
+                    // principle) defers the check to moments when it can be
+                    // amortized against the span: an empty deque now, or
+                    // iteration completion later.
+                    if !self.core.lazy_enabling || worker.deque_is_empty() {
+                        self.check_right(worker);
+                    }
+                    // Continue with the next node of this iteration (PIPER
+                    // keeps the iteration as its assigned work).
+                    continue;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! On-the-fly pipeline parallelism: the `pipe_while` construct and the
+//! PIPER scheduling of its iterations.
+//!
+//! # The programming model
+//!
+//! A Cilk-P `pipe_while` loop (paper, Section 2) executes iterations of a
+//! loop in a pipelined fashion. Each iteration is divided *during its own
+//! execution* into **nodes**, one per **stage**; stage numbers must strictly
+//! increase within an iteration. Two special statements control how an
+//! iteration advances:
+//!
+//! * `pipe_continue(j)` — move to stage `j` immediately;
+//! * `pipe_wait(j)` — move to stage `j`, but only after iteration `i-1` has
+//!   finished *its* stage `j` (a *cross edge* in the pipeline dag).
+//!
+//! Because Rust has no compiler support for suspending an iteration in the
+//! middle of a plain loop body, this library reifies the model:
+//!
+//! * Stage 0 — which in Cilk-P contains the loop test and is always serial —
+//!   is the **producer** closure passed to [`pipe_while`]. It is called once
+//!   per iteration (never concurrently) and returns [`Stage0::Stop`] to end
+//!   the loop or [`Stage0::Proceed`] carrying the iteration's state and how
+//!   to enter its next stage.
+//! * The rest of the iteration implements [`PipelineIteration`]: the runtime
+//!   calls [`run_node`](PipelineIteration::run_node) once per node, and the
+//!   returned [`NodeOutcome`] plays the role of `pipe_continue` /
+//!   `pipe_wait` / end-of-iteration. The pipeline's structure — how many
+//!   stages, which of them wait, how far stages are skipped — can therefore
+//!   depend on the input data, which is exactly the paper's *on-the-fly*
+//!   property (and what the x264 workload exercises).
+//!
+//! # Scheduling
+//!
+//! Iterations are scheduled by PIPER (paper, Section 5) on the pool's
+//! work-stealing deques: starting an iteration pushes the *continuation*
+//! (the next execution of the control frame) and descends into the
+//! iteration; finishing a node may enable the corresponding node of the
+//! next iteration; finishing an iteration may re-enable the control frame
+//! through the *throttling edge*, in which case the PIPER *tail-swap* is
+//! performed. The runtime implements the paper's two optimizations — *lazy
+//! enabling* and *dependency folding* — which can be toggled through
+//! [`PipeOptions`] for the ablation studies of Figure 9.
+//!
+//! # Example
+//!
+//! A three-stage serial–parallel–serial (SPS) pipeline like ferret's:
+//!
+//! ```
+//! use piper::{ThreadPool, PipeOptions, Stage0, NodeOutcome, PipelineIteration};
+//! use std::sync::{Arc, Mutex};
+//!
+//! struct Item { value: u64, out: Arc<Mutex<Vec<u64>>> }
+//!
+//! impl PipelineIteration for Item {
+//!     fn run_node(&mut self, stage: u64) -> NodeOutcome {
+//!         match stage {
+//!             1 => { self.value = self.value * self.value; NodeOutcome::WaitFor(2) }
+//!             2 => { self.out.lock().unwrap().push(self.value); NodeOutcome::Done }
+//!             _ => unreachable!(),
+//!         }
+//!     }
+//! }
+//!
+//! let pool = ThreadPool::new(2);
+//! let out = Arc::new(Mutex::new(Vec::new()));
+//! let sink = Arc::clone(&out);
+//! let mut next = 0u64;
+//! pool.pipe_while(PipeOptions::default(), move |_i| {
+//!     if next == 10 { return Stage0::Stop; }
+//!     next += 1;
+//!     Stage0::proceed(Item { value: next, out: Arc::clone(&sink) })
+//! });
+//! // Stage 2 waits on the previous iteration, so outputs appear in order.
+//! assert_eq!(*out.lock().unwrap(), (1..=10).map(|v| v * v).collect::<Vec<_>>());
+//! ```
+
+mod control;
+mod frame;
+mod staged;
+
+pub use staged::{StageKind, StagedPipeline};
+
+use crate::metrics::PipeStats;
+use crate::pool::{Task, ThreadPool};
+
+use control::{ControlCore, PipeShared};
+
+/// How an iteration leaves Stage 0 (the producer).
+#[derive(Debug)]
+pub enum Stage0<I> {
+    /// The loop-termination condition was reached: no new iteration starts.
+    Stop,
+    /// A new iteration starts with the given state.
+    Proceed {
+        /// The iteration's state, handed to [`PipelineIteration::run_node`].
+        state: I,
+        /// Stage number of the iteration's first node after Stage 0
+        /// (must be ≥ 1). Stages `1..first_stage` become *null nodes*.
+        first_stage: u64,
+        /// If true, the first node has a cross edge from the previous
+        /// iteration (i.e. it was entered with `pipe_wait`); if false it was
+        /// entered with `pipe_continue`.
+        wait: bool,
+    },
+}
+
+impl<I> Stage0<I> {
+    /// Proceed into stage 1 with a cross edge (`pipe_wait(1)`) — the common
+    /// case for pipelines whose stage 1 is serial.
+    pub fn wait(state: I) -> Self {
+        Stage0::Proceed {
+            state,
+            first_stage: 1,
+            wait: true,
+        }
+    }
+
+    /// Proceed into stage 1 without a cross edge (`pipe_continue(1)`) — the
+    /// common case for pipelines whose stage 1 is parallel.
+    pub fn proceed(state: I) -> Self {
+        Stage0::Proceed {
+            state,
+            first_stage: 1,
+            wait: false,
+        }
+    }
+
+    /// Proceed into an arbitrary stage, optionally waiting on the previous
+    /// iteration (stage skipping on entry, as x264 uses on line 17 of
+    /// Figure 2).
+    pub fn into_stage(state: I, first_stage: u64, wait: bool) -> Self {
+        Stage0::Proceed {
+            state,
+            first_stage,
+            wait,
+        }
+    }
+}
+
+/// What a node decided about the rest of its iteration — the reification of
+/// `pipe_continue(j)`, `pipe_wait(j)` and falling off the end of the loop
+/// body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOutcome {
+    /// `pipe_continue(j)`: the next node is stage `j` and may start
+    /// immediately.
+    ContinueTo(u64),
+    /// `pipe_wait(j)`: the next node is stage `j` and has a cross edge from
+    /// stage `j` of the previous iteration.
+    WaitFor(u64),
+    /// The iteration is complete.
+    Done,
+}
+
+/// One iteration of a `pipe_while` loop (everything after Stage 0).
+///
+/// The runtime calls [`run_node`](Self::run_node) once per node with the
+/// node's stage number; the implementation performs the stage's work and
+/// says how to continue. Stage numbers must strictly increase across the
+/// calls for one iteration. Nodes may use nested fork-join parallelism
+/// ([`crate::join`], [`crate::scope`], [`ThreadPool::par_for`]) or even
+/// nested pipelines.
+pub trait PipelineIteration: Send + 'static {
+    /// Executes the node for `stage` and returns how the iteration
+    /// continues.
+    fn run_node(&mut self, stage: u64) -> NodeOutcome;
+}
+
+/// Options controlling a single `pipe_while` execution.
+#[derive(Debug, Clone)]
+pub struct PipeOptions {
+    /// The throttling limit `K`: at most `K` iterations may be simultaneously
+    /// active (started but not finished). `None` selects the paper's default
+    /// of `4·P` workers.
+    pub throttle_limit: Option<usize>,
+    /// Enable the *lazy enabling* optimization (paper, Section 9): defer the
+    /// check-right operation to iteration completion or an empty deque
+    /// instead of performing it at every node boundary.
+    pub lazy_enabling: bool,
+    /// Enable the *dependency folding* optimization (paper, Section 9):
+    /// cache the most recently read stage counter of the left neighbour to
+    /// avoid re-reading it for already-satisfied cross edges.
+    pub dependency_folding: bool,
+}
+
+impl Default for PipeOptions {
+    fn default() -> Self {
+        PipeOptions {
+            throttle_limit: None,
+            lazy_enabling: true,
+            dependency_folding: true,
+        }
+    }
+}
+
+impl PipeOptions {
+    /// Options with an explicit throttling limit `K`.
+    pub fn with_throttle(k: usize) -> Self {
+        PipeOptions {
+            throttle_limit: Some(k),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the throttling limit `K`.
+    pub fn throttle(mut self, k: usize) -> Self {
+        self.throttle_limit = Some(k);
+        self
+    }
+
+    /// Enables or disables lazy enabling.
+    pub fn lazy_enabling(mut self, on: bool) -> Self {
+        self.lazy_enabling = on;
+        self
+    }
+
+    /// Enables or disables dependency folding.
+    pub fn dependency_folding(mut self, on: bool) -> Self {
+        self.dependency_folding = on;
+        self
+    }
+}
+
+/// Executes an on-the-fly pipeline (`pipe_while`) on `pool`, blocking the
+/// calling thread until every iteration has completed, and returns the
+/// pipeline's execution statistics.
+///
+/// `producer` is Stage 0: it is called serially, once per iteration, with
+/// the iteration index, and decides whether the loop continues. See the
+/// [module documentation](self) for the full model and an example.
+pub fn pipe_while<F, I>(pool: &ThreadPool, options: PipeOptions, producer: F) -> PipeStats
+where
+    F: FnMut(u64) -> Stage0<I> + Send + 'static,
+    I: PipelineIteration,
+{
+    let throttle = options
+        .throttle_limit
+        .unwrap_or_else(|| 4 * pool.num_threads())
+        .max(1);
+    let core = ControlCore::new(throttle, options.lazy_enabling, options.dependency_folding);
+    let shared = PipeShared::new(core, producer);
+    let core = shared.core_handle();
+
+    pool.in_worker(|worker| {
+        worker.push(Task::Control(shared.clone()));
+        worker.wait_until(core.completion_latch());
+    });
+
+    if let Some(payload) = core.take_panic() {
+        std::panic::resume_unwind(payload);
+    }
+    core.stats()
+}
+
+impl ThreadPool {
+    /// Method form of [`pipe_while`].
+    pub fn pipe_while<F, I>(&self, options: PipeOptions, producer: F) -> PipeStats
+    where
+        F: FnMut(u64) -> Stage0<I> + Send + 'static,
+        I: PipelineIteration,
+    {
+        pipe_while(self, options, producer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// A configurable test iteration: a fixed sequence of outcomes.
+    struct Scripted {
+        outcomes: Vec<NodeOutcome>,
+        executed: Arc<Mutex<Vec<(u64, u64)>>>, // (iteration, stage)
+        index: u64,
+        step: usize,
+    }
+
+    impl PipelineIteration for Scripted {
+        fn run_node(&mut self, stage: u64) -> NodeOutcome {
+            self.executed.lock().unwrap().push((self.index, stage));
+            let o = self.outcomes[self.step];
+            self.step += 1;
+            o
+        }
+    }
+
+    fn run_scripted(
+        pool: &ThreadPool,
+        opts: PipeOptions,
+        n: u64,
+        outcomes: Vec<NodeOutcome>,
+        first_wait: bool,
+    ) -> (Vec<(u64, u64)>, PipeStats) {
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&executed);
+        let outcomes_arc = outcomes;
+        let stats = pool.pipe_while(opts, move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::Proceed {
+                state: Scripted {
+                    outcomes: outcomes_arc.clone(),
+                    executed: Arc::clone(&sink),
+                    index: i,
+                    step: 0,
+                },
+                first_stage: 1,
+                wait: first_wait,
+            }
+        });
+        let log = executed.lock().unwrap().clone();
+        (log, stats)
+    }
+
+    #[test]
+    fn empty_pipeline_completes_immediately() {
+        let pool = ThreadPool::new(2);
+        let stats = pool.pipe_while(PipeOptions::default(), |_i| Stage0::<Scripted>::Stop);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn single_worker_runs_all_nodes() {
+        let pool = ThreadPool::new(1);
+        let (log, stats) = run_scripted(
+            &pool,
+            PipeOptions::default(),
+            10,
+            vec![
+                NodeOutcome::WaitFor(2),
+                NodeOutcome::ContinueTo(3),
+                NodeOutcome::Done,
+            ],
+            true,
+        );
+        assert_eq!(stats.iterations, 10);
+        assert_eq!(stats.nodes, 30);
+        assert_eq!(log.len(), 30);
+        // Every iteration executed stages 1, 2, 3 in order.
+        for i in 0..10u64 {
+            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            assert_eq!(stages, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn multi_worker_sps_pipeline_preserves_serial_stage_order() {
+        let pool = ThreadPool::new(4);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        struct Sps {
+            i: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl PipelineIteration for Sps {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                match stage {
+                    1 => {
+                        // Parallel middle stage: burn a little work.
+                        let mut acc = self.i;
+                        for k in 0..200 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        std::hint::black_box(acc);
+                        NodeOutcome::WaitFor(2)
+                    }
+                    2 => {
+                        self.out.lock().unwrap().push(self.i);
+                        NodeOutcome::Done
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let sink = Arc::clone(&out);
+        let n = 200;
+        let stats = pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(Sps {
+                i,
+                out: Arc::clone(&sink),
+            })
+        });
+        assert_eq!(stats.iterations, n);
+        // The final serial stage has cross edges, so outputs appear in
+        // iteration order even though stage 1 ran in parallel.
+        assert_eq!(*out.lock().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn throttling_limits_live_iterations() {
+        let pool = ThreadPool::new(4);
+        for k in [1usize, 2, 4, 8] {
+            let (_, stats) = run_scripted(
+                &pool,
+                PipeOptions::with_throttle(k),
+                64,
+                vec![NodeOutcome::ContinueTo(2), NodeOutcome::Done],
+                false,
+            );
+            assert!(
+                stats.peak_active_iterations <= k as u64,
+                "K={k}: peak {} exceeds throttle",
+                stats.peak_active_iterations
+            );
+            assert_eq!(stats.iterations, 64);
+        }
+    }
+
+    #[test]
+    fn stage_skipping_and_varying_stage_counts() {
+        // Iterations alternate between a short script and a long script with
+        // skipped stages, exercising null-node semantics.
+        let pool = ThreadPool::new(3);
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&executed);
+        struct Skipper {
+            i: u64,
+            executed: Arc<Mutex<Vec<(u64, u64)>>>,
+        }
+        impl PipelineIteration for Skipper {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                self.executed.lock().unwrap().push((self.i, stage));
+                if self.i % 2 == 0 {
+                    // Even iterations: stages 1 -> 5 (skip) -> done.
+                    match stage {
+                        1 => NodeOutcome::WaitFor(5),
+                        5 => NodeOutcome::Done,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    // Odd iterations: stages 1 -> 2 -> 9 -> done.
+                    match stage {
+                        1 => NodeOutcome::ContinueTo(2),
+                        2 => NodeOutcome::WaitFor(9),
+                        9 => NodeOutcome::Done,
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        let n = 50;
+        let stats = pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::Proceed {
+                state: Skipper {
+                    i,
+                    executed: Arc::clone(&sink),
+                },
+                first_stage: 1,
+                wait: i % 3 == 0,
+            }
+        });
+        assert_eq!(stats.iterations, n);
+        let log = executed.lock().unwrap();
+        assert_eq!(
+            log.len() as u64,
+            stats.nodes,
+            "every executed node is logged"
+        );
+        for i in 0..n {
+            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            if i % 2 == 0 {
+                assert_eq!(stages, vec![1, 5]);
+            } else {
+                assert_eq!(stages, vec![1, 2, 9]);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_stage_with_heavy_waits_is_correct_with_many_workers() {
+        // A fully serial pipeline (every stage waits): output order must be
+        // exactly the iteration order.
+        let pool = ThreadPool::new(4);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        struct Serial {
+            i: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl PipelineIteration for Serial {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                match stage {
+                    1 => NodeOutcome::WaitFor(2),
+                    2 => NodeOutcome::WaitFor(3),
+                    3 => {
+                        self.out.lock().unwrap().push(self.i);
+                        NodeOutcome::Done
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let sink = Arc::clone(&out);
+        let n = 300;
+        pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::wait(Serial {
+                i,
+                out: Arc::clone(&sink),
+            })
+        });
+        assert_eq!(*out.lock().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lazy_and_eager_enabling_produce_same_results() {
+        let pool = ThreadPool::new(4);
+        for lazy in [true, false] {
+            let opts = PipeOptions::default().lazy_enabling(lazy);
+            let (log, stats) = run_scripted(
+                &pool,
+                opts,
+                80,
+                vec![NodeOutcome::WaitFor(2), NodeOutcome::Done],
+                true,
+            );
+            assert_eq!(stats.iterations, 80);
+            assert_eq!(log.len(), 160);
+        }
+    }
+
+    #[test]
+    fn dependency_folding_reduces_cross_checks() {
+        // A single worker makes the schedule deterministic: each iteration
+        // runs after its predecessor completed, so with folding only the
+        // first cross-edge check per iteration needs to read the neighbour's
+        // stage counter and the rest are answered from the cache.
+        let pool = ThreadPool::new(1);
+        let mk_outcomes = || {
+            // Many fine-grained serial stages: lots of cross-edge checks.
+            let mut v: Vec<NodeOutcome> = (2..40).map(NodeOutcome::WaitFor).collect();
+            v.push(NodeOutcome::Done);
+            v
+        };
+        let (_, with_folding) = run_scripted(
+            &pool,
+            PipeOptions::default().dependency_folding(true),
+            40,
+            mk_outcomes(),
+            true,
+        );
+        let (_, without_folding) = run_scripted(
+            &pool,
+            PipeOptions::default().dependency_folding(false),
+            40,
+            mk_outcomes(),
+            true,
+        );
+        assert_eq!(without_folding.folded_checks, 0);
+        assert!(
+            with_folding.folded_checks > 0,
+            "dependency folding should satisfy some checks from the cache"
+        );
+        assert!(
+            with_folding.cross_checks < without_folding.cross_checks,
+            "folding should reduce stage-counter reads ({} vs {})",
+            with_folding.cross_checks,
+            without_folding.cross_checks
+        );
+    }
+
+    #[test]
+    fn nested_fork_join_inside_stage() {
+        let pool = ThreadPool::new(4);
+        let total = Arc::new(AtomicU64::new(0));
+        struct WithCilkFor {
+            i: u64,
+            total: Arc<AtomicU64>,
+        }
+        impl PipelineIteration for WithCilkFor {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                match stage {
+                    1 => {
+                        // Nested fork-join, like x264's cilk_for over B-frames.
+                        let (a, b) = crate::join(|| self.i * 2, || self.i * 3);
+                        self.total.fetch_add(a + b, Ordering::SeqCst);
+                        NodeOutcome::WaitFor(2)
+                    }
+                    2 => NodeOutcome::Done,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let sink = Arc::clone(&total);
+        let n = 40;
+        pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(WithCilkFor {
+                i,
+                total: Arc::clone(&sink),
+            })
+        });
+        assert_eq!(total.load(Ordering::SeqCst), (0..n).map(|i| i * 5).sum());
+    }
+
+    #[test]
+    fn nested_pipeline_inside_stage() {
+        // A pipe_while whose stages themselves run a small pipe_while
+        // (pipe nesting depth D = 2).
+        let pool = Arc::new(ThreadPool::new(3));
+        let total = Arc::new(AtomicU64::new(0));
+        struct Outer {
+            i: u64,
+            pool: Arc<ThreadPool>,
+            total: Arc<AtomicU64>,
+        }
+        struct Inner {
+            j: u64,
+            total: Arc<AtomicU64>,
+        }
+        impl PipelineIteration for Inner {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                self.total.fetch_add(self.j, Ordering::SeqCst);
+                NodeOutcome::Done
+            }
+        }
+        impl PipelineIteration for Outer {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                match stage {
+                    1 => {
+                        let total = Arc::clone(&self.total);
+                        let m = self.i % 4 + 1;
+                        self.pool.pipe_while(
+                            PipeOptions::with_throttle(2),
+                            move |j| {
+                                if j == m {
+                                    return Stage0::Stop;
+                                }
+                                Stage0::wait(Inner {
+                                    j,
+                                    total: Arc::clone(&total),
+                                })
+                            },
+                        );
+                        NodeOutcome::WaitFor(2)
+                    }
+                    2 => NodeOutcome::Done,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let sink = Arc::clone(&total);
+        let pool2 = Arc::clone(&pool);
+        let n = 12;
+        pool.pipe_while(PipeOptions::with_throttle(4), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(Outer {
+                i,
+                pool: Arc::clone(&pool2),
+                total: Arc::clone(&sink),
+            })
+        });
+        let expected: u64 = (0..n).map(|i| (0..(i % 4 + 1)).sum::<u64>()).sum();
+        assert_eq!(total.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn panic_in_node_propagates_and_pipeline_drains() {
+        let pool = ThreadPool::new(2);
+        struct Panicky {
+            i: u64,
+        }
+        impl PipelineIteration for Panicky {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                if self.i == 5 {
+                    panic!("node panic");
+                }
+                NodeOutcome::Done
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.pipe_while(PipeOptions::default(), move |i| {
+                if i == 10 {
+                    return Stage0::Stop;
+                }
+                Stage0::wait(Panicky { i })
+            });
+        }));
+        assert!(result.is_err());
+        // Pool remains usable.
+        assert_eq!(pool.install(|| 1), 1);
+    }
+
+    #[test]
+    fn panic_in_producer_propagates() {
+        let pool = ThreadPool::new(2);
+        struct Nop;
+        impl PipelineIteration for Nop {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                NodeOutcome::Done
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.pipe_while(PipeOptions::default(), move |i| {
+                if i == 3 {
+                    panic!("producer panic");
+                }
+                Stage0::wait(Nop)
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.install(|| 2), 2);
+    }
+
+    #[test]
+    fn pipe_while_from_external_thread_blocks_until_done() {
+        let pool = ThreadPool::new(3);
+        let count = Arc::new(AtomicU64::new(0));
+        struct Bump {
+            count: Arc<AtomicU64>,
+        }
+        impl PipelineIteration for Bump {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                self.count.fetch_add(1, Ordering::SeqCst);
+                NodeOutcome::Done
+            }
+        }
+        let sink = Arc::clone(&count);
+        let stats = pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == 500 {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(Bump {
+                count: Arc::clone(&sink),
+            })
+        });
+        // By the time pipe_while returns, every iteration has run.
+        assert_eq!(count.load(Ordering::SeqCst), 500);
+        assert_eq!(stats.iterations, 500);
+        assert!(stats.peak_active_iterations <= 4 * pool.num_threads() as u64);
+    }
+
+    #[test]
+    fn first_stage_may_be_large_for_stage_skipping_entry() {
+        // Entering iteration i at stage 1 + i (like x264's `pipe_wait(1+skip)`).
+        let pool = ThreadPool::new(3);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        struct SkipEntry {
+            i: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl PipelineIteration for SkipEntry {
+            fn run_node(&mut self, stage: u64) -> NodeOutcome {
+                assert_eq!(stage, 1 + self.i);
+                self.out.lock().unwrap().push(self.i);
+                NodeOutcome::Done
+            }
+        }
+        let sink = Arc::clone(&out);
+        let n = 60;
+        pool.pipe_while(PipeOptions::default(), move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::into_stage(
+                SkipEntry {
+                    i,
+                    out: Arc::clone(&sink),
+                },
+                1 + i,
+                true,
+            )
+        });
+        let mut got = out.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,228 @@
+//! A convenience builder for pipelines whose structure is known up front.
+//!
+//! Many pipelines — ferret's SPS, dedup's SSPS — have a fixed linear
+//! sequence of stages, each either *serial* (cross edges between every pair
+//! of adjacent iterations) or *parallel* (no cross edges). This is exactly
+//! the construct-and-run model of TBB, and it is trivially expressible on
+//! top of the on-the-fly machinery: [`StagedPipeline`] packages the common
+//! case so that workloads do not have to hand-write a
+//! [`PipelineIteration`](super::PipelineIteration) for it. (The x264
+//! workload, whose structure is data dependent, cannot use this builder —
+//! that is the paper's point — and implements `PipelineIteration` directly.)
+
+use std::sync::Arc;
+
+use crate::metrics::PipeStats;
+use crate::pool::ThreadPool;
+
+use super::{pipe_while, NodeOutcome, PipeOptions, PipelineIteration, Stage0};
+
+/// Whether a stage has cross edges between adjacent iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Iterations execute this stage in order (cross edges everywhere).
+    Serial,
+    /// Iterations execute this stage independently (no cross edges).
+    Parallel,
+}
+
+struct StageDef<T> {
+    kind: StageKind,
+    body: Box<dyn Fn(&mut T) + Send + Sync>,
+}
+
+/// A fixed linear pipeline over items of type `T`, executed with PIPER.
+///
+/// Stage 0 (the producer passed to [`run`](Self::run)) is always serial, as
+/// in the paper. Stages added with [`serial`](Self::serial) and
+/// [`parallel`](Self::parallel) become stages `1, 2, …` of the pipeline.
+pub struct StagedPipeline<T> {
+    stages: Vec<StageDef<T>>,
+}
+
+impl<T: Send + 'static> Default for StagedPipeline<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> StagedPipeline<T> {
+    /// Creates an empty pipeline (add stages before running it).
+    pub fn new() -> Self {
+        StagedPipeline { stages: Vec::new() }
+    }
+
+    /// Appends a serial stage.
+    pub fn serial(mut self, body: impl Fn(&mut T) + Send + Sync + 'static) -> Self {
+        self.stages.push(StageDef {
+            kind: StageKind::Serial,
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// Appends a parallel stage.
+    pub fn parallel(mut self, body: impl Fn(&mut T) + Send + Sync + 'static) -> Self {
+        self.stages.push(StageDef {
+            kind: StageKind::Parallel,
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// Appends a stage of the given kind.
+    pub fn stage(
+        self,
+        kind: StageKind,
+        body: impl Fn(&mut T) + Send + Sync + 'static,
+    ) -> Self {
+        match kind {
+            StageKind::Serial => self.serial(body),
+            StageKind::Parallel => self.parallel(body),
+        }
+    }
+
+    /// Number of stages added after Stage 0.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Runs the pipeline: `producer` is Stage 0 and is called serially until
+    /// it returns `None`; each produced item then flows through the added
+    /// stages. Blocks until every item has completed all stages.
+    pub fn run<P>(self, pool: &ThreadPool, options: PipeOptions, mut producer: P) -> PipeStats
+    where
+        P: FnMut() -> Option<T> + Send + 'static,
+    {
+        assert!(
+            !self.stages.is_empty(),
+            "a StagedPipeline needs at least one stage besides the producer"
+        );
+        let stages: Arc<Vec<StageDef<T>>> = Arc::new(self.stages);
+        pipe_while(pool, options, move |_i| {
+            match producer() {
+                None => Stage0::Stop,
+                Some(item) => {
+                    let wait = stages[0].kind == StageKind::Serial;
+                    Stage0::Proceed {
+                        state: StagedItem {
+                            item,
+                            stages: Arc::clone(&stages),
+                        },
+                        first_stage: 1,
+                        wait,
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// The per-iteration state of a [`StagedPipeline`].
+struct StagedItem<T> {
+    item: T,
+    stages: Arc<Vec<StageDef<T>>>,
+}
+
+impl<T: Send + 'static> PipelineIteration for StagedItem<T> {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        let idx = (stage - 1) as usize;
+        (self.stages[idx].body)(&mut self.item);
+        let next = idx + 1;
+        if next == self.stages.len() {
+            NodeOutcome::Done
+        } else if self.stages[next].kind == StageKind::Serial {
+            NodeOutcome::WaitFor(stage + 1)
+        } else {
+            NodeOutcome::ContinueTo(stage + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn sps_pipeline_preserves_order_in_final_serial_stage() {
+        let pool = ThreadPool::new(4);
+        let output = Arc::new(Mutex::new(Vec::new()));
+        let out = Arc::clone(&output);
+        let mut next = 0u64;
+        let n = 250;
+        let stats = StagedPipeline::<u64>::new()
+            .parallel(|x| {
+                *x = x.wrapping_mul(2654435761).rotate_left(7);
+            })
+            .serial(move |x| {
+                out.lock().unwrap().push(*x);
+            })
+            .run(&pool, PipeOptions::default(), move || {
+                if next == n {
+                    None
+                } else {
+                    next += 1;
+                    Some(next - 1)
+                }
+            });
+        assert_eq!(stats.iterations, n);
+        let expected: Vec<u64> = (0..n)
+            .map(|x: u64| x.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
+        assert_eq!(*output.lock().unwrap(), expected);
+    }
+
+    #[test]
+    fn all_parallel_stages_process_every_item() {
+        let pool = ThreadPool::new(3);
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let mut produced = 0u64;
+        StagedPipeline::<u64>::new()
+            .parallel(|x| *x += 1)
+            .parallel(move |x| {
+                c.fetch_add(*x, Ordering::SeqCst);
+            })
+            .run(&pool, PipeOptions::default(), move || {
+                if produced == 100 {
+                    None
+                } else {
+                    produced += 1;
+                    Some(produced - 1)
+                }
+            });
+        assert_eq!(count.load(Ordering::SeqCst), (1..=100).sum());
+    }
+
+    #[test]
+    fn ssps_shape_like_dedup() {
+        let pool = ThreadPool::new(4);
+        let output = Arc::new(Mutex::new(Vec::new()));
+        let out = Arc::clone(&output);
+        let mut next = 0u64;
+        let n = 120;
+        StagedPipeline::<(u64, u64)>::new()
+            .serial(|pair| pair.1 = pair.0 * 10) // serial "dedup" stage
+            .parallel(|pair| pair.1 += 1) // parallel "compress" stage
+            .serial(move |pair| out.lock().unwrap().push(pair.1)) // serial write
+            .run(&pool, PipeOptions::with_throttle(8), move || {
+                if next == n {
+                    None
+                } else {
+                    next += 1;
+                    Some((next - 1, 0))
+                }
+            });
+        let expected: Vec<u64> = (0..n).map(|x| x * 10 + 1).collect();
+        assert_eq!(*output.lock().unwrap(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let pool = ThreadPool::new(1);
+        StagedPipeline::<u64>::new().run(&pool, PipeOptions::default(), || None);
+    }
+}

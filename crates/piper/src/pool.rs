@@ -1,0 +1,563 @@
+//! The work-stealing thread pool.
+//!
+//! This module implements the worker/registry machinery that PIPER shares
+//! with an ordinary fork-join work-stealing scheduler (the ABP model of
+//! Arora, Blumofe and Plaxton, which the paper modifies): per-worker
+//! Chase–Lev deques, random victim selection, a global injector for external
+//! submissions, and a sleep/wake protocol for idle workers.
+//!
+//! The pipeline-specific behaviour (cross edges, throttling, tail-swap, lazy
+//! enabling, dependency folding) lives in [`crate::pipeline`]; it plugs into
+//! this module through the [`ControlTask`] and [`NodeTask`] traits and the
+//! [`Task`] enum.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+use wsdeque::{deque, Injector, Parker, Steal, Stealer, Worker as Deque, XorShift64};
+
+use crate::job::JobRef;
+use crate::latch::{Latch, LockLatch};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// A pipeline control frame (the serial Stage-0 / loop-test contour of a
+/// `pipe_while`), reified as a schedulable task.
+pub(crate) trait ControlTask: Send + Sync {
+    /// Executes one control step (Stage 0 of the next iteration, or the
+    /// throttle-suspension protocol). Returns the next *assigned* task for
+    /// this worker, if the step enabled one.
+    fn control_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task>;
+}
+
+/// A ready pipeline iteration, resumable at its next pending node.
+pub(crate) trait NodeTask: Send + Sync {
+    /// Runs nodes of the iteration until it completes or suspends. Returns
+    /// the next assigned task for this worker, if any (e.g. the control
+    /// frame re-enabled through a throttling edge).
+    fn node_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task>;
+}
+
+/// A schedulable unit sitting in a worker deque or the injector.
+pub(crate) enum Task {
+    /// A fork-join job (from `join`, `scope` or `par_for`).
+    Job(JobRef),
+    /// A pipeline control frame.
+    Control(Arc<dyn ControlTask>),
+    /// A ready pipeline iteration.
+    Node(Arc<dyn NodeTask>),
+}
+
+/// Per-worker shared info visible to other workers (for stealing/waking).
+struct ThreadInfo {
+    stealer: Stealer<Task>,
+    parker: Arc<Parker>,
+}
+
+/// State shared by every worker of a pool.
+pub(crate) struct Registry {
+    threads: Vec<ThreadInfo>,
+    injector: Injector<Task>,
+    pub(crate) metrics: Metrics,
+    sleepers: AtomicUsize,
+    terminating: AtomicBool,
+}
+
+impl Registry {
+    pub(crate) fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Submits a task from an arbitrary thread.
+    pub(crate) fn inject(&self, task: Task) {
+        self.injector.push(task);
+        self.wake_workers();
+    }
+
+    /// Wakes sleeping workers if any.
+    pub(crate) fn wake_workers(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            for t in &self.threads {
+                t.parker.unpark();
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Pointer to the `WorkerThread` owned by this OS thread, if it is a
+    /// pool worker. Stored as a raw pointer because the worker lives on the
+    /// worker thread's stack for the thread's whole lifetime.
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// The state owned by a single worker thread.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    deque: Deque<Task>,
+    rng: RefCell<XorShift64>,
+}
+
+impl WorkerThread {
+    /// Returns the worker bound to the current OS thread, if any.
+    ///
+    /// The returned reference is only valid for the duration of the current
+    /// call stack on this thread, which is all callers need.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        CURRENT_WORKER.with(|w| {
+            let ptr = w.get();
+            if ptr.is_null() {
+                None
+            } else {
+                Some(unsafe { &*ptr })
+            }
+        })
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.registry.metrics
+    }
+
+    /// True if this worker's deque is currently empty (used by lazy
+    /// enabling to decide when to check right).
+    pub(crate) fn deque_is_empty(&self) -> bool {
+        self.deque.is_empty()
+    }
+
+    /// Pushes a task onto this worker's deque and wakes a sleeper.
+    pub(crate) fn push(&self, task: Task) {
+        self.deque.push(task);
+        self.registry.wake_workers();
+    }
+
+    /// PIPER's tail-swap: exchanges `task` with the tail of this worker's
+    /// deque. Returns the previous tail, or gives `task` back if the deque
+    /// was empty.
+    pub(crate) fn swap_tail(&self, task: Task) -> Result<Task, Task> {
+        let r = self.deque.swap_tail(task);
+        if r.is_ok() {
+            self.registry.wake_workers();
+        }
+        r
+    }
+
+    /// Pops from the bottom of this worker's own deque.
+    pub(crate) fn pop(&self) -> Option<Task> {
+        self.deque.pop()
+    }
+
+    /// Finds a task: own deque first, then the injector, then random steals.
+    pub(crate) fn find_task(&self) -> Option<Task> {
+        if let Some(t) = self.pop() {
+            return Some(t);
+        }
+        if let Some(t) = self.registry.injector.pop() {
+            return Some(t);
+        }
+        self.steal()
+    }
+
+    /// One round of random steal attempts over all other workers.
+    fn steal(&self) -> Option<Task> {
+        let n = self.registry.num_threads();
+        if n <= 1 {
+            return None;
+        }
+        let mut rng = self.rng.borrow_mut();
+        // One full round of attempts in random order starting at a random
+        // victim; counted as steal attempts for the Theorem 10 experiment.
+        let start = rng.next_below(n);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            Metrics::bump(&self.registry.metrics.steal_attempts);
+            loop {
+                match self.registry.threads[victim].stealer.steal() {
+                    Steal::Success(task) => {
+                        Metrics::bump(&self.registry.metrics.steals);
+                        return Some(task);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Executes a task, following the chain of "assigned vertices" that
+    /// pipeline tasks may return (PIPER's worker keeps executing its
+    /// assigned vertex rather than going back to the deque).
+    pub(crate) fn execute(&self, task: Task) {
+        let mut current = Some(task);
+        while let Some(t) = current.take() {
+            match t {
+                Task::Job(job) => {
+                    Metrics::bump(&self.registry.metrics.jobs_executed);
+                    unsafe { job.execute() };
+                }
+                Task::Control(ctrl) => {
+                    current = ctrl.control_step(self);
+                }
+                Task::Node(node) => {
+                    current = node.node_step(self);
+                }
+            }
+        }
+    }
+
+    /// Runs the scheduling loop until `latch` is set, helping with any work
+    /// found in the meantime. This is how workers "block" without blocking.
+    pub(crate) fn wait_until<L: Latch>(&self, latch: &L) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(task) = self.find_task() {
+                idle_spins = 0;
+                self.execute(task);
+            } else {
+                idle_spins += 1;
+                if idle_spins < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The worker's top-level scheduling loop.
+    fn main_loop(&self) {
+        loop {
+            if let Some(task) = self.find_task() {
+                self.execute(task);
+                continue;
+            }
+            if self.registry.terminating.load(Ordering::Acquire) {
+                break;
+            }
+            // Nothing to do: sleep briefly. The timeout bounds the damage of
+            // any missed wakeup; explicit wakes make the common case fast.
+            self.registry.sleepers.fetch_add(1, Ordering::SeqCst);
+            self.registry.threads[self.index]
+                .parker
+                .park_timeout(Duration::from_micros(500));
+            self.registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Configuration for building a [`ThreadPool`].
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    num_threads: usize,
+    thread_name_prefix: String,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder {
+            num_threads: default_num_threads(),
+            thread_name_prefix: "piper-worker".to_string(),
+        }
+    }
+}
+
+fn default_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl PoolBuilder {
+    /// Starts building a pool with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (`P` in the paper).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Sets the prefix used to name worker threads.
+    pub fn thread_name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.thread_name_prefix = prefix.into();
+        self
+    }
+
+    /// Builds the pool, spawning the worker threads.
+    pub fn build(self) -> ThreadPool {
+        let n = self.num_threads;
+        let mut deques = Vec::with_capacity(n);
+        let mut infos = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (worker, stealer) = deque::<Task>();
+            infos.push(ThreadInfo {
+                stealer,
+                parker: Arc::new(Parker::new()),
+            });
+            deques.push(worker);
+        }
+        let registry = Arc::new(Registry {
+            threads: infos,
+            injector: Injector::new(),
+            metrics: Metrics::new(),
+            sleepers: AtomicUsize::new(0),
+            terminating: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (index, dq) in deques.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let name = format!("{}-{}", self.thread_name_prefix, index);
+            let handle = thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    let worker = WorkerThread {
+                        registry,
+                        index,
+                        deque: dq,
+                        rng: RefCell::new(XorShift64::new(0x5851_F42D_4C95_7F2D ^ (index as u64 + 1))),
+                    };
+                    CURRENT_WORKER.with(|w| w.set(&worker as *const WorkerThread));
+                    worker.main_loop();
+                    CURRENT_WORKER.with(|w| w.set(std::ptr::null()));
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        ThreadPool {
+            registry,
+            handles: Mutex::new(handles),
+        }
+    }
+}
+
+/// A work-stealing thread pool that supports both fork-join parallelism and
+/// on-the-fly pipeline parallelism (see [`crate::pipeline`]).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers.
+    pub fn new(num_threads: usize) -> Self {
+        PoolBuilder::new().num_threads(num_threads).build()
+    }
+
+    /// Starts building a pool with custom settings.
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::new()
+    }
+
+    /// A process-wide shared pool sized to the machine, for convenience use
+    /// by examples and the free functions [`crate::join`] / [`crate::scope`].
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_num_threads()))
+    }
+
+    /// Number of worker threads (`P`).
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Snapshot of the pool's scheduling counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.metrics.snapshot()
+    }
+
+    /// True if the calling thread is one of this pool's workers.
+    pub fn is_worker_thread(&self) -> bool {
+        match WorkerThread::current() {
+            Some(w) => Arc::ptr_eq(w.registry(), &self.registry),
+            None => false,
+        }
+    }
+
+    /// Runs `f` on a worker thread of this pool and returns its result,
+    /// blocking the calling thread until it completes. If the calling thread
+    /// already is a worker of this pool, `f` runs inline.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.is_worker_thread() {
+            return f();
+        }
+        // Run `f` as a job on some worker, blocking this external thread on
+        // a lock latch. The job and result live on this stack frame, which
+        // remains valid because we do not return until the latch is set.
+        let latch = LockLatch::new();
+        let result: Mutex<Option<std::thread::Result<R>>> = Mutex::new(None);
+        {
+            let job = crate::job::StackJob::new(|| {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                *result.lock().unwrap() = Some(r);
+                latch.set();
+            });
+            let job_ref = unsafe { job.as_job_ref() };
+            self.registry.inject(Task::Job(job_ref));
+            latch.wait();
+            // The lock latch is set from inside the closure, slightly before
+            // the worker finishes bookkeeping on the stack job itself; spin
+            // out that tiny window so `job` is not dropped while in use.
+            while !job.latch.probe() {
+                std::hint::spin_loop();
+            }
+        }
+        let r = result.into_inner().unwrap().expect("install job did not run");
+        match r {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Runs the closure `op` with the current worker if called from inside
+    /// the pool, or moves onto the pool via [`install`](Self::install)
+    /// otherwise.
+    pub(crate) fn in_worker<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        if let Some(w) = WorkerThread::current() {
+            if Arc::ptr_eq(w.registry(), &self.registry) {
+                return op(w);
+            }
+        }
+        self.install(|| {
+            let w = WorkerThread::current().expect("install must run on a worker");
+            op(w)
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminating.store(true, Ordering::Release);
+        self.registry.wake_workers();
+        // Keep nudging sleepers until all workers have exited: a worker that
+        // re-parks just after the wake would otherwise delay shutdown by one
+        // park timeout (bounded, but pointless).
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn build_and_drop_pool() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.num_threads(), 2);
+        drop(pool);
+    }
+
+    #[test]
+    fn builder_clamps_to_at_least_one_thread() {
+        let pool = ThreadPool::builder().num_threads(0).build();
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn install_runs_closure_and_returns_value() {
+        let pool = ThreadPool::new(2);
+        let value = pool.install(|| 6 * 7);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn install_runs_on_a_worker_thread() {
+        let pool = ThreadPool::new(2);
+        let on_worker = pool.install(|| WorkerThread::current().is_some());
+        assert!(on_worker);
+        assert!(!pool.is_worker_thread());
+    }
+
+    #[test]
+    fn nested_install_runs_inline() {
+        let pool = ThreadPool::new(2);
+        let v = pool.install(|| {
+            // Already on a worker: must not deadlock.
+            ThreadPool::global(); // unrelated pool may exist
+            1 + 1
+        });
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("expected panic"));
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn many_installs_from_many_threads() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    pool.install(|| counter.fetch_add(1, Ordering::SeqCst));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 50);
+    }
+
+    #[test]
+    fn metrics_count_jobs() {
+        let pool = ThreadPool::new(2);
+        let before = pool.metrics();
+        for _ in 0..10 {
+            pool.install(|| ());
+        }
+        let after = pool.metrics();
+        assert!(after.since(&before).jobs_executed >= 10);
+    }
+}

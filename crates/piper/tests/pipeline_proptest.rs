@@ -1,0 +1,226 @@
+//! Property-based tests of the PIPER scheduler itself: for *arbitrary*
+//! on-the-fly pipeline structures (random stage counts, stage skipping and
+//! serial/parallel decisions per node), the runtime must
+//!
+//! * call `run_node` with exactly the stages the iteration asked for,
+//! * never start a node before its cross-edge predecessor (with the paper's
+//!   null-node collapsing rule) has completed,
+//! * execute every node exactly once, and
+//! * keep the number of simultaneously live iterations within the throttling
+//!   limit `K` (Theorem 11).
+//!
+//! The dependency check is done from inside the running nodes against shared
+//! atomic "last completed stage" cells, so any violation shows up as a panic
+//! that `pipe_while` propagates back to the test.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0, ThreadPool};
+use proptest::prelude::*;
+
+/// One generated node: the gap to the previous stage number and whether it
+/// is entered with `pipe_wait`.
+#[derive(Debug, Clone)]
+struct NodePlan {
+    stage: u64,
+    wait: bool,
+}
+
+/// The full generated pipeline: per iteration, the list of nodes after
+/// Stage 0.
+#[derive(Debug, Clone)]
+struct PipelinePlan {
+    iterations: Vec<Vec<NodePlan>>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = PipelinePlan> {
+    let node = (1u64..4, any::<bool>());
+    let iteration = proptest::collection::vec(node, 1..6);
+    proptest::collection::vec(iteration, 1..14).prop_map(|raw| {
+        let iterations = raw
+            .into_iter()
+            .map(|nodes| {
+                let mut stage = 0u64;
+                nodes
+                    .into_iter()
+                    .map(|(gap, wait)| {
+                        stage += gap;
+                        NodePlan { stage, wait }
+                    })
+                    .collect()
+            })
+            .collect();
+        PipelinePlan { iterations }
+    })
+}
+
+/// Shared verification state: for every iteration, the highest stage whose
+/// node has *completed* (−1 = nothing yet, 0 = Stage 0 done).
+struct Tracker {
+    completed: Vec<AtomicI64>,
+    nodes_executed: AtomicU64,
+}
+
+impl Tracker {
+    fn new(iterations: usize) -> Self {
+        Tracker {
+            completed: (0..iterations).map(|_| AtomicI64::new(-1)).collect(),
+            nodes_executed: AtomicU64::new(0),
+        }
+    }
+}
+
+struct PlannedIteration {
+    index: usize,
+    nodes: Vec<NodePlan>,
+    position: usize,
+    plan: Arc<PipelinePlan>,
+    tracker: Arc<Tracker>,
+}
+
+impl PipelineIteration for PlannedIteration {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        let expected = &self.nodes[self.position];
+        assert_eq!(
+            stage, expected.stage,
+            "iteration {} was resumed at stage {stage}, expected {}",
+            self.index, expected.stage
+        );
+
+        // Cross-edge check: if this node was entered with pipe_wait, the
+        // source node in the previous iteration (stage `stage`, collapsed
+        // onto the last real node before it if skipped) must have completed.
+        if expected.wait && self.index > 0 {
+            let prev = &self.plan.iterations[self.index - 1];
+            // Stages of the previous iteration include the implicit Stage 0.
+            let required: i64 = std::iter::once(0u64)
+                .chain(prev.iter().map(|n| n.stage))
+                .filter(|&s| s <= stage)
+                .max()
+                .map(|s| s as i64)
+                .unwrap_or(0);
+            let seen = self.tracker.completed[self.index - 1].load(Ordering::SeqCst);
+            assert!(
+                seen >= required,
+                "iteration {} stage {stage} started before ({}, {required}) completed (last completed: {seen})",
+                self.index,
+                self.index - 1
+            );
+        }
+
+        self.tracker.nodes_executed.fetch_add(1, Ordering::SeqCst);
+        // Mark this node completed *after* doing its (empty) work.
+        self.tracker.completed[self.index].store(expected.stage as i64, Ordering::SeqCst);
+
+        self.position += 1;
+        match self.nodes.get(self.position) {
+            None => NodeOutcome::Done,
+            Some(next) if next.wait => NodeOutcome::WaitFor(next.stage),
+            Some(next) => NodeOutcome::ContinueTo(next.stage),
+        }
+    }
+}
+
+fn run_plan(plan: &PipelinePlan, workers: usize, options: PipeOptions) -> piper::PipeStats {
+    let plan = Arc::new(plan.clone());
+    let tracker = Arc::new(Tracker::new(plan.iterations.len()));
+    let pool = ThreadPool::new(workers);
+    let total_nodes: u64 = plan.iterations.iter().map(|it| it.len() as u64).sum();
+
+    let producer_plan = Arc::clone(&plan);
+    let producer_tracker = Arc::clone(&tracker);
+    let stats = pool.pipe_while(options, move |i| {
+        let index = i as usize;
+        if index >= producer_plan.iterations.len() {
+            return Stage0::Stop;
+        }
+        // Stage 0 runs here, in the serial producer contour.
+        producer_tracker.completed[index].store(0, Ordering::SeqCst);
+        let nodes = producer_plan.iterations[index].clone();
+        let first = &nodes[0];
+        Stage0::into_stage(
+            PlannedIteration {
+                index,
+                position: 0,
+                nodes: nodes.clone(),
+                plan: Arc::clone(&producer_plan),
+                tracker: Arc::clone(&producer_tracker),
+            },
+            first.stage,
+            first.wait,
+        )
+    });
+
+    assert_eq!(stats.iterations, plan.iterations.len() as u64);
+    assert_eq!(
+        tracker.nodes_executed.load(Ordering::SeqCst),
+        total_nodes,
+        "every planned node must execute exactly once"
+    );
+    // Every iteration finished at its last planned stage.
+    for (i, nodes) in plan.iterations.iter().enumerate() {
+        assert_eq!(
+            tracker.completed[i].load(Ordering::SeqCst),
+            nodes.last().unwrap().stage as i64,
+            "iteration {i} did not run to completion"
+        );
+    }
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_pipelines_respect_cross_edges_and_throttling(
+        plan in plan_strategy(),
+        workers in 1usize..4,
+        throttle in 1usize..6,
+    ) {
+        let stats = run_plan(&plan, workers, PipeOptions::with_throttle(throttle));
+        prop_assert!(stats.peak_active_iterations <= throttle as u64);
+    }
+
+    #[test]
+    fn optimizations_do_not_change_observable_behaviour(plan in plan_strategy(), workers in 1usize..4) {
+        for options in [
+            PipeOptions::default(),
+            PipeOptions::default().lazy_enabling(false),
+            PipeOptions::default().dependency_folding(false),
+            PipeOptions::default().lazy_enabling(false).dependency_folding(false),
+        ] {
+            let stats = run_plan(&plan, workers, options);
+            let planned_nodes: u64 = plan.iterations.iter().map(|it| it.len() as u64).sum();
+            prop_assert_eq!(stats.nodes, planned_nodes);
+        }
+    }
+}
+
+#[test]
+fn single_iteration_single_node_pipeline_works() {
+    let plan = PipelinePlan {
+        iterations: vec![vec![NodePlan { stage: 1, wait: true }]],
+    };
+    let stats = run_plan(&plan, 2, PipeOptions::default());
+    assert_eq!(stats.iterations, 1);
+    assert_eq!(stats.nodes, 1);
+}
+
+#[test]
+fn deep_stage_skipping_pipeline_works() {
+    // Iterations enter at ever-higher stages (the x264 pattern) with cross
+    // edges that always collapse onto earlier real nodes.
+    let iterations = (0..10usize)
+        .map(|i| {
+            vec![
+                NodePlan { stage: 1 + 3 * i as u64, wait: true },
+                NodePlan { stage: 2 + 3 * i as u64, wait: true },
+            ]
+        })
+        .collect();
+    let plan = PipelinePlan { iterations };
+    let stats = run_plan(&plan, 3, PipeOptions::with_throttle(4));
+    assert_eq!(stats.nodes, 20);
+    assert!(stats.peak_active_iterations <= 4);
+}

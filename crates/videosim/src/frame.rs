@@ -1,0 +1,225 @@
+//! Synthetic video frames and the frame-type decision.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The encoding type of a frame, as in H.264 / x264.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Intra-coded: depends only on previously encoded macroblocks of the
+    /// same frame.
+    I,
+    /// Predicted: may depend on nearby macroblocks of nearby preceding
+    /// frames up to the most recent I-frame.
+    P,
+    /// Bidirectional: may also depend on the next I- or P-frame; buffered
+    /// and encoded after it.
+    B,
+}
+
+/// A synthetic grayscale video frame divided into macroblock rows.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame index in display order.
+    pub index: u64,
+    /// Frame type (decided by [`VideoSource`]).
+    pub frame_type: FrameType,
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels (a multiple of 16, the macroblock height).
+    pub height: usize,
+    /// Row-major luma samples.
+    pub pixels: Vec<u8>,
+}
+
+/// Height of a macroblock row in pixels.
+pub const MB_ROW_HEIGHT: usize = 16;
+
+impl Frame {
+    /// Number of macroblock rows.
+    pub fn rows(&self) -> usize {
+        self.height / MB_ROW_HEIGHT
+    }
+
+    /// The pixel slice of macroblock row `row`.
+    pub fn row_pixels(&self, row: usize) -> &[u8] {
+        let start = row * MB_ROW_HEIGHT * self.width;
+        let end = ((row + 1) * MB_ROW_HEIGHT * self.width).min(self.pixels.len());
+        &self.pixels[start..end]
+    }
+}
+
+/// A deterministic synthetic video source with an x264-like GOP structure.
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    /// Number of frames the source will produce.
+    pub num_frames: u64,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// An I-frame is produced every `gop` I/P slots (0 = only the first).
+    pub gop: u64,
+    /// Number of B-frames between consecutive I/P frames.
+    pub bframes: u64,
+    /// How much the scene moves per frame (drives P-frame encode cost).
+    pub motion: f64,
+    seed: u64,
+    next: u64,
+}
+
+impl VideoSource {
+    /// Creates a source with the given shape.
+    pub fn new(num_frames: u64, width: usize, height: usize, gop: u64, bframes: u64) -> Self {
+        VideoSource {
+            num_frames,
+            width,
+            height: height - height % MB_ROW_HEIGHT,
+            gop,
+            bframes,
+            motion: 2.5,
+            seed: 0x264_264,
+            next: 0,
+        }
+    }
+
+    /// Overrides the motion magnitude.
+    pub fn with_motion(mut self, motion: f64) -> Self {
+        self.motion = motion;
+        self
+    }
+
+    /// Total number of frames remaining.
+    pub fn remaining(&self) -> u64 {
+        self.num_frames.saturating_sub(self.next)
+    }
+
+    /// Produces the next frame, or `None` at end of stream.
+    ///
+    /// Frame types follow an x264-like pattern: the stream starts with an
+    /// I-frame; every `bframes` B-frames are followed by a P-frame; every
+    /// `gop`-th I/P slot is an I-frame.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if self.next >= self.num_frames {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+
+        let cycle = self.bframes + 1;
+        let ip_slot = index / cycle;
+        let in_cycle = index % cycle;
+        let frame_type = if index == 0 {
+            FrameType::I
+        } else if in_cycle == 0 {
+            if self.gop > 0 && ip_slot % self.gop == 0 {
+                FrameType::I
+            } else {
+                FrameType::P
+            }
+        } else {
+            FrameType::B
+        };
+
+        Some(self.render(index, frame_type))
+    }
+
+    /// Renders the synthetic content of frame `index`: a couple of moving
+    /// gradients plus noise, so consecutive frames are similar but not
+    /// identical (P-frames find good but imperfect predictions).
+    fn render(&self, index: u64, frame_type: FrameType) -> Frame {
+        let mut noise = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E3779B97F4A7C15));
+        let t = index as f64 * self.motion;
+        let mut pixels = Vec::with_capacity(self.width * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let u = (x as f64 + t) / self.width as f64;
+                let v = (y as f64 + 0.5 * t) / self.height as f64;
+                let a = (u * std::f64::consts::TAU).sin();
+                let b = (v * 3.0 * std::f64::consts::TAU).cos();
+                let value = 128.0 + 60.0 * a + 40.0 * b + noise.gen_range(-8.0..8.0);
+                pixels.push(value.clamp(0.0, 255.0) as u8);
+            }
+        }
+        Frame {
+            index,
+            frame_type,
+            width: self.width,
+            height: self.height,
+            pixels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_type_pattern_matches_gop_structure() {
+        let mut src = VideoSource::new(20, 64, 64, 4, 1);
+        let types: Vec<FrameType> = std::iter::from_fn(|| src.next_frame().map(|f| f.frame_type))
+            .collect();
+        assert_eq!(types.len(), 20);
+        assert_eq!(types[0], FrameType::I);
+        // With bframes=1: even indices are I/P slots, odd are B.
+        for (i, t) in types.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            if i % 2 == 1 {
+                assert_eq!(*t, FrameType::B, "frame {i}");
+            } else {
+                assert_ne!(*t, FrameType::B, "frame {i}");
+            }
+        }
+        // Every 4th I/P slot is an I-frame.
+        assert_eq!(types[8], FrameType::I);
+        assert_eq!(types[2], FrameType::P);
+    }
+
+    #[test]
+    fn frames_are_deterministic_and_divide_into_rows() {
+        let mut a = VideoSource::new(3, 64, 48, 0, 0);
+        let mut b = VideoSource::new(3, 64, 48, 0, 0);
+        let fa = a.next_frame().unwrap();
+        let fb = b.next_frame().unwrap();
+        assert_eq!(fa.pixels, fb.pixels);
+        assert_eq!(fa.rows(), 3);
+        assert_eq!(fa.row_pixels(0).len(), 64 * MB_ROW_HEIGHT);
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar_but_not_identical() {
+        let mut src = VideoSource::new(2, 64, 64, 0, 0);
+        let f0 = src.next_frame().unwrap();
+        let f1 = src.next_frame().unwrap();
+        assert_ne!(f0.pixels, f1.pixels);
+        let diff: u64 = f0
+            .pixels
+            .iter()
+            .zip(f1.pixels.iter())
+            .map(|(a, b)| (*a as i64 - *b as i64).unsigned_abs())
+            .sum();
+        let mean_diff = diff as f64 / f0.pixels.len() as f64;
+        assert!(mean_diff < 60.0, "frames should be correlated: {mean_diff}");
+        assert!(mean_diff > 0.5, "frames should differ: {mean_diff}");
+    }
+
+    #[test]
+    fn source_produces_exactly_num_frames() {
+        let mut src = VideoSource::new(7, 32, 32, 2, 2);
+        let mut count = 0;
+        while src.next_frame().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 7);
+        assert!(src.next_frame().is_none());
+    }
+
+    #[test]
+    fn height_rounded_down_to_macroblock_multiple() {
+        let src = VideoSource::new(1, 64, 50, 0, 0);
+        assert_eq!(src.height, 48);
+    }
+}

@@ -1,0 +1,28 @@
+//! A synthetic video-encoder substrate for the x264 workload.
+//!
+//! The paper's flagship on-the-fly pipeline is the x264 H.264 encoder
+//! (Section 3): frames are typed I/P/B, I- and P-frames are encoded row of
+//! macroblocks by row of macroblocks, a P-frame row may depend on rows up to
+//! a motion-vector window `w` *below* the same row in the previous I/P
+//! frame, and buffered B-frames are encoded in parallel once their
+//! surrounding I/P frames are done.
+//!
+//! Reproducing the actual H.264 bitstream is out of scope (and irrelevant to
+//! the scheduling behaviour); this crate implements a structurally faithful
+//! encoder over synthetic video: motion-compensated prediction against the
+//! previous reference frame within a `±w`-row window, residual computation,
+//! quantisation and entropy-ish coding (run-length of quantised residuals),
+//! with per-row encode costs that depend on the content. The dependency
+//! structure — which is what the pipeline schedules — matches x264's.
+
+pub mod encoder;
+pub mod frame;
+pub mod motion;
+pub mod quality;
+pub mod transform;
+
+pub use encoder::{encode_bframe, encode_row, EncodeConfig, EncodedRow, RowContext};
+pub use frame::{Frame, FrameType, VideoSource};
+pub use motion::{diamond_search, full_search, MotionMatch, MotionVector};
+pub use quality::{frame_psnr, psnr, RateDistortion};
+pub use transform::{decode_block, encode_block, QuantisedBlock};

@@ -1,0 +1,199 @@
+//! Distortion and quality metrics for encoded video.
+//!
+//! The benchmark harness never compares absolute bit-rates with the paper
+//! (the substrate is synthetic), but the examples and tests need an
+//! objective way to check that the encoder's rate/quality behaviour is
+//! sane: lower quantisation must give lower distortion, P-frames of
+//! low-motion content must cost fewer bits than I-frames, and so on. This
+//! module provides the standard metrics — SAD, MSE and PSNR — over whole
+//! frames and macroblock rows.
+
+use crate::frame::{Frame, MB_ROW_HEIGHT};
+
+/// Sum of absolute differences between two equally-sized sample slices.
+pub fn sad(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "SAD requires equally sized inputs");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x as i64 - y as i64).unsigned_abs())
+        .sum()
+}
+
+/// Mean squared error between two equally-sized sample slices.
+pub fn mse(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "MSE requires equally sized inputs");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sse / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in decibels for 8-bit samples. Returns
+/// `f64::INFINITY` for identical inputs.
+pub fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0f64 * 255.0) / m).log10()
+    }
+}
+
+/// Frame-level PSNR.
+pub fn frame_psnr(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(a.width, b.width);
+    assert_eq!(a.height, b.height);
+    psnr(&a.pixels, &b.pixels)
+}
+
+/// Per-macroblock-row SAD between two frames, one value per row — the
+/// content-dependent cost signal that makes x264's stages nonuniform.
+pub fn row_sads(a: &Frame, b: &Frame) -> Vec<u64> {
+    assert_eq!(a.width, b.width);
+    assert_eq!(a.height, b.height);
+    (0..a.rows())
+        .map(|row| sad(a.row_pixels(row), b.row_pixels(row)))
+        .collect()
+}
+
+/// A simple rate/distortion summary for an encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateDistortion {
+    /// Encoded payload size in bytes.
+    pub bytes: usize,
+    /// Total distortion (sum of absolute quantisation error).
+    pub distortion: u64,
+    /// Number of macroblock rows the frame was encoded as.
+    pub rows: usize,
+}
+
+impl RateDistortion {
+    /// Average bytes per macroblock row.
+    pub fn bytes_per_row(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.rows as f64
+        }
+    }
+
+    /// Average distortion per pixel for a frame of the given dimensions.
+    pub fn distortion_per_pixel(&self, width: usize) -> f64 {
+        let pixels = self.rows * MB_ROW_HEIGHT * width;
+        if pixels == 0 {
+            0.0
+        } else {
+            self.distortion as f64 / pixels as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode_row, EncodeConfig, RowContext};
+    use crate::frame::VideoSource;
+
+    fn two_frames() -> (Frame, Frame) {
+        let mut src = VideoSource::new(2, 64, 64, 0, 0).with_motion(2.0);
+        let a = src.next_frame().unwrap();
+        let b = src.next_frame().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn identical_frames_have_zero_sad_and_infinite_psnr() {
+        let (a, _) = two_frames();
+        assert_eq!(sad(&a.pixels, &a.pixels), 0);
+        assert_eq!(mse(&a.pixels, &a.pixels), 0.0);
+        assert!(frame_psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_as_frames_diverge() {
+        let mut src = VideoSource::new(6, 64, 64, 0, 0).with_motion(4.0);
+        let base = src.next_frame().unwrap();
+        let near = src.next_frame().unwrap();
+        let far = {
+            let mut f = None;
+            for _ in 0..4 {
+                f = src.next_frame();
+            }
+            f.unwrap()
+        };
+        let psnr_near = frame_psnr(&base, &near);
+        let psnr_far = frame_psnr(&base, &far);
+        assert!(
+            psnr_near > psnr_far,
+            "adjacent frames ({psnr_near:.2} dB) should be closer than distant ones ({psnr_far:.2} dB)"
+        );
+    }
+
+    #[test]
+    fn row_sads_cover_every_row_and_sum_to_frame_sad() {
+        let (a, b) = two_frames();
+        let rows = row_sads(&a, &b);
+        assert_eq!(rows.len(), a.rows());
+        assert_eq!(rows.iter().sum::<u64>(), sad(&a.pixels, &b.pixels));
+    }
+
+    #[test]
+    fn finer_quantisation_reduces_distortion_but_costs_more_bytes() {
+        let (a, b) = two_frames();
+        let mut context = RowContext::default();
+        context.reference_rows.push((1, a.row_pixels(1).to_vec()));
+        let coarse = encode_row(
+            &b,
+            1,
+            &context,
+            &EncodeConfig {
+                quant: 32,
+                ..EncodeConfig::default()
+            },
+        );
+        let fine = encode_row(
+            &b,
+            1,
+            &context,
+            &EncodeConfig {
+                quant: 2,
+                ..EncodeConfig::default()
+            },
+        );
+        assert!(fine.distortion < coarse.distortion);
+        assert!(fine.payload.len() >= coarse.payload.len());
+    }
+
+    #[test]
+    fn rate_distortion_summary_math() {
+        let rd = RateDistortion {
+            bytes: 640,
+            distortion: 1_024,
+            rows: 4,
+        };
+        assert_eq!(rd.bytes_per_row(), 160.0);
+        // 4 rows × 16 lines × 16 pixels wide = 1024 pixels.
+        assert_eq!(rd.distortion_per_pixel(16), 1.0);
+        let empty = RateDistortion {
+            bytes: 0,
+            distortion: 0,
+            rows: 0,
+        };
+        assert_eq!(empty.bytes_per_row(), 0.0);
+        assert_eq!(empty.distortion_per_pixel(16), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn mismatched_lengths_panic() {
+        sad(&[1, 2, 3], &[1, 2]);
+    }
+}

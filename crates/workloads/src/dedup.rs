@@ -1,0 +1,415 @@
+//! The dedup workload: deduplicating compression as an SSPS pipeline
+//! (paper, Figure 4).
+//!
+//! Stage 0 (serial) chunks the input stream; Stage 1 (serial) computes the
+//! chunk's SHA-1 and queries the duplicate table; Stage 2 (parallel)
+//! compresses chunks not seen before; Stage 3 (serial) appends either the
+//! compressed chunk or a back-reference to the output archive.
+//!
+//! The archive format is self-contained, so tests verify every executor by
+//! decoding its archive back to the original input.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use baselines::{
+    BindToStageConfig, BindToStagePipeline, ConstructAndRunConfig, ConstructAndRunPipeline,
+    StageSet,
+};
+use checksum::{sha1, split_chunks, ChunkerConfig};
+use compress::{lz_compress, lz_decompress};
+use pipedag::{NodeSpec, PipelineSpec};
+use piper::{PipeOptions, StagedPipeline, ThreadPool};
+
+/// Configuration of the dedup workload.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// Size of the synthetic input in bytes.
+    pub input_size: usize,
+    /// How many times the base block is repeated (more repeats = more
+    /// duplicate chunks).
+    pub repeats: usize,
+    /// Chunker parameters.
+    pub chunker: ChunkerConfig,
+    /// Seed of the synthetic input.
+    pub seed: u64,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            input_size: 1 << 20,
+            repeats: 4,
+            chunker: ChunkerConfig::small(),
+            seed: 0xDED0_D00D,
+        }
+    }
+}
+
+impl DedupConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        DedupConfig {
+            input_size: 96 * 1024,
+            repeats: 3,
+            chunker: ChunkerConfig::small(),
+            seed: 0xDED0_D00D,
+        }
+    }
+
+    /// Generates the synthetic input stream: a pseudo-random block repeated
+    /// `repeats` times with small edits, so content-defined chunking finds
+    /// many duplicates (as real backup streams do).
+    pub fn generate_input(&self) -> Vec<u8> {
+        let block = self.input_size / self.repeats.max(1);
+        let mut state = self.seed | 1;
+        let base: Vec<u8> = (0..block)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 24) as u8
+            })
+            .collect();
+        let mut input = Vec::with_capacity(self.input_size);
+        for r in 0..self.repeats.max(1) {
+            input.extend_from_slice(&base);
+            // A small edit per repeat so repeats are not bit-identical.
+            let pos = (r * 37) % input.len().max(1);
+            if let Some(byte) = input.get_mut(pos) {
+                *byte = byte.wrapping_add(r as u8);
+            }
+        }
+        input.truncate(self.input_size);
+        input
+    }
+}
+
+/// Archive records, in chunk order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Record {
+    /// A chunk seen for the first time: its compressed payload.
+    Unique { compressed: Vec<u8> },
+    /// A repeat of an earlier unique chunk (index into the unique list).
+    Duplicate { reference: u64 },
+}
+
+/// The dedup output archive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    records: Vec<Record>,
+}
+
+impl Archive {
+    /// Serialised size in bytes (roughly what would be written to disk).
+    pub fn compressed_size(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| match r {
+                Record::Unique { compressed } => compressed.len() + 5,
+                Record::Duplicate { .. } => 9,
+            })
+            .sum()
+    }
+
+    /// Number of chunk records.
+    pub fn num_chunks(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of duplicate records.
+    pub fn num_duplicates(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, Record::Duplicate { .. }))
+            .count()
+    }
+
+    /// Decodes the archive back to the original input.
+    pub fn decode(&self) -> Option<Vec<u8>> {
+        let mut uniques: Vec<Vec<u8>> = Vec::new();
+        let mut out = Vec::new();
+        for record in &self.records {
+            match record {
+                Record::Unique { compressed } => {
+                    let data = lz_decompress(compressed)?;
+                    out.extend_from_slice(&data);
+                    uniques.push(data);
+                }
+                Record::Duplicate { reference } => {
+                    let data = uniques.get(*reference as usize)?;
+                    out.extend_from_slice(data);
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// One chunk flowing through the pipeline.
+struct ChunkItem {
+    /// Position of the chunk in the stream.
+    seq: u64,
+    /// Raw chunk bytes.
+    data: Vec<u8>,
+    /// Filled by the dedup stage: `Some(reference)` if duplicate.
+    duplicate_of: Option<u64>,
+    /// Filled by the compress stage for unique chunks.
+    compressed: Option<Vec<u8>>,
+}
+
+/// Shared dedup state used by the serial deduplication stage.
+#[derive(Default)]
+struct DedupTable {
+    /// SHA-1 digest → index among unique chunks.
+    seen: HashMap<[u8; 20], u64>,
+    next_unique: u64,
+}
+
+impl DedupTable {
+    /// Returns `Some(reference)` for a duplicate, or `None` for a chunk seen
+    /// for the first time (which is assigned the next unique index).
+    fn classify(&mut self, data: &[u8]) -> Option<u64> {
+        let digest = sha1(data);
+        match self.seen.get(&digest) {
+            Some(&idx) => Some(idx),
+            None => {
+                self.seen.insert(digest, self.next_unique);
+                self.next_unique += 1;
+                None
+            }
+        }
+    }
+}
+
+/// Serial reference implementation.
+pub fn run_serial(config: &DedupConfig, input: &[u8]) -> Archive {
+    let mut table = DedupTable::default();
+    let mut archive = Archive::default();
+    for chunk in split_chunks(input, &config.chunker) {
+        match table.classify(chunk) {
+            Some(reference) => archive.records.push(Record::Duplicate { reference }),
+            None => archive.records.push(Record::Unique {
+                compressed: lz_compress(chunk),
+            }),
+        }
+    }
+    archive
+}
+
+fn make_stages(
+    table: Arc<Mutex<DedupTable>>,
+    sink: Arc<Mutex<Archive>>,
+) -> StageSet<ChunkItem> {
+    StageSet::new()
+        // Serial deduplication stage (the paper's Stage 1): SHA-1 + table.
+        .serial(move |item: &mut ChunkItem| {
+            item.duplicate_of = table.lock().unwrap().classify(&item.data);
+        })
+        // Parallel compression stage (Stage 2).
+        .parallel(|item: &mut ChunkItem| {
+            if item.duplicate_of.is_none() {
+                item.compressed = Some(lz_compress(&item.data));
+            }
+        })
+        // Serial output stage (Stage 3).
+        .serial(move |item: &mut ChunkItem| {
+            let mut archive = sink.lock().unwrap();
+            debug_assert_eq!(archive.records.len() as u64, item.seq);
+            match item.duplicate_of {
+                Some(reference) => archive.records.push(Record::Duplicate { reference }),
+                None => archive.records.push(Record::Unique {
+                    compressed: item.compressed.take().expect("unique chunk was compressed"),
+                }),
+            }
+        })
+}
+
+fn make_producer(config: &DedupConfig, input: &[u8]) -> impl FnMut() -> Option<ChunkItem> + Send {
+    let chunks: Vec<Vec<u8>> = split_chunks(input, &config.chunker)
+        .into_iter()
+        .map(|c| c.to_vec())
+        .collect();
+    let mut iter = chunks.into_iter().enumerate();
+    move || {
+        iter.next().map(|(seq, data)| ChunkItem {
+            seq: seq as u64,
+            data,
+            duplicate_of: None,
+            compressed: None,
+        })
+    }
+}
+
+/// PIPER (`pipe_while`) implementation of the SSPS pipeline.
+pub fn run_piper(
+    config: &DedupConfig,
+    input: &[u8],
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> Archive {
+    let table = Arc::new(Mutex::new(DedupTable::default()));
+    let sink = Arc::new(Mutex::new(Archive::default()));
+    let stages = make_stages(Arc::clone(&table), Arc::clone(&sink));
+
+    // Reuse the baseline StageSet definition by adapting it onto the piper
+    // StagedPipeline (stage kinds map one to one).
+    let mut pipeline = StagedPipeline::<ChunkItem>::new();
+    for stage in stages.stages() {
+        let body = Arc::clone(&stage.body);
+        pipeline = match stage.kind {
+            baselines::StageKind::Serial => pipeline.serial(move |item| body(item)),
+            baselines::StageKind::Parallel => pipeline.parallel(move |item| body(item)),
+        };
+    }
+    pipeline.run(pool, options, make_producer(config, input));
+    let result = std::mem::take(&mut *sink.lock().unwrap());
+    result
+}
+
+/// Bind-to-stage (Pthreads-style) implementation.
+pub fn run_bind_to_stage(config: &DedupConfig, input: &[u8], bts: BindToStageConfig) -> Archive {
+    let table = Arc::new(Mutex::new(DedupTable::default()));
+    let sink = Arc::new(Mutex::new(Archive::default()));
+    let stages = make_stages(Arc::clone(&table), Arc::clone(&sink));
+    let pipeline = BindToStagePipeline::new(stages, bts);
+    pipeline.run(make_producer(config, input));
+    let result = std::mem::take(&mut *sink.lock().unwrap());
+    result
+}
+
+/// Construct-and-run (TBB-style) implementation.
+pub fn run_construct_and_run(
+    config: &DedupConfig,
+    input: &[u8],
+    car: ConstructAndRunConfig,
+) -> Archive {
+    let table = Arc::new(Mutex::new(DedupTable::default()));
+    let sink = Arc::new(Mutex::new(Archive::default()));
+    let stages = make_stages(Arc::clone(&table), Arc::clone(&sink));
+    let pipeline = ConstructAndRunPipeline::new(stages, car);
+    pipeline.run(make_producer(config, input));
+    let result = std::mem::take(&mut *sink.lock().unwrap());
+    result
+}
+
+/// Records the weighted pipeline dag of a serial run (node weights in
+/// nanoseconds) for the scheduler simulator; also used to measure dedup's
+/// parallelism as the paper does with Cilkview (it reports 7.4).
+pub fn record_spec(config: &DedupConfig, input: &[u8]) -> PipelineSpec {
+    let mut table = DedupTable::default();
+    let mut spec = PipelineSpec::new();
+    let chunks = split_chunks(input, &config.chunker);
+    for chunk in chunks {
+        let t0 = Instant::now();
+        std::hint::black_box(chunk.len());
+        let w0 = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let duplicate = table.classify(chunk);
+        let w1 = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let compressed = if duplicate.is_none() {
+            Some(lz_compress(chunk))
+        } else {
+            None
+        };
+        let w2 = t2.elapsed().as_nanos() as u64;
+
+        let t3 = Instant::now();
+        std::hint::black_box(&compressed);
+        let w3 = t3.elapsed().as_nanos() as u64;
+
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, w0.max(1)),
+            NodeSpec::wait(1, w1.max(1)),
+            NodeSpec::cont(2, w2.max(1)),
+            NodeSpec::wait(3, w3.max(1)),
+        ]);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_archive_roundtrips_and_finds_duplicates() {
+        let config = DedupConfig::tiny();
+        let input = config.generate_input();
+        let archive = run_serial(&config, &input);
+        assert_eq!(archive.decode().unwrap(), input);
+        assert!(
+            archive.num_duplicates() * 3 > archive.num_chunks(),
+            "expected plenty of duplicate chunks, got {}/{}",
+            archive.num_duplicates(),
+            archive.num_chunks()
+        );
+        assert!(archive.compressed_size() < input.len());
+    }
+
+    #[test]
+    fn piper_matches_serial() {
+        let config = DedupConfig::tiny();
+        let input = config.generate_input();
+        let serial = run_serial(&config, &input);
+        let pool = ThreadPool::new(4);
+        let parallel = run_piper(&config, &input, &pool, PipeOptions::with_throttle(16));
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.decode().unwrap(), input);
+    }
+
+    #[test]
+    fn bind_to_stage_matches_serial() {
+        let config = DedupConfig::tiny();
+        let input = config.generate_input();
+        let serial = run_serial(&config, &input);
+        let parallel = run_bind_to_stage(
+            &config,
+            &input,
+            BindToStageConfig {
+                threads_per_parallel_stage: 3,
+                queue_capacity: 16,
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn construct_and_run_matches_serial() {
+        let config = DedupConfig::tiny();
+        let input = config.generate_input();
+        let serial = run_serial(&config, &input);
+        let parallel = run_construct_and_run(
+            &config,
+            &input,
+            ConstructAndRunConfig {
+                threads: 3,
+                max_tokens: 8,
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn recorded_spec_has_bounded_parallelism() {
+        // dedup's parallelism is modest (the paper measures 7.4 on its
+        // input); the synthetic input should land in the same regime:
+        // clearly more than 1, clearly less than ferret-like hundreds.
+        let config = DedupConfig::tiny();
+        let input = config.generate_input();
+        let spec = record_spec(&config, &input);
+        let analysis = pipedag::analyze_unthrottled(&spec);
+        assert!(analysis.parallelism() > 1.5);
+        assert!(analysis.parallelism() < 100.0);
+    }
+
+    #[test]
+    fn generate_input_is_deterministic() {
+        let config = DedupConfig::tiny();
+        assert_eq!(config.generate_input(), config.generate_input());
+    }
+}

@@ -1,0 +1,361 @@
+//! A six-stage ferret pipeline matching PARSEC's real stage structure.
+//!
+//! The paper models ferret as the three-stage SPS pipeline of Figure 1, but
+//! the actual PARSEC benchmark runs each query through six stages:
+//! *load → segment → extract → vector (index probe) → rank → out*, with the
+//! four middle stages parallel. This module implements that deeper
+//! "SPPPPS" pipeline on top of the `imagesim` substrate (segmentation and
+//! Earth-Mover's-Distance ranking included), both as a serial reference and
+//! as an on-the-fly `pipe_while` program whose iterations walk through the
+//! stages with `pipe_continue` and finish with a `pipe_wait` output stage.
+//!
+//! Besides being a more faithful ferret, the deeper pipeline exercises a
+//! part of the design space the three-stage version does not: several
+//! consecutive parallel stages inside one iteration, which PIPER executes
+//! back-to-back on the same worker unless a steal intervenes.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use imagesim::emd::{emd, Signature};
+use imagesim::segment::{segment, Segmentation};
+use imagesim::{features, Features, Image, Index};
+use pipedag::{NodeSpec, PipelineSpec};
+use piper::{NodeOutcome, PipeOptions, PipeStats, PipelineIteration, Stage0, ThreadPool};
+
+/// Configuration of the deep ferret pipeline.
+#[derive(Debug, Clone)]
+pub struct DeepFerretConfig {
+    /// Number of query images (pipeline iterations).
+    pub queries: usize,
+    /// Number of images in the database.
+    pub database_size: usize,
+    /// Number of latent image classes in the synthetic data.
+    pub classes: u64,
+    /// Image side length in pixels.
+    pub image_size: usize,
+    /// Maximum number of regions produced by segmentation.
+    pub regions: usize,
+    /// Number of candidates retrieved by the index probe (stage "vector").
+    pub candidates: usize,
+    /// Index probe width (extra buckets probed).
+    pub probe_factor: usize,
+    /// Top-k results kept after EMD re-ranking.
+    pub topk: usize,
+}
+
+impl Default for DeepFerretConfig {
+    fn default() -> Self {
+        DeepFerretConfig {
+            queries: 96,
+            database_size: 192,
+            classes: 12,
+            image_size: 32,
+            regions: 4,
+            candidates: 24,
+            probe_factor: 32,
+            topk: 8,
+        }
+    }
+}
+
+impl DeepFerretConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        DeepFerretConfig {
+            queries: 16,
+            database_size: 48,
+            classes: 6,
+            image_size: 16,
+            regions: 3,
+            candidates: 10,
+            probe_factor: 8,
+            topk: 4,
+        }
+    }
+}
+
+/// The pre-built database: the bucketed feature index plus the per-image
+/// region signatures used for EMD re-ranking.
+pub struct DeepIndex {
+    /// Coarse feature index used by the "vector" stage.
+    pub index: Index,
+    /// EMD signatures of every database image, indexed by image id.
+    pub signatures: Vec<Signature>,
+}
+
+/// Builds the database (outside the timed pipeline, as in PARSEC).
+pub fn build_index(config: &DeepFerretConfig) -> Arc<DeepIndex> {
+    let index = Index::build_synthetic(
+        config.database_size,
+        config.classes,
+        config.image_size,
+        config.image_size,
+    );
+    let signatures = (0..config.database_size as u64)
+        .map(|id| {
+            let image = Image::synthetic(id, config.classes, config.image_size, config.image_size);
+            Signature::from_regions(&segment(&image, config.regions).regions)
+        })
+        .collect();
+    Arc::new(DeepIndex { index, signatures })
+}
+
+/// The output: for each query (in order), the EMD-ranked `(image id,
+/// distance)` list.
+pub type DeepFerretOutput = Vec<Vec<(u64, f32)>>;
+
+fn load_query(config: &DeepFerretConfig, i: u64) -> Image {
+    Image::synthetic(
+        i + 2_000_000,
+        config.classes,
+        config.image_size,
+        config.image_size,
+    )
+}
+
+fn probe(index: &DeepIndex, config: &DeepFerretConfig, feats: &Features) -> Vec<u64> {
+    index
+        .index
+        .query(feats, config.candidates, config.probe_factor)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn rerank(
+    index: &DeepIndex,
+    config: &DeepFerretConfig,
+    signature: &Signature,
+    candidates: &[u64],
+) -> Vec<(u64, f32)> {
+    let mut scored: Vec<(u64, f32)> = candidates
+        .iter()
+        .map(|&id| (id, emd(signature, &index.signatures[id as usize])))
+        .collect();
+    scored.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(config.topk);
+    scored
+}
+
+/// Serial reference implementation (the stage functions are shared with the
+/// pipelined version, so outputs are bit-identical).
+pub fn run_serial(config: &DeepFerretConfig, index: &DeepIndex) -> DeepFerretOutput {
+    let mut out = Vec::with_capacity(config.queries);
+    for i in 0..config.queries as u64 {
+        let image = load_query(config, i);
+        let segmentation = segment(&image, config.regions);
+        let feats = features(&image);
+        let signature = Signature::from_regions(&segmentation.regions);
+        let candidates = probe(index, config, &feats);
+        out.push(rerank(index, config, &signature, &candidates));
+    }
+    out
+}
+
+/// Stage numbers of the deep pipeline (Stage 0 = load, in the producer).
+const SEGMENT: u64 = 1;
+const EXTRACT: u64 = 2;
+const VECTOR: u64 = 3;
+const RANK: u64 = 4;
+const OUT: u64 = 5;
+
+struct DeepQuery {
+    query_id: u64,
+    image: Image,
+    segmentation: Option<Segmentation>,
+    feats: Features,
+    signature: Signature,
+    candidates: Vec<u64>,
+    results: Vec<(u64, f32)>,
+    config: DeepFerretConfig,
+    index: Arc<DeepIndex>,
+    output: Arc<Mutex<DeepFerretOutput>>,
+}
+
+impl PipelineIteration for DeepQuery {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        match stage {
+            SEGMENT => {
+                self.segmentation = Some(segment(&self.image, self.config.regions));
+                NodeOutcome::ContinueTo(EXTRACT)
+            }
+            EXTRACT => {
+                self.feats = features(&self.image);
+                let segmentation = self.segmentation.as_ref().expect("segment stage ran");
+                self.signature = Signature::from_regions(&segmentation.regions);
+                NodeOutcome::ContinueTo(VECTOR)
+            }
+            VECTOR => {
+                self.candidates = probe(&self.index, &self.config, &self.feats);
+                NodeOutcome::ContinueTo(RANK)
+            }
+            RANK => {
+                self.results = rerank(&self.index, &self.config, &self.signature, &self.candidates);
+                NodeOutcome::WaitFor(OUT)
+            }
+            OUT => {
+                let mut out = self.output.lock().unwrap();
+                debug_assert_eq!(out.len() as u64, self.query_id);
+                out.push(std::mem::take(&mut self.results));
+                NodeOutcome::Done
+            }
+            other => unreachable!("unexpected stage {other}"),
+        }
+    }
+}
+
+/// PIPER (`pipe_while`) implementation of the six-stage pipeline. Returns
+/// the ranked output plus the pipeline statistics.
+pub fn run_piper(
+    config: &DeepFerretConfig,
+    index: &Arc<DeepIndex>,
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> (DeepFerretOutput, PipeStats) {
+    let output: Arc<Mutex<DeepFerretOutput>> =
+        Arc::new(Mutex::new(Vec::with_capacity(config.queries)));
+    let sink = Arc::clone(&output);
+    let index = Arc::clone(index);
+    let config_cl = config.clone();
+    let total = config.queries as u64;
+
+    let stats = pool.pipe_while(options, move |i| {
+        if i >= total {
+            return Stage0::Stop;
+        }
+        let image = load_query(&config_cl, i);
+        Stage0::proceed(DeepQuery {
+            query_id: i,
+            image,
+            segmentation: None,
+            feats: Vec::new(),
+            signature: Signature::default(),
+            candidates: Vec::new(),
+            results: Vec::new(),
+            config: config_cl.clone(),
+            index: Arc::clone(&index),
+            output: Arc::clone(&sink),
+        })
+    });
+
+    let out = std::mem::take(&mut *output.lock().unwrap());
+    (out, stats)
+}
+
+/// Records the weighted six-stage dag of a serial run (node weights in
+/// nanoseconds) for the scheduler simulator.
+pub fn record_spec(config: &DeepFerretConfig, index: &DeepIndex) -> PipelineSpec {
+    let mut spec = PipelineSpec::new();
+    for i in 0..config.queries as u64 {
+        let t = Instant::now();
+        let image = load_query(config, i);
+        let w_load = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let segmentation = segment(&image, config.regions);
+        let w_segment = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let feats = features(&image);
+        let signature = Signature::from_regions(&segmentation.regions);
+        let w_extract = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let candidates = probe(index, config, &feats);
+        let w_vector = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let results = rerank(index, config, &signature, &candidates);
+        let w_rank = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        std::hint::black_box(&results);
+        let w_out = t.elapsed().as_nanos() as u64;
+
+        spec.push_iteration(vec![
+            NodeSpec::wait(0, w_load.max(1)),
+            NodeSpec::cont(SEGMENT, w_segment.max(1)),
+            NodeSpec::cont(EXTRACT, w_extract.max(1)),
+            NodeSpec::cont(VECTOR, w_vector.max(1)),
+            NodeSpec::cont(RANK, w_rank.max(1)),
+            NodeSpec::wait(OUT, w_out.max(1)),
+        ]);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_same_output(a: &DeepFerretOutput, b: &DeepFerretOutput) {
+        assert_eq!(a.len(), b.len());
+        for (qa, qb) in a.iter().zip(b.iter()) {
+            assert_eq!(qa.len(), qb.len());
+            for ((ida, da), (idb, db)) in qa.iter().zip(qb.iter()) {
+                assert_eq!(ida, idb);
+                assert_eq!(da.to_bits(), db.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn piper_matches_serial_across_pool_sizes() {
+        let config = DeepFerretConfig::tiny();
+        let index = build_index(&config);
+        let serial = run_serial(&config, &index);
+        for workers in [1usize, 3] {
+            let pool = ThreadPool::new(workers);
+            let (out, stats) = run_piper(&config, &index, &pool, PipeOptions::default());
+            assert_same_output(&serial, &out);
+            assert_eq!(stats.iterations, config.queries as u64);
+            // Five nodes per iteration beyond Stage 0.
+            assert_eq!(stats.nodes, 5 * config.queries as u64);
+        }
+    }
+
+    #[test]
+    fn piper_matches_serial_under_tight_throttle() {
+        let config = DeepFerretConfig::tiny();
+        let index = build_index(&config);
+        let serial = run_serial(&config, &index);
+        let pool = ThreadPool::new(4);
+        let (out, stats) = run_piper(&config, &index, &pool, PipeOptions::with_throttle(2));
+        assert_same_output(&serial, &out);
+        assert!(stats.peak_active_iterations <= 2);
+    }
+
+    #[test]
+    fn output_is_sorted_by_distance_and_bounded_by_topk() {
+        let config = DeepFerretConfig::tiny();
+        let index = build_index(&config);
+        let out = run_serial(&config, &index);
+        assert_eq!(out.len(), config.queries);
+        for results in &out {
+            assert!(results.len() <= config.topk);
+            for pair in results.windows(2) {
+                assert!(pair[0].1 <= pair[1].1);
+            }
+            for &(id, _) in results {
+                assert!((id as usize) < config.database_size);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_spec_has_six_stages_and_parallel_middle() {
+        let config = DeepFerretConfig::tiny();
+        let index = build_index(&config);
+        let spec = record_spec(&config, &index);
+        assert_eq!(spec.num_iterations(), config.queries);
+        assert_eq!(spec.num_nodes(), 6 * config.queries);
+        assert_eq!(pipedag::signature(&spec), "SPPPPS");
+        let analysis = pipedag::analyze_unthrottled(&spec);
+        assert!(analysis.parallelism() > 1.5);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's evaluation workloads, each runnable on every executor.
+//!
+//! Section 10 of the paper evaluates Cilk-P on the three PARSEC benchmarks
+//! that exhibit pipeline parallelism — **ferret**, **dedup** and **x264** —
+//! plus a synthetic fine-grained pipeline, **pipe-fib**, used to study the
+//! dependency-folding optimization. This crate reimplements all four on top
+//! of the substrate crates, with:
+//!
+//! * a serial reference implementation (the `T_S` baseline of the tables),
+//! * a PIPER / `pipe_while` implementation (the "Cilk-P" column),
+//! * bind-to-stage and construct-and-run implementations where the model
+//!   can express the workload (x264's on-the-fly structure cannot be
+//!   expressed as a construct-and-run pipeline — that is the paper's
+//!   motivating point),
+//! * output verification: every parallel execution must produce exactly the
+//!   serial output,
+//! * a [`pipedag::PipelineSpec`] recorder that measures per-node work
+//!   during a serial run, so the evaluation harness can replay the dag
+//!   through the scheduler simulator for arbitrary processor counts.
+
+pub mod dedup;
+pub mod ferret;
+pub mod ferret_deep;
+pub mod pipefib;
+pub mod uniform;
+pub mod x264;
+
+/// Which executor to run a workload on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Plain serial execution (the `T_S` reference).
+    Serial,
+    /// The PIPER on-the-fly pipeline runtime (`pipe_while`).
+    Piper,
+    /// The Pthreads-style bind-to-stage baseline.
+    BindToStage,
+    /// The TBB-style construct-and-run baseline.
+    ConstructAndRun,
+}
+
+impl Executor {
+    /// All executors, in the order the paper's tables list them.
+    pub const ALL: [Executor; 4] = [
+        Executor::Serial,
+        Executor::Piper,
+        Executor::BindToStage,
+        Executor::ConstructAndRun,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Executor::Serial => "serial",
+            Executor::Piper => "cilk-p",
+            Executor::BindToStage => "pthreads",
+            Executor::ConstructAndRun => "tbb",
+        }
+    }
+}

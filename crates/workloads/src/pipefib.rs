@@ -1,0 +1,271 @@
+//! The pipe-fib synthetic benchmark (paper, Section 10, Figure 9).
+//!
+//! pipe-fib computes the `n`-th Fibonacci number in binary with a pipelined
+//! ripple-carry addition: iteration `i` computes `F_{i+2} = F_i + F_{i+1}`,
+//! and stage `j` of the iteration computes bit block `j` of the sum. Stage
+//! `j` has a cross edge on stage `j` of the previous iteration (which
+//! produces block `j` of `F_{i+1}`), so the pipeline is fully serial per
+//! stage but deeply pipelined across iterations — `Θ(n²)` work, `Θ(n)`
+//! span. The per-stage work is tiny (one bit, or `block_bits` bits for the
+//! coarsened `pipe-fib-256` variant), which is exactly the regime where the
+//! dependency-folding optimization matters.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use pipedag::PipelineSpec;
+use piper::{NodeOutcome, PipeOptions, PipeStats, PipelineIteration, Stage0, ThreadPool};
+
+/// Configuration of pipe-fib.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeFibConfig {
+    /// Which Fibonacci number to compute (`F_n`, with `F_1 = F_2 = 1`).
+    pub n: usize,
+    /// Bits computed per stage: 1 for plain pipe-fib, 256 for pipe-fib-256.
+    pub block_bits: usize,
+}
+
+impl Default for PipeFibConfig {
+    fn default() -> Self {
+        PipeFibConfig {
+            n: 2_000,
+            block_bits: 1,
+        }
+    }
+}
+
+impl PipeFibConfig {
+    /// The coarsened variant the paper calls pipe-fib-256.
+    pub fn coarsened(n: usize) -> Self {
+        PipeFibConfig { n, block_bits: 256 }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        PipeFibConfig { n: 200, block_bits: 1 }
+    }
+
+    /// Safe upper bound on the number of bits of `F_n` (since `F_n < 2^n`).
+    fn max_bits(&self) -> usize {
+        self.n + 2
+    }
+
+    fn blocks_for(&self, k: usize) -> usize {
+        // Upper bound on the bits of F_k, rounded up to whole blocks.
+        k.div_ceil(self.block_bits).max(1)
+    }
+}
+
+/// Serial reference: binary Fibonacci by repeated ripple-carry addition,
+/// returning the bits of `F_n` (least significant first, no trailing zeros).
+pub fn run_serial(config: &PipeFibConfig) -> Vec<u8> {
+    let n = config.n.max(2);
+    let mut a = vec![1u8]; // F_1
+    let mut b = vec![1u8]; // F_2
+    if n == 1 {
+        return a;
+    }
+    for _ in 3..=n {
+        let mut sum = Vec::with_capacity(b.len() + 1);
+        let mut carry = 0u8;
+        for i in 0..b.len().max(a.len()) {
+            let x = *a.get(i).unwrap_or(&0) + *b.get(i).unwrap_or(&0) + carry;
+            sum.push(x & 1);
+            carry = x >> 1;
+        }
+        if carry > 0 {
+            sum.push(carry);
+        }
+        a = b;
+        b = sum;
+    }
+    b
+}
+
+/// Shared bit storage: `numbers[k]` holds the bits of `F_{k+1}` (flat, one
+/// atomic byte per bit, written once by the owning stage and read by later
+/// iterations only after the cross edge guarantees publication).
+struct BitTable {
+    numbers: Vec<Vec<AtomicU8>>,
+}
+
+impl BitTable {
+    fn new(count: usize, max_bits: usize) -> Self {
+        BitTable {
+            numbers: (0..count)
+                .map(|_| (0..max_bits).map(|_| AtomicU8::new(0)).collect())
+                .collect(),
+        }
+    }
+
+    fn get(&self, number: usize, bit: usize) -> u8 {
+        self.numbers[number]
+            .get(bit)
+            .map(|a| a.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    fn set(&self, number: usize, bit: usize, value: u8) {
+        self.numbers[number][bit].store(value, Ordering::SeqCst);
+    }
+}
+
+/// One pipe-fib iteration: computes `F_{i+3}` (iteration index `i` starts
+/// at 0) block of bits by block of bits.
+struct FibIteration {
+    /// Index of the number this iteration computes into the table.
+    target: usize,
+    table: Arc<BitTable>,
+    config: PipeFibConfig,
+    carry: u8,
+    blocks: usize,
+}
+
+impl PipelineIteration for FibIteration {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        let block = (stage - 1) as usize;
+        let lo = block * self.config.block_bits;
+        let hi = ((block + 1) * self.config.block_bits).min(self.config.max_bits());
+        for bit in lo..hi {
+            let x = self.table.get(self.target - 2, bit)
+                + self.table.get(self.target - 1, bit)
+                + self.carry;
+            self.table.set(self.target, bit, x & 1);
+            self.carry = x >> 1;
+        }
+        if block + 1 >= self.blocks {
+            debug_assert_eq!(self.carry, 0, "upper bound on bits must absorb the carry");
+            NodeOutcome::Done
+        } else {
+            // Stage j+1 reads block j+1 of F_{target-1}, produced by stage
+            // j+1 of the previous iteration: a cross edge (pipe_wait).
+            NodeOutcome::WaitFor(stage + 1)
+        }
+    }
+}
+
+/// Runs pipe-fib on PIPER and returns the bits of `F_n` plus the pipeline
+/// statistics (used by the Figure 9 table for overhead/check counts).
+pub fn run_piper(
+    config: &PipeFibConfig,
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> (Vec<u8>, PipeStats) {
+    let n = config.n.max(2);
+    let table = Arc::new(BitTable::new(n, config.max_bits()));
+    // F_1 = F_2 = 1.
+    table.set(0, 0, 1);
+    table.set(1, 0, 1);
+
+    let iterations = n.saturating_sub(2) as u64;
+    let shared = Arc::clone(&table);
+    let cfg = *config;
+    let stats = pool.pipe_while(options, move |i| {
+        if i >= iterations {
+            return Stage0::Stop;
+        }
+        let target = (i + 2) as usize;
+        Stage0::Proceed {
+            state: FibIteration {
+                target,
+                table: Arc::clone(&shared),
+                config: cfg,
+                carry: 0,
+                blocks: cfg.blocks_for(target + 1),
+            },
+            first_stage: 1,
+            wait: true,
+        }
+    });
+
+    // Extract the bits of F_n (number index n-1), trimming trailing zeros.
+    let mut bits: Vec<u8> = (0..config.max_bits())
+        .map(|b| table.get(n - 1, b))
+        .collect();
+    while bits.len() > 1 && *bits.last().unwrap() == 0 {
+        bits.pop();
+    }
+    (bits, stats)
+}
+
+/// Builds the triangular pipeline dag of pipe-fib for the scheduler
+/// simulator (unit work per stage, scaled by `stage_work`).
+pub fn build_spec(config: &PipeFibConfig, stage_work: u64) -> PipelineSpec {
+    pipedag::generators::pipe_fib(config.n.saturating_sub(2), config.block_bits, stage_work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_string(bits: &[u8]) -> String {
+        bits.iter().rev().map(|b| char::from(b'0' + b)).collect()
+    }
+
+    #[test]
+    fn serial_small_values_are_correct() {
+        // F_10 = 55 = 0b110111, F_12 = 144 = 0b10010000.
+        assert_eq!(
+            bits_to_string(&run_serial(&PipeFibConfig { n: 10, block_bits: 1 })),
+            "110111"
+        );
+        assert_eq!(
+            bits_to_string(&run_serial(&PipeFibConfig { n: 12, block_bits: 1 })),
+            "10010000"
+        );
+    }
+
+    #[test]
+    fn piper_matches_serial_fine_grained() {
+        let config = PipeFibConfig::tiny();
+        let serial = run_serial(&config);
+        let pool = ThreadPool::new(4);
+        let (bits, stats) = run_piper(&config, &pool, PipeOptions::default());
+        assert_eq!(bits, serial);
+        assert_eq!(stats.iterations, (config.n - 2) as u64);
+    }
+
+    #[test]
+    fn piper_matches_serial_coarsened() {
+        let config = PipeFibConfig::coarsened(400);
+        let serial = run_serial(&config);
+        let pool = ThreadPool::new(4);
+        let (bits, _stats) = run_piper(&config, &pool, PipeOptions::default());
+        assert_eq!(bits, serial);
+    }
+
+    #[test]
+    fn coarsening_reduces_node_count() {
+        let pool = ThreadPool::new(2);
+        let fine = PipeFibConfig { n: 300, block_bits: 1 };
+        let coarse = PipeFibConfig::coarsened(300);
+        let (_, fine_stats) = run_piper(&fine, &pool, PipeOptions::default());
+        let (_, coarse_stats) = run_piper(&coarse, &pool, PipeOptions::default());
+        assert!(fine_stats.nodes > 10 * coarse_stats.nodes);
+    }
+
+    #[test]
+    fn dependency_folding_cuts_cross_checks_on_pipe_fib() {
+        // The Figure 9 effect: with fine-grained stages, dependency folding
+        // avoids most of the per-node stage-counter reads.
+        let pool = ThreadPool::new(1);
+        let config = PipeFibConfig { n: 300, block_bits: 1 };
+        let (_, with_fold) = run_piper(&config, &pool, PipeOptions::default());
+        let (_, without_fold) = run_piper(
+            &config,
+            &pool,
+            PipeOptions::default().dependency_folding(false),
+        );
+        assert!(with_fold.folded_checks > 0);
+        assert!(with_fold.cross_checks < without_fold.cross_checks);
+    }
+
+    #[test]
+    fn triangular_spec_matches_iteration_count() {
+        let config = PipeFibConfig::tiny();
+        let spec = build_spec(&config, 1);
+        assert_eq!(spec.num_iterations(), config.n - 2);
+        let analysis = pipedag::analyze_unthrottled(&spec);
+        assert!(analysis.parallelism() > 1.0);
+    }
+}

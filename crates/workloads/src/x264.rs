@@ -1,0 +1,427 @@
+//! The x264 workload: an on-the-fly pipeline that construct-and-run models
+//! cannot express (paper, Section 3 and Figure 2).
+//!
+//! Each pipeline iteration encodes one I- or P-frame (plus the B-frames
+//! buffered before it):
+//!
+//! * Stage 0 (serial producer) reads frames, decides their type, buffers
+//!   B-frames until the next I/P frame.
+//! * Iteration `i` enters its first row stage with
+//!   `pipe_wait(1 + w·i)` — the stage-skipping offset that encodes the
+//!   motion-vector window `w` (Figure 2, line 17).
+//! * Each macroblock row is a node; after encoding row `x`, a P-frame
+//!   iteration issues `pipe_wait` (cross edge on the previous frame's row
+//!   `x + w`), an I-frame iteration issues `pipe_continue` — the
+//!   data-dependent dependency of lines 20–24.
+//! * The `PROCESS_BFRAMES` stage encodes the buffered B-frames with nested
+//!   fork-join parallelism (the `cilk_for` of line 27).
+//! * The serial `END` stage appends the frame records to the output stream
+//!   in order.
+//!
+//! The reconstructed rows of each reference frame are published row by row
+//! through a shared [`RowStore`]; a P-frame row *reads* its predecessor's
+//! rows, so any violation of the cross-edge discipline would be caught
+//! immediately (the row would be missing), making this workload a built-in
+//! stress test of the PIPER cross-edge protocol.
+
+use std::sync::{Arc, Mutex};
+
+use pipedag::PipelineSpec;
+use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0, ThreadPool};
+use videosim::{
+    encode_bframe, encode_row, EncodeConfig, Frame, FrameType, RowContext, VideoSource,
+};
+
+/// Symbolic stage numbers, as in Figure 2 of the paper.
+const PROCESS_IPFRAME: u64 = 1;
+const PROCESS_BFRAMES: u64 = 1 << 40;
+const END: u64 = PROCESS_BFRAMES + 1;
+
+/// Configuration of the x264 workload.
+#[derive(Debug, Clone)]
+pub struct X264Config {
+    /// Total number of frames in the synthetic video.
+    pub frames: u64,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// GOP length: every `gop`-th I/P slot is an I-frame.
+    pub gop: u64,
+    /// Number of B-frames between I/P frames.
+    pub bframes: u64,
+    /// Encoder settings (`mv_row_window` is the paper's `w`).
+    pub encode: EncodeConfig,
+}
+
+impl Default for X264Config {
+    fn default() -> Self {
+        X264Config {
+            frames: 64,
+            width: 128,
+            height: 96,
+            gop: 4,
+            bframes: 1,
+            encode: EncodeConfig::default(),
+        }
+    }
+}
+
+impl X264Config {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        X264Config {
+            frames: 14,
+            width: 48,
+            height: 48,
+            gop: 3,
+            bframes: 1,
+            encode: EncodeConfig::default(),
+        }
+    }
+
+    fn source(&self) -> VideoSource {
+        VideoSource::new(self.frames, self.width, self.height, self.gop, self.bframes)
+    }
+}
+
+/// Encoded output for one pipeline iteration (one I/P frame and its
+/// buffered B-frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Display index of the I/P frame.
+    pub frame_index: u64,
+    /// Whether the reference frame was an I- or P-frame.
+    pub is_iframe: bool,
+    /// Total encoded payload bytes of the reference frame's rows.
+    pub payload_bytes: usize,
+    /// Total quantisation distortion of the reference frame's rows.
+    pub distortion: u64,
+    /// `(display index, payload bytes, distortion)` per buffered B-frame.
+    pub bframes: Vec<(u64, usize, u64)>,
+}
+
+/// The output stream: one record per I/P frame, in encode order.
+pub type X264Output = Vec<FrameRecord>;
+
+/// Published reconstructed rows of a reference frame.
+type RowStore = Vec<Mutex<Option<Vec<u8>>>>;
+
+fn new_row_store(rows: usize) -> Arc<RowStore> {
+    Arc::new((0..rows).map(|_| Mutex::new(None)).collect())
+}
+
+fn encode_reference_row(
+    frame: &Frame,
+    row: usize,
+    prev_rows: Option<&RowStore>,
+    config: &EncodeConfig,
+) -> (usize, u64) {
+    let context = match (frame.frame_type, prev_rows) {
+        (FrameType::P, Some(prev)) => {
+            let lo = row.saturating_sub(config.mv_row_window);
+            let hi = (row + config.mv_row_window).min(prev.len() - 1);
+            let mut ctx = RowContext::default();
+            for r in lo..=hi {
+                let pixels = prev[r]
+                    .lock()
+                    .unwrap()
+                    .clone()
+                    .expect("cross edge guarantees the reference row was published");
+                ctx.reference_rows.push((r, pixels));
+            }
+            ctx
+        }
+        _ => RowContext::default(),
+    };
+    let encoded = encode_row(frame, row, &context, config);
+    (encoded.payload.len(), encoded.distortion)
+}
+
+/// Serial reference implementation: the same traversal the pipeline
+/// performs, executed iteration by iteration.
+pub fn run_serial(config: &X264Config) -> X264Output {
+    let mut source = config.source();
+    let mut output = Vec::new();
+    let mut prev_reference: Option<Frame> = None;
+
+    loop {
+        // Stage 0: gather B-frames until the next I/P frame.
+        let mut bframes = Vec::new();
+        let reference = loop {
+            match source.next_frame() {
+                None => break None,
+                Some(f) if f.frame_type == FrameType::B => bframes.push(f),
+                Some(f) => break Some(f),
+            }
+        };
+        let Some(reference) = reference else { break };
+
+        // Row stages.
+        let prev_store = prev_reference.as_ref().map(|f: &Frame| {
+            let store = new_row_store(f.rows());
+            for r in 0..f.rows() {
+                *store[r].lock().unwrap() = Some(f.row_pixels(r).to_vec());
+            }
+            store
+        });
+        let mut payload_bytes = 0usize;
+        let mut distortion = 0u64;
+        for row in 0..reference.rows() {
+            let (bytes, dist) =
+                encode_reference_row(&reference, row, prev_store.as_deref(), &config.encode);
+            payload_bytes += bytes;
+            distortion += dist;
+        }
+
+        // B-frame stage.
+        let bframe_records: Vec<(u64, usize, u64)> = bframes
+            .iter()
+            .map(|b| {
+                let (bytes, dist) = encode_bframe(b, &reference, &config.encode);
+                (b.index, bytes, dist)
+            })
+            .collect();
+
+        // Output stage.
+        output.push(FrameRecord {
+            frame_index: reference.index,
+            is_iframe: reference.frame_type == FrameType::I,
+            payload_bytes,
+            distortion,
+            bframes: bframe_records,
+        });
+        prev_reference = Some(reference);
+    }
+    output
+}
+
+/// The per-iteration state of the PIPER implementation.
+struct X264Iteration {
+    reference: Frame,
+    bframes: Vec<Frame>,
+    prev_rows: Option<Arc<RowStore>>,
+    my_rows: Arc<RowStore>,
+    encode: EncodeConfig,
+    /// Stage offset of this iteration (`w · i`).
+    skip: u64,
+    payload_bytes: usize,
+    distortion: u64,
+    bframe_records: Vec<(u64, usize, u64)>,
+    output: Arc<Mutex<X264Output>>,
+}
+
+impl PipelineIteration for X264Iteration {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        if stage >= END {
+            // Final serial stage: write the frame record in order.
+            self.output.lock().unwrap().push(FrameRecord {
+                frame_index: self.reference.index,
+                is_iframe: self.reference.frame_type == FrameType::I,
+                payload_bytes: self.payload_bytes,
+                distortion: self.distortion,
+                bframes: std::mem::take(&mut self.bframe_records),
+            });
+            return NodeOutcome::Done;
+        }
+        if stage >= PROCESS_BFRAMES {
+            // Encode buffered B-frames with nested fork-join parallelism
+            // (the cilk_for of Figure 2, line 27).
+            let reference = &self.reference;
+            let encode = &self.encode;
+            let records: Mutex<Vec<(u64, usize, u64)>> = Mutex::new(Vec::new());
+            piper::scope(|s| {
+                for b in &self.bframes {
+                    let records = &records;
+                    s.spawn(move |_| {
+                        let (bytes, dist) = encode_bframe(b, reference, encode);
+                        records.lock().unwrap().push((b.index, bytes, dist));
+                    });
+                }
+            });
+            let mut recs = records.into_inner().unwrap();
+            recs.sort_unstable_by_key(|(idx, _, _)| *idx);
+            self.bframe_records = recs;
+            return NodeOutcome::WaitFor(END);
+        }
+
+        // A row stage: stage = PROCESS_IPFRAME + skip + row.
+        let row = (stage - PROCESS_IPFRAME - self.skip) as usize;
+        let (bytes, dist) = encode_reference_row(
+            &self.reference,
+            row,
+            self.prev_rows.as_deref(),
+            &self.encode,
+        );
+        self.payload_bytes += bytes;
+        self.distortion += dist;
+        // Publish the reconstructed row for the next iteration.
+        *self.my_rows[row].lock().unwrap() = Some(self.reference.row_pixels(row).to_vec());
+
+        if row + 1 == self.reference.rows() {
+            NodeOutcome::ContinueTo(PROCESS_BFRAMES)
+        } else if self.reference.frame_type == FrameType::I {
+            // I-frame rows depend only on their own frame: pipe_continue.
+            NodeOutcome::ContinueTo(stage + 1)
+        } else {
+            // P-frame rows wait for the previous frame's row x + w.
+            NodeOutcome::WaitFor(stage + 1)
+        }
+    }
+}
+
+/// PIPER (`pipe_while`) implementation of the on-the-fly x264 pipeline.
+pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -> X264Output {
+    let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&output);
+    let mut source = config.source();
+    let encode = config.encode;
+    let w = config.encode.mv_row_window as u64;
+    let mut prev_rows: Option<Arc<RowStore>> = None;
+
+    pool.pipe_while(options, move |i| {
+        // Stage 0: read frames, buffer B-frames, find the next I/P frame.
+        let mut bframes = Vec::new();
+        let reference = loop {
+            match source.next_frame() {
+                None => break None,
+                Some(f) if f.frame_type == FrameType::B => bframes.push(f),
+                Some(f) => break Some(f),
+            }
+        };
+        let Some(reference) = reference else {
+            return Stage0::Stop;
+        };
+        let my_rows = new_row_store(reference.rows());
+        let state = X264Iteration {
+            prev_rows: prev_rows.take(),
+            my_rows: Arc::clone(&my_rows),
+            reference,
+            bframes,
+            encode,
+            skip: w * i,
+            payload_bytes: 0,
+            distortion: 0,
+            bframe_records: Vec::new(),
+            output: Arc::clone(&sink),
+        };
+        prev_rows = Some(my_rows);
+        // pipe_wait(PROCESS_IPFRAME + w·i): enter the first row stage with a
+        // cross edge, skipping w·i stages (Figure 2, line 17).
+        Stage0::into_stage(state, PROCESS_IPFRAME + w * i, true)
+    });
+
+    let result = std::mem::take(&mut *output.lock().unwrap());
+    result
+}
+
+/// Builds the weighted pipeline dag of this configuration (per-row encode
+/// cost measured from a serial run is approximated by a constant here; the
+/// dag's *structure* — stage skipping, I/P-dependent cross edges — is what
+/// drives the Figure 8 simulation).
+pub fn build_spec(config: &X264Config, row_work: u64, bframe_work: u64, out_work: u64) -> PipelineSpec {
+    let rows = (config.height - config.height % 16) / 16;
+    let ip_iterations = {
+        // Count I/P frames the source will produce.
+        let mut source = config.source();
+        let mut count = 0usize;
+        while let Some(f) = source.next_frame() {
+            if f.frame_type != FrameType::B {
+                count += 1;
+            }
+        }
+        count
+    };
+    pipedag::generators::x264_dag(
+        ip_iterations,
+        rows,
+        row_work,
+        config.encode.mv_row_window as u64,
+        config.gop as usize,
+        config.bframes as usize,
+        bframe_work,
+        out_work,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_produces_one_record_per_reference_frame() {
+        let config = X264Config::tiny();
+        let out = run_serial(&config);
+        // With bframes=1, half the frames (rounded up) are I/P frames.
+        assert_eq!(out.len() as u64, config.frames.div_ceil(2));
+        assert!(out.iter().all(|r| r.payload_bytes > 0));
+        assert!(out[0].is_iframe, "stream starts with an I-frame");
+        // Each non-final record buffers one B-frame.
+        assert!(out.iter().skip(1).any(|r| !r.bframes.is_empty()));
+    }
+
+    #[test]
+    fn piper_matches_serial_exactly() {
+        let config = X264Config::tiny();
+        let serial = run_serial(&config);
+        let pool = ThreadPool::new(4);
+        let parallel = run_piper(&config, &pool, PipeOptions::with_throttle(8));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn piper_matches_serial_with_wider_motion_window() {
+        let mut config = X264Config::tiny();
+        config.encode.mv_row_window = 2;
+        let serial = run_serial(&config);
+        let pool = ThreadPool::new(3);
+        let parallel = run_piper(&config, &pool, PipeOptions::default());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn piper_matches_serial_single_worker() {
+        let config = X264Config::tiny();
+        let serial = run_serial(&config);
+        let pool = ThreadPool::new(1);
+        let parallel = run_piper(&config, &pool, PipeOptions::with_throttle(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn coarser_quantisation_trades_bits_for_distortion() {
+        // The encoder substrate must expose a real rate/distortion trade-off:
+        // a coarser quantiser yields a smaller payload and a larger
+        // distortion across the whole stream. (Whether synthetic I-frames
+        // cost more bits than P-frames depends on the content's intra
+        // predictability, so the rate/distortion law is the robust check.)
+        let mut fine_cfg = X264Config::tiny();
+        fine_cfg.encode.quant = 2;
+        let mut coarse_cfg = X264Config::tiny();
+        coarse_cfg.encode.quant = 32;
+        let fine = run_serial(&fine_cfg);
+        let coarse = run_serial(&coarse_cfg);
+        let bytes = |out: &X264Output| out.iter().map(|r| r.payload_bytes).sum::<usize>();
+        let distortion = |out: &X264Output| out.iter().map(|r| r.distortion).sum::<u64>();
+        assert!(
+            bytes(&coarse) < bytes(&fine),
+            "coarse quantisation ({}) should use fewer bytes than fine ({})",
+            bytes(&coarse),
+            bytes(&fine)
+        );
+        assert!(
+            distortion(&coarse) > distortion(&fine),
+            "coarse quantisation ({}) should distort more than fine ({})",
+            distortion(&coarse),
+            distortion(&fine)
+        );
+    }
+
+    #[test]
+    fn spec_has_parallelism_and_stage_skipping() {
+        let config = X264Config::tiny();
+        let spec = build_spec(&config, 10, 30, 1);
+        let analysis = pipedag::analyze_unthrottled(&spec);
+        assert!(analysis.parallelism() > 1.5);
+    }
+}

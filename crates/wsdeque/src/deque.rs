@@ -1,0 +1,604 @@
+//! A Chase–Lev work-stealing deque.
+//!
+//! The owner thread operates on the bottom end with [`Worker::push`] and
+//! [`Worker::pop`]; any number of other threads may hold [`Stealer`] handles
+//! and take elements from the top end with [`Stealer::steal`]. The
+//! implementation follows the C11 formulation of Lê, Pop, Cohen and
+//! Nardelli, *Correct and Efficient Work-Stealing for Weakly Ordered Memory
+//! Models* (PPoPP 2013), which is also the basis of `crossbeam-deque`.
+//!
+//! Memory reclamation is deliberately simple: buffers that are outgrown are
+//! *retired* into a list owned by the shared state and only freed when the
+//! last handle (worker or stealer) is dropped. Retired buffers are never
+//! written to again, so a racing stealer can always safely read a slot from
+//! a stale buffer; the compare-and-swap on `top` decides ownership of the
+//! element itself.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Minimum buffer capacity (must be a power of two).
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity ring buffer of `MaybeUninit<T>` slots.
+struct Buffer<T> {
+    /// Capacity, always a power of two.
+    cap: usize,
+    /// Heap storage for `cap` slots.
+    storage: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+unsafe impl<T: Send> Send for Buffer<T> {}
+unsafe impl<T: Send> Sync for Buffer<T> {}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let mut v = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            v.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        Buffer {
+            cap,
+            storage: v.into_boxed_slice(),
+        }
+    }
+
+    /// Writes `value` into the slot for index `index`.
+    ///
+    /// # Safety
+    /// Only the owner may call this, and only for an index it is allowed to
+    /// write (i.e. the current bottom).
+    unsafe fn write(&self, index: i64, value: T) {
+        let slot = &self.storage[(index as usize) & (self.cap - 1)];
+        (*slot.get()).write(value);
+    }
+
+    /// Reads the value stored at `index` without marking the slot empty.
+    ///
+    /// # Safety
+    /// The caller must ensure the slot was initialized and must take care
+    /// not to produce two owned copies (the CAS on `top` arbitrates this).
+    unsafe fn read(&self, index: i64) -> T {
+        let slot = &self.storage[(index as usize) & (self.cap - 1)];
+        ptr::read((*slot.get()).as_ptr())
+    }
+}
+
+/// State shared between the worker and its stealers.
+struct Inner<T> {
+    /// Index one past the last element (owner end).
+    bottom: AtomicI64,
+    /// Index of the first element (thief end).
+    top: AtomicI64,
+    /// Current buffer.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers that were replaced by larger ones; freed on drop.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf = self.buffer.load(Ordering::Relaxed);
+        unsafe {
+            // Drop any elements still resident in the live buffer.
+            let mut i = top;
+            while i < bottom {
+                drop((*buf).read(i));
+                i += 1;
+            }
+            drop(Box::from_raw(buf));
+            // Free retired buffers (their elements were moved or copied into
+            // the live buffer, so only the allocations are reclaimed here).
+            let retired = self.retired.lock().unwrap();
+            for &old in retired.iter() {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owner end of a work-stealing deque.
+///
+/// `Worker` is `Send` but not `Sync`: exactly one thread may own it at a
+/// time, which is what makes the single-owner fast path of the Chase–Lev
+/// algorithm sound.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Cached capacity of the current buffer (owner-only).
+    _marker: std::marker::PhantomData<*mut ()>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// A handle from which elements can be stolen.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// The steal lost a race and may be retried.
+    Retry,
+    /// An element was successfully stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// Creates a new work-stealing deque, returning the owner handle and one
+/// stealer handle (which can be cloned freely).
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let buffer = Box::into_raw(Box::new(Buffer::<T>::new(MIN_CAP)));
+    let inner = Arc::new(Inner {
+        bottom: AtomicI64::new(0),
+        top: AtomicI64::new(0),
+        buffer: AtomicPtr::new(buffer),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _marker: std::marker::PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T: Send> Worker<T> {
+    /// Returns a new stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of elements currently in the deque (approximate under
+    /// concurrency, exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes an element onto the bottom (owner) end.
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+
+        let len = b - t;
+        unsafe {
+            if len >= (*buf).cap as i64 {
+                // Grow: allocate a buffer of twice the capacity and copy the
+                // live range. The old buffer is retired, not freed, because a
+                // stealer may still read from it.
+                buf = self.grow(buf, t, b);
+            }
+            (*buf).write(b, value);
+        }
+        // The release fence/store makes the element visible before the new
+        // bottom is observed by stealers.
+        fence(Ordering::Release);
+        self.inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops an element from the bottom (owner) end.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+
+        if t <= b {
+            // Non-empty (at least when we started).
+            let value = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last element: race against stealers via CAS on top.
+                if self
+                    .inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Lost the race; the stealer got it.
+                    std::mem::forget(value);
+                    self.inner.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(value)
+        } else {
+            // Deque was empty; restore bottom.
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Swaps the element at the bottom (tail) of the deque with `value`,
+    /// returning the previous tail. If the deque is empty, returns `value`
+    /// back unchanged as an `Err`.
+    ///
+    /// This supports PIPER's *tail-swap* operation (Section 5 of the paper):
+    /// when completing an iteration enables the control frame through a
+    /// throttling edge and the worker's deque is non-empty, the enabled
+    /// vertex is exchanged with the deque tail so the worker resumes the
+    /// next consecutive iteration and the control vertex becomes stealable.
+    ///
+    /// The implementation is pop-then-push, which is linearizable with
+    /// respect to concurrent steals (they only touch the top end, and by
+    /// Lemma 4 the interesting case has a single element, where the pop CAS
+    /// arbitrates).
+    pub fn swap_tail(&self, value: T) -> Result<T, T> {
+        match self.pop() {
+            Some(prev) => {
+                self.push(value);
+                Ok(prev)
+            }
+            None => Err(value),
+        }
+    }
+
+    /// Grows the buffer to twice its capacity, copying the live elements.
+    unsafe fn grow(&self, old: *mut Buffer<T>, t: i64, b: i64) -> *mut Buffer<T> {
+        let new = Box::into_raw(Box::new(Buffer::<T>::new(((*old).cap * 2).max(MIN_CAP))));
+        let mut i = t;
+        while i < b {
+            // Bitwise copy; ownership of each element is still arbitrated by
+            // the indices + CAS on `top`.
+            let slot = (*old).read(i);
+            (*new).write(i, slot);
+            i += 1;
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().unwrap().push(old);
+        new
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Number of elements currently in the deque (approximate).
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to steal an element from the top (thief) end.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the element first, then try to claim it. On CAS failure the
+        // read value is forgotten, never dropped, so no double-drop occurs.
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value);
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Steals, retrying internally while the deque reports `Retry`.
+    pub fn steal_with_retries(&self, max_retries: usize) -> Option<T> {
+        for _ in 0..=max_retries {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+        None
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker")
+            .field("bottom", &self.inner.bottom.load(Ordering::Relaxed))
+            .field("top", &self.inner.top.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer")
+            .field("bottom", &self.inner.bottom.load(Ordering::Relaxed))
+            .field("top", &self.inner.top.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn push_pop_lifo() {
+        let (w, _s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let (w, s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal() {
+        let (w, s) = deque::<u32>();
+        w.push(10);
+        w.push(20);
+        assert_eq!(s.steal(), Steal::Success(10));
+        w.push(30);
+        assert_eq!(w.pop(), Some(30));
+        assert_eq!(w.pop(), Some(20));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let (w, s) = deque::<usize>();
+        assert!(w.is_empty());
+        for i in 0..100 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 100);
+        assert_eq!(s.len(), 100);
+        for _ in 0..40 {
+            w.pop();
+        }
+        assert_eq!(w.len(), 60);
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, _s) = deque::<usize>();
+        let n = 10 * MIN_CAP;
+        for i in 0..n {
+            w.push(i);
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = w.pop() {
+            popped.push(v);
+        }
+        popped.reverse();
+        assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn growth_with_offset_top() {
+        let (w, s) = deque::<usize>();
+        // Leave a nonzero top so growth copies a shifted window.
+        for i in 0..MIN_CAP {
+            w.push(i);
+        }
+        for i in 0..MIN_CAP / 2 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        for i in MIN_CAP..4 * MIN_CAP {
+            w.push(i);
+        }
+        let mut seen = Vec::new();
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        seen.reverse();
+        assert_eq!(seen, (MIN_CAP / 2..4 * MIN_CAP).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn swap_tail_on_empty_returns_err() {
+        let (w, _s) = deque::<u32>();
+        assert_eq!(w.swap_tail(7), Err(7));
+    }
+
+    #[test]
+    fn swap_tail_exchanges_last_element() {
+        let (w, _s) = deque::<u32>();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.swap_tail(99), Ok(2));
+        assert_eq!(w.pop(), Some(99));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn drop_frees_remaining_elements() {
+        // Use Arc counting to ensure elements left in the deque are dropped.
+        let live = Arc::new(AtomicUsize::new(0));
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (w, _s) = deque::<Tracked>();
+            for _ in 0..10 {
+                live.fetch_add(1, Ordering::SeqCst);
+                w.push(Tracked(Arc::clone(&live)));
+            }
+            // Pop a few to exercise both paths.
+            drop(w.pop());
+            drop(w.pop());
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_steals_no_loss_no_duplication() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque::<usize>();
+        let collected: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                if v == usize::MAX {
+                                    break;
+                                }
+                                got.push(v);
+                            }
+                            Steal::Empty => std::thread::yield_now(),
+                            Steal::Retry => {}
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut kept = Vec::new();
+        for i in 0..N {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    kept.push(v);
+                }
+            }
+        }
+        // Drain what's left locally.
+        while let Some(v) = w.pop() {
+            kept.push(v);
+        }
+        // Send sentinels to stop thieves.
+        for _ in 0..THIEVES {
+            w.push(usize::MAX);
+        }
+
+        let mut all: Vec<usize> = kept;
+        for h in collected {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), N, "every pushed element seen exactly once");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(set.len(), N, "no duplicates");
+        assert_eq!(set.iter().copied().max(), Some(N - 1));
+    }
+
+    #[test]
+    fn concurrent_growth_under_stealing() {
+        const N: usize = 50_000;
+        let (w, s) = deque::<usize>();
+        let thief = {
+            let s = s.clone();
+            thread::spawn(move || {
+                let mut got = 0usize;
+                let mut sum = 0usize;
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            if v == usize::MAX {
+                                break;
+                            }
+                            got += 1;
+                            sum += v;
+                        }
+                        Steal::Empty => std::thread::yield_now(),
+                        Steal::Retry => {}
+                    }
+                }
+                (got, sum)
+            })
+        };
+        let mut local = 0usize;
+        let mut local_sum = 0usize;
+        for i in 0..N {
+            w.push(i);
+        }
+        while let Some(v) = w.pop() {
+            local += 1;
+            local_sum += v;
+        }
+        w.push(usize::MAX);
+        let (stolen, stolen_sum) = thief.join().unwrap();
+        assert_eq!(local + stolen, N);
+        assert_eq!(local_sum + stolen_sum, N * (N - 1) / 2);
+    }
+}

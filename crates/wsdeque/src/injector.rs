@@ -1,0 +1,125 @@
+//! A global FIFO injection queue.
+//!
+//! External (non-worker) threads submit work to a pool through an
+//! `Injector`; idle workers poll it before attempting random steals. The
+//! implementation is a mutex-protected ring buffer: injection is a cold path
+//! compared to deque operations, so simplicity and correctness win over
+//! lock-freedom here (the same choice `rayon` makes for its injector-style
+//! "global" queue fallback paths).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A multi-producer multi-consumer FIFO queue for submitting work into a
+/// scheduler from arbitrary threads.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a value onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    /// Pops a value from the front of the queue.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        inj.push(3);
+        assert_eq!(inj.pop(), Some(1));
+        assert_eq!(inj.pop(), Some(2));
+        assert_eq!(inj.pop(), Some(3));
+        assert_eq!(inj.pop(), None);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        inj.push(());
+        inj.push(());
+        assert_eq!(inj.len(), 2);
+        inj.pop();
+        inj.pop();
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        const PER_PRODUCER: usize = 5_000;
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        let inj = Arc::new(Injector::new());
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let inj = Arc::clone(&inj);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        inj.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = inj.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = Vec::new();
+        for h in consumers {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,29 @@
+//! Work-stealing substrate used by the PIPER runtime.
+//!
+//! The paper's Cilk-P prototype builds on the Cilk-M runtime, whose workers
+//! keep ready work in per-worker deques manipulated with the THE protocol.
+//! This crate provides the equivalent substrate, written from scratch:
+//!
+//! * [`deque`] — a lock-free Chase–Lev work-stealing deque
+//!   ([`Worker`]/[`Stealer`]), following the memory-ordering recipe of
+//!   Lê, Pop, Cohen and Nardelli (PPoPP 2013). The owner pushes and pops at
+//!   the *bottom* (tail); thieves steal from the *top* (head).
+//! * [`injector`] — a global FIFO queue used to submit work into a pool from
+//!   external (non-worker) threads.
+//! * [`parker`] — a condvar-based one-shot parker so that idle workers can
+//!   sleep instead of spinning when the pool has no work.
+//! * [`rng`] — a tiny xorshift PRNG for random victim selection, so the hot
+//!   stealing path does not need an external dependency.
+//!
+//! The deque is generic over any `T: Send`; the PIPER scheduler stores its
+//! task descriptors in it directly.
+
+pub mod deque;
+pub mod injector;
+pub mod parker;
+pub mod rng;
+
+pub use deque::{deque, Steal, Stealer, Worker};
+pub use injector::Injector;
+pub use parker::Parker;
+pub use rng::XorShift64;

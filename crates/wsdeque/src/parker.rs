@@ -1,0 +1,118 @@
+//! A simple condvar-based parker for idle workers.
+//!
+//! When a PIPER worker finds no work (its deque is empty, the injector is
+//! empty, and a round of random steal attempts failed), it parks on its
+//! `Parker`. Any thread that makes new work available unparks sleepers.
+//! Unpark "permits" are sticky: an unpark delivered before the park call is
+//! not lost, which prevents missed-wakeup deadlocks in the scheduler's
+//! sleep/wake protocol.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-permit parker.
+#[derive(Debug, Default)]
+pub struct Parker {
+    state: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl Parker {
+    /// Creates a parker with no pending permit.
+    pub fn new() -> Self {
+        Parker {
+            state: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available (consuming it).
+    pub fn park(&self) {
+        let mut permit = self.state.lock().unwrap();
+        while !*permit {
+            permit = self.condvar.wait(permit).unwrap();
+        }
+        *permit = false;
+    }
+
+    /// Blocks until a permit is available or `timeout` elapses. Returns true
+    /// if a permit was consumed.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let mut permit = self.state.lock().unwrap();
+        if !*permit {
+            let (guard, result) = self.condvar.wait_timeout(permit, timeout).unwrap();
+            permit = guard;
+            if result.timed_out() && !*permit {
+                return false;
+            }
+        }
+        let had = *permit;
+        *permit = false;
+        had
+    }
+
+    /// Makes a permit available, waking a parked thread if any.
+    pub fn unpark(&self) {
+        let mut permit = self.state.lock().unwrap();
+        *permit = true;
+        drop(permit);
+        self.condvar.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        let p = Parker::new();
+        p.unpark();
+        // Must return immediately.
+        let start = Instant::now();
+        p.park();
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn park_timeout_expires_without_permit() {
+        let p = Parker::new();
+        let got = p.park_timeout(Duration::from_millis(20));
+        assert!(!got);
+    }
+
+    #[test]
+    fn park_wakes_on_unpark_from_other_thread() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = thread::spawn(move || {
+            p2.park();
+            42
+        });
+        thread::sleep(Duration::from_millis(10));
+        p.unpark();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn repeated_park_unpark_cycles() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = thread::spawn(move || {
+            for _ in 0..100 {
+                p2.park();
+            }
+        });
+        for _ in 0..100 {
+            p.unpark();
+            // Give the other side a chance to consume the permit so that
+            // permits are not merged (the parker holds at most one).
+            thread::yield_now();
+            thread::sleep(Duration::from_micros(50));
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! A tiny xorshift* PRNG used for random victim selection.
+//!
+//! PIPER's thieves pick victims uniformly at random (Section 5). The
+//! stealing path is hot, so the generator must be cheap and allocation-free;
+//! statistical quality requirements are mild. xorshift64* is more than
+//! adequate and keeps the substrate dependency-free.
+
+/// A xorshift64* pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a nonzero seed (zero is mapped to a fixed
+    /// constant, since the all-zero state is an absorbing state).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// Uses the widening-multiply trick; the slight modulo bias is irrelevant
+    /// for victim selection.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = XorShift64::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(rng.next_u64(), 0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = XorShift64::new(12345);
+        for bound in [1usize, 2, 3, 7, 16, 1000] {
+            for _ in 0..1000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let mut rng = XorShift64::new(98765);
+        let bound = 8;
+        let mut counts = vec![0usize; bound];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.next_below(bound)] += 1;
+        }
+        let expected = n / bound;
+        for &c in &counts {
+            assert!(
+                c > expected * 8 / 10 && c < expected * 12 / 10,
+                "bucket count {c} too far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

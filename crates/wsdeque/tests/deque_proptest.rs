@@ -1,0 +1,110 @@
+//! Property-based tests for the Chase–Lev deque.
+//!
+//! The central invariant: for any interleaving of owner pushes/pops and
+//! thief steals, every pushed element is received exactly once (no loss, no
+//! duplication), and the owner observes LIFO order among the elements it
+//! pops between steals.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::thread;
+use wsdeque::{deque, Steal};
+
+/// A single-threaded operation sequence model-checked against a `VecDeque`.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    /// Sequential model check: the deque behaves like a double-ended queue
+    /// where the owner pops from the back and the thief steals from the
+    /// front.
+    #[test]
+    fn sequential_model_check(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = deque::<u32>();
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let expected = model.pop_front();
+                    match s.steal() {
+                        Steal::Success(v) => prop_assert_eq!(Some(v), expected),
+                        Steal::Empty => prop_assert_eq!(None, expected),
+                        Steal::Retry => {
+                            // No concurrency here, so Retry must not occur.
+                            prop_assert!(false, "retry in sequential execution");
+                        }
+                    }
+                }
+            }
+        }
+        // Drain and compare the remainder.
+        let mut rest = Vec::new();
+        while let Some(v) = w.pop() {
+            rest.push(v);
+        }
+        rest.reverse();
+        prop_assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Concurrent no-loss/no-duplication check with a small random schedule.
+    #[test]
+    fn concurrent_exactly_once(n in 1usize..2_000, pop_every in 1usize..7) {
+        let (w, s) = deque::<usize>();
+        let thief = {
+            let s = s.clone();
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            if v == usize::MAX { break; }
+                            got.push(v);
+                        }
+                        Steal::Empty => thread::yield_now(),
+                        Steal::Retry => {}
+                    }
+                }
+                got
+            })
+        };
+        let mut local = Vec::new();
+        for i in 0..n {
+            w.push(i);
+            if i % pop_every == 0 {
+                if let Some(v) = w.pop() {
+                    local.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            local.push(v);
+        }
+        w.push(usize::MAX);
+        let stolen = thief.join().unwrap();
+
+        let mut all: Vec<usize> = local;
+        all.extend(stolen);
+        prop_assert_eq!(all.len(), n);
+        let set: HashSet<usize> = all.into_iter().collect();
+        prop_assert_eq!(set.len(), n);
+    }
+}

@@ -1,0 +1,51 @@
+//! The dedup workload end-to-end: deduplicating compression as an SSPS
+//! pipeline, run serially, on PIPER, and on both baseline executors, with
+//! output verification and a small comparison printout.
+//!
+//! Run with: `cargo run --release --example dedup_pipeline`
+
+use std::time::Instant;
+
+use onthefly_pipeline::baselines::{BindToStageConfig, ConstructAndRunConfig};
+use onthefly_pipeline::piper::{PipeOptions, ThreadPool};
+use onthefly_pipeline::workloads::dedup;
+
+fn main() {
+    let config = dedup::DedupConfig::default();
+    let input = config.generate_input();
+    println!(
+        "dedup example: {} bytes of synthetic input ({}x repeated block)",
+        input.len(),
+        config.repeats
+    );
+
+    let t = Instant::now();
+    let serial = dedup::run_serial(&config, &input);
+    let t_serial = t.elapsed();
+    assert_eq!(serial.decode().unwrap(), input, "archive must round-trip");
+    println!(
+        "serial:            {:>8.3}s   {} chunks, {} duplicates, {} bytes compressed",
+        t_serial.as_secs_f64(),
+        serial.num_chunks(),
+        serial.num_duplicates(),
+        serial.compressed_size()
+    );
+
+    let pool = ThreadPool::builder().build();
+    let t = Instant::now();
+    let piper_archive = dedup::run_piper(&config, &input, &pool, PipeOptions::default());
+    println!("cilk-p (PIPER):    {:>8.3}s", t.elapsed().as_secs_f64());
+    assert_eq!(piper_archive, serial);
+
+    let t = Instant::now();
+    let bts = dedup::run_bind_to_stage(&config, &input, BindToStageConfig::default());
+    println!("pthreads-style:    {:>8.3}s", t.elapsed().as_secs_f64());
+    assert_eq!(bts, serial);
+
+    let t = Instant::now();
+    let car = dedup::run_construct_and_run(&config, &input, ConstructAndRunConfig::default());
+    println!("tbb-style:         {:>8.3}s", t.elapsed().as_secs_f64());
+    assert_eq!(car, serial);
+
+    println!("all executors produced bit-identical archives");
+}

@@ -1,0 +1,47 @@
+//! The ferret workload: content-based image similarity search as the
+//! classic serial–parallel–serial pipeline of Figure 1, with a look at the
+//! work/span analysis of the recorded dag.
+//!
+//! Run with: `cargo run --release --example ferret_search`
+
+use std::time::Instant;
+
+use onthefly_pipeline::pipedag;
+use onthefly_pipeline::piper::{PipeOptions, ThreadPool};
+use onthefly_pipeline::workloads::ferret;
+
+fn main() {
+    let config = ferret::FerretConfig::default();
+    println!(
+        "ferret example: {} queries against {} database images",
+        config.queries, config.database_size
+    );
+    let index = ferret::build_index(&config);
+
+    let t = Instant::now();
+    let serial = ferret::run_serial(&config, &index);
+    println!("serial search:  {:>7.3}s", t.elapsed().as_secs_f64());
+
+    let pool = ThreadPool::builder().build();
+    let t = Instant::now();
+    let parallel = ferret::run_piper(&config, &index, &pool, PipeOptions::with_throttle(10 * pool.num_threads()));
+    println!("PIPER search:   {:>7.3}s on {} worker(s)", t.elapsed().as_secs_f64(), pool.num_threads());
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a, b, "pipelined results must match serial");
+    }
+
+    // Cilkview-style analysis of the recorded pipeline dag.
+    let spec = ferret::record_spec(&config, &index);
+    let analysis = pipedag::analyze_unthrottled(&spec);
+    println!(
+        "recorded dag: work {:.1} ms, span {:.1} ms, parallelism {:.1}",
+        analysis.work as f64 / 1e6,
+        analysis.span as f64 / 1e6,
+        analysis.parallelism()
+    );
+    println!("(parallelism >> P means the pipeline scales linearly on P workers, per the paper's analysis)");
+
+    let best = &parallel[0][0];
+    println!("query 0 best match: image {} at distance {:.4}", best.0, best.1);
+}

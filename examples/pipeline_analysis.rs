@@ -1,0 +1,98 @@
+//! A Cilkview-style scalability analysis session over the paper's pipelines.
+//!
+//! The paper measures the parallelism of its dedup port with a modified
+//! Cilkview (Section 10 reports 7.4) and reasons about ferret and the
+//! pathological Figure 10 dag in closed form. This example does the same
+//! end to end with the `pipedag` crate: it records/generates the dags,
+//! prints work, span, parallelism, burdened parallelism and predicted
+//! speedup ranges, classifies the stages (SPS / SSPS / hybrid), simulates
+//! P-processor schedules, and writes Graphviz renderings next to the
+//! binary's working directory.
+//!
+//! Run with: `cargo run --release --example pipeline_analysis`
+
+use onthefly_pipeline::pipedag::{
+    analyze, analyze_burdened, analyze_unthrottled, generators, signature, simulate_piper, to_dot,
+    BurdenModel, DotOptions, PipelineSpec,
+};
+use onthefly_pipeline::workloads::{dedup, ferret, x264};
+
+fn report(name: &str, spec: &PipelineSpec, throttle: usize) {
+    let plain = analyze_unthrottled(spec);
+    let throttled = analyze(spec, Some(throttle));
+    let burdened = analyze_burdened(spec, &BurdenModel::default());
+
+    println!("== {name} ==");
+    println!(
+        "  shape       : {} iterations, {} nodes, signature {}",
+        plain.iterations,
+        plain.nodes,
+        signature(spec)
+    );
+    println!(
+        "  work/span   : T1 = {}, T_inf = {}, parallelism = {:.2}",
+        plain.work,
+        plain.span,
+        plain.parallelism()
+    );
+    println!(
+        "  throttled   : K = {throttle}: span = {}, parallelism = {:.2}",
+        throttled.span,
+        throttled.work as f64 / throttled.span.max(1) as f64
+    );
+    println!(
+        "  burdened    : span = {}, parallelism = {:.2} ({} burdened edges)",
+        burdened.burdened_span,
+        burdened.burdened_parallelism(),
+        burdened.burdened_edges
+    );
+    print!("  est. speedup:");
+    for p in [2usize, 4, 8, 16] {
+        let est = burdened.estimate(p);
+        print!("  P={p}: {:.1}–{:.1}", est.lower, est.upper);
+    }
+    println!();
+    print!("  simulated   :");
+    for p in [2usize, 4, 8, 16] {
+        let sim = simulate_piper(spec, p, Some(throttle));
+        print!("  P={p}: {:.2}x", sim.speedup_vs(plain.work));
+    }
+    println!("\n");
+}
+
+fn main() {
+    // Ferret: the SPS pipeline of Figure 1, recorded from a real run of the
+    // image-similarity workload.
+    let ferret_cfg = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&ferret_cfg);
+    let ferret_spec = ferret::record_spec(&ferret_cfg, &index);
+    report("ferret (recorded, Figure 1)", &ferret_spec, 40);
+
+    // Dedup: the SSPS pipeline of Figure 4, recorded from a real run.
+    let dedup_cfg = dedup::DedupConfig::tiny();
+    let input = dedup_cfg.generate_input();
+    let dedup_spec = dedup::record_spec(&dedup_cfg, &input);
+    report("dedup (recorded, Figure 4 / Section 10)", &dedup_spec, 16);
+
+    // x264: the on-the-fly dag of Figure 3 with stage skipping.
+    let x264_cfg = x264::X264Config::tiny();
+    let x264_spec = x264::build_spec(&x264_cfg, 50, 30, 5);
+    report("x264 (Figure 3)", &x264_spec, 16);
+
+    // The pathological nonuniform pipeline of Figure 10 / Theorem 13.
+    let pathological = generators::pathological(1_000_000);
+    report("pathological (Figure 10)", &pathological, 8);
+
+    // Write DOT renderings for the two small structural figures.
+    let fig1 = to_dot(&generators::sps(8, 1, 6, 1), &DotOptions::default());
+    let fig3 = to_dot(
+        &generators::x264_dag(6, 3, 2, 1, 3, 2, 3, 1),
+        &DotOptions::default(),
+    );
+    for (path, dot) in [("figure1_sps.dot", fig1), ("figure3_x264.dot", fig3)] {
+        match std::fs::write(path, &dot) {
+            Ok(()) => println!("wrote {path} ({} bytes) — render with `dot -Tsvg {path}`", dot.len()),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! On-the-fly pipeline structure: data-dependent dependencies and stage
+//! skipping, the two things a construct-and-run pipeline (TBB-style) cannot
+//! express and the reason the paper's x264 port needs Cilk-P.
+//!
+//! The example processes a stream of synthetic "messages". Each message is
+//! either an *update* (applied to shared state through a `pipe_wait` stage
+//! that serialises adjacent updates) or a *query* (read-only, runs entirely
+//! in parallel via `pipe_continue` and never visits the update stage).
+//! Urgent messages additionally skip the validation stage, so different
+//! iterations execute different stage sets — the pipeline's shape emerges at
+//! run time.
+//!
+//! Run with: `cargo run --release --example stage_skipping`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use onthefly_pipeline::piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0, ThreadPool};
+
+/// Stage numbers, named as in Figure 2 of the paper.
+const VALIDATE: u64 = 1;
+const APPLY: u64 = 2;
+const PUBLISH: u64 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MessageKind {
+    Update,
+    Query,
+    UrgentUpdate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    id: u64,
+    kind: MessageKind,
+    payload: u64,
+}
+
+/// Deterministic synthetic message stream.
+fn message(id: u64) -> Message {
+    let mix = id.wrapping_mul(0x9E3779B97F4A7C15);
+    let kind = match mix % 5 {
+        0 | 1 => MessageKind::Update,
+        2 | 3 => MessageKind::Query,
+        _ => MessageKind::UrgentUpdate,
+    };
+    Message {
+        id,
+        kind,
+        payload: mix >> 8,
+    }
+}
+
+struct Shared {
+    /// The replicated state updates are applied to (in stream order).
+    state: AtomicU64,
+    /// Published log lines, in iteration order.
+    log: Mutex<Vec<String>>,
+    validated: AtomicU64,
+    queries: AtomicU64,
+}
+
+struct MessageIteration {
+    message: Message,
+    shared: Arc<Shared>,
+    observed_state: u64,
+}
+
+impl PipelineIteration for MessageIteration {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        match stage {
+            VALIDATE => {
+                // Parallel validation: pure function of the payload.
+                let mut acc = self.message.payload;
+                for round in 0..500u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(round);
+                }
+                self.shared.validated.fetch_add(1, Ordering::Relaxed);
+                match self.message.kind {
+                    // Updates must be applied in order: cross edge (pipe_wait).
+                    MessageKind::Update | MessageKind::UrgentUpdate => NodeOutcome::WaitFor(APPLY),
+                    // Queries never touch the ordered stage: skip straight to
+                    // PUBLISH without a cross edge (pipe_continue).
+                    MessageKind::Query => NodeOutcome::ContinueTo(PUBLISH),
+                }
+            }
+            APPLY => {
+                // Ordered stage: applies the (commutative) update to the
+                // shared state; adjacent update iterations are serialised by
+                // the cross edge, and the atomic add keeps the aggregate
+                // exact even across iterations separated by queries.
+                let delta = self.message.payload | 1;
+                let previous = self.shared.state.fetch_add(delta, Ordering::SeqCst);
+                self.observed_state = previous.wrapping_add(delta);
+                NodeOutcome::WaitFor(PUBLISH)
+            }
+            PUBLISH => {
+                if self.message.kind == MessageKind::Query {
+                    self.observed_state = self.shared.state.load(Ordering::SeqCst);
+                    self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.log.lock().unwrap().push(format!(
+                    "#{:<4} {:?}: state={:#x}",
+                    self.message.id, self.message.kind, self.observed_state
+                ));
+                NodeOutcome::Done
+            }
+            other => unreachable!("unexpected stage {other}"),
+        }
+    }
+}
+
+fn main() {
+    let pool = ThreadPool::builder().build();
+    let total = 5_000u64;
+    let shared = Arc::new(Shared {
+        state: AtomicU64::new(0),
+        log: Mutex::new(Vec::new()),
+        validated: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+    });
+
+    let producer_shared = Arc::clone(&shared);
+    let stats = pool.pipe_while(PipeOptions::default(), move |i| {
+        if i == total {
+            return Stage0::Stop;
+        }
+        let message = message(i);
+        // Urgent updates skip validation entirely: the iteration enters at
+        // the APPLY stage directly (stage skipping on entry), still with a
+        // cross edge so ordering is preserved.
+        match message.kind {
+            MessageKind::UrgentUpdate => Stage0::into_stage(
+                MessageIteration {
+                    message,
+                    shared: Arc::clone(&producer_shared),
+                    observed_state: 0,
+                },
+                APPLY,
+                true,
+            ),
+            _ => Stage0::into_stage(
+                MessageIteration {
+                    message,
+                    shared: Arc::clone(&producer_shared),
+                    observed_state: 0,
+                },
+                VALIDATE,
+                false,
+            ),
+        }
+    });
+
+    // Recompute the expected final state serially: every update must have
+    // been applied exactly once, whatever interleaving the scheduler chose.
+    let mut expected_state = 0u64;
+    let mut expected_updates = 0u64;
+    for i in 0..total {
+        let m = message(i);
+        if m.kind != MessageKind::Query {
+            expected_state = expected_state.wrapping_add(m.payload | 1);
+            expected_updates += 1;
+        }
+    }
+    let log = shared.log.lock().unwrap();
+
+    println!("processed {total} messages on {} worker(s)", pool.num_threads());
+    println!(
+        "  updates applied : {expected_updates} (final state {:#x}, expected {:#x})",
+        shared.state.load(Ordering::SeqCst),
+        expected_state
+    );
+    println!(
+        "  validated       : {} (urgent updates skipped validation)",
+        shared.validated.load(Ordering::Relaxed)
+    );
+    println!("  queries answered: {}", shared.queries.load(Ordering::Relaxed));
+    println!(
+        "  pipeline stats  : {} iterations, {} nodes, peak {} live, {} cross-edge suspensions",
+        stats.iterations, stats.nodes, stats.peak_active_iterations, stats.cross_suspensions
+    );
+    println!("  first log lines :");
+    for line in log.iter().take(5) {
+        println!("    {line}");
+    }
+
+    assert_eq!(shared.state.load(Ordering::SeqCst), expected_state);
+    assert_eq!(log.len() as u64, total);
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the *On-the-Fly Pipeline Parallelism* (SPAA 2013)
+//! reproduction.
+//!
+//! This crate simply re-exports the workspace members so that examples and
+//! integration tests (and downstream users who want "everything") can depend
+//! on a single crate:
+//!
+//! * [`piper`] — the core contribution: a work-stealing runtime with
+//!   on-the-fly pipeline parallelism (`pipe_while`), PIPER scheduling,
+//!   throttling, lazy enabling and dependency folding.
+//! * [`pipedag`] — pipeline/computation dag model, work/span analysis and a
+//!   discrete-event scheduler simulator used by the evaluation harness.
+//! * [`baselines`] — bind-to-stage (Pthreads-style) and construct-and-run
+//!   (TBB-style) pipeline executors the paper compares against.
+//! * [`workloads`] — the PARSEC-analogue pipeline programs: ferret, dedup,
+//!   x264 and the synthetic pipe-fib.
+//! * Substrates: [`wsdeque`], [`checksum`], [`compress`], [`imagesim`],
+//!   [`videosim`].
+
+pub use baselines;
+pub use checksum;
+pub use compress;
+pub use imagesim;
+pub use pipedag;
+pub use piper;
+pub use videosim;
+pub use workloads;
+pub use wsdeque;

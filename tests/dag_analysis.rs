@@ -1,0 +1,182 @@
+//! Integration tests for the analytical machinery: closed-form checks from
+//! Section 1, the dag families of Figures 1, 3 and 10, and the interplay of
+//! recorded workload dags with the analyzer, the burdened (Cilkview-style)
+//! model, the validator and the scheduler simulator.
+
+use onthefly_pipeline::pipedag::{
+    self, analyze, analyze_burdened, analyze_unthrottled, generators, signature, simulate_piper,
+    to_dot, validate, BurdenModel, DotOptions,
+};
+use onthefly_pipeline::workloads::{dedup, ferret, pipefib, x264};
+
+#[test]
+fn figure1_sps_closed_forms_hold_across_parameters() {
+    // Section 1: T1 = n(r+2), span = n + r (+1 with this crate's boundary
+    // convention), parallelism ≥ r/2 + 1 when 1 << r <= n.
+    for (n, r) in [(100usize, 20u64), (500, 100), (1_000, 999)] {
+        let spec = generators::sps(n, 1, r, 1);
+        let a = analyze_unthrottled(&spec);
+        assert_eq!(a.work, n as u64 * (r + 2));
+        assert_eq!(a.span, n as u64 + r + 1);
+        assert!(
+            a.parallelism() >= r as f64 / 2.0,
+            "n={n} r={r}: parallelism {}",
+            a.parallelism()
+        );
+    }
+}
+
+#[test]
+fn generated_and_recorded_dags_pass_structural_validation() {
+    let ferret_cfg = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&ferret_cfg);
+    let dedup_cfg = dedup::DedupConfig::tiny();
+    let input = dedup_cfg.generate_input();
+    let specs = vec![
+        generators::sps(20, 1, 9, 1),
+        generators::x264_dag(8, 4, 2, 1, 3, 2, 3, 1),
+        generators::pathological(500_000),
+        ferret::record_spec(&ferret_cfg, &index),
+        dedup::record_spec(&dedup_cfg, &input),
+        pipefib::build_spec(&pipefib::PipeFibConfig::tiny(), 1),
+        x264::build_spec(&x264::X264Config::tiny(), 5, 3, 1),
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let violations = validate(spec);
+        assert!(violations.is_empty(), "spec {i}: {violations:?}");
+    }
+}
+
+#[test]
+fn ferret_and_dedup_signatures_match_the_papers_pipelines() {
+    // Figure 1: ferret is SPS. Figure 4: dedup is SSPS.
+    assert_eq!(signature(&generators::sps(10, 1, 5, 1)), "SPS");
+    assert_eq!(signature(&generators::ssps(10, 1, 2, 9, 1)), "SSPS");
+}
+
+#[test]
+fn x264_dag_shape_matches_figure3() {
+    // Stage skipping: iteration i's first row node sits at stage 1 + w·i.
+    let w = 2u64;
+    let spec = generators::x264_dag(6, 3, 4, w, 3, 2, 5, 1);
+    for (i, iteration) in spec.iterations.iter().enumerate() {
+        assert_eq!(iteration[0].stage, 0);
+        assert_eq!(iteration[1].stage, 1 + w * i as u64);
+    }
+    // The dag still has parallelism despite the serial P-frame rows.
+    let a = analyze_unthrottled(&spec);
+    assert!(a.parallelism() > 1.0);
+    // Its DOT rendering references null nodes (the collapsed skipped stages
+    // Figure 3 draws as edge intersections).
+    let dot = to_dot(&spec, &DotOptions::default());
+    assert!(dot.contains("shape=point"));
+}
+
+#[test]
+fn throttled_span_interpolates_between_unthrottled_and_serial() {
+    let spec = generators::ssps(200, 1, 2, 30, 1);
+    let unthrottled = analyze_unthrottled(&spec).span;
+    let serial = spec.work();
+    let mut previous = serial;
+    // Larger windows can only shorten (or keep) the span; K=1 serialises.
+    assert_eq!(analyze(&spec, Some(1)).span, serial);
+    for k in [2usize, 4, 16, 64, 256] {
+        let span = analyze(&spec, Some(k)).span;
+        assert!(span <= previous, "K={k}: {span} > {previous}");
+        assert!(span >= unthrottled, "K={k}");
+        previous = span;
+    }
+}
+
+#[test]
+fn pathological_dag_shows_the_theorem13_throttling_wall() {
+    // Theorem 13: with a small throttling window no scheduler can achieve
+    // more than a small constant speedup on the Figure 10 dag, while a
+    // window of Ω(T1^{1/3}) recovers the parallelism.
+    let spec = generators::pathological(8_000_000);
+    let t1 = spec.work();
+    let cube_root = (t1 as f64).powf(1.0 / 3.0);
+    let workers = 16;
+
+    let small_k = simulate_piper(&spec, workers, Some(2));
+    let large_k = simulate_piper(&spec, workers, Some((4.0 * cube_root) as usize));
+    let small_speedup = small_k.speedup_vs(t1);
+    let large_speedup = large_k.speedup_vs(t1);
+    assert!(
+        small_speedup < 4.0,
+        "tiny window should cap speedup near 3, got {small_speedup:.2}"
+    );
+    assert!(
+        large_speedup > small_speedup * 1.5,
+        "a Θ(T1^(1/3)) window should recover parallelism: {small_speedup:.2} -> {large_speedup:.2}"
+    );
+    // And the price of that speedup is space: more live iterations.
+    assert!(large_k.peak_live_iterations > small_k.peak_live_iterations);
+}
+
+#[test]
+fn simulator_respects_greedy_bounds_on_recorded_workload_dags() {
+    let config = dedup::DedupConfig::tiny();
+    let input = config.generate_input();
+    let spec = dedup::record_spec(&config, &input);
+    let a = analyze_unthrottled(&spec);
+    for p in [1usize, 2, 4, 8, 16] {
+        let sim = simulate_piper(&spec, p, None);
+        assert_eq!(sim.work_executed, a.work);
+        // Brent: T_P ≤ T1/P + T∞ for a greedy schedule; and T_P ≥ max(T1/P, T∞).
+        assert!(sim.makespan as f64 >= a.work as f64 / p as f64 - 1.0);
+        assert!(sim.makespan >= a.span);
+        assert!(sim.makespan <= a.work.div_ceil(p as u64) + a.span);
+    }
+}
+
+#[test]
+fn burdened_parallelism_never_exceeds_plain_parallelism() {
+    let ferret_cfg = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&ferret_cfg);
+    let specs = vec![
+        ferret::record_spec(&ferret_cfg, &index),
+        generators::pipe_fib(100, 1, 3),
+        generators::uniform(64, 6, 20),
+    ];
+    for spec in &specs {
+        let plain = analyze_unthrottled(spec);
+        let burdened = analyze_burdened(spec, &BurdenModel::default());
+        assert!(burdened.burdened_span >= plain.span);
+        assert!(burdened.burdened_parallelism() <= plain.parallelism() + 1e-9);
+        // The speedup estimate brackets are consistent for every P.
+        for p in [1usize, 4, 16] {
+            let est = burdened.estimate(p);
+            assert!(est.lower <= est.upper + 1e-9);
+            assert!(est.upper <= p as f64 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn recorded_x264_dag_has_growing_stage_skip() {
+    let config = x264::X264Config::tiny();
+    let spec = x264::build_spec(&config, 5, 3, 1);
+    // Iterations correspond to I/P frames only; each skips more stages than
+    // the one before (the Figure 3 staircase).
+    let first_stages: Vec<u64> = spec.iterations.iter().map(|it| it[1].stage).collect();
+    for pair in first_stages.windows(2) {
+        assert!(pair[1] >= pair[0], "stage skip must not decrease: {first_stages:?}");
+    }
+    assert!(
+        first_stages.last().unwrap() > first_stages.first().unwrap(),
+        "stage skip must grow over the stream: {first_stages:?}"
+    );
+}
+
+#[test]
+fn dot_export_of_recorded_ferret_dag_is_complete() {
+    let config = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&config);
+    let spec = ferret::record_spec(&config, &index);
+    let dot = pipedag::to_dot(&spec, &DotOptions::default());
+    // One node declaration per real node.
+    let declared = dot.matches(" [label=").count();
+    assert_eq!(declared, spec.num_nodes());
+    assert!(dot.starts_with("digraph"));
+}

@@ -1,0 +1,132 @@
+//! Determinism tests: the paper argues (Section 10, citing Bocchino et al.)
+//! that a key advantage of Cilk-P's model over hand-rolled Pthreads
+//! pipelines is that pipeline programs stay *deterministic*. These tests
+//! pin that property for every workload: the output must be bit-identical
+//! to the serial reference regardless of the number of workers, the
+//! throttling limit, or which runtime optimizations are enabled.
+
+use onthefly_pipeline::piper::{PipeOptions, ThreadPool};
+use onthefly_pipeline::workloads::{dedup, ferret, pipefib, uniform, x264};
+
+/// The four lazy-enabling × dependency-folding combinations of Section 9.
+fn optimization_grid() -> Vec<(PipeOptions, &'static str)> {
+    vec![
+        (PipeOptions::default(), "lazy+fold"),
+        (
+            PipeOptions::default().lazy_enabling(false),
+            "eager+fold",
+        ),
+        (
+            PipeOptions::default().dependency_folding(false),
+            "lazy+nofold",
+        ),
+        (
+            PipeOptions::default()
+                .lazy_enabling(false)
+                .dependency_folding(false),
+            "eager+nofold",
+        ),
+    ]
+}
+
+#[test]
+fn ferret_is_deterministic_across_workers_and_optimizations() {
+    let config = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&config);
+    let serial = ferret::run_serial(&config, &index);
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::new(workers);
+        for (options, name) in optimization_grid() {
+            let out = ferret::run_piper(&config, &index, &pool, options);
+            assert_eq!(out, serial, "P={workers}, options={name}");
+        }
+    }
+}
+
+#[test]
+fn dedup_is_deterministic_across_throttling_limits() {
+    let config = dedup::DedupConfig::tiny();
+    let input = config.generate_input();
+    let serial = dedup::run_serial(&config, &input);
+    let pool = ThreadPool::new(4);
+    for k in [1usize, 2, 3, 8, 64] {
+        let out = dedup::run_piper(&config, &input, &pool, PipeOptions::with_throttle(k));
+        assert_eq!(out, serial, "K={k}");
+        assert_eq!(out.decode().unwrap(), input, "K={k}: archive must decode");
+    }
+}
+
+#[test]
+fn x264_is_deterministic_across_optimizations() {
+    let config = x264::X264Config::tiny();
+    let serial = x264::run_serial(&config);
+    let pool = ThreadPool::new(3);
+    for (options, name) in optimization_grid() {
+        let out = x264::run_piper(&config, &pool, options);
+        assert_eq!(out, serial, "options={name}");
+    }
+}
+
+#[test]
+fn x264_repeated_runs_are_identical() {
+    // Work stealing makes the *schedule* nondeterministic; the output must
+    // not be. Run the same encode several times on the same pool.
+    let config = x264::X264Config::tiny();
+    let pool = ThreadPool::new(4);
+    let first = x264::run_piper(&config, &pool, PipeOptions::default());
+    for run in 1..4 {
+        let again = x264::run_piper(&config, &pool, PipeOptions::default());
+        assert_eq!(again, first, "run {run}");
+    }
+}
+
+#[test]
+fn pipefib_is_deterministic_across_optimizations_and_workers() {
+    let config = pipefib::PipeFibConfig { n: 220, block_bits: 1 };
+    let serial = pipefib::run_serial(&config);
+    for workers in [1usize, 3] {
+        let pool = ThreadPool::new(workers);
+        for (options, name) in optimization_grid() {
+            let (bits, _) = pipefib::run_piper(&config, &pool, options);
+            assert_eq!(bits, serial, "P={workers}, options={name}");
+        }
+    }
+}
+
+#[test]
+fn uniform_pipeline_is_deterministic_under_every_setting() {
+    let config = uniform::UniformConfig::tiny();
+    let serial = uniform::run_serial(&config);
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::new(workers);
+        for (options, name) in optimization_grid() {
+            let (out, stats) = uniform::run_piper(&config, &pool, options);
+            assert_eq!(out, serial, "P={workers}, options={name}");
+            assert_eq!(stats.iterations, config.iterations as u64);
+        }
+        for k in [1usize, 2, 16] {
+            let (out, stats) = uniform::run_piper(&config, &pool, PipeOptions::with_throttle(k));
+            assert_eq!(out, serial, "P={workers}, K={k}");
+            assert!(stats.peak_active_iterations <= k as u64, "P={workers}, K={k}");
+        }
+    }
+}
+
+#[test]
+fn serial_references_are_stable_across_calls() {
+    // The synthetic input generators are seeded; two independent generations
+    // must agree, otherwise every comparison in the harness is meaningless.
+    let dedup_cfg = dedup::DedupConfig::tiny();
+    assert_eq!(dedup_cfg.generate_input(), dedup_cfg.generate_input());
+
+    let ferret_cfg = ferret::FerretConfig::tiny();
+    let index_a = ferret::build_index(&ferret_cfg);
+    let index_b = ferret::build_index(&ferret_cfg);
+    assert_eq!(
+        ferret::run_serial(&ferret_cfg, &index_a),
+        ferret::run_serial(&ferret_cfg, &index_b)
+    );
+
+    let x264_cfg = x264::X264Config::tiny();
+    assert_eq!(x264::run_serial(&x264_cfg), x264::run_serial(&x264_cfg));
+}

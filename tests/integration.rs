@@ -1,0 +1,180 @@
+//! Workspace-level integration tests: exercise the public API across crates
+//! the way a downstream user would (runtime + workloads + baselines +
+//! analysis together).
+
+use std::sync::{Arc, Mutex};
+
+use onthefly_pipeline::baselines::{BindToStageConfig, ConstructAndRunConfig};
+use onthefly_pipeline::pipedag;
+use onthefly_pipeline::piper::{
+    NodeOutcome, PipeOptions, PipelineIteration, Stage0, StagedPipeline, ThreadPool,
+};
+use onthefly_pipeline::workloads::{dedup, ferret, pipefib, x264};
+
+#[test]
+fn all_executors_agree_on_dedup() {
+    let config = dedup::DedupConfig::tiny();
+    let input = config.generate_input();
+    let serial = dedup::run_serial(&config, &input);
+    let pool = ThreadPool::new(3);
+    assert_eq!(
+        dedup::run_piper(&config, &input, &pool, PipeOptions::default()),
+        serial
+    );
+    assert_eq!(
+        dedup::run_bind_to_stage(&config, &input, BindToStageConfig::default()),
+        serial
+    );
+    assert_eq!(
+        dedup::run_construct_and_run(&config, &input, ConstructAndRunConfig::default()),
+        serial
+    );
+    assert_eq!(serial.decode().unwrap(), input);
+}
+
+#[test]
+fn all_executors_agree_on_ferret() {
+    let config = ferret::FerretConfig::tiny();
+    let index = ferret::build_index(&config);
+    let serial = ferret::run_serial(&config, &index);
+    let pool = ThreadPool::new(2);
+    assert_eq!(
+        ferret::run_piper(&config, &index, &pool, PipeOptions::default()),
+        serial
+    );
+    assert_eq!(
+        ferret::run_bind_to_stage(&config, &index, BindToStageConfig::default()),
+        serial
+    );
+}
+
+#[test]
+fn x264_on_the_fly_pipeline_is_deterministic_across_pool_sizes() {
+    let config = x264::X264Config::tiny();
+    let serial = x264::run_serial(&config);
+    for workers in [1usize, 2, 4] {
+        let pool = ThreadPool::new(workers);
+        let out = x264::run_piper(&config, &pool, PipeOptions::with_throttle(4 * workers));
+        assert_eq!(out, serial, "P = {workers}");
+    }
+}
+
+#[test]
+fn pipefib_matches_serial_and_respects_throttle() {
+    let config = pipefib::PipeFibConfig { n: 150, block_bits: 1 };
+    let serial = pipefib::run_serial(&config);
+    let pool = ThreadPool::new(3);
+    let (bits, stats) = pipefib::run_piper(&config, &pool, PipeOptions::with_throttle(6));
+    assert_eq!(bits, serial);
+    assert!(stats.peak_active_iterations <= 6);
+}
+
+#[test]
+fn nested_pipeline_and_fork_join_compose() {
+    // An outer pipeline whose parallel stage runs a nested StagedPipeline
+    // and fork-join work — the D = 2 nesting of the space-bound theorem.
+    let pool = Arc::new(ThreadPool::new(3));
+    let results = Arc::new(Mutex::new(Vec::new()));
+
+    struct Outer {
+        i: u64,
+        pool: Arc<ThreadPool>,
+        results: Arc<Mutex<Vec<u64>>>,
+    }
+    impl PipelineIteration for Outer {
+        fn run_node(&mut self, stage: u64) -> NodeOutcome {
+            match stage {
+                1 => {
+                    // Nested fork-join.
+                    let (a, b) = onthefly_pipeline::piper::join(|| self.i * 3, || self.i * 4);
+                    // Nested pipeline.
+                    let acc = Arc::new(Mutex::new(0u64));
+                    let acc2 = Arc::clone(&acc);
+                    let mut j = 0u64;
+                    let limit = self.i % 3 + 1;
+                    StagedPipeline::<u64>::new()
+                        .parallel(|x| *x += 1)
+                        .serial(move |x| *acc2.lock().unwrap() += *x)
+                        .run(&self.pool, PipeOptions::with_throttle(2), move || {
+                            if j == limit {
+                                None
+                            } else {
+                                j += 1;
+                                Some(j - 1)
+                            }
+                        });
+                    let inner = *acc.lock().unwrap();
+                    self.results.lock().unwrap().push(a + b + inner);
+                    NodeOutcome::WaitFor(2)
+                }
+                _ => NodeOutcome::Done,
+            }
+        }
+    }
+
+    let sink = Arc::clone(&results);
+    let pool2 = Arc::clone(&pool);
+    let n = 9u64;
+    pool.pipe_while(PipeOptions::with_throttle(4), move |i| {
+        if i == n {
+            return Stage0::Stop;
+        }
+        Stage0::wait(Outer {
+            i,
+            pool: Arc::clone(&pool2),
+            results: Arc::clone(&sink),
+        })
+    });
+
+    let got = results.lock().unwrap().clone();
+    let expected: Vec<u64> = (0..n)
+        .map(|i| {
+            let limit = i % 3 + 1;
+            let inner: u64 = (0..limit).map(|x| x + 1).sum();
+            i * 7 + inner
+        })
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn recorded_dedup_dag_parallelism_is_in_the_papers_regime() {
+    let config = dedup::DedupConfig::tiny();
+    let input = config.generate_input();
+    let spec = dedup::record_spec(&config, &input);
+    let analysis = pipedag::analyze_unthrottled(&spec);
+    // The paper's Cilkview measurement for dedup is 7.4; the synthetic input
+    // should land in the same order of magnitude (limited parallelism).
+    assert!(analysis.parallelism() > 1.5 && analysis.parallelism() < 200.0);
+    // And the simulator should plateau: 16 simulated workers cannot beat the
+    // dag's parallelism.
+    let sim = pipedag::simulate_piper(&spec, 16, Some(64));
+    assert!(sim.speedup_vs(spec.work()) <= analysis.parallelism() + 1e-9);
+}
+
+#[test]
+fn throttling_bounds_live_iterations_under_stress() {
+    let pool = ThreadPool::new(4);
+    for k in [1usize, 3, 8] {
+        let mut next = 0u64;
+        let stats = StagedPipeline::<u64>::new()
+            .parallel(|x| {
+                let mut acc = *x;
+                for r in 0..500u64 {
+                    acc = acc.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(r);
+                }
+                *x = std::hint::black_box(acc);
+            })
+            .serial(|_| {})
+            .run(&pool, PipeOptions::with_throttle(k), move || {
+                if next == 500 {
+                    None
+                } else {
+                    next += 1;
+                    Some(next)
+                }
+            });
+        assert!(stats.peak_active_iterations <= k as u64);
+        assert_eq!(stats.iterations, 500);
+    }
+}
