@@ -171,11 +171,9 @@ mod tests {
     fn processes_every_item_through_all_stages() {
         let count = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&count);
-        let stages: StageSet<u64> = StageSet::new()
-            .parallel(|x| *x *= 2)
-            .serial(move |x| {
-                c.fetch_add(*x, Ordering::SeqCst);
-            });
+        let stages: StageSet<u64> = StageSet::new().parallel(|x| *x *= 2).serial(move |x| {
+            c.fetch_add(*x, Ordering::SeqCst);
+        });
         let pipeline = BindToStagePipeline::new(stages, BindToStageConfig::default());
         let mut next = 0u64;
         let produced = pipeline.run(move || {

@@ -200,11 +200,12 @@ mod tests {
     fn processes_all_items() {
         let total = Arc::new(AtomicU64::new(0));
         let t = Arc::clone(&total);
-        let stages: StageSet<u64> = StageSet::new()
-            .parallel(|x| *x = *x * 2 + 1)
-            .serial(move |x| {
-                t.fetch_add(*x, Ordering::SeqCst);
-            });
+        let stages: StageSet<u64> =
+            StageSet::new()
+                .parallel(|x| *x = *x * 2 + 1)
+                .serial(move |x| {
+                    t.fetch_add(*x, Ordering::SeqCst);
+                });
         let pipeline = ConstructAndRunPipeline::new(stages, ConstructAndRunConfig::default());
         let mut next = 0u64;
         let n = pipeline.run(move || {
@@ -289,11 +290,9 @@ mod tests {
     fn single_thread_configuration_works() {
         let total = Arc::new(AtomicU64::new(0));
         let t = Arc::clone(&total);
-        let stages: StageSet<u64> = StageSet::new()
-            .serial(|x| *x += 1)
-            .parallel(move |x| {
-                t.fetch_add(*x, Ordering::SeqCst);
-            });
+        let stages: StageSet<u64> = StageSet::new().serial(|x| *x += 1).parallel(move |x| {
+            t.fetch_add(*x, Ordering::SeqCst);
+        });
         let pipeline = ConstructAndRunPipeline::new(
             stages,
             ConstructAndRunConfig {

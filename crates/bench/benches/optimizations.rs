@@ -8,7 +8,10 @@ use workloads::pipefib::{self, PipeFibConfig};
 
 fn bench_optimizations(c: &mut Criterion) {
     let pool = ThreadPool::new(2);
-    let fine = PipeFibConfig { n: 800, block_bits: 1 };
+    let fine = PipeFibConfig {
+        n: 800,
+        block_bits: 1,
+    };
     let coarse = PipeFibConfig::coarsened(800);
 
     for (name, folding, lazy) in [

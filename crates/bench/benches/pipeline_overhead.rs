@@ -22,7 +22,9 @@ fn bench_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut sum = 0u64;
             for i in 0..N {
-                sum = sum.wrapping_add(stage_work(i)).wrapping_add(stage_work(i ^ 0xFF));
+                sum = sum
+                    .wrapping_add(stage_work(i))
+                    .wrapping_add(stage_work(i ^ 0xFF));
             }
             black_box(sum)
         });

@@ -20,7 +20,14 @@ fn bench_workloads(c: &mut Criterion) {
         b.iter(|| black_box(ferret::run_serial(&fcfg, &index)));
     });
     c.bench_function("workloads/ferret_piper_1w", |b| {
-        b.iter(|| black_box(ferret::run_piper(&fcfg, &index, &pool, PipeOptions::default())));
+        b.iter(|| {
+            black_box(ferret::run_piper(
+                &fcfg,
+                &index,
+                &pool,
+                PipeOptions::default(),
+            ))
+        });
     });
 
     let dcfg = dedup::DedupConfig::tiny();
@@ -29,7 +36,14 @@ fn bench_workloads(c: &mut Criterion) {
         b.iter(|| black_box(dedup::run_serial(&dcfg, &input)));
     });
     c.bench_function("workloads/dedup_piper_1w", |b| {
-        b.iter(|| black_box(dedup::run_piper(&dcfg, &input, &pool, PipeOptions::default())));
+        b.iter(|| {
+            black_box(dedup::run_piper(
+                &dcfg,
+                &input,
+                &pool,
+                PipeOptions::default(),
+            ))
+        });
     });
 
     let xcfg = x264::X264Config::tiny();
@@ -40,7 +54,10 @@ fn bench_workloads(c: &mut Criterion) {
         b.iter(|| black_box(x264::run_piper(&xcfg, &pool, PipeOptions::default())));
     });
 
-    let pcfg = pipefib::PipeFibConfig { n: 1_000, block_bits: 1 };
+    let pcfg = pipefib::PipeFibConfig {
+        n: 1_000,
+        block_bits: 1,
+    };
     c.bench_function("workloads/pipefib_serial", |b| {
         b.iter(|| black_box(pipefib::run_serial(&pcfg)));
     });

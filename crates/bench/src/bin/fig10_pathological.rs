@@ -29,7 +29,11 @@ fn main() {
         let throttle = if k == usize::MAX { None } else { Some(k) };
         let sim = simulate_piper(&spec, p, throttle);
         table.row(vec![
-            if k == usize::MAX { "unthrottled".to_string() } else { k.to_string() },
+            if k == usize::MAX {
+                "unthrottled".to_string()
+            } else {
+                k.to_string()
+            },
             sim.makespan.to_string(),
             format!("{:.2}", sim.speedup_vs(a.work)),
             sim.peak_live_iterations.to_string(),
@@ -40,5 +44,7 @@ fn main() {
         "Speedup beyond ~3 requires keeping ~T1^(1/3) = {} iterations live at once (Theorem 13): small",
         cube
     );
-    println!("throttling windows bound space but cap the speedup; only K = Ω(T1^(1/3)) recovers it.");
+    println!(
+        "throttling windows bound space but cap the speedup; only K = Ω(T1^(1/3)) recovers it."
+    );
 }

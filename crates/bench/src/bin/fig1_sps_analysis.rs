@@ -20,7 +20,13 @@ fn main() {
         "r/2+1",
         "Tinf throttled K=16",
     ]);
-    for (n, r) in [(100usize, 10u64), (1000, 10), (1000, 100), (4000, 256), (10000, 64)] {
+    for (n, r) in [
+        (100usize, 10u64),
+        (1000, 10),
+        (1000, 100),
+        (4000, 256),
+        (10000, 64),
+    ] {
         let spec = generators::sps(n, 1, r, 1);
         let a = analyze_unthrottled(&spec);
         let throttled = analyze(&spec, Some(16));

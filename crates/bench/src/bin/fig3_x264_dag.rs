@@ -17,9 +17,18 @@ fn main() {
     };
     let spec = build_spec(&config, 10, 20, 1);
 
-    println!("Figure 3: x264 pipeline dag structure (w = {}, gop = {})", config.encode.mv_row_window, config.gop);
+    println!(
+        "Figure 3: x264 pipeline dag structure (w = {}, gop = {})",
+        config.encode.mv_row_window, config.gop
+    );
     println!();
-    let mut table = Table::new(&["iteration", "first row stage", "stages skipped", "row nodes", "waiting rows (P) / continue rows (I)"]);
+    let mut table = Table::new(&[
+        "iteration",
+        "first row stage",
+        "stages skipped",
+        "row nodes",
+        "waiting rows (P) / continue rows (I)",
+    ]);
     for (i, nodes) in spec.iterations.iter().enumerate() {
         let first_row_stage = nodes[1].stage;
         let rows = nodes.len() - 3; // minus stage 0, B-frame stage, END stage
@@ -42,5 +51,7 @@ fn main() {
         a.parallelism()
     );
     println!("Stage skipping shifts each iteration down by w rows (cross edges land on null nodes of the");
-    println!("previous iteration), and I-frame iterations have pipe_continue rows (no cross edges).");
+    println!(
+        "previous iteration), and I-frame iterations have pipe_continue rows (no cross edges)."
+    );
 }

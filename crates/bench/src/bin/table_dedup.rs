@@ -3,7 +3,9 @@
 //! with `--analyze`.
 
 use pipe_bench::{secs, time, Table, PAPER_PROCESSOR_COUNTS};
-use pipedag::{simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig};
+use pipedag::{
+    simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig,
+};
 use piper::{PipeOptions, ThreadPool};
 use workloads::dedup;
 
@@ -22,7 +24,9 @@ fn main() {
         analysis.span / 1_000_000,
         analysis.parallelism()
     );
-    println!("(the paper's Cilkview measurement of dedup's parallelism on its native input is 7.4)");
+    println!(
+        "(the paper's Cilkview measurement of dedup's parallelism on its native input is 7.4)"
+    );
     println!();
     if analyze_only {
         return;
@@ -76,6 +80,8 @@ fn main() {
     println!("Figure 7 (shape): simulated schedule of the recorded dedup dag, K = 4P");
     println!("note: the paper's Pthreads advantage on dedup comes from overlapping file I/O with");
     println!("computation via oversubscription; the simulator has no I/O, so all three plateau at");
-    println!("the dag's parallelism, which is the dominant effect the paper reports for Cilk-P/TBB.");
+    println!(
+        "the dag's parallelism, which is the dominant effect the paper reports for Cilk-P/TBB."
+    );
     table.print();
 }

@@ -7,7 +7,9 @@
 //! experiment index", E3).
 
 use pipe_bench::{secs, time, Table, PAPER_PROCESSOR_COUNTS};
-use pipedag::{simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig};
+use pipedag::{
+    simulate_bind_to_stage, simulate_construct_and_run, simulate_piper, BindToStageConfig,
+};
 use piper::{PipeOptions, ThreadPool};
 use workloads::ferret;
 
@@ -20,10 +22,22 @@ fn main() {
     let pool1 = ThreadPool::new(1);
     let ((), t_1) = time(|| {
         let out = ferret::run_piper(&config, &index, &pool1, PipeOptions::with_throttle(10));
-        assert_eq!(out.len(), serial_out.len(), "PIPER output must match serial");
+        assert_eq!(
+            out.len(),
+            serial_out.len(),
+            "PIPER output must match serial"
+        );
     });
-    println!("ferret (synthetic): {} queries, {} database images", config.queries, config.database_size);
-    println!("measured on this host:  T_S = {}s   T_1 = {}s   serial overhead T_1/T_S = {:.3}", secs(t_s), secs(t_1), t_1.as_secs_f64() / t_s.as_secs_f64());
+    println!(
+        "ferret (synthetic): {} queries, {} database images",
+        config.queries, config.database_size
+    );
+    println!(
+        "measured on this host:  T_S = {}s   T_1 = {}s   serial overhead T_1/T_S = {:.3}",
+        secs(t_s),
+        secs(t_1),
+        t_1.as_secs_f64() / t_s.as_secs_f64()
+    );
     println!();
 
     // Recorded dag for the processor sweep.

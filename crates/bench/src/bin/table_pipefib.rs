@@ -62,7 +62,14 @@ fn main() {
         "folded checks",
     ]);
     run_variant("pipe-fib", &fine, false, t_s, &serial_bits, &mut table);
-    run_variant("pipe-fib-256", &coarse, false, t_s, &serial_bits, &mut table);
+    run_variant(
+        "pipe-fib-256",
+        &coarse,
+        false,
+        t_s,
+        &serial_bits,
+        &mut table,
+    );
     run_variant("pipe-fib", &fine, true, t_s, &serial_bits, &mut table);
     run_variant("pipe-fib-256", &coarse, true, t_s, &serial_bits, &mut table);
     println!("Figure 9 (shape): dependency folding removes most stage-counter reads for the");

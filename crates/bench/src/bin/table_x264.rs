@@ -46,7 +46,12 @@ fn main() {
     println!();
 
     let serial_time = spec.work();
-    let mut table = Table::new(&["P", "Cilk-P speedup", "Pthreads speedup", "Cilk-P scalability"]);
+    let mut table = Table::new(&[
+        "P",
+        "Cilk-P speedup",
+        "Pthreads speedup",
+        "Cilk-P scalability",
+    ]);
     for &p in &PAPER_PROCESSOR_COUNTS {
         let cilkp = simulate_piper(&spec, p, Some(4 * p));
         // The Pthreads x264 uses its own row-level threading; bind-to-stage

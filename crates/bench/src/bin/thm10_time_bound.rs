@@ -55,7 +55,11 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Note: this host exposes a single hardware core; pools with P > 1 timeshare it, which");
-    println!("inflates steal attempts relative to a true P-core machine but preserves the trend that");
+    println!(
+        "Note: this host exposes a single hardware core; pools with P > 1 timeshare it, which"
+    );
+    println!(
+        "inflates steal attempts relative to a true P-core machine but preserves the trend that"
+    );
     println!("steals scale with P and the span rather than with the total work.");
 }

@@ -26,7 +26,9 @@ impl PipelineIteration for Busy {
 }
 
 fn main() {
-    println!("Theorem 11: peak live iterations vs throttling limit K (runaway-pipeline prevention)");
+    println!(
+        "Theorem 11: peak live iterations vs throttling limit K (runaway-pipeline prevention)"
+    );
     println!();
     let pool = ThreadPool::new(4);
     let n = 5_000u64;

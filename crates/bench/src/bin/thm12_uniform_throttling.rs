@@ -39,12 +39,19 @@ fn main() {
                 factor.to_string(),
                 throttled.makespan.to_string(),
                 unthrottled.makespan.to_string(),
-                format!("{:.3}", throttled.makespan as f64 / unthrottled.makespan as f64),
+                format!(
+                    "{:.3}",
+                    throttled.makespan as f64 / unthrottled.makespan as f64
+                ),
                 bound.to_string(),
             ]);
         }
     }
     table.print();
-    println!("For uniform pipelines the throttled schedule tracks the unthrottled one closely even for");
-    println!("small a, matching Theorem 12; contrast with the pathological dag of fig10_pathological.");
+    println!(
+        "For uniform pipelines the throttled schedule tracks the unthrottled one closely even for"
+    );
+    println!(
+        "small a, matching Theorem 12; contrast with the pathological dag of fig10_pathological."
+    );
 }

@@ -131,10 +131,7 @@ proptest! {
 fn sha1_matches_known_vectors() {
     // FIPS 180-1 test vectors.
     let empty = sha1(b"");
-    assert_eq!(
-        hex(&empty),
-        "da39a3ee5e6b4b0d3255bfef95601890afd80709"
-    );
+    assert_eq!(hex(&empty), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
     let abc = sha1(b"abc");
     assert_eq!(hex(&abc), "a9993e364706816aba3e25717850c26c9cd0d89d");
 }

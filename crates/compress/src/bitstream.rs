@@ -25,8 +25,14 @@ impl BitWriter {
     /// at most 57 so the accumulator cannot overflow.
     pub fn write_bits(&mut self, value: u64, count: u32) {
         debug_assert!(count <= 57, "write_bits count {count} too large");
-        debug_assert!(count > 0 || value == 0, "zero-width write must carry value 0");
-        debug_assert!(count == 0 || value < (1u64 << count), "value wider than count");
+        debug_assert!(
+            count > 0 || value == 0,
+            "zero-width write must carry value 0"
+        );
+        debug_assert!(
+            count == 0 || value < (1u64 << count),
+            "value wider than count"
+        );
         if count == 0 {
             return;
         }

@@ -100,8 +100,18 @@ mod tests {
         // Word-like data with plenty of repeats — the case deflate handles
         // much better than raw LZ tokens.
         const WORDS: [&str; 12] = [
-            "pipeline", "parallel", "stage", "iteration", "steal", "worker", "throttle", "frame",
-            "cross", "edge", "node", "dag",
+            "pipeline",
+            "parallel",
+            "stage",
+            "iteration",
+            "steal",
+            "worker",
+            "throttle",
+            "frame",
+            "cross",
+            "edge",
+            "node",
+            "dag",
         ];
         let mut state = seed | 1;
         let mut out = Vec::with_capacity(len + 16);

@@ -96,21 +96,20 @@ fn huffman_code_lengths(freqs: &[u64; NUM_SYMBOLS], lengths: &mut [u8; NUM_SYMBO
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    // Internal tree nodes: (frequency, node id). Leaves are 0..256, internal
-    // nodes get ids from 256 upward.
+    // Internal tree nodes. Leaves are 0..256, internal nodes get ids from
+    // 256 upward; frequencies live in the heap entries.
     #[derive(Clone, Copy)]
     struct Node {
-        freq: u64,
         left: i32,
         right: i32,
     }
-    let mut nodes: Vec<Node> = (0..NUM_SYMBOLS)
-        .map(|s| Node {
-            freq: freqs[s],
+    let mut nodes: Vec<Node> = vec![
+        Node {
             left: -1,
-            right: -1,
-        })
-        .collect();
+            right: -1
+        };
+        NUM_SYMBOLS
+    ];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..NUM_SYMBOLS)
         .filter(|&s| freqs[s] > 0)
         .map(|s| Reverse((freqs[s], s)))
@@ -120,7 +119,6 @@ fn huffman_code_lengths(freqs: &[u64; NUM_SYMBOLS], lengths: &mut [u8; NUM_SYMBO
         let Reverse((fb, b)) = heap.pop().unwrap();
         let id = nodes.len();
         nodes.push(Node {
-            freq: fa + fb,
             left: a as i32,
             right: b as i32,
         });
@@ -133,7 +131,7 @@ fn huffman_code_lengths(freqs: &[u64; NUM_SYMBOLS], lengths: &mut [u8; NUM_SYMBO
         let n = nodes[node];
         if n.left < 0 {
             // Leaf.
-            lengths[node] = depth.max(1).min(255) as u8;
+            lengths[node] = depth.clamp(1, 255) as u8;
         } else {
             stack.push((n.left as usize, depth + 1));
             stack.push((n.right as usize, depth + 1));
@@ -397,8 +395,8 @@ mod tests {
         // MAX_CODE_BITS; the limiter must clamp it while keeping Kraft valid.
         let mut freqs = [0u64; 256];
         let (mut a, mut b) = (1u64, 1u64);
-        for symbol in 0..40usize {
-            freqs[symbol] = a;
+        for freq in freqs.iter_mut().take(40) {
+            *freq = a;
             let next = a + b;
             a = b;
             b = next;
@@ -407,7 +405,9 @@ mod tests {
         assert!(book.lengths.iter().all(|&l| l as u32 <= MAX_CODE_BITS));
         assert!(book.kraft_sum_times_2_pow_max() <= 1 << MAX_CODE_BITS);
         // And the code must still round-trip real data drawn from it.
-        let data: Vec<u8> = (0..40u8).flat_map(|s| std::iter::repeat(s).take(1 + s as usize)).collect();
+        let data: Vec<u8> = (0..40u8)
+            .flat_map(|s| std::iter::repeat_n(s, 1 + s as usize))
+            .collect();
         let compressed = huffman_compress(&data);
         assert_eq!(huffman_decompress(&compressed).unwrap(), data);
     }

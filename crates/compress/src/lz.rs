@@ -238,6 +238,7 @@ mod tests {
     fn malformed_streams_are_rejected() {
         assert_eq!(lz_decompress(&[0x05, 0x02]), None); // truncated literal
         assert_eq!(lz_decompress(&[0x01, 0xFF]), None); // bad control byte
+
         // Match before any output exists.
         let mut bad = Vec::new();
         super::write_varint(&mut bad, 10);

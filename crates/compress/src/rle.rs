@@ -23,7 +23,7 @@ pub fn rle_compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses an RLE stream. Returns `None` on malformed input.
 pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::new();
@@ -32,7 +32,7 @@ pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
         if count == 0 {
             return None;
         }
-        out.extend(std::iter::repeat(pair[1]).take(count));
+        out.extend(std::iter::repeat_n(pair[1], count));
     }
     Some(out)
 }

@@ -1,0 +1,197 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! `criterion` to this in-tree implementation via
+//! `[workspace.dependencies]` (see `crates/devshims/README.md`). It is a
+//! real (if statistically simple) measurement harness: warm-up, fixed
+//! sample count, min/mean/max wall-clock reporting. The output format is
+//! close enough to criterion's to be grep-able by the same tooling.
+//!
+//! Supported surface: [`Criterion::default`], [`Criterion::sample_size`],
+//! [`Criterion::warm_up_time`], [`Criterion::measurement_time`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] (both forms) and [`criterion_main!`].
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes
+        // `--test`, where each benchmark should run once as a smoke check.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+                test_mode: self.test_mode,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    config: BenchConfig,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing one duration per sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.config.test_mode {
+            black_box(f());
+            return;
+        }
+
+        // Warm up and estimate the cost of one iteration.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_nanos().max(1) / u128::from(warm_up_iters.max(1));
+
+        // Split the measurement budget into samples of >= 1 iteration.
+        let budget = self.config.measurement_time.as_nanos();
+        let per_sample = budget / self.config.sample_size as u128;
+        let iters = (per_sample / per_iter.max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters.max(1) as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.config.test_mode {
+            println!("{id}: ok (smoke)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{id}: no samples recorded");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target, ..)` or the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,395 @@
+//! Offline shim for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! `proptest` to this in-tree implementation via `[workspace.dependencies]`
+//! (see `crates/devshims/README.md`). It implements honest property-based
+//! testing — deterministic pseudo-random generation, configurable case
+//! counts, failing-input reporting — over the API surface the test suites
+//! use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! * [`strategy::Strategy`] with `prop_map`, [`prelude::Just`],
+//!   [`prelude::any`], range and tuple strategies,
+//! * [`collection::vec`], [`prop_oneof!`] (weighted and unweighted), and
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! It does **not** shrink failing inputs; it reports the full failing input
+//! and the deterministic seed instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of pseudo-random values of type `Value`.
+    ///
+    /// Generic combinators carry `where Self: Sized` so the trait stays
+    /// object-safe: [`Union`] (the engine behind [`crate::prop_oneof!`])
+    /// stores heterogeneous strategies as `Box<dyn Strategy<Value = V>>`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for core::ops::Range<T>
+    where
+        T: rand::SampleUniform + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.sample_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for core::ops::RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.sample_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_for_tuple!(A / 0);
+    impl_strategy_for_tuple!(A / 0, B / 1);
+    impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+    impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+    impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+    /// Weighted choice between strategies with a common value type; the
+    /// engine behind [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        variants: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; every weight must be positive.
+        pub fn new(variants: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
+            let total_weight = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+            Union {
+                variants,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.sample_range(0..self.total_weight);
+            for (weight, strategy) in &self.variants {
+                if pick < u64::from(*weight) {
+                    return strategy.generate(rng);
+                }
+                pick -= u64::from(*weight);
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Values with a canonical "anything goes" strategy, selected with
+    /// [`any`].
+    pub trait Arbitrary {
+        /// Generates an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy for any value of `T` (integers span the full range).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors whose length is drawn from `sizes` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.sample_range(self.sizes.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng};
+
+    /// Configuration for a [`crate::proptest!`] block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property (overridable at run
+        /// time with the `PROPTEST_CASES` environment variable).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Resolves the case count, honouring `PROPTEST_CASES`.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The deterministic generator threaded through every strategy.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A generator for case `case` of the property named `name`; the
+        /// same `(name, case)` pair always yields the same stream.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the property name, mixed with the case index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Samples uniformly from `range`.
+        pub fn sample_range<T, R>(&mut self, range: R) -> T
+        where
+            T: SampleUniform,
+            R: SampleRange<T>,
+        {
+            self.inner.gen_range(range)
+        }
+    }
+
+    /// Runs `body` for every generated case of property `name`.
+    ///
+    /// `generate` produces `(input_debug, run)` pairs; on panic the failing
+    /// case index and input are reported before the panic is propagated, so
+    /// failures are reproducible from the printed case number.
+    pub fn run_cases(
+        name: &str,
+        config: &ProptestConfig,
+        mut case_fn: impl FnMut(&mut TestRng) -> (String, Box<dyn FnOnce()>),
+    ) {
+        let cases = config.resolved_cases();
+        for case in 0..u64::from(cases) {
+            let mut rng = TestRng::for_case(name, case);
+            let (input, run) = case_fn(&mut rng);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest: property `{name}` failed at case {case}/{cases} \
+                     (rerun deterministically; shrinking is not implemented)\n\
+                     failing input: {input}"
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the generated inputs on
+/// failure (via the harness in [`test_runner::run_cases`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies sharing
+/// a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),)+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let property = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::run_cases(property, &config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)+
+                    let input = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    (input, Box::new(move || { let _ = $body; }))
+                });
+            }
+        )*
+    };
+}

@@ -321,16 +321,17 @@ fn run_nodes<I: PipelineIteration>(
             exec.iteration_finished();
             return;
         }
-        let outcome =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.run_node(stage))) {
-                Ok(outcome) => outcome,
-                Err(payload) => {
-                    exec.record_panic(payload);
-                    progress.finish();
-                    exec.iteration_finished();
-                    return;
-                }
-            };
+        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.run_node(stage)
+        })) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                exec.record_panic(payload);
+                progress.finish();
+                exec.iteration_finished();
+                return;
+            }
+        };
         exec.nodes.fetch_add(1, Ordering::Relaxed);
         match outcome {
             NodeOutcome::ContinueTo(next) => {
@@ -503,7 +504,7 @@ mod tests {
         impl PipelineIteration for Skipper {
             fn run_node(&mut self, stage: u64) -> NodeOutcome {
                 self.log.lock().unwrap().push((self.i, stage));
-                if self.i % 2 == 0 {
+                if self.i.is_multiple_of(2) {
                     match stage {
                         s if s == 1 + self.i => NodeOutcome::WaitFor(100),
                         100 => NodeOutcome::Done,
@@ -533,7 +534,11 @@ mod tests {
         assert_eq!(stats.iterations, n);
         let log = log.lock().unwrap();
         for i in 0..n {
-            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            let stages: Vec<u64> = log
+                .iter()
+                .filter(|(it, _)| *it == i)
+                .map(|(_, s)| *s)
+                .collect();
             if i % 2 == 0 {
                 assert_eq!(stages, vec![1 + i, 100]);
             } else {

@@ -98,7 +98,7 @@ pub fn emd(a: &Signature, b: &Signature) -> f32 {
     if moved <= 0.0 || total_flow <= 0.0 {
         return 0.0;
     }
-    (cost / moved as f64) as f32
+    (cost / moved) as f32
 }
 
 /// Exact 1-D EMD between two *histograms* with equal total mass: the L1

@@ -130,7 +130,12 @@ pub struct Index {
 
 impl Index {
     /// Builds an index over `database_size` synthetic images.
-    pub fn build_synthetic(database_size: usize, classes: u64, width: usize, height: usize) -> Index {
+    pub fn build_synthetic(
+        database_size: usize,
+        classes: u64,
+        width: usize,
+        height: usize,
+    ) -> Index {
         let num_buckets = 64;
         let mut entries = Vec::with_capacity(database_size);
         let mut buckets = vec![Vec::new(); num_buckets];

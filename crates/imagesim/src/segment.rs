@@ -121,13 +121,18 @@ pub fn segment(image: &Image, max_regions: usize) -> Segmentation {
             })
         })
         .collect();
-    regions.sort_by(|a, b| b.area.cmp(&a.area).then(
-        a.mean_intensity
-            .partial_cmp(&b.mean_intensity)
-            .unwrap_or(std::cmp::Ordering::Equal),
-    ));
+    regions.sort_by(|a, b| {
+        b.area.cmp(&a.area).then(
+            a.mean_intensity
+                .partial_cmp(&b.mean_intensity)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
 
-    Segmentation { regions, iterations }
+    Segmentation {
+        regions,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +154,10 @@ mod tests {
         let total_area: usize = seg.regions.iter().map(|r| r.area).sum();
         assert_eq!(total_area, image.pixels.len());
         let total_weight: f32 = seg.regions.iter().map(|r| r.weight).sum();
-        assert!((total_weight - 1.0).abs() < 1e-4, "weights sum to {total_weight}");
+        assert!(
+            (total_weight - 1.0).abs() < 1e-4,
+            "weights sum to {total_weight}"
+        );
     }
 
     #[test]
@@ -200,7 +208,12 @@ mod tests {
         // the two tones.
         let top: f32 = seg.regions.iter().take(2).map(|r| r.weight).sum();
         assert!(top > 0.95, "two regions should dominate, weight {top}");
-        let means: Vec<f32> = seg.regions.iter().take(2).map(|r| r.mean_intensity).collect();
+        let means: Vec<f32> = seg
+            .regions
+            .iter()
+            .take(2)
+            .map(|r| r.mean_intensity)
+            .collect();
         assert!(means.iter().any(|&m| (m - 20.0).abs() < 15.0));
         assert!(means.iter().any(|&m| (m - 230.0).abs() < 15.0));
     }

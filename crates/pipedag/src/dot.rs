@@ -84,12 +84,8 @@ pub fn to_dot(spec: &PipelineSpec, options: &DotOptions) -> String {
         for i in 1..n {
             for node in &spec.iterations[i] {
                 if node.wait
-                    && spec.iterations[i - 1]
-                        .iter()
-                        .all(|p| p.stage != node.stage)
-                    && spec.iterations[i - 1]
-                        .iter()
-                        .any(|p| p.stage < node.stage)
+                    && spec.iterations[i - 1].iter().all(|p| p.stage != node.stage)
+                    && spec.iterations[i - 1].iter().any(|p| p.stage < node.stage)
                 {
                     null_nodes.push((i - 1, node.stage));
                 }
@@ -150,8 +146,7 @@ pub fn to_dot(spec: &PipelineSpec, options: &DotOptions) -> String {
                 );
             } else if let Some(src) = spec.iterations[i - 1]
                 .iter()
-                .filter(|p| p.stage < node.stage)
-                .last()
+                .rfind(|p| p.stage < node.stage)
             {
                 if options.show_null_nodes {
                     let null = null_name(i - 1, node.stage);

@@ -20,7 +20,7 @@
 //! memory bandwidth, I/O overlap).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 use crate::spec::PipelineSpec;
 
@@ -68,14 +68,15 @@ fn build_edges(
     throttle: Option<usize>,
 ) -> (Vec<Vec<usize>>, Vec<Vec<Vec<NodeId>>>) {
     let n = spec.num_iterations();
-    let mut indegree: Vec<Vec<usize>> = (0..n)
-        .map(|i| vec![0; spec.iterations[i].len()])
-        .collect();
+    let mut indegree: Vec<Vec<usize>> = (0..n).map(|i| vec![0; spec.iterations[i].len()]).collect();
     let mut successors: Vec<Vec<Vec<NodeId>>> = (0..n)
         .map(|i| vec![Vec::new(); spec.iterations[i].len()])
         .collect();
 
-    let add_edge = |from: NodeId, to: NodeId, indeg: &mut Vec<Vec<usize>>, succ: &mut Vec<Vec<Vec<NodeId>>>| {
+    let add_edge = |from: NodeId,
+                    to: NodeId,
+                    indeg: &mut Vec<Vec<usize>>,
+                    succ: &mut Vec<Vec<Vec<NodeId>>>| {
         indeg[to.0][to.1] += 1;
         succ[from.0][from.1].push(to);
     };
@@ -129,9 +130,9 @@ pub fn simulate_piper(spec: &PipelineSpec, workers: usize, throttle: Option<usiz
     // prefers the oldest iteration, mimicking PIPER's bind-to-element
     // tendency to finish old iterations before starting new ones.
     let mut ready: BTreeSet<NodeId> = BTreeSet::new();
-    for i in 0..n {
-        for idx in 0..spec.iterations[i].len() {
-            if indegree[i][idx] == 0 {
+    for (i, row) in indegree.iter().enumerate().take(n) {
+        for (idx, &deg) in row.iter().enumerate() {
+            if deg == 0 {
                 ready.insert((i, idx));
             }
         }
@@ -152,7 +153,9 @@ pub fn simulate_piper(spec: &PipelineSpec, workers: usize, throttle: Option<usiz
     while done < total_nodes {
         // Assign ready nodes to idle workers.
         while idle > 0 {
-            let Some(&node) = ready.iter().next() else { break };
+            let Some(&node) = ready.iter().next() else {
+                break;
+            };
             ready.remove(&node);
             idle -= 1;
             if !started[node.0] {
@@ -400,14 +403,14 @@ pub fn simulate_bind_to_stage(
             }
             // Try unblocking blocked threads (space may have appeared).
             let mut progressed = false;
-            for ti in 0..threads.len() {
-                if let ThreadState::Blocked { item } = threads[ti].state {
-                    let sp = threads[ti].stage_pos;
+            for thread in threads.iter_mut() {
+                if let ThreadState::Blocked { item } = thread.state {
+                    let sp = thread.stage_pos;
                     if sp + 1 == num_stages {
                         unreachable!("final stage never blocks");
                     } else if queues[sp + 1].len() < config.queue_capacity {
                         queues[sp + 1].push_back(item);
-                        threads[ti].state = ThreadState::Idle;
+                        thread.state = ThreadState::Idle;
                         progressed = true;
                     }
                 }
@@ -420,35 +423,35 @@ pub fn simulate_bind_to_stage(
         now = next_time;
 
         // Complete every thread finishing at `now`.
-        for ti in 0..threads.len() {
-            let (item, until) = match threads[ti].state {
+        for thread in threads.iter_mut() {
+            let (item, until) = match thread.state {
                 ThreadState::Running { item, until } => (item, until),
                 _ => continue,
             };
             if until != now {
                 continue;
             }
-            work_executed += work_at(item, threads[ti].stage_pos);
-            let sp = threads[ti].stage_pos;
+            work_executed += work_at(item, thread.stage_pos);
+            let sp = thread.stage_pos;
             if sp + 1 == num_stages {
                 completed_items += 1;
                 live -= 1;
-                threads[ti].state = ThreadState::Idle;
+                thread.state = ThreadState::Idle;
             } else if queues[sp + 1].len() < config.queue_capacity {
                 queues[sp + 1].push_back(item);
-                threads[ti].state = ThreadState::Idle;
+                thread.state = ThreadState::Idle;
             } else {
-                threads[ti].state = ThreadState::Blocked { item };
+                thread.state = ThreadState::Blocked { item };
             }
         }
 
         // Unblock threads whose downstream queue has space now.
-        for ti in 0..threads.len() {
-            if let ThreadState::Blocked { item } = threads[ti].state {
-                let sp = threads[ti].stage_pos;
+        for thread in threads.iter_mut() {
+            if let ThreadState::Blocked { item } = thread.state {
+                let sp = thread.stage_pos;
                 if queues[sp + 1].len() < config.queue_capacity {
                     queues[sp + 1].push_back(item);
-                    threads[ti].state = ThreadState::Idle;
+                    thread.state = ThreadState::Idle;
                 }
             }
         }
@@ -578,7 +581,10 @@ mod tests {
         let spec = generators::ssps(60, 1, 50, 5, 1);
         let r = simulate_bind_to_stage(&spec, 8, BindToStageConfig::default());
         let speedup = r.speedup_vs(spec.work());
-        assert!(speedup < 1.4, "speedup {speedup} is impossible for this dag");
+        assert!(
+            speedup < 1.4,
+            "speedup {speedup} is impossible for this dag"
+        );
     }
 
     #[test]

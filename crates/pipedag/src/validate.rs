@@ -199,7 +199,11 @@ mod tests {
             generators::x264_dag(6, 4, 2, 1, 3, 2, 3, 1),
             generators::random(25, 6, 20, 11),
         ] {
-            assert!(validate(&spec).is_empty(), "violations: {:?}", validate(&spec));
+            assert!(
+                validate(&spec).is_empty(),
+                "violations: {:?}",
+                validate(&spec)
+            );
         }
     }
 
@@ -228,9 +232,13 @@ mod tests {
         let mut spec = PipelineSpec::new();
         spec.push_iteration(vec![NodeSpec::wait(2, 1), NodeSpec::cont(3, 1)]);
         let violations = validate(&spec);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::MissingStageZero { iteration: 0, first_stage: 2 })));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingStageZero {
+                iteration: 0,
+                first_stage: 2
+            }
+        )));
     }
 
     #[test]

@@ -134,11 +134,11 @@ where
     }
 
     match result_a {
-        Ok(ra) => (ra, job_b.into_result()),
+        Ok(ra) => (ra, job_b.take_result()),
         Err(payload) => {
             // Make sure `b`'s result (and possible panic) is consumed before
             // propagating `a`'s panic, to avoid losing track of it silently.
-            let _ = panic::catch_unwind(AssertUnwindSafe(|| job_b.into_result()));
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| job_b.take_result()));
             panic::resume_unwind(payload)
         }
     }
@@ -388,7 +388,7 @@ mod tests {
     #[test]
     fn scope_can_borrow_stack_data() {
         let pool = ThreadPool::new(2);
-        let mut results = vec![0u64; 16];
+        let mut results = [0u64; 16];
         {
             let chunks: Vec<&mut u64> = results.iter_mut().collect();
             pool.scope(|s| {

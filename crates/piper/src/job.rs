@@ -126,7 +126,7 @@ where
 
     /// Retrieves the result after the latch has been set, resuming a panic
     /// if the job panicked.
-    pub(crate) fn into_result(&self) -> R {
+    pub(crate) fn take_result(&self) -> R {
         debug_assert!(self.latch.probe(), "result taken before completion");
         let result = unsafe { std::ptr::replace(self.result.get(), JobResult::NotRun) };
         match result {
@@ -169,7 +169,7 @@ mod tests {
         let job = StackJob::new(|| 21 * 2);
         job.run_inline();
         assert!(job.latch.probe());
-        assert_eq!(job.into_result(), 42);
+        assert_eq!(job.take_result(), 42);
     }
 
     #[test]
@@ -177,7 +177,7 @@ mod tests {
         let job = StackJob::new(|| -> i32 { panic!("boom") });
         job.run_inline();
         assert!(job.latch.probe());
-        let caught = panic::catch_unwind(AssertUnwindSafe(|| job.into_result()));
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| job.take_result()));
         assert!(caught.is_err());
     }
 
@@ -202,6 +202,6 @@ mod tests {
         let r2 = unsafe { job.as_job_ref() };
         assert_eq!(r1.id(), r2.id());
         job.run_inline();
-        let _ = job.into_result();
+        let _ = job.take_result();
     }
 }

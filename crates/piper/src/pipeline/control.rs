@@ -55,7 +55,11 @@ pub(crate) struct ControlCore {
 }
 
 impl ControlCore {
-    pub(crate) fn new(throttle_limit: usize, lazy_enabling: bool, dependency_folding: bool) -> Arc<Self> {
+    pub(crate) fn new(
+        throttle_limit: usize,
+        lazy_enabling: bool,
+        dependency_folding: bool,
+    ) -> Arc<Self> {
         Arc::new(ControlCore {
             throttle_limit,
             lazy_enabling,
@@ -196,8 +200,8 @@ where
             Metrics::bump(&worker.metrics().throttle_suspensions);
             core.control_status
                 .store(CONTROL_THROTTLED, Ordering::SeqCst);
-            if core.active.load(Ordering::SeqCst) < core.throttle_limit {
-                if core
+            if core.active.load(Ordering::SeqCst) < core.throttle_limit
+                && core
                     .control_status
                     .compare_exchange(
                         CONTROL_THROTTLED,
@@ -206,10 +210,9 @@ where
                         Ordering::SeqCst,
                     )
                     .is_ok()
-                {
-                    // Re-acquired the token ourselves; re-evaluate the gate.
-                    continue;
-                }
+            {
+                // Re-acquired the token ourselves; re-evaluate the gate.
+                continue;
             }
             // Token parked (or handed to the completing iteration).
             return None;
@@ -220,10 +223,7 @@ where
         // token and makes the producer's `FnMut` state safe to mutate.
         let mut prod = self.producer.lock().unwrap();
         let index = prod.next_index;
-        let producer = match prod.producer.as_mut() {
-            Some(p) => p,
-            None => return None, // loop already finished
-        };
+        let producer = prod.producer.as_mut()?;
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| producer(index)));
 
         match outcome {

@@ -342,7 +342,11 @@ mod tests {
         assert_eq!(log.len(), 30);
         // Every iteration executed stages 1, 2, 3 in order.
         for i in 0..10u64 {
-            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            let stages: Vec<u64> = log
+                .iter()
+                .filter(|(it, _)| *it == i)
+                .map(|(_, s)| *s)
+                .collect();
             assert_eq!(stages, vec![1, 2, 3]);
         }
     }
@@ -426,7 +430,7 @@ mod tests {
         impl PipelineIteration for Skipper {
             fn run_node(&mut self, stage: u64) -> NodeOutcome {
                 self.executed.lock().unwrap().push((self.i, stage));
-                if self.i % 2 == 0 {
+                if self.i.is_multiple_of(2) {
                     // Even iterations: stages 1 -> 5 (skip) -> done.
                     match stage {
                         1 => NodeOutcome::WaitFor(5),
@@ -466,7 +470,11 @@ mod tests {
             "every executed node is logged"
         );
         for i in 0..n {
-            let stages: Vec<u64> = log.iter().filter(|(it, _)| *it == i).map(|(_, s)| *s).collect();
+            let stages: Vec<u64> = log
+                .iter()
+                .filter(|(it, _)| *it == i)
+                .map(|(_, s)| *s)
+                .collect();
             if i % 2 == 0 {
                 assert_eq!(stages, vec![1, 5]);
             } else {
@@ -632,9 +640,8 @@ mod tests {
                     1 => {
                         let total = Arc::clone(&self.total);
                         let m = self.i % 4 + 1;
-                        self.pool.pipe_while(
-                            PipeOptions::with_throttle(2),
-                            move |j| {
+                        self.pool
+                            .pipe_while(PipeOptions::with_throttle(2), move |j| {
                                 if j == m {
                                     return Stage0::Stop;
                                 }
@@ -642,8 +649,7 @@ mod tests {
                                     j,
                                     total: Arc::clone(&total),
                                 })
-                            },
-                        );
+                            });
                         NodeOutcome::WaitFor(2)
                     }
                     2 => NodeOutcome::Done,

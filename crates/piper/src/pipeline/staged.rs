@@ -71,11 +71,7 @@ impl<T: Send + 'static> StagedPipeline<T> {
     }
 
     /// Appends a stage of the given kind.
-    pub fn stage(
-        self,
-        kind: StageKind,
-        body: impl Fn(&mut T) + Send + Sync + 'static,
-    ) -> Self {
+    pub fn stage(self, kind: StageKind, body: impl Fn(&mut T) + Send + Sync + 'static) -> Self {
         match kind {
             StageKind::Serial => self.serial(body),
             StageKind::Parallel => self.parallel(body),
@@ -99,19 +95,17 @@ impl<T: Send + 'static> StagedPipeline<T> {
             "a StagedPipeline needs at least one stage besides the producer"
         );
         let stages: Arc<Vec<StageDef<T>>> = Arc::new(self.stages);
-        pipe_while(pool, options, move |_i| {
-            match producer() {
-                None => Stage0::Stop,
-                Some(item) => {
-                    let wait = stages[0].kind == StageKind::Serial;
-                    Stage0::Proceed {
-                        state: StagedItem {
-                            item,
-                            stages: Arc::clone(&stages),
-                        },
-                        first_stage: 1,
-                        wait,
-                    }
+        pipe_while(pool, options, move |_i| match producer() {
+            None => Stage0::Stop,
+            Some(item) => {
+                let wait = stages[0].kind == StageKind::Serial;
+                Stage0::Proceed {
+                    state: StagedItem {
+                        item,
+                        stages: Arc::clone(&stages),
+                    },
+                    first_stage: 1,
+                    wait,
                 }
             }
         })

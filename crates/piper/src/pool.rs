@@ -277,7 +277,9 @@ impl Default for PoolBuilder {
 }
 
 fn default_num_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl PoolBuilder {
@@ -330,7 +332,9 @@ impl PoolBuilder {
                         registry,
                         index,
                         deque: dq,
-                        rng: RefCell::new(XorShift64::new(0x5851_F42D_4C95_7F2D ^ (index as u64 + 1))),
+                        rng: RefCell::new(XorShift64::new(
+                            0x5851_F42D_4C95_7F2D ^ (index as u64 + 1),
+                        )),
                     };
                     CURRENT_WORKER.with(|w| w.set(&worker as *const WorkerThread));
                     worker.main_loop();
@@ -426,7 +430,10 @@ impl ThreadPool {
                 std::hint::spin_loop();
             }
         }
-        let r = result.into_inner().unwrap().expect("install job did not run");
+        let r = result
+            .into_inner()
+            .unwrap()
+            .expect("install job did not run");
         match r {
             Ok(value) => value,
             Err(payload) => std::panic::resume_unwind(payload),

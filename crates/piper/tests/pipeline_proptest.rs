@@ -200,7 +200,10 @@ proptest! {
 #[test]
 fn single_iteration_single_node_pipeline_works() {
     let plan = PipelinePlan {
-        iterations: vec![vec![NodePlan { stage: 1, wait: true }]],
+        iterations: vec![vec![NodePlan {
+            stage: 1,
+            wait: true,
+        }]],
     };
     let stats = run_plan(&plan, 2, PipeOptions::default());
     assert_eq!(stats.iterations, 1);
@@ -214,8 +217,14 @@ fn deep_stage_skipping_pipeline_works() {
     let iterations = (0..10usize)
         .map(|i| {
             vec![
-                NodePlan { stage: 1 + 3 * i as u64, wait: true },
-                NodePlan { stage: 2 + 3 * i as u64, wait: true },
+                NodePlan {
+                    stage: 1 + 3 * i as u64,
+                    wait: true,
+                },
+                NodePlan {
+                    stage: 2 + 3 * i as u64,
+                    wait: true,
+                },
             ]
         })
         .collect();

@@ -99,7 +99,12 @@ pub fn encode_row(
     }
 }
 
-fn encode_intra_row(frame: &Frame, row: usize, current: &[u8], config: &EncodeConfig) -> EncodedRow {
+fn encode_intra_row(
+    frame: &Frame,
+    row: usize,
+    current: &[u8],
+    config: &EncodeConfig,
+) -> EncodedRow {
     // Intra prediction: predict each pixel from the one directly above
     // (previous line), the canonical "vertical" predictor.
     let width = frame.width;
@@ -228,7 +233,8 @@ mod tests {
         let lo = row.saturating_sub(w);
         let hi = (row + w).min(reference.rows() - 1);
         for r in lo..=hi {
-            ctx.reference_rows.push((r, reference.row_pixels(r).to_vec()));
+            ctx.reference_rows
+                .push((r, reference.row_pixels(r).to_vec()));
         }
         ctx
     }
@@ -239,7 +245,12 @@ mod tests {
         let frame = src.next_frame().unwrap();
         assert_eq!(frame.frame_type, FrameType::I);
         for row in 0..frame.rows() {
-            let encoded = encode_row(&frame, row, &RowContext::default(), &EncodeConfig::default());
+            let encoded = encode_row(
+                &frame,
+                row,
+                &RowContext::default(),
+                &EncodeConfig::default(),
+            );
             assert_eq!(encoded.row, row);
             assert!(!encoded.payload.is_empty());
             assert_eq!(encoded.mv_rows, 0);
@@ -287,7 +298,11 @@ mod tests {
             let encoded = encode_row(&frame, row, &ctx, &config);
             assert_eq!(encoded.mv_rows, 0);
             // Payload is just the trailing zero-run marker.
-            assert!(encoded.payload.len() <= 2, "payload {}", encoded.payload.len());
+            assert!(
+                encoded.payload.len() <= 2,
+                "payload {}",
+                encoded.payload.len()
+            );
         }
     }
 

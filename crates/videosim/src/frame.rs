@@ -112,7 +112,7 @@ impl VideoSource {
         let frame_type = if index == 0 {
             FrameType::I
         } else if in_cycle == 0 {
-            if self.gop > 0 && ip_slot % self.gop == 0 {
+            if self.gop > 0 && ip_slot.is_multiple_of(self.gop) {
                 FrameType::I
             } else {
                 FrameType::P
@@ -158,8 +158,8 @@ mod tests {
     #[test]
     fn frame_type_pattern_matches_gop_structure() {
         let mut src = VideoSource::new(20, 64, 64, 4, 1);
-        let types: Vec<FrameType> = std::iter::from_fn(|| src.next_frame().map(|f| f.frame_type))
-            .collect();
+        let types: Vec<FrameType> =
+            std::iter::from_fn(|| src.next_frame().map(|f| f.frame_type)).collect();
         assert_eq!(types.len(), 20);
         assert_eq!(types[0], FrameType::I);
         // With bframes=1: even indices are I/P slots, odd are B.

@@ -38,7 +38,13 @@ pub struct MotionMatch {
 /// `current` at `(cx, cy)` and the block of `reference` at
 /// `(cx + mv.dx, cy + mv.dy)`. Out-of-frame reference samples are treated as
 /// mid-gray (128), matching [`crate::encoder`]'s edge handling.
-pub fn block_sad(current: &Frame, reference: &Frame, cx: usize, cy: usize, mv: MotionVector) -> u64 {
+pub fn block_sad(
+    current: &Frame,
+    reference: &Frame,
+    cx: usize,
+    cy: usize,
+    mv: MotionVector,
+) -> u64 {
     let mut sad = 0u64;
     for y in 0..MB_SIZE {
         for x in 0..MB_SIZE {
@@ -86,7 +92,10 @@ pub fn full_search(
             let mv = MotionVector { dx, dy };
             let sad = block_sad(current, reference, cx, cy, mv);
             best.positions_checked += 1;
-            if sad < best.sad || (sad == best.sad && (dx.abs() + dy.abs()) < (best.mv.dx.abs() + best.mv.dy.abs())) {
+            if sad < best.sad
+                || (sad == best.sad
+                    && (dx.abs() + dy.abs()) < (best.mv.dx.abs() + best.mv.dy.abs()))
+            {
                 best.mv = mv;
                 best.sad = sad;
             }
@@ -204,7 +213,11 @@ mod tests {
             for x in 0..reference.width {
                 let sy = y as i32 - dy;
                 let sx = x as i32 - dx;
-                if sy >= 0 && sx >= 0 && (sy as usize) < reference.height && (sx as usize) < reference.width {
+                if sy >= 0
+                    && sx >= 0
+                    && (sy as usize) < reference.height
+                    && (sx as usize) < reference.width
+                {
                     pixels[y * reference.width + x] =
                         reference.pixels[sy as usize * reference.width + sx as usize];
                 }

@@ -89,7 +89,11 @@ pub fn inverse_dct(coeffs: &[f64; BLOCK_LEN]) -> [i16; BLOCK_LEN] {
 /// The quantisation matrix for `quality` in `1..=100` (higher = finer).
 pub fn quant_matrix(quality: u8) -> [u16; BLOCK_LEN] {
     let q = quality.clamp(1, 100) as f64;
-    let scale = if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q };
+    let scale = if q < 50.0 {
+        5000.0 / q
+    } else {
+        200.0 - 2.0 * q
+    };
     let mut m = [0u16; BLOCK_LEN];
     for (dst, &base) in m.iter_mut().zip(BASE_QUANT.iter()) {
         let v = ((base as f64 * scale + 50.0) / 100.0).floor();
@@ -112,11 +116,7 @@ impl QuantisedBlock {
     /// entropy coders exploit and a convenient proxy for how compressible
     /// the block is.
     pub fn trailing_zeros(&self) -> usize {
-        self.coeffs
-            .iter()
-            .rev()
-            .take_while(|&&c| c == 0)
-            .count()
+        self.coeffs.iter().rev().take_while(|&&c| c == 0).count()
     }
 
     /// The DC (mean) coefficient.

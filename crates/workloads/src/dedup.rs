@@ -198,10 +198,7 @@ pub fn run_serial(config: &DedupConfig, input: &[u8]) -> Archive {
     archive
 }
 
-fn make_stages(
-    table: Arc<Mutex<DedupTable>>,
-    sink: Arc<Mutex<Archive>>,
-) -> StageSet<ChunkItem> {
+fn make_stages(table: Arc<Mutex<DedupTable>>, sink: Arc<Mutex<Archive>>) -> StageSet<ChunkItem> {
     StageSet::new()
         // Serial deduplication stage (the paper's Stage 1): SHA-1 + table.
         .serial(move |item: &mut ChunkItem| {

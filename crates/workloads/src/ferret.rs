@@ -358,7 +358,11 @@ mod tests {
         let mut hits = 0usize;
         for (i, results) in out.iter().enumerate() {
             let class = (i as u64 + 1_000_000) % config.classes;
-            if results.iter().take(3).any(|(id, _)| id % config.classes == class) {
+            if results
+                .iter()
+                .take(3)
+                .any(|(id, _)| id % config.classes == class)
+            {
                 hits += 1;
             }
         }

@@ -42,7 +42,10 @@ impl PipeFibConfig {
 
     /// A small configuration for unit tests.
     pub fn tiny() -> Self {
-        PipeFibConfig { n: 200, block_bits: 1 }
+        PipeFibConfig {
+            n: 200,
+            block_bits: 1,
+        }
     }
 
     /// Safe upper bound on the number of bits of `F_n` (since `F_n < 2^n`).
@@ -206,11 +209,17 @@ mod tests {
     fn serial_small_values_are_correct() {
         // F_10 = 55 = 0b110111, F_12 = 144 = 0b10010000.
         assert_eq!(
-            bits_to_string(&run_serial(&PipeFibConfig { n: 10, block_bits: 1 })),
+            bits_to_string(&run_serial(&PipeFibConfig {
+                n: 10,
+                block_bits: 1
+            })),
             "110111"
         );
         assert_eq!(
-            bits_to_string(&run_serial(&PipeFibConfig { n: 12, block_bits: 1 })),
+            bits_to_string(&run_serial(&PipeFibConfig {
+                n: 12,
+                block_bits: 1
+            })),
             "10010000"
         );
     }
@@ -237,7 +246,10 @@ mod tests {
     #[test]
     fn coarsening_reduces_node_count() {
         let pool = ThreadPool::new(2);
-        let fine = PipeFibConfig { n: 300, block_bits: 1 };
+        let fine = PipeFibConfig {
+            n: 300,
+            block_bits: 1,
+        };
         let coarse = PipeFibConfig::coarsened(300);
         let (_, fine_stats) = run_piper(&fine, &pool, PipeOptions::default());
         let (_, coarse_stats) = run_piper(&coarse, &pool, PipeOptions::default());
@@ -249,7 +261,10 @@ mod tests {
         // The Figure 9 effect: with fine-grained stages, dependency folding
         // avoids most of the per-node stage-counter reads.
         let pool = ThreadPool::new(1);
-        let config = PipeFibConfig { n: 300, block_bits: 1 };
+        let config = PipeFibConfig {
+            n: 300,
+            block_bits: 1,
+        };
         let (_, with_fold) = run_piper(&config, &pool, PipeOptions::default());
         let (_, without_fold) = run_piper(
             &config,

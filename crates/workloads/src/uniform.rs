@@ -97,7 +97,9 @@ struct Grid {
 impl Grid {
     fn new(iterations: usize, stages: usize) -> Self {
         Grid {
-            values: (0..iterations * stages).map(|_| AtomicU64::new(0)).collect(),
+            values: (0..iterations * stages)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             stages,
         }
     }
@@ -174,7 +176,11 @@ pub fn run_piper(
         // Stage 0 is executed here, inside the serial producer contour, so
         // that the loop control and the first node stay serial as the paper
         // requires.
-        let up = if iteration == 0 { 0 } else { grid.get(iteration - 1, 0) };
+        let up = if iteration == 0 {
+            0
+        } else {
+            grid.get(iteration - 1, 0)
+        };
         let v = node_value(up, 0, i, 0, cfg.work_rounds);
         grid.set(iteration, 0, v);
         // For the degenerate single-stage pipeline the iteration object's

@@ -122,8 +122,8 @@ fn encode_reference_row(
             let lo = row.saturating_sub(config.mv_row_window);
             let hi = (row + config.mv_row_window).min(prev.len() - 1);
             let mut ctx = RowContext::default();
-            for r in lo..=hi {
-                let pixels = prev[r]
+            for (r, slot) in prev.iter().enumerate().take(hi + 1).skip(lo) {
+                let pixels = slot
                     .lock()
                     .unwrap()
                     .clone()
@@ -319,7 +319,12 @@ pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -
 /// cost measured from a serial run is approximated by a constant here; the
 /// dag's *structure* — stage skipping, I/P-dependent cross edges — is what
 /// drives the Figure 8 simulation).
-pub fn build_spec(config: &X264Config, row_work: u64, bframe_work: u64, out_work: u64) -> PipelineSpec {
+pub fn build_spec(
+    config: &X264Config,
+    row_work: u64,
+    bframe_work: u64,
+    out_work: u64,
+) -> PipelineSpec {
     let rows = (config.height - config.height % 16) / 16;
     let ip_iterations = {
         // Count I/P frames the source will produce.

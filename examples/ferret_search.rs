@@ -24,8 +24,17 @@ fn main() {
 
     let pool = ThreadPool::builder().build();
     let t = Instant::now();
-    let parallel = ferret::run_piper(&config, &index, &pool, PipeOptions::with_throttle(10 * pool.num_threads()));
-    println!("PIPER search:   {:>7.3}s on {} worker(s)", t.elapsed().as_secs_f64(), pool.num_threads());
+    let parallel = ferret::run_piper(
+        &config,
+        &index,
+        &pool,
+        PipeOptions::with_throttle(10 * pool.num_threads()),
+    );
+    println!(
+        "PIPER search:   {:>7.3}s on {} worker(s)",
+        t.elapsed().as_secs_f64(),
+        pool.num_threads()
+    );
     assert_eq!(serial.len(), parallel.len());
     for (a, b) in serial.iter().zip(parallel.iter()) {
         assert_eq!(a, b, "pipelined results must match serial");
@@ -43,5 +52,8 @@ fn main() {
     println!("(parallelism >> P means the pipeline scales linearly on P workers, per the paper's analysis)");
 
     let best = &parallel[0][0];
-    println!("query 0 best match: image {} at distance {:.4}", best.0, best.1);
+    println!(
+        "query 0 best match: image {} at distance {:.4}",
+        best.0, best.1
+    );
 }

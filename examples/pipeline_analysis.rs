@@ -91,7 +91,10 @@ fn main() {
     );
     for (path, dot) in [("figure1_sps.dot", fig1), ("figure3_x264.dot", fig3)] {
         match std::fs::write(path, &dot) {
-            Ok(()) => println!("wrote {path} ({} bytes) — render with `dot -Tsvg {path}`", dot.len()),
+            Ok(()) => println!(
+                "wrote {path} ({} bytes) — render with `dot -Tsvg {path}`",
+                dot.len()
+            ),
             Err(e) => println!("could not write {path}: {e}"),
         }
     }

@@ -44,7 +44,12 @@ fn main() {
         });
 
     let results = results.lock().unwrap();
-    println!("processed {} items; first = {:x}, last = {:x}", results.len(), results[0], results[results.len() - 1]);
+    println!(
+        "processed {} items; first = {:x}, last = {:x}",
+        results.len(),
+        results[0],
+        results[results.len() - 1]
+    );
     println!(
         "pipeline stats: {} iterations, {} nodes, peak {} live iterations (throttle limit {}), {} tail-swaps",
         stats.iterations,

@@ -164,7 +164,10 @@ fn main() {
     }
     let log = shared.log.lock().unwrap();
 
-    println!("processed {total} messages on {} worker(s)", pool.num_threads());
+    println!(
+        "processed {total} messages on {} worker(s)",
+        pool.num_threads()
+    );
     println!(
         "  updates applied : {expected_updates} (final state {:#x}, expected {:#x})",
         shared.state.load(Ordering::SeqCst),
@@ -174,7 +177,10 @@ fn main() {
         "  validated       : {} (urgent updates skipped validation)",
         shared.validated.load(Ordering::Relaxed)
     );
-    println!("  queries answered: {}", shared.queries.load(Ordering::Relaxed));
+    println!(
+        "  queries answered: {}",
+        shared.queries.load(Ordering::Relaxed)
+    );
     println!(
         "  pipeline stats  : {} iterations, {} nodes, peak {} live, {} cross-edge suspensions",
         stats.iterations, stats.nodes, stats.peak_active_iterations, stats.cross_suspensions

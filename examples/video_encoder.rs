@@ -33,9 +33,16 @@ fn main() {
     let pool = ThreadPool::builder().build();
     let t = Instant::now();
     let parallel = x264::run_piper(&config, &pool, PipeOptions::default());
-    println!("PIPER encode:   {:>7.3}s on {} worker(s)", t.elapsed().as_secs_f64(), pool.num_threads());
+    println!(
+        "PIPER encode:   {:>7.3}s on {} worker(s)",
+        t.elapsed().as_secs_f64(),
+        pool.num_threads()
+    );
 
-    assert_eq!(serial, parallel, "pipelined encode must be bit-identical to serial");
+    assert_eq!(
+        serial, parallel,
+        "pipelined encode must be bit-identical to serial"
+    );
 
     let total_bytes: usize = parallel.iter().map(|r| r.payload_bytes).sum();
     let iframes = parallel.iter().filter(|r| r.is_iframe).count();

@@ -77,7 +77,10 @@ fn nested_pipelines_bound_space_at_both_levels() {
                             Some(next)
                         }
                     });
-                self.inner_peaks.lock().unwrap().push(stats.peak_active_iterations);
+                self.inner_peaks
+                    .lock()
+                    .unwrap()
+                    .push(stats.peak_active_iterations);
                 NodeOutcome::WaitFor(2)
             } else {
                 NodeOutcome::Done
@@ -111,7 +114,10 @@ fn one_worker_execution_performs_no_steals() {
     // that scale with the work.
     let pool = ThreadPool::new(1);
     let before = pool.metrics();
-    let config = pipefib::PipeFibConfig { n: 300, block_bits: 1 };
+    let config = pipefib::PipeFibConfig {
+        n: 300,
+        block_bits: 1,
+    };
     let (_, stats) = pipefib::run_piper(&config, &pool, PipeOptions::default());
     let delta = pool.metrics().since(&before);
     assert!(stats.nodes > 1_000, "sanity: plenty of nodes executed");

@@ -32,7 +32,7 @@ fn generated_and_recorded_dags_pass_structural_validation() {
     let index = ferret::build_index(&ferret_cfg);
     let dedup_cfg = dedup::DedupConfig::tiny();
     let input = dedup_cfg.generate_input();
-    let specs = vec![
+    let specs = [
         generators::sps(20, 1, 9, 1),
         generators::x264_dag(8, 4, 2, 1, 3, 2, 3, 1),
         generators::pathological(500_000),
@@ -161,7 +161,10 @@ fn recorded_x264_dag_has_growing_stage_skip() {
     // the one before (the Figure 3 staircase).
     let first_stages: Vec<u64> = spec.iterations.iter().map(|it| it[1].stage).collect();
     for pair in first_stages.windows(2) {
-        assert!(pair[1] >= pair[0], "stage skip must not decrease: {first_stages:?}");
+        assert!(
+            pair[1] >= pair[0],
+            "stage skip must not decrease: {first_stages:?}"
+        );
     }
     assert!(
         first_stages.last().unwrap() > first_stages.first().unwrap(),

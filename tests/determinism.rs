@@ -12,10 +12,7 @@ use onthefly_pipeline::workloads::{dedup, ferret, pipefib, uniform, x264};
 fn optimization_grid() -> Vec<(PipeOptions, &'static str)> {
     vec![
         (PipeOptions::default(), "lazy+fold"),
-        (
-            PipeOptions::default().lazy_enabling(false),
-            "eager+fold",
-        ),
+        (PipeOptions::default().lazy_enabling(false), "eager+fold"),
         (
             PipeOptions::default().dependency_folding(false),
             "lazy+nofold",
@@ -82,7 +79,10 @@ fn x264_repeated_runs_are_identical() {
 
 #[test]
 fn pipefib_is_deterministic_across_optimizations_and_workers() {
-    let config = pipefib::PipeFibConfig { n: 220, block_bits: 1 };
+    let config = pipefib::PipeFibConfig {
+        n: 220,
+        block_bits: 1,
+    };
     let serial = pipefib::run_serial(&config);
     for workers in [1usize, 3] {
         let pool = ThreadPool::new(workers);
@@ -107,7 +107,10 @@ fn uniform_pipeline_is_deterministic_under_every_setting() {
         for k in [1usize, 2, 16] {
             let (out, stats) = uniform::run_piper(&config, &pool, PipeOptions::with_throttle(k));
             assert_eq!(out, serial, "P={workers}, K={k}");
-            assert!(stats.peak_active_iterations <= k as u64, "P={workers}, K={k}");
+            assert!(
+                stats.peak_active_iterations <= k as u64,
+                "P={workers}, K={k}"
+            );
         }
     }
 }

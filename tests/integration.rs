@@ -61,7 +61,10 @@ fn x264_on_the_fly_pipeline_is_deterministic_across_pool_sizes() {
 
 #[test]
 fn pipefib_matches_serial_and_respects_throttle() {
-    let config = pipefib::PipeFibConfig { n: 150, block_bits: 1 };
+    let config = pipefib::PipeFibConfig {
+        n: 150,
+        block_bits: 1,
+    };
     let serial = pipefib::run_serial(&config);
     let pool = ThreadPool::new(3);
     let (bits, stats) = pipefib::run_piper(&config, &pool, PipeOptions::with_throttle(6));
