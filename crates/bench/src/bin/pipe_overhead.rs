@@ -1,0 +1,239 @@
+//! Serial-overhead and throughput microbenchmark for `pipe_while`
+//! (`BENCH_piper.json` trajectory).
+//!
+//! The paper's Figure 6 reports `T_1/T_S` — the one-worker PIPER time over
+//! the serial reference — as the *serial overhead* of the runtime, and its
+//! whole design argument is that per-node bookkeeping must be cheap enough
+//! to keep that ratio near 1 even for fine-grained pipelines. This binary
+//! measures exactly that regime on two workloads:
+//!
+//! * **pipe-fib** (fine-grained, `block_bits = 1`): `Θ(n²)` nodes of
+//!   near-zero work, every stage serial — the worst case for per-node
+//!   overhead and the Figure 9 setting;
+//! * **uniform** (Theorem 12's grid): `n × s` equal-cost nodes, with a
+//!   near-empty and a moderate per-node cost variant.
+//!
+//! For each workload it reports `T_S` (serial reference), `T_1` (PIPER on
+//! one worker), the overhead ratio `T_1/T_S`, the per-node overhead in
+//! nanoseconds `(T_1 − T_S)/nodes`, and `T_P` on all available workers.
+//!
+//! The results are written to `BENCH_piper.json` (override with
+//! `PIPE_BENCH_OUT`). Set `PIPE_BENCH_QUICK=1` for a seconds-scale smoke
+//! run (used by CI), `PIPE_BENCH_LABEL` to tag the runtime variant being
+//! measured, and `PIPE_BENCH_COMPARE=<path>` to embed a previously emitted
+//! JSON file verbatim under `"baseline"` for before/after records.
+
+use std::time::Duration;
+
+use pipe_bench::{time_mean, Table};
+use piper::{PipeOptions, PipeStats, ThreadPool};
+use workloads::{pipefib, uniform};
+
+/// One measured workload configuration.
+struct Entry {
+    workload: &'static str,
+    iterations: u64,
+    nodes: u64,
+    t_serial: Duration,
+    t_one: Duration,
+    t_par: Duration,
+    par_workers: usize,
+    stats_one: PipeStats,
+}
+
+impl Entry {
+    fn overhead_ratio(&self) -> f64 {
+        self.t_one.as_secs_f64() / self.t_serial.as_secs_f64().max(1e-12)
+    }
+
+    fn per_node_overhead_ns(&self) -> f64 {
+        let extra =
+            self.t_one.as_secs_f64().max(self.t_serial.as_secs_f64()) - self.t_serial.as_secs_f64();
+        extra * 1e9 / self.nodes.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"iterations\": {},\n",
+                "      \"nodes\": {},\n",
+                "      \"t_serial_s\": {:.6},\n",
+                "      \"t_1worker_s\": {:.6},\n",
+                "      \"t_pworkers_s\": {:.6},\n",
+                "      \"p_workers\": {},\n",
+                "      \"overhead_ratio_t1_over_ts\": {:.4},\n",
+                "      \"per_node_overhead_ns\": {:.2},\n",
+                "      \"cross_checks\": {},\n",
+                "      \"folded_checks\": {},\n",
+                "      \"peak_active_iterations\": {},\n",
+                "      \"frame_allocations\": {},\n",
+                "      \"frame_reuses\": {}\n",
+                "    }}"
+            ),
+            self.workload,
+            self.iterations,
+            self.nodes,
+            self.t_serial.as_secs_f64(),
+            self.t_one.as_secs_f64(),
+            self.t_par.as_secs_f64(),
+            self.par_workers,
+            self.overhead_ratio(),
+            self.per_node_overhead_ns(),
+            self.stats_one.cross_checks,
+            self.stats_one.folded_checks,
+            self.stats_one.peak_active_iterations,
+            self.stats_one.frame_allocations,
+            self.stats_one.frame_reuses,
+        )
+    }
+}
+
+fn bench_pipefib(n: usize, runs: usize, pool1: &ThreadPool, poolp: &ThreadPool) -> Entry {
+    let config = pipefib::PipeFibConfig { n, block_bits: 1 };
+    let expected = pipefib::run_serial(&config);
+    let t_serial = time_mean(runs, || std::hint::black_box(pipefib::run_serial(&config)));
+    let mut stats_one = PipeStats::default();
+    let t_one = time_mean(runs, || {
+        let (bits, stats) = pipefib::run_piper(&config, pool1, PipeOptions::default());
+        assert_eq!(bits, expected, "pipe-fib result mismatch on 1 worker");
+        stats_one = stats;
+        stats.nodes
+    });
+    let t_par = time_mean(runs, || {
+        let (bits, stats) = pipefib::run_piper(&config, poolp, PipeOptions::default());
+        assert_eq!(bits, expected, "pipe-fib result mismatch on P workers");
+        stats.nodes
+    });
+    Entry {
+        workload: "pipefib_fine",
+        iterations: stats_one.iterations,
+        nodes: stats_one.nodes,
+        t_serial,
+        t_one,
+        t_par,
+        par_workers: poolp.num_threads(),
+        stats_one,
+    }
+}
+
+fn bench_uniform(
+    label: &'static str,
+    config: uniform::UniformConfig,
+    runs: usize,
+    pool1: &ThreadPool,
+    poolp: &ThreadPool,
+) -> Entry {
+    let expected = uniform::run_serial(&config);
+    let t_serial = time_mean(runs, || std::hint::black_box(uniform::run_serial(&config)));
+    let mut stats_one = PipeStats::default();
+    let t_one = time_mean(runs, || {
+        let (out, stats) = uniform::run_piper(&config, pool1, PipeOptions::default());
+        assert_eq!(out, expected, "uniform result mismatch on 1 worker");
+        stats_one = stats;
+        stats.nodes
+    });
+    let t_par = time_mean(runs, || {
+        let (out, stats) = uniform::run_piper(&config, poolp, PipeOptions::default());
+        assert_eq!(out, expected, "uniform result mismatch on P workers");
+        stats.nodes
+    });
+    Entry {
+        workload: label,
+        iterations: stats_one.iterations,
+        nodes: stats_one.nodes + stats_one.iterations, // Stage 0 runs in the producer
+        t_serial,
+        t_one,
+        t_par,
+        par_workers: poolp.num_threads(),
+        stats_one,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("PIPE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let label = std::env::var("PIPE_BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
+    let out_path =
+        std::env::var("PIPE_BENCH_OUT").unwrap_or_else(|_| "BENCH_piper.json".to_string());
+    let baseline = std::env::var("PIPE_BENCH_COMPARE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok());
+
+    let p = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool1 = ThreadPool::new(1);
+    let poolp = ThreadPool::new(p);
+
+    let (fib_n, runs) = if quick { (500, 2) } else { (2_000, 5) };
+    let uniform_fine = uniform::UniformConfig {
+        iterations: if quick { 4_000 } else { 30_000 },
+        stages: 8,
+        work_rounds: 1,
+    };
+    let uniform_coarse = uniform::UniformConfig {
+        iterations: if quick { 500 } else { 2_000 },
+        stages: 8,
+        work_rounds: 500,
+    };
+
+    let entries = vec![
+        bench_pipefib(fib_n, runs, &pool1, &poolp),
+        bench_uniform("uniform_fine", uniform_fine, runs, &pool1, &poolp),
+        bench_uniform(
+            "uniform_coarse",
+            uniform_coarse,
+            runs.min(3),
+            &pool1,
+            &poolp,
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "workload",
+        "nodes",
+        "T_S (s)",
+        "T_1 (s)",
+        "T_1/T_S",
+        "ovh/node (ns)",
+        &format!("T_{p} (s)"),
+    ]);
+    for e in &entries {
+        table.row(vec![
+            e.workload.to_string(),
+            e.nodes.to_string(),
+            format!("{:.4}", e.t_serial.as_secs_f64()),
+            format!("{:.4}", e.t_one.as_secs_f64()),
+            format!("{:.3}", e.overhead_ratio()),
+            format!("{:.1}", e.per_node_overhead_ns()),
+            format!("{:.4}", e.t_par.as_secs_f64()),
+        ]);
+    }
+    println!("pipe_overhead — serial overhead of pipe_while (label: {label})");
+    println!("{}", table.render());
+
+    let entry_json: Vec<String> = entries.iter().map(Entry::json).collect();
+    let baseline_json = match &baseline {
+        Some(raw) => format!(",\n  \"baseline\": {}", raw.trim_end()),
+        None => String::new(),
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipe_overhead\",\n",
+            "  \"label\": \"{}\",\n",
+            "  \"quick\": {},\n",
+            "  \"host_workers\": {},\n",
+            "  \"entries\": [\n{}\n  ]{}\n",
+            "}}\n"
+        ),
+        label,
+        quick,
+        p,
+        entry_json.join(",\n"),
+        baseline_json,
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -38,6 +38,11 @@ pub struct Metrics {
     pub folded_checks: AtomicU64,
     /// PIPER tail-swap operations performed.
     pub tail_swaps: AtomicU64,
+    /// Iteration-frame ring slots allocated (at most `K` per `pipe_while`;
+    /// the steady state performs zero per-iteration allocations).
+    pub frame_allocations: AtomicU64,
+    /// Iterations served by recycling an already-allocated ring slot.
+    pub frame_reuses: AtomicU64,
 }
 
 impl Metrics {
@@ -65,6 +70,8 @@ impl Metrics {
             cross_checks: self.cross_checks.load(Ordering::Relaxed),
             folded_checks: self.folded_checks.load(Ordering::Relaxed),
             tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
+            frame_allocations: self.frame_allocations.load(Ordering::Relaxed),
+            frame_reuses: self.frame_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -95,6 +102,10 @@ pub struct MetricsSnapshot {
     pub folded_checks: u64,
     /// PIPER tail-swap operations.
     pub tail_swaps: u64,
+    /// Iteration-frame ring slots allocated.
+    pub frame_allocations: u64,
+    /// Iterations served by recycling a ring slot.
+    pub frame_reuses: u64,
 }
 
 impl MetricsSnapshot {
@@ -120,6 +131,10 @@ impl MetricsSnapshot {
             cross_checks: self.cross_checks.saturating_sub(earlier.cross_checks),
             folded_checks: self.folded_checks.saturating_sub(earlier.folded_checks),
             tail_swaps: self.tail_swaps.saturating_sub(earlier.tail_swaps),
+            frame_allocations: self
+                .frame_allocations
+                .saturating_sub(earlier.frame_allocations),
+            frame_reuses: self.frame_reuses.saturating_sub(earlier.frame_reuses),
         }
     }
 }
@@ -148,6 +163,13 @@ pub struct PipeStats {
     pub folded_checks: u64,
     /// Tail-swap operations performed while finishing iterations.
     pub tail_swaps: u64,
+    /// Iteration-frame ring slots allocated by this pipeline — bounded by
+    /// the throttling limit `K`, independent of the iteration count (the
+    /// steady state recycles frames instead of allocating).
+    pub frame_allocations: u64,
+    /// Iterations that recycled an already-allocated ring slot (every
+    /// iteration with index ≥ K).
+    pub frame_reuses: u64,
 }
 
 #[cfg(test)]

@@ -3,20 +3,35 @@
 //! In the paper's computation-dag model (Section 4, Figure 5), the control
 //! contour of a `pipe_while` runs the loop test and Stage 0 of each
 //! iteration serially, spawns the rest of each iteration, and carries the
-//! *join counter* that implements throttling. This module reifies that
-//! contour as a schedulable task ([`PipeShared`]) plus the non-generic state
-//! shared with iteration frames ([`ControlCore`]).
+//! throttling edge. This module reifies that contour as a schedulable task
+//! ([`PipeShared`]) plus the non-generic state shared with the iteration
+//! ring ([`ControlCore`]).
+//!
+//! ## Throttling
+//!
+//! The paper's Section 9 defines throttling as an edge from the end of
+//! iteration `i` to the start of iteration `i + K`. With the recycled
+//! iteration ring (see [`super::frame`]), that edge *is* the slot-reuse
+//! condition: iteration `i + K` starts by claiming slot `i % K`, which its
+//! previous occupant retires on completion. The control token therefore
+//! gates on `IterRing::slot_is_free` instead of a join counter; the `active`
+//! counter remains for the peak-live statistic (Theorem 11's measured
+//! quantity) and for end-of-pipeline detection. The park/wake protocol is a
+//! store→load (Dekker) pattern between the control token (store THROTTLED,
+//! fence, re-read the slot) and the retiring iteration (store the retired
+//! `seq`, fence, read the control status), so at least one side always
+//! observes the other and the token is never lost.
 
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::latch::{Latch, SpinLatch};
 use crate::metrics::{Metrics, PipeStats};
-use crate::pool::{ControlTask, Task, WorkerThread};
+use crate::pool::{ControlTask, NodeTask, Task, WorkerThread};
 
-use super::frame::IterFrame;
+use super::frame::IterRing;
 use super::{PipelineIteration, Stage0};
 
 /// Control-frame status values.
@@ -24,20 +39,27 @@ pub(crate) const CONTROL_RUNNABLE: u8 = 0;
 pub(crate) const CONTROL_THROTTLED: u8 = 1;
 
 /// The non-generic part of a `pipe_while`'s state, shared between the
-/// control frame and every iteration frame.
+/// control frame and the iteration ring.
 pub(crate) struct ControlCore {
-    /// The throttling limit `K`.
+    /// The throttling limit `K` (also the ring capacity).
     pub(crate) throttle_limit: usize,
     /// Lazy-enabling optimization switch.
     pub(crate) lazy_enabling: bool,
     /// Dependency-folding optimization switch.
     pub(crate) dependency_folding: bool,
-    /// Join counter: number of started-but-unfinished iterations.
+    /// Join counter: number of started-but-unfinished iterations. Kept for
+    /// the peak statistic and completion detection; throttling itself is
+    /// gated on slot reuse.
     pub(crate) active: AtomicUsize,
     /// High-water mark of `active` (Theorem 11's measured quantity).
     pub(crate) peak_active: AtomicUsize,
     /// Whether the control token is parked on an unsatisfied throttling edge.
     pub(crate) control_status: AtomicU8,
+    /// Index of the next iteration the control token will start. Written
+    /// only by the (single) control token; read by retiring iterations to
+    /// decide whether their completion is the throttling edge the token is
+    /// parked on.
+    pub(crate) next_iteration: AtomicU64,
     /// Set once the producer has returned `Stage0::Stop` (or panicked).
     pub(crate) producer_done: AtomicBool,
     /// Set when the whole pipeline (producer + all iterations) has finished.
@@ -52,6 +74,8 @@ pub(crate) struct ControlCore {
     pub(crate) cross_checks: AtomicU64,
     pub(crate) folded_checks: AtomicU64,
     pub(crate) tail_swaps: AtomicU64,
+    pub(crate) frame_allocations: AtomicU64,
+    pub(crate) frame_reuses: AtomicU64,
 }
 
 impl ControlCore {
@@ -67,6 +91,7 @@ impl ControlCore {
             active: AtomicUsize::new(0),
             peak_active: AtomicUsize::new(0),
             control_status: AtomicU8::new(CONTROL_RUNNABLE),
+            next_iteration: AtomicU64::new(0),
             producer_done: AtomicBool::new(false),
             completion: SpinLatch::new(),
             panic: Mutex::new(None),
@@ -77,6 +102,8 @@ impl ControlCore {
             cross_checks: AtomicU64::new(0),
             folded_checks: AtomicU64::new(0),
             tail_swaps: AtomicU64::new(0),
+            frame_allocations: AtomicU64::new(0),
+            frame_reuses: AtomicU64::new(0),
         })
     }
 
@@ -101,7 +128,10 @@ impl ControlCore {
     }
 
     /// Signals completion if the producer has stopped and no iteration is
-    /// still active.
+    /// still active. (SeqCst: the `producer_done` store + `active` load on
+    /// the control side and the `active` decrement + `producer_done` load
+    /// on the completing-iteration side form a store→load pattern; at
+    /// least one caller must observe the terminal state.)
     pub(crate) fn maybe_complete(&self) {
         if self.producer_done.load(Ordering::SeqCst) && self.active.load(Ordering::SeqCst) == 0 {
             self.completion.set();
@@ -119,23 +149,20 @@ impl ControlCore {
             cross_checks: self.cross_checks.load(Ordering::Relaxed),
             folded_checks: self.folded_checks.load(Ordering::Relaxed),
             tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
+            frame_allocations: self.frame_allocations.load(Ordering::Relaxed),
+            frame_reuses: self.frame_reuses.load(Ordering::Relaxed),
         }
     }
 }
 
 /// The producer-side state of a `pipe_while` (everything that is generic
-/// over the user's closure and iteration types).
-struct ProducerState<F, I>
-where
-    I: PipelineIteration,
-{
+/// over the user's closure type).
+struct ProducerState<F> {
     /// The Stage-0 closure; dropped as soon as the loop stops.
     producer: Option<F>,
-    /// Index of the next iteration to start.
+    /// Index of the next iteration to start (mirrored in
+    /// `ControlCore::next_iteration` for lock-free readers).
     next_index: u64,
-    /// The most recently started iteration (the left neighbour of the next
-    /// one), used to wire cross edges.
-    last_frame: Option<Arc<IterFrame<I>>>,
 }
 
 /// The control frame, schedulable as [`Task::Control`].
@@ -144,7 +171,8 @@ where
     I: PipelineIteration,
 {
     core: Arc<ControlCore>,
-    producer: Mutex<ProducerState<F, I>>,
+    ring: Arc<IterRing<I>>,
+    producer: Mutex<ProducerState<F>>,
 }
 
 impl<F, I> PipeShared<F, I>
@@ -153,14 +181,19 @@ where
     I: PipelineIteration,
 {
     pub(crate) fn new(core: Arc<ControlCore>, producer: F) -> Arc<Self> {
-        Arc::new(PipeShared {
+        let ring = IterRing::new(Arc::clone(&core));
+        let shared = Arc::new(PipeShared {
             core,
+            ring,
             producer: Mutex::new(ProducerState {
                 producer: Some(producer),
                 next_index: 0,
-                last_frame: None,
             }),
-        })
+        });
+        shared
+            .ring
+            .set_control(Arc::downgrade(&(shared.clone() as Arc<dyn ControlTask>)));
+        shared
     }
 
     /// Handle on the shared, non-generic core.
@@ -168,11 +201,10 @@ where
         Arc::clone(&self.core)
     }
 
-    /// Finishes the loop: drops the producer and the last-frame link, marks
-    /// the producer done and completes the pipeline if nothing is active.
-    fn finish_loop(&self, prod: &mut ProducerState<F, I>) {
+    /// Finishes the loop: drops the producer, marks the producer done and
+    /// completes the pipeline if nothing is active.
+    fn finish_loop(&self, prod: &mut ProducerState<F>) {
         prod.producer = None;
-        prod.last_frame = None;
         self.core.producer_done.store(true, Ordering::SeqCst);
         self.core.maybe_complete();
     }
@@ -186,41 +218,53 @@ where
     fn control_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task> {
         let core = &self.core;
 
-        // Throttling gate (paper, Section 9 "join counter"): iteration
-        // `i + K` may not start before iteration `i` has completed, i.e. at
-        // most K iterations are active. If the limit is reached, the control
-        // token parks in the THROTTLED state; an iteration completion
-        // re-creates it. The store/re-check/CAS dance closes the race in
-        // which the last active iteration completes concurrently with us.
+        // Throttling gate (paper, Section 9): iteration `i` may not start
+        // before iteration `i - K` has completed — which is exactly the
+        // condition under which ring slot `i % K` is free. If the slot is
+        // still occupied, the control token parks in the THROTTLED state;
+        // the retiring occupant re-creates it. The store/fence/re-check
+        // dance closes the race in which that iteration completes
+        // concurrently with us (Dekker; the retiring side fences between
+        // its `seq` store and its status read).
         loop {
-            if core.active.load(Ordering::SeqCst) < core.throttle_limit {
+            // Only the control token writes `next_iteration`, so the
+            // Relaxed read observes our own last store.
+            let next = core.next_iteration.load(Ordering::Relaxed);
+            if self.ring.slot_is_free(next) {
                 break;
             }
             Metrics::bump(&core.throttle_suspensions);
             Metrics::bump(&worker.metrics().throttle_suspensions);
+            // Release: a retiring iteration that Acquire-reads THROTTLED
+            // also sees our `next_iteration`, which it needs to decide
+            // whether its completion is the edge we are parked on.
             core.control_status
-                .store(CONTROL_THROTTLED, Ordering::SeqCst);
-            if core.active.load(Ordering::SeqCst) < core.throttle_limit
+                .store(CONTROL_THROTTLED, Ordering::Release);
+            fence(Ordering::SeqCst);
+            if self.ring.slot_is_free(next)
                 && core
                     .control_status
                     .compare_exchange(
                         CONTROL_THROTTLED,
                         CONTROL_RUNNABLE,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
                     )
                     .is_ok()
             {
                 // Re-acquired the token ourselves; re-evaluate the gate.
                 continue;
             }
-            // Token parked (or handed to the completing iteration).
+            // Token parked (or handed to the completing iteration, which
+            // schedules a fresh control task).
             return None;
         }
 
         // Run Stage 0 of the next iteration (the loop test + serial stage-0
         // body). The mutex serializes Stage 0 across the (single) control
-        // token and makes the producer's `FnMut` state safe to mutate.
+        // token and makes the producer's `FnMut` state safe to mutate; it is
+        // intentionally *not* on the per-node hot path — it is taken once
+        // per iteration, never per node.
         let mut prod = self.producer.lock().unwrap();
         let index = prod.next_index;
         let producer = prod.producer.as_mut()?;
@@ -246,21 +290,21 @@ where
                     "the first node after Stage 0 must have stage number >= 1"
                 );
                 prod.next_index += 1;
-                let prev = prod.last_frame.take();
-                let frame = Arc::new(IterFrame::new(
-                    index,
-                    Arc::clone(core),
-                    Arc::downgrade(&(self.clone() as Arc<dyn ControlTask>)),
-                    state,
-                    first_stage,
-                    wait,
-                    prev.clone(),
-                ));
-                if let Some(p) = &prev {
-                    p.set_next(Arc::clone(&frame));
-                }
-                prod.last_frame = Some(Arc::clone(&frame));
+                // Release: pairs with the Acquire status read of a retiring
+                // iteration (see `complete`), making the new awaited index
+                // visible to whoever might wake us.
+                core.next_iteration
+                    .store(prod.next_index, Ordering::Release);
+                // Move the iteration into its (free, gate-checked) slot;
+                // this recycles the frame shell — no allocation.
+                self.ring.install(index, state, first_stage, wait);
                 drop(prod);
+
+                let k = self.ring.capacity() as u64;
+                if index >= k {
+                    Metrics::bump(&core.frame_reuses);
+                    Metrics::bump(&worker.metrics().frame_reuses);
+                }
 
                 let now_active = core.active.fetch_add(1, Ordering::SeqCst) + 1;
                 core.update_peak(now_active);
@@ -269,8 +313,13 @@ where
                 // PIPER's rule for a spawn: push the continuation (the next
                 // control vertex) and make the child (the new iteration's
                 // first node) the assigned vertex.
+                let child = Task::Node {
+                    ring: Arc::clone(&self.ring) as Arc<dyn NodeTask>,
+                    slot: (index % k) as u32,
+                    epoch: index,
+                };
                 worker.push(Task::Control(self));
-                Some(Task::Node(frame))
+                Some(child)
             }
         }
     }

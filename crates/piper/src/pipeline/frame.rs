@@ -1,31 +1,87 @@
-//! Iteration frames and the PIPER execution of pipeline nodes.
+//! The recycled iteration-frame ring and the PIPER execution of pipeline
+//! nodes.
 //!
-//! Each started iteration of a `pipe_while` owns an [`IterFrame`], the
-//! analogue of Cilk-P's *iteration frame* (paper, Section 9): it holds the
-//! iteration's user state, a **stage counter** tracking progress through the
-//! iteration's nodes, and a **status** used by the cross-edge
-//! suspend/resume protocol. Frames of adjacent iterations are linked so
-//! that iteration `i` can check its left neighbour's progress (the
-//! `pipe_wait` test) and wake its right neighbour when it advances
-//! (*check-right*, deferred under lazy enabling).
+//! Each `pipe_while` owns an [`IterRing`]: a fixed array of `K` frame
+//! *slots*, where `K` is the throttling limit. Iteration `i` lives in slot
+//! `i % K` for its whole lifetime, so the left neighbour (iteration `i-1`)
+//! and the right neighbour (iteration `i+1`) are found by index arithmetic
+//! instead of locked `prev`/`next` pointers, and frame shells are reused
+//! across `K`-strided iterations: after warm-up the runtime performs **no
+//! per-iteration heap allocation**. This representation is justified by the
+//! paper's Theorem 11 — throttling bounds the number of live iterations by
+//! `K` — and by the throttling edge of Section 9, which orders the start of
+//! iteration `i` after the end of iteration `i-K` (exactly the condition
+//! under which slot `i % K` is reusable).
+//!
+//! ## Slot lifecycle: the `seq` word
+//!
+//! Recycling is arbitrated by a per-slot sequence word in the style of
+//! Vyukov's bounded queue. For the occupant iteration `i`, define the
+//! *round* `r = i / K`; then
+//!
+//! * `seq == 2r`     — the slot is **free** for iteration `i` (its previous
+//!   occupant, iteration `i - K` of round `r - 1`, has retired; the initial
+//!   value `0` makes every slot free for round 0);
+//! * `seq == 2r + 1` — the slot is **live**: iteration `i`'s user state is
+//!   present and `progress`/`status` describe it;
+//! * completion stores `2r + 2 = 2(r + 1)`, which *is* the free value for
+//!   the next occupant `i + K`.
+//!
+//! `seq` is monotone, so a reader that knows which iteration it expects can
+//! classify a slot with one load: a value below the expected live word means
+//! "not started", equal means "live", above means "completed". This removes
+//! the ABA hazard of slot reuse without per-iteration allocation.
 //!
 //! ## The cross-edge protocol
 //!
-//! The stage counter (`progress`) of a frame holds the smallest stage
-//! number that has not yet completed in that iteration; a completed
-//! iteration stores `u64::MAX`. The cross edge into node `(i, j)` is
-//! therefore satisfied exactly when `progress(i-1) > j`.
+//! The stage counter (`progress`) of a live slot holds the smallest stage
+//! that has not yet completed in the occupant iteration; a completed
+//! iteration stores `u64::MAX` before retiring the slot. The cross edge
+//! into node `(i, j)` is satisfied exactly when `progress(i-1) > j` — or
+//! when slot `(i-1) % K` has moved past iteration `i-1` entirely.
 //!
-//! Suspension and resumption race benignly: the consumer publishes its
-//! `Suspended` status *before* re-reading the producer's counter, and the
-//! producer advances its counter *before* reading the consumer's status
-//! (both with sequentially consistent ordering), so at least one side
-//! observes the other; the CAS on the status field then decides which side
-//! owns the frame and schedules it.
+//! Suspension and resumption race benignly, as in the paper: the consumer
+//! publishes its SUSPENDED status *before* re-reading the producer's
+//! counter, and the producer advances its counter *before* reading the
+//! consumer's status, so at least one side observes the other; an
+//! epoch-tagged CAS on the status word then decides which side owns the
+//! frame and schedules it. Both sides of this store→load (Dekker) pattern
+//! need sequential consistency, which is provided by two explicit
+//! `fence(SeqCst)` calls (the same discipline as the Chase–Lev deque in
+//! `wsdeque`); every other access is `Acquire`/`Release`/`Relaxed` — the
+//! per-node hot path takes no lock and performs no `SeqCst` read-modify-
+//! write.
+//!
+//! ## Memory-ordering map
+//!
+//! | access | ordering | why |
+//! |---|---|---|
+//! | `seq` store to live/retired | `Release` | publishes the slot init (resp. the final `progress = MAX`) to `Acquire` readers of `seq` |
+//! | `seq` load (gate, cross check, check-right) | `Acquire` | pairs with the stores above; the throttle gate additionally needs the retiring iteration's writes to happen-before slot reuse |
+//! | `seq` validation re-load in [`IterRing::cross_satisfied`] | `Relaxed` | ordered after the `Acquire` load of `progress`; see below |
+//! | `progress` store (install, advance, complete) | `Release` | a reader that observes the value also observes everything the owner did before it — in particular, the install store pairs with the validation read so a recycled value can never be attributed to the old iteration |
+//! | `progress` load (own slot) | `Relaxed` | single-owner: scheduling handoffs (deque push/steal, status CAS) already order them |
+//! | `progress` load (neighbour slot) | `Acquire` | pairs with the neighbour's `Release` stores; also orders the `Relaxed` `seq` validation load after it |
+//! | `status` store SUSPENDED | `Release` | the resuming side must see the suspension stage; followed by `fence(SeqCst)` (Dekker, consumer side) |
+//! | `status` CAS SUSPENDED→RUNNING | `AcqRel` | the winner acquires the suspending worker's writes and owns scheduling of the frame |
+//! | `status` load in check-right | `Acquire` | preceded by `fence(SeqCst)` after the `progress` advance (Dekker, producer side) |
+//! | `pending_wait`, `cached_prev_progress` | `Relaxed` | owner-local; ownership transfer is ordered by the handoff edges above |
+//!
+//! The validation read deserves one more sentence: `cross_satisfied` loads
+//! `seq` (`Acquire`), then `progress` (`Acquire`), then `seq` again. If the
+//! second `seq` load still returns the neighbour's live word, the
+//! `progress` value belongs to the neighbour (it may be stale, but progress
+//! is monotone within an epoch, so a stale value can only under-report —
+//! which at worst suspends and is then corrected by check-right). If the
+//! slot was recycled in between, the `progress` value read was the *new*
+//! occupant's install store; acquiring it happens-after the old occupant's
+//! retirement, so the validation load is guaranteed to see `seq` past the
+//! old live word and the check correctly reports the neighbour completed.
 
+use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 use crate::metrics::Metrics;
 use crate::pool::{ControlTask, NodeTask, Task, WorkerThread};
@@ -33,95 +89,184 @@ use crate::pool::{ControlTask, NodeTask, Task, WorkerThread};
 use super::control::{ControlCore, CONTROL_RUNNABLE, CONTROL_THROTTLED};
 use super::{NodeOutcome, PipelineIteration};
 
-/// Frame status: the iteration is runnable or currently executing.
-const STATUS_RUNNING: u8 = 0;
-/// Frame status: the iteration is suspended on an unsatisfied cross edge.
-const STATUS_SUSPENDED: u8 = 1;
-/// Frame status: the iteration has completed.
-const STATUS_DONE: u8 = 2;
+/// Status phase: the iteration is runnable or currently executing.
+const PHASE_RUNNING: u64 = 0;
+/// Status phase: the iteration is suspended on an unsatisfied cross edge.
+const PHASE_SUSPENDED: u64 = 1;
+/// Status phase: the iteration has completed (slot about to be retired).
+const PHASE_DONE: u64 = 2;
 
-/// The runtime frame of one pipeline iteration.
-pub(crate) struct IterFrame<I>
-where
-    I: PipelineIteration,
-{
-    /// Iteration index `i` (diagnostics only).
-    index: u64,
-    /// Shared `pipe_while` state (join counter, options, statistics).
-    core: Arc<ControlCore>,
-    /// The control frame, needed when this iteration's completion re-enables
-    /// it through the throttling edge. Weak to avoid a reference cycle
-    /// (control → last_frame → control).
-    control: Weak<dyn ControlTask>,
-    /// Stage counter: smallest stage not yet completed; `u64::MAX` when the
-    /// iteration is done.
-    progress: AtomicU64,
-    /// Whether the next node has an incoming cross edge (`pipe_wait`).
-    pending_wait: AtomicBool,
-    /// Cross-edge protocol status (RUNNING / SUSPENDED / DONE).
-    status: AtomicU8,
-    /// The user's iteration state; dropped as soon as the iteration
-    /// completes so that live state is bounded by the throttling limit.
-    state: Mutex<Option<I>>,
-    /// Left neighbour (iteration `i-1`), present until it completes.
-    prev: Mutex<Option<Arc<IterFrame<I>>>>,
-    /// Right neighbour (iteration `i+1`), set when that iteration starts.
-    next: Mutex<Option<Arc<IterFrame<I>>>>,
-    /// Dependency folding: cached copy of the left neighbour's stage counter.
-    cached_prev_progress: AtomicU64,
+/// The status word tags the phase with the occupant iteration index, so a
+/// CAS can never act on a recycled slot's new occupant by mistake.
+#[inline]
+fn status_word(iteration: u64, phase: u64) -> u64 {
+    (iteration << 2) | phase
 }
 
-impl<I> IterFrame<I>
+/// One recycled frame shell. Padded to its own cache-line pair so that the
+/// per-node traffic of adjacent iterations (which are adjacent slots) does
+/// not false-share.
+#[repr(align(128))]
+struct Slot<I> {
+    /// Lifecycle word; see the module docs ("Slot lifecycle").
+    seq: AtomicU64,
+    /// Stage counter of the occupant: smallest stage not yet completed;
+    /// `u64::MAX` once the occupant is done.
+    progress: AtomicU64,
+    /// Cross-edge protocol status: `(iteration << 2) | phase`.
+    status: AtomicU64,
+    /// Whether the occupant's next node has an incoming cross edge
+    /// (`pipe_wait`). Owner-local.
+    pending_wait: AtomicBool,
+    /// Dependency folding: cached copy of the left neighbour's stage
+    /// counter. Owner-local.
+    cached_prev_progress: AtomicU64,
+    /// The occupant's user state. Accessed only by the slot's unique
+    /// logical owner: the control frame while the slot is free (install),
+    /// the executing worker while it is live, the `Drop` impl afterwards.
+    state: UnsafeCell<Option<I>>,
+}
+
+/// The fixed-capacity ring of `K` recycled iteration frames owned by one
+/// `pipe_while`.
+pub(crate) struct IterRing<I>
 where
     I: PipelineIteration,
 {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        index: u64,
-        core: Arc<ControlCore>,
-        control: Weak<dyn ControlTask>,
-        state: I,
-        first_stage: u64,
-        wait: bool,
-        prev: Option<Arc<IterFrame<I>>>,
-    ) -> Self {
-        IterFrame {
-            index,
+    slots: Box<[Slot<I>]>,
+    /// Shared `pipe_while` state (join counter, options, statistics).
+    core: Arc<ControlCore>,
+    /// The control frame, needed when an iteration's completion re-enables
+    /// it through the throttling edge. Weak to avoid a reference cycle
+    /// (control → ring → control); set once right after construction.
+    control: OnceLock<Weak<dyn ControlTask>>,
+}
+
+// SAFETY: the only non-`Sync` field is the `UnsafeCell` state in each slot,
+// and the ring's protocol guarantees a unique logical owner for it at every
+// moment: the control token installs it while the slot is free (`seq` even,
+// and the single control token is the only writer that claims free slots),
+// exactly one scheduled task executes it while live (enforced by the
+// epoch-tagged status CAS), and ownership handoffs are ordered by
+// release/acquire edges (deque push/steal, `seq`, status CAS).
+unsafe impl<I: PipelineIteration> Sync for IterRing<I> {}
+unsafe impl<I: PipelineIteration> Send for IterRing<I> {}
+
+impl<I> IterRing<I>
+where
+    I: PipelineIteration,
+{
+    /// Allocates the ring with `core.throttle_limit` slots. This is the only
+    /// frame allocation the pipeline ever performs (counted in the
+    /// `frame_allocations` metric, bounded by `K`).
+    pub(crate) fn new(core: Arc<ControlCore>) -> Arc<Self> {
+        let k = core.throttle_limit;
+        assert!(k >= 1, "throttle limit must be at least 1");
+        assert!(
+            k <= u32::MAX as usize,
+            "throttle limit exceeds slot index range"
+        );
+        let slots: Box<[Slot<I>]> = (0..k)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                progress: AtomicU64::new(0),
+                status: AtomicU64::new(0),
+                pending_wait: AtomicBool::new(false),
+                cached_prev_progress: AtomicU64::new(0),
+                state: UnsafeCell::new(None),
+            })
+            .collect();
+        core.frame_allocations
+            .fetch_add(k as u64, Ordering::Relaxed);
+        Arc::new(IterRing {
+            slots,
             core,
-            control,
-            progress: AtomicU64::new(first_stage),
-            pending_wait: AtomicBool::new(wait),
-            status: AtomicU8::new(STATUS_RUNNING),
-            state: Mutex::new(Some(state)),
-            prev: Mutex::new(prev),
-            next: Mutex::new(None),
-            cached_prev_progress: AtomicU64::new(0),
+            control: OnceLock::new(),
+        })
+    }
+
+    /// Wires the weak back-reference to the control frame (called once,
+    /// immediately after the control frame is allocated).
+    pub(crate) fn set_control(&self, control: Weak<dyn ControlTask>) {
+        let _ = self.control.set(control);
+    }
+
+    /// The ring capacity `K`.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, iteration: u64) -> &Slot<I> {
+        &self.slots[(iteration % self.slots.len() as u64) as usize]
+    }
+
+    /// `seq` value at which the slot is free for `iteration` to move in.
+    #[inline]
+    fn seq_free(&self, iteration: u64) -> u64 {
+        2 * (iteration / self.slots.len() as u64)
+    }
+
+    /// `seq` value while `iteration` occupies the slot.
+    #[inline]
+    fn seq_live(&self, iteration: u64) -> u64 {
+        self.seq_free(iteration) + 1
+    }
+
+    /// True if the throttling edge into `iteration` is satisfied, i.e. its
+    /// slot's previous occupant (iteration − K) has retired. `Acquire` pairs
+    /// with the retiring `Release` store so that everything the previous
+    /// occupant did happens-before the slot's reuse.
+    pub(crate) fn slot_is_free(&self, iteration: u64) -> bool {
+        self.slot_of(iteration).seq.load(Ordering::Acquire) == self.seq_free(iteration)
+    }
+
+    /// Moves `iteration` into its slot. May only be called by the control
+    /// token, and only after [`slot_is_free`](Self::slot_is_free) returned
+    /// true for it (the single control token is what makes the claim safe).
+    pub(crate) fn install(&self, iteration: u64, state: I, first_stage: u64, wait: bool) {
+        let slot = self.slot_of(iteration);
+        debug_assert_eq!(
+            slot.seq.load(Ordering::Relaxed),
+            self.seq_free(iteration),
+            "install on a slot that is not free (iteration {iteration})"
+        );
+        // SAFETY: the slot is free and we hold the unique control token, so
+        // no other thread reads or writes the state cell (module docs).
+        unsafe {
+            *slot.state.get() = Some(state);
         }
+        // Release: pairs with the Acquire `progress` load of the validation
+        // protocol in `cross_satisfied` — a reader that observes this value
+        // is guaranteed to also observe the slot's `seq` past the previous
+        // occupant's live word.
+        slot.progress.store(first_stage, Ordering::Release);
+        slot.pending_wait.store(wait, Ordering::Relaxed);
+        slot.status
+            .store(status_word(iteration, PHASE_RUNNING), Ordering::Relaxed);
+        slot.cached_prev_progress.store(0, Ordering::Relaxed);
+        // Release-publish the live word: an Acquire reader of `seq` that
+        // sees it also sees the initialized progress/status/state.
+        slot.seq.store(self.seq_live(iteration), Ordering::Release);
     }
 
-    /// Iteration index (used by tests and diagnostics).
-    #[allow(dead_code)]
-    pub(crate) fn index(&self) -> u64 {
-        self.index
-    }
-
-    /// Links the right neighbour, so this iteration can wake it.
-    pub(crate) fn set_next(&self, next: Arc<IterFrame<I>>) {
-        *self.next.lock().unwrap() = Some(next);
-    }
-
-    /// Tests whether the cross edge into stage `stage` of this iteration is
-    /// satisfied, i.e. whether the left neighbour has completed its node for
-    /// that stage. `use_cache` selects whether dependency folding may answer
-    /// from the cached counter.
-    fn cross_satisfied(&self, worker: &WorkerThread, stage: u64, use_cache: bool) -> bool {
-        let prev = self.prev.lock().unwrap().clone();
-        let prev = match prev {
-            None => return true, // iteration 0, or the left neighbour already completed
-            Some(p) => p,
-        };
+    /// Tests whether the cross edge into stage `stage` of `iteration` is
+    /// satisfied, i.e. whether the left neighbour has completed its node
+    /// for that stage. `use_cache` selects whether dependency folding may
+    /// answer from the cached counter.
+    fn cross_satisfied(
+        &self,
+        iteration: u64,
+        stage: u64,
+        use_cache: bool,
+        worker: &WorkerThread,
+    ) -> bool {
+        if iteration == 0 {
+            return true;
+        }
+        let own = self.slot_of(iteration);
         if use_cache && self.core.dependency_folding {
-            let cached = self.cached_prev_progress.load(Ordering::Relaxed);
+            let cached = own.cached_prev_progress.load(Ordering::Relaxed);
             if cached > stage {
                 Metrics::bump(&self.core.folded_checks);
                 Metrics::bump(&worker.metrics().folded_checks);
@@ -130,91 +275,153 @@ where
         }
         Metrics::bump(&self.core.cross_checks);
         Metrics::bump(&worker.metrics().cross_checks);
-        let current = prev.progress.load(Ordering::SeqCst);
-        // Dependency folding's cache: a completed neighbour stores u64::MAX,
-        // so after one read every later cross edge of this iteration folds.
-        // (The neighbour's frame shell stays linked until *this* iteration
-        // completes; its user state was already dropped, so live space is
-        // still bounded by the throttling limit.)
-        self.cached_prev_progress.store(current, Ordering::Relaxed);
+
+        let left = iteration - 1;
+        let lslot = self.slot_of(left);
+        let live = self.seq_live(left);
+        let observed = lslot.seq.load(Ordering::Acquire);
+        if observed != live {
+            // The left neighbour already retired its slot (seq is monotone
+            // and the neighbour started before this iteration existed, so
+            // the only other possibility is "past"). A completed neighbour
+            // satisfies every cross edge; cache MAX so that with dependency
+            // folding every later check of this iteration folds.
+            debug_assert!(
+                observed > live,
+                "left neighbour {left} observed before it started"
+            );
+            own.cached_prev_progress.store(u64::MAX, Ordering::Relaxed);
+            return true;
+        }
+        let current = lslot.progress.load(Ordering::Acquire);
+        // Validation read (Relaxed: ordered after the Acquire load above;
+        // see the module docs for why a recycled value cannot slip through).
+        if lslot.seq.load(Ordering::Relaxed) != live {
+            own.cached_prev_progress.store(u64::MAX, Ordering::Relaxed);
+            return true;
+        }
+        own.cached_prev_progress.store(current, Ordering::Relaxed);
         current > stage
     }
 
-    /// The *check-right* operation: if the right neighbour is suspended on a
-    /// stage this iteration has now passed, resume it by pushing it onto the
+    /// The *check-right* operation: if the right neighbour is suspended on
+    /// a stage `iteration` has now passed, resume it by pushing it onto the
     /// worker's deque.
-    fn check_right(&self, worker: &WorkerThread) {
-        let next = self.next.lock().unwrap().clone();
-        let next = match next {
-            None => return,
-            Some(n) => n,
-        };
-        if next.status.load(Ordering::SeqCst) != STATUS_SUSPENDED {
+    ///
+    /// The caller must have issued a `fence(SeqCst)` after its last
+    /// `progress` store (the producer side of the Dekker pattern).
+    fn check_right(self: &Arc<Self>, iteration: u64, worker: &WorkerThread) {
+        let right = iteration + 1;
+        let rslot = self.slot_of(right);
+        if rslot.seq.load(Ordering::Acquire) != self.seq_live(right) {
+            // The right neighbour has not started yet (its first cross
+            // check will read our fresh progress) or has already completed.
             return;
         }
-        let wanted = next.progress.load(Ordering::SeqCst);
-        let ours = self.progress.load(Ordering::SeqCst);
+        let suspended = status_word(right, PHASE_SUSPENDED);
+        if rslot.status.load(Ordering::Acquire) != suspended {
+            return;
+        }
+        let wanted = rslot.progress.load(Ordering::Acquire);
+        let ours = self.slot_of(iteration).progress.load(Ordering::Relaxed);
         if ours > wanted
-            && next
+            && rslot
                 .status
                 .compare_exchange(
-                    STATUS_SUSPENDED,
-                    STATUS_RUNNING,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    suspended,
+                    status_word(right, PHASE_RUNNING),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
                 )
                 .is_ok()
         {
-            // We won the race to resume the neighbour; it becomes stealable
-            // work on our deque (the PIPER "enabled vertex" push).
-            worker.push(Task::Node(next));
+            // We won the race to resume the neighbour (the epoch tag in the
+            // status word guarantees it is still iteration `right`, not a
+            // later occupant of the slot); it becomes stealable work on our
+            // deque (the PIPER "enabled vertex" push).
+            worker.push(Task::Node {
+                ring: Arc::clone(self) as Arc<dyn NodeTask>,
+                slot: (right % self.slots.len() as u64) as u32,
+                epoch: right,
+            });
         }
     }
 
-    /// Completes the iteration: releases its state, wakes the right
-    /// neighbour, updates the join counter, and — if this completion enables
-    /// the control frame through the throttling edge — performs PIPER's
-    /// tail-swap. Returns the worker's next assigned task, if any.
-    fn complete(&self, worker: &WorkerThread) -> Option<Task> {
-        // Publish completion before waking anyone.
-        *self.state.lock().unwrap() = None;
-        self.progress.store(u64::MAX, Ordering::SeqCst);
-        self.status.store(STATUS_DONE, Ordering::SeqCst);
-        *self.prev.lock().unwrap() = None;
+    /// Completes `iteration`: drops its state, wakes the right neighbour,
+    /// retires the slot for reuse by iteration + K, updates the join
+    /// counter, and — if this completion enables the control frame through
+    /// the throttling edge — performs PIPER's tail-swap. Returns the
+    /// worker's next assigned task, if any.
+    fn complete(self: &Arc<Self>, iteration: u64, worker: &WorkerThread) -> Option<Task> {
+        let k = self.slots.len() as u64;
+        let slot = self.slot_of(iteration);
+        // Drop the user state immediately so that live state is bounded by
+        // the throttling limit (the Theorem 11 space bound).
+        // SAFETY: we are the slot's unique owner until the `seq` store
+        // below retires it.
+        unsafe {
+            *slot.state.get() = None;
+        }
+        slot.status
+            .store(status_word(iteration, PHASE_DONE), Ordering::Release);
+        slot.progress.store(u64::MAX, Ordering::Release);
+        // Dekker, producer side: the MAX store must be ordered before the
+        // status read inside check_right; the same fence also orders the
+        // retirement protocol against the control frame's parking protocol.
+        fence(Ordering::SeqCst);
 
         Metrics::bump(&self.core.iterations);
         Metrics::bump(&worker.metrics().iterations_completed);
 
         // A completed iteration always checks right (lazy enabling defers
-        // intermediate checks, not this one).
-        self.check_right(worker);
+        // intermediate checks, not this one). This must happen before the
+        // slot is retired: check_right reads our own progress (= MAX) from
+        // the slot.
+        self.check_right(iteration, worker);
 
-        // Leave the throttling edge: one fewer active iteration.
+        // Retire the slot: this is the throttling edge out of `iteration`,
+        // enabling iteration + K. Release pairs with the control token's
+        // Acquire gate load, so everything this iteration did (including
+        // the state drop) happens-before the slot's reuse.
+        slot.seq
+            .store(self.seq_free(iteration + k), Ordering::Release);
+        // Dekker, retirer side: the store above must be ordered before the
+        // control-status read below; pairs with the control token's fence
+        // between its THROTTLED store and its gate re-check.
+        fence(Ordering::SeqCst);
+
+        // Leave the join counter: one fewer active iteration. (SeqCst: this
+        // decrement and the producer-done flag form their own store→load
+        // pattern inside `maybe_complete`.)
         let previous_active = self.core.active.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(previous_active >= 1);
-        let remaining = previous_active - 1;
 
         let mut assigned = None;
-        if remaining < self.core.throttle_limit
-            && self.core.control_status.load(Ordering::SeqCst) == CONTROL_THROTTLED
+        // Wake the control frame only if it is parked on *our* throttling
+        // edge (it awaits slot `next % K`, which is ours iff `next` is our
+        // K-successor). The Acquire load of the status pairs with the
+        // control token's Release store when parking, which makes its
+        // `next_iteration` value visible.
+        if self.core.control_status.load(Ordering::Acquire) == CONTROL_THROTTLED
+            && self.core.next_iteration.load(Ordering::Relaxed) == iteration + k
             && self
                 .core
                 .control_status
                 .compare_exchange(
                     CONTROL_THROTTLED,
                     CONTROL_RUNNABLE,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
                 )
                 .is_ok()
         {
-            // This completion enabled the control frame (the throttling edge
-            // of the computation dag). Per PIPER, the enabled vertex becomes
-            // the assigned vertex unless the deque is non-empty, in which
-            // case it is exchanged with the deque's tail (the tail-swap),
-            // keeping consecutive iterations on this worker and exposing the
-            // control frame for stealing.
-            if let Some(control) = self.control.upgrade() {
+            // This completion enabled the control frame (the throttling
+            // edge of the computation dag). Per PIPER, the enabled vertex
+            // becomes the assigned vertex unless the deque is non-empty, in
+            // which case it is exchanged with the deque's tail (the
+            // tail-swap), keeping consecutive iterations on this worker and
+            // exposing the control frame for stealing.
+            if let Some(control) = self.control.get().and_then(Weak::upgrade) {
                 match worker.swap_tail(Task::Control(control)) {
                     Ok(previous_tail) => {
                         Metrics::bump(&self.core.tail_swaps);
@@ -233,27 +440,48 @@ where
     }
 }
 
-impl<I> NodeTask for IterFrame<I>
+impl<I> NodeTask for IterRing<I>
 where
     I: PipelineIteration,
 {
-    fn node_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task> {
+    fn node_step(
+        self: Arc<Self>,
+        slot_index: usize,
+        iteration: u64,
+        worker: &WorkerThread,
+    ) -> Option<Task> {
+        debug_assert_eq!(
+            slot_index as u64,
+            iteration % self.slots.len() as u64,
+            "task slot/epoch mismatch for iteration {iteration}"
+        );
+        let slot = &self.slots[slot_index];
+        debug_assert_eq!(
+            slot.seq.load(Ordering::Relaxed),
+            self.seq_live(iteration),
+            "node_step on a slot not owned by iteration {iteration}"
+        );
         loop {
-            let stage = self.progress.load(Ordering::SeqCst);
-            let needs_wait = self.pending_wait.load(Ordering::SeqCst);
+            // Owner-local reads: ownership handoffs already order them.
+            let stage = slot.progress.load(Ordering::Relaxed);
+            let needs_wait = slot.pending_wait.load(Ordering::Relaxed);
 
-            if needs_wait && !self.cross_satisfied(worker, stage, true) {
-                // Publish the suspension, then re-check without the cache to
-                // close the race with a concurrently advancing neighbour.
-                self.status.store(STATUS_SUSPENDED, Ordering::SeqCst);
-                if self.cross_satisfied(worker, stage, false) {
-                    if self
+            if needs_wait && !self.cross_satisfied(iteration, stage, true, worker) {
+                // Publish the suspension, then re-check without the cache
+                // to close the race with a concurrently advancing
+                // neighbour (Dekker, consumer side: the fence orders the
+                // status store before the progress re-read).
+                slot.status
+                    .store(status_word(iteration, PHASE_SUSPENDED), Ordering::Release);
+                fence(Ordering::SeqCst);
+                if self.cross_satisfied(iteration, stage, false, worker) {
+                    if slot
                         .status
                         .compare_exchange(
-                            STATUS_SUSPENDED,
-                            STATUS_RUNNING,
-                            Ordering::SeqCst,
-                            Ordering::SeqCst,
+                            status_word(iteration, PHASE_SUSPENDED),
+                            status_word(iteration, PHASE_RUNNING),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
                         )
                         .is_err()
                     {
@@ -269,31 +497,31 @@ where
                 }
             }
 
-            // Execute node (i, stage).
+            // Execute node (iteration, stage).
             Metrics::bump(&self.core.nodes);
             Metrics::bump(&worker.metrics().nodes_executed);
-            let mut state = self
-                .state
-                .lock()
-                .unwrap()
-                .take()
-                .expect("iteration state must be present while the iteration is live");
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                let o = state.run_node(stage);
-                (state, o)
-            }));
+            // SAFETY: the slot is live and this task is its unique owner
+            // (module docs), so the state cell is ours to borrow. The
+            // borrow ends before `complete` or the next handoff.
+            let state = unsafe {
+                (*slot.state.get())
+                    .as_mut()
+                    .expect("iteration state must be present while the iteration is live")
+            };
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| state.run_node(stage)));
 
             match outcome {
                 Err(payload) => {
-                    // A panicking node terminates its iteration; the panic is
-                    // re-raised from pipe_while once the pipeline drains.
+                    // A panicking node terminates its iteration; the panic
+                    // is re-raised from pipe_while once the pipeline
+                    // drains.
                     self.core.record_panic(payload);
-                    return self.complete(worker);
+                    return self.complete(iteration, worker);
                 }
-                Ok((_state, NodeOutcome::Done)) => {
-                    return self.complete(worker);
+                Ok(NodeOutcome::Done) => {
+                    return self.complete(iteration, worker);
                 }
-                Ok((state, outcome @ (NodeOutcome::ContinueTo(_) | NodeOutcome::WaitFor(_)))) => {
+                Ok(outcome @ (NodeOutcome::ContinueTo(_) | NodeOutcome::WaitFor(_))) => {
                     let (next, is_wait) = match outcome {
                         NodeOutcome::ContinueTo(next) => (next, false),
                         NodeOutcome::WaitFor(next) => (next, true),
@@ -302,26 +530,25 @@ where
                     assert!(
                         next > stage,
                         "stage numbers must strictly increase within an iteration \
-                         (iteration {}, stage {} -> {})",
-                        self.index,
-                        stage,
-                        next
+                         (iteration {iteration}, stage {stage} -> {next})"
                     );
-                    // Put the state back and advance the stage counter
-                    // *before* any check-right, so a waiting right neighbour
-                    // observes the new progress (Dekker-style pairing with
-                    // its suspend protocol).
-                    *self.state.lock().unwrap() = Some(state);
-                    self.pending_wait.store(is_wait, Ordering::SeqCst);
-                    self.progress.store(next, Ordering::SeqCst);
+                    // Advance the stage counter *before* any check-right,
+                    // so a waiting right neighbour observes the new
+                    // progress (Dekker pairing with its suspend protocol;
+                    // the SeqCst fence lives inside check_right's caller
+                    // path below, right before the status read).
+                    slot.pending_wait.store(is_wait, Ordering::Relaxed);
+                    slot.progress.store(next, Ordering::Release);
 
                     // Eager enabling checks right at every node boundary;
-                    // lazy enabling (the default, per the paper's work-first
-                    // principle) defers the check to moments when it can be
-                    // amortized against the span: an empty deque now, or
-                    // iteration completion later.
+                    // lazy enabling (the default, per the paper's
+                    // work-first principle) defers the check to moments
+                    // when it can be amortized against the span: an empty
+                    // deque now, or iteration completion later. The fence
+                    // is only paid when a check actually happens.
                     if !self.core.lazy_enabling || worker.deque_is_empty() {
-                        self.check_right(worker);
+                        fence(Ordering::SeqCst);
+                        self.check_right(iteration, worker);
                     }
                     // Continue with the next node of this iteration (PIPER
                     // keeps the iteration as its assigned work).

@@ -240,6 +240,14 @@ where
     let core = ControlCore::new(throttle, options.lazy_enabling, options.dependency_folding);
     let shared = PipeShared::new(core, producer);
     let core = shared.core_handle();
+    // Mirror the ring's one-time slot allocation into the pool-wide
+    // counters here (the ring is built on the calling thread, which may not
+    // be a worker), so the pool and per-pipe counters agree even for a
+    // pipeline whose producer stops immediately.
+    pool.registry()
+        .metrics
+        .frame_allocations
+        .fetch_add(throttle as u64, std::sync::atomic::Ordering::Relaxed);
 
     pool.in_worker(|worker| {
         worker.push(Task::Control(shared.clone()));

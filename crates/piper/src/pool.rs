@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::Duration;
 
-use wsdeque::{deque, Injector, Parker, Steal, Stealer, Worker as Deque, XorShift64};
+use wsdeque::{deque, Backoff, Injector, Parker, Steal, Stealer, Worker as Deque, XorShift64};
 
 use crate::job::JobRef;
 use crate::latch::{Latch, LockLatch};
@@ -32,12 +32,13 @@ pub(crate) trait ControlTask: Send + Sync {
     fn control_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task>;
 }
 
-/// A ready pipeline iteration, resumable at its next pending node.
+/// The iteration ring of a pipeline, executable one slot at a time.
 pub(crate) trait NodeTask: Send + Sync {
-    /// Runs nodes of the iteration until it completes or suspends. Returns
-    /// the next assigned task for this worker, if any (e.g. the control
-    /// frame re-enabled through a throttling edge).
-    fn node_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task>;
+    /// Runs nodes of the iteration occupying `slot` (whose index is
+    /// `epoch`) until it completes or suspends. Returns the next assigned
+    /// task for this worker, if any (e.g. the control frame re-enabled
+    /// through a throttling edge).
+    fn node_step(self: Arc<Self>, slot: usize, epoch: u64, worker: &WorkerThread) -> Option<Task>;
 }
 
 /// A schedulable unit sitting in a worker deque or the injector.
@@ -46,8 +47,15 @@ pub(crate) enum Task {
     Job(JobRef),
     /// A pipeline control frame.
     Control(Arc<dyn ControlTask>),
-    /// A ready pipeline iteration.
-    Node(Arc<dyn NodeTask>),
+    /// A ready pipeline iteration: a slot of a pipeline's recycled frame
+    /// ring plus the iteration index (epoch) expected to occupy it. The
+    /// epoch makes a stale task detectable — the scheduling protocol never
+    /// produces one, but the ring's debug assertions check it.
+    Node {
+        ring: Arc<dyn NodeTask>,
+        slot: u32,
+        epoch: u64,
+    },
 }
 
 /// Per-worker shared info visible to other workers (for stealing/waking).
@@ -213,8 +221,8 @@ impl WorkerThread {
                 Task::Control(ctrl) => {
                     current = ctrl.control_step(self);
                 }
-                Task::Node(node) => {
-                    current = node.node_step(self);
+                Task::Node { ring, slot, epoch } => {
+                    current = ring.node_step(slot as usize, epoch, self);
                 }
             }
         }
@@ -223,39 +231,51 @@ impl WorkerThread {
     /// Runs the scheduling loop until `latch` is set, helping with any work
     /// found in the meantime. This is how workers "block" without blocking.
     pub(crate) fn wait_until<L: Latch>(&self, latch: &L) {
-        let mut idle_spins = 0u32;
+        let mut backoff = Backoff::new();
         while !latch.probe() {
             if let Some(task) = self.find_task() {
-                idle_spins = 0;
+                backoff.reset();
                 self.execute(task);
             } else {
-                idle_spins += 1;
-                if idle_spins < 32 {
-                    std::hint::spin_loop();
-                } else {
-                    thread::yield_now();
-                }
+                // The latch may be set by an external thread at any moment
+                // and nobody is required to unpark us, so never park here:
+                // a completed backoff keeps yielding.
+                backoff.snooze();
             }
         }
     }
 
     /// The worker's top-level scheduling loop.
     fn main_loop(&self) {
+        let mut backoff = Backoff::new();
         loop {
             if let Some(task) = self.find_task() {
+                backoff.reset();
                 self.execute(task);
                 continue;
             }
             if self.registry.terminating.load(Ordering::Acquire) {
                 break;
             }
-            // Nothing to do: sleep briefly. The timeout bounds the damage of
-            // any missed wakeup; explicit wakes make the common case fast.
-            self.registry.sleepers.fetch_add(1, Ordering::SeqCst);
+            if !backoff.is_completed() {
+                // Spin-then-yield through a few more steal rounds before
+                // touching the condvar: fine-grained pipelines enable new
+                // nodes within nanoseconds, and a park/unpark round trip
+                // costs microseconds.
+                backoff.snooze();
+                continue;
+            }
+            backoff.reset();
+            // Nothing to do after a full backoff: sleep briefly. The timeout
+            // bounds the damage of any missed wakeup; explicit wakes make
+            // the common case fast. (Relaxed suffices on the sleeper count:
+            // it is advisory for `wake_workers`, and a missed wake is
+            // bounded by the park timeout.)
+            self.registry.sleepers.fetch_add(1, Ordering::Relaxed);
             self.registry.threads[self.index]
                 .parker
                 .park_timeout(Duration::from_micros(500));
-            self.registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+            self.registry.sleepers.fetch_sub(1, Ordering::Relaxed);
         }
     }
 }

@@ -1,0 +1,339 @@
+//! Stress tests for the recycled iteration-frame ring.
+//!
+//! The ring (see `crates/piper/DESIGN.md`) replaces per-iteration
+//! `Arc<Mutex<…>>` frames with `K` recycled slots, so its specific hazards
+//! are slot reuse: a cross-edge check attributing a recycled slot's fresh
+//! stage counter to the old occupant, a check-right resuming the wrong
+//! occupant, or the throttling gate recycling a slot before its previous
+//! occupant fully retired. These tests drive random on-the-fly structures
+//! (stage skipping, `pipe_wait` patterns, panics) across small and large
+//! throttle windows `K ∈ {1, 2, 3, 4·P}` and assert
+//!
+//! * outputs of a final serial stage appear in iteration order,
+//! * `peak_active ≤ K` (Theorem 11),
+//! * the frame-allocation metric stays bounded by `K` while every
+//!   iteration beyond the first `K` recycles a slot — i.e. zero
+//!   per-iteration frame allocation in steady state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0, ThreadPool};
+use proptest::prelude::*;
+
+/// The common final stage number, larger than any generated stage so that
+/// every iteration's output node carries a cross edge onto the *same* stage
+/// of its left neighbour, forcing in-order output.
+const OUTPUT_STAGE: u64 = 1_000;
+
+/// One generated node: its stage number and whether it is entered with
+/// `pipe_wait`.
+#[derive(Debug, Clone)]
+struct NodePlan {
+    stage: u64,
+    wait: bool,
+}
+
+#[derive(Debug, Clone)]
+struct RingPlan {
+    iterations: Vec<Vec<NodePlan>>,
+    /// Iterations whose second-to-last node panics instead of continuing.
+    panics: Vec<bool>,
+}
+
+fn plan_strategy(max_iterations: usize) -> impl Strategy<Value = RingPlan> {
+    let node = (1u64..5, any::<bool>());
+    let iteration = proptest::collection::vec(node, 1..5);
+    (
+        proptest::collection::vec(iteration, 1..max_iterations),
+        proptest::collection::vec(any::<bool>(), 1..max_iterations),
+    )
+        .prop_map(|(raw, panic_bits)| {
+            let iterations: Vec<Vec<NodePlan>> = raw
+                .into_iter()
+                .map(|nodes| {
+                    let mut stage = 0u64;
+                    let mut plan: Vec<NodePlan> = nodes
+                        .into_iter()
+                        .map(|(gap, wait)| {
+                            stage += gap;
+                            NodePlan { stage, wait }
+                        })
+                        .collect();
+                    // Every iteration ends with the common serial output
+                    // stage, so outputs must appear in iteration order.
+                    plan.push(NodePlan {
+                        stage: OUTPUT_STAGE,
+                        wait: true,
+                    });
+                    plan
+                })
+                .collect();
+            let panics = (0..iterations.len())
+                .map(|i| *panic_bits.get(i % panic_bits.len()).unwrap_or(&false))
+                .collect();
+            RingPlan { iterations, panics }
+        })
+}
+
+struct RingIteration {
+    index: u64,
+    nodes: Vec<NodePlan>,
+    position: usize,
+    panics: bool,
+    output: Arc<Mutex<Vec<u64>>>,
+    nodes_run: Arc<AtomicU64>,
+}
+
+impl PipelineIteration for RingIteration {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        let expected = &self.nodes[self.position];
+        assert_eq!(
+            stage, expected.stage,
+            "iteration {} resumed at stage {stage}, expected {}",
+            self.index, expected.stage
+        );
+        self.nodes_run.fetch_add(1, Ordering::Relaxed);
+        if self.panics && self.position + 2 == self.nodes.len() {
+            panic!("planned panic in iteration {}", self.index);
+        }
+        if stage == OUTPUT_STAGE {
+            self.output.lock().unwrap().push(self.index);
+        }
+        self.position += 1;
+        match self.nodes.get(self.position) {
+            None => NodeOutcome::Done,
+            Some(next) if next.wait => NodeOutcome::WaitFor(next.stage),
+            Some(next) => NodeOutcome::ContinueTo(next.stage),
+        }
+    }
+}
+
+/// Runs `plan`; returns (output log, stats) when no iteration panicked, or
+/// the output log alone when the expected panic propagated.
+fn run_ring_plan(
+    plan: &RingPlan,
+    workers: usize,
+    options: PipeOptions,
+) -> (Vec<u64>, Option<piper::PipeStats>) {
+    let pool = ThreadPool::new(workers);
+    let output = Arc::new(Mutex::new(Vec::new()));
+    let nodes_run = Arc::new(AtomicU64::new(0));
+    let expects_panic = plan.panics.iter().any(|p| *p);
+
+    let plan_arc = Arc::new(plan.clone());
+    let out = Arc::clone(&output);
+    let counter = Arc::clone(&nodes_run);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.pipe_while(options, move |i| {
+            let index = i as usize;
+            if index >= plan_arc.iterations.len() {
+                return Stage0::Stop;
+            }
+            let nodes = plan_arc.iterations[index].clone();
+            let first = &nodes[0];
+            let (first_stage, first_wait) = (first.stage, first.wait);
+            Stage0::into_stage(
+                RingIteration {
+                    index: i,
+                    nodes,
+                    position: 0,
+                    panics: plan_arc.panics[index],
+                    output: Arc::clone(&out),
+                    nodes_run: Arc::clone(&counter),
+                },
+                first_stage,
+                first_wait,
+            )
+        })
+    }));
+
+    let log = output.lock().unwrap().clone();
+    match result {
+        Ok(stats) => {
+            assert!(!expects_panic, "a planned panic did not propagate");
+            assert_eq!(stats.iterations, plan.iterations.len() as u64);
+            (log, Some(stats))
+        }
+        Err(_) => {
+            assert!(expects_panic, "unplanned panic escaped the pipeline");
+            // The pool must stay usable after a drained panic.
+            assert_eq!(pool.install(|| 41 + 1), 42);
+            (log, None)
+        }
+    }
+}
+
+/// The K values the ring must survive: degenerate (1), tiny, odd, and the
+/// paper's default 4·P.
+fn throttle_windows(workers: usize) -> [usize; 4] {
+    [1, 2, 3, 4 * workers]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_reuse_preserves_order_and_space_bound(
+        plan in plan_strategy(12),
+        workers in 1usize..4,
+    ) {
+        let mut no_panics = plan.clone();
+        no_panics.panics.iter_mut().for_each(|p| *p = false);
+        let n = no_panics.iterations.len() as u64;
+        for k in throttle_windows(workers) {
+            let (log, stats) = run_ring_plan(&no_panics, workers, PipeOptions::with_throttle(k));
+            let stats = stats.expect("panic-free plan must return stats");
+            // Outputs of the common serial final stage are in order.
+            prop_assert_eq!(&log, &(0..n).collect::<Vec<_>>());
+            // Theorem 11: live iterations bounded by the throttle window.
+            prop_assert!(stats.peak_active_iterations <= k as u64);
+            // Frame recycling: allocations bounded by K, all later
+            // iterations reuse.
+            prop_assert!(stats.frame_allocations <= k as u64);
+            prop_assert_eq!(stats.frame_reuses, n.saturating_sub(k as u64));
+        }
+    }
+
+    #[test]
+    fn ring_survives_panicking_iterations(
+        plan in plan_strategy(10),
+        workers in 1usize..4,
+    ) {
+        for k in throttle_windows(workers) {
+            let (log, _) = run_ring_plan(&plan, workers, PipeOptions::with_throttle(k));
+            // Exactly the non-panicking iterations emit output (a panic
+            // kills its iteration before the output stage), each once.
+            let mut expected: Vec<u64> = plan
+                .panics
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !**p)
+                .map(|(i, _)| i as u64)
+                .collect();
+            let mut sorted = log.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &expected);
+            // Up to the first panicking iteration the serial output chain
+            // is unbroken, so those iterations must appear in order
+            // *relative to each other* (iterations after the panic may
+            // interleave anywhere: the panic completes its iteration early,
+            // releasing its successor's output edge immediately).
+            let first_panic = plan.panics.iter().position(|p| *p).unwrap_or(plan.panics.len());
+            expected.truncate(first_panic);
+            let pre_panic: Vec<u64> = log
+                .iter()
+                .copied()
+                .filter(|&i| i < first_panic as u64)
+                .collect();
+            prop_assert_eq!(&pre_panic, &expected);
+        }
+    }
+
+    #[test]
+    fn ring_matches_under_all_optimization_switches(
+        plan in plan_strategy(10),
+        workers in 1usize..4,
+    ) {
+        let mut no_panics = plan.clone();
+        no_panics.panics.iter_mut().for_each(|p| *p = false);
+        let n = no_panics.iterations.len() as u64;
+        for options in [
+            PipeOptions::with_throttle(2),
+            PipeOptions::with_throttle(2).lazy_enabling(false),
+            PipeOptions::with_throttle(2).dependency_folding(false),
+            PipeOptions::with_throttle(2).lazy_enabling(false).dependency_folding(false),
+        ] {
+            let (log, stats) = run_ring_plan(&no_panics, workers, options);
+            prop_assert_eq!(&log, &(0..n).collect::<Vec<_>>());
+            prop_assert!(stats.expect("no panic").peak_active_iterations <= 2);
+        }
+    }
+}
+
+/// The acceptance criterion for the recycled ring: a long pipeline performs
+/// no per-iteration frame allocation — after warm-up the allocation counter
+/// stays ≤ K while every further iteration recycles.
+#[test]
+fn hundred_thousand_iterations_allocate_at_most_k_frames() {
+    const N: u64 = 100_000;
+    const K: usize = 8;
+    struct TwoStage {
+        i: u64,
+        last: Arc<AtomicU64>,
+    }
+    impl PipelineIteration for TwoStage {
+        fn run_node(&mut self, stage: u64) -> NodeOutcome {
+            match stage {
+                1 => NodeOutcome::WaitFor(2),
+                2 => {
+                    self.last.store(self.i, Ordering::Relaxed);
+                    NodeOutcome::Done
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    let pool = ThreadPool::new(2);
+    let last = Arc::new(AtomicU64::new(u64::MAX));
+    let sink = Arc::clone(&last);
+    let stats = pool.pipe_while(PipeOptions::with_throttle(K), move |i| {
+        if i == N {
+            return Stage0::Stop;
+        }
+        Stage0::wait(TwoStage {
+            i,
+            last: Arc::clone(&sink),
+        })
+    });
+    assert_eq!(stats.iterations, N);
+    assert_eq!(
+        last.load(Ordering::Relaxed),
+        N - 1,
+        "final serial stage ran in order"
+    );
+    assert!(
+        stats.frame_allocations <= K as u64,
+        "steady state must not allocate frames: {} allocations for {N} iterations",
+        stats.frame_allocations
+    );
+    assert_eq!(stats.frame_reuses, N - K as u64);
+    assert!(stats.peak_active_iterations <= K as u64);
+}
+
+/// `K = 1` degenerates to serial execution: the throttling edge orders
+/// every iteration entirely after its predecessor, including slot reuse.
+#[test]
+fn throttle_of_one_is_fully_serial() {
+    let pool = ThreadPool::new(3);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    struct Logger {
+        i: u64,
+        log: Arc<Mutex<Vec<u64>>>,
+    }
+    impl PipelineIteration for Logger {
+        fn run_node(&mut self, stage: u64) -> NodeOutcome {
+            self.log.lock().unwrap().push(self.i * 10 + stage);
+            if stage < 3 {
+                NodeOutcome::ContinueTo(stage + 1)
+            } else {
+                NodeOutcome::Done
+            }
+        }
+    }
+    let sink = Arc::clone(&log);
+    let stats = pool.pipe_while(PipeOptions::with_throttle(1), move |i| {
+        if i == 50 {
+            return Stage0::Stop;
+        }
+        Stage0::proceed(Logger {
+            i,
+            log: Arc::clone(&sink),
+        })
+    });
+    assert_eq!(stats.peak_active_iterations, 1);
+    let expected: Vec<u64> = (0..50u64)
+        .flat_map(|i| (1..=3u64).map(move |s| i * 10 + s))
+        .collect();
+    assert_eq!(*log.lock().unwrap(), expected);
+}

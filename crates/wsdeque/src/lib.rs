@@ -25,5 +25,5 @@ pub mod rng;
 
 pub use deque::{deque, Steal, Stealer, Worker};
 pub use injector::Injector;
-pub use parker::Parker;
+pub use parker::{Backoff, Parker};
 pub use rng::XorShift64;

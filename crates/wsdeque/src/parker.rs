@@ -1,4 +1,5 @@
-//! A simple condvar-based parker for idle workers.
+//! A simple condvar-based parker for idle workers, plus the bounded
+//! spin-then-park [`Backoff`] that decides *when* to use it.
 //!
 //! When a PIPER worker finds no work (its deque is empty, the injector is
 //! empty, and a round of random steal attempts failed), it parks on its
@@ -6,9 +7,70 @@
 //! Unpark "permits" are sticky: an unpark delivered before the park call is
 //! not lost, which prevents missed-wakeup deadlocks in the scheduler's
 //! sleep/wake protocol.
+//!
+//! Parking is a syscall-heavy operation (mutex + condvar + scheduler), so a
+//! worker that parks the instant its steal round fails will thrash
+//! park/unpark on fine-grained pipelines, where new nodes are enabled every
+//! few hundred nanoseconds. [`Backoff`] bounds that: a short exponential
+//! spin, then a few sched-yields, and only then does the idle loop fall
+//! back to the condvar.
 
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+/// Bounded exponential backoff for idle loops: spin (with exponentially
+/// more `spin_loop` hints), then yield to the OS scheduler, then report
+/// that the caller should park for real.
+///
+/// The limits mirror crossbeam's utils: spinning is capped at `2^6` hints
+/// per step so a completed backoff has burned on the order of a
+/// microsecond — comparable to the cost of one park/unpark cycle, which is
+/// the break-even point for falling back to the condvar.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Steps `0..=SPIN_LIMIT` busy-spin; beyond that, yield.
+    const SPIN_LIMIT: u32 = 6;
+    /// Steps `SPIN_LIMIT+1..=YIELD_LIMIT` yield; beyond that, the backoff
+    /// is completed and the caller should park.
+    const YIELD_LIMIT: u32 = 10;
+
+    /// A fresh backoff (next snooze is the cheapest spin).
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets the backoff; call after finding work.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Burns a short, exponentially growing amount of time. Once
+    /// [`is_completed`](Self::is_completed) is true, every further snooze
+    /// is a plain yield, so callers that cannot park (e.g. a worker
+    /// waiting on an external latch) may keep snoozing indefinitely.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once spinning and yielding are exhausted and the caller should
+    /// fall back to its parker.
+    pub fn is_completed(&self) -> bool {
+        self.step > Self::YIELD_LIMIT
+    }
+}
 
 /// A one-permit parker.
 #[derive(Debug, Default)]
@@ -95,6 +157,21 @@ mod tests {
         thread::sleep(Duration::from_millis(10));
         p.unpark();
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=Backoff::YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        // Completed backoffs may keep snoozing (they just yield).
+        b.snooze();
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
     }
 
     #[test]
