@@ -1,0 +1,389 @@
+//! Load generator for the `pipeserve` multi-tenant pipeline executor
+//! (`BENCH_pipeserve.json` trajectory).
+//!
+//! Drives a mixed fleet of dedup / ferret / x264 / pipe-fib jobs through a
+//! single [`pipeserve::PipeService`] at several open-loop arrival rates and
+//! reports, per rate:
+//!
+//! * **throughput** (completed jobs per second of wall clock),
+//! * **job latency** p50 / p99 (submit → terminal state, measured at the
+//!   moment the job finishes),
+//! * **rejection rate** (backpressure: bounded queue + frame budget),
+//! * the service's aggregate counters (admitted, completed, peak queue
+//!   depth, peak frame usage).
+//!
+//! Every completed job's output is verified against the workload's serial
+//! reference, so a scheduling bug cannot hide behind good numbers. The
+//! results are written to `BENCH_pipeserve.json` (override with
+//! `PIPESERVE_BENCH_OUT`).
+//!
+//! Flags / environment:
+//!
+//! * `--quick` (or `PIPESERVE_BENCH_QUICK=1`) — seconds-scale smoke run
+//!   (used by CI);
+//! * `--fail-on-rejections` — exit non-zero if the *lowest* (smoke)
+//!   arrival rate rejected any job: at the smoke rate the service must
+//!   absorb the full offered load.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pipe_bench::Table;
+use piper::PipeOptions;
+use pipeserve::{JobHandle, JobSpec, PipeService, Priority};
+
+/// Per-job verification: checks the completed job's output against the
+/// serial reference for its workload type.
+type Verifier = Box<dyn FnOnce() -> Result<(), String> + Send>;
+
+/// Expected outputs, computed once from the serial references.
+struct Mix {
+    dedup_config: workloads::dedup::DedupConfig,
+    dedup_input: Vec<u8>,
+    dedup_expected: workloads::dedup::Archive,
+    ferret_config: workloads::ferret::FerretConfig,
+    ferret_index: Arc<workloads::ferret::Index>,
+    ferret_expected: workloads::ferret::FerretOutput,
+    x264_config: workloads::x264::X264Config,
+    x264_expected: workloads::x264::X264Output,
+    fib_config: workloads::pipefib::PipeFibConfig,
+    fib_expected: Vec<u8>,
+}
+
+impl Mix {
+    fn prepare() -> Mix {
+        let dedup_config = workloads::dedup::DedupConfig::tiny();
+        let dedup_input = dedup_config.generate_input();
+        let dedup_expected = workloads::dedup::run_serial(&dedup_config, &dedup_input);
+        let ferret_config = workloads::ferret::FerretConfig::tiny();
+        let ferret_index = workloads::ferret::build_index(&ferret_config);
+        let ferret_expected = workloads::ferret::run_serial(&ferret_config, &ferret_index);
+        let x264_config = workloads::x264::X264Config::tiny();
+        let x264_expected = workloads::x264::run_serial(&x264_config);
+        let fib_config = workloads::pipefib::PipeFibConfig::tiny();
+        let fib_expected = workloads::pipefib::run_serial(&fib_config);
+        Mix {
+            dedup_config,
+            dedup_input,
+            dedup_expected,
+            ferret_config,
+            ferret_index,
+            ferret_expected,
+            x264_config,
+            x264_expected,
+            fib_config,
+            fib_expected,
+        }
+    }
+
+    /// The `i`-th job of the fleet: cycles through the four workloads and
+    /// the three priority classes.
+    fn job(&self, i: usize) -> (&'static str, JobSpec, Verifier) {
+        let priority = [Priority::Interactive, Priority::Normal, Priority::Batch][i % 3];
+        let options = PipeOptions::with_throttle(4);
+        match i % 4 {
+            0 => {
+                let (launch, sink) =
+                    workloads::dedup::piper_launch(&self.dedup_config, &self.dedup_input);
+                let expected = self.dedup_expected.clone();
+                let verify: Verifier = Box::new(move || {
+                    if *sink.lock().unwrap() == expected {
+                        Ok(())
+                    } else {
+                        Err("dedup archive mismatch".into())
+                    }
+                });
+                (
+                    "dedup",
+                    JobSpec::from_launch(options, launch)
+                        .named("dedup")
+                        .priority(priority),
+                    verify,
+                )
+            }
+            1 => {
+                let (launch, sink) =
+                    workloads::ferret::piper_launch(&self.ferret_config, &self.ferret_index);
+                let expected = self.ferret_expected.clone();
+                let verify: Verifier = Box::new(move || {
+                    if *sink.lock().unwrap() == expected {
+                        Ok(())
+                    } else {
+                        Err("ferret ranking mismatch".into())
+                    }
+                });
+                (
+                    "ferret",
+                    JobSpec::from_launch(options, launch)
+                        .named("ferret")
+                        .priority(priority),
+                    verify,
+                )
+            }
+            2 => {
+                let (launch, sink) = workloads::x264::piper_launch(&self.x264_config);
+                let expected = self.x264_expected.clone();
+                let verify: Verifier = Box::new(move || {
+                    if *sink.lock().unwrap() == expected {
+                        Ok(())
+                    } else {
+                        Err("x264 output mismatch".into())
+                    }
+                });
+                (
+                    "x264",
+                    JobSpec::from_launch(options, launch)
+                        .named("x264")
+                        .priority(priority),
+                    verify,
+                )
+            }
+            _ => {
+                let (launch, extract) = workloads::pipefib::piper_launch(&self.fib_config);
+                let expected = self.fib_expected.clone();
+                let verify: Verifier = Box::new(move || {
+                    if extract() == expected {
+                        Ok(())
+                    } else {
+                        Err("pipe-fib bits mismatch".into())
+                    }
+                });
+                (
+                    "pipefib",
+                    JobSpec::from_launch(options, launch)
+                        .named("pipefib")
+                        .priority(priority),
+                    verify,
+                )
+            }
+        }
+    }
+}
+
+/// Results of one arrival-rate run.
+struct RunResult {
+    rate: f64,
+    offered: usize,
+    rejected: u64,
+    completed: u64,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    peak_queue_depth: u64,
+    peak_frames_in_use: u64,
+}
+
+impl RunResult {
+    fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"arrival_rate_jobs_per_s\": {:.1},\n",
+                "      \"offered_jobs\": {},\n",
+                "      \"rejected_jobs\": {},\n",
+                "      \"rejection_rate\": {:.4},\n",
+                "      \"completed_jobs\": {},\n",
+                "      \"wall_s\": {:.4},\n",
+                "      \"throughput_jobs_per_s\": {:.1},\n",
+                "      \"latency_p50_ms\": {:.3},\n",
+                "      \"latency_p99_ms\": {:.3},\n",
+                "      \"peak_queue_depth\": {},\n",
+                "      \"peak_frames_in_use\": {}\n",
+                "    }}"
+            ),
+            self.rate,
+            self.offered,
+            self.rejected,
+            self.rejection_rate(),
+            self.completed,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.peak_queue_depth,
+            self.peak_frames_in_use,
+        )
+    }
+}
+
+/// Submits `offered` mixed jobs at `rate` jobs/s (open loop) and waits for
+/// the fleet to drain.
+fn run_at_rate(
+    mix: &Mix,
+    rate: f64,
+    offered: usize,
+    workers: usize,
+    max_queue: usize,
+) -> RunResult {
+    let service = PipeService::builder()
+        .num_threads(workers)
+        .max_queue(max_queue)
+        .build();
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut handles: Vec<(JobHandle, Verifier, &'static str)> = Vec::with_capacity(offered);
+    let mut rejected = 0u64;
+    for i in 0..offered {
+        // Open-loop arrivals: stick to the absolute schedule even if
+        // submission itself lags.
+        let due = start + interval.mul_f64(i as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let (kind, spec, verify) = mix.job(i);
+        match service.submit(spec) {
+            Ok(handle) => handles.push((handle, verify, kind)),
+            Err(_) => rejected += 1,
+        }
+    }
+    // Join everything first and stop the wall clock before running the
+    // serial output verification, so the published throughput measures the
+    // service, not the harness's reference comparisons.
+    let mut latencies_ms = Vec::with_capacity(handles.len());
+    let mut completed = 0u64;
+    let mut verifiers: Vec<(Verifier, &'static str)> = Vec::with_capacity(handles.len());
+    for (handle, verify, kind) in handles {
+        let result = handle.join();
+        if !result.is_completed() {
+            eprintln!("ERROR: {kind} job ended as {result:?}");
+            std::process::exit(1);
+        }
+        completed += 1;
+        latencies_ms.push(
+            handle
+                .latency()
+                .expect("joined job has a latency")
+                .as_secs_f64()
+                * 1e3,
+        );
+        verifiers.push((verify, kind));
+    }
+    service.drain();
+    let wall = start.elapsed();
+    for (verify, kind) in verifiers {
+        if let Err(msg) = verify() {
+            eprintln!("ERROR: {kind} job verification failed: {msg}");
+            std::process::exit(1);
+        }
+    }
+    let m = service.metrics();
+    RunResult {
+        rate,
+        offered,
+        rejected,
+        completed,
+        wall,
+        latencies_ms,
+        peak_queue_depth: m.peak_queue_depth,
+        peak_frames_in_use: m.peak_frames_in_use,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("PIPESERVE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let fail_on_rejections = args.iter().any(|a| a == "--fail-on-rejections");
+    let out_path =
+        std::env::var("PIPESERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeserve.json".to_string());
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mix = Mix::prepare();
+
+    // The lowest rate is the smoke rate: the service must absorb it without
+    // rejections. The higher rates probe saturation, where backpressure
+    // (nonzero rejections) is acceptable — quick mode keeps the queue small
+    // enough that its overload rate can actually overflow it, so the
+    // rejection machinery (and CI's --fail-on-rejections tripwire) is
+    // exercised for real, not vacuously.
+    let (rates, offered, max_queue): (Vec<f64>, usize, usize) = if quick {
+        (vec![50.0, 1000.0], 80, 16)
+    } else {
+        (vec![100.0, 500.0, 2000.0], 400, 256)
+    };
+
+    let mut runs = Vec::new();
+    for &rate in &rates {
+        println!("running {offered} mixed jobs at {rate:.0} jobs/s ...");
+        runs.push(run_at_rate(&mix, rate, offered, workers, max_queue));
+    }
+
+    let mut table = Table::new(&[
+        "rate (j/s)",
+        "offered",
+        "rejected",
+        "completed",
+        "thru (j/s)",
+        "p50 (ms)",
+        "p99 (ms)",
+        "peak q",
+        "peak frames",
+    ]);
+    for r in &runs {
+        table.row(vec![
+            format!("{:.0}", r.rate),
+            r.offered.to_string(),
+            r.rejected.to_string(),
+            r.completed.to_string(),
+            format!("{:.1}", r.throughput()),
+            format!("{:.2}", r.percentile(0.5)),
+            format!("{:.2}", r.percentile(0.99)),
+            r.peak_queue_depth.to_string(),
+            r.peak_frames_in_use.to_string(),
+        ]);
+    }
+    println!("pipeserve_load — mixed dedup/ferret/x264/pipe-fib fleet on {workers} workers");
+    println!("{}", table.render());
+
+    let run_json: Vec<String> = runs.iter().map(RunResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeserve_load\",\n",
+            "  \"quick\": {},\n",
+            "  \"host_workers\": {},\n",
+            "  \"job_mix\": [\"dedup\", \"ferret\", \"x264\", \"pipefib\"],\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick,
+        workers,
+        run_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if fail_on_rejections {
+        let smoke = &runs[0];
+        if smoke.rejected > 0 {
+            eprintln!(
+                "ERROR: smoke arrival rate ({:.0} jobs/s) rejected {} of {} jobs",
+                smoke.rate, smoke.rejected, smoke.offered
+            );
+            std::process::exit(1);
+        }
+    }
+}

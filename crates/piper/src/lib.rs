@@ -55,6 +55,7 @@ mod pool;
 pub use forkjoin::{join, scope, Scope};
 pub use metrics::{Metrics, MetricsSnapshot, PipeStats};
 pub use pipeline::{
-    pipe_while, NodeOutcome, PipeOptions, PipelineIteration, Stage0, StageKind, StagedPipeline,
+    pipe_while, spawn_pipe, NodeOutcome, PipeHandle, PipeOptions, PipelineIteration, Stage0,
+    StageKind, StagedPipeline,
 };
 pub use pool::{PoolBuilder, ThreadPool};

@@ -43,6 +43,13 @@ pub struct Metrics {
     pub frame_allocations: AtomicU64,
     /// Iterations served by recycling an already-allocated ring slot.
     pub frame_reuses: AtomicU64,
+    /// Pipelines launched on this pool (`pipe_while` + `spawn_pipe`).
+    pub pipes_started: AtomicU64,
+    /// Pipelines that ran to full completion (including cancelled pipelines
+    /// once they finish draining).
+    pub pipes_completed: AtomicU64,
+    /// Pipelines whose handle requested cooperative cancellation.
+    pub pipes_cancelled: AtomicU64,
 }
 
 impl Metrics {
@@ -72,6 +79,9 @@ impl Metrics {
             tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
             frame_allocations: self.frame_allocations.load(Ordering::Relaxed),
             frame_reuses: self.frame_reuses.load(Ordering::Relaxed),
+            pipes_started: self.pipes_started.load(Ordering::Relaxed),
+            pipes_completed: self.pipes_completed.load(Ordering::Relaxed),
+            pipes_cancelled: self.pipes_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +116,12 @@ pub struct MetricsSnapshot {
     pub frame_allocations: u64,
     /// Iterations served by recycling a ring slot.
     pub frame_reuses: u64,
+    /// Pipelines launched (`pipe_while` + `spawn_pipe`).
+    pub pipes_started: u64,
+    /// Pipelines that ran to full completion.
+    pub pipes_completed: u64,
+    /// Pipelines with a cooperative-cancellation request.
+    pub pipes_cancelled: u64,
 }
 
 impl MetricsSnapshot {
@@ -135,6 +151,9 @@ impl MetricsSnapshot {
                 .frame_allocations
                 .saturating_sub(earlier.frame_allocations),
             frame_reuses: self.frame_reuses.saturating_sub(earlier.frame_reuses),
+            pipes_started: self.pipes_started.saturating_sub(earlier.pipes_started),
+            pipes_completed: self.pipes_completed.saturating_sub(earlier.pipes_completed),
+            pipes_cancelled: self.pipes_cancelled.saturating_sub(earlier.pipes_cancelled),
         }
     }
 }

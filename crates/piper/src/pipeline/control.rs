@@ -62,8 +62,26 @@ pub(crate) struct ControlCore {
     pub(crate) next_iteration: AtomicU64,
     /// Set once the producer has returned `Stage0::Stop` (or panicked).
     pub(crate) producer_done: AtomicBool,
+    /// Cooperative-cancellation request flag (see [`Self::cancel`]).
+    pub(crate) cancelled: AtomicBool,
     /// Set when the whole pipeline (producer + all iterations) has finished.
     completion: SpinLatch,
+    /// Strong reference keeping the control frame alive while the pipeline
+    /// runs. A parked control token exists *only* as the `Weak` in the
+    /// ring, so without this anchor a detached pipeline whose last
+    /// scheduled control task was consumed (parking returns `None` and
+    /// drops the task's `Arc`) could never be revived — the retiring
+    /// iteration's `Weak::upgrade` would fail and the token would be lost.
+    /// (`pipe_while` was immune only because its stack frame holds a strong
+    /// ref for the whole blocking call.) This is a deliberate
+    /// `control → ring → control` cycle; `maybe_complete` breaks it exactly
+    /// once, at completion.
+    control_task: Mutex<Option<Arc<dyn ControlTask>>>,
+    /// Callbacks fired exactly once, when the pipeline fully completes
+    /// (detached pipelines use these for non-blocking join and service-side
+    /// bookkeeping). Guarded by the completion protocol of
+    /// [`Self::maybe_complete`]/[`Self::add_completion_hook`].
+    completion_hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
     /// First panic raised by the producer or any node.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     // Per-pipeline statistics (see `PipeStats`).
@@ -93,7 +111,10 @@ impl ControlCore {
             control_status: AtomicU8::new(CONTROL_RUNNABLE),
             next_iteration: AtomicU64::new(0),
             producer_done: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             completion: SpinLatch::new(),
+            control_task: Mutex::new(None),
+            completion_hooks: Mutex::new(Vec::new()),
             panic: Mutex::new(None),
             iterations: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
@@ -132,10 +153,54 @@ impl ControlCore {
     /// the control side and the `active` decrement + `producer_done` load
     /// on the completing-iteration side form a store→load pattern; at
     /// least one caller must observe the terminal state.)
+    /// Anchors the control frame for the pipeline's lifetime (see the
+    /// `control_task` field). Called once, right after construction.
+    pub(crate) fn set_control_task(&self, task: Arc<dyn ControlTask>) {
+        *self.control_task.lock().unwrap() = Some(task);
+    }
+
     pub(crate) fn maybe_complete(&self) {
         if self.producer_done.load(Ordering::SeqCst) && self.active.load(Ordering::SeqCst) == 0 {
             self.completion.set();
+            // Break the control → ring → control cycle now that nothing can
+            // need to reschedule the control frame again.
+            self.control_task.lock().unwrap().take();
+            // Fire the completion hooks exactly once: the latch is set
+            // *before* the hook list is drained, and `add_completion_hook`
+            // re-checks the latch under the same mutex, so a hook registered
+            // concurrently with completion either lands in the list we
+            // drain here or runs immediately on the registering thread.
+            let hooks = std::mem::take(&mut *self.completion_hooks.lock().unwrap());
+            for hook in hooks {
+                hook();
+            }
         }
+    }
+
+    /// Registers a callback to run when the pipeline fully completes
+    /// (producer stopped and every iteration drained). If the pipeline has
+    /// already completed, the callback runs immediately on this thread.
+    pub(crate) fn add_completion_hook(&self, hook: Box<dyn FnOnce() + Send>) {
+        let mut hooks = self.completion_hooks.lock().unwrap();
+        if self.completion.probe() {
+            drop(hooks);
+            hook();
+        } else {
+            hooks.push(hook);
+        }
+    }
+
+    /// Requests cooperative cancellation: the control frame stops producing
+    /// new iterations at its next step (i.e. within one iteration frame) and
+    /// the pipeline drains its in-flight iterations cleanly. Returns true if
+    /// this call was the first cancellation request.
+    pub(crate) fn cancel(&self) -> bool {
+        !self.cancelled.swap(true, Ordering::AcqRel)
+    }
+
+    /// True if cancellation has been requested.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Collects the pipeline statistics.
@@ -193,6 +258,11 @@ where
         shared
             .ring
             .set_control(Arc::downgrade(&(shared.clone() as Arc<dyn ControlTask>)));
+        // Keep the control frame alive until the pipeline completes, no
+        // matter how the caller holds (or drops) its handles.
+        shared
+            .core
+            .set_control_task(shared.clone() as Arc<dyn ControlTask>);
         shared
     }
 
@@ -217,6 +287,19 @@ where
 {
     fn control_step(self: Arc<Self>, worker: &WorkerThread) -> Option<Task> {
         let core = &self.core;
+
+        // Cooperative cancellation: checked once per control step, i.e. a
+        // cancel request is observed before the next iteration would start
+        // (at most one iteration-frame of delay). The loop simply stops
+        // producing; in-flight iterations drain through the normal
+        // completion path, which keeps every invariant of the ring.
+        if core.is_cancelled() && !core.producer_done.load(Ordering::SeqCst) {
+            let mut prod = self.producer.lock().unwrap();
+            if prod.producer.is_some() {
+                self.finish_loop(&mut prod);
+            }
+            return None;
+        }
 
         // Throttling gate (paper, Section 9): iteration `i` may not start
         // before iteration `i - K` has completed — which is exactly the

@@ -1,0 +1,385 @@
+//! Detached pipeline execution: [`spawn_pipe`] and [`PipeHandle`].
+//!
+//! [`pipe_while`](super::pipe_while) blocks the calling thread until the
+//! pipeline drains, which is the right shape for reproducing the paper's
+//! figures but not for a long-lived service that multiplexes many pipelines
+//! over one pool (the `pipeserve` crate). This module provides the
+//! non-blocking launch: the control frame is injected into the pool and a
+//! [`PipeHandle`] is returned immediately. The handle supports
+//!
+//! * [`join`](PipeHandle::join) — block until the pipeline completes and
+//!   return its [`PipeStats`] (or the first panic payload);
+//! * [`try_join`](PipeHandle::try_join) / [`is_finished`](PipeHandle::is_finished)
+//!   — non-blocking status probes;
+//! * [`cancel`](PipeHandle::cancel) — cooperative cancellation: the control
+//!   frame observes the request at its next step (at most one iteration
+//!   frame later), stops producing, and the in-flight iterations drain
+//!   through the normal completion path so no frame is leaked;
+//! * [`on_complete`](PipeHandle::on_complete) — a completion callback, used
+//!   by `pipeserve` for frame-budget accounting and job-table updates.
+//!
+//! Any number of detached pipelines may be in flight on one pool; each is
+//! bounded by its own throttle window `K` (its recycled-frame ring), and the
+//! work-stealing substrate interleaves their nodes.
+
+use std::sync::Arc;
+
+use crate::latch::{Latch, LockLatch};
+use crate::metrics::{Metrics, PipeStats};
+use crate::pool::{Registry, Task, ThreadPool, WorkerThread};
+
+use super::{PipeOptions, PipelineIteration, Stage0};
+
+/// A handle on a detached pipeline launched with [`spawn_pipe`].
+///
+/// Dropping the handle does **not** cancel the pipeline: it keeps running to
+/// completion on the pool (its iteration frames are owned by the ring, not
+/// by the handle, so nothing leaks). The pool must outlive the pipeline's
+/// execution; dropping the [`ThreadPool`] drains all outstanding detached
+/// pipelines before its workers exit.
+///
+/// The handle is cheaply cloneable; clones observe the same pipeline
+/// (cancellation is shared, and the first panic payload goes to whichever
+/// clone joins first).
+pub struct PipeHandle {
+    core: Arc<super::control::ControlCore>,
+    registry: Arc<Registry>,
+    done: Arc<LockLatch>,
+}
+
+impl Clone for PipeHandle {
+    fn clone(&self) -> Self {
+        PipeHandle {
+            core: Arc::clone(&self.core),
+            registry: Arc::clone(&self.registry),
+            done: Arc::clone(&self.done),
+        }
+    }
+}
+
+impl PipeHandle {
+    /// True once every iteration has completed and the producer has stopped
+    /// (normally, by panic, or after cancellation).
+    pub fn is_finished(&self) -> bool {
+        self.core.completion_latch().probe()
+    }
+
+    /// Requests cooperative cancellation. The control frame stops spawning
+    /// iterations at its next step — i.e. within one iteration frame — and
+    /// in-flight iterations drain cleanly. Idempotent.
+    pub fn cancel(&self) {
+        if self.core.cancel() {
+            Metrics::bump(&self.registry.metrics.pipes_cancelled);
+        }
+        // Make sure a sleeping pool observes the request promptly.
+        self.registry.wake_workers();
+    }
+
+    /// True if cancellation has been requested (the pipeline may still be
+    /// draining; combine with [`is_finished`](Self::is_finished)).
+    pub fn is_cancelled(&self) -> bool {
+        self.core.is_cancelled()
+    }
+
+    /// A live snapshot of the pipeline's statistics. Counters are monotone;
+    /// after [`is_finished`](Self::is_finished) returns true the snapshot is
+    /// final.
+    pub fn stats(&self) -> PipeStats {
+        self.core.stats()
+    }
+
+    /// Returns the final statistics if the pipeline has completed, without
+    /// blocking.
+    pub fn try_join(&self) -> Option<PipeStats> {
+        if self.is_finished() {
+            Some(self.core.stats())
+        } else {
+            None
+        }
+    }
+
+    /// Registers a callback to run when the pipeline completes. If it has
+    /// already completed, the callback runs immediately on this thread.
+    pub fn on_complete(&self, hook: impl FnOnce() + Send + 'static) {
+        self.core.add_completion_hook(Box::new(hook));
+    }
+
+    /// Blocks until the pipeline completes. A worker of the same pool helps
+    /// execute pool work while it waits (so joining from inside a stage of
+    /// another pipeline cannot deadlock); an external thread blocks on a
+    /// condvar.
+    pub fn wait(&self) {
+        if let Some(worker) = WorkerThread::current() {
+            if Arc::ptr_eq(worker.registry(), &self.registry) {
+                worker.wait_until(self.core.completion_latch());
+                return;
+            }
+        }
+        self.done.wait();
+    }
+
+    /// Blocks until the pipeline completes and returns its statistics, or
+    /// the payload of the first panic raised by the producer or a node.
+    ///
+    /// A cancelled pipeline completes *normally* with the statistics of the
+    /// iterations that ran; use [`is_cancelled`](Self::is_cancelled) to
+    /// distinguish.
+    pub fn join(self) -> std::thread::Result<PipeStats> {
+        self.wait();
+        match self.core.take_panic() {
+            Some(payload) => Err(payload),
+            None => Ok(self.core.stats()),
+        }
+    }
+}
+
+impl std::fmt::Debug for PipeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeHandle")
+            .field("finished", &self.is_finished())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// Launches an on-the-fly pipeline on `pool` without blocking: the control
+/// frame is injected into the pool's scheduler and a [`PipeHandle`] is
+/// returned immediately. See [`pipe_while`](super::pipe_while) for the
+/// programming model; `producer` and the iteration type behave identically.
+pub fn spawn_pipe<F, I>(pool: &ThreadPool, options: PipeOptions, producer: F) -> PipeHandle
+where
+    F: FnMut(u64) -> Stage0<I> + Send + 'static,
+    I: PipelineIteration,
+{
+    let (shared, core) = super::prepare_pipeline(pool, &options, producer);
+    let registry = Arc::clone(pool.registry());
+    let done = Arc::new(LockLatch::new());
+    {
+        let done = Arc::clone(&done);
+        core.add_completion_hook(Box::new(move || done.set()));
+    }
+    registry.inject(Task::Control(shared));
+    PipeHandle {
+        core,
+        registry,
+        done,
+    }
+}
+
+impl ThreadPool {
+    /// Method form of [`spawn_pipe`].
+    pub fn spawn_pipe<F, I>(&self, options: PipeOptions, producer: F) -> PipeHandle
+    where
+        F: FnMut(u64) -> Stage0<I> + Send + 'static,
+        I: PipelineIteration,
+    {
+        spawn_pipe(self, options, producer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{NodeOutcome, PipelineIteration, Stage0};
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    struct Push {
+        i: u64,
+        out: Arc<Mutex<Vec<u64>>>,
+    }
+
+    impl PipelineIteration for Push {
+        fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+            self.out.lock().unwrap().push(self.i);
+            NodeOutcome::Done
+        }
+    }
+
+    fn counting_producer(
+        n: u64,
+        out: Arc<Mutex<Vec<u64>>>,
+    ) -> impl FnMut(u64) -> Stage0<Push> + Send + 'static {
+        move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::wait(Push {
+                i,
+                out: Arc::clone(&out),
+            })
+        }
+    }
+
+    #[test]
+    fn spawn_and_join_returns_stats() {
+        let pool = ThreadPool::new(2);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let handle = pool.spawn_pipe(PipeOptions::default(), counting_producer(50, out.clone()));
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.iterations, 50);
+        assert_eq!(*out.lock().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_detached_pipelines_share_one_pool() {
+        let pool = ThreadPool::new(3);
+        let mut handles = Vec::new();
+        let mut outs = Vec::new();
+        for j in 0..6u64 {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            outs.push(Arc::clone(&out));
+            handles.push(pool.spawn_pipe(
+                PipeOptions::with_throttle(1 + j as usize % 3),
+                counting_producer(40 + j, out),
+            ));
+        }
+        for (j, h) in handles.into_iter().enumerate() {
+            let stats = h.join().unwrap();
+            assert_eq!(stats.iterations, 40 + j as u64);
+            assert_eq!(
+                *outs[j].lock().unwrap(),
+                (0..40 + j as u64).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn try_join_and_is_finished_track_completion() {
+        let pool = ThreadPool::new(2);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let handle = pool.spawn_pipe(PipeOptions::default(), counting_producer(20, out));
+        handle.wait();
+        assert!(handle.is_finished());
+        let stats = handle.try_join().expect("finished pipeline must report");
+        assert_eq!(stats.iterations, 20);
+    }
+
+    #[test]
+    fn cancel_stops_producing_within_one_frame() {
+        let pool = ThreadPool::new(2);
+        let produced = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicU64::new(0));
+
+        struct Spin {
+            gate: Arc<AtomicU64>,
+        }
+        impl PipelineIteration for Spin {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                // Park until the test releases us, so the pipeline is
+                // guaranteed to be mid-flight when cancel() arrives.
+                while self.gate.load(Ordering::Acquire) == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                NodeOutcome::Done
+            }
+        }
+
+        let p = Arc::clone(&produced);
+        let g = Arc::clone(&gate);
+        let handle = pool.spawn_pipe(PipeOptions::with_throttle(2), move |_i| {
+            p.fetch_add(1, Ordering::SeqCst);
+            Stage0::wait(Spin {
+                gate: Arc::clone(&g),
+            })
+        });
+        // Wait until at least one iteration has started.
+        while produced.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        gate.store(1, Ordering::Release);
+        let stats = handle.join().unwrap();
+        // The producer ran at most once more after the cancel was issued
+        // (the control frame observes the flag at its next step); with
+        // K = 2 the hard bound here is the throttle window itself.
+        assert!(
+            stats.iterations <= 3,
+            "cancel took too long: {} iterations ran",
+            stats.iterations
+        );
+        // Pool remains fully usable.
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let h = pool.spawn_pipe(PipeOptions::default(), counting_producer(10, out.clone()));
+        assert_eq!(h.join().unwrap().iterations, 10);
+    }
+
+    #[test]
+    fn panic_payload_is_returned_not_resumed() {
+        let pool = ThreadPool::new(2);
+        struct Boom;
+        impl PipelineIteration for Boom {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                panic!("detached boom");
+            }
+        }
+        let handle = pool.spawn_pipe(PipeOptions::default(), move |i| {
+            if i == 3 {
+                return Stage0::Stop;
+            }
+            Stage0::wait(Boom)
+        });
+        let err = handle.join().expect_err("panic must surface through join");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "detached boom");
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn on_complete_fires_exactly_once() {
+        let pool = ThreadPool::new(2);
+        let fired = Arc::new(AtomicU64::new(0));
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let handle = pool.spawn_pipe(PipeOptions::default(), counting_producer(30, out));
+        let f = Arc::clone(&fired);
+        handle.on_complete(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        handle.wait();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Registering after completion runs immediately.
+        let f2 = Arc::clone(&fired);
+        handle.on_complete(move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_from_inside_a_stage_helps_instead_of_deadlocking() {
+        // A pipeline stage that joins another detached pipeline on the same
+        // pool: the worker must help with pool work while waiting.
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        struct Nested {
+            pool: Arc<ThreadPool>,
+            total: Arc<AtomicU64>,
+        }
+        impl PipelineIteration for Nested {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                let out = Arc::new(Mutex::new(Vec::new()));
+                let inner = self
+                    .pool
+                    .spawn_pipe(PipeOptions::with_throttle(2), counting_producer(8, out));
+                let stats = inner.join().unwrap();
+                self.total.fetch_add(stats.iterations, Ordering::SeqCst);
+                NodeOutcome::Done
+            }
+        }
+        let p = Arc::clone(&pool);
+        let t = Arc::clone(&total);
+        let handle = pool.spawn_pipe(PipeOptions::default(), move |i| {
+            if i == 5 {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(Nested {
+                pool: Arc::clone(&p),
+                total: Arc::clone(&t),
+            })
+        });
+        handle.join().unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 5 * 8);
+    }
+}

@@ -76,8 +76,10 @@
 
 mod control;
 mod frame;
+mod handle;
 mod staged;
 
+pub use handle::{spawn_pipe, PipeHandle};
 pub use staged::{StageKind, StagedPipeline};
 
 use crate::metrics::PipeStats;
@@ -195,7 +197,16 @@ impl Default for PipeOptions {
 
 impl PipeOptions {
     /// Options with an explicit throttling limit `K`.
+    ///
+    /// `K = 0` is meaningless (a pipeline that may never start an
+    /// iteration): debug builds panic on it, release builds clamp it to 1
+    /// when the pipeline runs (see [`resolve_throttle`](Self::resolve_throttle)).
     pub fn with_throttle(k: usize) -> Self {
+        debug_assert!(
+            k >= 1,
+            "PipeOptions::with_throttle(0): the throttling limit K must be >= 1 \
+             (release builds clamp it to 1)"
+        );
         PipeOptions {
             throttle_limit: Some(k),
             ..Default::default()
@@ -203,9 +214,28 @@ impl PipeOptions {
     }
 
     /// Sets the throttling limit `K`.
+    ///
+    /// `K = 0` is meaningless: debug builds panic on it, release builds
+    /// clamp it to 1 when the pipeline runs.
     pub fn throttle(mut self, k: usize) -> Self {
+        debug_assert!(
+            k >= 1,
+            "PipeOptions::throttle(0): the throttling limit K must be >= 1 \
+             (release builds clamp it to 1)"
+        );
         self.throttle_limit = Some(k);
         self
+    }
+
+    /// The effective throttling limit for a pool with `num_threads` workers:
+    /// the explicit limit if one was set, else the paper's default `4·P`,
+    /// clamped to at least 1. This is also the number of recycled frame
+    /// slots the pipeline allocates — a pipeline-service admission
+    /// controller budgets on exactly this quantity.
+    pub fn resolve_throttle(&self, num_threads: usize) -> usize {
+        self.throttle_limit
+            .unwrap_or_else(|| 4 * num_threads)
+            .max(1)
     }
 
     /// Enables or disables lazy enabling.
@@ -233,24 +263,9 @@ where
     F: FnMut(u64) -> Stage0<I> + Send + 'static,
     I: PipelineIteration,
 {
-    let throttle = options
-        .throttle_limit
-        .unwrap_or_else(|| 4 * pool.num_threads())
-        .max(1);
-    let core = ControlCore::new(throttle, options.lazy_enabling, options.dependency_folding);
-    let shared = PipeShared::new(core, producer);
-    let core = shared.core_handle();
-    // Mirror the ring's one-time slot allocation into the pool-wide
-    // counters here (the ring is built on the calling thread, which may not
-    // be a worker), so the pool and per-pipe counters agree even for a
-    // pipeline whose producer stops immediately.
-    pool.registry()
-        .metrics
-        .frame_allocations
-        .fetch_add(throttle as u64, std::sync::atomic::Ordering::Relaxed);
-
+    let (shared, core) = prepare_pipeline(pool, &options, producer);
     pool.in_worker(|worker| {
-        worker.push(Task::Control(shared.clone()));
+        worker.push(Task::Control(shared));
         worker.wait_until(core.completion_latch());
     });
 
@@ -258,6 +273,44 @@ where
         std::panic::resume_unwind(payload);
     }
     core.stats()
+}
+
+/// Shared construction and pool-level accounting for both pipeline entry
+/// points ([`pipe_while`] and [`spawn_pipe`]): resolves the throttle
+/// window, builds the control frame + recycled ring, mirrors the one-time
+/// frame allocation into the pool counters (done here, on the calling
+/// thread, so the pool and per-pipe counters agree even for a pipeline
+/// whose producer stops immediately), and wires the
+/// `pipes_started`/`pipes_completed` bookkeeping.
+#[allow(clippy::type_complexity)]
+fn prepare_pipeline<F, I>(
+    pool: &ThreadPool,
+    options: &PipeOptions,
+    producer: F,
+) -> (
+    std::sync::Arc<PipeShared<F, I>>,
+    std::sync::Arc<ControlCore>,
+)
+where
+    F: FnMut(u64) -> Stage0<I> + Send + 'static,
+    I: PipelineIteration,
+{
+    let throttle = options.resolve_throttle(pool.num_threads());
+    let core = ControlCore::new(throttle, options.lazy_enabling, options.dependency_folding);
+    let shared = PipeShared::new(core, producer);
+    let core = shared.core_handle();
+    pool.registry()
+        .metrics
+        .frame_allocations
+        .fetch_add(throttle as u64, std::sync::atomic::Ordering::Relaxed);
+    crate::metrics::Metrics::bump(&pool.registry().metrics.pipes_started);
+    {
+        let registry = std::sync::Arc::clone(pool.registry());
+        core.add_completion_hook(Box::new(move || {
+            crate::metrics::Metrics::bump(&registry.metrics.pipes_completed);
+        }));
+    }
+    (shared, core)
 }
 
 impl ThreadPool {
@@ -321,6 +374,39 @@ mod tests {
         });
         let log = executed.lock().unwrap().clone();
         (log, stats)
+    }
+
+    /// Debug builds reject a zero throttle window loudly…
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "the throttling limit K must be >= 1")]
+    fn with_throttle_zero_debug_panics() {
+        let _ = PipeOptions::with_throttle(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "the throttling limit K must be >= 1")]
+    fn throttle_zero_debug_panics() {
+        let _ = PipeOptions::default().throttle(0);
+    }
+
+    /// …while release builds clamp it to 1 when the pipeline runs.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn throttle_zero_is_clamped_in_release() {
+        let opts = PipeOptions::with_throttle(0);
+        assert_eq!(opts.resolve_throttle(4), 1);
+        let pool = ThreadPool::new(2);
+        let (_, stats) = run_scripted(&pool, opts, 8, vec![NodeOutcome::Done], true);
+        assert_eq!(stats.iterations, 8);
+        assert_eq!(stats.peak_active_iterations, 1);
+    }
+
+    #[test]
+    fn resolve_throttle_defaults_to_four_p() {
+        assert_eq!(PipeOptions::default().resolve_throttle(4), 16);
+        assert_eq!(PipeOptions::with_throttle(3).resolve_throttle(4), 3);
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::sync::Arc;
 use crate::metrics::PipeStats;
 use crate::pool::ThreadPool;
 
-use super::{pipe_while, NodeOutcome, PipeOptions, PipelineIteration, Stage0};
+use super::{
+    pipe_while, spawn_pipe, NodeOutcome, PipeHandle, PipeOptions, PipelineIteration, Stage0,
+};
 
 /// Whether a stage has cross edges between adjacent iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,10 +85,12 @@ impl<T: Send + 'static> StagedPipeline<T> {
         self.stages.len()
     }
 
-    /// Runs the pipeline: `producer` is Stage 0 and is called serially until
-    /// it returns `None`; each produced item then flows through the added
-    /// stages. Blocks until every item has completed all stages.
-    pub fn run<P>(self, pool: &ThreadPool, options: PipeOptions, mut producer: P) -> PipeStats
+    /// Turns the stage list plus a feeder closure into a `pipe_while`
+    /// producer (Stage 0).
+    fn into_pipe_producer<P>(
+        self,
+        mut producer: P,
+    ) -> impl FnMut(u64) -> Stage0<StagedItem<T>> + Send + 'static
     where
         P: FnMut() -> Option<T> + Send + 'static,
     {
@@ -95,7 +99,7 @@ impl<T: Send + 'static> StagedPipeline<T> {
             "a StagedPipeline needs at least one stage besides the producer"
         );
         let stages: Arc<Vec<StageDef<T>>> = Arc::new(self.stages);
-        pipe_while(pool, options, move |_i| match producer() {
+        move |_i| match producer() {
             None => Stage0::Stop,
             Some(item) => {
                 let wait = stages[0].kind == StageKind::Serial;
@@ -108,7 +112,27 @@ impl<T: Send + 'static> StagedPipeline<T> {
                     wait,
                 }
             }
-        })
+        }
+    }
+
+    /// Runs the pipeline: `producer` is Stage 0 and is called serially until
+    /// it returns `None`; each produced item then flows through the added
+    /// stages. Blocks until every item has completed all stages.
+    pub fn run<P>(self, pool: &ThreadPool, options: PipeOptions, producer: P) -> PipeStats
+    where
+        P: FnMut() -> Option<T> + Send + 'static,
+    {
+        pipe_while(pool, options, self.into_pipe_producer(producer))
+    }
+
+    /// Non-blocking form of [`run`](Self::run): launches the pipeline as a
+    /// detached job and returns its [`PipeHandle`] immediately (see
+    /// [`spawn_pipe`]).
+    pub fn spawn<P>(self, pool: &ThreadPool, options: PipeOptions, producer: P) -> PipeHandle
+    where
+        P: FnMut() -> Option<T> + Send + 'static,
+    {
+        spawn_pipe(pool, options, self.into_pipe_producer(producer))
     }
 }
 

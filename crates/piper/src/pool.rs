@@ -129,7 +129,6 @@ impl WorkerThread {
         &self.registry
     }
 
-    #[allow(dead_code)]
     pub(crate) fn index(&self) -> usize {
         self.index
     }
@@ -309,7 +308,15 @@ impl PoolBuilder {
     }
 
     /// Sets the number of worker threads (`P` in the paper).
+    ///
+    /// `n = 0` is meaningless (a pool with no workers can never run
+    /// anything): debug builds panic on it, release builds clamp it to 1.
     pub fn num_threads(mut self, n: usize) -> Self {
+        debug_assert!(
+            n >= 1,
+            "PoolBuilder::num_threads(0): a pool needs at least one worker \
+             (release builds clamp it to 1)"
+        );
         self.num_threads = n.max(1);
         self
     }
@@ -484,11 +491,20 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.registry.terminating.store(true, Ordering::Release);
         self.registry.wake_workers();
-        // Keep nudging sleepers until all workers have exited: a worker that
-        // re-parks just after the wake would otherwise delay shutdown by one
-        // park timeout (bounded, but pointless).
+        // The pool can be dropped *from one of its own workers*: e.g. a
+        // detached pipeline's completion hook (running on a worker) holds
+        // the last strong reference to a service that owns the pool. Joining
+        // ourselves would EDEADLK, so that one handle is dropped instead —
+        // the thread exits cleanly on its own once it unwinds back to
+        // `main_loop` and observes `terminating`.
+        let self_index = WorkerThread::current()
+            .filter(|w| Arc::ptr_eq(w.registry(), &self.registry))
+            .map(|w| w.index());
         let handles = std::mem::take(&mut *self.handles.lock().unwrap());
-        for h in handles {
+        for (index, h) in handles.into_iter().enumerate() {
+            if Some(index) == self_index {
+                continue;
+            }
             let _ = h.join();
         }
     }
@@ -514,10 +530,20 @@ mod tests {
         drop(pool);
     }
 
+    /// Release builds silently clamp `num_threads(0)` to one worker…
     #[test]
+    #[cfg(not(debug_assertions))]
     fn builder_clamps_to_at_least_one_thread() {
         let pool = ThreadPool::builder().num_threads(0).build();
         assert_eq!(pool.num_threads(), 1);
+    }
+
+    /// …while debug builds reject it loudly.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "a pool needs at least one worker")]
+    fn builder_debug_panics_on_zero_threads() {
+        let _ = ThreadPool::builder().num_threads(0);
     }
 
     #[test]

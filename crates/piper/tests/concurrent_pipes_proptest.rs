@@ -1,0 +1,156 @@
+//! Property tests for *concurrent* `pipe_while` interleaving on one pool.
+//!
+//! PR 3's `pipeserve` executor multiplexes many detached pipelines over a
+//! single `ThreadPool`; the hazards specific to that regime are cross-
+//! pipeline interference: a worker interleaving nodes of several rings must
+//! never mix up their cross edges, throttling gates, or control tokens
+//! (each of which is per-pipeline state). These tests run 2–8 jobs
+//! concurrently with throttle windows `K ∈ {1, 2, 3, 4·P}` and assert, per
+//! job,
+//!
+//! * the final serial stage's outputs appear in iteration order (per-job
+//!   output order is preserved under interleaving),
+//! * `peak_active ≤ K_j` (each pipeline's throttle holds independently),
+//!   hence the pool-wide live-frame total is bounded by `Σ K_j`,
+//! * frame accounting stays reuse-consistent (allocations `= K_j`, reuses
+//!   `= max(0, n_j − K_j)`): zero per-iteration allocation even with many
+//!   tenants.
+
+use std::sync::{Arc, Mutex};
+
+use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0, ThreadPool};
+use proptest::prelude::*;
+
+/// One job of a concurrent fleet.
+#[derive(Debug, Clone)]
+struct JobPlan {
+    /// Index into the throttle-window menu {1, 2, 3, 4P}.
+    k_choice: usize,
+    /// Number of iterations.
+    iterations: u64,
+    /// Per-node busy-work rounds.
+    spin: u64,
+    /// Whether the middle stage is entered with `pipe_wait`.
+    serial_middle: bool,
+}
+
+fn fleet_strategy() -> impl Strategy<Value = Vec<JobPlan>> {
+    let job = (0usize..4, 10u64..60, 0u64..300, any::<bool>()).prop_map(
+        |(k_choice, iterations, spin, serial_middle)| JobPlan {
+            k_choice,
+            iterations,
+            spin,
+            serial_middle,
+        },
+    );
+    proptest::collection::vec(job, 2..9)
+}
+
+struct FleetItem {
+    i: u64,
+    spin: u64,
+    out: Arc<Mutex<Vec<u64>>>,
+}
+
+impl PipelineIteration for FleetItem {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        match stage {
+            1 => {
+                let mut acc = self.i;
+                for k in 0..self.spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                NodeOutcome::WaitFor(2)
+            }
+            2 => {
+                self.out.lock().unwrap().push(self.i);
+                NodeOutcome::Done
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn run_fleet(pool: &ThreadPool, fleet: &[JobPlan]) {
+    let p = pool.num_threads();
+    let k_menu = [1usize, 2, 3, 4 * p];
+    let before = pool.metrics();
+
+    let mut handles = Vec::new();
+    let mut sinks = Vec::new();
+    for plan in fleet {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        sinks.push(Arc::clone(&out));
+        let n = plan.iterations;
+        let spin = plan.spin;
+        let serial_middle = plan.serial_middle;
+        let k = k_menu[plan.k_choice];
+        let sink = Arc::clone(&out);
+        let producer = move |i| {
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::Proceed {
+                state: FleetItem {
+                    i,
+                    spin,
+                    out: Arc::clone(&sink),
+                },
+                first_stage: 1,
+                wait: serial_middle,
+            }
+        };
+        handles.push(pool.spawn_pipe(PipeOptions::with_throttle(k), producer));
+    }
+
+    let mut total_expected_reuses = 0u64;
+    let mut total_k = 0u64;
+    for ((plan, handle), sink) in fleet.iter().zip(handles).zip(&sinks) {
+        let k = k_menu[plan.k_choice] as u64;
+        let stats = handle.join().expect("no job panics in this fleet");
+        assert_eq!(stats.iterations, plan.iterations);
+        assert!(
+            stats.peak_active_iterations <= k,
+            "job K={k}: peak {} exceeds its throttle window",
+            stats.peak_active_iterations
+        );
+        // Per-job output order: the final stage is serial (cross edges), so
+        // outputs must be exactly 0..n in order.
+        assert_eq!(
+            *sink.lock().unwrap(),
+            (0..plan.iterations).collect::<Vec<_>>(),
+            "per-job output order violated (K={k})"
+        );
+        assert_eq!(stats.frame_allocations, k);
+        assert_eq!(stats.frame_reuses, plan.iterations.saturating_sub(k));
+        total_expected_reuses += plan.iterations.saturating_sub(k);
+        total_k += k;
+    }
+
+    // Pool-wide accounting: the fleet allocated exactly Σ K_j ring slots
+    // and recycled everything else; nothing leaked across pipelines.
+    let delta = pool.metrics().since(&before);
+    assert_eq!(delta.iterations_started, delta.iterations_completed);
+    assert_eq!(delta.frame_allocations, total_k);
+    assert_eq!(delta.frame_reuses, total_expected_reuses);
+    assert_eq!(delta.pipes_started, fleet.len() as u64);
+    assert_eq!(delta.pipes_completed, fleet.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_fleets_preserve_per_job_order_and_throttles(fleet in fleet_strategy()) {
+        let pool = ThreadPool::new(4);
+        run_fleet(&pool, &fleet);
+    }
+
+    #[test]
+    fn concurrent_fleets_on_a_small_pool(fleet in fleet_strategy()) {
+        // P = 2 maximizes contention between control frames and nodes.
+        let pool = ThreadPool::new(2);
+        run_fleet(&pool, &fleet);
+    }
+}

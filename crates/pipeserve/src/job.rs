@@ -1,0 +1,333 @@
+//! Job specifications, handles and results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use piper::{PipeHandle, PipeOptions, PipeStats, PipelineIteration, Stage0, ThreadPool};
+
+use crate::service::ServiceInner;
+
+/// A deferred pipeline launch: given the pool and the job's options, start
+/// the pipeline detached and return its handle.
+///
+/// This is the type-erased currency between workload crates (which know the
+/// concrete producer/iteration types) and the service (which does not):
+/// anything that can produce a [`PipeHandle`] can be served.
+pub type LaunchFn = Box<dyn FnOnce(&ThreadPool, PipeOptions) -> PipeHandle + Send>;
+
+/// Scheduling class of a job. Dispatch is weighted round-robin across the
+/// classes (weights 4:2:1), FIFO within a class — higher classes get more
+/// dispatch slots under contention, lower classes are never starved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive jobs (weight 4).
+    Interactive,
+    /// The default class (weight 2).
+    Normal,
+    /// Throughput/background jobs (weight 1).
+    Batch,
+}
+
+impl Priority {
+    /// All classes, highest first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Batch];
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Dispatch weight of the class.
+    pub fn weight(self) -> usize {
+        match self {
+            Priority::Interactive => 4,
+            Priority::Normal => 2,
+            Priority::Batch => 1,
+        }
+    }
+}
+
+/// Identifier of a submitted job, unique within its [`crate::PipeService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// A pipeline job submission: a deferred launch plus scheduling metadata.
+pub struct JobSpec {
+    pub(crate) name: String,
+    pub(crate) priority: Priority,
+    pub(crate) options: PipeOptions,
+    pub(crate) queue_deadline: Option<Duration>,
+    pub(crate) launch: LaunchFn,
+}
+
+impl JobSpec {
+    /// Creates a job from a `pipe_while`-style producer (Stage 0 closure);
+    /// see [`piper::pipe_while`] for the programming model.
+    pub fn new<F, I>(options: PipeOptions, producer: F) -> Self
+    where
+        F: FnMut(u64) -> Stage0<I> + Send + 'static,
+        I: PipelineIteration,
+    {
+        Self::from_launch(
+            options,
+            Box::new(move |pool, opts| piper::spawn_pipe(pool, opts, producer)),
+        )
+    }
+
+    /// Creates a job from a type-erased launch closure (the form workload
+    /// crates export; see [`LaunchFn`]).
+    pub fn from_launch(options: PipeOptions, launch: LaunchFn) -> Self {
+        JobSpec {
+            name: String::new(),
+            priority: Priority::Normal,
+            options,
+            queue_deadline: None,
+            launch,
+        }
+    }
+
+    /// Attaches a human-readable name (shown in diagnostics).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the scheduling class (default [`Priority::Normal`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Bounds the time the job may wait in the submission queue: a job not
+    /// admitted within the deadline is expired instead of run
+    /// ([`JobResult::Expired`]). Expiry is checked when the dispatcher
+    /// next scans the queue.
+    pub fn queue_deadline(mut self, deadline: Duration) -> Self {
+        self.queue_deadline = Some(deadline);
+        self
+    }
+
+    /// The job's frame window `K` on a pool with `num_threads` workers: the
+    /// number of iteration-frame slots its ring will pin while the job runs.
+    /// This is the quantity the service's admission controller budgets.
+    pub fn frame_window(&self, num_threads: usize) -> usize {
+        self.options.resolve_throttle(num_threads)
+    }
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("options", &self.options)
+            .field("queue_deadline", &self.queue_deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Life-cycle state of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the submission queue for admission.
+    Queued,
+    /// Admitted and executing on the pool (a cancelled job stays `Running`
+    /// while its in-flight iterations drain).
+    Running,
+    /// Ran to completion.
+    Completed,
+    /// Cancelled (before running, or mid-run after draining).
+    Cancelled,
+    /// A stage or the producer panicked; the pipeline drained and the
+    /// service remains healthy.
+    Failed,
+    /// Expired in the queue past its deadline without ever running.
+    Expired,
+}
+
+/// Terminal outcome of a job, returned by [`JobHandle::join`].
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// The pipeline ran every iteration; per-job statistics attached.
+    Completed(PipeStats),
+    /// The job was cancelled: `None` if it never started, `Some(stats)` for
+    /// the iterations that ran before the cancellation drained.
+    Cancelled(Option<PipeStats>),
+    /// The producer or a node panicked; the payload rendered as text.
+    Panicked(String),
+    /// The job expired in the queue without running.
+    Expired,
+}
+
+impl JobResult {
+    /// True for [`JobResult::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobResult::Completed(_))
+    }
+
+    /// The job's pipeline statistics, if any iterations ran.
+    pub fn stats(&self) -> Option<PipeStats> {
+        match self {
+            JobResult::Completed(s) => Some(*s),
+            JobResult::Cancelled(s) => *s,
+            JobResult::Panicked(_) | JobResult::Expired => None,
+        }
+    }
+}
+
+/// Mutable per-job cell, guarded by [`JobState::cell`].
+pub(crate) struct JobCell {
+    pub(crate) status: JobStatus,
+    /// The detached pipeline handle, present while the job is running.
+    pub(crate) pipe: Option<PipeHandle>,
+    pub(crate) result: Option<JobResult>,
+    /// When the job reached its terminal state.
+    pub(crate) finished_at: Option<Instant>,
+}
+
+/// The state shared between a [`JobHandle`], the service's job table and
+/// the dispatcher.
+pub(crate) struct JobState {
+    pub(crate) id: JobId,
+    pub(crate) name: String,
+    pub(crate) priority: Priority,
+    /// The job's frame window `K` (reserved against the service budget
+    /// while the job runs).
+    pub(crate) frames: usize,
+    pub(crate) submitted_at: Instant,
+    pub(crate) cell: Mutex<JobCell>,
+    pub(crate) done_cv: Condvar,
+    pub(crate) cancel_requested: AtomicBool,
+}
+
+impl JobState {
+    pub(crate) fn new(id: JobId, name: String, priority: Priority, frames: usize) -> Arc<Self> {
+        Arc::new(JobState {
+            id,
+            name,
+            priority,
+            frames,
+            submitted_at: Instant::now(),
+            cell: Mutex::new(JobCell {
+                status: JobStatus::Queued,
+                pipe: None,
+                result: None,
+                finished_at: None,
+            }),
+            done_cv: Condvar::new(),
+            cancel_requested: AtomicBool::new(false),
+        })
+    }
+
+    /// Records the terminal result and wakes joiners. Idempotent: the first
+    /// finalization wins.
+    pub(crate) fn finalize(&self, status: JobStatus, result: JobResult) -> bool {
+        let mut cell = self.cell.lock().unwrap();
+        if cell.result.is_some() {
+            return false;
+        }
+        cell.status = status;
+        cell.result = Some(result);
+        cell.pipe = None;
+        cell.finished_at = Some(Instant::now());
+        self.done_cv.notify_all();
+        true
+    }
+}
+
+/// A non-blocking handle on a submitted job.
+///
+/// Dropping the handle detaches the job: it still runs (or drains) to its
+/// terminal state under the service's bookkeeping, and no iteration frame
+/// is leaked — the frames belong to the pipeline's ring, not the handle.
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+    pub(crate) service: Weak<ServiceInner>,
+}
+
+impl JobHandle {
+    /// The job's service-unique id.
+    pub fn id(&self) -> JobId {
+        self.state.id
+    }
+
+    /// The name given at submission (may be empty).
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The job's scheduling class.
+    pub fn priority(&self) -> Priority {
+        self.state.priority
+    }
+
+    /// The job's current life-cycle state, without blocking.
+    pub fn try_status(&self) -> JobStatus {
+        self.state.cell.lock().unwrap().status
+    }
+
+    /// The job's terminal result, if it has reached one, without blocking.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.state.cell.lock().unwrap().result.clone()
+    }
+
+    /// Requests cancellation. A queued job is removed from the queue and
+    /// never runs; a running job stops spawning iterations within one
+    /// iteration frame and drains its in-flight iterations cleanly.
+    /// Idempotent; a no-op once the job reached a terminal state.
+    pub fn cancel(&self) {
+        self.state.cancel_requested.store(true, Ordering::Release);
+        if let Some(service) = self.service.upgrade() {
+            service.cancel_job(&self.state);
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// [`JobResult`]. Never panics on job failure — a panic inside the job
+    /// is reported as [`JobResult::Panicked`].
+    pub fn join(&self) -> JobResult {
+        let mut cell = self.state.cell.lock().unwrap();
+        while cell.result.is_none() {
+            cell = self.state.done_cv.wait(cell).unwrap();
+        }
+        cell.result.clone().expect("loop exits only with a result")
+    }
+
+    /// Time elapsed since the job was submitted.
+    pub fn age(&self) -> Duration {
+        self.state.submitted_at.elapsed()
+    }
+
+    /// Submit-to-terminal latency (queue wait + execution), once the job
+    /// has reached a terminal state. This is measured at the moment the
+    /// job finishes, not when the caller happens to join it.
+    pub fn latency(&self) -> Option<Duration> {
+        self.state
+            .cell
+            .lock()
+            .unwrap()
+            .finished_at
+            .map(|t| t.duration_since(self.state.submitted_at))
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.state.id)
+            .field("name", &self.state.name)
+            .field("priority", &self.state.priority)
+            .field("status", &self.try_status())
+            .finish()
+    }
+}

@@ -1,0 +1,74 @@
+//! **pipeserve** — a multi-tenant pipeline executor service.
+//!
+//! The `piper` crate exposes `pipe_while` as a blocking, one-pipeline call:
+//! the calling thread owns the pool until the pipeline drains. That is the
+//! right shape for reproducing the paper's figures and the wrong shape for a
+//! service that must run many pipelines for many tenants on one worker
+//! fleet. This crate supplies the missing subsystem, modelled on the
+//! long-lived `PipelineExecutor` services of production query engines:
+//!
+//! * [`PipeService`] — a long-running executor owning (or sharing) one
+//!   [`piper::ThreadPool`]. Jobs are submitted as [`JobSpec`]s and run
+//!   concurrently as detached pipelines (`piper::spawn_pipe`), each bounded
+//!   by its own throttle window `K`.
+//! * **Admission control** — a global *frame budget*: the sum of the
+//!   admitted jobs' throttle windows `Σ K_j` never exceeds the configured
+//!   budget, so the service's peak live iteration frames (and therefore its
+//!   memory, by the paper's Theorem 11) is bounded regardless of offered
+//!   load. A bounded submission queue provides backpressure: when it is
+//!   full, [`PipeService::submit`] rejects rather than buffering without
+//!   bound.
+//! * **Fair dispatch** — weighted round-robin over three [`Priority`]
+//!   classes, FIFO within a class, so a stream of fine-grained `pipe-fib`
+//!   jobs cannot starve a dedup job (and vice versa). Every non-empty class
+//!   is guaranteed a dispatch slot per scheduling cycle.
+//! * **Cooperative cancellation** — [`JobHandle::cancel`] stops a queued job
+//!   before it runs and a running job within one iteration frame; in-flight
+//!   iterations drain through the normal ring protocol, so no frame leaks.
+//! * **Observability** — per-job [`piper::PipeStats`] in the
+//!   [`JobResult`], plus aggregate [`ServiceMetricsSnapshot`] (admitted /
+//!   rejected / cancelled / expired counts, queue depth, frame-budget
+//!   utilization) alongside the pool's own [`piper::MetricsSnapshot`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use pipeserve::{JobSpec, PipeService, Priority};
+//! use piper::{PipeOptions, Stage0, NodeOutcome, PipelineIteration};
+//!
+//! struct Square(u64, std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
+//! impl PipelineIteration for Square {
+//!     fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+//!         self.1.lock().unwrap().push(self.0 * self.0);
+//!         NodeOutcome::Done
+//!     }
+//! }
+//!
+//! let service = PipeService::builder().num_threads(2).build();
+//! let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+//! let sink = std::sync::Arc::clone(&out);
+//! let job = JobSpec::new(PipeOptions::with_throttle(2), move |i| {
+//!     if i == 5 { return Stage0::Stop; }
+//!     Stage0::wait(Square(i, std::sync::Arc::clone(&sink)))
+//! })
+//! .named("squares")
+//! .priority(Priority::Interactive);
+//! let handle = service.submit(job).unwrap();
+//! let result = handle.join();
+//! assert!(result.is_completed());
+//! assert_eq!(*out.lock().unwrap(), vec![0, 1, 4, 9, 16]);
+//! ```
+//!
+//! See `DESIGN.md` in this crate for the admission / fairness / cancellation
+//! protocol and how it layers on the lock-free iteration-frame ring of
+//! `crates/piper/DESIGN.md`.
+
+#![warn(missing_docs)]
+
+mod job;
+mod metrics;
+mod service;
+
+pub use job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, Priority};
+pub use metrics::ServiceMetricsSnapshot;
+pub use service::{PipeService, ServiceBuilder, SubmitError};

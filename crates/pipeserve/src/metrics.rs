@@ -1,0 +1,87 @@
+//! Aggregate service metrics, in the same monotone-counter style as
+//! [`piper::Metrics`] so the two snapshots compose into one observability
+//! surface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters kept by a [`crate::PipeService`] (relaxed atomics:
+/// instrumentation must not perturb dispatch).
+#[derive(Debug, Default)]
+pub(crate) struct ServiceMetrics {
+    pub(crate) jobs_submitted: AtomicU64,
+    pub(crate) jobs_admitted: AtomicU64,
+    pub(crate) jobs_rejected: AtomicU64,
+    pub(crate) jobs_completed: AtomicU64,
+    pub(crate) jobs_cancelled: AtomicU64,
+    pub(crate) jobs_panicked: AtomicU64,
+    pub(crate) jobs_expired: AtomicU64,
+    pub(crate) peak_queue_depth: AtomicU64,
+    pub(crate) peak_frames_in_use: AtomicU64,
+}
+
+impl ServiceMetrics {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn raise_peak(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a service's aggregate metrics, including the
+/// live queue/budget gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceMetricsSnapshot {
+    /// Jobs accepted into the submission queue.
+    pub jobs_submitted: u64,
+    /// Jobs admitted by the controller and launched on the pool.
+    pub jobs_admitted: u64,
+    /// Submissions rejected by backpressure (queue full) or because the
+    /// job's frame window exceeds the whole budget.
+    pub jobs_rejected: u64,
+    /// Jobs that ran every iteration.
+    pub jobs_completed: u64,
+    /// Jobs cancelled (queued or mid-run).
+    pub jobs_cancelled: u64,
+    /// Jobs whose producer or a node panicked.
+    pub jobs_panicked: u64,
+    /// Jobs expired in the queue past their deadline.
+    pub jobs_expired: u64,
+    /// High-water mark of the submission-queue depth.
+    pub peak_queue_depth: u64,
+    /// High-water mark of reserved iteration frames.
+    pub peak_frames_in_use: u64,
+    /// Current submission-queue depth.
+    pub queue_depth: u64,
+    /// Jobs currently executing on the pool.
+    pub running: u64,
+    /// Iteration frames currently reserved (`Σ K_j` over running jobs).
+    pub frames_in_use: u64,
+    /// The configured global frame budget.
+    pub frame_budget: u64,
+}
+
+impl ServiceMetricsSnapshot {
+    /// Fraction of the frame budget currently reserved, in `[0, 1]`.
+    pub fn frame_budget_utilization(&self) -> f64 {
+        if self.frame_budget == 0 {
+            0.0
+        } else {
+            self.frames_in_use as f64 / self.frame_budget as f64
+        }
+    }
+
+    /// Fraction of submissions rejected, in `[0, 1]` (0 when nothing was
+    /// offered).
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.jobs_submitted + self.jobs_rejected;
+        if offered == 0 {
+            0.0
+        } else {
+            self.jobs_rejected as f64 / offered as f64
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! The executor service: admission control, fair dispatch, job table.
+//!
+//! ## Lock discipline
+//!
+//! Two mutex families exist: the service-wide scheduler state
+//! ([`ServiceInner::sched`]) and the per-job cell ([`JobState::cell`]).
+//! **Neither is ever acquired while holding the other** — every path
+//! (dispatcher, completion hook, canceller, submitter) takes them strictly
+//! one at a time, so no lock-order cycle is possible. The pipeline
+//! completion hook in particular runs on a pool worker and may fire inline
+//! during registration, which is why the dispatcher registers it outside
+//! both locks (on a clone of the pipe handle). None of these mutexes is on
+//! the per-node hot path — the ring's lock-free protocol is untouched.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use piper::{MetricsSnapshot, PipeOptions, ThreadPool};
+
+use crate::job::{JobHandle, JobId, JobResult, JobSpec, JobState, JobStatus, LaunchFn};
+use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full (backpressure): retry later or
+    /// shed load upstream.
+    QueueFull,
+    /// The job's frame window `K` alone exceeds the service's global frame
+    /// budget, so it could never be admitted.
+    FrameWindowExceedsBudget {
+        /// The job's requested window.
+        window: usize,
+        /// The service's configured budget.
+        budget: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::FrameWindowExceedsBudget { window, budget } => write!(
+                f,
+                "job frame window K={window} exceeds the service frame budget {budget}"
+            ),
+            SubmitError::ShutDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One queued submission.
+struct QueuedJob {
+    state: Arc<JobState>,
+    options: PipeOptions,
+    launch: LaunchFn,
+    deadline: Option<Instant>,
+}
+
+/// The dispatcher's view of the world, guarded by one mutex.
+struct Sched {
+    /// One FIFO per priority class.
+    queues: [VecDeque<QueuedJob>; 3],
+    /// Total queued jobs across the classes.
+    queued: usize,
+    /// Reserved iteration frames (`Σ K_j` over admitted jobs).
+    frames_in_use: usize,
+    /// Admitted (launching or executing) jobs, by id. Populated at pick
+    /// time, under the same lock as the queue pop, so `drain` never sees a
+    /// job in neither place.
+    running: HashMap<u64, Arc<JobState>>,
+    /// Cursor into the weighted round-robin pattern.
+    rr_cursor: usize,
+    /// Anti-starvation bookkeeping: a queue head that did not fit the
+    /// remaining budget while another job was admitted, as
+    /// `(class, job id, bypass count)`. Once the count reaches
+    /// [`BYPASS_LIMIT`], admission is reserved for that head until it fits.
+    starving: Option<(usize, u64, u32)>,
+    /// Set by shutdown once the queue has been cleared: tells the
+    /// dispatcher to exit when idle.
+    stopped: bool,
+}
+
+/// The weighted round-robin dispatch pattern over the priority classes
+/// (indices into `Sched::queues`): Interactive×4, Normal×2, Batch×1. Every
+/// non-empty class is visited at least once per cycle, so none starves.
+const RR_PATTERN: [usize; 7] = [0, 0, 0, 0, 1, 1, 2];
+
+/// How many times a queue head that does not fit the remaining frame
+/// budget may be bypassed by jobs of other classes before admission is
+/// reserved for it. Bounds the bypass-starvation of large-window jobs: a
+/// sustained stream of small jobs can keep `frames_in_use` permanently
+/// above `budget − K_big`, and without the reservation the big job's slot
+/// would never come up while it fits.
+const BYPASS_LIMIT: u32 = 16;
+
+/// What the dispatcher found when scanning the queues.
+enum Pick {
+    /// A job to launch; its frames are reserved and it is in `running`.
+    Job(QueuedJob),
+    /// Queues are empty.
+    Idle,
+    /// Jobs are queued but none fits the remaining frame budget.
+    BudgetExhausted,
+}
+
+/// One round of the dispatcher loop, decided under the scheduler lock.
+enum Step {
+    Launch(QueuedJob),
+    /// Only expired jobs were found this round; finalize them and rescan.
+    PurgeOnly,
+    Exit,
+}
+
+pub(crate) struct ServiceInner {
+    pool: Arc<ThreadPool>,
+    frame_budget: usize,
+    max_queue: usize,
+    pub(crate) metrics: ServiceMetrics,
+    sched: Mutex<Sched>,
+    /// Wakes the dispatcher (new submission, completion, cancellation,
+    /// shutdown) and drain waiters (completion).
+    sched_cv: Condvar,
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServiceInner {
+    /// Removes `state`'s entry from the submission queues if it is still
+    /// there and finalizes it as cancelled; otherwise forwards the
+    /// cancellation to the running pipeline. The `cancel_requested` flag on
+    /// the job state covers the launch-in-progress window: the dispatcher
+    /// re-checks it around the launch.
+    pub(crate) fn cancel_job(&self, state: &Arc<JobState>) {
+        let removed = {
+            let mut sched = self.sched.lock().unwrap();
+            let q = &mut sched.queues[state.priority.index()];
+            match q.iter().position(|j| Arc::ptr_eq(&j.state, state)) {
+                Some(pos) => {
+                    q.remove(pos);
+                    sched.queued -= 1;
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            if state.finalize(JobStatus::Cancelled, JobResult::Cancelled(None)) {
+                ServiceMetrics::bump(&self.metrics.jobs_cancelled);
+            }
+            self.sched_cv.notify_all();
+            return;
+        }
+        // Not queued: either admitted (cancel the pipeline) or already
+        // terminal (no-op). The pipeline handle lives in the job cell.
+        let cell = state.cell.lock().unwrap();
+        if let Some(pipe) = &cell.pipe {
+            pipe.cancel();
+        }
+    }
+
+    /// Scans the queues under the scheduler lock: purges expired entries,
+    /// then picks the next admissible job in weighted round-robin order.
+    /// Expired entries are pushed to `purged` for finalization outside the
+    /// lock.
+    fn pick_next(&self, sched: &mut Sched, purged: &mut Vec<QueuedJob>) -> Pick {
+        let now = Instant::now();
+        for q in &mut sched.queues {
+            while let Some(job) = q.front() {
+                if job.deadline.is_some_and(|d| now >= d) {
+                    purged.push(q.pop_front().expect("front() was Some"));
+                    sched.queued -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if sched.queued == 0 {
+            sched.starving = None;
+            return Pick::Idle;
+        }
+        // Drop a stale starving entry (its job was admitted, cancelled or
+        // expired; a class head only changes by leaving the queue).
+        if let Some((class, id, _)) = sched.starving {
+            if sched.queues[class]
+                .front()
+                .is_none_or(|j| j.state.id.0 != id)
+            {
+                sched.starving = None;
+            }
+        }
+        // Once a head has been bypassed BYPASS_LIMIT times, admission is
+        // reserved for it: nothing else is admitted until it fits, which it
+        // eventually does because running jobs drain and `K ≤ budget` is
+        // checked at submit time.
+        let reserved_class = match sched.starving {
+            Some((class, _, n)) if n >= BYPASS_LIMIT => Some(class),
+            _ => None,
+        };
+        let mut first_bypassed: Option<(usize, u64)> = None;
+        for k in 0..RR_PATTERN.len() {
+            let at = (sched.rr_cursor + k) % RR_PATTERN.len();
+            let class = RR_PATTERN[at];
+            if reserved_class.is_some_and(|rc| rc != class) {
+                continue;
+            }
+            let Some(job) = sched.queues[class].front() else {
+                continue;
+            };
+            if sched.frames_in_use + job.state.frames <= self.frame_budget {
+                sched.rr_cursor = (at + 1) % RR_PATTERN.len();
+                let job = sched.queues[class].pop_front().expect("front() was Some");
+                sched.queued -= 1;
+                sched.frames_in_use += job.state.frames;
+                sched.running.insert(job.state.id.0, Arc::clone(&job.state));
+                ServiceMetrics::raise_peak(
+                    &self.metrics.peak_frames_in_use,
+                    sched.frames_in_use as u64,
+                );
+                // Starvation bookkeeping: admitting the starving head
+                // clears it; admitting past it costs one bypass credit.
+                if matches!(sched.starving, Some((_, id, _)) if id == job.state.id.0) {
+                    sched.starving = None;
+                } else if let Some((_, _, n)) = &mut sched.starving {
+                    *n += 1;
+                } else if let Some((bclass, bid)) = first_bypassed {
+                    sched.starving = Some((bclass, bid, 1));
+                }
+                return Pick::Job(job);
+            }
+            if first_bypassed.is_none() {
+                first_bypassed = Some((class, job.state.id.0));
+            }
+        }
+        Pick::BudgetExhausted
+    }
+
+    /// Releases an admitted job's frame reservation and removes it from the
+    /// running table.
+    fn release(&self, state: &JobState) {
+        {
+            let mut sched = self.sched.lock().unwrap();
+            sched.frames_in_use -= state.frames;
+            sched.running.remove(&state.id.0);
+        }
+        self.sched_cv.notify_all();
+    }
+
+    /// Launches one admitted job on the pool and wires up its completion
+    /// hook. Runs on the dispatcher thread, outside the scheduler lock.
+    fn launch(self: &Arc<Self>, job: QueuedJob) {
+        let QueuedJob {
+            state,
+            options,
+            launch,
+            ..
+        } = job;
+
+        // A cancel that raced admission: don't bother launching.
+        if state.cancel_requested.load(Ordering::Acquire) {
+            if state.finalize(JobStatus::Cancelled, JobResult::Cancelled(None)) {
+                ServiceMetrics::bump(&self.metrics.jobs_cancelled);
+            }
+            self.release(&state);
+            return;
+        }
+
+        ServiceMetrics::bump(&self.metrics.jobs_admitted);
+        // The launch closure is user code (it may build pipelines, assert on
+        // configurations, …): a panic must fail the *job*, not kill the
+        // dispatcher thread — a dead dispatcher would wedge the service
+        // (reserved frames never released, queued jobs never admitted,
+        // drain()/shutdown() deadlocked).
+        let pipe = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            launch(&self.pool, options)
+        })) {
+            Ok(pipe) => pipe,
+            Err(payload) => {
+                if state.finalize(
+                    JobStatus::Failed,
+                    JobResult::Panicked(panic_message(payload.as_ref())),
+                ) {
+                    ServiceMetrics::bump(&self.metrics.jobs_panicked);
+                }
+                self.release(&state);
+                return;
+            }
+        };
+        {
+            let mut cell = state.cell.lock().unwrap();
+            if cell.result.is_none() {
+                cell.status = JobStatus::Running;
+            }
+            cell.pipe = Some(pipe.clone());
+        }
+        // A cancel issued while the launch was in progress found the job in
+        // neither the queue nor the cell and only set the flag: honour it
+        // now that the handle is published. The re-check must come *after*
+        // the publication above — the cell mutex then orders us against the
+        // canceller: either it saw `cell.pipe` and cancelled the pipeline
+        // itself, or its flag store happened before our unlock and this
+        // load observes it. (Re-checking before publication would leave a
+        // window in which the cancel is silently lost and a
+        // non-terminating job runs forever.)
+        if state.cancel_requested.load(Ordering::Acquire) {
+            pipe.cancel();
+        }
+        // Register the completion hook outside both locks: if the pipeline
+        // has already completed, the hook runs inline right here, and
+        // `finish_job` takes the cell lock itself.
+        let service = Arc::clone(self);
+        let job_state = Arc::clone(&state);
+        pipe.on_complete(move || service.finish_job(&job_state));
+    }
+
+    /// Finalizes a job whose pipeline has completed: harvests stats/panic,
+    /// records the terminal state, releases the frame reservation. Runs on
+    /// whichever thread completes the pipeline.
+    fn finish_job(self: &Arc<Self>, state: &Arc<JobState>) {
+        let pipe = state.cell.lock().unwrap().pipe.take();
+        let Some(pipe) = pipe else {
+            return; // already finalized
+        };
+        let cancelled = pipe.is_cancelled();
+        let (status, result) = match pipe.join() {
+            Ok(stats) if cancelled => (JobStatus::Cancelled, JobResult::Cancelled(Some(stats))),
+            Ok(stats) => (JobStatus::Completed, JobResult::Completed(stats)),
+            Err(payload) => (
+                JobStatus::Failed,
+                JobResult::Panicked(panic_message(payload.as_ref())),
+            ),
+        };
+        if state.finalize(status, result) {
+            match status {
+                JobStatus::Completed => ServiceMetrics::bump(&self.metrics.jobs_completed),
+                JobStatus::Cancelled => ServiceMetrics::bump(&self.metrics.jobs_cancelled),
+                JobStatus::Failed => ServiceMetrics::bump(&self.metrics.jobs_panicked),
+                _ => {}
+            }
+        }
+        self.release(state);
+    }
+
+    /// The dispatcher thread's main loop.
+    fn dispatch_loop(self: &Arc<Self>) {
+        loop {
+            let mut purged = Vec::new();
+            let step = {
+                let mut sched = self.sched.lock().unwrap();
+                loop {
+                    match self.pick_next(&mut sched, &mut purged) {
+                        Pick::Job(job) => break Step::Launch(job),
+                        Pick::Idle if sched.stopped => break Step::Exit,
+                        Pick::Idle | Pick::BudgetExhausted => {
+                            if !purged.is_empty() {
+                                // Finalize expirations before sleeping.
+                                break Step::PurgeOnly;
+                            }
+                            sched = self.sched_cv.wait(sched).unwrap();
+                        }
+                    }
+                }
+            };
+            for dead in purged {
+                if dead.state.finalize(JobStatus::Expired, JobResult::Expired) {
+                    ServiceMetrics::bump(&self.metrics.jobs_expired);
+                }
+                self.sched_cv.notify_all();
+            }
+            match step {
+                Step::Launch(job) => self.launch(job),
+                Step::PurgeOnly => continue,
+                Step::Exit => return,
+            }
+        }
+    }
+}
+
+/// Renders a panic payload as text, like the standard panic hook does.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Builder for a [`PipeService`].
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    num_threads: usize,
+    frame_budget: Option<usize>,
+    max_queue: usize,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            frame_budget: None,
+            max_queue: 1024,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Number of pool workers (`P`). Defaults to the machine's parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// The global frame budget: admitted jobs' throttle windows sum to at
+    /// most this. Defaults to `8 · 4P` (eight default-window jobs).
+    pub fn frame_budget(mut self, frames: usize) -> Self {
+        self.frame_budget = Some(frames.max(1));
+        self
+    }
+
+    /// Capacity of the bounded submission queue (backpressure threshold).
+    pub fn max_queue(mut self, depth: usize) -> Self {
+        self.max_queue = depth.max(1);
+        self
+    }
+
+    /// Builds the service, spawning its pool workers and dispatcher thread.
+    pub fn build(self) -> PipeService {
+        let pool = Arc::new(
+            ThreadPool::builder()
+                .num_threads(self.num_threads)
+                .thread_name_prefix("pipeserve-worker")
+                .build(),
+        );
+        let frame_budget = self
+            .frame_budget
+            .unwrap_or(8 * 4 * pool.num_threads())
+            .max(1);
+        let inner = Arc::new(ServiceInner {
+            pool,
+            frame_budget,
+            max_queue: self.max_queue,
+            metrics: ServiceMetrics::default(),
+            sched: Mutex::new(Sched {
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                queued: 0,
+                frames_in_use: 0,
+                running: HashMap::new(),
+                rr_cursor: 0,
+                starving: None,
+                stopped: false,
+            }),
+            sched_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("pipeserve-dispatch".to_string())
+            .spawn(move || dispatcher_inner.dispatch_loop())
+            .expect("failed to spawn dispatcher thread");
+        PipeService {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// A long-running pipeline executor service; see the [crate docs](crate).
+pub struct PipeService {
+    inner: Arc<ServiceInner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PipeService {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// The shared worker pool (`P` workers) all jobs run on.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.inner.pool
+    }
+
+    /// The configured global frame budget.
+    pub fn frame_budget(&self) -> usize {
+        self.inner.frame_budget
+    }
+
+    /// Submits a job. Returns a [`JobHandle`] immediately, or a
+    /// [`SubmitError`] if the service is shutting down, the job could never
+    /// fit the frame budget, or the bounded queue is full (backpressure).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown);
+        }
+        let window = spec.frame_window(self.inner.pool.num_threads());
+        if window > self.inner.frame_budget {
+            ServiceMetrics::bump(&self.inner.metrics.jobs_rejected);
+            return Err(SubmitError::FrameWindowExceedsBudget {
+                window,
+                budget: self.inner.frame_budget,
+            });
+        }
+        let JobSpec {
+            name,
+            priority,
+            options,
+            queue_deadline,
+            launch,
+        } = spec;
+        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = JobState::new(id, name, priority, window);
+        let queued = QueuedJob {
+            state: Arc::clone(&state),
+            options,
+            launch,
+            deadline: queue_deadline.map(|d| state.submitted_at + d),
+        };
+        {
+            let mut sched = self.inner.sched.lock().unwrap();
+            if sched.queued >= self.inner.max_queue {
+                drop(sched);
+                ServiceMetrics::bump(&self.inner.metrics.jobs_rejected);
+                return Err(SubmitError::QueueFull);
+            }
+            sched.queues[priority.index()].push_back(queued);
+            sched.queued += 1;
+            ServiceMetrics::raise_peak(&self.inner.metrics.peak_queue_depth, sched.queued as u64);
+        }
+        ServiceMetrics::bump(&self.inner.metrics.jobs_submitted);
+        self.inner.sched_cv.notify_all();
+        Ok(JobHandle {
+            state,
+            service: Arc::downgrade(&self.inner),
+        })
+    }
+
+    /// Blocks until the queue is empty and no job is admitted or running.
+    /// (New submissions arriving during the drain extend it.)
+    pub fn drain(&self) {
+        let mut sched = self.inner.sched.lock().unwrap();
+        while sched.queued > 0 || !sched.running.is_empty() {
+            sched = self.inner.sched_cv.wait(sched).unwrap();
+        }
+    }
+
+    /// A snapshot of the aggregate service metrics (counters + gauges).
+    pub fn metrics(&self) -> ServiceMetricsSnapshot {
+        let m = &self.inner.metrics;
+        let (queue_depth, running, frames_in_use) = {
+            let sched = self.inner.sched.lock().unwrap();
+            (
+                sched.queued as u64,
+                sched.running.len() as u64,
+                sched.frames_in_use as u64,
+            )
+        };
+        ServiceMetricsSnapshot {
+            jobs_submitted: m.jobs_submitted.load(Ordering::Relaxed),
+            jobs_admitted: m.jobs_admitted.load(Ordering::Relaxed),
+            jobs_rejected: m.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: m.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: m.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_panicked: m.jobs_panicked.load(Ordering::Relaxed),
+            jobs_expired: m.jobs_expired.load(Ordering::Relaxed),
+            peak_queue_depth: m.peak_queue_depth.load(Ordering::Relaxed),
+            peak_frames_in_use: m.peak_frames_in_use.load(Ordering::Relaxed),
+            queue_depth,
+            running,
+            frames_in_use,
+            frame_budget: self.inner.frame_budget as u64,
+        }
+    }
+
+    /// A snapshot of the underlying pool's scheduler counters.
+    pub fn pool_metrics(&self) -> MetricsSnapshot {
+        self.inner.pool.metrics()
+    }
+
+    /// Shuts the service down: rejects new submissions, cancels queued
+    /// jobs, requests cooperative cancellation of running jobs, waits for
+    /// everything to drain, and stops the dispatcher. Called automatically
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        if self.dispatcher.is_none() {
+            return;
+        }
+        self.inner.shutting_down.store(true, Ordering::Release);
+        // Clear the queue.
+        let dropped: Vec<QueuedJob> = {
+            let mut sched = self.inner.sched.lock().unwrap();
+            let mut dropped = Vec::new();
+            for q in &mut sched.queues {
+                dropped.extend(q.drain(..));
+            }
+            sched.queued = 0;
+            dropped
+        };
+        for job in &dropped {
+            if job
+                .state
+                .finalize(JobStatus::Cancelled, JobResult::Cancelled(None))
+            {
+                ServiceMetrics::bump(&self.inner.metrics.jobs_cancelled);
+            }
+        }
+        // Cancel admitted jobs cooperatively. Same discipline as
+        // JobHandle::cancel: the flag is stored *first*, so a job whose
+        // launch is still in progress (in `running` but `cell.pipe` not yet
+        // published) is caught by the dispatcher's post-publication
+        // re-check instead of escaping cancellation entirely.
+        let running: Vec<Arc<JobState>> = {
+            let sched = self.inner.sched.lock().unwrap();
+            sched.running.values().cloned().collect()
+        };
+        for state in running {
+            state.cancel_requested.store(true, Ordering::Release);
+            let cell = state.cell.lock().unwrap();
+            if let Some(pipe) = &cell.pipe {
+                pipe.cancel();
+            }
+        }
+        // Let everything drain, then stop the dispatcher.
+        self.drain();
+        {
+            let mut sched = self.inner.sched.lock().unwrap();
+            sched.stopped = true;
+        }
+        self.inner.sched_cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PipeService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for PipeService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipeService")
+            .field("num_threads", &self.inner.pool.num_threads())
+            .field("frame_budget", &self.inner.frame_budget)
+            .field("max_queue", &self.inner.max_queue)
+            .finish()
+    }
+}

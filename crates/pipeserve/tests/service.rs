@@ -1,0 +1,713 @@
+//! Integration tests for the multi-tenant pipeline executor.
+//!
+//! These cover the service-level contracts: a single shared pool sustaining
+//! many concurrent mixed-workload jobs with per-job output order preserved,
+//! frame-budget admission, bounded-queue backpressure, weighted-fair
+//! dispatch, queue deadlines, cooperative cancellation observed within one
+//! iteration frame, and the drop-safety regression (a dropped `JobHandle`
+//! mid-flight — including a panicking stage — must leak no frames and leave
+//! the pool fully reusable).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0};
+use pipeserve::{JobResult, JobSpec, JobStatus, PipeService, Priority, SubmitError};
+
+/// A simple serial-output iteration: burns a little work, then appends its
+/// index to the shared sink in a final serial stage. An optional gate makes
+/// the iteration block at stage 1 until released (used to pin workers /
+/// job lifetimes deterministically).
+struct SpsItem {
+    i: u64,
+    spin: u64,
+    gate: Option<Arc<AtomicBool>>,
+    out: Arc<Mutex<Vec<u64>>>,
+}
+
+impl PipelineIteration for SpsItem {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        match stage {
+            1 => {
+                if let Some(gate) = &self.gate {
+                    while !gate.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                let mut acc = self.i;
+                for k in 0..self.spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                NodeOutcome::WaitFor(2)
+            }
+            2 => {
+                self.out.lock().unwrap().push(self.i);
+                NodeOutcome::Done
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// An SPS job of `n` iterations writing to `out` (order-checkable).
+fn sps_job(n: u64, spin: u64, k: usize, out: Arc<Mutex<Vec<u64>>>) -> JobSpec {
+    sps_job_gated(n, spin, k, out, None)
+}
+
+/// Like [`sps_job`], but iteration 0 blocks at stage 1 until `first_gate`
+/// opens (all later iterations run freely).
+fn sps_job_gated(
+    n: u64,
+    spin: u64,
+    k: usize,
+    out: Arc<Mutex<Vec<u64>>>,
+    first_gate: Option<Arc<AtomicBool>>,
+) -> JobSpec {
+    JobSpec::new(PipeOptions::with_throttle(k), move |i| {
+        if i == n {
+            return Stage0::Stop;
+        }
+        Stage0::proceed(SpsItem {
+            i,
+            spin,
+            gate: if i == 0 { first_gate.clone() } else { None },
+            out: Arc::clone(&out),
+        })
+    })
+}
+
+/// A one-iteration job whose single node spins until `gate` is raised —
+/// used to pin frame budget / workers deterministically.
+struct Gated {
+    gate: Arc<AtomicBool>,
+}
+
+impl PipelineIteration for Gated {
+    fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+        while !self.gate.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        NodeOutcome::Done
+    }
+}
+
+fn blocker_job(k: usize, gate: Arc<AtomicBool>) -> JobSpec {
+    let mut produced = false;
+    JobSpec::new(PipeOptions::with_throttle(k), move |_i| {
+        if produced {
+            return Stage0::Stop;
+        }
+        produced = true;
+        Stage0::wait(Gated {
+            gate: Arc::clone(&gate),
+        })
+    })
+}
+
+/// Waits (bounded) until `cond` holds.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    false
+}
+
+#[test]
+fn eight_concurrent_mixed_workload_jobs_preserve_per_job_order() {
+    // 8 jobs × K = 4 exactly fills the frame budget, so peak_frames_in_use
+    // reaching 32 proves all eight were admitted simultaneously. The four
+    // SPS jobs gate their first iteration, pinning the workers (and
+    // therefore every job's lifetime) until all eight are admitted.
+    let mut service = PipeService::builder()
+        .num_threads(4)
+        .frame_budget(32)
+        .max_queue(64)
+        .build();
+
+    // Prepare everything (including the serial reference outputs) before
+    // submitting anything, so admission is one tight burst.
+    let fib_config = workloads::pipefib::PipeFibConfig::tiny();
+    let fib_expected = workloads::pipefib::run_serial(&fib_config);
+    let (fib_launch, fib_extract) = workloads::pipefib::piper_launch(&fib_config);
+    let dedup_config = workloads::dedup::DedupConfig::tiny();
+    let dedup_input = dedup_config.generate_input();
+    let dedup_expected = workloads::dedup::run_serial(&dedup_config, &dedup_input);
+    let (dedup_launch, dedup_sink) = workloads::dedup::piper_launch(&dedup_config, &dedup_input);
+    let ferret_config = workloads::ferret::FerretConfig::tiny();
+    let ferret_index = workloads::ferret::build_index(&ferret_config);
+    let ferret_expected = workloads::ferret::run_serial(&ferret_config, &ferret_index);
+    let (ferret_launch, ferret_sink) =
+        workloads::ferret::piper_launch(&ferret_config, &ferret_index);
+    let x264_config = workloads::x264::X264Config::tiny();
+    let x264_expected = workloads::x264::run_serial(&x264_config);
+    let (x264_launch, x264_sink) = workloads::x264::piper_launch(&x264_config);
+
+    // Four hand-written SPS jobs with distinct lengths, first iterations
+    // gated...
+    let gate = Arc::new(AtomicBool::new(false));
+    let sinks: Vec<Arc<Mutex<Vec<u64>>>> =
+        (0..4).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let mut handles = Vec::new();
+    for (j, sink) in sinks.iter().enumerate() {
+        handles.push(
+            service
+                .submit(sps_job_gated(
+                    400 + 50 * j as u64,
+                    2_000,
+                    4,
+                    Arc::clone(sink),
+                    Some(Arc::clone(&gate)),
+                ))
+                .expect("submit sps"),
+        );
+    }
+
+    // ...plus the four PARSEC-analogue workloads as real mixed tenants.
+    let fib_handle = service
+        .submit(JobSpec::from_launch(PipeOptions::with_throttle(4), fib_launch).named("pipefib"))
+        .expect("submit pipefib");
+    let dedup_handle = service
+        .submit(JobSpec::from_launch(PipeOptions::with_throttle(4), dedup_launch).named("dedup"))
+        .expect("submit dedup");
+    let ferret_handle = service
+        .submit(JobSpec::from_launch(PipeOptions::with_throttle(4), ferret_launch).named("ferret"))
+        .expect("submit ferret");
+    let x264_handle = service
+        .submit(JobSpec::from_launch(PipeOptions::with_throttle(4), x264_launch).named("x264"))
+        .expect("submit x264");
+
+    // All eight must be admitted onto the shared pool at once (admission
+    // does not need free workers, only frame budget).
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            service.metrics().jobs_admitted == 8
+        }),
+        "not all jobs admitted: {:?}",
+        service.metrics()
+    );
+    assert_eq!(service.metrics().frames_in_use, 32);
+    gate.store(true, Ordering::Release);
+
+    // Join everything and verify per-job outputs.
+    for (j, h) in handles.iter().enumerate() {
+        let result = h.join();
+        let stats = result.stats().expect("sps job has stats");
+        assert!(result.is_completed(), "sps job {j}: {result:?}");
+        assert_eq!(stats.iterations, 400 + 50 * j as u64);
+        assert!(stats.peak_active_iterations <= 4);
+        // The final serial stage has cross edges: outputs in order.
+        assert_eq!(
+            *sinks[j].lock().unwrap(),
+            (0..400 + 50 * j as u64).collect::<Vec<_>>(),
+            "sps job {j} output out of order"
+        );
+    }
+    assert!(fib_handle.join().is_completed());
+    assert_eq!(fib_extract(), fib_expected, "pipe-fib result mismatch");
+    assert!(dedup_handle.join().is_completed());
+    assert_eq!(
+        *dedup_sink.lock().unwrap(),
+        dedup_expected,
+        "dedup archive mismatch"
+    );
+    assert!(ferret_handle.join().is_completed());
+    assert_eq!(
+        *ferret_sink.lock().unwrap(),
+        ferret_expected,
+        "ferret results mismatch"
+    );
+    assert!(x264_handle.join().is_completed());
+    assert_eq!(
+        *x264_sink.lock().unwrap(),
+        x264_expected,
+        "x264 output mismatch"
+    );
+
+    // Counters are bumped by the finishing worker after joiners wake:
+    // drain() orders this thread after every release.
+    service.drain();
+    let m = service.metrics();
+    assert_eq!(m.jobs_submitted, 8);
+    assert_eq!(m.jobs_admitted, 8);
+    assert_eq!(m.jobs_completed, 8);
+    assert_eq!(m.jobs_rejected, 0);
+    assert_eq!(
+        m.peak_frames_in_use, 32,
+        "all eight jobs must have been admitted concurrently (Σ K_j = 32)"
+    );
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.frames_in_use, 0);
+
+    service.shutdown();
+}
+
+#[test]
+fn bounded_queue_applies_backpressure() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(2)
+        .max_queue(2)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    // Occupies the whole frame budget until the gate opens.
+    let blocker = service
+        .submit(blocker_job(2, Arc::clone(&gate)))
+        .expect("submit blocker");
+    assert!(wait_for(Duration::from_secs(5), || {
+        service.metrics().frames_in_use == 2
+    }));
+
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let q1 = service
+        .submit(sps_job(10, 100, 2, Arc::clone(&out)))
+        .expect("first queued job fits the queue");
+    let q2 = service
+        .submit(sps_job(10, 100, 2, Arc::clone(&out)))
+        .expect("second queued job fits the queue");
+    let rejected = service.submit(sps_job(10, 100, 2, Arc::clone(&out)));
+    assert_eq!(rejected.err(), Some(SubmitError::QueueFull));
+    assert_eq!(q1.try_status(), JobStatus::Queued);
+
+    let m = service.metrics();
+    assert_eq!(m.jobs_rejected, 1);
+    assert_eq!(m.queue_depth, 2);
+    assert!(m.rejection_rate() > 0.0);
+
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+    assert!(q1.join().is_completed());
+    assert!(q2.join().is_completed());
+    service.drain();
+    assert_eq!(service.metrics().jobs_completed, 3);
+}
+
+#[test]
+fn oversized_frame_window_is_rejected_outright() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(8)
+        .build();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let err = service.submit(sps_job(5, 10, 64, out)).err();
+    assert_eq!(
+        err,
+        Some(SubmitError::FrameWindowExceedsBudget {
+            window: 64,
+            budget: 8
+        })
+    );
+    assert_eq!(service.metrics().jobs_rejected, 1);
+}
+
+#[test]
+fn interactive_jobs_jump_ahead_of_batch_backlog_without_starving_it() {
+    let mut service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(2) // one K=2 job at a time: admission order is visible
+        .max_queue(64)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let blocker = service
+        .submit(blocker_job(2, Arc::clone(&gate)))
+        .expect("submit blocker");
+    assert!(wait_for(Duration::from_secs(5), || {
+        service.metrics().frames_in_use == 2
+    }));
+
+    // Admission order is recorded by each job's Stage-0 producer.
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let logged_job = |name: &str, priority: Priority| {
+        let log = Arc::clone(&log);
+        let name = name.to_string();
+        let in_producer = name.clone();
+        let mut produced = 0u64;
+        JobSpec::new(PipeOptions::with_throttle(2), move |_i| {
+            if produced == 0 {
+                log.lock().unwrap().push(in_producer.clone());
+            }
+            if produced == 3 {
+                return Stage0::Stop;
+            }
+            produced += 1;
+            Stage0::wait(SpsItem {
+                i: produced - 1,
+                spin: 100,
+                gate: None,
+                out: Arc::new(Mutex::new(Vec::new())),
+            })
+        })
+        .named(name)
+        .priority(priority)
+    };
+
+    // Four batch jobs queued first, one interactive job queued last.
+    let mut all = Vec::new();
+    for b in 0..4 {
+        all.push(
+            service
+                .submit(logged_job(&format!("batch-{b}"), Priority::Batch))
+                .unwrap(),
+        );
+    }
+    all.push(
+        service
+            .submit(logged_job("interactive", Priority::Interactive))
+            .unwrap(),
+    );
+
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+    for h in &all {
+        assert!(h.join().is_completed(), "{} failed", h.name());
+    }
+
+    let order = log.lock().unwrap().clone();
+    let pos = |name: &str| order.iter().position(|n| n == name).unwrap();
+    // The interactive job was submitted after the whole batch backlog but
+    // must be dispatched ahead of most of it (weighted round-robin gives
+    // its class 4 of every 7 slots) — at worst one batch job slips ahead.
+    assert!(
+        pos("interactive") <= 1,
+        "interactive job starved: admission order {order:?}"
+    );
+    // And the batch backlog still ran (no starvation the other way).
+    assert_eq!(order.len(), 5);
+    service.shutdown();
+}
+
+#[test]
+fn large_job_is_not_starved_by_a_stream_of_small_jobs() {
+    // Budget 4; a sustained stream of K = 2 Interactive jobs can keep
+    // frames_in_use oscillating between 2 and 4, so the K = 4 Batch job
+    // never fits at its scan slot. The bounded-bypass reservation must
+    // still admit it well before the stream drains.
+    let mut service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(4)
+        .max_queue(128)
+        .build();
+
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let logged_sps = |name: String, n: u64, spin: u64, k: usize, priority: Priority| {
+        let log = Arc::clone(&log);
+        let mut logged = false;
+        JobSpec::new(PipeOptions::with_throttle(k), move |i| {
+            if !logged {
+                log.lock().unwrap().push(name.clone());
+                logged = true;
+            }
+            if i == n {
+                return Stage0::Stop;
+            }
+            Stage0::proceed(SpsItem {
+                i,
+                spin,
+                gate: None,
+                out: Arc::new(Mutex::new(Vec::new())),
+            })
+        })
+        .priority(priority)
+    };
+
+    let big = service
+        .submit(logged_sps("big".into(), 20, 2_000, 4, Priority::Batch))
+        .unwrap();
+    let mut smalls = Vec::new();
+    for j in 0..50 {
+        smalls.push(
+            service
+                .submit(logged_sps(
+                    format!("small-{j}"),
+                    30,
+                    2_000,
+                    2,
+                    Priority::Interactive,
+                ))
+                .unwrap(),
+        );
+    }
+
+    // Liveness: the big job completes even though small jobs keep arriving
+    // ahead of it in dispatch weight.
+    assert!(big.join().is_completed());
+    for s in &smalls {
+        assert!(s.join().is_completed());
+    }
+    let order = log.lock().unwrap().clone();
+    let big_pos = order
+        .iter()
+        .position(|n| n == "big")
+        .expect("big job must have started");
+    // First registration costs at most one RR cycle (~5 admissions), then
+    // BYPASS_LIMIT (16) more admissions may pass before the reservation
+    // kicks in; well under the 50-job stream with margin.
+    assert!(
+        big_pos <= 30,
+        "large job bypassed too long: admitted at position {big_pos} of {:?}",
+        order.len()
+    );
+    service.shutdown();
+}
+
+#[test]
+fn cancel_queued_job_never_runs_and_cancel_running_job_stops_within_one_frame() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(2)
+        .max_queue(16)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let blocker = service
+        .submit(blocker_job(2, Arc::clone(&gate)))
+        .expect("submit blocker");
+    assert!(wait_for(Duration::from_secs(5), || {
+        service.metrics().frames_in_use == 2
+    }));
+
+    // Cancel while queued: the job must never start.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let queued = service
+        .submit(sps_job(10, 100, 2, Arc::clone(&out)))
+        .unwrap();
+    assert_eq!(queued.try_status(), JobStatus::Queued);
+    queued.cancel();
+    assert_eq!(queued.try_status(), JobStatus::Cancelled);
+    match queued.join() {
+        JobResult::Cancelled(None) => {}
+        other => panic!("queued cancel must yield Cancelled(None), got {other:?}"),
+    }
+    assert!(out.lock().unwrap().is_empty(), "cancelled queued job ran");
+
+    // Cancel while running: producer stops within one iteration frame.
+    let produced = Arc::new(AtomicU64::new(0));
+    let release = Arc::new(AtomicBool::new(false));
+    let p = Arc::clone(&produced);
+    let r = Arc::clone(&release);
+    let running = service
+        .submit(JobSpec::new(PipeOptions::with_throttle(2), move |_i| {
+            p.fetch_add(1, Ordering::SeqCst);
+            Stage0::wait(Gated {
+                gate: Arc::clone(&r),
+            })
+        }))
+        .unwrap();
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+    assert!(wait_for(Duration::from_secs(5), || {
+        produced.load(Ordering::SeqCst) > 0
+    }));
+    running.cancel();
+    release.store(true, Ordering::Release);
+    match running.join() {
+        JobResult::Cancelled(Some(stats)) => {
+            // K = 2: at most the already-started frames plus one more
+            // control step can slip in after the cancel request.
+            assert!(
+                stats.iterations <= 3,
+                "cancellation observed too late: {} iterations",
+                stats.iterations
+            );
+        }
+        other => panic!("running cancel must yield Cancelled(Some(_)), got {other:?}"),
+    }
+    assert_eq!(running.try_status(), JobStatus::Cancelled);
+    service.drain();
+    let m = service.metrics();
+    assert_eq!(m.jobs_cancelled, 2);
+    assert_eq!(m.frames_in_use, 0, "cancelled job must release its frames");
+}
+
+#[test]
+fn queue_deadline_expires_jobs_that_never_got_admitted() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(2)
+        .max_queue(16)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let blocker = service
+        .submit(blocker_job(2, Arc::clone(&gate)))
+        .expect("submit blocker");
+    assert!(wait_for(Duration::from_secs(5), || {
+        service.metrics().frames_in_use == 2
+    }));
+
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let doomed = service
+        .submit(sps_job(10, 100, 2, Arc::clone(&out)).queue_deadline(Duration::from_millis(30)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    // Opening the gate wakes the dispatcher, which purges the expired job
+    // before admitting anything else.
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+    match doomed.join() {
+        JobResult::Expired => {}
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert_eq!(doomed.try_status(), JobStatus::Expired);
+    assert!(out.lock().unwrap().is_empty(), "expired job ran");
+    service.drain();
+    assert_eq!(service.metrics().jobs_expired, 1);
+}
+
+#[test]
+fn dropped_handles_leak_no_frames_even_when_a_stage_panics() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(8)
+        .max_queue(16)
+        .build();
+    let before = service.pool_metrics();
+
+    // A long job whose handle is dropped mid-flight.
+    let gate = Arc::new(AtomicBool::new(false));
+    {
+        let g = Arc::clone(&gate);
+        let mut produced = 0u64;
+        let handle = service
+            .submit(JobSpec::new(PipeOptions::with_throttle(2), move |_i| {
+                if produced == 10 {
+                    return Stage0::Stop;
+                }
+                produced += 1;
+                // Only the first iteration blocks; the rest see an open gate.
+                let gate = if produced == 1 {
+                    Arc::clone(&g)
+                } else {
+                    Arc::new(AtomicBool::new(true))
+                };
+                Stage0::wait(Gated { gate })
+            }))
+            .unwrap();
+        assert!(wait_for(Duration::from_secs(5), || {
+            service.metrics().frames_in_use > 0
+        }));
+        drop(handle); // mid-flight
+    }
+
+    // A job whose every stage panics, handle dropped immediately.
+    struct Boom;
+    impl PipelineIteration for Boom {
+        fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+            panic!("stage blew up");
+        }
+    }
+    {
+        let handle = service
+            .submit(JobSpec::new(PipeOptions::with_throttle(2), move |i| {
+                if i == 5 {
+                    return Stage0::Stop;
+                }
+                Stage0::wait(Boom)
+            }))
+            .unwrap();
+        drop(handle);
+    }
+
+    gate.store(true, Ordering::Release);
+    service.drain();
+
+    let after = service.pool_metrics();
+    let delta = after.since(&before);
+    // No frame leaked: every started iteration completed its frame and
+    // every pipeline fully retired.
+    assert_eq!(delta.iterations_started, delta.iterations_completed);
+    assert_eq!(delta.pipes_started, 2);
+    assert_eq!(delta.pipes_completed, 2);
+    // Frame accounting is reuse-consistent: both jobs allocated exactly
+    // their K = 2 ring slots once, and every iteration past the first K
+    // recycled a slot (10 - 2) + (5 - 2) — zero per-iteration allocation.
+    assert_eq!(delta.frame_allocations, 4);
+    assert_eq!(delta.frame_reuses, (10 - 2) + (5 - 2));
+    let m = service.metrics();
+    assert_eq!(m.frames_in_use, 0);
+    assert_eq!(m.jobs_completed, 1);
+    assert_eq!(m.jobs_panicked, 1);
+
+    // The pool is fully reusable afterwards.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let fresh = service
+        .submit(sps_job(50, 100, 4, Arc::clone(&out)))
+        .unwrap();
+    assert!(fresh.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), (0..50).collect::<Vec<_>>());
+}
+
+#[test]
+fn panicking_launch_closure_fails_the_job_not_the_dispatcher() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(8)
+        .build();
+    let boom = JobSpec::from_launch(
+        PipeOptions::with_throttle(2),
+        Box::new(|_pool, _opts| panic!("launch closure blew up")),
+    );
+    let handle = service.submit(boom).unwrap();
+    match handle.join() {
+        JobResult::Panicked(msg) => assert!(msg.contains("launch closure blew up")),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    assert_eq!(handle.try_status(), JobStatus::Failed);
+    // The dispatcher survived: frames were released and later jobs run.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let next = service
+        .submit(sps_job(20, 100, 2, Arc::clone(&out)))
+        .unwrap();
+    assert!(next.join().is_completed());
+    service.drain();
+    let m = service.metrics();
+    assert_eq!(m.jobs_panicked, 1);
+    assert_eq!(m.jobs_completed, 1);
+    assert_eq!(m.frames_in_use, 0);
+}
+
+#[test]
+fn shutdown_cancels_queued_jobs_and_drains_running_ones() {
+    let mut service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(2)
+        .max_queue(16)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let blocker = service
+        .submit(blocker_job(2, Arc::clone(&gate)))
+        .expect("submit blocker");
+    assert!(wait_for(Duration::from_secs(5), || {
+        service.metrics().frames_in_use == 2
+    }));
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let queued = service
+        .submit(sps_job(10, 100, 2, Arc::clone(&out)))
+        .unwrap();
+
+    // Shutdown must not hang on the gated blocker; its single in-flight
+    // iteration is released here while shutdown runs on this thread.
+    let g = Arc::clone(&gate);
+    let opener = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        g.store(true, Ordering::Release);
+    });
+    service.shutdown();
+    opener.join().unwrap();
+
+    match queued.join() {
+        JobResult::Cancelled(None) => {}
+        other => panic!("queued job must be cancelled by shutdown, got {other:?}"),
+    }
+    assert!(matches!(
+        blocker.join(),
+        JobResult::Completed(_) | JobResult::Cancelled(Some(_))
+    ));
+    assert!(out.lock().unwrap().is_empty());
+    // New submissions are rejected after shutdown.
+    let err = service.submit(sps_job(1, 1, 1, out)).err();
+    assert_eq!(err, Some(SubmitError::ShutDown));
+}

@@ -239,16 +239,12 @@ fn make_producer(config: &DedupConfig, input: &[u8]) -> impl FnMut() -> Option<C
     }
 }
 
-/// PIPER (`pipe_while`) implementation of the SSPS pipeline.
-pub fn run_piper(
-    config: &DedupConfig,
-    input: &[u8],
-    pool: &ThreadPool,
-    options: PipeOptions,
-) -> Archive {
+/// Builds the SSPS pipeline and its output sink (shared between the
+/// blocking [`run_piper`] and the deferred [`piper_launch`]).
+fn make_piper_pipeline() -> (StagedPipeline<ChunkItem>, Arc<Mutex<Archive>>) {
     let table = Arc::new(Mutex::new(DedupTable::default()));
     let sink = Arc::new(Mutex::new(Archive::default()));
-    let stages = make_stages(Arc::clone(&table), Arc::clone(&sink));
+    let stages = make_stages(table, Arc::clone(&sink));
 
     // Reuse the baseline StageSet definition by adapting it onto the piper
     // StagedPipeline (stage kinds map one to one).
@@ -260,9 +256,34 @@ pub fn run_piper(
             baselines::StageKind::Parallel => pipeline.parallel(move |item| body(item)),
         };
     }
+    (pipeline, sink)
+}
+
+/// PIPER (`pipe_while`) implementation of the SSPS pipeline.
+pub fn run_piper(
+    config: &DedupConfig,
+    input: &[u8],
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> Archive {
+    let (pipeline, sink) = make_piper_pipeline();
     pipeline.run(pool, options, make_producer(config, input));
     let result = std::mem::take(&mut *sink.lock().unwrap());
     result
+}
+
+/// Deferred detached launch of the PIPER dedup pipeline, in the shape the
+/// `pipeserve` executor accepts as a job. The returned sink holds the
+/// archive once the job's pipeline has completed.
+pub fn piper_launch(
+    config: &DedupConfig,
+    input: &[u8],
+) -> (crate::PipeLaunch, Arc<Mutex<Archive>>) {
+    let (pipeline, sink) = make_piper_pipeline();
+    let producer = make_producer(config, input);
+    let launch: crate::PipeLaunch =
+        Box::new(move |pool, options| pipeline.spawn(pool, options, producer));
+    (launch, sink)
 }
 
 /// Bind-to-stage (Pthreads-style) implementation.

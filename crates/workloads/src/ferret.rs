@@ -13,7 +13,9 @@ use baselines::{
     BindToStageConfig, BindToStagePipeline, ConstructAndRunConfig, ConstructAndRunPipeline,
     StageSet,
 };
-use imagesim::{features, Image, Index};
+use imagesim::{features, Image};
+
+pub use imagesim::Index;
 use pipedag::{NodeSpec, PipelineSpec};
 use piper::{PipeOptions, StagedPipeline, ThreadPool};
 
@@ -111,13 +113,18 @@ pub fn run_serial(config: &FerretConfig, index: &Index) -> FerretOutput {
     out
 }
 
-/// PIPER (`pipe_while`) implementation of the SPS pipeline.
-pub fn run_piper(
+/// Builds the SPS pipeline, its Stage-0 feeder, and the output sink
+/// (shared between the blocking [`run_piper`] and the deferred
+/// [`piper_launch`]).
+#[allow(clippy::type_complexity)]
+fn make_piper_pipeline(
     config: &FerretConfig,
     index: &Arc<Index>,
-    pool: &ThreadPool,
-    options: PipeOptions,
-) -> FerretOutput {
+) -> (
+    StagedPipeline<QueryItem>,
+    impl FnMut() -> Option<QueryItem> + Send + 'static,
+    Arc<Mutex<FerretOutput>>,
+) {
     let output: Arc<Mutex<FerretOutput>> = Arc::new(Mutex::new(Vec::with_capacity(config.queries)));
     let sink = Arc::clone(&output);
     let index = Arc::clone(index);
@@ -125,7 +132,7 @@ pub fn run_piper(
     let mut next = 0u64;
     let total = config.queries as u64;
 
-    StagedPipeline::<QueryItem>::new()
+    let pipeline = StagedPipeline::<QueryItem>::new()
         .parallel({
             let index = Arc::clone(&index);
             let config = config_cl.clone();
@@ -137,22 +144,46 @@ pub fn run_piper(
             let mut out = sink.lock().unwrap();
             debug_assert_eq!(out.len() as u64, item.query_id);
             out.push(std::mem::take(&mut item.results));
-        })
-        .run(pool, options, move || {
-            if next == total {
-                return None;
-            }
-            let item = QueryItem {
-                query_id: next,
-                image: load_query(&config_cl, next),
-                results: Vec::new(),
-            };
-            next += 1;
-            Some(item)
         });
+    let producer = move || {
+        if next == total {
+            return None;
+        }
+        let item = QueryItem {
+            query_id: next,
+            image: load_query(&config_cl, next),
+            results: Vec::new(),
+        };
+        next += 1;
+        Some(item)
+    };
+    (pipeline, producer, output)
+}
 
+/// PIPER (`pipe_while`) implementation of the SPS pipeline.
+pub fn run_piper(
+    config: &FerretConfig,
+    index: &Arc<Index>,
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> FerretOutput {
+    let (pipeline, producer, output) = make_piper_pipeline(config, index);
+    pipeline.run(pool, options, producer);
     let result = std::mem::take(&mut *output.lock().unwrap());
     result
+}
+
+/// Deferred detached launch of the PIPER ferret pipeline, in the shape the
+/// `pipeserve` executor accepts as a job. The returned sink holds the
+/// ranked results once the job's pipeline has completed.
+pub fn piper_launch(
+    config: &FerretConfig,
+    index: &Arc<Index>,
+) -> (crate::PipeLaunch, Arc<Mutex<FerretOutput>>) {
+    let (pipeline, producer, output) = make_piper_pipeline(config, index);
+    let launch: crate::PipeLaunch =
+        Box::new(move |pool, options| pipeline.spawn(pool, options, producer));
+    (launch, output)
 }
 
 /// Bind-to-stage (Pthreads-style) implementation.

@@ -25,6 +25,18 @@ pub mod pipefib;
 pub mod uniform;
 pub mod x264;
 
+/// A deferred detached-pipeline launch: given a pool and pipeline options,
+/// start the workload's PIPER pipeline without blocking and return its
+/// [`piper::PipeHandle`].
+///
+/// This is the currency between the workload constructors (`piper_launch`
+/// in [`dedup`], [`ferret`], [`x264`], [`pipefib`]) and the `pipeserve`
+/// executor service, which accepts exactly this shape as a job
+/// (`JobSpec::from_launch`) — the workload keeps its concrete iteration
+/// types private, the service stays fully type-erased.
+pub type PipeLaunch =
+    Box<dyn FnOnce(&piper::ThreadPool, piper::PipeOptions) -> piper::PipeHandle + Send>;
+
 /// Which executor to run a workload on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Executor {

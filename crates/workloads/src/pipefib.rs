@@ -147,23 +147,23 @@ impl PipelineIteration for FibIteration {
     }
 }
 
-/// Runs pipe-fib on PIPER and returns the bits of `F_n` plus the pipeline
-/// statistics (used by the Figure 9 table for overhead/check counts).
-pub fn run_piper(
-    config: &PipeFibConfig,
-    pool: &ThreadPool,
-    options: PipeOptions,
-) -> (Vec<u8>, PipeStats) {
+/// Allocates the shared bit table, seeded with `F_1 = F_2 = 1`.
+fn make_table(config: &PipeFibConfig) -> Arc<BitTable> {
     let n = config.n.max(2);
     let table = Arc::new(BitTable::new(n, config.max_bits()));
-    // F_1 = F_2 = 1.
     table.set(0, 0, 1);
     table.set(1, 0, 1);
+    table
+}
 
-    let iterations = n.saturating_sub(2) as u64;
-    let shared = Arc::clone(&table);
-    let cfg = *config;
-    let stats = pool.pipe_while(options, move |i| {
+/// Builds the Stage-0 producer over a seeded table (shared between the
+/// blocking [`run_piper`] and the deferred [`piper_launch`]).
+fn make_pipe_producer(
+    config: PipeFibConfig,
+    table: Arc<BitTable>,
+) -> impl FnMut(u64) -> Stage0<FibIteration> + Send + 'static {
+    let iterations = config.n.max(2).saturating_sub(2) as u64;
+    move |i| {
         if i >= iterations {
             return Stage0::Stop;
         }
@@ -171,24 +171,57 @@ pub fn run_piper(
         Stage0::Proceed {
             state: FibIteration {
                 target,
-                table: Arc::clone(&shared),
-                config: cfg,
+                table: Arc::clone(&table),
+                config,
                 carry: 0,
-                blocks: cfg.blocks_for(target + 1),
+                blocks: config.blocks_for(target + 1),
             },
             first_stage: 1,
             wait: true,
         }
-    });
+    }
+}
 
-    // Extract the bits of F_n (number index n-1), trimming trailing zeros.
+/// Extracts the bits of `F_n` (number index `n-1`), trimming trailing
+/// zeros.
+fn extract_bits(config: &PipeFibConfig, table: &BitTable) -> Vec<u8> {
+    let n = config.n.max(2);
     let mut bits: Vec<u8> = (0..config.max_bits())
         .map(|b| table.get(n - 1, b))
         .collect();
     while bits.len() > 1 && *bits.last().unwrap() == 0 {
         bits.pop();
     }
-    (bits, stats)
+    bits
+}
+
+/// Runs pipe-fib on PIPER and returns the bits of `F_n` plus the pipeline
+/// statistics (used by the Figure 9 table for overhead/check counts).
+pub fn run_piper(
+    config: &PipeFibConfig,
+    pool: &ThreadPool,
+    options: PipeOptions,
+) -> (Vec<u8>, PipeStats) {
+    let table = make_table(config);
+    let stats = pool.pipe_while(options, make_pipe_producer(*config, Arc::clone(&table)));
+    (extract_bits(config, &table), stats)
+}
+
+/// Deferred detached launch of the PIPER pipe-fib pipeline, in the shape
+/// the `pipeserve` executor accepts as a job. The second return value
+/// extracts the bits of `F_n`; call it only after the job completed.
+#[allow(clippy::type_complexity)]
+pub fn piper_launch(
+    config: &PipeFibConfig,
+) -> (crate::PipeLaunch, Box<dyn FnOnce() -> Vec<u8> + Send>) {
+    let config = *config;
+    let table = make_table(&config);
+    let shared = Arc::clone(&table);
+    let launch: crate::PipeLaunch = Box::new(move |pool, options| {
+        piper::spawn_pipe(pool, options, make_pipe_producer(config, shared))
+    });
+    let extract = Box::new(move || extract_bits(&config, &table));
+    (launch, extract)
 }
 
 /// Builds the triangular pipeline dag of pipe-fib for the scheduler

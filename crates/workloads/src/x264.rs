@@ -270,16 +270,18 @@ impl PipelineIteration for X264Iteration {
     }
 }
 
-/// PIPER (`pipe_while`) implementation of the on-the-fly x264 pipeline.
-pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -> X264Output {
-    let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
-    let sink = Arc::clone(&output);
+/// Builds the Stage-0 producer of the on-the-fly x264 pipeline (shared
+/// between the blocking [`run_piper`] and the deferred [`piper_launch`]).
+fn make_pipe_producer(
+    config: &X264Config,
+    sink: Arc<Mutex<X264Output>>,
+) -> impl FnMut(u64) -> Stage0<X264Iteration> + Send + 'static {
     let mut source = config.source();
     let encode = config.encode;
     let w = config.encode.mv_row_window as u64;
     let mut prev_rows: Option<Arc<RowStore>> = None;
 
-    pool.pipe_while(options, move |i| {
+    move |i| {
         // Stage 0: read frames, buffer B-frames, find the next I/P frame.
         let mut bframes = Vec::new();
         let reference = loop {
@@ -309,10 +311,28 @@ pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -
         // pipe_wait(PROCESS_IPFRAME + w·i): enter the first row stage with a
         // cross edge, skipping w·i stages (Figure 2, line 17).
         Stage0::into_stage(state, PROCESS_IPFRAME + w * i, true)
-    });
+    }
+}
 
+/// PIPER (`pipe_while`) implementation of the on-the-fly x264 pipeline.
+pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -> X264Output {
+    let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
+    pool.pipe_while(options, make_pipe_producer(config, Arc::clone(&output)));
     let result = std::mem::take(&mut *output.lock().unwrap());
     result
+}
+
+/// Deferred detached launch of the PIPER x264 pipeline, in the shape the
+/// `pipeserve` executor accepts as a job. The returned sink holds the
+/// encoded output once the job's pipeline has completed.
+pub fn piper_launch(config: &X264Config) -> (crate::PipeLaunch, Arc<Mutex<X264Output>>) {
+    let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&output);
+    let config = config.clone();
+    let launch: crate::PipeLaunch = Box::new(move |pool, options| {
+        piper::spawn_pipe(pool, options, make_pipe_producer(&config, sink))
+    });
+    (launch, output)
 }
 
 /// Builds the weighted pipeline dag of this configuration (per-row encode

@@ -1,0 +1,137 @@
+//! Quickstart for the `pipeserve` multi-tenant pipeline executor.
+//!
+//! Runs a small service, submits a mixed set of jobs at different
+//! priorities, cancels one mid-flight, and prints the per-job results plus
+//! the service's aggregate metrics.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_service
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use onthefly_pipeline::piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0};
+use onthefly_pipeline::pipeserve::{JobSpec, PipeService, Priority};
+use onthefly_pipeline::workloads;
+
+/// A hand-written SPS iteration: square in parallel, emit in order.
+struct Square {
+    i: u64,
+    out: Arc<Mutex<Vec<u64>>>,
+}
+
+impl PipelineIteration for Square {
+    fn run_node(&mut self, stage: u64) -> NodeOutcome {
+        match stage {
+            1 => {
+                self.i = self.i * self.i;
+                NodeOutcome::WaitFor(2)
+            }
+            2 => {
+                self.out.lock().unwrap().push(self.i);
+                NodeOutcome::Done
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn main() {
+    // One shared pool, a global frame budget, and a bounded queue.
+    let mut service = PipeService::builder()
+        .num_threads(4)
+        .frame_budget(64)
+        .max_queue(128)
+        .build();
+    println!("service: {service:?}");
+
+    // 1. A latency-sensitive hand-written pipeline job.
+    let squares = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&squares);
+    let interactive = service
+        .submit(
+            JobSpec::new(PipeOptions::with_throttle(4), move |i| {
+                if i == 10 {
+                    return Stage0::Stop;
+                }
+                Stage0::proceed(Square {
+                    i,
+                    out: Arc::clone(&sink),
+                })
+            })
+            .named("squares")
+            .priority(Priority::Interactive),
+        )
+        .expect("submit squares");
+
+    // 2. A real workload as a batch tenant: dedup, launched through the
+    //    type-erased constructor the workload crate exports.
+    let dedup_config = workloads::dedup::DedupConfig::tiny();
+    let dedup_input = dedup_config.generate_input();
+    let (dedup_launch, dedup_sink) = workloads::dedup::piper_launch(&dedup_config, &dedup_input);
+    let dedup = service
+        .submit(
+            JobSpec::from_launch(PipeOptions::with_throttle(8), dedup_launch)
+                .named("dedup")
+                .priority(Priority::Batch),
+        )
+        .expect("submit dedup");
+
+    // 3. An endless job we cancel cooperatively: the producer never stops
+    //    on its own.
+    let stop_probe = Arc::new(AtomicBool::new(false));
+    let probe = Arc::clone(&stop_probe);
+    let endless = service
+        .submit(
+            JobSpec::new(PipeOptions::with_throttle(2), move |i| {
+                probe.store(true, Ordering::Release);
+                Stage0::wait(Square {
+                    i,
+                    out: Arc::new(Mutex::new(Vec::new())),
+                })
+            })
+            .named("endless")
+            .priority(Priority::Normal),
+        )
+        .expect("submit endless");
+
+    // Let the endless job start, then cancel it; it stops spawning
+    // iterations within one iteration frame and drains cleanly.
+    while !stop_probe.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    endless.cancel();
+
+    println!("squares  -> {:?}", interactive.join());
+    println!("         = {:?}", *squares.lock().unwrap());
+    let dedup_result = dedup.join();
+    println!(
+        "dedup    -> {:?} ({} chunks archived)",
+        dedup_result.is_completed(),
+        dedup_sink.lock().unwrap().num_chunks()
+    );
+    println!("endless  -> {:?}", endless.join());
+
+    service.drain();
+    let m = service.metrics();
+    println!(
+        "service metrics: submitted={} admitted={} completed={} cancelled={} \
+         rejected={} peak_queue={} peak_frames={}/{}",
+        m.jobs_submitted,
+        m.jobs_admitted,
+        m.jobs_completed,
+        m.jobs_cancelled,
+        m.jobs_rejected,
+        m.peak_queue_depth,
+        m.peak_frames_in_use,
+        m.frame_budget,
+    );
+    let pm = service.pool_metrics();
+    println!(
+        "pool metrics: pipes started={} completed={} cancelled={} steals={}",
+        pm.pipes_started, pm.pipes_completed, pm.pipes_cancelled, pm.steals
+    );
+    service.shutdown();
+}

@@ -10,6 +10,10 @@
 //!   throttling, lazy enabling and dependency folding.
 //! * [`pipedag`] — pipeline/computation dag model, work/span analysis and a
 //!   discrete-event scheduler simulator used by the evaluation harness.
+//! * [`pipeserve`] — the multi-tenant pipeline executor service: admits,
+//!   schedules and observes many concurrent pipelines over one shared
+//!   `piper` pool (frame-budget admission, weighted-fair dispatch,
+//!   cooperative cancellation).
 //! * [`baselines`] — bind-to-stage (Pthreads-style) and construct-and-run
 //!   (TBB-style) pipeline executors the paper compares against.
 //! * [`workloads`] — the PARSEC-analogue pipeline programs: ferret, dedup,
@@ -23,6 +27,7 @@ pub use compress;
 pub use imagesim;
 pub use pipedag;
 pub use piper;
+pub use pipeserve;
 pub use videosim;
 pub use workloads;
 pub use wsdeque;
