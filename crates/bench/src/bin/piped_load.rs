@@ -1,0 +1,494 @@
+//! Load generator for the `piped` network serving daemon
+//! (`BENCH_piped.json` trajectory).
+//!
+//! Drives a mixed dedup / ferret / x264 / pipe-fib fleet over **loopback
+//! TCP** — by default against an in-process [`piped::PipedServer`] on an
+//! ephemeral port, or against an external daemon (`--addr HOST:PORT` or
+//! `PIPED_ADDR`, the CI path) — at several open-loop arrival rates, and
+//! reports per rate:
+//!
+//! * **throughput** (completed jobs per second of wall clock),
+//! * **end-to-end latency** p50 / p99 (SUBMIT written → JOB_DONE read,
+//!   both network directions included),
+//! * **rejection rate** (wire-level REJECTED verdicts: bounded queue and
+//!   input caps shedding load),
+//! * the executor's aggregate counters, fetched over the METRICS frame
+//!   (cumulative across the rates, since the server is shared).
+//!
+//! Every completed job's streamed output is verified **byte-identical**
+//! to its workload's serial reference, so a protocol or scheduling bug
+//! cannot hide behind good numbers. After the rate runs, a **drain
+//! phase** exercises graceful shutdown mid-flight: a batch is admitted, a
+//! second connection sends DRAIN, every admitted job must complete (and
+//! verify), and a post-drain SUBMIT must be rejected with the `draining`
+//! code. Results go to `BENCH_piped.json` (override with
+//! `PIPED_BENCH_OUT`).
+//!
+//! Flags / environment:
+//!
+//! * `--quick` (or `PIPED_BENCH_QUICK=1`) — seconds-scale smoke run
+//!   (used by CI);
+//! * `--fail-on-rejections` — exit non-zero if the *lowest* (smoke)
+//!   arrival rate rejected any job;
+//! * `--addr HOST:PORT` (or `PIPED_ADDR`) — drive an external daemon
+//!   instead of self-hosting (the drain phase will drain *that* server).
+
+use std::time::{Duration, Instant};
+
+use pipe_bench::Table;
+use piped::{
+    ClientError, ErrorCode, PipedClient, PipedServer, RemoteJob, ServerConfig, SubmitOptions,
+    WireJobStatus,
+};
+use pipeserve::Priority;
+
+/// One workload in the mix: its byte input and expected output bytes.
+struct MixEntry {
+    name: &'static str,
+    input: Vec<u8>,
+    expected: Vec<u8>,
+}
+
+/// The mixed fleet, with serial references computed once up front.
+struct Mix {
+    entries: Vec<MixEntry>,
+}
+
+impl Mix {
+    fn prepare() -> Mix {
+        let inputs: Vec<(&'static str, Vec<u8>)> = vec![
+            (
+                "dedup",
+                workloads::dedup::DedupConfig::tiny().generate_input(),
+            ),
+            (
+                "ferret",
+                workloads::bytes::ferret_input(&workloads::ferret::FerretConfig::tiny()),
+            ),
+            (
+                "x264",
+                workloads::bytes::x264_input(&workloads::x264::X264Config::tiny()),
+            ),
+            (
+                "pipefib",
+                workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig::tiny()),
+            ),
+        ];
+        let entries = inputs
+            .into_iter()
+            .map(|(name, input)| {
+                let expected = (workloads::bytes::lookup(name).expect("registered").serial)(&input)
+                    .expect("serial reference");
+                MixEntry {
+                    name,
+                    input,
+                    expected,
+                }
+            })
+            .collect();
+        Mix { entries }
+    }
+
+    /// The `i`-th job of the fleet: cycles through the four workloads and
+    /// the three priority classes.
+    fn job(&self, i: usize) -> (&MixEntry, SubmitOptions) {
+        let entry = &self.entries[i % self.entries.len()];
+        let priority = [Priority::Interactive, Priority::Normal, Priority::Batch][i % 3];
+        (
+            entry,
+            SubmitOptions::new(entry.name)
+                .priority(priority)
+                .throttle(4),
+        )
+    }
+}
+
+/// Results of one arrival-rate run.
+struct RunResult {
+    rate: f64,
+    offered: usize,
+    rejected: u64,
+    completed: u64,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    /// Cumulative executor metrics fetched over the wire after the run.
+    metrics_json: String,
+}
+
+impl RunResult {
+    fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
+
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"arrival_rate_jobs_per_s\": {:.1},\n",
+                "      \"offered_jobs\": {},\n",
+                "      \"rejected_jobs\": {},\n",
+                "      \"rejection_rate\": {:.4},\n",
+                "      \"completed_jobs\": {},\n",
+                "      \"wall_s\": {:.4},\n",
+                "      \"throughput_jobs_per_s\": {:.1},\n",
+                "      \"latency_p50_ms\": {:.3},\n",
+                "      \"latency_p99_ms\": {:.3},\n",
+                "      \"service_metrics_cumulative\": {}\n",
+                "    }}"
+            ),
+            self.rate,
+            self.offered,
+            self.rejected,
+            self.rejection_rate(),
+            self.completed,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.metrics_json,
+        )
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("ERROR: {message}");
+    std::process::exit(1);
+}
+
+/// What one submitter connection measured.
+struct ConnTally {
+    rejected: u64,
+    latencies_ms: Vec<f64>,
+    /// `(job index, output bytes)` of each completed job, verified by the
+    /// caller after the clock stops.
+    outputs: Vec<(usize, Vec<u8>)>,
+}
+
+/// Submits `offered` mixed jobs at an aggregate `rate` jobs/s (open loop)
+/// over `connections` client connections — one submitter thread per
+/// connection, each holding the absolute schedule for its share, so the
+/// offered rate is not bounded by one thread's ACCEPTED round-trips.
+/// Every completed job is verified byte-for-byte.
+fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: usize) -> RunResult {
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut submitters = Vec::with_capacity(connections);
+    for t in 0..connections {
+        let addr = addr.to_string();
+        let mix_jobs: Vec<(usize, Vec<u8>, SubmitOptions)> = (0..offered)
+            .filter(|i| i % connections == t)
+            .map(|i| {
+                let (entry, options) = mix.job(i);
+                (i, entry.input.clone(), options)
+            })
+            .collect();
+        submitters.push(std::thread::spawn(move || -> ConnTally {
+            let client = PipedClient::connect(&*addr).expect("connect to piped server");
+            let mut accepted: Vec<(RemoteJob, usize)> = Vec::with_capacity(mix_jobs.len());
+            let mut rejected = 0u64;
+            for (i, input, options) in mix_jobs {
+                // Open-loop arrivals: stick to the absolute schedule even
+                // if submission itself lags.
+                let due = start + interval.mul_f64(i as f64);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                match client.submit(&options, &input) {
+                    Ok(job) => accepted.push((job, i)),
+                    Err(ClientError::Rejected { .. }) => rejected += 1,
+                    Err(e) => die(&format!("job {i}: submit failed: {e}")),
+                }
+            }
+            let mut latencies_ms = Vec::with_capacity(accepted.len());
+            let mut outputs = Vec::with_capacity(accepted.len());
+            for (job, i) in accepted {
+                let outcome = match job.wait() {
+                    Ok(outcome) => outcome,
+                    Err(e) => die(&format!("job {i}: wait failed: {e}")),
+                };
+                if outcome.status != WireJobStatus::Completed {
+                    die(&format!(
+                        "job {i} ended as {:?}: {}",
+                        outcome.status, outcome.message
+                    ));
+                }
+                latencies_ms.push(outcome.latency.as_secs_f64() * 1e3);
+                outputs.push((i, outcome.output));
+            }
+            ConnTally {
+                rejected,
+                latencies_ms,
+                outputs,
+            }
+        }));
+    }
+    let tallies: Vec<ConnTally> = submitters
+        .into_iter()
+        .map(|thread| thread.join().expect("submitter thread"))
+        .collect();
+    let wall = start.elapsed();
+
+    // Verify after the clock stops, so the published throughput measures
+    // the service, not the harness's reference comparisons.
+    let mut rejected = 0u64;
+    let mut completed = 0u64;
+    let mut latencies_ms = Vec::with_capacity(offered);
+    for tally in &tallies {
+        rejected += tally.rejected;
+        completed += tally.outputs.len() as u64;
+        latencies_ms.extend_from_slice(&tally.latencies_ms);
+        for (i, output) in &tally.outputs {
+            let entry = mix.job(*i).0;
+            if output != &entry.expected {
+                die(&format!(
+                    "job {i} ({}): output differs from the serial reference ({} vs {} bytes)",
+                    entry.name,
+                    output.len(),
+                    entry.expected.len()
+                ));
+            }
+        }
+    }
+    let metrics_client = PipedClient::connect(addr).expect("connect for metrics");
+    let metrics_json = metrics_client
+        .metrics_json()
+        .expect("metrics over the wire");
+    RunResult {
+        rate,
+        offered,
+        rejected,
+        completed,
+        wall,
+        latencies_ms,
+        metrics_json,
+    }
+}
+
+/// Results of the mid-flight drain phase.
+struct DrainResult {
+    admitted: usize,
+    completed_after_drain: usize,
+    post_drain_rejected_with_draining: bool,
+    wall: Duration,
+}
+
+/// Admits a batch, drains mid-flight from a second connection, verifies
+/// every admitted job completes byte-identical, and checks that new
+/// SUBMITs get the `draining` verdict. Run **last**: the server accepts no
+/// work afterwards.
+fn run_drain_phase(addr: &str, mix: &Mix, batch: usize) -> DrainResult {
+    let client = PipedClient::connect(addr).expect("connect for drain phase");
+    let control = PipedClient::connect(addr).expect("connect drain control");
+    let start = Instant::now();
+    let mut jobs = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let (entry, options) = mix.job(i);
+        match client.submit(&options, &entry.input) {
+            Ok(job) => jobs.push((job, i)),
+            Err(e) => die(&format!("drain batch submit {i} failed: {e}")),
+        }
+    }
+    let admitted = jobs.len();
+    // Mid-flight: the jobs are admitted (ACCEPTED received) but running.
+    control.drain().expect("drain");
+
+    let mut completed = 0usize;
+    for (job, i) in jobs {
+        let outcome = job.wait().expect("wait after drain");
+        if outcome.status != WireJobStatus::Completed {
+            die(&format!(
+                "drained job {i} ended as {:?} (admitted jobs must complete)",
+                outcome.status
+            ));
+        }
+        let entry = mix.job(i).0;
+        if outcome.output != entry.expected {
+            die(&format!("drained job {i} ({}): output differs", entry.name));
+        }
+        completed += 1;
+    }
+
+    let verdict = client.submit(&mix.job(0).1, &mix.job(0).0.input);
+    let post_drain_rejected_with_draining = matches!(
+        verdict,
+        Err(ClientError::Rejected {
+            code: ErrorCode::Draining,
+            ..
+        })
+    );
+    if !post_drain_rejected_with_draining {
+        die(&format!(
+            "post-drain submit was not rejected with the draining code: {verdict:?}"
+        ));
+    }
+    DrainResult {
+        admitted,
+        completed_after_drain: completed,
+        post_drain_rejected_with_draining,
+        wall: start.elapsed(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("PIPED_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let fail_on_rejections = args.iter().any(|a| a == "--fail-on-rejections");
+    let out_path =
+        std::env::var("PIPED_BENCH_OUT").unwrap_or_else(|_| "BENCH_piped.json".to_string());
+    let external_addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|at| args.get(at + 1).cloned())
+        .or_else(|| std::env::var("PIPED_ADDR").ok());
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Self-host unless an external daemon was named. The small queue in
+    // quick mode lets the overload rate actually trip backpressure, so the
+    // rejection machinery is exercised for real, not vacuously.
+    let (rates, offered, max_queue, connections): (Vec<f64>, usize, usize, usize) = if quick {
+        (vec![25.0, 2000.0], 60, 16, 4)
+    } else {
+        (vec![50.0, 400.0, 4000.0], 240, 64, 8)
+    };
+    let mut server_thread = None;
+    let addr = match &external_addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = PipedServer::bind(
+                "127.0.0.1:0",
+                ServerConfig {
+                    max_queue,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind in-process server");
+            let addr = server.local_addr().expect("bound address").to_string();
+            let handle = server.handle();
+            server_thread = Some((
+                std::thread::spawn(move || {
+                    let _ = server.serve();
+                }),
+                handle,
+            ));
+            addr
+        }
+    };
+
+    let mix = Mix::prepare();
+    let mut runs = Vec::new();
+    for &rate in &rates {
+        println!(
+            "running {offered} mixed jobs at {rate:.0} jobs/s over {connections} connections ..."
+        );
+        runs.push(run_at_rate(&addr, &mix, rate, offered, connections));
+    }
+
+    println!("drain phase: admit a batch, drain mid-flight, verify completions ...");
+    let drain = run_drain_phase(&addr, &mix, 8);
+
+    let mut table = Table::new(&[
+        "rate (j/s)",
+        "offered",
+        "rejected",
+        "completed",
+        "thru (j/s)",
+        "p50 (ms)",
+        "p99 (ms)",
+    ]);
+    for r in &runs {
+        table.row(vec![
+            format!("{:.0}", r.rate),
+            r.offered.to_string(),
+            r.rejected.to_string(),
+            r.completed.to_string(),
+            format!("{:.1}", r.throughput()),
+            format!("{:.2}", r.percentile(0.5)),
+            format!("{:.2}", r.percentile(0.99)),
+        ]);
+    }
+    println!(
+        "piped_load — mixed fleet over loopback TCP ({} server)",
+        if external_addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+    println!("{}", table.render());
+    println!(
+        "drain: {}/{} admitted jobs completed after mid-flight drain; post-drain submit rejected: {}",
+        drain.completed_after_drain, drain.admitted, drain.post_drain_rejected_with_draining
+    );
+
+    let run_json: Vec<String> = runs.iter().map(RunResult::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"piped_load\",\n",
+            "  \"quick\": {},\n",
+            "  \"host_workers\": {},\n",
+            "  \"transport\": \"loopback-tcp\",\n",
+            "  \"server\": \"{}\",\n",
+            "  \"job_mix\": [\"dedup\", \"ferret\", \"x264\", \"pipefib\"],\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"drain\": {{\n",
+            "    \"admitted\": {},\n",
+            "    \"completed_after_drain\": {},\n",
+            "    \"post_drain_rejected_with_draining\": {},\n",
+            "    \"wall_s\": {:.4}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick,
+        workers,
+        if external_addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        },
+        run_json.join(",\n"),
+        drain.admitted,
+        drain.completed_after_drain,
+        drain.post_drain_rejected_with_draining,
+        drain.wall.as_secs_f64(),
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("wrote {out_path}");
+
+    if let Some((thread, handle)) = server_thread {
+        handle.stop();
+        let _ = thread.join();
+    }
+
+    if fail_on_rejections {
+        let smoke = &runs[0];
+        if smoke.rejected > 0 {
+            die(&format!(
+                "smoke arrival rate ({:.0} jobs/s) rejected {} of {} jobs",
+                smoke.rate, smoke.rejected, smoke.offered
+            ));
+        }
+    }
+}

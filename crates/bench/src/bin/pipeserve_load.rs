@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use pipe_bench::Table;
 use piper::PipeOptions;
-use pipeserve::{JobHandle, JobSpec, PipeService, Priority};
+use pipeserve::{JobHandle, JobSpec, PipeService, Priority, ServiceMetricsSnapshot};
 
 /// Per-job verification: checks the completed job's output against the
 /// serial reference for its workload type.
@@ -168,8 +168,8 @@ struct RunResult {
     completed: u64,
     wall: Duration,
     latencies_ms: Vec<f64>,
-    peak_queue_depth: u64,
-    peak_frames_in_use: u64,
+    /// The service's aggregate counters at the end of the run.
+    metrics: ServiceMetricsSnapshot,
 }
 
 impl RunResult {
@@ -196,6 +196,9 @@ impl RunResult {
     }
 
     fn json(&self) -> String {
+        // The service-level counters come from the one shared formatter
+        // (`ServiceMetricsSnapshot::to_json`); only the harness-side
+        // measurements are rendered here.
         format!(
             concat!(
                 "    {{\n",
@@ -208,8 +211,7 @@ impl RunResult {
                 "      \"throughput_jobs_per_s\": {:.1},\n",
                 "      \"latency_p50_ms\": {:.3},\n",
                 "      \"latency_p99_ms\": {:.3},\n",
-                "      \"peak_queue_depth\": {},\n",
-                "      \"peak_frames_in_use\": {}\n",
+                "      \"service_metrics\": {}\n",
                 "    }}"
             ),
             self.rate,
@@ -221,8 +223,7 @@ impl RunResult {
             self.throughput(),
             self.percentile(0.50),
             self.percentile(0.99),
-            self.peak_queue_depth,
-            self.peak_frames_in_use,
+            self.metrics.to_json(),
         )
     }
 }
@@ -287,7 +288,7 @@ fn run_at_rate(
             std::process::exit(1);
         }
     }
-    let m = service.metrics();
+    let metrics = service.metrics();
     RunResult {
         rate,
         offered,
@@ -295,8 +296,7 @@ fn run_at_rate(
         completed,
         wall,
         latencies_ms,
-        peak_queue_depth: m.peak_queue_depth,
-        peak_frames_in_use: m.peak_frames_in_use,
+        metrics,
     }
 }
 
@@ -351,8 +351,8 @@ fn main() {
             format!("{:.1}", r.throughput()),
             format!("{:.2}", r.percentile(0.5)),
             format!("{:.2}", r.percentile(0.99)),
-            r.peak_queue_depth.to_string(),
-            r.peak_frames_in_use.to_string(),
+            r.metrics.peak_queue_depth.to_string(),
+            r.metrics.peak_frames_in_use.to_string(),
         ]);
     }
     println!("pipeserve_load — mixed dedup/ferret/x264/pipe-fib fleet on {workers} workers");

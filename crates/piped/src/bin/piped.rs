@@ -1,0 +1,98 @@
+//! The `piped` daemon: serve pipeline jobs over TCP.
+//!
+//! ```sh
+//! piped --listen 127.0.0.1:7070 --workers 8 --max-queue 256
+//! piped --listen 127.0.0.1:0 --addr-file piped.addr --exit-on-drain
+//! ```
+//!
+//! Flags:
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:0`, an ephemeral
+//!   port; the bound address is printed and optionally written to
+//!   `--addr-file`).
+//! * `--workers N` — executor pool workers (default: machine parallelism).
+//! * `--frame-budget N` — global `Σ K_j` cap (default: executor default).
+//! * `--max-queue N` — bounded submission-queue depth (default 256).
+//! * `--max-input-mb N` — per-job input cap in MiB (default 16).
+//! * `--output-window N` — per-connection queued OUTPUT-frame cap
+//!   (default 64).
+//! * `--addr-file PATH` — write the bound address to PATH once listening
+//!   (how CI discovers the ephemeral port).
+//! * `--exit-on-drain` — exit after a DRAIN completes (the
+//!   SIGTERM-equivalent shutdown: a client sends DRAIN, admitted jobs
+//!   finish, the process leaves).
+
+use piped::{PipedServer, ServerConfig};
+
+fn usage_and_exit(message: &str) -> ! {
+    eprintln!("piped: {message}");
+    eprintln!(
+        "usage: piped [--listen ADDR] [--workers N] [--frame-budget N] [--max-queue N] \
+         [--max-input-mb N] [--output-window N] [--addr-file PATH] [--exit-on-drain]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        usage_and_exit(&format!("{flag} requires a value"));
+    };
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_and_exit(&format!("invalid value for {flag}: {value:?}")))
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut addr_file: Option<String> = None;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = parse_value("--listen", args.next()),
+            "--workers" => config.workers = parse_value("--workers", args.next()),
+            "--frame-budget" => {
+                config.frame_budget = Some(parse_value("--frame-budget", args.next()));
+            }
+            "--max-queue" => config.max_queue = parse_value("--max-queue", args.next()),
+            "--max-input-mb" => {
+                config.max_input_bytes = parse_value::<usize>("--max-input-mb", args.next()) << 20;
+            }
+            "--output-window" => {
+                config.output_window = parse_value("--output-window", args.next());
+            }
+            "--addr-file" => addr_file = Some(parse_value("--addr-file", args.next())),
+            "--exit-on-drain" => config.exit_on_drain = true,
+            "--help" | "-h" => usage_and_exit("pipeline job serving daemon"),
+            other => usage_and_exit(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let server = match PipedServer::bind(&listen, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("piped: failed to bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("piped: listening on {addr}");
+    println!(
+        "piped: serving workloads: {}",
+        workloads::bytes::names().join(", ")
+    );
+    if let Some(path) = addr_file {
+        // Write via a temp file + rename so a watcher never reads a
+        // half-written address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string()).expect("failed to write --addr-file");
+        std::fs::rename(&tmp, &path).expect("failed to move --addr-file into place");
+    }
+
+    if let Err(e) = server.serve() {
+        eprintln!("piped: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("piped: drained; exiting");
+}

@@ -1,0 +1,500 @@
+//! The client library: a blocking, multiplexing connection to a
+//! [`crate::PipedServer`].
+//!
+//! One [`PipedClient`] owns one TCP connection and a demultiplexer thread
+//! that routes incoming frames to per-ticket job entries, so any number of
+//! jobs (from any number of threads) can be in flight concurrently on the
+//! same socket. Submission is blocking-but-bounded: [`PipedClient::submit`]
+//! streams the input and waits for the server's ACCEPTED/REJECTED verdict;
+//! the returned [`RemoteJob`] then collects the streamed output and the
+//! terminal JOB_DONE.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pipeserve::Priority;
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, WireJobStatus, CHUNK_BYTES, PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE, PRIORITY_NORMAL,
+};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The connection failed or was closed mid-conversation.
+    Connection(String),
+    /// The server refused the request.
+    Rejected {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connection(msg) => write!(f, "connection error: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Scheduling parameters of a submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Registry name of the workload (e.g. `"dedup"`).
+    pub workload: String,
+    /// Scheduling class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Throttle window `K` (0 = server default `4P`).
+    pub throttle: u32,
+    /// Queue deadline in milliseconds (0 = none).
+    pub deadline_ms: u32,
+}
+
+impl SubmitOptions {
+    /// Options for `workload` with all defaults.
+    pub fn new(workload: impl Into<String>) -> SubmitOptions {
+        SubmitOptions {
+            workload: workload.into(),
+            priority: Priority::Normal,
+            throttle: 0,
+            deadline_ms: 0,
+        }
+    }
+
+    /// Sets the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the throttle window `K`.
+    pub fn throttle(mut self, k: u32) -> Self {
+        self.throttle = k;
+        self
+    }
+
+    /// Sets the queue deadline.
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+}
+
+/// Terminal outcome of a remote job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// The terminal state (completed / cancelled / failed / expired).
+    pub status: WireJobStatus,
+    /// The complete output stream (valid only for
+    /// [`WireJobStatus::Completed`]).
+    pub output: Vec<u8>,
+    /// Panic text for failed jobs, else empty.
+    pub message: String,
+    /// Submit-to-JOB_DONE latency, measured at this client (includes both
+    /// network directions).
+    pub latency: Duration,
+}
+
+/// Per-ticket progress, filled in by the demultiplexer.
+#[derive(Default)]
+struct EntryState {
+    accepted: Option<Result<u64, (ErrorCode, String)>>,
+    output: Vec<u8>,
+    done: Option<(WireJobStatus, String, Instant)>,
+    status_reply: Option<WireJobStatus>,
+    conn_error: Option<String>,
+}
+
+struct JobEntry {
+    state: Mutex<EntryState>,
+    cv: Condvar,
+    submitted_at: Instant,
+}
+
+/// State shared between the client API and the demultiplexer thread.
+struct ClientShared {
+    entries: Mutex<HashMap<u64, Arc<JobEntry>>>,
+    metrics: Mutex<Vec<String>>,
+    metrics_cv: Condvar,
+    drained: Mutex<bool>,
+    drain_cv: Condvar,
+    conn_error: Mutex<Option<String>>,
+}
+
+impl ClientShared {
+    /// Records a connection failure and wakes every waiter.
+    fn fail(&self, message: String) {
+        *self.conn_error.lock().unwrap() = Some(message.clone());
+        for entry in self.entries.lock().unwrap().values() {
+            let mut state = entry.state.lock().unwrap();
+            state.conn_error = Some(message.clone());
+            entry.cv.notify_all();
+        }
+        self.metrics_cv.notify_all();
+        self.drain_cv.notify_all();
+    }
+
+    fn entry(&self, ticket: u64) -> Option<Arc<JobEntry>> {
+        self.entries.lock().unwrap().get(&ticket).cloned()
+    }
+}
+
+/// A blocking, multiplexing client connection; see the
+/// [module docs](self).
+///
+/// Dropping the client shuts the socket down in both directions, so the
+/// server observes the disconnect promptly (and cancels any jobs still
+/// outstanding on this connection) and the demultiplexer thread exits.
+pub struct PipedClient {
+    writer: Mutex<BufWriter<TcpStream>>,
+    shared: Arc<ClientShared>,
+    next_ticket: AtomicU64,
+    /// Serialises METRICS and DRAIN request/response pairs.
+    control_call: Mutex<()>,
+    /// A handle on the shared socket, kept solely so Drop can shut it
+    /// down (the writer/demux fds are dups of the same socket).
+    socket: TcpStream,
+}
+
+impl Drop for PipedClient {
+    fn drop(&mut self) {
+        // Without this, the demux thread's dup of the socket keeps the
+        // connection established forever: the server would never see EOF
+        // and never run its orphan-cancelling teardown.
+        let _ = self.socket.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl PipedClient {
+    /// Connects and spawns the demultiplexer thread.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<PipedClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        let socket = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            entries: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(Vec::new()),
+            metrics_cv: Condvar::new(),
+            drained: Mutex::new(false),
+            drain_cv: Condvar::new(),
+            conn_error: Mutex::new(None),
+        });
+        let demux_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("piped-client-demux".to_string())
+            .spawn(move || demux_loop(read_half, demux_shared))
+            .expect("failed to spawn client demux thread");
+        Ok(PipedClient {
+            writer: Mutex::new(BufWriter::new(stream)),
+            shared,
+            next_ticket: AtomicU64::new(1),
+            control_call: Mutex::new(()),
+            socket,
+        })
+    }
+
+    fn send(&self, frames: &[Frame]) -> Result<(), ClientError> {
+        let mut writer = self.writer.lock().unwrap();
+        for frame in frames {
+            write_frame(&mut *writer, frame).map_err(|e| ClientError::Connection(e.to_string()))?;
+        }
+        writer
+            .flush()
+            .map_err(|e| ClientError::Connection(e.to_string()))
+    }
+
+    /// Submits a job: streams `input`, waits for the server's verdict, and
+    /// returns a handle on the accepted job.
+    pub fn submit(&self, options: &SubmitOptions, input: &[u8]) -> Result<RemoteJob, ClientError> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(JobEntry {
+            state: Mutex::new(EntryState::default()),
+            cv: Condvar::new(),
+            submitted_at: Instant::now(),
+        });
+        self.shared
+            .entries
+            .lock()
+            .unwrap()
+            .insert(ticket, Arc::clone(&entry));
+
+        let priority = match options.priority {
+            Priority::Interactive => PRIORITY_INTERACTIVE,
+            Priority::Normal => PRIORITY_NORMAL,
+            Priority::Batch => PRIORITY_BATCH,
+        };
+        let mut frames = vec![Frame::Submit {
+            ticket,
+            workload: options.workload.clone(),
+            priority,
+            throttle: options.throttle,
+            deadline_ms: options.deadline_ms,
+        }];
+        for part in input.chunks(CHUNK_BYTES) {
+            frames.push(Frame::InputChunk {
+                ticket,
+                data: part.to_vec(),
+            });
+        }
+        frames.push(Frame::InputEof { ticket });
+        if let Err(e) = self.send(&frames) {
+            self.shared.entries.lock().unwrap().remove(&ticket);
+            return Err(e);
+        }
+
+        // Wait for the verdict.
+        let verdict = {
+            let mut state = entry.state.lock().unwrap();
+            loop {
+                if let Some(verdict) = state.accepted.clone() {
+                    break verdict;
+                }
+                if let Some(msg) = &state.conn_error {
+                    let msg = msg.clone();
+                    drop(state);
+                    self.shared.entries.lock().unwrap().remove(&ticket);
+                    return Err(ClientError::Connection(msg));
+                }
+                state = entry.cv.wait(state).unwrap();
+            }
+        };
+        match verdict {
+            Ok(job_id) => Ok(RemoteJob {
+                shared: Arc::clone(&self.shared),
+                entry,
+                ticket,
+                job_id,
+            }),
+            Err((code, message)) => {
+                self.shared.entries.lock().unwrap().remove(&ticket);
+                Err(ClientError::Rejected { code, message })
+            }
+        }
+    }
+
+    /// Fetches the server's aggregate executor metrics as JSON.
+    pub fn metrics_json(&self) -> Result<String, ClientError> {
+        let _serialize = self.control_call.lock().unwrap();
+        self.send(&[Frame::Metrics])?;
+        let mut metrics = self.shared.metrics.lock().unwrap();
+        loop {
+            if let Some(json) = metrics.pop() {
+                return Ok(json);
+            }
+            if let Some(msg) = self.shared.conn_error.lock().unwrap().clone() {
+                return Err(ClientError::Connection(msg));
+            }
+            metrics = self.shared.metrics_cv.wait(metrics).unwrap();
+        }
+    }
+
+    /// Asks the server to drain and blocks until it reports DRAIN_DONE
+    /// (every admitted job finished; new submissions rejected server-wide).
+    pub fn drain(&self) -> Result<(), ClientError> {
+        let _serialize = self.control_call.lock().unwrap();
+        self.send(&[Frame::Drain])?;
+        let mut drained = self.shared.drained.lock().unwrap();
+        loop {
+            if *drained {
+                return Ok(());
+            }
+            if let Some(msg) = self.shared.conn_error.lock().unwrap().clone() {
+                return Err(ClientError::Connection(msg));
+            }
+            drained = self.shared.drain_cv.wait(drained).unwrap();
+        }
+    }
+
+    /// Sends a cancel for `ticket` (used by [`RemoteJob::cancel`]).
+    fn send_cancel(&self, ticket: u64) -> Result<(), ClientError> {
+        self.send(&[Frame::Cancel { ticket }])
+    }
+
+    /// Sends a status probe for `ticket` (used by [`RemoteJob::status`]).
+    fn send_status(&self, ticket: u64) -> Result<(), ClientError> {
+        self.send(&[Frame::Status { ticket }])
+    }
+}
+
+/// A handle on one accepted remote job.
+pub struct RemoteJob {
+    shared: Arc<ClientShared>,
+    entry: Arc<JobEntry>,
+    ticket: u64,
+    job_id: u64,
+}
+
+impl std::fmt::Debug for RemoteJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteJob")
+            .field("ticket", &self.ticket)
+            .field("job_id", &self.job_id)
+            .finish()
+    }
+}
+
+impl RemoteJob {
+    /// The client-side correlation id.
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// The server-side executor job id (diagnostics).
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Blocks until JOB_DONE and returns the terminal outcome with the
+    /// complete output stream. Idempotent: a repeated `wait` returns the
+    /// same outcome (the output is kept, not drained).
+    pub fn wait(&self) -> Result<RemoteOutcome, ClientError> {
+        let outcome = {
+            let mut state = self.entry.state.lock().unwrap();
+            loop {
+                if let Some((status, message, at)) = state.done.clone() {
+                    break RemoteOutcome {
+                        status,
+                        output: state.output.clone(),
+                        message,
+                        latency: at.duration_since(self.entry.submitted_at),
+                    };
+                }
+                if let Some(msg) = &state.conn_error {
+                    return Err(ClientError::Connection(msg.clone()));
+                }
+                state = self.entry.cv.wait(state).unwrap();
+            }
+        };
+        self.shared.entries.lock().unwrap().remove(&self.ticket);
+        Ok(outcome)
+    }
+
+    /// Requests cooperative cancellation (JOB_DONE still follows, normally
+    /// with the `Cancelled` status — or `Completed` if the race was lost).
+    pub fn cancel(&self, client: &PipedClient) -> Result<(), ClientError> {
+        client.send_cancel(self.ticket)
+    }
+
+    /// Round-trips a STATUS probe.
+    pub fn status(&self, client: &PipedClient) -> Result<WireJobStatus, ClientError> {
+        {
+            let mut state = self.entry.state.lock().unwrap();
+            state.status_reply = None;
+        }
+        client.send_status(self.ticket)?;
+        let mut state = self.entry.state.lock().unwrap();
+        loop {
+            if let Some(status) = state.status_reply {
+                return Ok(status);
+            }
+            // A terminal frame also answers the question.
+            if let Some((status, _, _)) = &state.done {
+                return Ok(*status);
+            }
+            if let Some(msg) = &state.conn_error {
+                return Err(ClientError::Connection(msg.clone()));
+            }
+            state = self.entry.cv.wait(state).unwrap();
+        }
+    }
+}
+
+/// Routes incoming frames to their per-ticket entries.
+fn demux_loop(stream: TcpStream, shared: Arc<ClientShared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => match frame {
+                Frame::Accepted { ticket, job_id } => {
+                    if let Some(entry) = shared.entry(ticket) {
+                        let mut state = entry.state.lock().unwrap();
+                        state.accepted = Some(Ok(job_id));
+                        entry.cv.notify_all();
+                    }
+                }
+                Frame::Rejected {
+                    ticket,
+                    code,
+                    message,
+                } => {
+                    if let Some(entry) = shared.entry(ticket) {
+                        let mut state = entry.state.lock().unwrap();
+                        state.accepted = Some(Err((code, message)));
+                        entry.cv.notify_all();
+                    }
+                }
+                Frame::OutputChunk { ticket, data } => {
+                    if let Some(entry) = shared.entry(ticket) {
+                        entry.state.lock().unwrap().output.extend_from_slice(&data);
+                    }
+                }
+                Frame::JobDone {
+                    ticket,
+                    status,
+                    message,
+                } => {
+                    if let Some(entry) = shared.entry(ticket) {
+                        let mut state = entry.state.lock().unwrap();
+                        state.done = Some((status, message, Instant::now()));
+                        entry.cv.notify_all();
+                    }
+                }
+                Frame::StatusReply { ticket, status } => {
+                    if let Some(entry) = shared.entry(ticket) {
+                        let mut state = entry.state.lock().unwrap();
+                        state.status_reply = Some(status);
+                        entry.cv.notify_all();
+                    }
+                }
+                Frame::MetricsReply { json } => {
+                    shared.metrics.lock().unwrap().push(json);
+                    shared.metrics_cv.notify_all();
+                }
+                Frame::DrainDone => {
+                    *shared.drained.lock().unwrap() = true;
+                    shared.drain_cv.notify_all();
+                }
+                Frame::Error { code, message } => {
+                    // Connection-level protocol error: the server will hang
+                    // up; surface the reason to every waiter.
+                    shared.fail(format!("server error ({code}): {message}"));
+                    return;
+                }
+                // Client→server frames arriving at the client mean the
+                // peer is not a piped server.
+                Frame::Submit { .. }
+                | Frame::InputChunk { .. }
+                | Frame::InputEof { .. }
+                | Frame::Status { .. }
+                | Frame::Cancel { .. }
+                | Frame::Metrics
+                | Frame::Drain => {
+                    shared.fail("peer sent a client-side frame".to_string());
+                    return;
+                }
+            },
+            Ok(None) => {
+                shared.fail("connection closed by server".to_string());
+                return;
+            }
+            Err(e) => {
+                shared.fail(e.to_string());
+                return;
+            }
+        }
+    }
+}

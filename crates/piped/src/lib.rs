@@ -1,0 +1,40 @@
+//! **piped** — a network serving daemon that streams pipeline jobs over
+//! TCP onto the shared `pipeserve` pool.
+//!
+//! The stack so far runs the paper's on-the-fly pipelines for code linked
+//! into the same process: `piper` executes one pipeline, `pipeserve`
+//! multiplexes many onto one pool. This crate adds the missing layer of a
+//! servable system — a transport that admits work from *outside* the
+//! process, in the mould of production engines that pair a long-running
+//! pipeline executor with a network front end:
+//!
+//! * [`proto`] — a length-prefixed binary wire protocol with a per-frame
+//!   CRC-32 ([`checksum::crc32`]): SUBMIT + streamed input chunks in,
+//!   streamed OUTPUT chunks + JOB_DONE back, STATUS / CANCEL / METRICS /
+//!   DRAIN control frames.
+//! * [`server`] — [`PipedServer`]: a TCP daemon multiplexing any number of
+//!   connections onto one `pipeserve::PipeService`. Each SUBMIT names a
+//!   workload from the `workloads::bytes` registry; the workload
+//!   pipeline's final serial stage streams encoded output straight into
+//!   the connection's bounded outbound queue (backpressure reaches the
+//!   pipeline as ordinary serial-stage blocking), and a graceful DRAIN
+//!   completes admitted jobs while rejecting new ones.
+//! * [`client`] — [`PipedClient`]: a blocking multiplexing client (one
+//!   demux thread per connection, any number of concurrent
+//!   [`RemoteJob`]s).
+//!
+//! The `piped` binary wraps [`PipedServer`] as a daemon for CI and
+//! command-line use; `piped_load` (in `crates/bench`) drives a server
+//! over loopback and verifies every response byte-for-byte against the
+//! workloads' serial references. See `crates/piped/DESIGN.md` for the
+//! frame table and the backpressure/drain semantics.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, PipedClient, RemoteJob, RemoteOutcome, SubmitOptions};
+pub use proto::{ErrorCode, Frame, WireError, WireJobStatus};
+pub use server::{PipedServer, ServerConfig, ServerHandle};

@@ -1,0 +1,658 @@
+//! The wire protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────┬──────────────┐
+//! │ len: u32 LE  │ body: tag u8 + payload bytes │ crc: u32 LE  │
+//! └──────────────┴──────────────────────────────┴──────────────┘
+//! ```
+//!
+//! where `len` is the body length (bounded by [`MAX_FRAME_BODY`]) and
+//! `crc` is [`checksum::crc32`] over the body. Integers are little-endian;
+//! strings and byte buffers are `u32-LE length + bytes`. The CRC catches
+//! corruption *and* de-sync (a reader that slips a byte sees a garbage tag
+//! or checksum, never a silently misparsed frame); since frames cannot be
+//! resynchronised after either, both are terminal for the connection.
+//!
+//! See `crates/piped/DESIGN.md` for the full frame table and the
+//! conversation structure (SUBMIT → input chunks → EOF → ACCEPTED →
+//! streamed OUTPUT → JOB_DONE, plus STATUS/CANCEL/METRICS/DRAIN control
+//! frames).
+
+use std::io::{Read, Write};
+
+use checksum::crc32;
+
+/// Upper bound on a frame body. A peer advertising more is treated as
+/// corrupt ([`WireError::Oversized`]) — the length prefix is the first
+/// thing read after a de-sync, so an unchecked huge length would turn one
+/// flipped bit into a gigabyte allocation.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
+
+/// Preferred payload size for streamed input/output chunks: small enough
+/// that many jobs interleave fairly on one connection, large enough to
+/// amortise framing (4 KiB CRC+header per 64 KiB payload is < 0.02 %).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Job scheduling classes on the wire (mirrors `pipeserve::Priority`).
+pub const PRIORITY_INTERACTIVE: u8 = 0;
+/// See [`PRIORITY_INTERACTIVE`].
+pub const PRIORITY_NORMAL: u8 = 1;
+/// See [`PRIORITY_INTERACTIVE`].
+pub const PRIORITY_BATCH: u8 = 2;
+
+/// Why the server refused a request (carried by [`Frame::Rejected`] and
+/// [`Frame::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The executor's bounded submission queue is full — backpressure;
+    /// retry later or shed load upstream.
+    QueueFull = 1,
+    /// The requested throttle window `K` alone exceeds the server's frame
+    /// budget; the job could never be admitted.
+    FrameBudget = 2,
+    /// The executor is shutting down.
+    ShuttingDown = 3,
+    /// The server is draining: admitted jobs run to completion, new
+    /// submissions are refused.
+    Draining = 4,
+    /// No workload with the requested name is registered.
+    UnknownWorkload = 5,
+    /// The input buffer failed the workload's codec or bounds checks.
+    InvalidInput = 6,
+    /// The streamed input exceeded the server's per-job input cap.
+    InputTooLarge = 7,
+    /// The peer violated the protocol (bad frame sequence, unknown
+    /// ticket, …).
+    Protocol = 8,
+}
+
+impl ErrorCode {
+    fn from_u8(value: u8) -> Result<ErrorCode, WireError> {
+        Ok(match value {
+            1 => ErrorCode::QueueFull,
+            2 => ErrorCode::FrameBudget,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::Draining,
+            5 => ErrorCode::UnknownWorkload,
+            6 => ErrorCode::InvalidInput,
+            7 => ErrorCode::InputTooLarge,
+            8 => ErrorCode::Protocol,
+            _ => return Err(WireError::Malformed("unknown error code")),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::FrameBudget => "frame-budget",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Draining => "draining",
+            ErrorCode::UnknownWorkload => "unknown-workload",
+            ErrorCode::InvalidInput => "invalid-input",
+            ErrorCode::InputTooLarge => "input-too-large",
+            ErrorCode::Protocol => "protocol",
+        };
+        f.write_str(name)
+    }
+}
+
+impl From<&pipeserve::SubmitError> for ErrorCode {
+    /// The wire-level rendering of an executor rejection.
+    fn from(err: &pipeserve::SubmitError) -> ErrorCode {
+        match err {
+            pipeserve::SubmitError::QueueFull => ErrorCode::QueueFull,
+            pipeserve::SubmitError::FrameWindowExceedsBudget { .. } => ErrorCode::FrameBudget,
+            pipeserve::SubmitError::ShutDown => ErrorCode::ShuttingDown,
+        }
+    }
+}
+
+/// Terminal/live job states on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireJobStatus {
+    /// Waiting in the executor's submission queue.
+    Queued = 0,
+    /// Admitted and executing.
+    Running = 1,
+    /// Ran every iteration; the streamed output is complete and valid.
+    Completed = 2,
+    /// Cancelled before or during execution; discard any partial output.
+    Cancelled = 3,
+    /// The job panicked server-side; discard any partial output.
+    Failed = 4,
+    /// Expired in the queue past its deadline without running.
+    Expired = 5,
+    /// The server no longer tracks this ticket (finished earlier, or never
+    /// accepted).
+    Unknown = 6,
+}
+
+impl WireJobStatus {
+    fn from_u8(value: u8) -> Result<WireJobStatus, WireError> {
+        Ok(match value {
+            0 => WireJobStatus::Queued,
+            1 => WireJobStatus::Running,
+            2 => WireJobStatus::Completed,
+            3 => WireJobStatus::Cancelled,
+            4 => WireJobStatus::Failed,
+            5 => WireJobStatus::Expired,
+            6 => WireJobStatus::Unknown,
+            _ => return Err(WireError::Malformed("unknown job status")),
+        })
+    }
+
+    /// True once the job can make no further progress.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, WireJobStatus::Queued | WireJobStatus::Running)
+    }
+}
+
+impl From<pipeserve::JobStatus> for WireJobStatus {
+    fn from(status: pipeserve::JobStatus) -> WireJobStatus {
+        match status {
+            pipeserve::JobStatus::Queued => WireJobStatus::Queued,
+            pipeserve::JobStatus::Running => WireJobStatus::Running,
+            pipeserve::JobStatus::Completed => WireJobStatus::Completed,
+            pipeserve::JobStatus::Cancelled => WireJobStatus::Cancelled,
+            pipeserve::JobStatus::Failed => WireJobStatus::Failed,
+            pipeserve::JobStatus::Expired => WireJobStatus::Expired,
+        }
+    }
+}
+
+/// One protocol frame. Tickets are client-chosen correlation ids, unique
+/// per connection; the server echoes them on every response so many jobs
+/// can multiplex over one socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    // -- client → server ---------------------------------------------------
+    /// Announce a job: workload name plus scheduling parameters
+    /// (`throttle` 0 = executor default `4P`; `deadline_ms` 0 = no queue
+    /// deadline). Input bytes follow as [`Frame::InputChunk`]s.
+    Submit {
+        /// Client-chosen correlation id.
+        ticket: u64,
+        /// Registry name of the workload (e.g. `"dedup"`).
+        workload: String,
+        /// Scheduling class: [`PRIORITY_INTERACTIVE`] / normal / batch.
+        priority: u8,
+        /// Requested throttle window `K` (0 = server default).
+        throttle: u32,
+        /// Queue deadline in milliseconds (0 = none).
+        deadline_ms: u32,
+    },
+    /// A piece of the job's input buffer, in order.
+    InputChunk {
+        /// Correlation id of the pending SUBMIT.
+        ticket: u64,
+        /// The next input bytes.
+        data: Vec<u8>,
+    },
+    /// End of input: the server may now construct and submit the job.
+    InputEof {
+        /// Correlation id of the pending SUBMIT.
+        ticket: u64,
+    },
+    /// Ask for the job's current status (answered by
+    /// [`Frame::StatusReply`]).
+    Status {
+        /// Correlation id of the job.
+        ticket: u64,
+    },
+    /// Request cooperative cancellation of the job.
+    Cancel {
+        /// Correlation id of the job.
+        ticket: u64,
+    },
+    /// Ask for the executor's aggregate metrics (answered by
+    /// [`Frame::MetricsReply`]).
+    Metrics,
+    /// Begin a graceful drain: admitted jobs complete, new SUBMITs are
+    /// rejected server-wide, and [`Frame::DrainDone`] answers once idle.
+    Drain,
+
+    // -- server → client ---------------------------------------------------
+    /// The job was admitted to the executor.
+    Accepted {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// The executor's job id (diagnostics only).
+        job_id: u64,
+    },
+    /// The job was refused before execution; no output will follow.
+    Rejected {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// Why.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A piece of the job's output stream, in order.
+    OutputChunk {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// The next output bytes.
+        data: Vec<u8>,
+    },
+    /// The job reached a terminal state; its output stream is complete.
+    JobDone {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// Terminal state.
+        status: WireJobStatus,
+        /// Panic text for [`WireJobStatus::Failed`], else empty.
+        message: String,
+    },
+    /// Answer to [`Frame::Status`].
+    StatusReply {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// Current state ([`WireJobStatus::Unknown`] for untracked
+        /// tickets).
+        status: WireJobStatus,
+    },
+    /// Answer to [`Frame::Metrics`]: the executor's
+    /// `ServiceMetricsSnapshot::to_json()`.
+    MetricsReply {
+        /// Single-line JSON object.
+        json: String,
+    },
+    /// Answer to [`Frame::Drain`]: every admitted job has finished.
+    DrainDone,
+    /// A connection-level protocol error (not tied to a job).
+    Error {
+        /// Why.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Frame tags (the first body byte).
+mod tag {
+    pub const SUBMIT: u8 = 0x01;
+    pub const INPUT_CHUNK: u8 = 0x02;
+    pub const INPUT_EOF: u8 = 0x03;
+    pub const STATUS: u8 = 0x04;
+    pub const CANCEL: u8 = 0x05;
+    pub const METRICS: u8 = 0x06;
+    pub const DRAIN: u8 = 0x07;
+    pub const ACCEPTED: u8 = 0x81;
+    pub const REJECTED: u8 = 0x82;
+    pub const OUTPUT_CHUNK: u8 = 0x83;
+    pub const JOB_DONE: u8 = 0x84;
+    pub const STATUS_REPLY: u8 = 0x85;
+    pub const METRICS_REPLY: u8 = 0x86;
+    pub const DRAIN_DONE: u8 = 0x87;
+    pub const ERROR: u8 = 0x88;
+}
+
+/// What went wrong reading or decoding a frame. Every variant except
+/// [`WireError::Io`] means the stream cannot be trusted further; the
+/// connection should be closed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// The advertised body length exceeds [`MAX_FRAME_BODY`].
+    Oversized {
+        /// The advertised length.
+        len: u32,
+    },
+    /// The body failed its CRC.
+    Corrupt {
+        /// CRC carried on the wire.
+        expected: u32,
+        /// CRC computed over the received body.
+        actual: u32,
+    },
+    /// The body's first byte is not a known frame tag.
+    UnknownFrameType(u8),
+    /// The body parsed structurally but violated a field constraint.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {MAX_FRAME_BODY} cap"
+                )
+            }
+            WireError::Corrupt { expected, actual } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: wire {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            WireError::UnknownFrameType(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+// -------------------------------------------------------------- encoding --
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+impl Frame {
+    /// Encodes the frame body (tag + payload), without length prefix or
+    /// CRC.
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Submit {
+                ticket,
+                workload,
+                priority,
+                throttle,
+                deadline_ms,
+            } => {
+                out.push(tag::SUBMIT);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                put_bytes(&mut out, workload.as_bytes());
+                out.push(*priority);
+                out.extend_from_slice(&throttle.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Frame::InputChunk { ticket, data } => {
+                out.push(tag::INPUT_CHUNK);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                put_bytes(&mut out, data);
+            }
+            Frame::InputEof { ticket } => {
+                out.push(tag::INPUT_EOF);
+                out.extend_from_slice(&ticket.to_le_bytes());
+            }
+            Frame::Status { ticket } => {
+                out.push(tag::STATUS);
+                out.extend_from_slice(&ticket.to_le_bytes());
+            }
+            Frame::Cancel { ticket } => {
+                out.push(tag::CANCEL);
+                out.extend_from_slice(&ticket.to_le_bytes());
+            }
+            Frame::Metrics => out.push(tag::METRICS),
+            Frame::Drain => out.push(tag::DRAIN),
+            Frame::Accepted { ticket, job_id } => {
+                out.push(tag::ACCEPTED);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                out.extend_from_slice(&job_id.to_le_bytes());
+            }
+            Frame::Rejected {
+                ticket,
+                code,
+                message,
+            } => {
+                out.push(tag::REJECTED);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                out.push(*code as u8);
+                put_bytes(&mut out, message.as_bytes());
+            }
+            Frame::OutputChunk { ticket, data } => {
+                out.push(tag::OUTPUT_CHUNK);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                put_bytes(&mut out, data);
+            }
+            Frame::JobDone {
+                ticket,
+                status,
+                message,
+            } => {
+                out.push(tag::JOB_DONE);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                out.push(*status as u8);
+                put_bytes(&mut out, message.as_bytes());
+            }
+            Frame::StatusReply { ticket, status } => {
+                out.push(tag::STATUS_REPLY);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                out.push(*status as u8);
+            }
+            Frame::MetricsReply { json } => {
+                out.push(tag::METRICS_REPLY);
+                put_bytes(&mut out, json.as_bytes());
+            }
+            Frame::DrainDone => out.push(tag::DRAIN_DONE),
+            Frame::Error { code, message } => {
+                out.push(tag::ERROR);
+                out.push(*code as u8);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Encodes the full wire representation: length prefix + body + CRC.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        debug_assert!(body.len() <= MAX_FRAME_BODY, "frame body exceeds cap");
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame body (tag + payload, no length prefix / CRC).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let mut cursor = Cursor { body, at: 0 };
+        let tag = cursor.u8()?;
+        let frame = match tag {
+            tag::SUBMIT => {
+                let ticket = cursor.u64()?;
+                let workload = cursor.string()?;
+                let priority = cursor.u8()?;
+                if priority > PRIORITY_BATCH {
+                    return Err(WireError::Malformed("priority out of range"));
+                }
+                Frame::Submit {
+                    ticket,
+                    workload,
+                    priority,
+                    throttle: cursor.u32()?,
+                    deadline_ms: cursor.u32()?,
+                }
+            }
+            tag::INPUT_CHUNK => Frame::InputChunk {
+                ticket: cursor.u64()?,
+                data: cursor.bytes()?,
+            },
+            tag::INPUT_EOF => Frame::InputEof {
+                ticket: cursor.u64()?,
+            },
+            tag::STATUS => Frame::Status {
+                ticket: cursor.u64()?,
+            },
+            tag::CANCEL => Frame::Cancel {
+                ticket: cursor.u64()?,
+            },
+            tag::METRICS => Frame::Metrics,
+            tag::DRAIN => Frame::Drain,
+            tag::ACCEPTED => Frame::Accepted {
+                ticket: cursor.u64()?,
+                job_id: cursor.u64()?,
+            },
+            tag::REJECTED => Frame::Rejected {
+                ticket: cursor.u64()?,
+                code: ErrorCode::from_u8(cursor.u8()?)?,
+                message: cursor.string()?,
+            },
+            tag::OUTPUT_CHUNK => Frame::OutputChunk {
+                ticket: cursor.u64()?,
+                data: cursor.bytes()?,
+            },
+            tag::JOB_DONE => Frame::JobDone {
+                ticket: cursor.u64()?,
+                status: WireJobStatus::from_u8(cursor.u8()?)?,
+                message: cursor.string()?,
+            },
+            tag::STATUS_REPLY => Frame::StatusReply {
+                ticket: cursor.u64()?,
+                status: WireJobStatus::from_u8(cursor.u8()?)?,
+            },
+            tag::METRICS_REPLY => Frame::MetricsReply {
+                json: cursor.string()?,
+            },
+            tag::DRAIN_DONE => Frame::DrainDone,
+            tag::ERROR => Frame::Error {
+                code: ErrorCode::from_u8(cursor.u8()?)?,
+                message: cursor.string()?,
+            },
+            other => return Err(WireError::UnknownFrameType(other)),
+        };
+        if cursor.at != body.len() {
+            return Err(WireError::Malformed("trailing bytes after frame payload"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or(WireError::Malformed("payload shorter than its fields"))?;
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+}
+
+// -------------------------------------------------------------------- io --
+
+/// Writes one frame (length prefix + body + CRC). The caller flushes.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    writer.write_all(&frame.to_wire_bytes())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF at a
+/// frame boundary); EOF anywhere inside a frame is [`WireError::Truncated`].
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    // Read the first length byte alone so a clean EOF is distinguishable
+    // from a truncation.
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 1 {
+        match reader.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    reader.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME_BODY {
+        return Err(WireError::Oversized { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    reader.read_exact(&mut crc_buf)?;
+    let expected = u32::from_le_bytes(crc_buf);
+    let actual = crc32(&body);
+    if expected != actual {
+        return Err(WireError::Corrupt { expected, actual });
+    }
+    Frame::decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_error_maps_to_wire_codes() {
+        assert_eq!(
+            ErrorCode::from(&pipeserve::SubmitError::QueueFull),
+            ErrorCode::QueueFull
+        );
+        assert_eq!(
+            ErrorCode::from(&pipeserve::SubmitError::FrameWindowExceedsBudget {
+                window: 64,
+                budget: 32
+            }),
+            ErrorCode::FrameBudget
+        );
+        assert_eq!(
+            ErrorCode::from(&pipeserve::SubmitError::ShutDown),
+            ErrorCode::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn clean_eof_reads_as_none_and_crc_is_cross_checked() {
+        let frame = Frame::Metrics;
+        let wire = frame.to_wire_bytes();
+        let mut cursor = std::io::Cursor::new(wire.clone());
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        // The trailing 4 bytes really are crc32 of the body.
+        let body_len = u32::from_le_bytes(wire[0..4].try_into().unwrap()) as usize;
+        let body = &wire[4..4 + body_len];
+        let crc = u32::from_le_bytes(wire[4 + body_len..].try_into().unwrap());
+        assert_eq!(crc, checksum::crc32(body));
+    }
+}

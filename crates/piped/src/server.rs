@@ -1,0 +1,645 @@
+//! The serving daemon: a TCP listener multiplexing many connections onto
+//! one shared [`pipeserve::PipeService`].
+//!
+//! ## Threading model
+//!
+//! One accept loop ([`PipedServer::serve`]), two threads per connection (a
+//! frame reader and a frame writer), and the executor's own pool/dispatch
+//! threads. Job output never touches the reader: each workload pipeline's
+//! final serial stage encodes items and pushes `OUTPUT` frames into the
+//! connection's [`Outbound`] queue, and the job's terminal hook pushes
+//! `JOB_DONE` the same way, so completions are event-driven — no waiter
+//! thread per job.
+//!
+//! ## Backpressure
+//!
+//! The outbound queue bounds *data* frames ([`ServerConfig::output_window`]):
+//! a pipeline whose client reads slowly blocks in its own serial output
+//! stage, which throttles exactly that pipeline (its ring admits at most
+//! `K` in-flight iterations) while control frames (ACCEPTED, JOB_DONE,
+//! STATUS_REPLY, …) bypass the window so bookkeeping never deadlocks
+//! behind data. Input is bounded by [`ServerConfig::max_input_bytes`] and
+//! the executor's bounded submission queue provides admission-level
+//! backpressure (`REJECTED queue-full`).
+//!
+//! ## Drain
+//!
+//! A `DRAIN` frame (or [`ServerHandle::drain`]) puts the whole server in
+//! draining mode: every connection's new SUBMITs are rejected with
+//! `draining`, admitted jobs run to completion, and `DRAIN_DONE` answers
+//! once the executor is idle. With
+//! [`ServerConfig::exit_on_drain`] the accept loop then stops — the
+//! SIGTERM-equivalent shutdown used by CI.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use pipeserve::{JobResult, JobSpec, PipeService, Priority};
+use workloads::bytes::{ByteJob, ByteJobError, ByteSink};
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, WireJobStatus, CHUNK_BYTES, PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+};
+
+/// Tuning knobs of a [`PipedServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pool workers of the shared executor (0 = machine parallelism).
+    pub workers: usize,
+    /// Global frame budget (`Σ K_j` cap); `None` = executor default.
+    pub frame_budget: Option<usize>,
+    /// Bounded submission-queue depth of the executor.
+    pub max_queue: usize,
+    /// Per-job cap on streamed input bytes. The same value also caps the
+    /// *total* buffered input of a connection's pending (pre-EOF)
+    /// submissions, and [`ServerConfig::max_pending_per_conn`] caps their
+    /// count — admission control only engages at EOF, so these bounds are
+    /// what keeps a client that opens tickets without ever finishing them
+    /// from growing server memory without limit.
+    pub max_input_bytes: usize,
+    /// Cap on concurrently pending (input-streaming) submissions per
+    /// connection.
+    pub max_pending_per_conn: usize,
+    /// Per-connection cap on queued OUTPUT frames before job pipelines
+    /// block (the backpressure window).
+    pub output_window: usize,
+    /// Stop the accept loop after a drain completes.
+    pub exit_on_drain: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            frame_budget: None,
+            max_queue: 256,
+            max_input_bytes: 16 << 20,
+            max_pending_per_conn: 32,
+            output_window: 64,
+            exit_on_drain: false,
+        }
+    }
+}
+
+/// Shared state between the accept loop, connection threads and the
+/// control handle.
+struct Shared {
+    service: Arc<PipeService>,
+    config: ServerConfig,
+    /// Set by DRAIN: reject new SUBMITs server-wide.
+    draining: AtomicBool,
+    /// Set to stop the accept loop.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// The one drain sequence, shared by the DRAIN wire frame and
+    /// [`ServerHandle::drain`]: flag first (new SUBMITs rejected), block
+    /// until the executor is idle, then honour `exit_on_drain`.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.service.drain();
+        if self.config.exit_on_drain {
+            self.stop.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// A control handle on a running server, usable from any thread (tests,
+/// signal handlers, the daemon binary).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Puts the server in draining mode and blocks until every admitted
+    /// job has finished (the programmatic equivalent of a DRAIN frame).
+    pub fn drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// True once a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Stops the accept loop (existing connections keep running until
+    /// their clients disconnect).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// The executor's aggregate metrics.
+    pub fn metrics(&self) -> pipeserve::ServiceMetricsSnapshot {
+        self.shared.service.metrics()
+    }
+}
+
+/// The serving daemon; see the [module docs](self).
+pub struct PipedServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl PipedServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// builds the shared executor.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<PipedServer> {
+        let listener = TcpListener::bind(addr)?;
+        let mut builder = PipeService::builder().max_queue(config.max_queue);
+        if config.workers > 0 {
+            builder = builder.num_threads(config.workers);
+        }
+        if let Some(frames) = config.frame_budget {
+            builder = builder.frame_budget(frames);
+        }
+        let service = Arc::new(builder.build());
+        Ok(PipedServer {
+            listener,
+            shared: Arc::new(Shared {
+                service,
+                config,
+                draining: AtomicBool::new(false),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A cloneable control handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] (or a drain with
+    /// [`ServerConfig::exit_on_drain`]). Each connection gets a reader and
+    /// a writer thread; connection threads outlive this call only until
+    /// their client disconnects.
+    pub fn serve(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::Builder::new()
+                        .name("piped-conn".to_string())
+                        .spawn(move || serve_connection(stream, shared))
+                        .expect("failed to spawn connection thread");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+// -------------------------------------------------- per-connection state --
+
+/// The connection's ordered outbound frame queue. Control frames are
+/// never blocked (so terminal hooks running on pool workers cannot stall);
+/// data frames block the pushing pipeline once `window` of them are
+/// queued — the per-connection backpressure.
+struct Outbound {
+    state: Mutex<OutboundState>,
+    cv: Condvar,
+    window: usize,
+}
+
+struct OutboundState {
+    queue: VecDeque<Frame>,
+    data_queued: usize,
+    /// The writer failed (peer gone): drop everything, unblock pushers.
+    dead: bool,
+    /// No more frames will be pushed; the writer exits after flushing.
+    closed: bool,
+}
+
+impl Outbound {
+    fn new(window: usize) -> Outbound {
+        Outbound {
+            state: Mutex::new(OutboundState {
+                queue: VecDeque::new(),
+                data_queued: 0,
+                dead: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            window: window.max(1),
+        }
+    }
+
+    /// Queues a control frame (never blocks on the data window).
+    fn push_control(&self, frame: Frame) {
+        let mut state = self.state.lock().unwrap();
+        if state.dead || state.closed {
+            return;
+        }
+        state.queue.push_back(frame);
+        self.cv.notify_all();
+    }
+
+    /// Queues a data frame, blocking while the window is full. Called from
+    /// pipeline serial stages on pool workers; a dead/closed connection
+    /// turns the write into a no-op so pipelines always drain.
+    fn push_data(&self, frame: Frame) {
+        let mut state = self.state.lock().unwrap();
+        while state.data_queued >= self.window && !state.dead && !state.closed {
+            state = self.cv.wait(state).unwrap();
+        }
+        if state.dead || state.closed {
+            return;
+        }
+        state.data_queued += 1;
+        state.queue.push_back(frame);
+        self.cv.notify_all();
+    }
+
+    /// Writer side: pops the next frame, or `None` once closed/dead and
+    /// empty.
+    fn pop(&self) -> Option<Frame> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(frame) = state.queue.pop_front() {
+                if matches!(frame, Frame::OutputChunk { .. }) {
+                    state.data_queued -= 1;
+                    self.cv.notify_all();
+                }
+                return Some(frame);
+            }
+            if state.closed || state.dead {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.cv.notify_all();
+    }
+
+    fn mark_dead(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.dead = true;
+        state.queue.clear();
+        state.data_queued = 0;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-connection state shared with job hooks and sinks.
+struct Conn {
+    outbound: Arc<Outbound>,
+    /// Live jobs of this connection, by ticket.
+    jobs: Mutex<HashMap<u64, pipeserve::JobHandle>>,
+}
+
+/// A SUBMIT whose input is still streaming in.
+struct PendingJob {
+    descriptor: &'static ByteJob,
+    priority: Priority,
+    throttle: u32,
+    deadline_ms: u32,
+    input: Vec<u8>,
+}
+
+fn wire_priority(priority: u8) -> Priority {
+    match priority {
+        PRIORITY_INTERACTIVE => Priority::Interactive,
+        PRIORITY_BATCH => Priority::Batch,
+        _ => Priority::Normal,
+    }
+}
+
+fn terminal_frame(ticket: u64, result: &JobResult) -> Frame {
+    let (status, message) = match result {
+        JobResult::Completed(_) => (WireJobStatus::Completed, String::new()),
+        JobResult::Cancelled(_) => (WireJobStatus::Cancelled, String::new()),
+        JobResult::Panicked(msg) => (WireJobStatus::Failed, msg.clone()),
+        JobResult::Expired => (WireJobStatus::Expired, String::new()),
+    };
+    Frame::JobDone {
+        ticket,
+        status,
+        message,
+    }
+}
+
+/// Handles one client connection: reads frames until EOF or a protocol
+/// error, then cancels the connection's outstanding jobs and closes the
+/// outbound queue.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let outbound = Arc::new(Outbound::new(shared.config.output_window));
+    let writer_outbound = Arc::clone(&outbound);
+    let writer = std::thread::Builder::new()
+        .name("piped-conn-writer".to_string())
+        .spawn(move || {
+            let mut writer = BufWriter::new(write_half);
+            while let Some(frame) = writer_outbound.pop() {
+                if write_frame(&mut writer, &frame).is_err() || writer.flush().is_err() {
+                    writer_outbound.mark_dead();
+                    return;
+                }
+            }
+            let _ = writer.flush();
+        })
+        .expect("failed to spawn connection writer thread");
+
+    let conn = Arc::new(Conn {
+        outbound: Arc::clone(&outbound),
+        jobs: Mutex::new(HashMap::new()),
+    });
+    let mut reader = BufReader::new(stream);
+    let mut pending: HashMap<u64, PendingJob> = HashMap::new();
+    // Tickets rejected before submission, whose residual input frames are
+    // silently ignored (the client may still be streaming them).
+    let mut dropped: HashSet<u64> = HashSet::new();
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                outbound.push_control(Frame::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        };
+        match frame {
+            Frame::Submit {
+                ticket,
+                workload,
+                priority,
+                throttle,
+                deadline_ms,
+            } => {
+                if pending.contains_key(&ticket) || conn.jobs.lock().unwrap().contains_key(&ticket)
+                {
+                    // Ticket reuse is a protocol violation; ERROR frames
+                    // are documented as connection-fatal, so hang up.
+                    outbound.push_control(Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("ticket {ticket} already in use"),
+                    });
+                    break;
+                }
+                // A rejected ticket may be legitimately reused once its
+                // stream ended; forget any stale residual-frame marker.
+                dropped.remove(&ticket);
+                if pending.len() >= shared.config.max_pending_per_conn {
+                    dropped.insert(ticket);
+                    outbound.push_control(Frame::Rejected {
+                        ticket,
+                        code: ErrorCode::QueueFull,
+                        message: format!(
+                            "too many pending submissions on this connection (cap {})",
+                            shared.config.max_pending_per_conn
+                        ),
+                    });
+                    continue;
+                }
+                match workloads::bytes::lookup(&workload) {
+                    Ok(descriptor) => {
+                        pending.insert(
+                            ticket,
+                            PendingJob {
+                                descriptor,
+                                priority: wire_priority(priority),
+                                throttle,
+                                deadline_ms,
+                                input: Vec::new(),
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        dropped.insert(ticket);
+                        outbound.push_control(Frame::Rejected {
+                            ticket,
+                            code: ErrorCode::UnknownWorkload,
+                            message: format!("no workload named {workload:?}"),
+                        });
+                    }
+                }
+            }
+            Frame::InputChunk { ticket, data } => {
+                if !pending.contains_key(&ticket) {
+                    if dropped.contains(&ticket) {
+                        continue; // residual input of a rejected submit
+                    }
+                    outbound.push_control(Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("input chunk for unknown ticket {ticket}"),
+                    });
+                    break;
+                }
+                let pending_total: usize = pending.values().map(|p| p.input.len()).sum();
+                let job = pending.get_mut(&ticket).expect("checked above");
+                if job.input.len() + data.len() > shared.config.max_input_bytes
+                    || pending_total + data.len() > shared.config.max_input_bytes
+                {
+                    pending.remove(&ticket);
+                    dropped.insert(ticket);
+                    outbound.push_control(Frame::Rejected {
+                        ticket,
+                        code: ErrorCode::InputTooLarge,
+                        message: format!(
+                            "input exceeds the {} byte cap (per job and across a \
+                             connection's pending submissions)",
+                            shared.config.max_input_bytes
+                        ),
+                    });
+                    continue;
+                }
+                job.input.extend_from_slice(&data);
+            }
+            Frame::InputEof { ticket } => {
+                let Some(job) = pending.remove(&ticket) else {
+                    if dropped.remove(&ticket) {
+                        continue; // the rejected submit's stream is over
+                    }
+                    outbound.push_control(Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!("input EOF for unknown ticket {ticket}"),
+                    });
+                    break;
+                };
+                submit_job(&shared, &conn, ticket, job);
+            }
+            Frame::Status { ticket } => {
+                let status = conn
+                    .jobs
+                    .lock()
+                    .unwrap()
+                    .get(&ticket)
+                    .map(|handle| WireJobStatus::from(handle.try_status()))
+                    .unwrap_or(WireJobStatus::Unknown);
+                outbound.push_control(Frame::StatusReply { ticket, status });
+            }
+            Frame::Cancel { ticket } => {
+                // Clone the handle out before cancelling: a still-queued
+                // job is finalized synchronously on this thread, and its
+                // terminal hook re-locks `conn.jobs` — holding the guard
+                // across `cancel()` would self-deadlock.
+                let handle = conn.jobs.lock().unwrap().get(&ticket).cloned();
+                if let Some(handle) = handle {
+                    handle.cancel();
+                } else if pending.remove(&ticket).is_some() {
+                    // Input still streaming: drop it; the job never ran.
+                    dropped.insert(ticket);
+                    outbound.push_control(Frame::JobDone {
+                        ticket,
+                        status: WireJobStatus::Cancelled,
+                        message: String::new(),
+                    });
+                }
+            }
+            Frame::Metrics => {
+                outbound.push_control(Frame::MetricsReply {
+                    json: shared.service.metrics().to_json(),
+                });
+            }
+            Frame::Drain => {
+                // Blocks this connection's reader until the executor is
+                // idle; other connections keep reading (their SUBMITs are
+                // rejected) and every job's output/JOB_DONE flows through
+                // the writer threads.
+                shared.begin_drain();
+                outbound.push_control(Frame::DrainDone);
+            }
+            // Server→client frames arriving at the server are a protocol
+            // violation; close the connection.
+            Frame::Accepted { .. }
+            | Frame::Rejected { .. }
+            | Frame::OutputChunk { .. }
+            | Frame::JobDone { .. }
+            | Frame::StatusReply { .. }
+            | Frame::MetricsReply { .. }
+            | Frame::DrainDone
+            | Frame::Error { .. } => {
+                outbound.push_control(Frame::Error {
+                    code: ErrorCode::Protocol,
+                    message: "client sent a server-side frame".to_string(),
+                });
+                break;
+            }
+        }
+    }
+
+    // Teardown: a vanished client implies cancellation of its outstanding
+    // jobs (nobody can consume their output), then flush and stop the
+    // writer.
+    let handles: Vec<pipeserve::JobHandle> = conn.jobs.lock().unwrap().values().cloned().collect();
+    for handle in handles {
+        handle.cancel();
+    }
+    outbound.close();
+    let _ = writer.join();
+}
+
+/// Builds and submits one byte job; sends ACCEPTED or REJECTED. (The
+/// input stream for the ticket ended with the EOF that triggered this
+/// call, so a rejection here needs no residual-frame tracking.)
+fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJob) {
+    let reject = |code: ErrorCode, message: String| {
+        conn.outbound.push_control(Frame::Rejected {
+            ticket,
+            code,
+            message,
+        });
+    };
+    if shared.draining.load(Ordering::Acquire) {
+        reject(
+            ErrorCode::Draining,
+            "server is draining; submit rejected".to_string(),
+        );
+        return;
+    }
+
+    // The sink: the pipeline's final serial stage writes here, chunked and
+    // back-pressured by the outbound data window.
+    let sink_outbound = Arc::clone(&conn.outbound);
+    let sink: ByteSink = Box::new(move |bytes: &[u8]| {
+        for part in bytes.chunks(CHUNK_BYTES) {
+            sink_outbound.push_data(Frame::OutputChunk {
+                ticket,
+                data: part.to_vec(),
+            });
+        }
+    });
+    let launch = match (job.descriptor.launch)(&job.input, sink) {
+        Ok(launch) => launch,
+        Err(ByteJobError::InvalidInput(msg)) => {
+            reject(ErrorCode::InvalidInput, msg);
+            return;
+        }
+        Err(ByteJobError::UnknownWorkload(name)) => {
+            reject(ErrorCode::UnknownWorkload, name);
+            return;
+        }
+    };
+
+    let options = if job.throttle > 0 {
+        piper::PipeOptions::with_throttle(job.throttle as usize)
+    } else {
+        piper::PipeOptions::default()
+    };
+    let hook_conn = Arc::clone(conn);
+    let mut spec = JobSpec::from_launch(options, launch)
+        .named(job.descriptor.name)
+        .priority(job.priority)
+        .on_terminal(move |result| {
+            // Runs after the pipeline drained, i.e. after the final output
+            // chunk was queued: JOB_DONE is ordered behind all output.
+            hook_conn
+                .outbound
+                .push_control(terminal_frame(ticket, result));
+            hook_conn.jobs.lock().unwrap().remove(&ticket);
+        });
+    if job.deadline_ms > 0 {
+        spec = spec.queue_deadline(Duration::from_millis(job.deadline_ms as u64));
+    }
+
+    match shared.service.submit(spec) {
+        Ok(handle) => {
+            let job_id = handle.id().0;
+            let already_done = handle.try_result().is_some();
+            if !already_done {
+                let mut jobs = conn.jobs.lock().unwrap();
+                // The terminal hook may have fired between the submit and
+                // this insert; re-check under the lock paired with the
+                // hook's remove so no stale handle is left behind.
+                if handle.try_result().is_none() {
+                    jobs.insert(ticket, handle);
+                }
+            }
+            conn.outbound
+                .push_control(Frame::Accepted { ticket, job_id });
+        }
+        Err(e) => reject((&e).into(), e.to_string()),
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end tests over real loopback TCP: a [`piped::PipedServer`] on an
+//! ephemeral port, driven by [`piped::PipedClient`]s.
+//!
+//! The contracts: every completed job's streamed output is byte-identical
+//! to its workload's serial reference; rejections (unknown workload, bad
+//! input, draining) arrive as wire-level verdicts rather than hangs; a
+//! mid-flight drain completes every admitted job and refuses new ones;
+//! cancellation reaches a running job and still yields a JOB_DONE.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use piped::{
+    ClientError, ErrorCode, PipedClient, PipedServer, ServerConfig, SubmitOptions, WireJobStatus,
+};
+use pipeserve::Priority;
+
+/// Starts a server on an ephemeral loopback port, returning its address,
+/// handle, and the serving thread (detached; stopped via the handle).
+fn start_server(config: ServerConfig) -> (std::net::SocketAddr, piped::ServerHandle) {
+    let server = PipedServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    std::thread::Builder::new()
+        .name("piped-test-server".to_string())
+        .spawn(move || {
+            let _ = server.serve();
+        })
+        .expect("spawn server thread");
+    (addr, handle)
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        max_queue: 64,
+        ..ServerConfig::default()
+    }
+}
+
+/// (workload, input, expected serial-reference output bytes).
+fn reference_jobs() -> Vec<(&'static str, Vec<u8>, Vec<u8>)> {
+    let dedup_input = workloads::dedup::DedupConfig::tiny().generate_input();
+    let ferret_input = workloads::bytes::ferret_input(&workloads::ferret::FerretConfig::tiny());
+    let x264_input = workloads::bytes::x264_input(&workloads::x264::X264Config::tiny());
+    let fib_input = workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig::tiny());
+    ["dedup", "ferret", "x264", "pipefib"]
+        .into_iter()
+        .zip([dedup_input, ferret_input, x264_input, fib_input])
+        .map(|(name, input)| {
+            let expected =
+                (workloads::bytes::lookup(name).unwrap().serial)(&input).expect("serial reference");
+            (name, input, expected)
+        })
+        .collect()
+}
+
+#[test]
+fn every_workload_round_trips_byte_identical_over_tcp() {
+    let (addr, handle) = start_server(small_config());
+    let client = PipedClient::connect(addr).expect("connect");
+    for (name, input, expected) in reference_jobs() {
+        let job = client
+            .submit(&SubmitOptions::new(name).throttle(4), &input)
+            .unwrap_or_else(|e| panic!("{name}: submit failed: {e}"));
+        let outcome = job
+            .wait()
+            .unwrap_or_else(|e| panic!("{name}: wait failed: {e}"));
+        assert_eq!(
+            outcome.status,
+            WireJobStatus::Completed,
+            "{name}: {outcome:?}"
+        );
+        assert_eq!(
+            outcome.output, expected,
+            "{name}: output differs from serial reference"
+        );
+        assert!(outcome.latency > Duration::ZERO);
+    }
+    handle.stop();
+}
+
+#[test]
+fn many_concurrent_jobs_multiplex_on_one_connection() {
+    let (addr, handle) = start_server(small_config());
+    let client = Arc::new(PipedClient::connect(addr).expect("connect"));
+    let jobs = reference_jobs();
+    // 12 jobs (3 × each workload), submitted from 4 threads over the one
+    // connection, waited in arbitrary order.
+    let mut threads = Vec::new();
+    for t in 0..4 {
+        let client = Arc::clone(&client);
+        let jobs = reference_jobs();
+        threads.push(std::thread::spawn(move || {
+            for (i, (name, input, expected)) in jobs.into_iter().enumerate() {
+                if (i + t) % 4 == 3 {
+                    continue; // 3 of the 4 workloads per thread
+                }
+                let priority =
+                    [Priority::Interactive, Priority::Normal, Priority::Batch][(i + t) % 3];
+                let job = client
+                    .submit(
+                        &SubmitOptions::new(name).priority(priority).throttle(2),
+                        &input,
+                    )
+                    .expect("submit");
+                let outcome = job.wait().expect("wait");
+                assert_eq!(outcome.status, WireJobStatus::Completed);
+                assert_eq!(outcome.output, expected, "{name} (thread {t})");
+            }
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("worker thread");
+    }
+    drop(jobs);
+    // Metrics flow over the same connection.
+    let json = client.metrics_json().expect("metrics");
+    assert!(json.contains("\"jobs_completed\""), "{json}");
+    handle.stop();
+}
+
+#[test]
+fn rejections_are_wire_level_verdicts() {
+    let (addr, handle) = start_server(small_config());
+    let client = PipedClient::connect(addr).expect("connect");
+
+    let err = client
+        .submit(&SubmitOptions::new("no-such-workload"), b"x")
+        .expect_err("unknown workload must be rejected");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Rejected {
+                code: ErrorCode::UnknownWorkload,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    let err = client
+        .submit(&SubmitOptions::new("ferret"), &[1, 2, 3])
+        .expect_err("malformed ferret params must be rejected");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Rejected {
+                code: ErrorCode::InvalidInput,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // The connection survives rejections: a good job still runs.
+    let (name, input, expected) = reference_jobs().remove(3);
+    let job = client
+        .submit(&SubmitOptions::new(name), &input)
+        .expect("submit");
+    assert_eq!(job.wait().expect("wait").output, expected);
+    handle.stop();
+}
+
+#[test]
+fn oversized_input_is_rejected_with_input_too_large() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 2,
+        max_input_bytes: 4 * 1024,
+        ..ServerConfig::default()
+    });
+    let client = PipedClient::connect(addr).expect("connect");
+    let err = client
+        .submit(&SubmitOptions::new("dedup"), &vec![7u8; 64 * 1024])
+        .expect_err("input above the cap must be rejected");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Rejected {
+                code: ErrorCode::InputTooLarge,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn cancel_reaches_a_running_job_and_still_answers_job_done() {
+    let (addr, handle) = start_server(small_config());
+    let client = PipedClient::connect(addr).expect("connect");
+    // A long pipe-fib (Θ(n²) work) with a tight throttle: plenty of time
+    // for the cancel to land mid-run.
+    let input = workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig {
+        n: 5_000,
+        block_bits: 1,
+    });
+    let job = client
+        .submit(&SubmitOptions::new("pipefib").throttle(2), &input)
+        .expect("submit");
+    job.cancel(&client).expect("send cancel");
+    let outcome = job.wait().expect("wait");
+    // Cancelled in the common case; Completed only if the job won the race.
+    assert!(
+        matches!(
+            outcome.status,
+            WireJobStatus::Cancelled | WireJobStatus::Completed
+        ),
+        "{outcome:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn status_probes_answer_for_live_and_unknown_tickets() {
+    let (addr, handle) = start_server(small_config());
+    let client = PipedClient::connect(addr).expect("connect");
+    let input = workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig {
+        n: 3_000,
+        block_bits: 1,
+    });
+    let job = client
+        .submit(&SubmitOptions::new("pipefib").throttle(2), &input)
+        .expect("submit");
+    let status = job.status(&client).expect("status");
+    assert!(
+        matches!(
+            status,
+            WireJobStatus::Queued | WireJobStatus::Running | WireJobStatus::Completed
+        ),
+        "{status:?}"
+    );
+    let outcome = job.wait().expect("wait");
+    assert_eq!(outcome.status, WireJobStatus::Completed);
+    // After JOB_DONE the server no longer tracks the ticket.
+    let status = job.status(&client).expect("status after done");
+    assert!(
+        matches!(status, WireJobStatus::Unknown | WireJobStatus::Completed),
+        "{status:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn mid_flight_drain_completes_admitted_jobs_and_rejects_new_submits() {
+    let (addr, handle) = start_server(small_config());
+    let client = PipedClient::connect(addr).expect("connect");
+    let control = PipedClient::connect(addr).expect("connect control");
+
+    // Admit a batch of real jobs…
+    let mut accepted = Vec::new();
+    for (name, input, expected) in reference_jobs() {
+        for _ in 0..2 {
+            let job = client
+                .submit(&SubmitOptions::new(name).throttle(2), &input)
+                .expect("submit before drain");
+            accepted.push((job, expected.clone(), name));
+        }
+    }
+    // …then drain from a second connection while they're in flight.
+    control.drain().expect("drain");
+    assert!(handle.is_draining());
+
+    // Every admitted job completed with byte-identical output.
+    for (job, expected, name) in accepted {
+        let outcome = job.wait().expect("wait");
+        assert_eq!(
+            outcome.status,
+            WireJobStatus::Completed,
+            "{name}: {outcome:?}"
+        );
+        assert_eq!(outcome.output, expected, "{name}: output differs");
+    }
+
+    // New submissions — on either connection — get the draining verdict.
+    for submitter in [&client, &control] {
+        let err = submitter
+            .submit(
+                &SubmitOptions::new("pipefib"),
+                &workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig::tiny()),
+            )
+            .expect_err("post-drain submit must be rejected");
+        assert!(
+            matches!(
+                &err,
+                ClientError::Rejected {
+                    code: ErrorCode::Draining,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn client_disconnect_cancels_its_outstanding_jobs() {
+    let (addr, handle) = start_server(small_config());
+    {
+        let client = PipedClient::connect(addr).expect("connect");
+        let input = workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig {
+            n: 5_000,
+            block_bits: 1,
+        });
+        let _job = client
+            .submit(&SubmitOptions::new("pipefib").throttle(2), &input)
+            .expect("submit");
+        // Drop the client (closes the socket) with the job still running.
+    }
+    // The server must converge back to idle: the orphaned job is cancelled
+    // (or finishes) rather than running forever / leaking.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = handle.metrics();
+        if m.running == 0 && m.queue_depth == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned job did not drain: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.stop();
+}
+
+#[test]
+fn cancelling_a_still_queued_job_neither_hangs_nor_leaks() {
+    // Frame budget 2 with throttle-2 jobs: the first job owns the whole
+    // budget, so the second is deterministically still *queued* when its
+    // CANCEL arrives. A queued cancel finalizes synchronously on the
+    // connection reader thread (the terminal hook runs right there), which
+    // is exactly the self-deadlock regression this test pins.
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 2,
+        frame_budget: Some(2),
+        max_queue: 64,
+        ..ServerConfig::default()
+    });
+    let client = PipedClient::connect(addr).expect("connect");
+    let long_input = workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig {
+        n: 4_000,
+        block_bits: 1,
+    });
+    let running = client
+        .submit(&SubmitOptions::new("pipefib").throttle(2), &long_input)
+        .expect("submit budget-filling job");
+    let queued = client
+        .submit(
+            &SubmitOptions::new("pipefib").throttle(2),
+            &workloads::bytes::pipefib_input(&workloads::pipefib::PipeFibConfig::tiny()),
+        )
+        .expect("submit queued job");
+
+    queued.cancel(&client).expect("send cancel");
+    let outcome = queued.wait().expect("queued job answers after cancel");
+    assert_eq!(outcome.status, WireJobStatus::Cancelled, "{outcome:?}");
+
+    // The connection is still fully functional afterwards.
+    let status = running.status(&client).expect("status still served");
+    assert!(!matches!(status, WireJobStatus::Unknown), "{status:?}");
+    running.cancel(&client).expect("cancel the budget filler");
+    let outcome = running.wait().expect("wait");
+    assert!(
+        matches!(
+            outcome.status,
+            WireJobStatus::Cancelled | WireJobStatus::Completed
+        ),
+        "{outcome:?}"
+    );
+    handle.stop();
+}

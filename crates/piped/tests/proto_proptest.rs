@@ -1,0 +1,204 @@
+//! Wire-codec robustness: every frame type roundtrips through the full
+//! wire encoding, and corrupted / truncated / oversized byte streams are
+//! rejected with the right [`WireError`] instead of misparsing.
+
+use piped::proto::{read_frame, Frame, MAX_FRAME_BODY};
+use piped::{ErrorCode, WireError, WireJobStatus};
+use proptest::prelude::*;
+
+const ALL_CODES: [ErrorCode; 8] = [
+    ErrorCode::QueueFull,
+    ErrorCode::FrameBudget,
+    ErrorCode::ShuttingDown,
+    ErrorCode::Draining,
+    ErrorCode::UnknownWorkload,
+    ErrorCode::InvalidInput,
+    ErrorCode::InputTooLarge,
+    ErrorCode::Protocol,
+];
+
+const ALL_STATUSES: [WireJobStatus; 7] = [
+    WireJobStatus::Queued,
+    WireJobStatus::Running,
+    WireJobStatus::Completed,
+    WireJobStatus::Cancelled,
+    WireJobStatus::Failed,
+    WireJobStatus::Expired,
+    WireJobStatus::Unknown,
+];
+
+/// An arbitrary UTF-8 string (printable ASCII keeps shrinkage readable).
+fn string_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+/// One arbitrary frame of every type (the selector picks the variant, the
+/// remaining draws fill its fields).
+#[allow(clippy::type_complexity)]
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        0usize..15,
+        (any::<u64>(), any::<u64>()),
+        string_strategy(),
+        bytes_strategy(),
+        (0u8..3, any::<u32>(), any::<u32>()),
+        (0usize..8, 0usize..7),
+    )
+        .prop_map(
+            |(
+                variant,
+                (ticket, job_id),
+                text,
+                data,
+                (priority, throttle, deadline_ms),
+                (code_at, status_at),
+            )| {
+                let code = ALL_CODES[code_at];
+                let status = ALL_STATUSES[status_at];
+                match variant {
+                    0 => Frame::Submit {
+                        ticket,
+                        workload: text,
+                        priority,
+                        throttle,
+                        deadline_ms,
+                    },
+                    1 => Frame::InputChunk { ticket, data },
+                    2 => Frame::InputEof { ticket },
+                    3 => Frame::Status { ticket },
+                    4 => Frame::Cancel { ticket },
+                    5 => Frame::Metrics,
+                    6 => Frame::Drain,
+                    7 => Frame::Accepted { ticket, job_id },
+                    8 => Frame::Rejected {
+                        ticket,
+                        code,
+                        message: text,
+                    },
+                    9 => Frame::OutputChunk { ticket, data },
+                    10 => Frame::JobDone {
+                        ticket,
+                        status,
+                        message: text,
+                    },
+                    11 => Frame::StatusReply { ticket, status },
+                    12 => Frame::MetricsReply { json: text },
+                    13 => Frame::DrainDone,
+                    _ => Frame::Error {
+                        code,
+                        message: text,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_frame_roundtrips_through_the_wire(frame in frame_strategy()) {
+        let wire = frame.to_wire_bytes();
+        let mut reader = std::io::Cursor::new(&wire);
+        let decoded = read_frame(&mut reader).expect("valid wire bytes decode");
+        prop_assert_eq!(decoded, Some(frame));
+        // The reader consumed exactly one frame.
+        prop_assert_eq!(reader.position() as usize, wire.len());
+    }
+
+    #[test]
+    fn frame_sequences_roundtrip_back_to_back(frames in proptest::collection::vec(frame_strategy(), 1..8)) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            wire.extend_from_slice(&frame.to_wire_bytes());
+        }
+        let mut reader = std::io::Cursor::new(&wire);
+        for frame in &frames {
+            let decoded = read_frame(&mut reader).expect("valid stream decodes");
+            prop_assert_eq!(decoded.as_ref(), Some(frame));
+        }
+        prop_assert!(read_frame(&mut reader).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn corrupting_any_body_byte_is_detected(frame in frame_strategy(), noise in (any::<u64>(), 0u8..8)) {
+        let mut wire = frame.to_wire_bytes();
+        let body_len = wire.len() - 8;
+        if body_len == 0 {
+            // Tag-only frames still have a 1-byte body; unreachable, but
+            // keep the property total.
+            return;
+        }
+        // Flip one bit somewhere in the body (never the length prefix or
+        // the CRC itself: those are separate properties).
+        let (pick, bit) = noise;
+        let at = 4 + (pick as usize % body_len);
+        wire[at] ^= 1 << bit;
+        let err = read_frame(&mut std::io::Cursor::new(&wire))
+            .expect_err("a flipped body bit must not decode");
+        prop_assert!(
+            matches!(err, WireError::Corrupt { .. }),
+            "expected CRC mismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncating_a_frame_is_detected(frame in frame_strategy(), cut in any::<u64>()) {
+        let wire = frame.to_wire_bytes();
+        // Keep at least 1 byte so this is a truncation, not a clean EOF.
+        let keep = 1 + (cut as usize % (wire.len() - 1));
+        let err = read_frame(&mut std::io::Cursor::new(&wire[..keep]))
+            .expect_err("a truncated frame must not decode");
+        prop_assert!(
+            matches!(err, WireError::Truncated),
+            "expected Truncated, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation(excess in any::<u32>()) {
+        let len = (MAX_FRAME_BODY as u32)
+            .saturating_add(1)
+            .saturating_add(excess % (u32::MAX - MAX_FRAME_BODY as u32 - 1));
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        // No body at all: the length check must fire before any read of it.
+        let err = read_frame(&mut std::io::Cursor::new(&wire))
+            .expect_err("an oversized length must not decode");
+        prop_assert!(
+            matches!(err, WireError::Oversized { .. }),
+            "expected Oversized, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_tags_and_trailing_bytes_are_malformed() {
+    // A syntactically valid frame (length + CRC correct) with a bogus tag.
+    let body = vec![0x7Fu8, 1, 2, 3];
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&body);
+    wire.extend_from_slice(&checksum::crc32(&body).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut std::io::Cursor::new(&wire)),
+        Err(WireError::UnknownFrameType(0x7F))
+    ));
+
+    // A valid frame with trailing junk inside the body.
+    let mut body = Frame::InputEof { ticket: 9 }.encode_body();
+    body.push(0xAA);
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&body);
+    wire.extend_from_slice(&checksum::crc32(&body).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut std::io::Cursor::new(&wire)),
+        Err(WireError::Malformed(_))
+    ));
+}

@@ -16,6 +16,19 @@ use crate::service::ServiceInner;
 /// anything that can produce a [`PipeHandle`] can be served.
 pub type LaunchFn = Box<dyn FnOnce(&ThreadPool, PipeOptions) -> PipeHandle + Send>;
 
+/// A terminal-state callback attached to a job with
+/// [`JobSpec::on_terminal`]: runs exactly once, on whichever thread
+/// finalizes the job, right after the terminal [`JobResult`] is recorded
+/// and joiners are woken.
+///
+/// This is the push-style counterpart of [`JobHandle::join`]: a server
+/// multiplexing many jobs onto shared connections (the `piped` daemon)
+/// uses it to forward completions into per-connection output sinks without
+/// dedicating a waiter thread per job. The hook runs outside the job's
+/// internal lock but on a service thread (dispatcher or pool worker), so it
+/// must not block for long.
+pub type TerminalHook = Box<dyn FnOnce(&JobResult) + Send>;
+
 /// Scheduling class of a job. Dispatch is weighted round-robin across the
 /// classes (weights 4:2:1), FIFO within a class — higher classes get more
 /// dispatch slots under contention, lower classes are never starved.
@@ -68,6 +81,7 @@ pub struct JobSpec {
     pub(crate) options: PipeOptions,
     pub(crate) queue_deadline: Option<Duration>,
     pub(crate) launch: LaunchFn,
+    pub(crate) on_terminal: Option<TerminalHook>,
 }
 
 impl JobSpec {
@@ -93,6 +107,7 @@ impl JobSpec {
             options,
             queue_deadline: None,
             launch,
+            on_terminal: None,
         }
     }
 
@@ -114,6 +129,15 @@ impl JobSpec {
     /// next scans the queue.
     pub fn queue_deadline(mut self, deadline: Duration) -> Self {
         self.queue_deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a callback that runs exactly once when the job reaches its
+    /// terminal state (completed, cancelled, failed or expired), with the
+    /// terminal [`JobResult`]. See [`TerminalHook`] for the threading
+    /// contract. The last hook set wins.
+    pub fn on_terminal(mut self, hook: impl FnOnce(&JobResult) + Send + 'static) -> Self {
+        self.on_terminal = Some(Box::new(hook));
         self
     }
 
@@ -193,6 +217,9 @@ pub(crate) struct JobCell {
     pub(crate) result: Option<JobResult>,
     /// When the job reached its terminal state.
     pub(crate) finished_at: Option<Instant>,
+    /// The terminal callback, taken (and run outside the lock) by the
+    /// first finalization.
+    pub(crate) on_terminal: Option<TerminalHook>,
 }
 
 /// The state shared between a [`JobHandle`], the service's job table and
@@ -211,7 +238,13 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
-    pub(crate) fn new(id: JobId, name: String, priority: Priority, frames: usize) -> Arc<Self> {
+    pub(crate) fn new(
+        id: JobId,
+        name: String,
+        priority: Priority,
+        frames: usize,
+        on_terminal: Option<TerminalHook>,
+    ) -> Arc<Self> {
         Arc::new(JobState {
             id,
             name,
@@ -223,6 +256,7 @@ impl JobState {
                 pipe: None,
                 result: None,
                 finished_at: None,
+                on_terminal,
             }),
             done_cv: Condvar::new(),
             cancel_requested: AtomicBool::new(false),
@@ -230,17 +264,25 @@ impl JobState {
     }
 
     /// Records the terminal result and wakes joiners. Idempotent: the first
-    /// finalization wins.
+    /// finalization wins and runs the job's terminal hook (outside the cell
+    /// lock, so the hook may inspect the handle without deadlocking).
     pub(crate) fn finalize(&self, status: JobStatus, result: JobResult) -> bool {
-        let mut cell = self.cell.lock().unwrap();
-        if cell.result.is_some() {
-            return false;
+        let hook;
+        {
+            let mut cell = self.cell.lock().unwrap();
+            if cell.result.is_some() {
+                return false;
+            }
+            hook = cell.on_terminal.take().map(|h| (h, result.clone()));
+            cell.status = status;
+            cell.result = Some(result);
+            cell.pipe = None;
+            cell.finished_at = Some(Instant::now());
+            self.done_cv.notify_all();
         }
-        cell.status = status;
-        cell.result = Some(result);
-        cell.pipe = None;
-        cell.finished_at = Some(Instant::now());
-        self.done_cv.notify_all();
+        if let Some((hook, result)) = hook {
+            hook(&result);
+        }
         true
     }
 }
@@ -253,6 +295,17 @@ impl JobState {
 pub struct JobHandle {
     pub(crate) state: Arc<JobState>,
     pub(crate) service: Weak<ServiceInner>,
+}
+
+impl Clone for JobHandle {
+    /// Clones observe the same job: cancellation is shared and every clone
+    /// joins the same terminal result.
+    fn clone(&self) -> Self {
+        JobHandle {
+            state: Arc::clone(&self.state),
+            service: Weak::clone(&self.service),
+        }
+    }
 }
 
 impl JobHandle {
@@ -301,6 +354,28 @@ impl JobHandle {
             cell = self.state.done_cv.wait(cell).unwrap();
         }
         cell.result.clone().expect("loop exits only with a result")
+    }
+
+    /// Blocks until the job reaches a terminal state **or** `timeout`
+    /// elapses, whichever comes first. Returns the [`JobResult`] if the job
+    /// finished in time, `None` on timeout (the job keeps running; call
+    /// again, [`join`](Self::join), or [`cancel`](Self::cancel)).
+    ///
+    /// This is the bounded wait a network server needs: a connection
+    /// handler can poll a fleet of jobs without committing a thread to an
+    /// unbounded [`join`](Self::join).
+    pub fn join_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut cell = self.state.cell.lock().unwrap();
+        while cell.result.is_none() {
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (guard, wait) = self.state.done_cv.wait_timeout(cell, remaining).unwrap();
+            cell = guard;
+            if wait.timed_out() && cell.result.is_none() {
+                return None;
+            }
+        }
+        cell.result.clone()
     }
 
     /// Time elapsed since the job was submitted.

@@ -69,6 +69,6 @@ mod job;
 mod metrics;
 mod service;
 
-pub use job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, Priority};
+pub use job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, Priority, TerminalHook};
 pub use metrics::ServiceMetricsSnapshot;
 pub use service::{PipeService, ServiceBuilder, SubmitError};

@@ -84,4 +84,69 @@ impl ServiceMetricsSnapshot {
             self.jobs_rejected as f64 / offered as f64
         }
     }
+
+    /// Renders the snapshot as a single-line JSON object (hand-rolled, like
+    /// the bench binaries — no serialization dependency). This is the one
+    /// shared formatter behind both the `pipeserve_load` bench report and
+    /// the `piped` METRICS wire frame.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{",
+                "\"jobs_submitted\":{},",
+                "\"jobs_admitted\":{},",
+                "\"jobs_rejected\":{},",
+                "\"jobs_completed\":{},",
+                "\"jobs_cancelled\":{},",
+                "\"jobs_panicked\":{},",
+                "\"jobs_expired\":{},",
+                "\"peak_queue_depth\":{},",
+                "\"peak_frames_in_use\":{},",
+                "\"queue_depth\":{},",
+                "\"running\":{},",
+                "\"frames_in_use\":{},",
+                "\"frame_budget\":{},",
+                "\"frame_budget_utilization\":{:.4},",
+                "\"rejection_rate\":{:.4}",
+                "}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_admitted,
+            self.jobs_rejected,
+            self.jobs_completed,
+            self.jobs_cancelled,
+            self.jobs_panicked,
+            self.jobs_expired,
+            self.peak_queue_depth,
+            self.peak_frames_in_use,
+            self.queue_depth,
+            self.running,
+            self.frames_in_use,
+            self.frame_budget,
+            self.frame_budget_utilization(),
+            self.rejection_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_json_is_a_flat_object_with_every_field() {
+        let snapshot = ServiceMetricsSnapshot {
+            jobs_submitted: 10,
+            jobs_rejected: 2,
+            frames_in_use: 3,
+            frame_budget: 12,
+            ..Default::default()
+        };
+        let json = snapshot.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs_submitted\":10"));
+        assert!(json.contains("\"rejection_rate\":0.1667"));
+        assert!(json.contains("\"frame_budget_utilization\":0.2500"));
+        assert!(!json.contains('\n'));
+    }
 }

@@ -518,9 +518,10 @@ impl PipeService {
             options,
             queue_deadline,
             launch,
+            on_terminal,
         } = spec;
         let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let state = JobState::new(id, name, priority, window);
+        let state = JobState::new(id, name, priority, window, on_terminal);
         let queued = QueuedJob {
             state: Arc::clone(&state),
             options,

@@ -711,3 +711,85 @@ fn shutdown_cancels_queued_jobs_and_drains_running_ones() {
     let err = service.submit(sps_job(1, 1, 1, out)).err();
     assert_eq!(err, Some(SubmitError::ShutDown));
 }
+
+#[test]
+fn join_timeout_elapses_on_a_blocked_job_and_returns_the_result_once_done() {
+    let service = PipeService::builder().num_threads(2).build();
+    let gate = Arc::new(AtomicBool::new(false));
+    let handle = service
+        .submit(blocker_job(1, Arc::clone(&gate)))
+        .expect("submit");
+
+    // Elapsed path: the job is gated, so a short bounded wait must time out
+    // without producing a result (and leave the job running).
+    assert!(handle.join_timeout(Duration::from_millis(50)).is_none());
+    assert!(!matches!(
+        handle.try_status(),
+        JobStatus::Completed | JobStatus::Failed
+    ));
+
+    // Completed path: open the gate; a generous bounded wait now returns
+    // the terminal result well before the timeout.
+    gate.store(true, Ordering::Release);
+    let result = handle
+        .join_timeout(Duration::from_secs(10))
+        .expect("job completes once the gate opens");
+    assert!(result.is_completed());
+    // And a bounded wait on an already-terminal job returns immediately,
+    // even with a zero timeout.
+    assert!(handle.join_timeout(Duration::ZERO).is_some());
+}
+
+#[test]
+fn on_terminal_hook_fires_once_with_the_terminal_result() {
+    let service = PipeService::builder().num_threads(2).build();
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let fired = Arc::new(AtomicU64::new(0));
+    let completed = Arc::new(AtomicBool::new(false));
+    let fired_cl = Arc::clone(&fired);
+    let completed_cl = Arc::clone(&completed);
+    let spec = sps_job(4, 10, 2, Arc::clone(&out)).on_terminal(move |result| {
+        fired_cl.fetch_add(1, Ordering::SeqCst);
+        completed_cl.store(result.is_completed(), Ordering::SeqCst);
+    });
+    let handle = service.submit(spec).expect("submit");
+    assert!(handle.join().is_completed());
+    // The hook runs on the finalizing pool thread *after* joiners are
+    // woken, so join() returning does not order it; wait for it.
+    assert!(
+        wait_for(Duration::from_secs(10), || fired.load(Ordering::SeqCst)
+            == 1),
+        "terminal hook never fired"
+    );
+    assert_eq!(fired.load(Ordering::SeqCst), 1);
+    assert!(completed.load(Ordering::SeqCst));
+}
+
+#[test]
+fn on_terminal_hook_fires_for_cancelled_queued_jobs() {
+    let service = PipeService::builder()
+        .num_threads(2)
+        .frame_budget(1)
+        .build();
+    let gate = Arc::new(AtomicBool::new(false));
+    // Fill the frame budget so the second job stays queued.
+    let blocker = service
+        .submit(blocker_job(1, Arc::clone(&gate)))
+        .expect("submit blocker");
+    let saw_cancelled = Arc::new(AtomicBool::new(false));
+    let saw = Arc::clone(&saw_cancelled);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let queued = service
+        .submit(sps_job(1, 1, 1, out).on_terminal(move |result| {
+            saw.store(matches!(result, JobResult::Cancelled(_)), Ordering::SeqCst);
+        }))
+        .expect("submit queued job");
+    queued.cancel();
+    assert!(matches!(queued.join(), JobResult::Cancelled(None)));
+    // (A queued cancel finalizes synchronously inside cancel(), so the
+    // hook has run by now — but don't rely on that detail.)
+    assert!(wait_for(Duration::from_secs(10), || saw_cancelled
+        .load(Ordering::SeqCst)));
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+}

@@ -1,0 +1,360 @@
+//! Bytes-in/bytes-out adapters: the serving boundary of the workloads.
+//!
+//! A network daemon (`crates/piped`) cannot know the concrete input,
+//! output and iteration types of each workload — on the wire a job is a
+//! workload *name*, an opaque input buffer, and a stream of output bytes.
+//! This module is the adapter layer that closes that gap:
+//!
+//! * [`ByteJob`] — one registry entry per servable workload, pairing a
+//!   **serial reference** (`bytes in → bytes out`, the ground truth every
+//!   served execution must match byte-for-byte) with a **streaming
+//!   launch** (`bytes in + sink → deferred pipeline`) in the
+//!   [`crate::PipeLaunch`] shape the `pipeserve` executor admits.
+//! * [`ByteSink`] — the output channel handed to the launch constructor.
+//!   The pipeline's final serial stage writes each encoded item into it in
+//!   iteration order, so output *streams* while the pipeline runs; a sink
+//!   that blocks (a bounded per-connection queue) back-pressures the
+//!   pipeline through its ordinary serial-stage semantics.
+//! * Input codecs — each workload defines how its parameters are read
+//!   from the input buffer, with bounds checks so a malicious or confused
+//!   client cannot request an absurdly sized job
+//!   ([`ByteJobError::InvalidInput`]).
+//!
+//! The per-workload byte formats live next to their workloads
+//! ([`crate::dedup::encode_archive`], [`crate::ferret::encode_ranking_into`],
+//! [`crate::x264::encode_frame_record_into`], pipe-fib's raw bit bytes);
+//! this module only parses inputs and dispatches.
+
+use crate::{dedup, ferret, pipefib, x264};
+
+/// The output channel of a byte job: the pipeline's final serial stage
+/// calls it once per finished item, in iteration order. Implementations
+/// may block to apply backpressure; the call happens on a pool worker
+/// inside a serial stage, so blocking throttles exactly that pipeline.
+pub type ByteSink = Box<dyn FnMut(&[u8]) + Send>;
+
+/// Why a byte job could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteJobError {
+    /// No registry entry with the requested name; the payload is the name.
+    UnknownWorkload(String),
+    /// The input buffer failed the workload's codec or bounds checks.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for ByteJobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ByteJobError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            ByteJobError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ByteJobError {}
+
+/// One servable workload: a name, a serial reference and a streaming
+/// pipeline constructor over the same byte formats.
+pub struct ByteJob {
+    /// Registry key (the workload name carried in a SUBMIT frame).
+    pub name: &'static str,
+    /// One-line description of the input and output byte formats.
+    pub summary: &'static str,
+    /// The serial reference: `bytes in → bytes out`. Every parallel
+    /// execution of the same input must produce exactly these bytes.
+    pub serial: fn(&[u8]) -> Result<Vec<u8>, ByteJobError>,
+    /// The streaming launch: validates the input and returns a deferred
+    /// pipeline whose output items are written into `sink` in order.
+    pub launch: fn(&[u8], ByteSink) -> Result<crate::PipeLaunch, ByteJobError>,
+}
+
+/// Reads a `u32-LE` at `offset` from a fixed-size params buffer.
+fn param_u32(input: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(
+        input[offset..offset + 4]
+            .try_into()
+            .expect("bounds checked"),
+    )
+}
+
+/// Checks `value` against an inclusive range, naming the field on failure.
+fn check_range(field: &str, value: u32, lo: u32, hi: u32) -> Result<usize, ByteJobError> {
+    if value < lo || value > hi {
+        return Err(ByteJobError::InvalidInput(format!(
+            "{field}={value} out of range [{lo}, {hi}]"
+        )));
+    }
+    Ok(value as usize)
+}
+
+fn expect_len(name: &str, input: &[u8], len: usize) -> Result<(), ByteJobError> {
+    if input.len() != len {
+        return Err(ByteJobError::InvalidInput(format!(
+            "{name} expects exactly {len} input bytes, got {}",
+            input.len()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- dedup --
+
+/// dedup input: the raw byte stream to deduplicate (any non-empty buffer).
+fn dedup_check(input: &[u8]) -> Result<(), ByteJobError> {
+    if input.is_empty() {
+        return Err(ByteJobError::InvalidInput(
+            "dedup input stream must be non-empty".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn dedup_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
+    dedup_check(input)?;
+    Ok(dedup::serial_bytes(input))
+}
+
+fn dedup_launch(input: &[u8], sink: ByteSink) -> Result<crate::PipeLaunch, ByteJobError> {
+    dedup_check(input)?;
+    Ok(dedup::piper_launch_bytes(input, sink))
+}
+
+// --------------------------------------------------------------- ferret --
+
+/// ferret input: six `u32-LE` params — queries, database_size, classes,
+/// image_size, probe_factor, topk.
+fn ferret_config(input: &[u8]) -> Result<ferret::FerretConfig, ByteJobError> {
+    expect_len("ferret", input, 24)?;
+    Ok(ferret::FerretConfig {
+        queries: check_range("queries", param_u32(input, 0), 1, 512)?,
+        database_size: check_range("database_size", param_u32(input, 4), 1, 4096)?,
+        classes: check_range("classes", param_u32(input, 8), 1, 64)? as u64,
+        image_size: check_range("image_size", param_u32(input, 12), 4, 64)?,
+        probe_factor: check_range("probe_factor", param_u32(input, 16), 1, 256)?,
+        topk: check_range("topk", param_u32(input, 20), 1, 64)?,
+    })
+}
+
+/// Encodes ferret byte-job params (the inverse of the input codec; used by
+/// clients and the load generator).
+pub fn ferret_input(config: &ferret::FerretConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    for v in [
+        config.queries as u32,
+        config.database_size as u32,
+        config.classes as u32,
+        config.image_size as u32,
+        config.probe_factor as u32,
+        config.topk as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn ferret_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
+    Ok(ferret::serial_bytes(&ferret_config(input)?))
+}
+
+fn ferret_launch(input: &[u8], sink: ByteSink) -> Result<crate::PipeLaunch, ByteJobError> {
+    Ok(ferret::piper_launch_bytes(&ferret_config(input)?, sink))
+}
+
+// ----------------------------------------------------------------- x264 --
+
+/// x264 input: five `u32-LE` params — frames, width, height, gop, bframes.
+fn x264_config(input: &[u8]) -> Result<x264::X264Config, ByteJobError> {
+    expect_len("x264", input, 20)?;
+    Ok(x264::X264Config {
+        frames: check_range("frames", param_u32(input, 0), 1, 256)? as u64,
+        width: check_range("width", param_u32(input, 4), 16, 256)?,
+        height: check_range("height", param_u32(input, 8), 16, 256)?,
+        gop: check_range("gop", param_u32(input, 12), 1, 64)? as u64,
+        bframes: check_range("bframes", param_u32(input, 16), 0, 8)? as u64,
+        encode: videosim::EncodeConfig::default(),
+    })
+}
+
+/// Encodes x264 byte-job params (the inverse of the input codec).
+pub fn x264_input(config: &x264::X264Config) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    for v in [
+        config.frames as u32,
+        config.width as u32,
+        config.height as u32,
+        config.gop as u32,
+        config.bframes as u32,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn x264_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
+    Ok(x264::serial_bytes(&x264_config(input)?))
+}
+
+fn x264_launch(input: &[u8], sink: ByteSink) -> Result<crate::PipeLaunch, ByteJobError> {
+    Ok(x264::piper_launch_bytes(&x264_config(input)?, sink))
+}
+
+// -------------------------------------------------------------- pipefib --
+
+/// pipe-fib input: two `u32-LE` params — `n` and `block_bits`.
+fn pipefib_config(input: &[u8]) -> Result<pipefib::PipeFibConfig, ByteJobError> {
+    expect_len("pipefib", input, 8)?;
+    Ok(pipefib::PipeFibConfig {
+        n: check_range("n", param_u32(input, 0), 3, 5_000)?,
+        block_bits: check_range("block_bits", param_u32(input, 4), 1, 512)?,
+    })
+}
+
+/// Encodes pipe-fib byte-job params (the inverse of the input codec).
+pub fn pipefib_input(config: &pipefib::PipeFibConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&(config.n as u32).to_le_bytes());
+    out.extend_from_slice(&(config.block_bits as u32).to_le_bytes());
+    out
+}
+
+fn pipefib_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
+    Ok(pipefib::serial_bytes(&pipefib_config(input)?))
+}
+
+fn pipefib_launch(input: &[u8], sink: ByteSink) -> Result<crate::PipeLaunch, ByteJobError> {
+    Ok(pipefib::piper_launch_bytes(&pipefib_config(input)?, sink))
+}
+
+// ------------------------------------------------------------- registry --
+
+/// Every servable workload, in the order the paper's tables list them.
+pub const REGISTRY: [ByteJob; 4] = [
+    ByteJob {
+        name: "dedup",
+        summary: "raw stream in; tagged archive records (unique/duplicate) out",
+        serial: dedup_serial,
+        launch: dedup_launch,
+    },
+    ByteJob {
+        name: "ferret",
+        summary: "6×u32 params in; per-query ranked (id, distance-bits) lists out",
+        serial: ferret_serial,
+        launch: ferret_launch,
+    },
+    ByteJob {
+        name: "x264",
+        summary: "5×u32 params in; per-frame encode records out",
+        serial: x264_serial,
+        launch: x264_launch,
+    },
+    ByteJob {
+        name: "pipefib",
+        summary: "u32 n + u32 block_bits in; bits of F_n (LSB first) out",
+        serial: pipefib_serial,
+        launch: pipefib_launch,
+    },
+];
+
+/// Looks a workload up by name.
+pub fn lookup(name: &str) -> Result<&'static ByteJob, ByteJobError> {
+    REGISTRY
+        .iter()
+        .find(|job| job.name == name)
+        .ok_or_else(|| ByteJobError::UnknownWorkload(name.to_string()))
+}
+
+/// The registered workload names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|job| job.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A sink that appends into a shared buffer.
+    fn collecting_sink() -> (ByteSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink_buf = Arc::clone(&buf);
+        (
+            Box::new(move |chunk: &[u8]| sink_buf.lock().unwrap().extend_from_slice(chunk)),
+            buf,
+        )
+    }
+
+    /// Canonical small inputs per workload, shared with the piped tests via
+    /// re-derivation (the codecs are the public contract).
+    fn small_input(name: &str) -> Vec<u8> {
+        match name {
+            "dedup" => crate::dedup::DedupConfig::tiny().generate_input(),
+            "ferret" => ferret_input(&crate::ferret::FerretConfig::tiny()),
+            "x264" => x264_input(&crate::x264::X264Config::tiny()),
+            "pipefib" => pipefib_input(&crate::pipefib::PipeFibConfig::tiny()),
+            other => panic!("no small input for {other}"),
+        }
+    }
+
+    #[test]
+    fn every_registered_workload_streams_bytes_identical_to_its_serial_reference() {
+        let pool = piper::ThreadPool::new(4);
+        for job in &REGISTRY {
+            let input = small_input(job.name);
+            let expected = (job.serial)(&input).expect("serial reference");
+            assert!(!expected.is_empty(), "{}: empty reference", job.name);
+            let (sink, buf) = collecting_sink();
+            let launch = (job.launch)(&input, sink).expect("launch constructor");
+            let handle = launch(&pool, piper::PipeOptions::with_throttle(4));
+            handle.join().expect("pipeline completes");
+            assert_eq!(
+                *buf.lock().unwrap(),
+                expected,
+                "{}: streamed bytes differ from serial reference",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_workload_and_invalid_inputs_are_rejected() {
+        assert!(matches!(
+            lookup("no-such-workload"),
+            Err(ByteJobError::UnknownWorkload(_))
+        ));
+        let ferret = lookup("ferret").unwrap();
+        assert!(matches!(
+            (ferret.serial)(&[0u8; 3]),
+            Err(ByteJobError::InvalidInput(_))
+        ));
+        // Out-of-range param: 0 queries.
+        let mut params = ferret_input(&crate::ferret::FerretConfig::tiny());
+        params[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            (ferret.serial)(&params),
+            Err(ByteJobError::InvalidInput(_))
+        ));
+        let dedup = lookup("dedup").unwrap();
+        assert!(matches!(
+            (dedup.serial)(&[]),
+            Err(ByteJobError::InvalidInput(_))
+        ));
+        let (sink, _buf) = collecting_sink();
+        let pipefib = lookup("pipefib").unwrap();
+        assert!(matches!(
+            (pipefib.launch)(&[1, 2, 3], sink),
+            Err(ByteJobError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn input_codecs_roundtrip_through_their_configs() {
+        let config = crate::ferret::FerretConfig::tiny();
+        let parsed = super::ferret_config(&ferret_input(&config)).unwrap();
+        assert_eq!(parsed.queries, config.queries);
+        assert_eq!(parsed.topk, config.topk);
+        let config = crate::pipefib::PipeFibConfig::coarsened(300);
+        let parsed = super::pipefib_config(&pipefib_input(&config)).unwrap();
+        assert_eq!(parsed.n, config.n);
+        assert_eq!(parsed.block_bits, config.block_bits);
+    }
+}

@@ -198,7 +198,14 @@ pub fn run_serial(config: &DedupConfig, input: &[u8]) -> Archive {
     archive
 }
 
-fn make_stages(table: Arc<Mutex<DedupTable>>, sink: Arc<Mutex<Archive>>) -> StageSet<ChunkItem> {
+/// The SSPS stage set with a pluggable output stage: the final serial
+/// stage hands each finished record (with its sequence number) to `emit`.
+/// [`make_stages`] materialises an [`Archive`]; the byte-job adapter
+/// ([`piper_launch_bytes`]) encodes and streams each record instead.
+fn make_stages_emitting(
+    table: Arc<Mutex<DedupTable>>,
+    emit: impl Fn(u64, Record) + Send + Sync + 'static,
+) -> StageSet<ChunkItem> {
     StageSet::new()
         // Serial deduplication stage (the paper's Stage 1): SHA-1 + table.
         .serial(move |item: &mut ChunkItem| {
@@ -212,15 +219,22 @@ fn make_stages(table: Arc<Mutex<DedupTable>>, sink: Arc<Mutex<Archive>>) -> Stag
         })
         // Serial output stage (Stage 3).
         .serial(move |item: &mut ChunkItem| {
-            let mut archive = sink.lock().unwrap();
-            debug_assert_eq!(archive.records.len() as u64, item.seq);
-            match item.duplicate_of {
-                Some(reference) => archive.records.push(Record::Duplicate { reference }),
-                None => archive.records.push(Record::Unique {
+            let record = match item.duplicate_of {
+                Some(reference) => Record::Duplicate { reference },
+                None => Record::Unique {
                     compressed: item.compressed.take().expect("unique chunk was compressed"),
-                }),
-            }
+                },
+            };
+            emit(item.seq, record);
         })
+}
+
+fn make_stages(table: Arc<Mutex<DedupTable>>, sink: Arc<Mutex<Archive>>) -> StageSet<ChunkItem> {
+    make_stages_emitting(table, move |seq, record| {
+        let mut archive = sink.lock().unwrap();
+        debug_assert_eq!(archive.records.len() as u64, seq);
+        archive.records.push(record);
+    })
 }
 
 fn make_producer(config: &DedupConfig, input: &[u8]) -> impl FnMut() -> Option<ChunkItem> + Send {
@@ -239,15 +253,9 @@ fn make_producer(config: &DedupConfig, input: &[u8]) -> impl FnMut() -> Option<C
     }
 }
 
-/// Builds the SSPS pipeline and its output sink (shared between the
-/// blocking [`run_piper`] and the deferred [`piper_launch`]).
-fn make_piper_pipeline() -> (StagedPipeline<ChunkItem>, Arc<Mutex<Archive>>) {
-    let table = Arc::new(Mutex::new(DedupTable::default()));
-    let sink = Arc::new(Mutex::new(Archive::default()));
-    let stages = make_stages(table, Arc::clone(&sink));
-
-    // Reuse the baseline StageSet definition by adapting it onto the piper
-    // StagedPipeline (stage kinds map one to one).
+/// Adapts a baseline StageSet onto the piper StagedPipeline (stage kinds
+/// map one to one), so one stage definition serves every executor.
+fn adapt_stages(stages: StageSet<ChunkItem>) -> StagedPipeline<ChunkItem> {
     let mut pipeline = StagedPipeline::<ChunkItem>::new();
     for stage in stages.stages() {
         let body = Arc::clone(&stage.body);
@@ -256,7 +264,16 @@ fn make_piper_pipeline() -> (StagedPipeline<ChunkItem>, Arc<Mutex<Archive>>) {
             baselines::StageKind::Parallel => pipeline.parallel(move |item| body(item)),
         };
     }
-    (pipeline, sink)
+    pipeline
+}
+
+/// Builds the SSPS pipeline and its output sink (shared between the
+/// blocking [`run_piper`] and the deferred [`piper_launch`]).
+fn make_piper_pipeline() -> (StagedPipeline<ChunkItem>, Arc<Mutex<Archive>>) {
+    let table = Arc::new(Mutex::new(DedupTable::default()));
+    let sink = Arc::new(Mutex::new(Archive::default()));
+    let stages = make_stages(table, Arc::clone(&sink));
+    (adapt_stages(stages), sink)
 }
 
 /// PIPER (`pipe_while`) implementation of the SSPS pipeline.
@@ -284,6 +301,73 @@ pub fn piper_launch(
     let launch: crate::PipeLaunch =
         Box::new(move |pool, options| pipeline.spawn(pool, options, producer));
     (launch, sink)
+}
+
+/// Record tags of the byte-level archive encoding (see [`encode_archive`]).
+const RECORD_UNIQUE: u8 = 0x01;
+const RECORD_DUPLICATE: u8 = 0x02;
+
+fn encode_record_into(record: &Record, out: &mut Vec<u8>) {
+    match record {
+        Record::Unique { compressed } => {
+            out.push(RECORD_UNIQUE);
+            out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+            out.extend_from_slice(compressed);
+        }
+        Record::Duplicate { reference } => {
+            out.push(RECORD_DUPLICATE);
+            out.extend_from_slice(&reference.to_le_bytes());
+        }
+    }
+}
+
+/// Serialises an archive to the self-delimiting byte format streamed by
+/// the byte-job adapter: per record, a tag byte (`0x01` unique / `0x02`
+/// duplicate) followed by `u32-LE length + compressed payload` or a
+/// `u64-LE` back-reference. Concatenating the per-record encodings in
+/// order yields exactly this function's output, which is what makes the
+/// streamed network output byte-comparable to the serial reference.
+pub fn encode_archive(archive: &Archive) -> Vec<u8> {
+    let mut out = Vec::with_capacity(archive.compressed_size());
+    for record in &archive.records {
+        encode_record_into(record, &mut out);
+    }
+    out
+}
+
+/// The configuration the byte-job adapter pairs with a raw input stream
+/// (only the chunker matters for chunk-identical output).
+fn byte_job_config(input_len: usize) -> DedupConfig {
+    DedupConfig {
+        input_size: input_len,
+        repeats: 1,
+        chunker: ChunkerConfig::small(),
+        seed: 0,
+    }
+}
+
+/// Serial reference of the byte job: raw stream in, encoded archive out.
+pub fn serial_bytes(input: &[u8]) -> Vec<u8> {
+    let config = byte_job_config(input.len());
+    encode_archive(&run_serial(&config, input))
+}
+
+/// Deferred launch of the dedup pipeline in bytes-in/bytes-out shape: the
+/// final serial stage encodes each archive record and hands it to `sink`
+/// in chunk order (so the concatenated sink writes equal
+/// [`serial_bytes`]` of the same input`).
+pub fn piper_launch_bytes(input: &[u8], sink: crate::bytes::ByteSink) -> crate::PipeLaunch {
+    let config = byte_job_config(input.len());
+    let table = Arc::new(Mutex::new(DedupTable::default()));
+    let sink = Mutex::new(sink);
+    let stages = make_stages_emitting(table, move |_seq, record| {
+        let mut buf = Vec::new();
+        encode_record_into(&record, &mut buf);
+        (sink.lock().unwrap())(&buf);
+    });
+    let pipeline = adapt_stages(stages);
+    let producer = make_producer(&config, input);
+    Box::new(move |pool, options| pipeline.spawn(pool, options, producer))
 }
 
 /// Bind-to-stage (Pthreads-style) implementation.

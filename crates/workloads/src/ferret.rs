@@ -113,20 +113,18 @@ pub fn run_serial(config: &FerretConfig, index: &Index) -> FerretOutput {
     out
 }
 
-/// Builds the SPS pipeline, its Stage-0 feeder, and the output sink
-/// (shared between the blocking [`run_piper`] and the deferred
-/// [`piper_launch`]).
-#[allow(clippy::type_complexity)]
-fn make_piper_pipeline(
+/// Builds the SPS pipeline with a pluggable output stage (the final serial
+/// stage hands each query's id and ranking to `emit`, in query order) and
+/// its Stage-0 feeder. Shared between the in-memory sinks below and the
+/// streaming byte-job adapter ([`piper_launch_bytes`]).
+fn make_piper_pipeline_emitting(
     config: &FerretConfig,
     index: &Arc<Index>,
+    emit: impl Fn(u64, Vec<(u64, f32)>) + Send + Sync + 'static,
 ) -> (
     StagedPipeline<QueryItem>,
     impl FnMut() -> Option<QueryItem> + Send + 'static,
-    Arc<Mutex<FerretOutput>>,
 ) {
-    let output: Arc<Mutex<FerretOutput>> = Arc::new(Mutex::new(Vec::with_capacity(config.queries)));
-    let sink = Arc::clone(&output);
     let index = Arc::clone(index);
     let config_cl = config.clone();
     let mut next = 0u64;
@@ -141,9 +139,7 @@ fn make_piper_pipeline(
             }
         })
         .serial(move |item| {
-            let mut out = sink.lock().unwrap();
-            debug_assert_eq!(out.len() as u64, item.query_id);
-            out.push(std::mem::take(&mut item.results));
+            emit(item.query_id, std::mem::take(&mut item.results));
         });
     let producer = move || {
         if next == total {
@@ -157,6 +153,29 @@ fn make_piper_pipeline(
         next += 1;
         Some(item)
     };
+    (pipeline, producer)
+}
+
+/// Builds the SPS pipeline, its Stage-0 feeder, and the output sink
+/// (shared between the blocking [`run_piper`] and the deferred
+/// [`piper_launch`]).
+#[allow(clippy::type_complexity)]
+fn make_piper_pipeline(
+    config: &FerretConfig,
+    index: &Arc<Index>,
+) -> (
+    StagedPipeline<QueryItem>,
+    impl FnMut() -> Option<QueryItem> + Send + 'static,
+    Arc<Mutex<FerretOutput>>,
+) {
+    let output: Arc<Mutex<FerretOutput>> = Arc::new(Mutex::new(Vec::with_capacity(config.queries)));
+    let sink = Arc::clone(&output);
+    let (pipeline, producer) =
+        make_piper_pipeline_emitting(config, index, move |query_id, results| {
+            let mut out = sink.lock().unwrap();
+            debug_assert_eq!(out.len() as u64, query_id);
+            out.push(results);
+        });
     (pipeline, producer, output)
 }
 
@@ -184,6 +203,54 @@ pub fn piper_launch(
     let launch: crate::PipeLaunch =
         Box::new(move |pool, options| pipeline.spawn(pool, options, producer));
     (launch, output)
+}
+
+/// Encodes one query's ranked results for the byte-job output stream:
+/// `u32-LE` hit count, then per hit `u64-LE` image id + `u32-LE`
+/// `f32::to_bits` distance (bit-exact, like the in-memory comparison).
+pub fn encode_ranking_into(results: &[(u64, f32)], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for (id, distance) in results {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&distance.to_bits().to_le_bytes());
+    }
+}
+
+/// Serial reference of the byte job: the concatenated
+/// [`encode_ranking_into`] of every query's ranking, in query order.
+pub fn serial_bytes(config: &FerretConfig) -> Vec<u8> {
+    let index = build_index(config);
+    let mut out = Vec::new();
+    for results in run_serial(config, &index) {
+        encode_ranking_into(&results, &mut out);
+    }
+    out
+}
+
+/// Deferred launch of the ferret pipeline in bytes-in/bytes-out shape: the
+/// final serial stage encodes each query's ranking and hands it to `sink`
+/// in query order. Builds its own index from `config` (the database is
+/// derived, not part of the byte input) inside the deferred launch, i.e.
+/// post-admission on the executor.
+pub fn piper_launch_bytes(
+    config: &FerretConfig,
+    sink: crate::bytes::ByteSink,
+) -> crate::PipeLaunch {
+    let config = config.clone();
+    Box::new(move |pool, options| {
+        // Build the index inside the deferred launch: the expensive
+        // construction runs post-admission on the executor, not on a
+        // server's frame-reader thread, and never for a rejected job.
+        let index = build_index(&config);
+        let sink = Mutex::new(sink);
+        let (pipeline, producer) =
+            make_piper_pipeline_emitting(&config, &index, move |_id, results| {
+                let mut buf = Vec::new();
+                encode_ranking_into(&results, &mut buf);
+                (sink.lock().unwrap())(&buf);
+            });
+        pipeline.spawn(pool, options, producer)
+    })
 }
 
 /// Bind-to-stage (Pthreads-style) implementation.

@@ -18,6 +18,7 @@
 //!   during a serial run, so the evaluation harness can replay the dag
 //!   through the scheduler simulator for arbitrary processor counts.
 
+pub mod bytes;
 pub mod dedup;
 pub mod ferret;
 pub mod ferret_deep;

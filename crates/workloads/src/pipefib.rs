@@ -122,6 +122,10 @@ struct FibIteration {
     config: PipeFibConfig,
     carry: u8,
     blocks: usize,
+    /// Byte-job output: set only on the final iteration (the one computing
+    /// `F_n`), whose last node owns every bit of the answer and emits it
+    /// in-pipeline (so the bytes happen-before pipeline completion).
+    sink: Option<crate::bytes::ByteSink>,
 }
 
 impl PipelineIteration for FibIteration {
@@ -138,6 +142,9 @@ impl PipelineIteration for FibIteration {
         }
         if block + 1 >= self.blocks {
             debug_assert_eq!(self.carry, 0, "upper bound on bits must absorb the carry");
+            if let Some(sink) = self.sink.as_mut() {
+                sink(&extract_bits(&self.config, &self.table));
+            }
             NodeOutcome::Done
         } else {
             // Stage j+1 reads block j+1 of F_{target-1}, produced by stage
@@ -161,6 +168,7 @@ fn make_table(config: &PipeFibConfig) -> Arc<BitTable> {
 fn make_pipe_producer(
     config: PipeFibConfig,
     table: Arc<BitTable>,
+    mut sink: Option<crate::bytes::ByteSink>,
 ) -> impl FnMut(u64) -> Stage0<FibIteration> + Send + 'static {
     let iterations = config.n.max(2).saturating_sub(2) as u64;
     move |i| {
@@ -175,6 +183,11 @@ fn make_pipe_producer(
                 config,
                 carry: 0,
                 blocks: config.blocks_for(target + 1),
+                sink: if i + 1 == iterations {
+                    sink.take()
+                } else {
+                    None
+                },
             },
             first_stage: 1,
             wait: true,
@@ -203,7 +216,10 @@ pub fn run_piper(
     options: PipeOptions,
 ) -> (Vec<u8>, PipeStats) {
     let table = make_table(config);
-    let stats = pool.pipe_while(options, make_pipe_producer(*config, Arc::clone(&table)));
+    let stats = pool.pipe_while(
+        options,
+        make_pipe_producer(*config, Arc::clone(&table), None),
+    );
     (extract_bits(config, &table), stats)
 }
 
@@ -218,10 +234,34 @@ pub fn piper_launch(
     let table = make_table(&config);
     let shared = Arc::clone(&table);
     let launch: crate::PipeLaunch = Box::new(move |pool, options| {
-        piper::spawn_pipe(pool, options, make_pipe_producer(config, shared))
+        piper::spawn_pipe(pool, options, make_pipe_producer(config, shared, None))
     });
     let extract = Box::new(move || extract_bits(&config, &table));
     (launch, extract)
+}
+
+/// Deferred launch of pipe-fib in bytes-in/bytes-out shape. The output
+/// (the bits of `F_n`, one byte per bit, least significant first) is
+/// written entirely by the *final* iteration, whose last node therefore
+/// emits the whole answer into `sink` in-pipeline — no completion-hook
+/// race with joiners. Requires `n ≥ 3` (below that the pipeline has no
+/// iterations and nothing is emitted); a cancelled run that never reaches
+/// the final node emits nothing.
+pub fn piper_launch_bytes(
+    config: &PipeFibConfig,
+    sink: crate::bytes::ByteSink,
+) -> crate::PipeLaunch {
+    let config = *config;
+    let table = make_table(&config);
+    Box::new(move |pool, options| {
+        piper::spawn_pipe(pool, options, make_pipe_producer(config, table, Some(sink)))
+    })
+}
+
+/// Serial reference of the byte job: the bits of `F_n`, least significant
+/// first, one byte (0/1) per bit.
+pub fn serial_bytes(config: &PipeFibConfig) -> Vec<u8> {
+    run_serial(config)
 }
 
 /// Builds the triangular pipeline dag of pipe-fib for the scheduler

@@ -208,14 +208,19 @@ struct X264Iteration {
     payload_bytes: usize,
     distortion: u64,
     bframe_records: Vec<(u64, usize, u64)>,
-    output: Arc<Mutex<X264Output>>,
+    emit: Arc<EmitFn>,
 }
+
+/// The pluggable serial output stage: receives each [`FrameRecord`] in
+/// encode order. In-memory runs push into a shared `Vec`; the byte-job
+/// adapter encodes and streams into a network sink.
+type EmitFn = dyn Fn(FrameRecord) + Send + Sync;
 
 impl PipelineIteration for X264Iteration {
     fn run_node(&mut self, stage: u64) -> NodeOutcome {
         if stage >= END {
-            // Final serial stage: write the frame record in order.
-            self.output.lock().unwrap().push(FrameRecord {
+            // Final serial stage: emit the frame record in order.
+            (self.emit)(FrameRecord {
                 frame_index: self.reference.index,
                 is_iframe: self.reference.frame_type == FrameType::I,
                 payload_bytes: self.payload_bytes,
@@ -274,7 +279,7 @@ impl PipelineIteration for X264Iteration {
 /// between the blocking [`run_piper`] and the deferred [`piper_launch`]).
 fn make_pipe_producer(
     config: &X264Config,
-    sink: Arc<Mutex<X264Output>>,
+    emit: Arc<EmitFn>,
 ) -> impl FnMut(u64) -> Stage0<X264Iteration> + Send + 'static {
     let mut source = config.source();
     let encode = config.encode;
@@ -305,7 +310,7 @@ fn make_pipe_producer(
             payload_bytes: 0,
             distortion: 0,
             bframe_records: Vec::new(),
-            output: Arc::clone(&sink),
+            emit: Arc::clone(&emit),
         };
         prev_rows = Some(my_rows);
         // pipe_wait(PROCESS_IPFRAME + w·i): enter the first row stage with a
@@ -314,10 +319,16 @@ fn make_pipe_producer(
     }
 }
 
+/// Wraps a shared output vector as the pipeline's emit stage.
+fn vec_emit(output: &Arc<Mutex<X264Output>>) -> Arc<EmitFn> {
+    let sink = Arc::clone(output);
+    Arc::new(move |record| sink.lock().unwrap().push(record))
+}
+
 /// PIPER (`pipe_while`) implementation of the on-the-fly x264 pipeline.
 pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -> X264Output {
     let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
-    pool.pipe_while(options, make_pipe_producer(config, Arc::clone(&output)));
+    pool.pipe_while(options, make_pipe_producer(config, vec_emit(&output)));
     let result = std::mem::take(&mut *output.lock().unwrap());
     result
 }
@@ -327,12 +338,55 @@ pub fn run_piper(config: &X264Config, pool: &ThreadPool, options: PipeOptions) -
 /// encoded output once the job's pipeline has completed.
 pub fn piper_launch(config: &X264Config) -> (crate::PipeLaunch, Arc<Mutex<X264Output>>) {
     let output: Arc<Mutex<X264Output>> = Arc::new(Mutex::new(Vec::new()));
-    let sink = Arc::clone(&output);
+    let emit = vec_emit(&output);
     let config = config.clone();
     let launch: crate::PipeLaunch = Box::new(move |pool, options| {
-        piper::spawn_pipe(pool, options, make_pipe_producer(&config, sink))
+        piper::spawn_pipe(pool, options, make_pipe_producer(&config, emit))
     });
     (launch, output)
+}
+
+/// Encodes one [`FrameRecord`] for the byte-job output stream: `u64-LE`
+/// frame index, an I/P tag byte, `u32-LE` payload bytes, `u64-LE`
+/// distortion, then `u32-LE` B-frame count and per B-frame
+/// `u64-LE index + u32-LE bytes + u64-LE distortion`.
+pub fn encode_frame_record_into(record: &FrameRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&record.frame_index.to_le_bytes());
+    out.push(record.is_iframe as u8);
+    out.extend_from_slice(&(record.payload_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&record.distortion.to_le_bytes());
+    out.extend_from_slice(&(record.bframes.len() as u32).to_le_bytes());
+    for (index, bytes, distortion) in &record.bframes {
+        out.extend_from_slice(&index.to_le_bytes());
+        out.extend_from_slice(&(*bytes as u32).to_le_bytes());
+        out.extend_from_slice(&distortion.to_le_bytes());
+    }
+}
+
+/// Serial reference of the byte job: the concatenated
+/// [`encode_frame_record_into`] of every frame record, in encode order.
+pub fn serial_bytes(config: &X264Config) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in run_serial(config) {
+        encode_frame_record_into(&record, &mut out);
+    }
+    out
+}
+
+/// Deferred launch of the x264 pipeline in bytes-in/bytes-out shape: the
+/// final serial stage encodes each frame record and hands it to `sink` in
+/// encode order.
+pub fn piper_launch_bytes(config: &X264Config, sink: crate::bytes::ByteSink) -> crate::PipeLaunch {
+    let sink = Mutex::new(sink);
+    let emit: Arc<EmitFn> = Arc::new(move |record| {
+        let mut buf = Vec::new();
+        encode_frame_record_into(&record, &mut buf);
+        (sink.lock().unwrap())(&buf);
+    });
+    let config = config.clone();
+    Box::new(move |pool, options| {
+        piper::spawn_pipe(pool, options, make_pipe_producer(&config, emit))
+    })
 }
 
 /// Builds the weighted pipeline dag of this configuration (per-row encode

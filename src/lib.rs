@@ -14,6 +14,9 @@
 //!   schedules and observes many concurrent pipelines over one shared
 //!   `piper` pool (frame-budget admission, weighted-fair dispatch,
 //!   cooperative cancellation).
+//! * [`piped`] — the network layer: a TCP daemon + client streaming byte
+//!   jobs onto a shared `pipeserve` executor over a CRC-framed wire
+//!   protocol (graceful drain, per-connection backpressure).
 //! * [`baselines`] — bind-to-stage (Pthreads-style) and construct-and-run
 //!   (TBB-style) pipeline executors the paper compares against.
 //! * [`workloads`] — the PARSEC-analogue pipeline programs: ferret, dedup,
@@ -25,6 +28,7 @@ pub use baselines;
 pub use checksum;
 pub use compress;
 pub use imagesim;
+pub use piped;
 pub use pipedag;
 pub use piper;
 pub use pipeserve;
