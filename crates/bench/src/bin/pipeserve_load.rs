@@ -2,8 +2,9 @@
 //! (`BENCH_pipeserve.json` trajectory).
 //!
 //! Drives a mixed fleet of dedup / ferret / x264 / pipe-fib jobs through a
-//! single [`pipeserve::PipeService`] at several open-loop arrival rates and
-//! reports, per rate:
+//! [`pipeserve::ShardedService`] at several open-loop arrival rates — once
+//! on a single shard (the PR-3 baseline shape) and once sharded N ways with
+//! elastic pools — and reports, per (shard count, rate):
 //!
 //! * **throughput** (completed jobs per second of wall clock),
 //! * **job latency** p50 / p99 (submit → terminal state, measured at the
@@ -21,16 +22,20 @@
 //!
 //! * `--quick` (or `PIPESERVE_BENCH_QUICK=1`) — seconds-scale smoke run
 //!   (used by CI);
+//! * `--shards N` (or `PIPESERVE_BENCH_SHARDS=N`) — the sharded
+//!   configuration's shard count (default 2); the sweep always also runs
+//!   the 1-shard baseline, so the emitted JSON is a direct comparison.
+//!   `--shards 1` skips the sharded pass;
 //! * `--fail-on-rejections` — exit non-zero if the *lowest* (smoke)
-//!   arrival rate rejected any job: at the smoke rate the service must
-//!   absorb the full offered load.
+//!   arrival rate of any shard configuration rejected a job: at the smoke
+//!   rate the service must absorb the full offered load.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pipe_bench::Table;
 use piper::PipeOptions;
-use pipeserve::{JobHandle, JobSpec, PipeService, Priority, ServiceMetricsSnapshot};
+use pipeserve::{JobHandle, JobSpec, Priority, ServiceMetricsSnapshot, ShardedService};
 
 /// Per-job verification: checks the completed job's output against the
 /// serial reference for its workload type.
@@ -160,8 +165,9 @@ impl Mix {
     }
 }
 
-/// Results of one arrival-rate run.
+/// Results of one (shard count, arrival rate) run.
 struct RunResult {
+    shards: usize,
     rate: f64,
     offered: usize,
     rejected: u64,
@@ -170,6 +176,8 @@ struct RunResult {
     latencies_ms: Vec<f64>,
     /// The service's aggregate counters at the end of the run.
     metrics: ServiceMetricsSnapshot,
+    /// Jobs placement routed to each shard.
+    placements: Vec<u64>,
 }
 
 impl RunResult {
@@ -199,9 +207,12 @@ impl RunResult {
         // The service-level counters come from the one shared formatter
         // (`ServiceMetricsSnapshot::to_json`); only the harness-side
         // measurements are rendered here.
+        let placements: Vec<String> = self.placements.iter().map(|p| p.to_string()).collect();
         format!(
             concat!(
                 "    {{\n",
+                "      \"shards\": {},\n",
+                "      \"placements\": [{}],\n",
                 "      \"arrival_rate_jobs_per_s\": {:.1},\n",
                 "      \"offered_jobs\": {},\n",
                 "      \"rejected_jobs\": {},\n",
@@ -214,6 +225,8 @@ impl RunResult {
                 "      \"service_metrics\": {}\n",
                 "    }}"
             ),
+            self.shards,
+            placements.join(","),
             self.rate,
             self.offered,
             self.rejected,
@@ -229,18 +242,28 @@ impl RunResult {
 }
 
 /// Submits `offered` mixed jobs at `rate` jobs/s (open loop) and waits for
-/// the fleet to drain.
+/// the fleet to drain. `workers` is the total across shards and must be
+/// divisible by `shards` (the caller equalizes totals across the shard
+/// configurations so the comparison isolates the sharding effect, not a
+/// worker-count difference); a multi-shard service runs elastic pools
+/// (band `[1, workers/shards]`), the daemon's configuration.
 fn run_at_rate(
     mix: &Mix,
+    shards: usize,
     rate: f64,
     offered: usize,
     workers: usize,
     max_queue: usize,
 ) -> RunResult {
-    let service = PipeService::builder()
-        .num_threads(workers)
-        .max_queue(max_queue)
-        .build();
+    assert_eq!(workers % shards, 0, "caller equalizes worker totals");
+    let mut builder = ShardedService::builder()
+        .shards(shards)
+        .workers_per_shard(workers / shards)
+        .max_queue_per_shard(max_queue.div_ceil(shards).max(1));
+    if shards > 1 {
+        builder = builder.elastic_workers(1);
+    }
+    let service = builder.build();
     let interval = Duration::from_secs_f64(1.0 / rate);
     let start = Instant::now();
     let mut handles: Vec<(JobHandle, Verifier, &'static str)> = Vec::with_capacity(offered);
@@ -288,15 +311,17 @@ fn run_at_rate(
             std::process::exit(1);
         }
     }
-    let metrics = service.metrics();
+    let snapshot = service.metrics();
     RunResult {
+        shards,
         rate,
         offered,
         rejected,
         completed,
         wall,
         latencies_ms,
-        metrics,
+        metrics: snapshot.aggregate,
+        placements: snapshot.placements,
     }
 }
 
@@ -305,6 +330,15 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("PIPESERVE_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     let fail_on_rejections = args.iter().any(|a| a == "--fail-on-rejections");
+    let shard_count: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|at| args.get(at + 1))
+        .cloned()
+        .or_else(|| std::env::var("PIPESERVE_BENCH_SHARDS").ok())
+        .map(|v| v.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(2)
+        .max(1);
     let out_path =
         std::env::var("PIPESERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeserve.json".to_string());
 
@@ -325,13 +359,38 @@ fn main() {
         (vec![100.0, 500.0, 2000.0], 400, 256)
     };
 
+    // 1-shard baseline first, then the sharded configuration — same rates,
+    // same offered load, same total worker and queue capacity, so the JSON
+    // is a direct single-pool vs sharded comparison. The shared total is
+    // what the sharded config needs at ≥1 worker per shard (on a host with
+    // fewer cores than shards this rounds the total up — the 1-shard
+    // baseline gets those extra threads too, keeping the comparison fair).
+    let shard_configs: Vec<usize> = if shard_count > 1 {
+        vec![1, shard_count]
+    } else {
+        vec![1]
+    };
+    let total_workers = shard_count * workers.div_ceil(shard_count).max(1);
     let mut runs = Vec::new();
-    for &rate in &rates {
-        println!("running {offered} mixed jobs at {rate:.0} jobs/s ...");
-        runs.push(run_at_rate(&mix, rate, offered, workers, max_queue));
+    for &shards in &shard_configs {
+        for &rate in &rates {
+            println!(
+                "running {offered} mixed jobs at {rate:.0} jobs/s on {shards} shard(s) \
+                 ({total_workers} workers total) ..."
+            );
+            runs.push(run_at_rate(
+                &mix,
+                shards,
+                rate,
+                offered,
+                total_workers,
+                max_queue,
+            ));
+        }
     }
 
     let mut table = Table::new(&[
+        "shards",
         "rate (j/s)",
         "offered",
         "rejected",
@@ -344,6 +403,7 @@ fn main() {
     ]);
     for r in &runs {
         table.row(vec![
+            r.shards.to_string(),
             format!("{:.0}", r.rate),
             r.offered.to_string(),
             r.rejected.to_string(),
@@ -355,7 +415,10 @@ fn main() {
             r.metrics.peak_frames_in_use.to_string(),
         ]);
     }
-    println!("pipeserve_load — mixed dedup/ferret/x264/pipe-fib fleet on {workers} workers");
+    println!(
+        "pipeserve_load — mixed dedup/ferret/x264/pipe-fib fleet on {total_workers} workers \
+         (host parallelism {workers})"
+    );
     println!("{}", table.render());
 
     let run_json: Vec<String> = runs.iter().map(RunResult::json).collect();
@@ -365,25 +428,30 @@ fn main() {
             "  \"bench\": \"pipeserve_load\",\n",
             "  \"quick\": {},\n",
             "  \"host_workers\": {},\n",
+            "  \"total_workers\": {},\n",
             "  \"job_mix\": [\"dedup\", \"ferret\", \"x264\", \"pipefib\"],\n",
             "  \"runs\": [\n{}\n  ]\n",
             "}}\n"
         ),
         quick,
         workers,
+        total_workers,
         run_json.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     println!("wrote {out_path}");
 
     if fail_on_rejections {
-        let smoke = &runs[0];
-        if smoke.rejected > 0 {
-            eprintln!(
-                "ERROR: smoke arrival rate ({:.0} jobs/s) rejected {} of {} jobs",
-                smoke.rate, smoke.rejected, smoke.offered
-            );
-            std::process::exit(1);
+        // The first (lowest) rate of every shard configuration is its smoke
+        // rate: each must absorb the full offered load.
+        for smoke in runs.chunks(rates.len()).map(|chunk| &chunk[0]) {
+            if smoke.rejected > 0 {
+                eprintln!(
+                    "ERROR: smoke arrival rate ({:.0} jobs/s, {} shard(s)) rejected {} of {} jobs",
+                    smoke.rate, smoke.shards, smoke.rejected, smoke.offered
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -10,8 +10,15 @@
 //! * `--listen ADDR` — bind address (default `127.0.0.1:0`, an ephemeral
 //!   port; the bound address is printed and optionally written to
 //!   `--addr-file`).
-//! * `--workers N` — executor pool workers (default: machine parallelism).
-//! * `--frame-budget N` — global `Σ K_j` cap (default: executor default).
+//! * `--workers N` — total executor pool workers across shards (default:
+//!   machine parallelism). Rounded up to a multiple of `--shards` (each
+//!   shard gets `ceil(N / shards)` worker slots).
+//! * `--shards N` — executor shards (default 1). With N > 1 the daemon
+//!   runs a sharded elastic executor: power-of-two-choices placement,
+//!   per-shard frame budgets and queues, pools breathing in a `[1,
+//!   workers/N]` band, and a METRICS frame with the per-shard breakdown.
+//! * `--frame-budget N` — total `Σ K_j` cap, split over the shards
+//!   (default: executor default).
 //! * `--max-queue N` — bounded submission-queue depth (default 256).
 //! * `--max-input-mb N` — per-job input cap in MiB (default 16).
 //! * `--output-window N` — per-connection queued OUTPUT-frame cap
@@ -27,8 +34,9 @@ use piped::{PipedServer, ServerConfig};
 fn usage_and_exit(message: &str) -> ! {
     eprintln!("piped: {message}");
     eprintln!(
-        "usage: piped [--listen ADDR] [--workers N] [--frame-budget N] [--max-queue N] \
-         [--max-input-mb N] [--output-window N] [--addr-file PATH] [--exit-on-drain]"
+        "usage: piped [--listen ADDR] [--workers N] [--shards N] [--frame-budget N] \
+         [--max-queue N] [--max-input-mb N] [--output-window N] [--addr-file PATH] \
+         [--exit-on-drain]"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,7 @@ fn main() {
         match arg.as_str() {
             "--listen" => listen = parse_value("--listen", args.next()),
             "--workers" => config.workers = parse_value("--workers", args.next()),
+            "--shards" => config.shards = parse_value("--shards", args.next()),
             "--frame-budget" => {
                 config.frame_budget = Some(parse_value("--frame-budget", args.next()));
             }

@@ -13,7 +13,10 @@
 //!   streamed OUTPUT chunks + JOB_DONE back, STATUS / CANCEL / METRICS /
 //!   DRAIN control frames.
 //! * [`server`] — [`PipedServer`]: a TCP daemon multiplexing any number of
-//!   connections onto one `pipeserve::PipeService`. Each SUBMIT names a
+//!   connections onto one `pipeserve::ShardedService` (one shard by
+//!   default; `--shards N` splits the executor into N elastic shards with
+//!   power-of-two-choices placement and a per-shard METRICS breakdown).
+//!   Each SUBMIT names a
 //!   workload from the `workloads::bytes` registry; the workload
 //!   pipeline's final serial stage streams encoded output straight into
 //!   the connection's bounded outbound queue (backpressure reaches the

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use pipeserve::{JobResult, JobSpec, PipeService, Priority};
+use pipeserve::{JobResult, JobSpec, Priority, ShardedService};
 use workloads::bytes::{ByteJob, ByteJobError, ByteSink};
 
 use crate::proto::{
@@ -49,8 +49,20 @@ use crate::proto::{
 /// Tuning knobs of a [`PipedServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Pool workers of the shared executor (0 = machine parallelism).
+    /// Total pool workers across all shards (0 = machine parallelism).
+    /// Divided evenly over [`ServerConfig::shards`] by ceiling division,
+    /// so a total that is not a multiple of the shard count rounds **up**
+    /// to the next one (every shard needs at least one worker slot and
+    /// shards are symmetric): `--workers 4 --shards 3` yields 3×2 = 6
+    /// worker slots, not 4.
     pub workers: usize,
+    /// Executor shards. With more than one shard the daemon runs a
+    /// [`pipeserve::ShardedService`]: submissions are placed by weighted
+    /// power-of-two-choices, each shard keeps its own frame budget and
+    /// queue, pools run an elastic worker band `[1, workers/shards]`
+    /// supervised by queue depth, and the METRICS frame carries the
+    /// per-shard breakdown (`{"aggregate":…,"shards":[…],"placements":…}`).
+    pub shards: usize,
     /// Global frame budget (`Σ K_j` cap); `None` = executor default.
     pub frame_budget: Option<usize>,
     /// Bounded submission-queue depth of the executor.
@@ -76,6 +88,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 0,
+            shards: 1,
             frame_budget: None,
             max_queue: 256,
             max_input_bytes: 16 << 20,
@@ -89,7 +102,7 @@ impl Default for ServerConfig {
 /// Shared state between the accept loop, connection threads and the
 /// control handle.
 struct Shared {
-    service: Arc<PipeService>,
+    service: Arc<ShardedService>,
     config: ServerConfig,
     /// Set by DRAIN: reject new SUBMITs server-wide.
     draining: AtomicBool,
@@ -135,8 +148,14 @@ impl ServerHandle {
         self.shared.stop.store(true, Ordering::Release);
     }
 
-    /// The executor's aggregate metrics.
+    /// The executor's aggregate metrics (field-wise sum over the shards).
     pub fn metrics(&self) -> pipeserve::ServiceMetricsSnapshot {
+        self.shared.service.aggregate_metrics()
+    }
+
+    /// The executor's full sharded snapshot (per-shard breakdown +
+    /// placement counts).
+    pub fn sharded_metrics(&self) -> pipeserve::ShardedMetricsSnapshot {
         self.shared.service.metrics()
     }
 }
@@ -152,12 +171,26 @@ impl PipedServer {
     /// builds the shared executor.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<PipedServer> {
         let listener = TcpListener::bind(addr)?;
-        let mut builder = PipeService::builder().max_queue(config.max_queue);
-        if config.workers > 0 {
-            builder = builder.num_threads(config.workers);
+        let shards = config.shards.max(1);
+        let total_workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let mut builder = ShardedService::builder()
+            .shards(shards)
+            .workers_per_shard(total_workers.div_ceil(shards).max(1))
+            .max_queue_per_shard(config.max_queue.div_ceil(shards).max(1));
+        if shards > 1 {
+            // Sharded daemons run elastic pools: each shard starts at one
+            // worker and the supervisor grows it under queue pressure, so
+            // an imbalanced tenant mix does not pin idle threads.
+            builder = builder.elastic_workers(1);
         }
         if let Some(frames) = config.frame_budget {
-            builder = builder.frame_budget(frames);
+            builder = builder.total_frame_budget(frames);
         }
         let service = Arc::new(builder.build());
         Ok(PipedServer {
@@ -519,9 +552,15 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Frame::Metrics => {
-                outbound.push_control(Frame::MetricsReply {
-                    json: shared.service.metrics().to_json(),
-                });
+                // A single-shard daemon keeps the flat object existing
+                // clients parse; a sharded one nests it under "aggregate"
+                // with the per-shard breakdown alongside.
+                let json = if shared.service.shards() > 1 {
+                    shared.service.metrics().to_json()
+                } else {
+                    shared.service.aggregate_metrics().to_json()
+                };
+                outbound.push_control(Frame::MetricsReply { json });
             }
             Frame::Drain => {
                 // Blocks this connection's reader until the executor is

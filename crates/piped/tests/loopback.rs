@@ -372,3 +372,54 @@ fn cancelling_a_still_queued_job_neither_hangs_nor_leaks() {
     );
     handle.stop();
 }
+
+#[test]
+fn sharded_daemon_serves_jobs_and_reports_per_shard_metrics() {
+    let (addr, handle) = start_server(ServerConfig {
+        workers: 4,
+        shards: 2,
+        max_queue: 64,
+        ..ServerConfig::default()
+    });
+    let client = PipedClient::connect(addr).expect("connect");
+    // Enough jobs that power-of-two-choices must touch both shards.
+    for round in 0..4 {
+        for (name, input, expected) in reference_jobs() {
+            let job = client
+                .submit(&SubmitOptions::new(name).throttle(2), &input)
+                .unwrap_or_else(|e| panic!("{name} (round {round}): submit failed: {e}"));
+            let outcome = job.wait().expect("wait");
+            assert_eq!(
+                outcome.status,
+                WireJobStatus::Completed,
+                "{name}: {outcome:?}"
+            );
+            assert_eq!(outcome.output, expected, "{name}: sharded output differs");
+        }
+    }
+    // The last JOB_DONE frame is sent a hair before the completion counter
+    // is bumped, so give the final bump a bounded moment to land before
+    // asserting exact counts.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let sharded = loop {
+        let sharded = handle.sharded_metrics();
+        if sharded.aggregate.jobs_completed == 16 {
+            break sharded;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "completion counters never reached 16: {:?}",
+            sharded.aggregate
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(sharded.shards.len(), 2);
+    assert_eq!(sharded.placements.iter().sum::<u64>(), 16);
+    // The METRICS frame of a sharded daemon carries the per-shard breakdown.
+    let json = client.metrics_json().expect("metrics");
+    assert!(json.contains("\"aggregate\":{"), "{json}");
+    assert!(json.contains("\"shards\":["), "{json}");
+    assert!(json.contains("\"placements\":["), "{json}");
+    assert!(json.contains("\"jobs_completed\":16"), "{json}");
+    handle.stop();
+}

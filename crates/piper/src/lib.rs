@@ -58,4 +58,4 @@ pub use pipeline::{
     pipe_while, spawn_pipe, NodeOutcome, PipeHandle, PipeOptions, PipelineIteration, Stage0,
     StageKind, StagedPipeline,
 };
-pub use pool::{PoolBuilder, ThreadPool};
+pub use pool::{PoolBuilder, PoolOccupancy, ThreadPool};

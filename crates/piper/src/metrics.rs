@@ -189,6 +189,14 @@ pub struct PipeStats {
     /// Iterations that recycled an already-allocated ring slot (every
     /// iteration with index ≥ K).
     pub frame_reuses: u64,
+    /// Adaptive throttling: times the effective window was widened.
+    pub adaptive_widenings: u64,
+    /// Adaptive throttling: times the effective window was narrowed.
+    pub adaptive_narrowings: u64,
+    /// The effective throttle window when this snapshot was taken (equals
+    /// the fixed `K` for non-adaptive pipelines; final value once the
+    /// pipeline has completed).
+    pub effective_window: u64,
 }
 
 #[cfg(test)]

@@ -47,6 +47,14 @@ pub(crate) struct ControlCore {
     pub(crate) lazy_enabling: bool,
     /// Dependency-folding optimization switch.
     pub(crate) dependency_folding: bool,
+    /// Adaptive-throttling switch (see [`super::PipeOptions::adaptive_window`]).
+    pub(crate) adaptive: bool,
+    /// Floor of the adaptive window band (`1 ≤ floor ≤ K`).
+    pub(crate) window_floor: usize,
+    /// The *effective* throttle window in `[window_floor, K]`. Written only
+    /// by the (single) control token's adaptation step, read by its gate:
+    /// Relaxed suffices on both sides. Fixed at `K` when not adaptive.
+    pub(crate) effective_window: AtomicUsize,
     /// Join counter: number of started-but-unfinished iterations. Kept for
     /// the peak statistic and completion detection; throttling itself is
     /// gated on slot reuse.
@@ -94,6 +102,8 @@ pub(crate) struct ControlCore {
     pub(crate) tail_swaps: AtomicU64,
     pub(crate) frame_allocations: AtomicU64,
     pub(crate) frame_reuses: AtomicU64,
+    pub(crate) adaptive_widenings: AtomicU64,
+    pub(crate) adaptive_narrowings: AtomicU64,
 }
 
 impl ControlCore {
@@ -101,11 +111,24 @@ impl ControlCore {
         throttle_limit: usize,
         lazy_enabling: bool,
         dependency_folding: bool,
+        adaptive_window: Option<usize>,
     ) -> Arc<Self> {
+        let window_floor = adaptive_window
+            .unwrap_or(throttle_limit)
+            .clamp(1, throttle_limit);
+        let initial_window = match adaptive_window {
+            // Start at the floor and let demand widen the window: memory
+            // stays minimal for pipelines that never need the headroom.
+            Some(_) => window_floor,
+            None => throttle_limit,
+        };
         Arc::new(ControlCore {
             throttle_limit,
             lazy_enabling,
             dependency_folding,
+            adaptive: adaptive_window.is_some(),
+            window_floor,
+            effective_window: AtomicUsize::new(initial_window),
             active: AtomicUsize::new(0),
             peak_active: AtomicUsize::new(0),
             control_status: AtomicU8::new(CONTROL_RUNNABLE),
@@ -125,6 +148,8 @@ impl ControlCore {
             tail_swaps: AtomicU64::new(0),
             frame_allocations: AtomicU64::new(0),
             frame_reuses: AtomicU64::new(0),
+            adaptive_widenings: AtomicU64::new(0),
+            adaptive_narrowings: AtomicU64::new(0),
         })
     }
 
@@ -216,8 +241,29 @@ impl ControlCore {
             tail_swaps: self.tail_swaps.load(Ordering::Relaxed),
             frame_allocations: self.frame_allocations.load(Ordering::Relaxed),
             frame_reuses: self.frame_reuses.load(Ordering::Relaxed),
+            adaptive_widenings: self.adaptive_widenings.load(Ordering::Relaxed),
+            adaptive_narrowings: self.adaptive_narrowings.load(Ordering::Relaxed),
+            effective_window: self.effective_window.load(Ordering::Relaxed) as u64,
         }
     }
+}
+
+/// How many iterations the adaptive controller lets pass between window
+/// adjustments. Short enough to track phase changes in a pipeline's load,
+/// long enough that the sampled stall/occupancy deltas mean something.
+const ADAPT_PERIOD: u64 = 16;
+
+/// Sampling state of the adaptive-throttling controller. Owned by the
+/// producer (accessed under the producer mutex, once per iteration — never
+/// on the per-node hot path).
+#[derive(Default)]
+struct AdaptState {
+    /// Sum of ring occupancy (`active`) sampled at each iteration start.
+    occupancy_accum: u64,
+    /// `throttle_suspensions` at the last adjustment.
+    last_throttle_stalls: u64,
+    /// `cross_suspensions` at the last adjustment.
+    last_cross_stalls: u64,
 }
 
 /// The producer-side state of a `pipe_while` (everything that is generic
@@ -228,6 +274,9 @@ struct ProducerState<F> {
     /// Index of the next iteration to start (mirrored in
     /// `ControlCore::next_iteration` for lock-free readers).
     next_index: u64,
+    /// Adaptive-throttling samples (unused when the pipeline is not
+    /// adaptive).
+    adapt: AdaptState,
 }
 
 /// The control frame, schedulable as [`Task::Control`].
@@ -253,6 +302,7 @@ where
             producer: Mutex::new(ProducerState {
                 producer: Some(producer),
                 next_index: 0,
+                adapt: AdaptState::default(),
             }),
         });
         shared
@@ -269,6 +319,42 @@ where
     /// Handle on the shared, non-generic core.
     pub(crate) fn core_handle(&self) -> Arc<ControlCore> {
         Arc::clone(&self.core)
+    }
+
+    /// One adaptive-throttling bookkeeping step, run as iteration `index`
+    /// starts. Single-writer: only the control token calls this, under the
+    /// producer mutex, so plain arithmetic on `AdaptState` and Relaxed
+    /// accesses to the window are sound. Policy (MI/AD, TCP-flavoured):
+    ///
+    /// * **widen ×2** when the control token stalled on the throttle gate
+    ///   during the last period while consumers kept up (few cross-edge
+    ///   suspensions): the window, not the pipeline, was the bottleneck;
+    /// * **narrow −1** when the gate never stalled and the ring ran less
+    ///   than half-occupied on average: the window is oversized and the
+    ///   unused slots are dead memory.
+    fn adapt_window(&self, adapt: &mut AdaptState, index: u64) {
+        let core = &self.core;
+        adapt.occupancy_accum += core.active.load(Ordering::Relaxed) as u64;
+        if index == 0 || !index.is_multiple_of(ADAPT_PERIOD) {
+            return;
+        }
+        let throttle_stalls = core.throttle_suspensions.load(Ordering::Relaxed);
+        let cross_stalls = core.cross_suspensions.load(Ordering::Relaxed);
+        let stalls = throttle_stalls - adapt.last_throttle_stalls;
+        let cross = cross_stalls - adapt.last_cross_stalls;
+        adapt.last_throttle_stalls = throttle_stalls;
+        adapt.last_cross_stalls = cross_stalls;
+        let mean_occupancy = adapt.occupancy_accum / ADAPT_PERIOD;
+        adapt.occupancy_accum = 0;
+        let window = core.effective_window.load(Ordering::Relaxed);
+        if stalls > 0 && cross <= ADAPT_PERIOD / 4 && window < core.throttle_limit {
+            core.effective_window
+                .store((window * 2).min(core.throttle_limit), Ordering::Relaxed);
+            Metrics::bump(&core.adaptive_widenings);
+        } else if stalls == 0 && mean_occupancy * 2 < window as u64 && window > core.window_floor {
+            core.effective_window.store(window - 1, Ordering::Relaxed);
+            Metrics::bump(&core.adaptive_narrowings);
+        }
     }
 
     /// Finishes the loop: drops the producer, marks the producer done and
@@ -303,17 +389,27 @@ where
 
         // Throttling gate (paper, Section 9): iteration `i` may not start
         // before iteration `i - K` has completed — which is exactly the
-        // condition under which ring slot `i % K` is free. If the slot is
-        // still occupied, the control token parks in the THROTTLED state;
-        // the retiring occupant re-creates it. The store/fence/re-check
-        // dance closes the race in which that iteration completes
-        // concurrently with us (Dekker; the retiring side fences between
-        // its `seq` store and its status read).
+        // condition under which ring slot `i % K` is free. With adaptive
+        // throttling the gate is additionally `active < effective_window`,
+        // i.e. the number of occupied ring slots stays below the tuned
+        // window even though `K` slots exist. If the gate is closed, the
+        // control token parks in the THROTTLED state; a retiring occupant
+        // re-creates it. The store/fence/re-check dance closes the race in
+        // which an iteration completes concurrently with us (Dekker; the
+        // retiring side fences between its `seq` store — and, for the
+        // adaptive part, its SeqCst `active` decrement — and its status
+        // read).
+        let gate_open = |next: u64| {
+            self.ring.slot_is_free(next)
+                && (!core.adaptive
+                    || core.active.load(Ordering::SeqCst)
+                        < core.effective_window.load(Ordering::Relaxed))
+        };
         loop {
             // Only the control token writes `next_iteration`, so the
             // Relaxed read observes our own last store.
             let next = core.next_iteration.load(Ordering::Relaxed);
-            if self.ring.slot_is_free(next) {
+            if gate_open(next) {
                 break;
             }
             Metrics::bump(&core.throttle_suspensions);
@@ -324,7 +420,7 @@ where
             core.control_status
                 .store(CONTROL_THROTTLED, Ordering::Release);
             fence(Ordering::SeqCst);
-            if self.ring.slot_is_free(next)
+            if gate_open(next)
                 && core
                     .control_status
                     .compare_exchange(
@@ -372,6 +468,9 @@ where
                     first_stage >= 1,
                     "the first node after Stage 0 must have stage number >= 1"
                 );
+                if core.adaptive {
+                    self.adapt_window(&mut prod.adapt, index);
+                }
                 prod.next_index += 1;
                 // Release: pairs with the Acquire status read of a retiring
                 // iteration (see `complete`), making the new awaited index

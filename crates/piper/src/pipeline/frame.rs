@@ -385,25 +385,47 @@ where
         // the state drop) happens-before the slot's reuse.
         slot.seq
             .store(self.seq_free(iteration + k), Ordering::Release);
-        // Dekker, retirer side: the store above must be ordered before the
-        // control-status read below; pairs with the control token's fence
-        // between its THROTTLED store and its gate re-check.
-        fence(Ordering::SeqCst);
-
         // Leave the join counter: one fewer active iteration. (SeqCst: this
         // decrement and the producer-done flag form their own store→load
-        // pattern inside `maybe_complete`.)
+        // pattern inside `maybe_complete`.) The decrement sits *before* the
+        // Dekker fence below because under adaptive throttling it is itself
+        // a gate input (`active < effective_window`): a parked control
+        // token re-reads it after its own fence, so the retirer must fence
+        // between this store and the status read or the wake can be lost.
         let previous_active = self.core.active.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(previous_active >= 1);
+        // Dekker, retirer side: the seq store and the `active` decrement
+        // above must be ordered before the control-status read below; pairs
+        // with the control token's fence between its THROTTLED store and
+        // its gate re-check.
+        fence(Ordering::SeqCst);
 
         let mut assigned = None;
         // Wake the control frame only if it is parked on *our* throttling
         // edge (it awaits slot `next % K`, which is ours iff `next` is our
-        // K-successor). The Acquire load of the status pairs with the
-        // control token's Release store when parking, which makes its
+        // K-successor). Under adaptive throttling the gate is additionally
+        // `active < effective_window`, which any completion can open, so
+        // there the retirer re-evaluates the *full* gate with loads
+        // sequenced after its SeqCst fence above: of N concurrent
+        // retirements, the one whose fence is last in the SC order
+        // observes every seq store and `active` decrement (each is
+        // sequenced before its thread's fence), so if the gate is truly
+        // open at least that retirement sees it and wakes — no lost wake,
+        // and no spurious wake inflating `throttle_suspensions` with
+        // re-parks. The Acquire load of the status pairs with the control
+        // token's Release store when parking, which makes its
         // `next_iteration` value visible.
+        let gate_open_for = |next: u64| {
+            if self.core.adaptive {
+                self.slot_is_free(next)
+                    && self.core.active.load(Ordering::SeqCst)
+                        < self.core.effective_window.load(Ordering::Relaxed)
+            } else {
+                next == iteration + k
+            }
+        };
         if self.core.control_status.load(Ordering::Acquire) == CONTROL_THROTTLED
-            && self.core.next_iteration.load(Ordering::Relaxed) == iteration + k
+            && gate_open_for(self.core.next_iteration.load(Ordering::Relaxed))
             && self
                 .core
                 .control_status

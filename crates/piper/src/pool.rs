@@ -58,10 +58,18 @@ pub(crate) enum Task {
     },
 }
 
-/// Per-worker shared info visible to other workers (for stealing/waking).
+/// Per-slot shared info visible to other workers (for stealing/waking).
+/// Slots are fixed at build time (`max_threads` of them); the worker
+/// *threads* occupying them come and go as the pool is resized. A dormant
+/// slot's stealer stays valid (it just reads an empty deque), so the steal
+/// and wake paths never need to observe a resize.
 struct ThreadInfo {
     stealer: Stealer<Task>,
     parker: Arc<Parker>,
+    /// Asks the slot's current worker thread to retire. The flag is consumed
+    /// by a compare-exchange — either the worker (committing to retire) or a
+    /// concurrent grow (cancelling the retirement) wins, never both.
+    retire: AtomicBool,
 }
 
 /// State shared by every worker of a pool.
@@ -71,10 +79,23 @@ pub(crate) struct Registry {
     pub(crate) metrics: Metrics,
     sleepers: AtomicUsize,
     terminating: AtomicBool,
+    /// Number of live worker threads (gauge; transiently lags a resize).
+    active_workers: AtomicUsize,
+    /// Owner halves of dormant slots' deques, index-keyed. A retiring
+    /// worker drains its deque into the injector and parks the empty owner
+    /// half here; a grow takes it back out for the new thread.
+    dormant: Mutex<Vec<Option<Deque<Task>>>>,
+    thread_name_prefix: String,
 }
 
 impl Registry {
+    /// Number of live worker threads (the elastic gauge).
     pub(crate) fn num_threads(&self) -> usize {
+        self.active_workers.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker slots (the elastic ceiling, fixed at build).
+    fn num_slots(&self) -> usize {
         self.threads.len()
     }
 
@@ -176,9 +197,12 @@ impl WorkerThread {
         self.steal()
     }
 
-    /// One round of random steal attempts over all other workers.
+    /// One round of random steal attempts over all other workers. The round
+    /// covers every *slot*, not just the live ones: a slot whose worker
+    /// retired may still hold tasks until somebody steals them, and a
+    /// dormant slot's stealer merely reads an empty deque.
     fn steal(&self) -> Option<Task> {
-        let n = self.registry.num_threads();
+        let n = self.registry.num_slots();
         if n <= 1 {
             return None;
         }
@@ -244,10 +268,34 @@ impl WorkerThread {
         }
     }
 
-    /// The worker's top-level scheduling loop.
+    /// The worker's top-level scheduling loop. Returns when the pool is
+    /// terminating or this slot was asked to retire (elastic shrink); in the
+    /// latter case the deque has been drained into the injector so no task
+    /// is stranded behind a dead worker.
     fn main_loop(&self) {
         let mut backoff = Backoff::new();
         loop {
+            // Elastic shrink: a relaxed read keeps the locked RMW off the
+            // per-task hot path; only a raised flag attempts the
+            // compare-exchange that commits this thread to retiring (a
+            // concurrent grow doing the same CAS cancels the retirement
+            // instead — exactly one side wins the flag).
+            let retire = &self.registry.threads[self.index].retire;
+            if retire.load(Ordering::Relaxed)
+                && retire
+                    .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                let mut drained = false;
+                while let Some(task) = self.pop() {
+                    self.registry.injector.push(task);
+                    drained = true;
+                }
+                if drained {
+                    self.registry.wake_workers();
+                }
+                break;
+            }
             if let Some(task) = self.find_task() {
                 backoff.reset();
                 self.execute(task);
@@ -283,6 +331,7 @@ impl WorkerThread {
 #[derive(Debug, Clone)]
 pub struct PoolBuilder {
     num_threads: usize,
+    max_threads: Option<usize>,
     thread_name_prefix: String,
 }
 
@@ -290,6 +339,7 @@ impl Default for PoolBuilder {
     fn default() -> Self {
         PoolBuilder {
             num_threads: default_num_threads(),
+            max_threads: None,
             thread_name_prefix: "piper-worker".to_string(),
         }
     }
@@ -327,18 +377,30 @@ impl PoolBuilder {
         self
     }
 
-    /// Builds the pool, spawning the worker threads.
+    /// Sets the upper bound of the elastic worker band (the number of
+    /// worker *slots*). Defaults to the initial thread count, i.e. a fixed
+    /// pool. [`ThreadPool::resize`] can later move the live worker count
+    /// anywhere in `[1, max_threads]`; it can never exceed this, because
+    /// the per-slot deques and stealers are allocated once, here.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.max_threads = Some(n.max(1));
+        self
+    }
+
+    /// Builds the pool, spawning the initial worker threads.
     pub fn build(self) -> ThreadPool {
         let n = self.num_threads;
-        let mut deques = Vec::with_capacity(n);
-        let mut infos = Vec::with_capacity(n);
-        for _ in 0..n {
+        let slots = self.max_threads.unwrap_or(n).max(n);
+        let mut deques = Vec::with_capacity(slots);
+        let mut infos = Vec::with_capacity(slots);
+        for _ in 0..slots {
             let (worker, stealer) = deque::<Task>();
             infos.push(ThreadInfo {
                 stealer,
                 parker: Arc::new(Parker::new()),
+                retire: AtomicBool::new(false),
             });
-            deques.push(worker);
+            deques.push(Some(worker));
         }
         let registry = Arc::new(Registry {
             threads: infos,
@@ -346,36 +408,63 @@ impl PoolBuilder {
             metrics: Metrics::new(),
             sleepers: AtomicUsize::new(0),
             terminating: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(0),
+            dormant: Mutex::new(deques),
+            thread_name_prefix: self.thread_name_prefix,
         });
 
         let mut handles = Vec::with_capacity(n);
-        for (index, dq) in deques.into_iter().enumerate() {
-            let registry = Arc::clone(&registry);
-            let name = format!("{}-{}", self.thread_name_prefix, index);
-            let handle = thread::Builder::new()
-                .name(name)
-                .spawn(move || {
-                    let worker = WorkerThread {
-                        registry,
-                        index,
-                        deque: dq,
-                        rng: RefCell::new(XorShift64::new(
-                            0x5851_F42D_4C95_7F2D ^ (index as u64 + 1),
-                        )),
-                    };
-                    CURRENT_WORKER.with(|w| w.set(&worker as *const WorkerThread));
-                    worker.main_loop();
-                    CURRENT_WORKER.with(|w| w.set(std::ptr::null()));
-                })
-                .expect("failed to spawn worker thread");
-            handles.push(handle);
+        for index in 0..n {
+            handles.push(spawn_worker(&registry, index));
         }
 
         ThreadPool {
             registry,
             handles: Mutex::new(handles),
+            resize_lock: Mutex::new(n),
         }
     }
+}
+
+/// Spawns a worker thread onto slot `index`, taking the slot's dormant
+/// deque half (spinning briefly if a retiring predecessor has not yet
+/// handed it back). The active-worker gauge is raised before the thread
+/// runs so `num_threads()` reflects a completed resize immediately.
+fn spawn_worker(registry: &Arc<Registry>, index: usize) -> thread::JoinHandle<()> {
+    let dq = loop {
+        if let Some(dq) = registry.dormant.lock().unwrap()[index].take() {
+            break dq;
+        }
+        // The slot's previous occupant committed to retiring but has not
+        // yet parked its deque half; it is past its last task, so this
+        // wait is bounded by thread-exit bookkeeping.
+        thread::yield_now();
+    };
+    registry.active_workers.fetch_add(1, Ordering::Relaxed);
+    let registry = Arc::clone(registry);
+    let name = format!("{}-{}", registry.thread_name_prefix, index);
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let worker = WorkerThread {
+                registry,
+                index,
+                deque: dq,
+                rng: RefCell::new(XorShift64::new(0x5851_F42D_4C95_7F2D ^ (index as u64 + 1))),
+            };
+            CURRENT_WORKER.with(|w| w.set(&worker as *const WorkerThread));
+            worker.main_loop();
+            CURRENT_WORKER.with(|w| w.set(std::ptr::null()));
+            // Hand the deque half back (drained by the retire path; on pool
+            // termination its contents are dropped with the registry) and
+            // lower the gauge.
+            let WorkerThread {
+                registry, deque, ..
+            } = worker;
+            registry.dormant.lock().unwrap()[index] = Some(deque);
+            registry.active_workers.fetch_sub(1, Ordering::Relaxed);
+        })
+        .expect("failed to spawn worker thread")
 }
 
 /// A work-stealing thread pool that supports both fork-join parallelism and
@@ -383,6 +472,28 @@ impl PoolBuilder {
 pub struct ThreadPool {
     registry: Arc<Registry>,
     handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Serializes [`resize`](Self::resize) calls; holds the current target
+    /// worker count (live slots are exactly `0..target`).
+    resize_lock: Mutex<usize>,
+}
+
+/// A point-in-time occupancy gauge of a pool, for elastic supervisors
+/// (queue-depth-driven grow/shrink decisions) and observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PoolOccupancy {
+    /// Live worker threads right now.
+    pub active_workers: usize,
+    /// The elastic ceiling (worker slots allocated at build).
+    pub max_workers: usize,
+    /// Tasks waiting in the global injector.
+    pub injector_depth: usize,
+    /// Tasks sitting in worker deques (sampled via the stealers; racy but
+    /// monotonicity-free — a gauge, not an invariant).
+    pub deque_depth: usize,
+    /// Detached + blocking pipelines currently in flight
+    /// (`pipes_started − pipes_completed`).
+    pub pipes_running: u64,
 }
 
 impl ThreadPool {
@@ -403,9 +514,71 @@ impl ThreadPool {
         GLOBAL.get_or_init(|| ThreadPool::new(default_num_threads()))
     }
 
-    /// Number of worker threads (`P`).
+    /// Number of live worker threads (`P`). For a fixed pool this is the
+    /// built size; for an elastic pool it tracks [`resize`](Self::resize)
+    /// (transiently lagging while a retiring worker finishes its last task).
     pub fn num_threads(&self) -> usize {
         self.registry.num_threads()
+    }
+
+    /// The elastic ceiling: the number of worker slots allocated at build
+    /// ([`PoolBuilder::max_threads`]); [`resize`](Self::resize) targets are
+    /// clamped to `[1, max_threads]`.
+    pub fn max_threads(&self) -> usize {
+        self.registry.num_slots()
+    }
+
+    /// Elastically resizes the pool to `target` live workers, clamped to
+    /// `[1, max_threads]`; returns the clamped target.
+    ///
+    /// Growing spawns threads onto dormant slots. Shrinking asks the
+    /// highest slots to retire: each retiring worker finishes its current
+    /// task, drains its deque into the shared injector (so no task is
+    /// stranded) and exits — in-flight pipelines are never interrupted,
+    /// only the parallelism serving them changes. Calls are serialized; a
+    /// grow that races an uncommitted retire simply cancels it.
+    pub fn resize(&self, target: usize) -> usize {
+        let target = target.clamp(1, self.registry.num_slots());
+        let mut current = self.resize_lock.lock().unwrap();
+        if target < *current {
+            for idx in target..*current {
+                self.registry.threads[idx]
+                    .retire
+                    .store(true, Ordering::Release);
+                self.registry.threads[idx].parker.unpark();
+            }
+        } else if target > *current {
+            let mut handles = self.handles.lock().unwrap();
+            // Reap handles of long-retired threads so repeated resize
+            // cycles do not accumulate them without bound.
+            handles.retain(|h| !h.is_finished());
+            for idx in *current..target {
+                if self.registry.threads[idx]
+                    .retire
+                    .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Cancelled a retire the slot's worker had not yet
+                    // committed to: it keeps running, nothing to spawn.
+                    continue;
+                }
+                handles.push(spawn_worker(&self.registry, idx));
+            }
+        }
+        *current = target;
+        target
+    }
+
+    /// Samples the pool's occupancy gauges (see [`PoolOccupancy`]).
+    pub fn occupancy(&self) -> PoolOccupancy {
+        let m = self.registry.metrics.snapshot();
+        PoolOccupancy {
+            active_workers: self.registry.num_threads(),
+            max_workers: self.registry.num_slots(),
+            injector_depth: self.registry.injector.len(),
+            deque_depth: self.registry.threads.iter().map(|t| t.stealer.len()).sum(),
+            pipes_running: m.pipes_started.saturating_sub(m.pipes_completed),
+        }
     }
 
     pub(crate) fn registry(&self) -> &Arc<Registry> {
@@ -601,6 +774,112 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 8 * 50);
+    }
+
+    /// Spins until the live-worker gauge reaches `expect` (retiring workers
+    /// lower it asynchronously, after their last task).
+    fn wait_for_workers(pool: &ThreadPool, expect: usize) {
+        for _ in 0..20_000 {
+            if pool.num_threads() == expect {
+                return;
+            }
+            thread::sleep(Duration::from_micros(100));
+        }
+        panic!(
+            "pool never reached {expect} live workers (at {})",
+            pool.num_threads()
+        );
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_within_the_band() {
+        let pool = ThreadPool::builder().num_threads(1).max_threads(4).build();
+        assert_eq!(pool.num_threads(), 1);
+        assert_eq!(pool.max_threads(), 4);
+        assert_eq!(pool.resize(4), 4);
+        wait_for_workers(&pool, 4);
+        assert_eq!(pool.resize(0), 1, "resize clamps to at least one worker");
+        wait_for_workers(&pool, 1);
+        assert_eq!(pool.resize(99), 4, "resize clamps to max_threads");
+        wait_for_workers(&pool, 4);
+        assert_eq!(pool.install(|| 6 * 7), 42);
+    }
+
+    #[test]
+    fn no_task_is_lost_across_resize_cycles() {
+        let pool = Arc::new(ThreadPool::builder().num_threads(2).max_threads(6).build());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut submitters = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            submitters.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    pool.install(|| counter.fetch_add(1, Ordering::SeqCst));
+                }
+            }));
+        }
+        // Churn the worker band while the installs flow.
+        let resizer = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                for target in [1usize, 6, 2, 5, 1, 4, 3, 6, 1, 2]
+                    .into_iter()
+                    .cycle()
+                    .take(40)
+                {
+                    pool.resize(target);
+                    thread::sleep(Duration::from_micros(300));
+                }
+            })
+        };
+        for h in submitters {
+            h.join().unwrap();
+        }
+        resizer.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * 200);
+    }
+
+    #[test]
+    fn pipeline_survives_concurrent_resizes() {
+        let pool = Arc::new(ThreadPool::builder().num_threads(1).max_threads(4).build());
+        let out = Arc::new(Mutex::new(Vec::new()));
+        struct Push {
+            i: u64,
+            out: Arc<Mutex<Vec<u64>>>,
+        }
+        impl crate::PipelineIteration for Push {
+            fn run_node(&mut self, _stage: u64) -> crate::NodeOutcome {
+                self.out.lock().unwrap().push(self.i);
+                crate::NodeOutcome::Done
+            }
+        }
+        let sink = Arc::clone(&out);
+        let handle = crate::spawn_pipe(&pool, crate::PipeOptions::with_throttle(3), move |i| {
+            if i == 400 {
+                return crate::Stage0::Stop;
+            }
+            crate::Stage0::wait(Push {
+                i,
+                out: Arc::clone(&sink),
+            })
+        });
+        for target in [4usize, 1, 3, 2, 4, 1] {
+            pool.resize(target);
+            thread::sleep(Duration::from_micros(500));
+        }
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.iterations, 400);
+        assert_eq!(*out.lock().unwrap(), (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn occupancy_reports_band_and_pipes() {
+        let pool = ThreadPool::builder().num_threads(2).max_threads(3).build();
+        let occ = pool.occupancy();
+        assert_eq!(occ.active_workers, 2);
+        assert_eq!(occ.max_workers, 3);
+        assert_eq!(occ.pipes_running, 0);
     }
 
     #[test]

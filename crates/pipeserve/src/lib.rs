@@ -29,6 +29,11 @@
 //!   [`JobResult`], plus aggregate [`ServiceMetricsSnapshot`] (admitted /
 //!   rejected / cancelled / expired counts, queue depth, frame-budget
 //!   utilization) alongside the pool's own [`piper::MetricsSnapshot`].
+//! * **Sharding** — [`ShardedService`] runs N independent services behind
+//!   one submit surface: weighted power-of-two-choices placement, per-shard
+//!   frame budgets, an optional elastic worker band per pool grown/shrunk
+//!   by a queue-depth supervisor, and [`ShardedMetricsSnapshot`] exposing
+//!   the per-shard breakdown. See the [`shard`](self) module docs.
 //!
 //! # Quick start
 //!
@@ -68,7 +73,9 @@
 mod job;
 mod metrics;
 mod service;
+mod shard;
 
 pub use job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, Priority, TerminalHook};
-pub use metrics::ServiceMetricsSnapshot;
+pub use metrics::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
 pub use service::{PipeService, ServiceBuilder, SubmitError};
+pub use shard::{ShardedService, ShardedServiceBuilder};

@@ -129,9 +129,86 @@ impl ServiceMetricsSnapshot {
     }
 }
 
+impl std::ops::Add for ServiceMetricsSnapshot {
+    type Output = ServiceMetricsSnapshot;
+
+    /// Field-wise sum, for aggregating per-shard snapshots. Note that the
+    /// peak fields become *sums of per-shard peaks* — an upper bound on the
+    /// true aggregate peak (the shards need not have peaked simultaneously).
+    fn add(self, other: ServiceMetricsSnapshot) -> ServiceMetricsSnapshot {
+        ServiceMetricsSnapshot {
+            jobs_submitted: self.jobs_submitted + other.jobs_submitted,
+            jobs_admitted: self.jobs_admitted + other.jobs_admitted,
+            jobs_rejected: self.jobs_rejected + other.jobs_rejected,
+            jobs_completed: self.jobs_completed + other.jobs_completed,
+            jobs_cancelled: self.jobs_cancelled + other.jobs_cancelled,
+            jobs_panicked: self.jobs_panicked + other.jobs_panicked,
+            jobs_expired: self.jobs_expired + other.jobs_expired,
+            peak_queue_depth: self.peak_queue_depth + other.peak_queue_depth,
+            peak_frames_in_use: self.peak_frames_in_use + other.peak_frames_in_use,
+            queue_depth: self.queue_depth + other.queue_depth,
+            running: self.running + other.running,
+            frames_in_use: self.frames_in_use + other.frames_in_use,
+            frame_budget: self.frame_budget + other.frame_budget,
+        }
+    }
+}
+
+/// A point-in-time copy of a sharded executor's metrics: the field-wise
+/// aggregate, the per-shard snapshots, and how many jobs placement routed
+/// to each shard.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct ShardedMetricsSnapshot {
+    /// Field-wise sum over the shards (peaks are sums of per-shard peaks).
+    pub aggregate: ServiceMetricsSnapshot,
+    /// One snapshot per shard, in shard-index order.
+    pub shards: Vec<ServiceMetricsSnapshot>,
+    /// Jobs the placement layer routed to each shard (counted at placement,
+    /// i.e. before the shard's own admission verdict).
+    pub placements: Vec<u64>,
+}
+
+impl ShardedMetricsSnapshot {
+    /// Renders the snapshot as a single-line JSON object:
+    /// `{"aggregate": {...}, "shards": [{...}, ...], "placements": [...]}`.
+    /// This is what the `piped` METRICS wire frame carries for a sharded
+    /// daemon; the `"aggregate"` object is the same shape single-shard
+    /// clients already parse.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
+        let placements: Vec<String> = self.placements.iter().map(|p| p.to_string()).collect();
+        format!(
+            "{{\"aggregate\":{},\"shards\":[{}],\"placements\":[{}]}}",
+            self.aggregate.to_json(),
+            shards.join(","),
+            placements.join(","),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_json_nests_aggregate_and_shards() {
+        let shard = ServiceMetricsSnapshot {
+            jobs_submitted: 5,
+            frame_budget: 8,
+            ..Default::default()
+        };
+        let snapshot = ShardedMetricsSnapshot {
+            aggregate: shard + shard,
+            shards: vec![shard, shard],
+            placements: vec![3, 2],
+        };
+        let json = snapshot.to_json();
+        assert!(json.contains("\"aggregate\":{\"jobs_submitted\":10"));
+        assert!(json.contains("\"placements\":[3,2]"));
+        assert_eq!(json.matches("\"frame_budget\":8").count(), 2);
+        assert!(json.contains("\"frame_budget\":16"));
+    }
 
     #[test]
     fn to_json_is_a_flat_object_with_every_field() {

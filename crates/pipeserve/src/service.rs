@@ -241,6 +241,13 @@ impl ServiceInner {
         Pick::BudgetExhausted
     }
 
+    /// A cheap load probe for shard placement: `(reserved frames, queued
+    /// jobs)` under one brief scheduler-lock acquisition.
+    pub(crate) fn placement_load(&self) -> (usize, usize) {
+        let sched = self.sched.lock().unwrap();
+        (sched.frames_in_use, sched.queued)
+    }
+
     /// Releases an admitted job's frame reservation and removes it from the
     /// running table.
     fn release(&self, state: &JobState) {
@@ -397,6 +404,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[derive(Debug, Clone)]
 pub struct ServiceBuilder {
     num_threads: usize,
+    max_threads: Option<usize>,
     frame_budget: Option<usize>,
     max_queue: usize,
 }
@@ -407,6 +415,7 @@ impl Default for ServiceBuilder {
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            max_threads: None,
             frame_budget: None,
             max_queue: 1024,
         }
@@ -417,6 +426,21 @@ impl ServiceBuilder {
     /// Number of pool workers (`P`). Defaults to the machine's parallelism.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
+        self
+    }
+
+    /// Makes the pool elastic: it starts with
+    /// [`num_threads`](Self::num_threads) workers (clamped into the band)
+    /// and [`piper::ThreadPool::resize`] may later move the live count
+    /// anywhere in `[min, max]` — an elastic supervisor (see
+    /// `ShardedService`) grows it under queue pressure and shrinks it when
+    /// idle. The default frame budget and submit-time window resolution use
+    /// `max`, so admission does not flap as the pool breathes.
+    pub fn elastic_workers(mut self, min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        self.num_threads = self.num_threads.clamp(min, max);
+        self.max_threads = Some(max);
         self
     }
 
@@ -435,15 +459,18 @@ impl ServiceBuilder {
 
     /// Builds the service, spawning its pool workers and dispatcher thread.
     pub fn build(self) -> PipeService {
-        let pool = Arc::new(
-            ThreadPool::builder()
-                .num_threads(self.num_threads)
-                .thread_name_prefix("pipeserve-worker")
-                .build(),
-        );
+        let mut pool_builder = ThreadPool::builder()
+            .num_threads(self.num_threads)
+            .thread_name_prefix("pipeserve-worker");
+        if let Some(max) = self.max_threads {
+            pool_builder = pool_builder.max_threads(max);
+        }
+        let pool = Arc::new(pool_builder.build());
+        // Budget on the elastic ceiling, not the live count: admission must
+        // not depend on how far the pool happens to be grown right now.
         let frame_budget = self
             .frame_budget
-            .unwrap_or(8 * 4 * pool.num_threads())
+            .unwrap_or(8 * 4 * pool.max_threads())
             .max(1);
         let inner = Arc::new(ServiceInner {
             pool,
@@ -492,6 +519,12 @@ impl PipeService {
         &self.inner.pool
     }
 
+    /// The service's scheduler core, for same-crate layers (the shard
+    /// placement supervisor) that outlive a borrow of the service.
+    pub(crate) fn inner(&self) -> &Arc<ServiceInner> {
+        &self.inner
+    }
+
     /// The configured global frame budget.
     pub fn frame_budget(&self) -> usize {
         self.inner.frame_budget
@@ -501,25 +534,60 @@ impl PipeService {
     /// [`SubmitError`] if the service is shutting down, the job could never
     /// fit the frame budget, or the bounded queue is full (backpressure).
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        if self.inner.shutting_down.load(Ordering::Acquire) {
-            return Err(SubmitError::ShutDown);
-        }
-        let window = spec.frame_window(self.inner.pool.num_threads());
-        if window > self.inner.frame_budget {
+        self.try_submit(spec).map_err(|rejected| {
+            self.count_rejection(rejected.0);
+            rejected.0
+        })
+    }
+
+    /// Records a surfaced rejection in this service's metrics (shutdown is
+    /// not a rejection — it matches the pre-sharding accounting).
+    pub(crate) fn count_rejection(&self, err: SubmitError) {
+        if !matches!(err, SubmitError::ShutDown) {
             ServiceMetrics::bump(&self.inner.metrics.jobs_rejected);
-            return Err(SubmitError::FrameWindowExceedsBudget {
-                window,
-                budget: self.inner.frame_budget,
-            });
+        }
+    }
+
+    /// [`submit`](Self::submit), but handing the spec back on rejection so
+    /// a sharded placement layer can offer it to another shard without
+    /// rebuilding it. (Boxed: a `JobSpec` is a large error payload to move
+    /// through every `?`.)
+    ///
+    /// Deliberately does **not** bump `jobs_rejected`: whether a verdict
+    /// counts as a rejection is the caller's call — a placement sweep that
+    /// lands the job on another shard has not rejected it. Callers that
+    /// surface the error must pair it with
+    /// [`count_rejection`](Self::count_rejection).
+    pub(crate) fn try_submit(
+        &self,
+        spec: JobSpec,
+    ) -> Result<JobHandle, Box<(SubmitError, JobSpec)>> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(Box::new((SubmitError::ShutDown, spec)));
+        }
+        // Resolve the window against the pool's elastic *ceiling* and pin
+        // it into the options, so the ring the launch eventually allocates
+        // is exactly the window admission reserved — even if an elastic
+        // pool changes its live worker count in between.
+        let window = spec.frame_window(self.inner.pool.max_threads());
+        if window > self.inner.frame_budget {
+            return Err(Box::new((
+                SubmitError::FrameWindowExceedsBudget {
+                    window,
+                    budget: self.inner.frame_budget,
+                },
+                spec,
+            )));
         }
         let JobSpec {
             name,
             priority,
-            options,
+            mut options,
             queue_deadline,
             launch,
             on_terminal,
         } = spec;
+        options.throttle_limit = Some(window);
         let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let state = JobState::new(id, name, priority, window, on_terminal);
         let queued = QueuedJob {
@@ -532,8 +600,24 @@ impl PipeService {
             let mut sched = self.inner.sched.lock().unwrap();
             if sched.queued >= self.inner.max_queue {
                 drop(sched);
-                ServiceMetrics::bump(&self.inner.metrics.jobs_rejected);
-                return Err(SubmitError::QueueFull);
+                let QueuedJob {
+                    state,
+                    options,
+                    launch,
+                    ..
+                } = queued;
+                let on_terminal = state.cell.lock().unwrap().on_terminal.take();
+                return Err(Box::new((
+                    SubmitError::QueueFull,
+                    JobSpec {
+                        name: state.name.clone(),
+                        priority,
+                        options,
+                        queue_deadline,
+                        launch,
+                        on_terminal,
+                    },
+                )));
             }
             sched.queues[priority.index()].push_back(queued);
             sched.queued += 1;

@@ -1,0 +1,624 @@
+//! The shard layer: one executor facade over N independent [`PipeService`]
+//! shards, each with its own pool, dispatcher, queue and frame budget.
+//!
+//! A single [`PipeService`] is one contention domain: one scheduler mutex,
+//! one dispatcher thread, one injector. That is the right shape up to a few
+//! thousand jobs per second and the wrong shape for the ROADMAP's
+//! heavy-multi-tenant target, where nonuniform jobs (a suffix-array
+//! compression stage next to a stream of pipe-fib probes) serialize behind
+//! each other's bookkeeping. [`ShardedService`] splits the executor:
+//!
+//! * **Placement** — each submission is routed by *weighted
+//!   power-of-two-choices*: probe two distinct shards (uniformly, from a
+//!   per-service PRNG), score each as `reserved frames + 4 × queued jobs`,
+//!   and submit to the lighter one. Two random probes avoid both the herd
+//!   behaviour of pure least-loaded (every submitter simultaneously picks
+//!   the same emptiest shard) and the tail latency of pure random, at the
+//!   cost of one extra lock acquisition per submit.
+//! * **Fallback sweep** — if the chosen shard rejects with a *transient*
+//!   verdict (queue full), the spec is offered to every other shard in
+//!   ascending-score order before the rejection is surfaced; a structural
+//!   verdict (window exceeds the per-shard budget, shutdown) is final. The
+//!   spec round-trips through [`PipeService::try_submit`] so nothing is
+//!   rebuilt.
+//! * **Per-shard frame budgets** — the configured total budget is split
+//!   evenly (ceiling division), so `Σ_shards Σ_jobs K_j` keeps the same
+//!   Theorem-11-style space bound the single-pool admission controller
+//!   enforced, now without a shared admission lock.
+//! * **Elasticity** — with [`ShardedServiceBuilder::elastic_workers`], each
+//!   shard's pool is built with a worker band `[min, max]`
+//!   ([`piper::PoolBuilder::max_threads`]) and a supervisor thread
+//!   periodically walks the shards: a shard with queued jobs or backlogged
+//!   deques grows by one worker; a shard observed idle for several
+//!   consecutive ticks shrinks by one. Growth is immediate, shrink is
+//!   hysteretic, so bursty tenants do not flap the band.
+//!
+//! Placement is *sticky*: a job never migrates after admission (its ring,
+//! and therefore its frames, live on one pool), which keeps the per-shard
+//! budget accounting exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::job::{JobHandle, JobSpec};
+use crate::metrics::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
+use crate::service::{PipeService, ServiceBuilder, SubmitError};
+
+/// Builder for a [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ShardedServiceBuilder {
+    shards: usize,
+    workers_per_shard: usize,
+    elastic_min: Option<usize>,
+    total_frame_budget: Option<usize>,
+    max_queue_per_shard: usize,
+    supervise_every: Duration,
+}
+
+impl Default for ShardedServiceBuilder {
+    fn default() -> Self {
+        ShardedServiceBuilder {
+            shards: 1,
+            workers_per_shard: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            elastic_min: None,
+            total_frame_budget: None,
+            max_queue_per_shard: 1024,
+            supervise_every: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ShardedServiceBuilder {
+    /// Number of independent shards (default 1). Each shard owns a pool, a
+    /// dispatcher thread, a bounded queue and a frame budget.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Pool workers *per shard* (default: machine parallelism). With an
+    /// elastic band this is the band's ceiling.
+    pub fn workers_per_shard(mut self, n: usize) -> Self {
+        self.workers_per_shard = n.max(1);
+        self
+    }
+
+    /// Makes every shard's pool elastic with worker band
+    /// `[min, workers_per_shard]`: pools start at `min` workers and the
+    /// supervisor thread grows them under queue pressure / shrinks them
+    /// when idle (see the [module docs](self)).
+    pub fn elastic_workers(mut self, min: usize) -> Self {
+        self.elastic_min = Some(min.max(1));
+        self
+    }
+
+    /// The *total* frame budget across all shards, split evenly (ceiling
+    /// division) into per-shard budgets. Defaults to the per-shard default
+    /// of [`ServiceBuilder::frame_budget`] times the shard count.
+    pub fn total_frame_budget(mut self, frames: usize) -> Self {
+        self.total_frame_budget = Some(frames.max(1));
+        self
+    }
+
+    /// Bounded submission-queue depth of each shard.
+    pub fn max_queue_per_shard(mut self, depth: usize) -> Self {
+        self.max_queue_per_shard = depth.max(1);
+        self
+    }
+
+    /// How often the elastic supervisor samples shard occupancy (default
+    /// 20 ms). Irrelevant without [`elastic_workers`](Self::elastic_workers).
+    pub fn supervise_every(mut self, period: Duration) -> Self {
+        self.supervise_every = period.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Builds the sharded service, spawning each shard's pool and
+    /// dispatcher, plus the supervisor thread if the pools are elastic.
+    pub fn build(self) -> ShardedService {
+        let n = self.shards;
+        let per_shard_budget = self.total_frame_budget.map(|total| total.div_ceil(n));
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut builder = ServiceBuilder::default()
+                .num_threads(self.workers_per_shard)
+                .max_queue(self.max_queue_per_shard);
+            if let Some(min) = self.elastic_min {
+                // Start at the band floor: the supervisor grows the pool
+                // when demand shows up, so an idle shard stays cheap.
+                builder = builder
+                    .num_threads(min)
+                    .elastic_workers(min, self.workers_per_shard);
+            }
+            if let Some(frames) = per_shard_budget {
+                builder = builder.frame_budget(frames);
+            }
+            shards.push(builder.build());
+        }
+        let inner = Arc::new(ShardedInner {
+            shards,
+            placements: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            probe_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        });
+        let supervisor = self.elastic_min.map(|min| {
+            let stop = Arc::new(SupervisorStop {
+                flag: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let thread_stop = Arc::clone(&stop);
+            let thread_inner = Arc::clone(&inner);
+            let period = self.supervise_every;
+            let handle = std::thread::Builder::new()
+                .name("pipeserve-elastic".to_string())
+                .spawn(move || supervise(&thread_inner, min, period, &thread_stop))
+                .expect("failed to spawn elastic supervisor thread");
+            (handle, stop)
+        });
+        ShardedService { inner, supervisor }
+    }
+}
+
+/// Shard state shared with the supervisor thread.
+struct ShardedInner {
+    shards: Vec<PipeService>,
+    /// Jobs routed to each shard by placement (counted before the shard's
+    /// own admission verdict).
+    placements: Vec<AtomicU64>,
+    /// PRNG state for the power-of-two-choices probes (splitmix64; relaxed
+    /// contention on the seed only perturbs probe choice, never correctness).
+    probe_seed: AtomicU64,
+}
+
+impl ShardedInner {
+    /// One splitmix64 draw from the shared probe seed.
+    fn draw(&self) -> u64 {
+        let x = self
+            .probe_seed
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The placement score of shard `i`: reserved frames plus a 4×-weighted
+    /// queue depth (a queued job will typically claim a default window of a
+    /// few frames once admitted, and backlog is worth penalizing beyond
+    /// frames already reserved — latency accrues in the queue).
+    fn score(&self, i: usize) -> usize {
+        let (frames, queued) = self.shards[i].inner().placement_load();
+        frames + 4 * queued
+    }
+}
+
+/// Stop signal of the supervisor thread (mutex + condvar so shutdown does
+/// not have to wait out a full sampling period).
+struct SupervisorStop {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// How many consecutive idle observations a shard must accumulate before
+/// the supervisor takes a worker away (shrink hysteresis: growth reacts in
+/// one tick, shrink in `IDLE_TICKS_TO_SHRINK`).
+const IDLE_TICKS_TO_SHRINK: u32 = 5;
+
+/// The elastic supervisor loop: queue-depth-driven grow, idle-driven
+/// hysteretic shrink, per shard. The supervisor is the only resizer of
+/// these pools, so it steps its own per-shard target ledger rather than
+/// the pool's `active_workers` gauge — the gauge transiently lags a
+/// shrink (a retiring worker lowers it only when its thread exits), and
+/// stepping a lagging gauge could grow by more than one worker per tick.
+fn supervise(inner: &ShardedInner, min_workers: usize, period: Duration, stop: &SupervisorStop) {
+    let n = inner.shards.len();
+    let mut idle_ticks = vec![0u32; n];
+    // Elastic pools are built at the band floor (see `build`).
+    let mut targets = vec![min_workers; n];
+    loop {
+        {
+            let mut stopped = stop.flag.lock().unwrap();
+            while !*stopped {
+                let (guard, timeout) = stop.cv.wait_timeout(stopped, period).unwrap();
+                stopped = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *stopped {
+                return;
+            }
+        }
+        for (i, shard) in inner.shards.iter().enumerate() {
+            let pool = shard.pool();
+            let occ = pool.occupancy();
+            let (_, queued) = shard.inner().placement_load();
+            let backlogged = queued > 0 || occ.injector_depth + occ.deque_depth > 0;
+            if backlogged {
+                idle_ticks[i] = 0;
+                if targets[i] < pool.max_threads() {
+                    targets[i] = pool.resize(targets[i] + 1);
+                }
+            } else if occ.pipes_running == 0 {
+                idle_ticks[i] = idle_ticks[i].saturating_add(1);
+                if idle_ticks[i] >= IDLE_TICKS_TO_SHRINK && targets[i] > min_workers {
+                    targets[i] = pool.resize(targets[i] - 1);
+                    idle_ticks[i] = 0;
+                }
+            } else {
+                // Running but not backlogged: hold the current size.
+                idle_ticks[i] = 0;
+            }
+        }
+    }
+}
+
+/// A sharded pipeline executor; see the [module docs](self).
+pub struct ShardedService {
+    inner: Arc<ShardedInner>,
+    supervisor: Option<(std::thread::JoinHandle<()>, Arc<SupervisorStop>)>,
+}
+
+impl ShardedService {
+    /// Starts building a sharded service.
+    pub fn builder() -> ShardedServiceBuilder {
+        ShardedServiceBuilder::default()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Borrow of shard `i` (panics if out of range) — for tests and
+    /// observability; submissions should go through
+    /// [`submit`](Self::submit) so placement stays balanced.
+    pub fn shard(&self, i: usize) -> &PipeService {
+        &self.inner.shards[i]
+    }
+
+    /// Submits a job, routing it by weighted power-of-two-choices and
+    /// sweeping the remaining shards on transient rejection (see the
+    /// [module docs](self)).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let n = self.inner.shards.len();
+        if n == 1 {
+            self.inner.placements[0].fetch_add(1, Ordering::Relaxed);
+            return self.inner.shards[0].submit(spec);
+        }
+        // Two distinct probes, lighter one wins; ties go to the first.
+        let a = (self.inner.draw() % n as u64) as usize;
+        let mut b = (self.inner.draw() % (n as u64 - 1)) as usize;
+        if b >= a {
+            b += 1;
+        }
+        let first = if self.inner.score(b) < self.inner.score(a) {
+            b
+        } else {
+            a
+        };
+        self.inner.placements[first].fetch_add(1, Ordering::Relaxed);
+        let mut spec = match self.inner.shards[first].try_submit(spec) {
+            Ok(handle) => return Ok(handle),
+            Err(rejected) => match *rejected {
+                (SubmitError::QueueFull, spec) => spec,
+                (err, _) => {
+                    // Structural verdict: final, counted where it happened.
+                    self.inner.shards[first].count_rejection(err);
+                    return Err(err);
+                }
+            },
+        };
+        // Transient rejection: sweep every other shard, lightest first. The
+        // scores are racy snapshots — the sweep is a best-effort second
+        // chance, not a fairness mechanism. (Scores are precomputed so each
+        // shard's scheduler lock is taken exactly once; `sort_by_key`
+        // re-evaluates its key during the sort.)
+        let mut order: Vec<(usize, usize)> = (0..n)
+            .filter(|&i| i != first)
+            .map(|i| (self.inner.score(i), i))
+            .collect();
+        order.sort_unstable();
+        for (_, i) in order {
+            self.inner.placements[i].fetch_add(1, Ordering::Relaxed);
+            match self.inner.shards[i].try_submit(spec) {
+                Ok(handle) => return Ok(handle),
+                Err(rejected) => match *rejected {
+                    (SubmitError::QueueFull, returned) => spec = returned,
+                    (err, _) => {
+                        self.inner.shards[i].count_rejection(err);
+                        return Err(err);
+                    }
+                },
+            }
+        }
+        // Every shard is full: one rejection of the whole service, counted
+        // once against the first-choice shard (a job swept onto another
+        // shard is *not* a rejection — only the surfaced verdict counts).
+        self.inner.shards[first].count_rejection(SubmitError::QueueFull);
+        Err(SubmitError::QueueFull)
+    }
+
+    /// Blocks until every shard's queue is empty and no job is admitted or
+    /// running. The per-shard drains repeat until one full pass observes
+    /// every shard idle, so a submission that lands on an already-drained
+    /// shard mid-pass extends the drain. Note the guarantee is per-shard
+    /// quiescence observed within one pass, not a linearizable global
+    /// barrier: a caller racing live submitters should stop admissions
+    /// first (the `piped` server sets its draining flag before calling
+    /// this).
+    pub fn drain(&self) {
+        loop {
+            for shard in &self.inner.shards {
+                shard.drain();
+            }
+            // A job is admitted ⇒ its shard reserves ≥ 1 frame, so
+            // (frames, queued) = (0, 0) across a full pass means idle.
+            let idle = self.inner.shards.iter().all(|shard| {
+                let (frames, queued) = shard.inner().placement_load();
+                frames == 0 && queued == 0
+            });
+            if idle {
+                return;
+            }
+        }
+    }
+
+    /// A point-in-time snapshot: the field-wise aggregate, the per-shard
+    /// snapshots, and the placement counts.
+    pub fn metrics(&self) -> ShardedMetricsSnapshot {
+        let shards: Vec<ServiceMetricsSnapshot> =
+            self.inner.shards.iter().map(|s| s.metrics()).collect();
+        let aggregate = shards
+            .iter()
+            .copied()
+            .fold(ServiceMetricsSnapshot::default(), |acc, s| acc + s);
+        ShardedMetricsSnapshot {
+            aggregate,
+            shards,
+            placements: self
+                .inner
+                .placements
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// The field-wise aggregate over the shards (the single-service-shaped
+    /// view existing observers consume).
+    pub fn aggregate_metrics(&self) -> ServiceMetricsSnapshot {
+        self.metrics().aggregate
+    }
+
+    /// Shuts every shard down (rejecting new submissions, cancelling queued
+    /// jobs, draining running ones) and stops the elastic supervisor.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if let Some((handle, stop)) = self.supervisor.take() {
+            *stop.flag.lock().unwrap() = true;
+            stop.cv.notify_all();
+            let _ = handle.join();
+        }
+        // PipeService::drop runs each shard's own shutdown; doing it
+        // explicitly here keeps shutdown eager and ordered after the
+        // supervisor stops touching the pools.
+        if let Some(inner) = Arc::get_mut(&mut self.inner) {
+            for shard in &mut inner.shards {
+                shard.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.inner.shards.len())
+            .field("elastic", &self.supervisor.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Bump(Arc<AtomicUsize>);
+    impl PipelineIteration for Bump {
+        fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            NodeOutcome::Done
+        }
+    }
+
+    fn counting_spec(iters: u64, counter: &Arc<AtomicUsize>) -> JobSpec {
+        let counter = Arc::clone(counter);
+        JobSpec::new(PipeOptions::with_throttle(2), move |i| {
+            if i >= iters {
+                return Stage0::Stop;
+            }
+            Stage0::wait(Bump(Arc::clone(&counter)))
+        })
+    }
+
+    #[test]
+    fn single_shard_is_a_plain_service() {
+        let service = ShardedService::builder().workers_per_shard(2).build();
+        assert_eq!(service.shards(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handle = service.submit(counting_spec(10, &counter)).unwrap();
+        assert!(handle.join().is_completed());
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        let m = service.metrics();
+        assert_eq!(m.placements, vec![1]);
+        assert_eq!(m.aggregate.jobs_completed, 1);
+    }
+
+    #[test]
+    fn placement_spreads_jobs_across_shards() {
+        let service = ShardedService::builder()
+            .shards(4)
+            .workers_per_shard(1)
+            .build();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            handles.push(service.submit(counting_spec(4, &counter)).unwrap());
+        }
+        for h in handles {
+            assert!(h.join().is_completed());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64 * 4);
+        let m = service.metrics();
+        assert_eq!(m.aggregate.jobs_completed, 64);
+        // Power-of-two-choices over 64 jobs cannot legally put everything
+        // on one shard of four: each probe pair covers two shards and the
+        // lighter one wins, so at least two shards see work.
+        let active_shards = m.shards.iter().filter(|s| s.jobs_completed > 0).count();
+        assert!(
+            active_shards >= 2,
+            "placement collapsed onto {active_shards} shard(s): {:?}",
+            m.placements
+        );
+    }
+
+    #[test]
+    fn queue_full_falls_back_to_another_shard() {
+        // Shard queues of depth 1 and slow jobs: a burst must overflow one
+        // shard's queue and be re-offered to the other rather than bounced.
+        let service = ShardedService::builder()
+            .shards(2)
+            .workers_per_shard(1)
+            .max_queue_per_shard(1)
+            .build();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut ok = 0usize;
+        let mut rejected = 0usize;
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            match service.submit(counting_spec(50, &counter)) {
+                Ok(h) => {
+                    ok += 1;
+                    handles.push(h);
+                }
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        for h in handles {
+            assert!(h.join().is_completed());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), ok * 50);
+        // Depth-1 queues on two shards admit at least 2 queued + 2 running.
+        assert!(ok >= 2, "only {ok} of 16 accepted");
+        assert_eq!(ok + rejected, 16);
+    }
+
+    #[test]
+    fn oversized_window_is_rejected_structurally() {
+        let service = ShardedService::builder()
+            .shards(2)
+            .workers_per_shard(1)
+            .total_frame_budget(8) // 4 per shard
+            .build();
+        let err = service
+            .submit(
+                JobSpec::new(PipeOptions::with_throttle(64), move |_| {
+                    Stage0::<Bump>::Stop
+                })
+                .priority(Priority::Batch),
+            )
+            .expect_err("window 64 cannot fit a 4-frame shard budget");
+        assert!(matches!(
+            err,
+            SubmitError::FrameWindowExceedsBudget {
+                window: 64,
+                budget: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn elastic_shards_grow_under_load_and_shrink_when_idle() {
+        let service = ShardedService::builder()
+            .shards(2)
+            .workers_per_shard(3)
+            .elastic_workers(1)
+            .supervise_every(Duration::from_millis(2))
+            .build();
+        for i in 0..2 {
+            assert_eq!(service.shard(i).pool().num_threads(), 1);
+            assert_eq!(service.shard(i).pool().max_threads(), 3);
+        }
+        // Saturate: long jobs with spinning nodes on both shards.
+        struct Spin;
+        impl PipelineIteration for Spin {
+            fn run_node(&mut self, _stage: u64) -> NodeOutcome {
+                let mut acc = 1u64;
+                for k in 0..20_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                NodeOutcome::Done
+            }
+        }
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            handles.push(
+                service
+                    .submit(JobSpec::new(PipeOptions::with_throttle(2), move |i| {
+                        if i >= 300 {
+                            return Stage0::Stop;
+                        }
+                        Stage0::proceed(Spin)
+                    }))
+                    .unwrap(),
+            );
+        }
+        // The supervisor must grow at least one shard beyond the floor
+        // while the backlog exists.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            let grown = (0..2).any(|i| service.shard(i).pool().num_threads() > 1);
+            if grown {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no shard ever grew beyond the band floor"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for h in handles {
+            assert!(h.join().is_completed());
+        }
+        service.drain();
+        // Idle: the supervisor must shrink back to the floor.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            let at_floor = (0..2).all(|i| service.shard(i).pool().num_threads() == 1);
+            if at_floor {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shards never shrank back to the band floor: {} / {}",
+                service.shard(0).pool().num_threads(),
+                service.shard(1).pool().num_threads(),
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

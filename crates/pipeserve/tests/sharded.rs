@@ -1,0 +1,237 @@
+//! Sharded-executor integration tests: placement under concurrent
+//! submissions must lose no job, respect every shard's frame budget, and
+//! leave workload outputs byte-identical to their serial references.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use piper::PipeOptions;
+use pipeserve::{JobSpec, Priority, ShardedService, SubmitError};
+
+/// Mixed fleet from several submitter threads: every accepted job must
+/// reach a terminal state, the per-shard ledgers must add up to the offered
+/// totals, and each shard's peak frame usage must respect its own budget.
+#[test]
+fn concurrent_submissions_lose_no_job_and_respect_shard_budgets() {
+    let shards = 3;
+    let per_shard_budget = 8;
+    let service = Arc::new(
+        ShardedService::builder()
+            .shards(shards)
+            .workers_per_shard(2)
+            .total_frame_budget(shards * per_shard_budget)
+            .max_queue_per_shard(4)
+            .build(),
+    );
+    let accepted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let completed_iterations = Arc::new(AtomicU64::new(0));
+
+    let mut submitters = Vec::new();
+    for t in 0..4u64 {
+        let service = Arc::clone(&service);
+        let accepted = Arc::clone(&accepted);
+        let rejected = Arc::clone(&rejected);
+        let completed_iterations = Arc::clone(&completed_iterations);
+        submitters.push(std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            for i in 0..30u64 {
+                let iters = 20 + (i % 5);
+                let sink = Arc::clone(&completed_iterations);
+                let spec = JobSpec::new(PipeOptions::with_throttle(2), move |j| {
+                    if j >= iters {
+                        return piper::Stage0::Stop;
+                    }
+                    struct Count(Arc<AtomicU64>);
+                    impl piper::PipelineIteration for Count {
+                        fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
+                            self.0.fetch_add(1, Ordering::SeqCst);
+                            piper::NodeOutcome::Done
+                        }
+                    }
+                    piper::Stage0::wait(Count(Arc::clone(&sink)))
+                })
+                .named(format!("job-{t}-{i}"))
+                .priority(
+                    [Priority::Interactive, Priority::Normal, Priority::Batch][i as usize % 3],
+                );
+                match service.submit(spec) {
+                    Ok(handle) => {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                        handles.push((handle, iters));
+                    }
+                    Err(SubmitError::QueueFull) => {
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) => panic!("unexpected rejection: {e}"),
+                }
+            }
+            let mut expected = 0u64;
+            for (handle, iters) in handles {
+                assert!(
+                    handle.join().is_completed(),
+                    "accepted job ended non-completed"
+                );
+                expected += iters;
+            }
+            expected
+        }));
+    }
+    let expected_iterations: u64 = submitters.into_iter().map(|t| t.join().unwrap()).sum();
+    service.drain();
+
+    // No lost jobs: the shard ledgers account for every accepted one, and
+    // every iteration of every accepted job ran exactly once.
+    let snapshot = service.metrics();
+    assert_eq!(
+        accepted.load(Ordering::SeqCst) + rejected.load(Ordering::SeqCst),
+        120
+    );
+    assert_eq!(
+        snapshot.aggregate.jobs_completed,
+        accepted.load(Ordering::SeqCst)
+    );
+    assert_eq!(
+        completed_iterations.load(Ordering::SeqCst),
+        expected_iterations
+    );
+    assert_eq!(snapshot.shards.len(), shards);
+    assert!(snapshot.placements.iter().sum::<u64>() >= 120);
+
+    // Per-shard budgets: each shard's peak reserved frames stayed within
+    // its own budget (the invariant sharding must not dilute).
+    for (i, shard) in snapshot.shards.iter().enumerate() {
+        assert_eq!(shard.frame_budget, per_shard_budget as u64, "shard {i}");
+        assert!(
+            shard.peak_frames_in_use <= shard.frame_budget,
+            "shard {i} exceeded its frame budget: {} > {}",
+            shard.peak_frames_in_use,
+            shard.frame_budget
+        );
+    }
+}
+
+/// Real workloads through a sharded elastic service: outputs must be
+/// byte-identical (or structurally identical) to the serial references, no
+/// matter which shard ran them or how the pools breathed meanwhile.
+#[test]
+fn sharded_outputs_match_serial_references() {
+    let service = ShardedService::builder()
+        .shards(2)
+        .workers_per_shard(2)
+        .elastic_workers(1)
+        .supervise_every(Duration::from_millis(2))
+        .build();
+
+    let dedup_config = workloads::dedup::DedupConfig::tiny();
+    let dedup_input = dedup_config.generate_input();
+    let dedup_expected = workloads::dedup::run_serial(&dedup_config, &dedup_input);
+    let fib_config = workloads::pipefib::PipeFibConfig::tiny();
+    let fib_expected = workloads::pipefib::run_serial(&fib_config);
+
+    // Several rounds of both workloads so placement spreads them around.
+    let mut dedup_jobs = Vec::new();
+    let mut fib_jobs = Vec::new();
+    for _ in 0..6 {
+        let (launch, sink) = workloads::dedup::piper_launch(&dedup_config, &dedup_input);
+        let handle = service
+            .submit(JobSpec::from_launch(PipeOptions::with_throttle(3), launch).named("dedup"))
+            .expect("submit dedup");
+        dedup_jobs.push((handle, sink));
+        let (launch, extract) = workloads::pipefib::piper_launch(&fib_config);
+        let handle = service
+            .submit(JobSpec::from_launch(PipeOptions::with_throttle(3), launch).named("pipefib"))
+            .expect("submit pipefib");
+        fib_jobs.push((handle, extract));
+    }
+    for (handle, sink) in dedup_jobs {
+        assert!(handle.join().is_completed());
+        assert_eq!(
+            *sink.lock().unwrap(),
+            dedup_expected,
+            "dedup archive differs from the serial reference"
+        );
+    }
+    for (handle, extract) in fib_jobs {
+        assert!(handle.join().is_completed());
+        assert_eq!(
+            extract(),
+            fib_expected,
+            "pipe-fib bits differ from the serial reference"
+        );
+    }
+    // join() wakes as the terminal result lands, which is a hair before
+    // the completion counters are bumped; drain() is ordered after both.
+    service.drain();
+    let snapshot = service.metrics();
+    assert_eq!(snapshot.aggregate.jobs_completed, 12);
+    let active_shards = snapshot
+        .shards
+        .iter()
+        .filter(|s| s.jobs_completed > 0)
+        .count();
+    assert!(active_shards >= 1, "no shard recorded completions");
+}
+
+/// Cancellation and handle bookkeeping still work through the shard layer:
+/// a cancelled queued job never runs, and its shard releases the frames.
+#[test]
+fn cancellation_through_the_shard_layer_releases_frames() {
+    let service = ShardedService::builder()
+        .shards(2)
+        .workers_per_shard(1)
+        .total_frame_budget(4) // 2 per shard: one job per shard at K=2
+        .max_queue_per_shard(8)
+        .build();
+    let ran = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mut handles = Vec::new();
+    for i in 0..6u64 {
+        let sink = Arc::clone(&ran);
+        let spec = JobSpec::new(PipeOptions::with_throttle(2), move |j| {
+            if j >= 40 {
+                return piper::Stage0::Stop;
+            }
+            struct Push(u64, Arc<Mutex<Vec<u64>>>);
+            impl piper::PipelineIteration for Push {
+                fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
+                    self.1.lock().unwrap().push(self.0);
+                    piper::NodeOutcome::Done
+                }
+            }
+            piper::Stage0::wait(Push(i, Arc::clone(&sink)))
+        });
+        handles.push(service.submit(spec).expect("queues are deep enough"));
+    }
+    // Cancel the tail half while the head half runs.
+    for handle in &handles[3..] {
+        handle.cancel();
+    }
+    for (i, handle) in handles.iter().enumerate() {
+        let result = handle.join();
+        if i < 3 {
+            assert!(result.is_completed(), "job {i}: {result:?}");
+        }
+    }
+    service.drain();
+    // A cancelled-while-queued job's counter bump trails the finalize its
+    // join() observes (and drain() is no barrier for never-admitted jobs),
+    // so give the last bumps a bounded moment to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let snapshot = loop {
+        let snapshot = service.metrics();
+        if snapshot.aggregate.jobs_completed + snapshot.aggregate.jobs_cancelled == 6 {
+            break snapshot;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "terminal counters never added up to 6: {:?}",
+            snapshot.aggregate
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    for (i, shard) in snapshot.shards.iter().enumerate() {
+        assert_eq!(shard.frames_in_use, 0, "shard {i} leaked reserved frames");
+        assert_eq!(shard.running, 0, "shard {i} still shows running jobs");
+    }
+}
