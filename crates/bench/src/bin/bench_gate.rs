@@ -17,7 +17,11 @@
 //!   quick sizes;
 //! * smoke-rate `latency_p99_ms` per shard configuration vs
 //!   `BENCH_pipeserve.json` (smoke p99 is problem-size-independent enough
-//!   to share the full-mode baseline).
+//!   to share the full-mode baseline);
+//! * the zipf phase's content-cache figures vs the same baseline: the
+//!   `hit_rate` is a **floor** (the zipf sequence is deterministic, so a
+//!   drop means caching or coalescing logic re-runs pipelines it should
+//!   not), and the cached `latency_p99_ms` gates like any other latency.
 //!
 //! A regression is `current > baseline × (1 + threshold) + slack`, with a
 //! 25 % default threshold (`--threshold PCT` or `BENCH_GATE_THRESHOLD`)
@@ -48,17 +52,24 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// One gated comparison.
+/// One gated comparison. Most metrics are "smaller is better" upper
+/// bounds; a floor check (`lower_bound`) inverts the verdict — used for
+/// the zipf hit rate, where a *drop* is the regression.
 struct Check {
     metric: String,
     current: f64,
     baseline: f64,
     limit: f64,
+    lower_bound: bool,
 }
 
 impl Check {
     fn passed(&self) -> bool {
-        self.current <= self.limit
+        if self.lower_bound {
+            self.current >= self.limit
+        } else {
+            self.current <= self.limit
+        }
     }
 }
 
@@ -127,6 +138,17 @@ fn parse_pipeserve(raw: &str) -> Vec<(u64, f64, f64)> {
         at = after;
     }
     out
+}
+
+/// `(hit_rate, cached latency_p99_ms)` from the `"zipf"` section of a
+/// `pipeserve_load` JSON — the content-cache figures. `None` for JSONs
+/// predating the cache.
+fn parse_zipf(raw: &str) -> Option<(f64, f64)> {
+    let at = raw.find("\"zipf\":")?;
+    let (_, after) = next_field(raw, at, "cached")?;
+    let (p99, after) = next_field(raw, after, "latency_p99_ms")?;
+    let (hit_rate, _) = next_field(raw, after, "hit_rate")?;
+    Some((hit_rate.parse().ok()?, p99.parse().ok()?))
 }
 
 /// The smoke (lowest-rate) run of each shard configuration.
@@ -233,12 +255,18 @@ fn main() {
             best
         }
     };
-    // Current smoke p99 per shard configuration: one file's runs, or the
-    // per-configuration minimum over GATE_RUNS quick runs.
-    let current_serve: Vec<(u64, f64)> = match flag_value(&args, "--pipeserve-json") {
-        Some(path) => smoke_runs(&parse_pipeserve(&read(Path::new(&path)))),
+    // Current smoke p99 per shard configuration (plus the zipf cache
+    // figures): one file's runs, or the per-metric best over GATE_RUNS
+    // quick runs (min p99, max hit rate — "can the code still do this").
+    type ServeFigures = (Vec<(u64, f64)>, Option<(f64, f64)>);
+    let (current_serve, current_zipf): ServeFigures = match flag_value(&args, "--pipeserve-json") {
+        Some(path) => {
+            let raw = read(Path::new(&path));
+            (smoke_runs(&parse_pipeserve(&raw)), parse_zipf(&raw))
+        }
         None => {
             let mut best: Vec<(u64, f64)> = Vec::new();
+            let mut zipf: Option<(f64, f64)> = None;
             for run in 0..GATE_RUNS {
                 let out = tmp.join(format!("bench_gate_pipeserve_{run}.json"));
                 let _ = std::fs::remove_file(&out);
@@ -251,14 +279,21 @@ fn main() {
                     )],
                     &out,
                 );
-                for (shards, p99) in smoke_runs(&parse_pipeserve(&read(&out))) {
+                let raw = read(&out);
+                for (shards, p99) in smoke_runs(&parse_pipeserve(&raw)) {
                     match best.iter_mut().find(|(s, _)| *s == shards) {
                         Some(entry) => entry.1 = entry.1.min(p99),
                         None => best.push((shards, p99)),
                     }
                 }
+                if let Some((hit, p99)) = parse_zipf(&raw) {
+                    zipf = Some(match zipf {
+                        Some((best_hit, best_p99)) => (best_hit.max(hit), best_p99.min(p99)),
+                        None => (hit, p99),
+                    });
+                }
             }
-            best
+            (best, zipf)
         }
     };
 
@@ -275,6 +310,10 @@ fn main() {
     // Overhead-ratio slack for coarse workloads, where T1/TS sits near 1
     // and quick-mode timing spreads it by a few tenths.
     const SLACK_RATIO: f64 = 0.25;
+    // Hit-rate slack: the zipf sequence is deterministic, so the rate only
+    // moves if caching or coalescing logic changes; a small absolute
+    // allowance covers quick-vs-full sizing differences.
+    const SLACK_HIT: f64 = 0.05;
 
     let mut checks: Vec<Check> = Vec::new();
     // A baseline entry with no matching current entry is itself a gate
@@ -304,6 +343,7 @@ fn main() {
                 current: *cur_ns,
                 baseline: *base_ns,
                 limit: base_ns * (1.0 + threshold) + SLACK_NS,
+                lower_bound: false,
             });
         } else {
             // Coarse regime (T1 ≈ TS): the per-node figure is the
@@ -316,11 +356,13 @@ fn main() {
                 current: *cur_ratio,
                 baseline: *base_ratio,
                 limit: base_ratio * (1.0 + threshold) + SLACK_RATIO,
+                lower_bound: false,
             });
         }
     }
 
-    let baseline_serve = smoke_runs(&parse_pipeserve(&read(&pipeserve_baseline)));
+    let baseline_serve_raw = read(&pipeserve_baseline);
+    let baseline_serve = smoke_runs(&parse_pipeserve(&baseline_serve_raw));
     assert!(
         !current_serve.is_empty() && !baseline_serve.is_empty(),
         "no pipeserve_load runs parsed"
@@ -332,12 +374,40 @@ fn main() {
                 current: *cur,
                 baseline: *base,
                 limit: base * (1.0 + threshold) + SLACK_MS,
+                lower_bound: false,
             }),
             None => missing.push(format!(
                 "pipeserve_load {shards}-shard configuration is in the baseline but not the \
                  current run"
             )),
         }
+    }
+
+    // Content-cache gates: the zipf hit rate must not drop (a floor — a
+    // caching or coalescing bug shows up as re-run pipelines), and the
+    // cached p99 must not regress like any other latency.
+    match (parse_zipf(&baseline_serve_raw), current_zipf) {
+        (Some((base_hit, base_p99)), Some((cur_hit, cur_p99))) => {
+            checks.push(Check {
+                metric: "zipf cached: hit_rate (floor)".to_string(),
+                current: cur_hit,
+                baseline: base_hit,
+                limit: (base_hit * (1.0 - threshold) - SLACK_HIT).max(0.0),
+                lower_bound: true,
+            });
+            checks.push(Check {
+                metric: "zipf cached: latency_p99_ms".to_string(),
+                current: cur_p99,
+                baseline: base_p99,
+                limit: base_p99 * (1.0 + threshold) + SLACK_MS,
+                lower_bound: false,
+            });
+        }
+        (Some(_), None) => missing.push(
+            "pipeserve_load zipf section is in the baseline but not the current run".to_string(),
+        ),
+        // A baseline predating the cache gates nothing extra.
+        (None, _) => {}
     }
 
     let mut table = pipe_bench::Table::new(&["metric", "current", "baseline", "limit", "verdict"]);

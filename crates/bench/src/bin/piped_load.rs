@@ -15,8 +15,15 @@
 //! * the executor's aggregate counters, fetched over the METRICS frame
 //!   (cumulative across the rates, since the server is shared).
 //!
+//! After the rate runs, a self-hosted daemon gets a **zipf phase**: one
+//! fixed zipf(1.0)-distributed sequence over parameter-tweaked distinct
+//! inputs, with the daemon's cache counters (read over METRICS) reported
+//! as a hit rate next to the end-to-end p50/p99 — the wire-level view of
+//! the content-addressed result cache.
+//!
 //! Every completed job's streamed output is verified **byte-identical**
-//! to its workload's serial reference, so a protocol or scheduling bug
+//! to its workload's serial reference — cached responses included — so a
+//! protocol, scheduling or caching bug
 //! cannot hide behind good numbers. After the rate runs, a **drain
 //! phase** exercises graceful shutdown mid-flight: a batch is admitted, a
 //! second connection sends DRAIN, every admitted job must complete (and
@@ -282,6 +289,184 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
     }
 }
 
+/// Results of the zipf phase: the same heavy-head request mix the
+/// `pipeserve_load` zipf section uses, but end-to-end over loopback TCP —
+/// the daemon content-addresses each streamed input, so repeats are served
+/// from its result cache (or coalesce onto the in-flight run) without
+/// launching a pipeline.
+struct ZipfResult {
+    distinct: usize,
+    offered: usize,
+    completed: u64,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    /// Cache counter deltas over the phase, read via METRICS frames.
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+impl ZipfResult {
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Fraction of submissions served without a fresh pipeline.
+    fn hit_rate(&self) -> f64 {
+        let keyed = self.hits + self.misses + self.coalesced;
+        if keyed == 0 {
+            return 0.0;
+        }
+        (self.hits + self.coalesced) as f64 / keyed as f64
+    }
+}
+
+/// Scans a METRICS JSON for a numeric counter (the emitters write flat
+/// `"key":value` pairs; the sharded form nests them under `"aggregate"`,
+/// where the cache counters live too, so the first match is the right one).
+fn metrics_counter(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).map(|at| at + needle.len());
+    let Some(at) = at else { return 0 };
+    json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Deterministic 64-bit mixer (splitmix64); same fixed sequence on every
+/// host so the reported hit rate is a property of the daemon.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives `offered` zipf(1.0)-distributed submissions over `distinct`
+/// parameter-tweaked inputs, closed-loop over `connections` connections,
+/// verifying every response byte-identical to its serial reference.
+fn run_zipf_phase(addr: &str, distinct: usize, offered: usize, connections: usize) -> ZipfResult {
+    // Distinct documents: cycle the registry, tweak one parameter per
+    // variant so every input (and so every content key) is unique.
+    let docs: Vec<(&'static str, Vec<u8>, Vec<u8>)> = (0..distinct)
+        .map(|i| {
+            let variant = i / 4;
+            let (name, input): (&'static str, Vec<u8>) = match i % 4 {
+                0 => {
+                    let mut input = workloads::dedup::DedupConfig::tiny().generate_input();
+                    input.extend_from_slice(&(variant as u32).to_le_bytes());
+                    ("dedup", input)
+                }
+                1 => {
+                    let mut config = workloads::ferret::FerretConfig::tiny();
+                    config.queries += variant;
+                    ("ferret", workloads::bytes::ferret_input(&config))
+                }
+                2 => {
+                    let mut config = workloads::x264::X264Config::tiny();
+                    config.frames += variant as u64;
+                    ("x264", workloads::bytes::x264_input(&config))
+                }
+                _ => {
+                    let mut config = workloads::pipefib::PipeFibConfig::tiny();
+                    config.n += variant;
+                    ("pipefib", workloads::bytes::pipefib_input(&config))
+                }
+            };
+            let expected = (workloads::bytes::lookup(name).expect("registered").serial)(&input)
+                .expect("serial reference");
+            (name, input, expected)
+        })
+        .collect();
+    // zipf(1.0) draws: rank r has weight 1/(r+1).
+    let mut cumulative = Vec::with_capacity(distinct);
+    let mut total = 0.0f64;
+    for rank in 0..distinct {
+        total += 1.0 / (rank + 1) as f64;
+        cumulative.push(total);
+    }
+    let mut state = 0x5EED_CAFEu64;
+    let sequence: Vec<usize> = (0..offered)
+        .map(|_| {
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+            cumulative.partition_point(|&c| c <= u).min(distinct - 1)
+        })
+        .collect();
+
+    let metrics_client = PipedClient::connect(addr).expect("connect for zipf metrics");
+    let before = metrics_client.metrics_json().expect("metrics before zipf");
+    let start = Instant::now();
+    let docs = std::sync::Arc::new(docs);
+    let mut submitters = Vec::with_capacity(connections);
+    for t in 0..connections {
+        let addr = addr.to_string();
+        let docs = std::sync::Arc::clone(&docs);
+        let share: Vec<usize> = sequence
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % connections == t)
+            .map(|(_, doc)| doc)
+            .collect();
+        submitters.push(std::thread::spawn(move || -> Vec<f64> {
+            let client = PipedClient::connect(&*addr).expect("connect for zipf phase");
+            let mut latencies_ms = Vec::with_capacity(share.len());
+            for doc_idx in share {
+                let (name, input, expected) = &docs[doc_idx];
+                // Closed loop per connection: submit, wait, verify.
+                let job = match client.submit(&SubmitOptions::new(*name).throttle(4), input) {
+                    Ok(job) => job,
+                    Err(e) => die(&format!("zipf {name}: submit failed: {e}")),
+                };
+                let outcome = match job.wait() {
+                    Ok(outcome) => outcome,
+                    Err(e) => die(&format!("zipf {name}: wait failed: {e}")),
+                };
+                if outcome.status != WireJobStatus::Completed {
+                    die(&format!("zipf {name} ended as {:?}", outcome.status));
+                }
+                if &outcome.output != expected {
+                    die(&format!(
+                        "zipf {name}: response differs from the serial reference"
+                    ));
+                }
+                latencies_ms.push(outcome.latency.as_secs_f64() * 1e3);
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies_ms = Vec::with_capacity(offered);
+    for thread in submitters {
+        latencies_ms.extend(thread.join().expect("zipf submitter thread"));
+    }
+    let wall = start.elapsed();
+    let after = metrics_client.metrics_json().expect("metrics after zipf");
+    ZipfResult {
+        distinct,
+        offered,
+        completed: latencies_ms.len() as u64,
+        wall,
+        latencies_ms,
+        hits: metrics_counter(&after, "cache_hits") - metrics_counter(&before, "cache_hits"),
+        misses: metrics_counter(&after, "cache_misses") - metrics_counter(&before, "cache_misses"),
+        coalesced: metrics_counter(&after, "coalesced") - metrics_counter(&before, "coalesced"),
+    }
+}
+
 /// Results of the mid-flight drain phase.
 struct DrainResult {
     admitted: usize,
@@ -405,6 +590,20 @@ fn main() {
         runs.push(run_at_rate(&addr, &mix, rate, offered, connections));
     }
 
+    // Zipf phase (self-hosted only: it reads the daemon's cumulative cache
+    // counters over METRICS, which an external shared server would skew —
+    // and that server may run --no-cache).
+    let zipf = if external_addr.is_none() {
+        let (distinct, offered) = if quick { (16, 128) } else { (64, 512) };
+        println!(
+            "zipf phase: {offered} zipf(1.0) draws over {distinct} distinct inputs over \
+             {connections} connections ..."
+        );
+        Some(run_zipf_phase(&addr, distinct, offered, connections))
+    } else {
+        None
+    };
+
     println!("drain phase: admit a batch, drain mid-flight, verify completions ...");
     let drain = run_drain_phase(&addr, &mix, 8);
 
@@ -437,12 +636,59 @@ fn main() {
         }
     );
     println!("{}", table.render());
+    if let Some(zipf) = &zipf {
+        println!(
+            "zipf(1.0): {} draws over {} distinct inputs — {:.1} j/s, hit rate {:.3} \
+             ({} hits / {} misses / {} coalesced), p50 {:.2} ms, p99 {:.2} ms",
+            zipf.offered,
+            zipf.distinct,
+            zipf.throughput(),
+            zipf.hit_rate(),
+            zipf.hits,
+            zipf.misses,
+            zipf.coalesced,
+            zipf.percentile(0.5),
+            zipf.percentile(0.99),
+        );
+    }
     println!(
         "drain: {}/{} admitted jobs completed after mid-flight drain; post-drain submit rejected: {}",
         drain.completed_after_drain, drain.admitted, drain.post_drain_rejected_with_draining
     );
 
     let run_json: Vec<String> = runs.iter().map(RunResult::json).collect();
+    let zipf_json = match &zipf {
+        Some(zipf) => format!(
+            concat!(
+                "  \"zipf\": {{\n",
+                "    \"exponent\": 1.0,\n",
+                "    \"distinct_inputs\": {},\n",
+                "    \"offered_jobs\": {},\n",
+                "    \"completed_jobs\": {},\n",
+                "    \"wall_s\": {:.4},\n",
+                "    \"throughput_jobs_per_s\": {:.1},\n",
+                "    \"latency_p50_ms\": {:.3},\n",
+                "    \"latency_p99_ms\": {:.3},\n",
+                "    \"cache_hits\": {},\n",
+                "    \"cache_misses\": {},\n",
+                "    \"coalesced\": {},\n",
+                "    \"hit_rate\": {:.4}\n",
+                "  }},\n"
+            ),
+            zipf.distinct,
+            zipf.offered,
+            zipf.completed,
+            zipf.wall.as_secs_f64(),
+            zipf.throughput(),
+            zipf.percentile(0.50),
+            zipf.percentile(0.99),
+            zipf.hits,
+            zipf.misses,
+            zipf.coalesced,
+            zipf.hit_rate(),
+        ),
+        None => String::new(),
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -453,6 +699,7 @@ fn main() {
             "  \"server\": \"{}\",\n",
             "  \"job_mix\": [\"dedup\", \"ferret\", \"x264\", \"pipefib\"],\n",
             "  \"runs\": [\n{}\n  ],\n",
+            "{}",
             "  \"drain\": {{\n",
             "    \"admitted\": {},\n",
             "    \"completed_after_drain\": {},\n",
@@ -469,6 +716,7 @@ fn main() {
             "in-process"
         },
         run_json.join(",\n"),
+        zipf_json,
         drain.admitted,
         drain.completed_after_drain,
         drain.post_drain_rejected_with_draining,

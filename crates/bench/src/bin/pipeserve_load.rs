@@ -13,10 +13,17 @@
 //! * the service's aggregate counters (admitted, completed, peak queue
 //!   depth, peak frame usage).
 //!
+//! After the rate sweep, a **zipf phase** replays one fixed zipf(1.0)-
+//! distributed sequence of distinct inputs over the four byte workloads
+//! through two identical executors — plain submissions vs content-keyed
+//! through [`pipeserve::CachedService`] — and reports hit rate, p50/p99
+//! and the cached/uncached throughput ratio (the `"zipf"` JSON section;
+//! full mode enforces a 2x speedup floor).
+//!
 //! Every completed job's output is verified against the workload's serial
-//! reference, so a scheduling bug cannot hide behind good numbers. The
-//! results are written to `BENCH_pipeserve.json` (override with
-//! `PIPESERVE_BENCH_OUT`).
+//! reference — cached responses included — so a scheduling or caching bug
+//! cannot hide behind good numbers. The results are written to
+//! `BENCH_pipeserve.json` (override with `PIPESERVE_BENCH_OUT`).
 //!
 //! Flags / environment:
 //!
@@ -30,12 +37,15 @@
 //!   arrival rate of any shard configuration rejected a job: at the smoke
 //!   rate the service must absorb the full offered load.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pipe_bench::Table;
 use piper::PipeOptions;
-use pipeserve::{JobHandle, JobSpec, Priority, ServiceMetricsSnapshot, ShardedService};
+use pipeserve::{
+    CachedService, ContentKey, JobHandle, JobSpec, OutputSink, PipeService, Priority,
+    ServiceMetricsSnapshot, ShardedService, SinkLaunchFn, Submit, SubmitError,
+};
 
 /// Per-job verification: checks the completed job's output against the
 /// serial reference for its workload type.
@@ -311,7 +321,7 @@ fn run_at_rate(
             std::process::exit(1);
         }
     }
-    let snapshot = service.metrics();
+    let snapshot = service.sharded_metrics();
     RunResult {
         shards,
         rate,
@@ -322,6 +332,263 @@ fn run_at_rate(
         latencies_ms,
         metrics: snapshot.aggregate,
         placements: snapshot.placements,
+    }
+}
+
+// ------------------------------------------------------------- zipf mix --
+
+/// One distinct input of the zipf universe: a byte workload, its canonical
+/// input, and the serial-reference output every response must equal
+/// byte-for-byte — whether it ran a pipeline, coalesced onto one, or came
+/// out of the result cache.
+struct ZipfDoc {
+    name: &'static str,
+    input: Vec<u8>,
+    expected: Vec<u8>,
+}
+
+/// `count` distinct documents cycling the four byte workloads, each
+/// variant with a parameter tweak that makes its input bytes (and so its
+/// content key) unique.
+fn zipf_docs(count: usize) -> Vec<ZipfDoc> {
+    (0..count)
+        .map(|i| {
+            let variant = i / 4;
+            let (name, input): (&'static str, Vec<u8>) = match i % 4 {
+                0 => {
+                    let mut input = workloads::dedup::DedupConfig::tiny().generate_input();
+                    input.extend_from_slice(&(variant as u32).to_le_bytes());
+                    ("dedup", input)
+                }
+                1 => {
+                    let mut config = workloads::ferret::FerretConfig::tiny();
+                    config.queries += variant;
+                    ("ferret", workloads::bytes::ferret_input(&config))
+                }
+                2 => {
+                    let mut config = workloads::x264::X264Config::tiny();
+                    config.frames += variant as u64;
+                    ("x264", workloads::bytes::x264_input(&config))
+                }
+                _ => {
+                    let mut config = workloads::pipefib::PipeFibConfig::tiny();
+                    config.n += variant;
+                    ("pipefib", workloads::bytes::pipefib_input(&config))
+                }
+            };
+            let job = workloads::bytes::lookup(name).expect("registered workload");
+            (job.validate)(&input).expect("zipf variant stays in the codec's bounds");
+            let expected = (job.serial)(&input).expect("serial reference");
+            ZipfDoc {
+                name,
+                input,
+                expected,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic 64-bit mixer (splitmix64): the zipf sequence must be
+/// identical across hosts and runs so the hit rate the gate checks is a
+/// property of the code, not of a sampler.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `offered` zipf(s = 1.0) draws over `distinct` ranks: rank `r` (0-based)
+/// has weight `1 / (r + 1)` — the classic heavy head that makes request
+/// caching pay.
+fn zipf_sequence(distinct: usize, offered: usize, seed: u64) -> Vec<usize> {
+    let mut cumulative = Vec::with_capacity(distinct);
+    let mut total = 0.0f64;
+    for rank in 0..distinct {
+        total += 1.0 / (rank + 1) as f64;
+        cumulative.push(total);
+    }
+    let mut state = seed;
+    (0..offered)
+        .map(|_| {
+            let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64 * total;
+            cumulative.partition_point(|&c| c <= u).min(distinct - 1)
+        })
+        .collect()
+}
+
+/// One zipf variant run: the same executor capacity either way; `cached`
+/// only decides whether submissions carry a content key.
+struct ZipfRun {
+    completed: u64,
+    /// QueueFull re-offers: backpressure handed the spec back intact and
+    /// the harness resubmitted it.
+    requeued: u64,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    stats: pipeserve::CacheStats,
+}
+
+impl ZipfRun {
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Fraction of keyed submissions served without launching a fresh
+    /// pipeline (LRU hits + coalesced attaches). With the fixed sequence
+    /// this is deterministic: every distinct document runs exactly once.
+    fn hit_rate(&self) -> f64 {
+        let keyed = self.stats.hits + self.stats.misses + self.stats.coalesced;
+        if keyed == 0 {
+            return 0.0;
+        }
+        (self.stats.hits + self.stats.coalesced) as f64 / keyed as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"completed_jobs\": {},\n",
+                "      \"requeued_submissions\": {},\n",
+                "      \"wall_s\": {:.4},\n",
+                "      \"throughput_jobs_per_s\": {:.1},\n",
+                "      \"latency_p50_ms\": {:.3},\n",
+                "      \"latency_p99_ms\": {:.3},\n",
+                "      \"cache_hits\": {},\n",
+                "      \"cache_misses\": {},\n",
+                "      \"coalesced\": {},\n",
+                "      \"cache_evictions\": {},\n",
+                "      \"hit_rate\": {:.4}\n",
+                "    }}"
+            ),
+            self.completed,
+            self.requeued,
+            self.wall.as_secs_f64(),
+            self.throughput(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.coalesced,
+            self.stats.evictions,
+            self.hit_rate(),
+        )
+    }
+}
+
+/// Pushes the zipf sequence through a fresh `CachedService` as fast as
+/// admission allows (closed loop: a QueueFull verdict hands the spec back
+/// and it is re-offered until admitted), joins everything, and verifies
+/// every response byte-identical to its serial reference.
+fn run_zipf(
+    docs: &[ZipfDoc],
+    sequence: &[usize],
+    cached: bool,
+    workers: usize,
+    max_queue: usize,
+) -> ZipfRun {
+    // Explicit 32 MiB budget: comfortably holds every distinct output (no
+    // eviction noise in the comparison) without depending on the
+    // frame-budget-derived default.
+    let service = CachedService::with_capacity(
+        PipeService::builder()
+            .num_threads(workers)
+            .max_queue(max_queue)
+            .build(),
+        32 << 20,
+    );
+    let start = Instant::now();
+    type PendingJob = (JobHandle, usize, Arc<Mutex<Vec<u8>>>);
+    let mut handles: Vec<PendingJob> = Vec::with_capacity(sequence.len());
+    let mut requeued = 0u64;
+    for (i, &doc_idx) in sequence.iter().enumerate() {
+        let doc = &docs[doc_idx];
+        let job = workloads::bytes::lookup(doc.name).expect("registered workload");
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink_out = Arc::clone(&out);
+        let sink: OutputSink =
+            Box::new(move |bytes: &[u8]| sink_out.lock().unwrap().extend_from_slice(bytes));
+        let priority = [Priority::Interactive, Priority::Normal, Priority::Batch][i % 3];
+        let options = PipeOptions::with_throttle(4);
+        let base = if cached {
+            let key = ContentKey::new(doc.name, &doc.input);
+            let input = doc.input.clone();
+            let launch = job.launch;
+            let factory: SinkLaunchFn =
+                Box::new(move |sink| launch(&input, sink).expect("validated zipf input"));
+            JobSpec::keyed(options, key, sink, factory)
+        } else {
+            JobSpec::from_launch(
+                options,
+                (job.launch)(&doc.input, sink).expect("validated zipf input"),
+            )
+        };
+        let mut spec = base.named(doc.name).priority(priority);
+        loop {
+            match service.submit(spec) {
+                Ok(handle) => {
+                    handles.push((handle, doc_idx, out));
+                    break;
+                }
+                Err(SubmitError::QueueFull(returned)) => {
+                    requeued += 1;
+                    spec = *returned;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) => {
+                    eprintln!("ERROR: zipf submit failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let mut latencies_ms = Vec::with_capacity(handles.len());
+    for (handle, _, _) in &handles {
+        let result = handle.join();
+        if !result.is_completed() {
+            eprintln!("ERROR: zipf job ended as {result:?}");
+            std::process::exit(1);
+        }
+        latencies_ms.push(
+            handle
+                .latency()
+                .expect("joined job has a latency")
+                .as_secs_f64()
+                * 1e3,
+        );
+    }
+    service.drain();
+    let wall = start.elapsed();
+    // Byte-identical verification after the clock stops, cached responses
+    // and fresh runs alike.
+    for (_, doc_idx, out) in &handles {
+        let doc = &docs[*doc_idx];
+        if *out.lock().unwrap() != doc.expected {
+            eprintln!(
+                "ERROR: zipf {} response differs from the serial reference",
+                doc.name
+            );
+            std::process::exit(1);
+        }
+    }
+    ZipfRun {
+        completed: handles.len() as u64,
+        requeued,
+        wall,
+        latencies_ms,
+        stats: service.cache_stats(),
     }
 }
 
@@ -389,6 +656,23 @@ fn main() {
         }
     }
 
+    // Zipf phase: the same sequence of zipf(1.0)-distributed inputs over
+    // the four byte workloads, pushed through identical executors — once
+    // as plain submissions (every job runs a pipeline) and once content-
+    // keyed through the result cache (duplicates hit the LRU or coalesce
+    // onto the in-flight run). The throughput ratio is the cache's win at
+    // equal capacity.
+    let (zipf_distinct, zipf_offered) = if quick { (16, 128) } else { (64, 512) };
+    println!(
+        "zipf phase: {zipf_offered} zipf(1.0) draws over {zipf_distinct} distinct inputs, \
+         uncached then cached ..."
+    );
+    let docs = zipf_docs(zipf_distinct);
+    let sequence = zipf_sequence(zipf_distinct, zipf_offered, 0x5EED_CAFE);
+    let zipf_uncached = run_zipf(&docs, &sequence, false, total_workers, max_queue);
+    let zipf_cached = run_zipf(&docs, &sequence, true, total_workers, max_queue);
+    let zipf_speedup = zipf_cached.throughput() / zipf_uncached.throughput().max(1e-9);
+
     let mut table = Table::new(&[
         "shards",
         "rate (j/s)",
@@ -421,6 +705,32 @@ fn main() {
     );
     println!("{}", table.render());
 
+    let mut zipf_table = Table::new(&[
+        "variant",
+        "completed",
+        "requeued",
+        "thru (j/s)",
+        "p50 (ms)",
+        "p99 (ms)",
+        "hit rate",
+    ]);
+    for (variant, run) in [("uncached", &zipf_uncached), ("cached", &zipf_cached)] {
+        zipf_table.row(vec![
+            variant.to_string(),
+            run.completed.to_string(),
+            run.requeued.to_string(),
+            format!("{:.1}", run.throughput()),
+            format!("{:.2}", run.percentile(0.5)),
+            format!("{:.2}", run.percentile(0.99)),
+            format!("{:.3}", run.hit_rate()),
+        ]);
+    }
+    println!(
+        "zipf(1.0) phase — {zipf_offered} draws over {zipf_distinct} distinct inputs, \
+         cached/uncached speedup {zipf_speedup:.2}x"
+    );
+    println!("{}", zipf_table.render());
+
     let run_json: Vec<String> = runs.iter().map(RunResult::json).collect();
     let json = format!(
         concat!(
@@ -430,16 +740,38 @@ fn main() {
             "  \"host_workers\": {},\n",
             "  \"total_workers\": {},\n",
             "  \"job_mix\": [\"dedup\", \"ferret\", \"x264\", \"pipefib\"],\n",
-            "  \"runs\": [\n{}\n  ]\n",
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"zipf\": {{\n",
+            "    \"exponent\": 1.0,\n",
+            "    \"distinct_inputs\": {},\n",
+            "    \"offered_jobs\": {},\n",
+            "    \"uncached\":\n{},\n",
+            "    \"cached\":\n{},\n",
+            "    \"speedup_cached_over_uncached\": {:.2}\n",
+            "  }}\n",
             "}}\n"
         ),
         quick,
         workers,
         total_workers,
         run_json.join(",\n"),
+        zipf_distinct,
+        zipf_offered,
+        zipf_uncached.json(),
+        zipf_cached.json(),
+        zipf_speedup,
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     println!("wrote {out_path}");
+
+    // The cache's contract in the committed full-mode trajectory: a
+    // zipf(1.0) mix at equal capacity sustains at least twice the uncached
+    // throughput. (Quick mode skips the hard check — CI hosts are noisy —
+    // and lets bench_gate police the hit rate and p99 instead.)
+    if !quick && zipf_speedup < 2.0 {
+        eprintln!("ERROR: zipf cached/uncached speedup {zipf_speedup:.2}x is below the 2x floor");
+        std::process::exit(1);
+    }
 
     if fail_on_rejections {
         // The first (lowest) rate of every shard configuration is its smoke

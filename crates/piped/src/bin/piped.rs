@@ -23,6 +23,10 @@
 //! * `--max-input-mb N` — per-job input cap in MiB (default 16).
 //! * `--output-window N` — per-connection queued OUTPUT-frame cap
 //!   (default 64).
+//! * `--cache-mb N` — byte budget of the content-addressed result cache
+//!   in MiB (default: derived from the frame budget).
+//! * `--no-cache` — disable result caching and request coalescing; every
+//!   submission runs its own pipeline.
 //! * `--addr-file PATH` — write the bound address to PATH once listening
 //!   (how CI discovers the ephemeral port).
 //! * `--exit-on-drain` — exit after a DRAIN completes (the
@@ -35,8 +39,8 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!("piped: {message}");
     eprintln!(
         "usage: piped [--listen ADDR] [--workers N] [--shards N] [--frame-budget N] \
-         [--max-queue N] [--max-input-mb N] [--output-window N] [--addr-file PATH] \
-         [--exit-on-drain]"
+         [--max-queue N] [--max-input-mb N] [--output-window N] [--cache-mb N] \
+         [--no-cache] [--addr-file PATH] [--exit-on-drain]"
     );
     std::process::exit(2);
 }
@@ -71,6 +75,10 @@ fn main() {
             "--output-window" => {
                 config.output_window = parse_value("--output-window", args.next());
             }
+            "--cache-mb" => {
+                config.cache_bytes = Some(parse_value::<usize>("--cache-mb", args.next()) << 20);
+            }
+            "--no-cache" => config.cache = false,
             "--addr-file" => addr_file = Some(parse_value("--addr-file", args.next())),
             "--exit-on-drain" => config.exit_on_drain = true,
             "--help" | "-h" => usage_and_exit("pipeline job serving daemon"),

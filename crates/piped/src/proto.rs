@@ -105,7 +105,7 @@ impl From<&pipeserve::SubmitError> for ErrorCode {
     /// The wire-level rendering of an executor rejection.
     fn from(err: &pipeserve::SubmitError) -> ErrorCode {
         match err {
-            pipeserve::SubmitError::QueueFull => ErrorCode::QueueFull,
+            pipeserve::SubmitError::QueueFull(_) => ErrorCode::QueueFull,
             pipeserve::SubmitError::FrameWindowExceedsBudget { .. } => ErrorCode::FrameBudget,
             pipeserve::SubmitError::ShutDown => ErrorCode::ShuttingDown,
         }
@@ -623,10 +623,20 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
 mod tests {
     use super::*;
 
+    struct Noop;
+    impl piper::PipelineIteration for Noop {
+        fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
+            piper::NodeOutcome::Done
+        }
+    }
+
     #[test]
     fn submit_error_maps_to_wire_codes() {
+        let spec = pipeserve::JobSpec::new(piper::PipeOptions::default(), |_| {
+            piper::Stage0::<Noop>::Stop
+        });
         assert_eq!(
-            ErrorCode::from(&pipeserve::SubmitError::QueueFull),
+            ErrorCode::from(&pipeserve::SubmitError::QueueFull(Box::new(spec))),
             ErrorCode::QueueFull
         );
         assert_eq!(

@@ -1,5 +1,19 @@
 //! The serving daemon: a TCP listener multiplexing many connections onto
-//! one shared [`pipeserve::PipeService`].
+//! one shared [`pipeserve::Submit`] executor (a sharded service behind a
+//! content-addressed result cache).
+//!
+//! ## Caching and coalescing
+//!
+//! Every workload is deterministic and byte-verified against its serial
+//! reference, so a job is content-addressed: the reader hashes streamed
+//! `INPUT_CHUNK`s incrementally (SHA-256) and, at `INPUT_EOF`, submits a
+//! *keyed* job whose [`pipeserve::ContentKey`] is the workload name plus
+//! the input digest. The shared [`pipeserve::CachedService`] then answers
+//! repeated submissions from its bounded LRU of verified outputs and
+//! coalesces concurrent identical submissions onto one running pipeline —
+//! each connection still receives its own OUTPUT stream and JOB_DONE.
+//! [`ServerConfig::cache`] disables keying entirely (every submission runs
+//! a pipeline); [`ServerConfig::cache_bytes`] overrides the byte budget.
 //!
 //! ## Threading model
 //!
@@ -38,7 +52,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use pipeserve::{JobResult, JobSpec, Priority, ShardedService};
+use pipeserve::{
+    CachedService, ContentKey, JobResult, JobSpec, Priority, ShardedService, SinkLaunchFn, Submit,
+};
 use workloads::bytes::{ByteJob, ByteJobError, ByteSink};
 
 use crate::proto::{
@@ -80,6 +96,13 @@ pub struct ServerConfig {
     /// Per-connection cap on queued OUTPUT frames before job pipelines
     /// block (the backpressure window).
     pub output_window: usize,
+    /// Content-address submissions (SHA-256 of the streamed input) so the
+    /// shared result cache and request coalescing apply. Off, every
+    /// submission runs its own pipeline.
+    pub cache: bool,
+    /// Byte budget of the result cache; `None` derives it from the frame
+    /// budget (see [`pipeserve::CachedService::new`]).
+    pub cache_bytes: Option<usize>,
     /// Stop the accept loop after a drain completes.
     pub exit_on_drain: bool,
 }
@@ -94,6 +117,8 @@ impl Default for ServerConfig {
             max_input_bytes: 16 << 20,
             max_pending_per_conn: 32,
             output_window: 64,
+            cache: true,
+            cache_bytes: None,
             exit_on_drain: false,
         }
     }
@@ -102,7 +127,7 @@ impl Default for ServerConfig {
 /// Shared state between the accept loop, connection threads and the
 /// control handle.
 struct Shared {
-    service: Arc<ShardedService>,
+    service: CachedService<ShardedService>,
     config: ServerConfig,
     /// Set by DRAIN: reject new SUBMITs server-wide.
     draining: AtomicBool,
@@ -148,15 +173,23 @@ impl ServerHandle {
         self.shared.stop.store(true, Ordering::Release);
     }
 
-    /// The executor's aggregate metrics (field-wise sum over the shards).
+    /// The executor's aggregate metrics (field-wise sum over the shards,
+    /// with the cache-layer counters filled in).
     pub fn metrics(&self) -> pipeserve::ServiceMetricsSnapshot {
-        self.shared.service.aggregate_metrics()
+        self.shared.service.metrics()
     }
 
     /// The executor's full sharded snapshot (per-shard breakdown +
-    /// placement counts).
+    /// placement counts; the aggregate carries the cache counters).
     pub fn sharded_metrics(&self) -> pipeserve::ShardedMetricsSnapshot {
-        self.shared.service.metrics()
+        let mut snapshot = self.shared.service.inner().sharded_metrics();
+        snapshot.aggregate = self.shared.service.metrics();
+        snapshot
+    }
+
+    /// The result cache's own statistics (hits, misses, evictions, bytes).
+    pub fn cache_stats(&self) -> pipeserve::CacheStats {
+        self.shared.service.cache_stats()
     }
 }
 
@@ -192,7 +225,11 @@ impl PipedServer {
         if let Some(frames) = config.frame_budget {
             builder = builder.total_frame_budget(frames);
         }
-        let service = Arc::new(builder.build());
+        let sharded = builder.build();
+        let service = match config.cache_bytes {
+            Some(bytes) => CachedService::with_capacity(sharded, bytes),
+            None => CachedService::new(sharded),
+        };
         Ok(PipedServer {
             listener,
             shared: Arc::new(Shared {
@@ -346,13 +383,16 @@ struct Conn {
     jobs: Mutex<HashMap<u64, pipeserve::JobHandle>>,
 }
 
-/// A SUBMIT whose input is still streaming in.
+/// A SUBMIT whose input is still streaming in. The content digest is
+/// folded incrementally as chunks arrive, so submission never re-scans
+/// the buffered input.
 struct PendingJob {
     descriptor: &'static ByteJob,
     priority: Priority,
     throttle: u32,
     deadline_ms: u32,
     input: Vec<u8>,
+    hasher: checksum::Sha256,
 }
 
 fn wire_priority(priority: u8) -> Priority {
@@ -466,6 +506,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                                 throttle,
                                 deadline_ms,
                                 input: Vec::new(),
+                                hasher: checksum::Sha256::new(),
                             },
                         );
                     }
@@ -508,6 +549,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     });
                     continue;
                 }
+                job.hasher.update(&data);
                 job.input.extend_from_slice(&data);
             }
             Frame::InputEof { ticket } => {
@@ -555,10 +597,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 // A single-shard daemon keeps the flat object existing
                 // clients parse; a sharded one nests it under "aggregate"
                 // with the per-shard breakdown alongside.
-                let json = if shared.service.shards() > 1 {
-                    shared.service.metrics().to_json()
+                let json = if shared.service.inner().shards() > 1 {
+                    let mut snapshot = shared.service.inner().sharded_metrics();
+                    snapshot.aggregate = shared.service.metrics();
+                    snapshot.to_json()
                 } else {
-                    shared.service.aggregate_metrics().to_json()
+                    shared.service.metrics().to_json()
                 };
                 outbound.push_control(Frame::MetricsReply { json });
             }
@@ -630,25 +674,46 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
             });
         }
     });
-    let launch = match (job.descriptor.launch)(&job.input, sink) {
-        Ok(launch) => launch,
-        Err(ByteJobError::InvalidInput(msg)) => {
-            reject(ErrorCode::InvalidInput, msg);
-            return;
-        }
-        Err(ByteJobError::UnknownWorkload(name)) => {
-            reject(ErrorCode::UnknownWorkload, name);
-            return;
-        }
-    };
-
     let options = if job.throttle > 0 {
         piper::PipeOptions::with_throttle(job.throttle as usize)
     } else {
         piper::PipeOptions::default()
     };
+    let base = if shared.config.cache {
+        // Keyed path: validate once at admission, then hand the cache
+        // layer a key plus an infallible deferred launch — the factory may
+        // run later (coalesced winner) or never (LRU hit), and the sink
+        // alone decides where the bytes go.
+        if let Err(e) = (job.descriptor.validate)(&job.input) {
+            match e {
+                ByteJobError::InvalidInput(msg) => reject(ErrorCode::InvalidInput, msg),
+                ByteJobError::UnknownWorkload(name) => reject(ErrorCode::UnknownWorkload, name),
+            }
+            return;
+        }
+        let key = ContentKey::from_digest(job.descriptor.name, job.hasher.finalize());
+        let descriptor = job.descriptor;
+        let input = job.input;
+        let factory: SinkLaunchFn = Box::new(move |sink| {
+            (descriptor.launch)(&input, sink).expect("input validated at admission")
+        });
+        JobSpec::keyed(options, key, sink, factory)
+    } else {
+        let launch = match (job.descriptor.launch)(&job.input, sink) {
+            Ok(launch) => launch,
+            Err(ByteJobError::InvalidInput(msg)) => {
+                reject(ErrorCode::InvalidInput, msg);
+                return;
+            }
+            Err(ByteJobError::UnknownWorkload(name)) => {
+                reject(ErrorCode::UnknownWorkload, name);
+                return;
+            }
+        };
+        JobSpec::from_launch(options, launch)
+    };
     let hook_conn = Arc::clone(conn);
-    let mut spec = JobSpec::from_launch(options, launch)
+    let mut spec = base
         .named(job.descriptor.name)
         .priority(job.priority)
         .on_terminal(move |result| {

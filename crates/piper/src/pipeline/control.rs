@@ -90,6 +90,10 @@ pub(crate) struct ControlCore {
     /// bookkeeping). Guarded by the completion protocol of
     /// [`Self::maybe_complete`]/[`Self::add_completion_hook`].
     completion_hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+    /// Runs after every completion hook has fired — the handle's done
+    /// latch, so an external `wait()` cannot return before the hooks
+    /// (metrics bumps, service bookkeeping, user callbacks) have run.
+    completion_finalizer: Mutex<Option<Box<dyn FnOnce() + Send>>>,
     /// First panic raised by the producer or any node.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     // Per-pipeline statistics (see `PipeStats`).
@@ -138,6 +142,7 @@ impl ControlCore {
             completion: SpinLatch::new(),
             control_task: Mutex::new(None),
             completion_hooks: Mutex::new(Vec::new()),
+            completion_finalizer: Mutex::new(None),
             panic: Mutex::new(None),
             iterations: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
@@ -199,6 +204,11 @@ impl ControlCore {
             for hook in hooks {
                 hook();
             }
+            // The finalizer (the handle's done latch) runs strictly after
+            // the hooks, so an external `wait()` observes them all.
+            if let Some(finalizer) = self.completion_finalizer.lock().unwrap().take() {
+                finalizer();
+            }
         }
     }
 
@@ -213,6 +223,14 @@ impl ControlCore {
         } else {
             hooks.push(hook);
         }
+    }
+
+    /// Registers the hook that runs *after* every completion hook — the
+    /// detached handle's done latch. Called once, before the control frame
+    /// is injected (so it cannot race completion).
+    pub(crate) fn set_completion_finalizer(&self, hook: Box<dyn FnOnce() + Send>) {
+        let prev = self.completion_finalizer.lock().unwrap().replace(hook);
+        debug_assert!(prev.is_none(), "completion finalizer set twice");
     }
 
     /// Requests cooperative cancellation: the control frame stops producing

@@ -155,8 +155,11 @@ where
     let registry = Arc::clone(pool.registry());
     let done = Arc::new(LockLatch::new());
     {
+        // Finalizer, not an ordinary hook: the done latch must release
+        // external waiters only after every completion hook (metrics,
+        // service bookkeeping, user callbacks) has run.
         let done = Arc::clone(&done);
-        core.add_completion_hook(Box::new(move || done.set()));
+        core.set_completion_finalizer(Box::new(move || done.set()));
     }
     registry.inject(Task::Control(shared));
     PipeHandle {

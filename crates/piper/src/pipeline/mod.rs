@@ -763,10 +763,16 @@ mod tests {
             Stage0::proceed(Spin)
         });
         assert_eq!(stats.iterations, 2000);
-        assert!(
-            stats.adaptive_widenings > 0,
-            "window never widened despite sustained parallel demand: {stats:?}"
-        );
+        // Widening is driven by *parallel* demand: on a single-core host
+        // the lone worker retires each iteration before the producer can
+        // stall on the window, so the controller may (correctly) never
+        // widen there — only assert it where parallelism exists.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            assert!(
+                stats.adaptive_widenings > 0,
+                "window never widened despite sustained parallel demand: {stats:?}"
+            );
+        }
         // The *final* window is host-dependent (on a saturated or single
         // core the controller legitimately narrows back down), so only the
         // band invariant is asserted here.

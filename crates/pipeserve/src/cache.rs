@@ -1,0 +1,608 @@
+//! Content-addressed result cache with request coalescing, layered over
+//! any [`Submit`] executor.
+//!
+//! Every workload served by this repository is deterministic and verified
+//! byte-identical to its serial reference, so a job's output is a pure
+//! function of its [`ContentKey`] (workload id + SHA-256 of the canonical
+//! input). [`CachedService`] exploits that in two ways:
+//!
+//! * **Result cache** — a bounded LRU of completed outputs keyed by
+//!   content. The byte budget defaults to a multiple of the inner
+//!   executor's frame budget, so the cache's memory scales with the same
+//!   knob that bounds the executor's live frames. Only verified
+//!   [`JobResult::Completed`] outputs are stored — a cancelled, expired or
+//!   panicked job never poisons the cache.
+//! * **Request coalescing** — identical keyed submissions arriving while
+//!   one is in flight *subscribe* to the running pipeline instead of
+//!   running their own. A tee in the pipeline's output path captures the
+//!   byte stream and fans every chunk out to all live subscribers; when
+//!   the underlying job reaches its terminal state, every subscriber's
+//!   handle resolves with the same result. Cancelling a coalesced handle
+//!   detaches that one subscriber; the underlying pipeline is aborted only
+//!   when its **last** live subscriber cancels.
+//!
+//! ## Lock order
+//!
+//! Two lock levels exist: the cache-wide table
+//! ([`CacheCore::state`]) and the per-entry subscriber list
+//! ([`Inflight::subs`]). The only path holding both is the underlying
+//! job's terminal hook, which takes them in **table → entry** order;
+//! every other path (attach, tee, cancel) takes at most one at a time, so
+//! no cycle exists. Neither lock is ever held while calling into the inner
+//! executor's *blocking* operations except `try_submit`/`submit` on the
+//! miss path, which is safe because terminal hooks never run under a
+//! scheduler lock (see `service.rs`'s lock discipline).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use piper::PipeStats;
+
+use crate::job::{
+    ContentKey, HandleBackend, JobHandle, JobId, JobResult, JobSpec, JobState, JobStatus, LaunchFn,
+    LaunchKind, OutputSink, SinkLaunchFn,
+};
+use crate::metrics::ServiceMetricsSnapshot;
+use crate::service::SubmitError;
+use crate::submit::Submit;
+
+/// Maps a terminal result to the job status subscribers are finalized with.
+fn terminal_status(result: &JobResult) -> JobStatus {
+    match result {
+        JobResult::Completed(_) => JobStatus::Completed,
+        JobResult::Cancelled(_) => JobStatus::Cancelled,
+        JobResult::Panicked(_) => JobStatus::Failed,
+        JobResult::Expired => JobStatus::Expired,
+    }
+}
+
+/// One stored output: the canonical byte stream plus the stats of the run
+/// that produced it (re-reported on every hit).
+#[derive(Clone)]
+struct CachedOutput {
+    bytes: Arc<Vec<u8>>,
+    stats: PipeStats,
+}
+
+/// A byte-budgeted LRU: `HashMap` for lookup, `BTreeMap<seq, key>` for
+/// recency order (lowest sequence = least recently used).
+#[derive(Default)]
+struct Lru {
+    map: HashMap<ContentKey, (u64, CachedOutput)>,
+    order: BTreeMap<u64, ContentKey>,
+    total_bytes: usize,
+    next_seq: u64,
+}
+
+impl Lru {
+    /// Looks `key` up and, on a hit, marks it most recently used.
+    fn get(&mut self, key: &ContentKey) -> Option<CachedOutput> {
+        let (seq, out) = self.map.get_mut(key)?;
+        let old = *seq;
+        *seq = self.next_seq;
+        self.next_seq += 1;
+        let moved = self.order.remove(&old).expect("order tracks every entry");
+        self.order.insert(*seq, moved);
+        Some(out.clone())
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used entries
+    /// until the byte budget holds. Returns how many entries were evicted.
+    fn insert(&mut self, key: ContentKey, out: CachedOutput, capacity: usize) -> u64 {
+        if let Some((seq, old)) = self.map.remove(&key) {
+            self.order.remove(&seq);
+            self.total_bytes -= old.bytes.len();
+        }
+        self.total_bytes += out.bytes.len();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.order.insert(seq, key.clone());
+        self.map.insert(key, (seq, out));
+        let mut evicted = 0;
+        while self.total_bytes > capacity {
+            let (_, key) = self.order.pop_first().expect("bytes imply entries");
+            let (_, out) = self.map.remove(&key).expect("order tracks every entry");
+            self.total_bytes -= out.bytes.len();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Table state guarded by the cache-wide lock.
+#[derive(Default)]
+struct CacheState {
+    lru: Lru,
+    /// Keyed jobs currently running in the inner executor, by content key.
+    inflight: HashMap<ContentKey, Arc<Inflight>>,
+}
+
+/// Shared core of a [`CachedService`]: the table plus counters.
+pub(crate) struct CacheCore {
+    state: Mutex<CacheState>,
+    capacity_bytes: usize,
+    /// Outputs larger than this are never cached (one oversized output must
+    /// not wipe the whole working set).
+    max_entry_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    /// Id space for the cache-layer [`JobState`]s (hits and subscribers);
+    /// disjoint from any inner service's ids.
+    next_id: AtomicU64,
+}
+
+/// One subscriber of an in-flight keyed job.
+struct Subscriber {
+    state: Arc<JobState>,
+    /// The submitter's sink; taken when the subscriber cancels.
+    sink: Option<OutputSink>,
+    /// How many bytes of `capture` this sink has already received.
+    delivered: usize,
+}
+
+/// Subscriber-list state guarded by the per-entry lock.
+struct InflightSubs {
+    /// Everything the underlying pipeline has produced so far (late
+    /// subscribers are caught up from it on attach).
+    capture: Vec<u8>,
+    subscribers: Vec<Subscriber>,
+    /// Subscribers that have not cancelled.
+    live: usize,
+    /// The inner executor's handle on the one running pipeline.
+    underlying: Option<JobHandle>,
+    /// The launch factory, taken exactly once when the inner job launches
+    /// (or taken back on QueueFull rollback).
+    factory: Option<SinkLaunchFn>,
+    /// Set by the terminal hook; later attach attempts resolve from here.
+    terminal: Option<(JobResult, Arc<Vec<u8>>)>,
+}
+
+/// One in-flight keyed job that identical submissions coalesce onto.
+pub(crate) struct Inflight {
+    key: ContentKey,
+    core: Weak<CacheCore>,
+    subs: Mutex<InflightSubs>,
+}
+
+impl Inflight {
+    /// The tee: appends `bytes` to the capture and fans the undelivered
+    /// tail out to every live subscriber. Runs from the pipeline's in-order
+    /// serial output stage, so calls arrive in canonical order.
+    fn deliver(&self, bytes: &[u8]) {
+        let mut subs = self.subs.lock().unwrap();
+        subs.capture.extend_from_slice(bytes);
+        let InflightSubs {
+            capture,
+            subscribers,
+            ..
+        } = &mut *subs;
+        let len = capture.len();
+        for sub in subscribers.iter_mut() {
+            if let Some(sink) = sub.sink.as_mut() {
+                sink(&capture[sub.delivered..]);
+            }
+            sub.delivered = len;
+        }
+    }
+
+    /// Detaches subscriber `index` (handle cancellation). The underlying
+    /// job is aborted only when the last live subscriber detaches; the
+    /// entry is then unregistered so a later identical submission starts a
+    /// fresh run instead of subscribing to a doomed one.
+    pub(crate) fn cancel_subscriber(self: &Arc<Self>, index: usize) {
+        let (state, last) = {
+            let mut subs = self.subs.lock().unwrap();
+            if subs.terminal.is_some() {
+                return; // already resolved: cancel is a no-op
+            }
+            let sub = &mut subs.subscribers[index];
+            if sub.sink.is_none() {
+                return; // this subscriber already cancelled
+            }
+            sub.sink = None;
+            let state = Arc::clone(&sub.state);
+            subs.live -= 1;
+            (state, subs.live == 0)
+        };
+        state.finalize(JobStatus::Cancelled, JobResult::Cancelled(None));
+        if last {
+            // Unregister first (entry lock released above; table lock is
+            // never taken while holding it), then abort the pipeline.
+            if let Some(core) = self.core.upgrade() {
+                let mut table = core.state.lock().unwrap();
+                if table
+                    .inflight
+                    .get(&self.key)
+                    .is_some_and(|e| Arc::ptr_eq(e, self))
+                {
+                    table.inflight.remove(&self.key);
+                }
+            }
+            let underlying = self.subs.lock().unwrap().underlying.clone();
+            if let Some(handle) = underlying {
+                handle.cancel();
+            }
+        }
+    }
+
+    /// The underlying job's terminal hook: unregisters the entry, caches a
+    /// completed output, and resolves every subscriber with the same
+    /// terminal result. Holds table → entry in that order (the one
+    /// both-locks path in this module).
+    fn on_terminal(self: &Arc<Self>, core: &Arc<CacheCore>, result: &JobResult) {
+        let mut table = core.state.lock().unwrap();
+        if table
+            .inflight
+            .get(&self.key)
+            .is_some_and(|e| Arc::ptr_eq(e, self))
+        {
+            table.inflight.remove(&self.key);
+        }
+        let (bytes, subscribers) = {
+            let mut subs = self.subs.lock().unwrap();
+            let bytes = Arc::new(std::mem::take(&mut subs.capture));
+            subs.terminal = Some((result.clone(), Arc::clone(&bytes)));
+            subs.underlying = None;
+            (bytes, std::mem::take(&mut subs.subscribers))
+        };
+        if let JobResult::Completed(stats) = result {
+            if bytes.len() <= core.max_entry_bytes {
+                let evicted = table.lru.insert(
+                    self.key.clone(),
+                    CachedOutput {
+                        bytes: Arc::clone(&bytes),
+                        stats: *stats,
+                    },
+                    core.capacity_bytes,
+                );
+                core.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        drop(table);
+        // Finalize outside every lock: subscriber hooks (e.g. the piped
+        // server's connection forwarding) may do arbitrary non-blocking
+        // work. The tee already caught every live sink up, so only the
+        // (normally empty) tail is delivered here.
+        let status = terminal_status(result);
+        for mut sub in subscribers {
+            if let Some(sink) = sub.sink.as_mut() {
+                if sub.delivered < bytes.len() {
+                    sink(&bytes[sub.delivered..]);
+                }
+            }
+            sub.state.finalize(status, result.clone());
+        }
+    }
+}
+
+/// Point-in-time cache-layer statistics (see
+/// [`CachedService::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Keyed submissions answered from the LRU.
+    pub hits: u64,
+    /// Keyed submissions that ran a pipeline.
+    pub misses: u64,
+    /// Keyed submissions attached to an in-flight identical run.
+    pub coalesced: u64,
+    /// Entries evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Outputs currently stored.
+    pub entries: u64,
+    /// Bytes currently stored.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+/// A content-addressed result cache + request coalescer over any
+/// [`Submit`] executor; see the [module docs](self).
+///
+/// Plain (un-keyed) submissions pass straight through to the inner
+/// executor. Keyed submissions ([`JobSpec::keyed`]) are answered from the
+/// cache, coalesced onto an identical in-flight run, or run once with
+/// their output teed into the cache.
+pub struct CachedService<S: Submit> {
+    inner: S,
+    core: Arc<CacheCore>,
+}
+
+impl<S: Submit> CachedService<S> {
+    /// Wraps `inner` with a frame-budget-aware default byte budget: 16 KiB
+    /// of cache per budgeted iteration frame, clamped to [1 MiB, 256 MiB].
+    /// The same knob that bounds the executor's live frames thereby scales
+    /// its result cache.
+    pub fn new(inner: S) -> Self {
+        let frames = inner.metrics().frame_budget as usize;
+        let capacity = (frames * 16 * 1024).clamp(1 << 20, 256 << 20);
+        Self::with_capacity(inner, capacity)
+    }
+
+    /// Wraps `inner` with an explicit cache byte budget. Outputs larger
+    /// than an eighth of the budget are never cached (they would wipe the
+    /// working set), but still coalesce while in flight.
+    pub fn with_capacity(inner: S, capacity_bytes: usize) -> Self {
+        let capacity_bytes = capacity_bytes.max(1);
+        CachedService {
+            inner,
+            core: Arc::new(CacheCore {
+                state: Mutex::new(CacheState::default()),
+                capacity_bytes,
+                max_entry_bytes: (capacity_bytes / 8).max(1),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the cache layer, dropping every stored output.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Point-in-time cache-layer statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let table = self.core.state.lock().unwrap();
+            (table.lru.len() as u64, table.lru.total_bytes as u64)
+        };
+        CacheStats {
+            hits: self.core.hits.load(Ordering::Relaxed),
+            misses: self.core.misses.load(Ordering::Relaxed),
+            coalesced: self.core.coalesced.load(Ordering::Relaxed),
+            evictions: self.core.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity_bytes: self.core.capacity_bytes as u64,
+        }
+    }
+
+    /// A fresh cache-layer job state (hits and coalesced subscribers get
+    /// their own ids, disjoint from the inner executor's).
+    fn new_state(
+        &self,
+        spec_name: String,
+        priority: crate::Priority,
+        on_terminal: Option<crate::TerminalHook>,
+    ) -> Arc<JobState> {
+        let id = JobId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
+        JobState::new(id, spec_name, priority, 0, on_terminal)
+    }
+
+    /// The keyed submission path. `counted` selects the inner entry point
+    /// on a miss (`submit` records a surfaced rejection, `try_submit` does
+    /// not); hits and coalesces can't be rejected, so the flag only
+    /// matters there.
+    fn submit_keyed(&self, spec: JobSpec, counted: bool) -> Result<JobHandle, SubmitError> {
+        let JobSpec {
+            name,
+            priority,
+            options,
+            queue_deadline,
+            launch,
+            on_terminal,
+        } = spec;
+        let LaunchKind::Keyed { key, sink, factory } = launch else {
+            unreachable!("submit_keyed is only called for keyed specs");
+        };
+
+        let mut table = self.core.state.lock().unwrap();
+
+        // 1. Cache hit: deliver the stored bytes and resolve immediately.
+        if let Some(out) = table.lru.get(&key) {
+            self.core.hits.fetch_add(1, Ordering::Relaxed);
+            drop(table);
+            let state = self.new_state(name, priority, on_terminal);
+            let mut sink = sink;
+            if !out.bytes.is_empty() {
+                sink(&out.bytes);
+            }
+            // Deliver-then-finalize: a terminal hook (the piped server's
+            // JOB_DONE frame) must order after the output bytes.
+            state.finalize(JobStatus::Completed, JobResult::Completed(out.stats));
+            return Ok(JobHandle {
+                state,
+                backend: HandleBackend::Resolved,
+            });
+        }
+
+        // 2. Identical job in flight: subscribe to it.
+        if let Some(entry) = table.inflight.get(&key).map(Arc::clone) {
+            drop(table);
+            let state = self.new_state(name, priority, on_terminal);
+            let mut subs = entry.subs.lock().unwrap();
+            if let Some((result, bytes)) = subs.terminal.clone() {
+                // Raced the terminal hook between the table and entry
+                // locks: resolve exactly like a hit.
+                drop(subs);
+                self.core.hits.fetch_add(1, Ordering::Relaxed);
+                let mut sink = sink;
+                if result.is_completed() && !bytes.is_empty() {
+                    sink(&bytes);
+                }
+                state.finalize(terminal_status(&result), result);
+                return Ok(JobHandle {
+                    state,
+                    backend: HandleBackend::Resolved,
+                });
+            }
+            self.core.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut sink = sink;
+            if !subs.capture.is_empty() {
+                sink(&subs.capture); // catch up on bytes produced so far
+            }
+            let delivered = subs.capture.len();
+            let index = subs.subscribers.len();
+            subs.subscribers.push(Subscriber {
+                state: Arc::clone(&state),
+                sink: Some(sink),
+                delivered,
+            });
+            subs.live += 1;
+            let backend = HandleBackend::Coalesced {
+                entry: Arc::downgrade(&entry),
+                index,
+            };
+            drop(subs);
+            return Ok(JobHandle { state, backend });
+        }
+
+        // 3. Miss: run it once, teed into the cache. The table lock is held
+        // across the inner submission so a concurrent identical submission
+        // cannot start a duplicate run between our miss and our insert.
+        let state = self.new_state(name.clone(), priority, on_terminal);
+        let entry = Arc::new(Inflight {
+            key: key.clone(),
+            core: Arc::downgrade(&self.core),
+            subs: Mutex::new(InflightSubs {
+                capture: Vec::new(),
+                subscribers: vec![Subscriber {
+                    state: Arc::clone(&state),
+                    sink: Some(sink),
+                    delivered: 0,
+                }],
+                live: 1,
+                underlying: None,
+                factory: Some(factory),
+                terminal: None,
+            }),
+        });
+        let launch_entry = Arc::clone(&entry);
+        let inner_launch: LaunchFn = Box::new(move |pool, opts| {
+            let factory = launch_entry
+                .subs
+                .lock()
+                .unwrap()
+                .factory
+                .take()
+                .expect("factory present until the one launch");
+            let tee_entry = Arc::clone(&launch_entry);
+            let tee: OutputSink = Box::new(move |bytes: &[u8]| tee_entry.deliver(bytes));
+            factory(tee)(pool, opts)
+        });
+        let hook_entry = Arc::clone(&entry);
+        let hook_core = Arc::clone(&self.core);
+        let mut inner_spec = JobSpec::from_launch(options, inner_launch)
+            .named(name)
+            .priority(priority)
+            .on_terminal(move |result| hook_entry.on_terminal(&hook_core, result));
+        if let Some(deadline) = queue_deadline {
+            inner_spec = inner_spec.queue_deadline(deadline);
+        }
+        let outcome = if counted {
+            self.inner.submit(inner_spec)
+        } else {
+            self.inner.try_submit(inner_spec)
+        };
+        match outcome {
+            Ok(handle) => {
+                self.core.misses.fetch_add(1, Ordering::Relaxed);
+                entry.subs.lock().unwrap().underlying = Some(handle);
+                table.inflight.insert(key, Arc::clone(&entry));
+                drop(table);
+                Ok(JobHandle {
+                    state,
+                    backend: HandleBackend::Coalesced {
+                        entry: Arc::downgrade(&entry),
+                        index: 0,
+                    },
+                })
+            }
+            Err(SubmitError::QueueFull(returned)) => {
+                drop(table);
+                // Roll the keyed spec back together, byte-for-byte intact:
+                // factory and sink come back out of the never-launched
+                // entry, the terminal hook out of the never-finalized
+                // state, and the scheduling metadata off the returned
+                // inner spec.
+                let (sink, factory) = {
+                    let mut subs = entry.subs.lock().unwrap();
+                    (
+                        subs.subscribers[0].sink.take().expect("never cancelled"),
+                        subs.factory.take().expect("never launched"),
+                    )
+                };
+                let on_terminal = state.cell.lock().unwrap().on_terminal.take();
+                let JobSpec {
+                    name,
+                    priority,
+                    options,
+                    queue_deadline,
+                    ..
+                } = *returned;
+                let mut rebuilt = JobSpec::keyed(options, key, sink, factory)
+                    .named(name)
+                    .priority(priority);
+                if let Some(deadline) = queue_deadline {
+                    rebuilt = rebuilt.queue_deadline(deadline);
+                }
+                rebuilt.on_terminal = on_terminal;
+                Err(SubmitError::QueueFull(Box::new(rebuilt)))
+            }
+            Err(err) => {
+                drop(table);
+                Err(err)
+            }
+        }
+    }
+}
+
+impl<S: Submit> Submit for CachedService<S> {
+    fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        match spec.launch {
+            LaunchKind::Plain(_) => self.inner.submit(spec),
+            LaunchKind::Keyed { .. } => self.submit_keyed(spec, true),
+        }
+    }
+
+    fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        match spec.launch {
+            LaunchKind::Plain(_) => self.inner.try_submit(spec),
+            LaunchKind::Keyed { .. } => self.submit_keyed(spec, false),
+        }
+    }
+
+    /// The inner executor's aggregate with the cache counters filled in.
+    /// Cache-answered submissions never reach the inner executor, so they
+    /// appear in `cache_hits`/`coalesced` only — `jobs_submitted` keeps
+    /// counting pipelines actually queued.
+    fn metrics(&self) -> ServiceMetricsSnapshot {
+        let mut snapshot = self.inner.metrics();
+        snapshot.cache_hits = self.core.hits.load(Ordering::Relaxed);
+        snapshot.cache_misses = self.core.misses.load(Ordering::Relaxed);
+        snapshot.coalesced = self.core.coalesced.load(Ordering::Relaxed);
+        snapshot
+    }
+
+    /// Drains the inner executor. Hits resolve synchronously and coalesced
+    /// subscribers resolve from the underlying job's terminal hook, so
+    /// inner quiescence implies cache-layer quiescence.
+    fn drain(&self) {
+        self.inner.drain();
+    }
+}
+
+impl<S: Submit + std::fmt::Debug> std::fmt::Debug for CachedService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedService")
+            .field("inner", &self.inner)
+            .field("capacity_bytes", &self.core.capacity_bytes)
+            .finish()
+    }
+}

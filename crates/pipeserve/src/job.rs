@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use piper::{PipeHandle, PipeOptions, PipeStats, PipelineIteration, Stage0, ThreadPool};
 
+use crate::cache::Inflight;
 use crate::service::ServiceInner;
 
 /// A deferred pipeline launch: given the pool and the job's options, start
@@ -15,6 +16,96 @@ use crate::service::ServiceInner;
 /// concrete producer/iteration types) and the service (which does not):
 /// anything that can produce a [`PipeHandle`] can be served.
 pub type LaunchFn = Box<dyn FnOnce(&ThreadPool, PipeOptions) -> PipeHandle + Send>;
+
+/// A byte-stream consumer for a keyed job's output (see [`JobSpec::keyed`]).
+/// Called from the pipeline's in-order serial stage with each produced
+/// chunk; chunks concatenated in call order are the job's canonical output.
+pub type OutputSink = Box<dyn FnMut(&[u8]) + Send>;
+
+/// Builds a keyed job's launch closure around the sink that should receive
+/// its output (see [`JobSpec::keyed`]). A caching layer substitutes its own
+/// tee here; an uncached service passes the submitter's sink straight
+/// through. The factory only *binds* the sink into a [`LaunchFn`] — it must
+/// be cheap and must not block (it may run under a scheduler lock).
+pub type SinkLaunchFn = Box<dyn FnOnce(OutputSink) -> LaunchFn + Send>;
+
+/// Content address of a deterministic job: the workload identifier plus the
+/// SHA-256 digest of its canonical input encoding.
+///
+/// Two submissions with equal `ContentKey`s promise byte-identical output
+/// (the property every workload in this repository verifies against its
+/// serial reference), which is what licenses a [`crate::CachedService`] to
+/// answer one from the other's result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    workload: String,
+    digest: [u8; checksum::SHA256_DIGEST_LEN],
+}
+
+impl ContentKey {
+    /// Keys `canonical_input` under `workload`, hashing it in one shot.
+    pub fn new(workload: impl Into<String>, canonical_input: &[u8]) -> Self {
+        ContentKey {
+            workload: workload.into(),
+            digest: checksum::sha256(canonical_input),
+        }
+    }
+
+    /// Builds a key from an already-computed digest — the form a server
+    /// hashing streamed input chunks incrementally uses
+    /// (see [`checksum::Sha256`]).
+    pub fn from_digest(
+        workload: impl Into<String>,
+        digest: [u8; checksum::SHA256_DIGEST_LEN],
+    ) -> Self {
+        ContentKey {
+            workload: workload.into(),
+            digest,
+        }
+    }
+
+    /// The workload identifier half of the key.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The SHA-256 digest half of the key.
+    pub fn digest(&self) -> &[u8; checksum::SHA256_DIGEST_LEN] {
+        &self.digest
+    }
+}
+
+impl std::fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:", self.workload)?;
+        for b in &self.digest[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+/// How a job's pipeline is started: either a plain opaque launch closure,
+/// or a content-keyed (sink, factory) pair a caching layer can interpose on.
+pub(crate) enum LaunchKind {
+    Plain(LaunchFn),
+    Keyed {
+        key: ContentKey,
+        sink: OutputSink,
+        factory: SinkLaunchFn,
+    },
+}
+
+impl LaunchKind {
+    /// Collapses to a plain launch closure: a keyed job submitted to an
+    /// uncached service streams into the submitter's own sink.
+    pub(crate) fn resolve(self) -> LaunchFn {
+        match self {
+            LaunchKind::Plain(f) => f,
+            LaunchKind::Keyed { sink, factory, .. } => factory(sink),
+        }
+    }
+}
 
 /// A terminal-state callback attached to a job with
 /// [`JobSpec::on_terminal`]: runs exactly once, on whichever thread
@@ -80,7 +171,7 @@ pub struct JobSpec {
     pub(crate) priority: Priority,
     pub(crate) options: PipeOptions,
     pub(crate) queue_deadline: Option<Duration>,
-    pub(crate) launch: LaunchFn,
+    pub(crate) launch: LaunchKind,
     pub(crate) on_terminal: Option<TerminalHook>,
 }
 
@@ -106,8 +197,43 @@ impl JobSpec {
             priority: Priority::Normal,
             options,
             queue_deadline: None,
-            launch,
+            launch: LaunchKind::Plain(launch),
             on_terminal: None,
+        }
+    }
+
+    /// Creates a *content-keyed* job: `key` addresses the deterministic
+    /// output the job will stream into `sink`, and `factory` binds a sink
+    /// into the actual launch closure.
+    ///
+    /// Submitted to a plain service, this behaves exactly like
+    /// [`from_launch`](Self::from_launch) with `factory(sink)`. Submitted
+    /// through a [`crate::CachedService`], the cache may answer from a
+    /// stored output, attach the sink to an identical in-flight job
+    /// (coalescing), or run the job once while teeing its output into the
+    /// cache. The factory must be cheap — it only binds the sink, it does
+    /// not run the pipeline.
+    pub fn keyed(
+        options: PipeOptions,
+        key: ContentKey,
+        sink: OutputSink,
+        factory: SinkLaunchFn,
+    ) -> Self {
+        JobSpec {
+            name: String::new(),
+            priority: Priority::Normal,
+            options,
+            queue_deadline: None,
+            launch: LaunchKind::Keyed { key, sink, factory },
+            on_terminal: None,
+        }
+    }
+
+    /// The job's content key, if it was built with [`keyed`](Self::keyed).
+    pub fn content_key(&self) -> Option<&ContentKey> {
+        match &self.launch {
+            LaunchKind::Keyed { key, .. } => Some(key),
+            LaunchKind::Plain(_) => None,
         }
     }
 
@@ -156,6 +282,7 @@ impl std::fmt::Debug for JobSpec {
             .field("priority", &self.priority)
             .field("options", &self.options)
             .field("queue_deadline", &self.queue_deadline)
+            .field("content_key", &self.content_key())
             .finish_non_exhaustive()
     }
 }
@@ -287,6 +414,32 @@ impl JobState {
     }
 }
 
+/// What a [`JobHandle`]'s cancel path talks to: the executor that queued
+/// the job, the coalesced in-flight entry it subscribed to, or nothing (a
+/// cache hit is terminal the moment the handle exists).
+pub(crate) enum HandleBackend {
+    /// A job queued on (or running in) a [`crate::PipeService`].
+    Service(Weak<ServiceInner>),
+    /// A subscription to a coalesced in-flight job in a
+    /// [`crate::CachedService`]; `index` identifies the subscriber slot.
+    Coalesced { entry: Weak<Inflight>, index: usize },
+    /// Already terminal at construction (cache hit): cancel is a no-op.
+    Resolved,
+}
+
+impl Clone for HandleBackend {
+    fn clone(&self) -> Self {
+        match self {
+            HandleBackend::Service(w) => HandleBackend::Service(Weak::clone(w)),
+            HandleBackend::Coalesced { entry, index } => HandleBackend::Coalesced {
+                entry: Weak::clone(entry),
+                index: *index,
+            },
+            HandleBackend::Resolved => HandleBackend::Resolved,
+        }
+    }
+}
+
 /// A non-blocking handle on a submitted job.
 ///
 /// Dropping the handle detaches the job: it still runs (or drains) to its
@@ -294,7 +447,7 @@ impl JobState {
 /// is leaked — the frames belong to the pipeline's ring, not the handle.
 pub struct JobHandle {
     pub(crate) state: Arc<JobState>,
-    pub(crate) service: Weak<ServiceInner>,
+    pub(crate) backend: HandleBackend,
 }
 
 impl Clone for JobHandle {
@@ -303,7 +456,7 @@ impl Clone for JobHandle {
     fn clone(&self) -> Self {
         JobHandle {
             state: Arc::clone(&self.state),
-            service: Weak::clone(&self.service),
+            backend: self.backend.clone(),
         }
     }
 }
@@ -338,10 +491,25 @@ impl JobHandle {
     /// never runs; a running job stops spawning iterations within one
     /// iteration frame and drains its in-flight iterations cleanly.
     /// Idempotent; a no-op once the job reached a terminal state.
+    ///
+    /// For a handle coalesced onto a shared in-flight job (see
+    /// [`crate::CachedService`]), cancellation detaches *this* subscriber
+    /// immediately; the underlying pipeline is only aborted when its last
+    /// live subscriber cancels.
     pub fn cancel(&self) {
         self.state.cancel_requested.store(true, Ordering::Release);
-        if let Some(service) = self.service.upgrade() {
-            service.cancel_job(&self.state);
+        match &self.backend {
+            HandleBackend::Service(service) => {
+                if let Some(service) = service.upgrade() {
+                    service.cancel_job(&self.state);
+                }
+            }
+            HandleBackend::Coalesced { entry, index } => {
+                if let Some(entry) = entry.upgrade() {
+                    entry.cancel_subscriber(*index);
+                }
+            }
+            HandleBackend::Resolved => {}
         }
     }
 

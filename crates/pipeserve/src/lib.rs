@@ -16,8 +16,7 @@
 //!   budget, so the service's peak live iteration frames (and therefore its
 //!   memory, by the paper's Theorem 11) is bounded regardless of offered
 //!   load. A bounded submission queue provides backpressure: when it is
-//!   full, [`PipeService::submit`] rejects rather than buffering without
-//!   bound.
+//!   full, [`Submit::submit`] rejects rather than buffering without bound.
 //! * **Fair dispatch** — weighted round-robin over three [`Priority`]
 //!   classes, FIFO within a class, so a stream of fine-grained `pipe-fib`
 //!   jobs cannot starve a dedup job (and vice versa). Every non-empty class
@@ -34,11 +33,20 @@
 //!   frame budgets, an optional elastic worker band per pool grown/shrunk
 //!   by a queue-depth supervisor, and [`ShardedMetricsSnapshot`] exposing
 //!   the per-shard breakdown. See the [`shard`](self) module docs.
+//! * **One submit surface** — the [`Submit`] trait (`submit`, `try_submit`,
+//!   `metrics`, `drain`) is implemented by [`PipeService`],
+//!   [`ShardedService`] and [`CachedService`], so callers and layers are
+//!   written once against the trait. See the `submit` module docs for the
+//!   shared verdict-finality rules.
+//! * **Content-addressed caching** — [`CachedService`] wraps any `Submit`
+//!   executor with a bounded LRU of verified outputs keyed by
+//!   [`ContentKey`] (workload id + SHA-256 of canonical input) plus request
+//!   coalescing: concurrent identical submissions share one pipeline run.
 //!
 //! # Quick start
 //!
 //! ```
-//! use pipeserve::{JobSpec, PipeService, Priority};
+//! use pipeserve::{JobSpec, PipeService, Priority, Submit};
 //! use piper::{PipeOptions, Stage0, NodeOutcome, PipelineIteration};
 //!
 //! struct Square(u64, std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
@@ -70,12 +78,19 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod job;
 mod metrics;
 mod service;
 mod shard;
+mod submit;
 
-pub use job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, Priority, TerminalHook};
+pub use cache::{CacheStats, CachedService};
+pub use job::{
+    ContentKey, JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, OutputSink, Priority,
+    SinkLaunchFn, TerminalHook,
+};
 pub use metrics::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
 pub use service::{PipeService, ServiceBuilder, SubmitError};
 pub use shard::{ShardedService, ShardedServiceBuilder};
+pub use submit::Submit;

@@ -62,6 +62,15 @@ pub struct ServiceMetricsSnapshot {
     pub frames_in_use: u64,
     /// The configured global frame budget.
     pub frame_budget: u64,
+    /// Keyed submissions answered from the content-addressed result cache
+    /// without running a pipeline (zero for uncached executors).
+    pub cache_hits: u64,
+    /// Keyed submissions that missed the cache and ran a pipeline (zero
+    /// for uncached executors).
+    pub cache_misses: u64,
+    /// Keyed submissions coalesced onto an identical in-flight pipeline
+    /// (zero for uncached executors).
+    pub coalesced: u64,
 }
 
 impl ServiceMetricsSnapshot {
@@ -106,6 +115,9 @@ impl ServiceMetricsSnapshot {
                 "\"running\":{},",
                 "\"frames_in_use\":{},",
                 "\"frame_budget\":{},",
+                "\"cache_hits\":{},",
+                "\"cache_misses\":{},",
+                "\"coalesced\":{},",
                 "\"frame_budget_utilization\":{:.4},",
                 "\"rejection_rate\":{:.4}",
                 "}}"
@@ -123,6 +135,9 @@ impl ServiceMetricsSnapshot {
             self.running,
             self.frames_in_use,
             self.frame_budget,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
             self.frame_budget_utilization(),
             self.rejection_rate(),
         )
@@ -150,6 +165,9 @@ impl std::ops::Add for ServiceMetricsSnapshot {
             running: self.running + other.running,
             frames_in_use: self.frames_in_use + other.frames_in_use,
             frame_budget: self.frame_budget + other.frame_budget,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            coalesced: self.coalesced + other.coalesced,
         }
     }
 }
@@ -217,6 +235,9 @@ mod tests {
             jobs_rejected: 2,
             frames_in_use: 3,
             frame_budget: 12,
+            cache_hits: 7,
+            cache_misses: 4,
+            coalesced: 1,
             ..Default::default()
         };
         let json = snapshot.to_json();
@@ -224,6 +245,9 @@ mod tests {
         assert!(json.contains("\"jobs_submitted\":10"));
         assert!(json.contains("\"rejection_rate\":0.1667"));
         assert!(json.contains("\"frame_budget_utilization\":0.2500"));
+        assert!(json.contains("\"cache_hits\":7"));
+        assert!(json.contains("\"cache_misses\":4"));
+        assert!(json.contains("\"coalesced\":1"));
         assert!(!json.contains('\n'));
     }
 }

@@ -19,31 +19,48 @@ use std::time::Instant;
 
 use piper::{MetricsSnapshot, PipeOptions, ThreadPool};
 
-use crate::job::{JobHandle, JobId, JobResult, JobSpec, JobState, JobStatus, LaunchFn};
+use crate::job::{
+    HandleBackend, JobHandle, JobId, JobResult, JobSpec, JobState, JobStatus, LaunchFn,
+};
 use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+use crate::submit::Submit;
 
-/// Why a submission was not accepted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a submission was not accepted. See the [`crate::submit`] module docs
+/// for the verdict-finality rules every executor shares.
+#[derive(Debug)]
 pub enum SubmitError {
     /// The bounded submission queue is full (backpressure): retry later or
-    /// shed load upstream.
-    QueueFull,
+    /// shed load upstream. Transient — the rejected spec rides back inside
+    /// the error, untouched, so it can be re-offered without rebuilding
+    /// (boxed: a `JobSpec` is a large payload to move through every `?`).
+    QueueFull(Box<JobSpec>),
     /// The job's frame window `K` alone exceeds the service's global frame
-    /// budget, so it could never be admitted.
+    /// budget, so it could never be admitted. Final.
     FrameWindowExceedsBudget {
         /// The job's requested window.
         window: usize,
         /// The service's configured budget.
         budget: usize,
     },
-    /// The service is shutting down and accepts no new work.
+    /// The service is shutting down and accepts no new work. Final.
     ShutDown,
+}
+
+impl SubmitError {
+    /// Recovers the rejected [`JobSpec`] from a transient verdict
+    /// ([`QueueFull`](Self::QueueFull)); `None` for final verdicts.
+    pub fn into_spec(self) -> Option<JobSpec> {
+        match self {
+            SubmitError::QueueFull(spec) => Some(*spec),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::QueueFull(_) => write!(f, "submission queue is full"),
             SubmitError::FrameWindowExceedsBudget { window, budget } => write!(
                 f,
                 "job frame window K={window} exceeds the service frame budget {budget}"
@@ -530,141 +547,11 @@ impl PipeService {
         self.inner.frame_budget
     }
 
-    /// Submits a job. Returns a [`JobHandle`] immediately, or a
-    /// [`SubmitError`] if the service is shutting down, the job could never
-    /// fit the frame budget, or the bounded queue is full (backpressure).
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        self.try_submit(spec).map_err(|rejected| {
-            self.count_rejection(rejected.0);
-            rejected.0
-        })
-    }
-
     /// Records a surfaced rejection in this service's metrics (shutdown is
     /// not a rejection — it matches the pre-sharding accounting).
-    pub(crate) fn count_rejection(&self, err: SubmitError) {
+    pub(crate) fn count_rejection(&self, err: &SubmitError) {
         if !matches!(err, SubmitError::ShutDown) {
             ServiceMetrics::bump(&self.inner.metrics.jobs_rejected);
-        }
-    }
-
-    /// [`submit`](Self::submit), but handing the spec back on rejection so
-    /// a sharded placement layer can offer it to another shard without
-    /// rebuilding it. (Boxed: a `JobSpec` is a large error payload to move
-    /// through every `?`.)
-    ///
-    /// Deliberately does **not** bump `jobs_rejected`: whether a verdict
-    /// counts as a rejection is the caller's call — a placement sweep that
-    /// lands the job on another shard has not rejected it. Callers that
-    /// surface the error must pair it with
-    /// [`count_rejection`](Self::count_rejection).
-    pub(crate) fn try_submit(
-        &self,
-        spec: JobSpec,
-    ) -> Result<JobHandle, Box<(SubmitError, JobSpec)>> {
-        if self.inner.shutting_down.load(Ordering::Acquire) {
-            return Err(Box::new((SubmitError::ShutDown, spec)));
-        }
-        // Resolve the window against the pool's elastic *ceiling* and pin
-        // it into the options, so the ring the launch eventually allocates
-        // is exactly the window admission reserved — even if an elastic
-        // pool changes its live worker count in between.
-        let window = spec.frame_window(self.inner.pool.max_threads());
-        if window > self.inner.frame_budget {
-            return Err(Box::new((
-                SubmitError::FrameWindowExceedsBudget {
-                    window,
-                    budget: self.inner.frame_budget,
-                },
-                spec,
-            )));
-        }
-        let JobSpec {
-            name,
-            priority,
-            mut options,
-            queue_deadline,
-            launch,
-            on_terminal,
-        } = spec;
-        options.throttle_limit = Some(window);
-        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let state = JobState::new(id, name, priority, window, on_terminal);
-        let queued = QueuedJob {
-            state: Arc::clone(&state),
-            options,
-            launch,
-            deadline: queue_deadline.map(|d| state.submitted_at + d),
-        };
-        {
-            let mut sched = self.inner.sched.lock().unwrap();
-            if sched.queued >= self.inner.max_queue {
-                drop(sched);
-                let QueuedJob {
-                    state,
-                    options,
-                    launch,
-                    ..
-                } = queued;
-                let on_terminal = state.cell.lock().unwrap().on_terminal.take();
-                return Err(Box::new((
-                    SubmitError::QueueFull,
-                    JobSpec {
-                        name: state.name.clone(),
-                        priority,
-                        options,
-                        queue_deadline,
-                        launch,
-                        on_terminal,
-                    },
-                )));
-            }
-            sched.queues[priority.index()].push_back(queued);
-            sched.queued += 1;
-            ServiceMetrics::raise_peak(&self.inner.metrics.peak_queue_depth, sched.queued as u64);
-        }
-        ServiceMetrics::bump(&self.inner.metrics.jobs_submitted);
-        self.inner.sched_cv.notify_all();
-        Ok(JobHandle {
-            state,
-            service: Arc::downgrade(&self.inner),
-        })
-    }
-
-    /// Blocks until the queue is empty and no job is admitted or running.
-    /// (New submissions arriving during the drain extend it.)
-    pub fn drain(&self) {
-        let mut sched = self.inner.sched.lock().unwrap();
-        while sched.queued > 0 || !sched.running.is_empty() {
-            sched = self.inner.sched_cv.wait(sched).unwrap();
-        }
-    }
-
-    /// A snapshot of the aggregate service metrics (counters + gauges).
-    pub fn metrics(&self) -> ServiceMetricsSnapshot {
-        let m = &self.inner.metrics;
-        let (queue_depth, running, frames_in_use) = {
-            let sched = self.inner.sched.lock().unwrap();
-            (
-                sched.queued as u64,
-                sched.running.len() as u64,
-                sched.frames_in_use as u64,
-            )
-        };
-        ServiceMetricsSnapshot {
-            jobs_submitted: m.jobs_submitted.load(Ordering::Relaxed),
-            jobs_admitted: m.jobs_admitted.load(Ordering::Relaxed),
-            jobs_rejected: m.jobs_rejected.load(Ordering::Relaxed),
-            jobs_completed: m.jobs_completed.load(Ordering::Relaxed),
-            jobs_cancelled: m.jobs_cancelled.load(Ordering::Relaxed),
-            jobs_panicked: m.jobs_panicked.load(Ordering::Relaxed),
-            jobs_expired: m.jobs_expired.load(Ordering::Relaxed),
-            peak_queue_depth: m.peak_queue_depth.load(Ordering::Relaxed),
-            peak_frames_in_use: m.peak_frames_in_use.load(Ordering::Relaxed),
-            queue_depth,
-            running,
-            frames_in_use,
-            frame_budget: self.inner.frame_budget as u64,
         }
     }
 
@@ -725,6 +612,110 @@ impl PipeService {
         self.inner.sched_cv.notify_all();
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
+        }
+    }
+}
+
+impl Submit for PipeService {
+    /// Submits a job. Returns a [`JobHandle`] immediately, or a
+    /// [`SubmitError`] if the service is shutting down, the job could never
+    /// fit the frame budget, or the bounded queue is full (backpressure).
+    fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.try_submit(spec)
+            .inspect_err(|err| self.count_rejection(err))
+    }
+
+    fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown);
+        }
+        // Resolve the window against the pool's elastic *ceiling* and pin
+        // it into the options, so the ring the launch eventually allocates
+        // is exactly the window admission reserved — even if an elastic
+        // pool changes its live worker count in between.
+        let window = spec.frame_window(self.inner.pool.max_threads());
+        if window > self.inner.frame_budget {
+            return Err(SubmitError::FrameWindowExceedsBudget {
+                window,
+                budget: self.inner.frame_budget,
+            });
+        }
+        // The capacity check comes *before* the spec is taken apart, so a
+        // QueueFull verdict hands the spec back untouched. Everything after
+        // the check stays under the scheduler lock: the bound is exact even
+        // under submitter races, and the work done here (state allocation,
+        // sink binding for keyed jobs) is cheap by the JobSpec contract.
+        let mut sched = self.inner.sched.lock().unwrap();
+        if sched.queued >= self.inner.max_queue {
+            drop(sched);
+            return Err(SubmitError::QueueFull(Box::new(spec)));
+        }
+        let JobSpec {
+            name,
+            priority,
+            mut options,
+            queue_deadline,
+            launch,
+            on_terminal,
+        } = spec;
+        options.throttle_limit = Some(window);
+        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = JobState::new(id, name, priority, window, on_terminal);
+        let queued = QueuedJob {
+            state: Arc::clone(&state),
+            options,
+            launch: launch.resolve(),
+            deadline: queue_deadline.map(|d| state.submitted_at + d),
+        };
+        sched.queues[priority.index()].push_back(queued);
+        sched.queued += 1;
+        ServiceMetrics::raise_peak(&self.inner.metrics.peak_queue_depth, sched.queued as u64);
+        drop(sched);
+        ServiceMetrics::bump(&self.inner.metrics.jobs_submitted);
+        self.inner.sched_cv.notify_all();
+        Ok(JobHandle {
+            state,
+            backend: HandleBackend::Service(Arc::downgrade(&self.inner)),
+        })
+    }
+
+    /// Blocks until the queue is empty and no job is admitted or running.
+    /// (New submissions arriving during the drain extend it.)
+    fn drain(&self) {
+        let mut sched = self.inner.sched.lock().unwrap();
+        while sched.queued > 0 || !sched.running.is_empty() {
+            sched = self.inner.sched_cv.wait(sched).unwrap();
+        }
+    }
+
+    /// A snapshot of the aggregate service metrics (counters + gauges).
+    fn metrics(&self) -> ServiceMetricsSnapshot {
+        let m = &self.inner.metrics;
+        let (queue_depth, running, frames_in_use) = {
+            let sched = self.inner.sched.lock().unwrap();
+            (
+                sched.queued as u64,
+                sched.running.len() as u64,
+                sched.frames_in_use as u64,
+            )
+        };
+        ServiceMetricsSnapshot {
+            jobs_submitted: m.jobs_submitted.load(Ordering::Relaxed),
+            jobs_admitted: m.jobs_admitted.load(Ordering::Relaxed),
+            jobs_rejected: m.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: m.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: m.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_panicked: m.jobs_panicked.load(Ordering::Relaxed),
+            jobs_expired: m.jobs_expired.load(Ordering::Relaxed),
+            peak_queue_depth: m.peak_queue_depth.load(Ordering::Relaxed),
+            peak_frames_in_use: m.peak_frames_in_use.load(Ordering::Relaxed),
+            queue_depth,
+            running,
+            frames_in_use,
+            frame_budget: self.inner.frame_budget as u64,
+            cache_hits: 0,
+            cache_misses: 0,
+            coalesced: 0,
         }
     }
 }

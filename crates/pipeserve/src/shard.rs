@@ -44,6 +44,7 @@ use std::time::Duration;
 use crate::job::{JobHandle, JobSpec};
 use crate::metrics::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
 use crate::service::{PipeService, ServiceBuilder, SubmitError};
+use crate::submit::Submit;
 
 /// Builder for a [`ShardedService`].
 #[derive(Debug, Clone)]
@@ -279,14 +280,16 @@ impl ShardedService {
         &self.inner.shards[i]
     }
 
-    /// Submits a job, routing it by weighted power-of-two-choices and
-    /// sweeping the remaining shards on transient rejection (see the
-    /// [module docs](self)).
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+    /// Placement plus fallback sweep, shared by both [`Submit`] entry
+    /// points. Counts nothing; on rejection the error rides back with the
+    /// index of the shard the verdict is attributed to (the issuing shard
+    /// for a structural verdict, the first choice for a full-sweep
+    /// QueueFull).
+    fn place(&self, spec: JobSpec) -> Result<JobHandle, (usize, SubmitError)> {
         let n = self.inner.shards.len();
         if n == 1 {
             self.inner.placements[0].fetch_add(1, Ordering::Relaxed);
-            return self.inner.shards[0].submit(spec);
+            return self.inner.shards[0].try_submit(spec).map_err(|e| (0, e));
         }
         // Two distinct probes, lighter one wins; ties go to the first.
         let a = (self.inner.draw() % n as u64) as usize;
@@ -302,14 +305,9 @@ impl ShardedService {
         self.inner.placements[first].fetch_add(1, Ordering::Relaxed);
         let mut spec = match self.inner.shards[first].try_submit(spec) {
             Ok(handle) => return Ok(handle),
-            Err(rejected) => match *rejected {
-                (SubmitError::QueueFull, spec) => spec,
-                (err, _) => {
-                    // Structural verdict: final, counted where it happened.
-                    self.inner.shards[first].count_rejection(err);
-                    return Err(err);
-                }
-            },
+            Err(SubmitError::QueueFull(spec)) => *spec,
+            // Structural verdict: final, attributed where it happened.
+            Err(err) => return Err((first, err)),
         };
         // Transient rejection: sweep every other shard, lightest first. The
         // scores are racy snapshots — the sweep is a best-effort second
@@ -325,50 +323,20 @@ impl ShardedService {
             self.inner.placements[i].fetch_add(1, Ordering::Relaxed);
             match self.inner.shards[i].try_submit(spec) {
                 Ok(handle) => return Ok(handle),
-                Err(rejected) => match *rejected {
-                    (SubmitError::QueueFull, returned) => spec = returned,
-                    (err, _) => {
-                        self.inner.shards[i].count_rejection(err);
-                        return Err(err);
-                    }
-                },
+                Err(SubmitError::QueueFull(returned)) => spec = *returned,
+                Err(err) => return Err((i, err)),
             }
         }
-        // Every shard is full: one rejection of the whole service, counted
-        // once against the first-choice shard (a job swept onto another
+        // Every shard is full: one rejection of the whole service,
+        // attributed to the first-choice shard (a job swept onto another
         // shard is *not* a rejection — only the surfaced verdict counts).
-        self.inner.shards[first].count_rejection(SubmitError::QueueFull);
-        Err(SubmitError::QueueFull)
-    }
-
-    /// Blocks until every shard's queue is empty and no job is admitted or
-    /// running. The per-shard drains repeat until one full pass observes
-    /// every shard idle, so a submission that lands on an already-drained
-    /// shard mid-pass extends the drain. Note the guarantee is per-shard
-    /// quiescence observed within one pass, not a linearizable global
-    /// barrier: a caller racing live submitters should stop admissions
-    /// first (the `piped` server sets its draining flag before calling
-    /// this).
-    pub fn drain(&self) {
-        loop {
-            for shard in &self.inner.shards {
-                shard.drain();
-            }
-            // A job is admitted ⇒ its shard reserves ≥ 1 frame, so
-            // (frames, queued) = (0, 0) across a full pass means idle.
-            let idle = self.inner.shards.iter().all(|shard| {
-                let (frames, queued) = shard.inner().placement_load();
-                frames == 0 && queued == 0
-            });
-            if idle {
-                return;
-            }
-        }
+        Err((first, SubmitError::QueueFull(Box::new(spec))))
     }
 
     /// A point-in-time snapshot: the field-wise aggregate, the per-shard
-    /// snapshots, and the placement counts.
-    pub fn metrics(&self) -> ShardedMetricsSnapshot {
+    /// snapshots, and the placement counts. (The aggregate alone is what
+    /// [`Submit::metrics`] returns.)
+    pub fn sharded_metrics(&self) -> ShardedMetricsSnapshot {
         let shards: Vec<ServiceMetricsSnapshot> =
             self.inner.shards.iter().map(|s| s.metrics()).collect();
         let aggregate = shards
@@ -387,12 +355,6 @@ impl ShardedService {
         }
     }
 
-    /// The field-wise aggregate over the shards (the single-service-shaped
-    /// view existing observers consume).
-    pub fn aggregate_metrics(&self) -> ServiceMetricsSnapshot {
-        self.metrics().aggregate
-    }
-
     /// Shuts every shard down (rejecting new submissions, cancelling queued
     /// jobs, draining running ones) and stops the elastic supervisor.
     /// Called automatically on drop.
@@ -408,6 +370,59 @@ impl ShardedService {
         if let Some(inner) = Arc::get_mut(&mut self.inner) {
             for shard in &mut inner.shards {
                 shard.shutdown();
+            }
+        }
+    }
+}
+
+impl Submit for ShardedService {
+    /// Submits a job, routing it by weighted power-of-two-choices and
+    /// sweeping the remaining shards on transient rejection (see the
+    /// [module docs](self)). A surfaced rejection is counted once, at the
+    /// shard the verdict is attributed to.
+    fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.place(spec).map_err(|(shard, err)| {
+            self.inner.shards[shard].count_rejection(&err);
+            err
+        })
+    }
+
+    fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.place(spec).map_err(|(_, err)| err)
+    }
+
+    /// The field-wise aggregate over the shards (the single-service-shaped
+    /// view); see [`sharded_metrics`](Self::sharded_metrics) for the
+    /// per-shard breakdown.
+    fn metrics(&self) -> ServiceMetricsSnapshot {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.metrics())
+            .fold(ServiceMetricsSnapshot::default(), |acc, s| acc + s)
+    }
+
+    /// Blocks until every shard's queue is empty and no job is admitted or
+    /// running. The per-shard drains repeat until one full pass observes
+    /// every shard idle, so a submission that lands on an already-drained
+    /// shard mid-pass extends the drain. Note the guarantee is per-shard
+    /// quiescence observed within one pass, not a linearizable global
+    /// barrier: a caller racing live submitters should stop admissions
+    /// first (the `piped` server sets its draining flag before calling
+    /// this).
+    fn drain(&self) {
+        loop {
+            for shard in &self.inner.shards {
+                shard.drain();
+            }
+            // A job is admitted ⇒ its shard reserves ≥ 1 frame, so
+            // (frames, queued) = (0, 0) across a full pass means idle.
+            let idle = self.inner.shards.iter().all(|shard| {
+                let (frames, queued) = shard.inner().placement_load();
+                frames == 0 && queued == 0
+            });
+            if idle {
+                return;
             }
         }
     }
@@ -461,7 +476,7 @@ mod tests {
         let handle = service.submit(counting_spec(10, &counter)).unwrap();
         assert!(handle.join().is_completed());
         assert_eq!(counter.load(Ordering::SeqCst), 10);
-        let m = service.metrics();
+        let m = service.sharded_metrics();
         assert_eq!(m.placements, vec![1]);
         assert_eq!(m.aggregate.jobs_completed, 1);
     }
@@ -481,7 +496,7 @@ mod tests {
             assert!(h.join().is_completed());
         }
         assert_eq!(counter.load(Ordering::SeqCst), 64 * 4);
-        let m = service.metrics();
+        let m = service.sharded_metrics();
         assert_eq!(m.aggregate.jobs_completed, 64);
         // Power-of-two-choices over 64 jobs cannot legally put everything
         // on one shard of four: each probe pair covers two shards and the
@@ -513,7 +528,7 @@ mod tests {
                     ok += 1;
                     handles.push(h);
                 }
-                Err(SubmitError::QueueFull) => rejected += 1,
+                Err(SubmitError::QueueFull(_)) => rejected += 1,
                 Err(e) => panic!("unexpected rejection: {e}"),
             }
         }

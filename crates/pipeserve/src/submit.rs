@@ -1,0 +1,66 @@
+//! The unified submission surface: one trait every executor implements.
+//!
+//! Before this trait existed there were three divergent submit surfaces
+//! (`PipeService`, `ShardedService`, and the `piped` server's SUBMIT
+//! handler), which made it impossible to write a cross-cutting layer — a
+//! result cache, a coalescer, an instrumentation shim — once. [`Submit`] is
+//! that single surface: anything that can accept a [`JobSpec`] and hand
+//! back a [`JobHandle`] implements it, and layers compose over any `S:
+//! Submit` (see [`crate::CachedService`]).
+//!
+//! ## Verdict finality (the one normative statement of these rules)
+//!
+//! A rejected submission carries one of three verdicts, with different
+//! retry semantics:
+//!
+//! * [`SubmitError::QueueFull`] is **transient**: the bounded queue was
+//!   full at this instant. The rejected [`JobSpec`] is handed back *intact*
+//!   inside the error, so the caller (or a placement layer sweeping other
+//!   shards) can re-offer it without rebuilding anything — launch closure,
+//!   content key, and terminal hook included.
+//! * [`SubmitError::FrameWindowExceedsBudget`] is **final**: the job's
+//!   frame window can never fit this executor's budget, so retrying the
+//!   same spec at the same executor is pointless and the spec is consumed.
+//! * [`SubmitError::ShutDown`] is **final**: the executor accepts no new
+//!   work, ever.
+//!
+//! Rejection *accounting* follows the surface, not the attempt:
+//! [`Submit::submit`] records a surfaced rejection in the executor's
+//! `jobs_rejected` counter (except `ShutDown`, which is lifecycle, not
+//! load), while [`Submit::try_submit`] records nothing — it exists
+//! precisely so placement/caching layers can probe and re-offer without
+//! double-counting. A job swept from a full shard onto another shard was
+//! never rejected; only the verdict the original caller actually sees is.
+
+use crate::job::{JobHandle, JobSpec};
+use crate::metrics::ServiceMetricsSnapshot;
+use crate::service::SubmitError;
+
+/// The unified submission surface over every executor in this crate:
+/// [`crate::PipeService`], [`crate::ShardedService`] and
+/// [`crate::CachedService`] all implement it, and generic layers are
+/// written against it rather than against any concrete type.
+///
+/// See the [module docs](self) for the verdict-finality and accounting
+/// rules shared by all implementations.
+pub trait Submit {
+    /// Submits a job, recording a surfaced rejection in the executor's
+    /// metrics. Returns the [`JobHandle`] immediately; the job runs
+    /// asynchronously.
+    fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError>;
+
+    /// Like [`submit`](Self::submit) but records **no** rejection: the
+    /// probing form composition layers use, so one logical submission is
+    /// counted at most once no matter how many executors it was offered
+    /// to. [`SubmitError::QueueFull`] hands the spec back intact.
+    fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError>;
+
+    /// A point-in-time snapshot of the executor's aggregate metrics. For
+    /// layered executors this is the single-service-shaped aggregate view;
+    /// richer per-shard breakdowns stay on the concrete types.
+    fn metrics(&self) -> ServiceMetricsSnapshot;
+
+    /// Blocks until no job is queued, admitted or running anywhere in the
+    /// executor. New submissions arriving during the drain extend it.
+    fn drain(&self);
+}

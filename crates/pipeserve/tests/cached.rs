@@ -1,0 +1,626 @@
+//! `CachedService` integration tests: coalescing races (exactly one
+//! pipeline per identical in-flight key), byte-identical cached responses,
+//! LRU eviction under budget pressure, and the never-cache rules for
+//! cancelled / panicked jobs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use piper::PipeOptions;
+use pipeserve::{
+    CachedService, ContentKey, JobResult, JobSpec, OutputSink, PipeService, SinkLaunchFn, Submit,
+    SubmitError,
+};
+
+/// The deterministic reference "workload": a keyed job with input `x`
+/// streams exactly `transform(x)` (twice the input length, which keeps the
+/// eviction test's byte arithmetic simple).
+fn transform(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    for (i, b) in input.iter().enumerate() {
+        out.push(b.wrapping_mul(31).wrapping_add(i as u8));
+    }
+    out.extend_from_slice(input);
+    out
+}
+
+/// Single-iteration pipeline that streams `head`, optionally parks on
+/// `gate` (so tests can hold the job in flight), optionally panics, then
+/// streams `tail`.
+struct Emit {
+    sink: Option<OutputSink>,
+    head: Vec<u8>,
+    tail: Vec<u8>,
+    gate: Option<Arc<AtomicBool>>,
+    panic_mid: bool,
+}
+
+impl piper::PipelineIteration for Emit {
+    fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
+        let mut sink = self.sink.take().expect("single iteration");
+        if !self.head.is_empty() {
+            sink(&self.head);
+        }
+        if let Some(gate) = &self.gate {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        }
+        assert!(!self.panic_mid, "job panics after streaming its head");
+        sink(&self.tail);
+        piper::NodeOutcome::Done
+    }
+}
+
+/// Builds a keyed spec for input `input` under `workload`. `runs` counts
+/// pipeline launches (the coalescing tests assert it stays at 1), `gate`
+/// holds the pipeline in flight after `head_len` output bytes, and
+/// `panic_first_run` makes only the first launch panic mid-stream.
+#[allow(clippy::too_many_arguments)]
+fn keyed_spec(
+    workload: &str,
+    input: &[u8],
+    runs: &Arc<AtomicU64>,
+    gate: Option<Arc<AtomicBool>>,
+    head_len: usize,
+    panic_first_run: bool,
+    out: &Arc<Mutex<Vec<u8>>>,
+) -> JobSpec {
+    let key = ContentKey::new(workload, input);
+    let output = transform(input);
+    let out = Arc::clone(out);
+    let sink: OutputSink = Box::new(move |bytes: &[u8]| {
+        out.lock().unwrap().extend_from_slice(bytes);
+    });
+    let runs = Arc::clone(runs);
+    let factory: SinkLaunchFn = Box::new(move |sink: OutputSink| {
+        let run = runs.fetch_add(1, Ordering::SeqCst);
+        let split = head_len.min(output.len());
+        let head = output[..split].to_vec();
+        let tail = output[split..].to_vec();
+        let mut emit = Some(Emit {
+            sink: Some(sink),
+            head,
+            tail,
+            gate,
+            panic_mid: panic_first_run && run == 0,
+        });
+        Box::new(move |pool, opts| {
+            piper::spawn_pipe(pool, opts, move |i| {
+                if i == 0 {
+                    piper::Stage0::wait(emit.take().expect("one iteration"))
+                } else {
+                    piper::Stage0::Stop
+                }
+            })
+        })
+    });
+    JobSpec::keyed(PipeOptions::with_throttle(2), key, sink, factory).named(workload)
+}
+
+fn simple_keyed(
+    workload: &str,
+    input: &[u8],
+    runs: &Arc<AtomicU64>,
+    out: &Arc<Mutex<Vec<u8>>>,
+) -> JobSpec {
+    keyed_spec(workload, input, runs, None, 0, false, out)
+}
+
+/// Spins until `cond` holds (bounded), so tests sequence against the
+/// asynchronous tee/attach paths without fixed sleeps.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+/// A keyed job submitted to a *plain* (uncached) service streams into the
+/// submitter's own sink, exactly like `from_launch(factory(sink))`.
+#[test]
+fn keyed_spec_on_an_uncached_service_streams_to_the_submitter() {
+    let service = PipeService::builder().num_threads(2).build();
+    let runs = Arc::new(AtomicU64::new(0));
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let input = b"uncached keyed submission".to_vec();
+    let handle = service
+        .submit(simple_keyed("ref", &input, &runs, &out))
+        .expect("submit keyed");
+    assert!(handle.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input));
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+    // An uncached executor reports zeroed cache counters.
+    let metrics = service.metrics();
+    assert_eq!(
+        (metrics.cache_hits, metrics.cache_misses, metrics.coalesced),
+        (0, 0, 0)
+    );
+}
+
+/// A cache hit re-serves the stored output byte-identically to the serial
+/// reference, without launching a second pipeline.
+#[test]
+fn cache_hit_is_byte_identical_and_runs_no_pipeline() {
+    let service = CachedService::new(PipeService::builder().num_threads(2).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let input = b"some deterministic workload input".to_vec();
+    let reference = transform(&input);
+
+    let first_out = Arc::new(Mutex::new(Vec::new()));
+    let first = service
+        .submit(simple_keyed("wl", &input, &runs, &first_out))
+        .expect("first submit");
+    assert!(first.join().is_completed());
+    assert_eq!(*first_out.lock().unwrap(), reference);
+
+    let second_out = Arc::new(Mutex::new(Vec::new()));
+    let second = service
+        .submit(simple_keyed("wl", &input, &runs, &second_out))
+        .expect("second submit");
+    let result = second.join();
+    assert!(result.is_completed());
+    assert!(
+        result.stats().is_some(),
+        "hits re-report the original stats"
+    );
+    assert_eq!(*second_out.lock().unwrap(), reference);
+
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "hit must not run a pipeline"
+    );
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.coalesced), (1, 1, 0));
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.bytes, reference.len() as u64);
+    // The trait surface reports the same counters; only the one real
+    // pipeline reached the inner executor.
+    let metrics = service.metrics();
+    assert_eq!((metrics.cache_hits, metrics.cache_misses), (1, 1));
+    assert_eq!(service.inner().metrics().jobs_submitted, 1);
+
+    // A different workload id over the same bytes is a different key.
+    let other_out = Arc::new(Mutex::new(Vec::new()));
+    let other = service
+        .submit(simple_keyed("wl2", &input, &runs, &other_out))
+        .expect("other workload");
+    assert!(other.join().is_completed());
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+}
+
+/// The coalescing race of the issue: N threads submit an identical spec
+/// concurrently — exactly one pipeline runs and every handle resolves with
+/// byte-identical output.
+#[test]
+fn concurrent_identical_submissions_coalesce_onto_one_run() {
+    const N: usize = 8;
+    let service = Arc::new(CachedService::new(
+        PipeService::builder().num_threads(2).build(),
+    ));
+    let runs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+    let input = b"identical input submitted from many threads".to_vec();
+    let reference = transform(&input);
+    let submitted = Arc::new(AtomicU64::new(0));
+    let start = Arc::new(Barrier::new(N));
+
+    let mut workers = Vec::new();
+    for _ in 0..N {
+        let service = Arc::clone(&service);
+        let runs = Arc::clone(&runs);
+        let gate = Arc::clone(&gate);
+        let input = input.clone();
+        let submitted = Arc::clone(&submitted);
+        let start = Arc::clone(&start);
+        workers.push(std::thread::spawn(move || {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let spec = keyed_spec("zipfed", &input, &runs, Some(gate), 4, false, &out);
+            start.wait();
+            let handle = service.submit(spec).expect("submit");
+            submitted.fetch_add(1, Ordering::SeqCst);
+            let result = handle.join();
+            (result, out)
+        }));
+    }
+    // Open the gate only once every thread has submitted: with the one run
+    // parked, none of them can be answered from the LRU, so the split must
+    // be exactly 1 miss + (N-1) coalesces.
+    wait_until("all submissions to land", || {
+        submitted.load(Ordering::SeqCst) == N as u64
+    });
+    gate.store(true, Ordering::Release);
+
+    for worker in workers {
+        let (result, out) = worker.join().expect("worker thread");
+        assert!(result.is_completed(), "coalesced handle got {result:?}");
+        assert_eq!(*out.lock().unwrap(), reference, "subscriber output differs");
+    }
+    assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one pipeline runs");
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.coalesced, (N - 1) as u64);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(service.inner().metrics().jobs_submitted, 1);
+
+    // And the run's output was cached: one more submission is a pure hit.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let hit = service
+        .submit(simple_keyed("zipfed", &input, &runs, &out))
+        .expect("post-run submit");
+    assert!(hit.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), reference);
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+}
+
+/// Mixed cancel/join subscribers: cancelling some (not all) coalesced
+/// handles detaches only those subscribers — the pipeline keeps running for
+/// the rest, cancelled sinks receive nothing further, and no frames leak.
+#[test]
+fn cancelling_some_coalesced_subscribers_keeps_the_run_alive() {
+    const N: usize = 6;
+    let service = CachedService::new(PipeService::builder().num_threads(2).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+    let input = b"mixed cancel and join subscribers".to_vec();
+    let reference = transform(&input);
+    let head_len = 8usize;
+
+    let mut handles = Vec::new();
+    let mut outs = Vec::new();
+    for _ in 0..N {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let spec = keyed_spec(
+            "mixed",
+            &input,
+            &runs,
+            Some(Arc::clone(&gate)),
+            head_len,
+            false,
+            &out,
+        );
+        handles.push(service.submit(spec).expect("submit"));
+        outs.push(out);
+    }
+    // Wait for the head bytes to reach every subscriber (attach catch-up or
+    // tee), so the cancelled sinks' final contents are deterministic.
+    wait_until("head bytes to reach every sink", || {
+        outs.iter().all(|o| o.lock().unwrap().len() >= head_len)
+    });
+    for handle in &handles[..N / 2] {
+        handle.cancel();
+    }
+    // A cancelled subscriber resolves immediately, without the pipeline.
+    for handle in &handles[..N / 2] {
+        assert!(matches!(handle.join(), JobResult::Cancelled(None)));
+    }
+    gate.store(true, Ordering::Release);
+    for handle in &handles[N / 2..] {
+        assert!(handle.join().is_completed());
+    }
+    service.drain();
+
+    for (i, out) in outs.iter().enumerate() {
+        let out = out.lock().unwrap();
+        if i < N / 2 {
+            assert_eq!(
+                *out,
+                reference[..head_len],
+                "cancelled sink {i} must receive nothing past the cancel"
+            );
+        } else {
+            assert_eq!(*out, reference, "live sink {i} output differs");
+        }
+    }
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+    // The one pipeline completed (nobody aborted it) and released its
+    // frames; the completed output was cached despite the cancellations.
+    let inner = service.inner().metrics();
+    assert_eq!(inner.jobs_completed, 1);
+    assert_eq!(inner.jobs_cancelled, 0);
+    assert_eq!(inner.frames_in_use, 0, "coalesced cancels leaked frames");
+    assert_eq!(inner.running, 0);
+    assert_eq!(service.cache_stats().entries, 1);
+}
+
+/// Cancelling the *last* live subscriber aborts the underlying pipeline,
+/// unregisters the in-flight entry, and caches nothing — a later identical
+/// submission starts a fresh run.
+#[test]
+fn last_subscriber_cancel_aborts_the_underlying_job_and_caches_nothing() {
+    let service = CachedService::new(PipeService::builder().num_threads(2).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+    let input = b"abort on last cancel".to_vec();
+
+    let out_a = Arc::new(Mutex::new(Vec::new()));
+    let out_b = Arc::new(Mutex::new(Vec::new()));
+    let first = service
+        .submit(keyed_spec(
+            "abort",
+            &input,
+            &runs,
+            Some(Arc::clone(&gate)),
+            4,
+            false,
+            &out_a,
+        ))
+        .expect("first");
+    let second = service
+        .submit(keyed_spec(
+            "abort",
+            &input,
+            &runs,
+            Some(Arc::clone(&gate)),
+            4,
+            false,
+            &out_b,
+        ))
+        .expect("second");
+    wait_until("the run to start", || runs.load(Ordering::SeqCst) == 1);
+
+    first.cancel();
+    assert!(matches!(first.join(), JobResult::Cancelled(None)));
+    // Still one live subscriber: the underlying job must not be cancelled.
+    assert_eq!(service.inner().metrics().jobs_cancelled, 0);
+
+    second.cancel();
+    assert!(matches!(second.join(), JobResult::Cancelled(None)));
+    // Let the parked iteration drain so the cancel can take effect.
+    gate.store(true, Ordering::Release);
+    service.drain();
+    wait_until("the underlying job to cancel", || {
+        service.inner().metrics().jobs_cancelled == 1
+    });
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.entries, 0, "an aborted run must not be cached");
+    assert_eq!(service.inner().metrics().frames_in_use, 0);
+
+    // The entry was unregistered: an identical submission runs afresh.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let again = service
+        .submit(simple_keyed("abort", &input, &runs, &out))
+        .expect("fresh submit");
+    assert!(again.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input));
+    assert_eq!(runs.load(Ordering::SeqCst), 2, "fresh run after abort");
+}
+
+/// LRU eviction under byte-budget pressure: inserting past the budget
+/// evicts the least-recently-used entry (a hit refreshes recency), and the
+/// stored byte total never exceeds the budget.
+#[test]
+fn lru_evicts_least_recently_used_under_budget_pressure() {
+    // 256-byte inputs produce 512-byte outputs; a 4096-byte budget holds
+    // exactly 8 of them (max_entry_bytes = 512, so they are all cacheable).
+    let service = CachedService::with_capacity(PipeService::builder().num_threads(2).build(), 4096);
+    let runs = Arc::new(AtomicU64::new(0));
+    let input_for = |tag: u8| vec![tag; 256];
+
+    for tag in 0..8u8 {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let handle = service
+            .submit(simple_keyed("lru", &input_for(tag), &runs, &out))
+            .expect("fill submit");
+        assert!(handle.join().is_completed());
+    }
+    let stats = service.cache_stats();
+    assert_eq!((stats.entries, stats.evictions), (8, 0), "budget fits 8");
+    assert_eq!(stats.bytes, 4096);
+
+    // Touch key 0 so key 1 becomes the least recently used...
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let hit = service
+        .submit(simple_keyed("lru", &input_for(0), &runs, &out))
+        .expect("refresh submit");
+    assert!(hit.join().is_completed());
+    assert_eq!(runs.load(Ordering::SeqCst), 8, "refresh was a hit");
+
+    // ...then push one more entry over the budget: key 1 must fall out.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let push = service
+        .submit(simple_keyed("lru", &input_for(8), &runs, &out))
+        .expect("overflow submit");
+    assert!(push.join().is_completed());
+    let stats = service.cache_stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.entries, 8);
+    assert!(stats.bytes <= stats.capacity_bytes);
+
+    // Key 0 survived (recently used)…
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let hit = service
+        .submit(simple_keyed("lru", &input_for(0), &runs, &out))
+        .expect("survivor submit");
+    assert!(hit.join().is_completed());
+    assert_eq!(runs.load(Ordering::SeqCst), 9, "key 0 still cached");
+    // …and key 1 was evicted: resubmitting it runs a fresh pipeline.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let miss = service
+        .submit(simple_keyed("lru", &input_for(1), &runs, &out))
+        .expect("evicted submit");
+    assert!(miss.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input_for(1)));
+    assert_eq!(runs.load(Ordering::SeqCst), 10, "evicted key re-runs");
+}
+
+/// Outputs above the per-entry ceiling (an eighth of the budget) are served
+/// correctly but never stored — one oversized job cannot wipe the cache.
+#[test]
+fn oversized_outputs_are_never_cached() {
+    let service = CachedService::with_capacity(PipeService::builder().num_threads(2).build(), 1024);
+    let runs = Arc::new(AtomicU64::new(0));
+    let input = vec![7u8; 256]; // 512-byte output > 1024/8 ceiling
+    for round in 1..=2u64 {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let handle = service
+            .submit(simple_keyed("big", &input, &runs, &out))
+            .expect("submit oversized");
+        assert!(handle.join().is_completed());
+        assert_eq!(*out.lock().unwrap(), transform(&input));
+        assert_eq!(runs.load(Ordering::SeqCst), round, "each round re-runs");
+    }
+    assert_eq!(service.cache_stats().entries, 0);
+}
+
+/// A panicked job surfaces `Panicked` to every subscriber and is never
+/// cached; the key stays usable and a later clean run is cached normally.
+#[test]
+fn panicked_jobs_are_never_cached() {
+    let service = CachedService::new(PipeService::builder().num_threads(2).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let input = b"panics on its first run".to_vec();
+
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let poisoned = service
+        .submit(keyed_spec("flaky", &input, &runs, None, 4, true, &out))
+        .expect("poisoned submit");
+    assert!(matches!(poisoned.join(), JobResult::Panicked(_)));
+    assert_eq!(service.cache_stats().entries, 0, "panic must not be cached");
+
+    // The second run completes and is cached; the third is a pure hit.
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let clean = service
+        .submit(keyed_spec("flaky", &input, &runs, None, 4, true, &out))
+        .expect("clean submit");
+    assert!(clean.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input));
+
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let hit = service
+        .submit(keyed_spec("flaky", &input, &runs, None, 4, true, &out))
+        .expect("hit submit");
+    assert!(hit.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input));
+    assert_eq!(runs.load(Ordering::SeqCst), 2);
+    let stats = service.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 2));
+}
+
+/// `QueueFull` through the cache layer hands back a keyed spec that is
+/// still intact: same content key, and resubmitting it later runs the job
+/// and caches its output normally.
+#[test]
+fn queue_full_hands_the_keyed_spec_back_intact() {
+    let service = CachedService::new(
+        PipeService::builder()
+            .num_threads(1)
+            .frame_budget(2)
+            .max_queue(1)
+            .build(),
+    );
+    let runs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+
+    // Exhaust the budget with a parked keyed job, then fill the one queue
+    // slot with a plain job that cannot be admitted.
+    let blocker_out = Arc::new(Mutex::new(Vec::new()));
+    let blocker = service
+        .submit(keyed_spec(
+            "blocker",
+            b"hold the budget",
+            &runs,
+            Some(Arc::clone(&gate)),
+            0,
+            false,
+            &blocker_out,
+        ))
+        .expect("blocker submit");
+    wait_until("the blocker to start", || runs.load(Ordering::SeqCst) == 1);
+    let filler = service
+        .submit(JobSpec::new(PipeOptions::with_throttle(2), |_| {
+            piper::Stage0::<Emit>::Stop
+        }))
+        .expect("filler fits the queue");
+
+    let input = b"rejected then resubmitted".to_vec();
+    let key = ContentKey::new("bounce", &input);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let spec = keyed_spec("bounce", &input, &runs, None, 0, false, &out)
+        .priority(pipeserve::Priority::Batch);
+    let err = service.try_submit(spec).expect_err("queue is full");
+    let returned = match err {
+        SubmitError::QueueFull(spec) => *spec,
+        other => panic!("expected QueueFull, got {other}"),
+    };
+    assert_eq!(returned.content_key(), Some(&key), "key survives rejection");
+    // try_submit counts nothing; the rejection never reached a counter
+    // (the 1 miss on record is the keyed blocker itself).
+    assert_eq!(service.inner().metrics().jobs_rejected, 0);
+    assert_eq!(service.cache_stats().misses, 1);
+
+    // Free capacity and re-offer the *returned* spec: it must still run,
+    // stream to the original sink, and cache normally.
+    gate.store(true, Ordering::Release);
+    assert!(blocker.join().is_completed());
+    assert!(filler.join().is_completed());
+    service.drain();
+    let handle = service.submit(returned).expect("re-offer");
+    assert!(handle.join().is_completed());
+    assert_eq!(*out.lock().unwrap(), transform(&input));
+    assert_eq!(service.cache_stats().misses, 2);
+
+    let out2 = Arc::new(Mutex::new(Vec::new()));
+    let hit = service
+        .submit(simple_keyed("bounce", &input, &runs, &out2))
+        .expect("hit after re-offer");
+    assert!(hit.join().is_completed());
+    assert_eq!(*out2.lock().unwrap(), transform(&input));
+    assert_eq!(service.cache_stats().hits, 1);
+}
+
+/// Late subscribers that race the terminal hook (entry still registered,
+/// result already terminal) resolve exactly like hits, and subscribers
+/// attaching mid-stream are caught up on everything produced so far.
+#[test]
+fn mid_stream_subscribers_catch_up_on_captured_bytes() {
+    let service = CachedService::new(PipeService::builder().num_threads(2).build());
+    let runs = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(AtomicBool::new(false));
+    let input = b"late subscribers catch up".to_vec();
+    let reference = transform(&input);
+    let head_len = 10usize;
+
+    let out_a = Arc::new(Mutex::new(Vec::new()));
+    let first = service
+        .submit(keyed_spec(
+            "late",
+            &input,
+            &runs,
+            Some(Arc::clone(&gate)),
+            head_len,
+            false,
+            &out_a,
+        ))
+        .expect("first");
+    // Wait until the head has streamed, then attach: the new subscriber
+    // must be caught up synchronously from the capture buffer.
+    wait_until("head bytes to stream", || {
+        out_a.lock().unwrap().len() >= head_len
+    });
+    let out_b = Arc::new(Mutex::new(Vec::new()));
+    let second = service
+        .submit(keyed_spec(
+            "late",
+            &input,
+            &runs,
+            Some(Arc::clone(&gate)),
+            head_len,
+            false,
+            &out_b,
+        ))
+        .expect("second");
+    assert_eq!(*out_b.lock().unwrap(), reference[..head_len]);
+
+    gate.store(true, Ordering::Release);
+    assert!(first.join().is_completed());
+    assert!(second.join().is_completed());
+    assert_eq!(*out_a.lock().unwrap(), reference);
+    assert_eq!(*out_b.lock().unwrap(), reference);
+    assert_eq!(runs.load(Ordering::SeqCst), 1);
+    assert_eq!(service.cache_stats().coalesced, 1);
+}

@@ -1,0 +1,186 @@
+//! Property test for request coalescing: any number of identical keyed
+//! submissions, with any subset cancelled mid-flight, must run at most one
+//! pipeline, resolve every surviving handle with byte-identical output,
+//! and leak no reserved frames.
+//!
+//! Defaults to 24 cases so the suite stays fast; the nightly stress job
+//! raises it with `PROPTEST_CASES=240` (the devshim honours the variable
+//! as an absolute override).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use piper::PipeOptions;
+use pipeserve::{
+    CachedService, ContentKey, JobResult, JobSpec, OutputSink, PipeService, SinkLaunchFn, Submit,
+};
+use proptest::prelude::*;
+
+/// Deterministic reference output for input `x` (the "workload").
+fn transform(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    for (i, b) in input.iter().enumerate() {
+        out.push(b.wrapping_mul(31).wrapping_add(i as u8));
+    }
+    out.extend_from_slice(input);
+    out
+}
+
+/// Single-iteration pipeline: streams `head`, parks on `gate`, streams
+/// `tail`.
+struct Emit {
+    sink: Option<OutputSink>,
+    head: Vec<u8>,
+    tail: Vec<u8>,
+    gate: Arc<AtomicBool>,
+}
+
+impl piper::PipelineIteration for Emit {
+    fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
+        let mut sink = self.sink.take().expect("single iteration");
+        if !self.head.is_empty() {
+            sink(&self.head);
+        }
+        while !self.gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        sink(&self.tail);
+        piper::NodeOutcome::Done
+    }
+}
+
+fn keyed_spec(
+    input: &[u8],
+    runs: &Arc<AtomicU64>,
+    gate: &Arc<AtomicBool>,
+    out: &Arc<Mutex<Vec<u8>>>,
+) -> JobSpec {
+    let key = ContentKey::new("prop", input);
+    let output = transform(input);
+    let out = Arc::clone(out);
+    let sink: OutputSink = Box::new(move |bytes: &[u8]| {
+        out.lock().unwrap().extend_from_slice(bytes);
+    });
+    let runs = Arc::clone(runs);
+    let gate = Arc::clone(gate);
+    let factory: SinkLaunchFn = Box::new(move |sink: OutputSink| {
+        runs.fetch_add(1, Ordering::SeqCst);
+        let split = output.len() / 2;
+        let head = output[..split].to_vec();
+        let tail = output[split..].to_vec();
+        let mut emit = Some(Emit {
+            sink: Some(sink),
+            head,
+            tail,
+            gate,
+        });
+        Box::new(move |pool, opts| {
+            piper::spawn_pipe(pool, opts, move |i| {
+                if i == 0 {
+                    piper::Stage0::wait(emit.take().expect("one iteration"))
+                } else {
+                    piper::Stage0::Stop
+                }
+            })
+        })
+    });
+    JobSpec::keyed(PipeOptions::with_throttle(2), key, sink, factory).named("prop")
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_cancel_subset_of_coalesced_subscribers_is_safe(
+        subscribers in 1usize..=6,
+        cancel_mask in any::<u8>(),
+        input in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let service = CachedService::new(PipeService::builder().num_threads(2).build());
+        let runs = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicBool::new(false));
+        let reference = transform(&input);
+
+        // All submissions land while the one run is parked on the gate, so
+        // none can be answered from the LRU: 1 miss + (n-1) coalesces.
+        let mut handles = Vec::new();
+        let mut outs = Vec::new();
+        for _ in 0..subscribers {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            handles.push(
+                service
+                    .submit(keyed_spec(&input, &runs, &gate, &out))
+                    .expect("submit"),
+            );
+            outs.push(out);
+        }
+        // The launch is asynchronous (dispatcher-side); wait for it so the
+        // cancel subset always hits a parked *running* pipeline.
+        wait_until("the one run to launch", || runs.load(Ordering::SeqCst) == 1);
+
+        let cancelled: Vec<bool> = (0..subscribers)
+            .map(|i| cancel_mask & (1 << i) != 0)
+            .collect();
+        for (handle, cancel) in handles.iter().zip(&cancelled) {
+            if *cancel {
+                handle.cancel();
+                // Cancelled subscribers resolve immediately, without the
+                // pipeline (which may still be parked on the gate).
+                prop_assert!(matches!(handle.join(), JobResult::Cancelled(None)));
+            }
+        }
+        gate.store(true, Ordering::Release);
+
+        let all_cancelled = cancelled.iter().all(|&c| c);
+        for ((handle, out), cancel) in handles.iter().zip(&outs).zip(&cancelled) {
+            if *cancel {
+                continue;
+            }
+            prop_assert!(handle.join().is_completed());
+            prop_assert_eq!(&*out.lock().unwrap(), &reference);
+        }
+        service.drain();
+        prop_assert_eq!(runs.load(Ordering::SeqCst), 1);
+
+        // No reserved frames survive, whichever way the run ended.
+        wait_until("frames to release", || {
+            service.inner().metrics().frames_in_use == 0
+        });
+        let stats = service.cache_stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.coalesced, (subscribers - 1) as u64);
+        if all_cancelled {
+            // The aborted run must not be cached, and the key must remain
+            // usable: a fresh identical submission runs again and is
+            // byte-identical to the reference.
+            prop_assert_eq!(stats.entries, 0);
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let retry = service
+                .submit(keyed_spec(&input, &runs, &gate, &out))
+                .expect("retry");
+            prop_assert!(retry.join().is_completed());
+            prop_assert_eq!(&*out.lock().unwrap(), &reference);
+            prop_assert_eq!(runs.load(Ordering::SeqCst), 2);
+        } else {
+            // At least one survivor: the completed output was cached and a
+            // follow-up identical submission is a pure hit.
+            prop_assert_eq!(stats.entries, 1);
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let hit = service
+                .submit(keyed_spec(&input, &runs, &gate, &out))
+                .expect("hit");
+            prop_assert!(hit.join().is_completed());
+            prop_assert_eq!(&*out.lock().unwrap(), &reference);
+            prop_assert_eq!(runs.load(Ordering::SeqCst), 1);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0};
-use pipeserve::{JobResult, JobSpec, JobStatus, PipeService, Priority, SubmitError};
+use pipeserve::{JobResult, JobSpec, JobStatus, PipeService, Priority, Submit, SubmitError};
 
 /// A simple serial-output iteration: burns a little work, then appends its
 /// index to the shared sink in a final serial stage. An optional gate makes
@@ -271,7 +271,13 @@ fn bounded_queue_applies_backpressure() {
         .submit(sps_job(10, 100, 2, Arc::clone(&out)))
         .expect("second queued job fits the queue");
     let rejected = service.submit(sps_job(10, 100, 2, Arc::clone(&out)));
-    assert_eq!(rejected.err(), Some(SubmitError::QueueFull));
+    assert!(matches!(rejected, Err(SubmitError::QueueFull(_))));
+    // The transient verdict hands the spec back intact for re-offering.
+    let spec = rejected
+        .err()
+        .and_then(SubmitError::into_spec)
+        .expect("QueueFull returns the spec");
+    assert_eq!(spec.frame_window(4), 2);
     assert_eq!(q1.try_status(), JobStatus::Queued);
 
     let m = service.metrics();
@@ -295,13 +301,13 @@ fn oversized_frame_window_is_rejected_outright() {
         .build();
     let out = Arc::new(Mutex::new(Vec::new()));
     let err = service.submit(sps_job(5, 10, 64, out)).err();
-    assert_eq!(
+    assert!(matches!(
         err,
         Some(SubmitError::FrameWindowExceedsBudget {
             window: 64,
             budget: 8
         })
-    );
+    ));
     assert_eq!(service.metrics().jobs_rejected, 1);
 }
 
@@ -709,7 +715,7 @@ fn shutdown_cancels_queued_jobs_and_drains_running_ones() {
     assert!(out.lock().unwrap().is_empty());
     // New submissions are rejected after shutdown.
     let err = service.submit(sps_job(1, 1, 1, out)).err();
-    assert_eq!(err, Some(SubmitError::ShutDown));
+    assert!(matches!(err, Some(SubmitError::ShutDown)));
 }
 
 #[test]

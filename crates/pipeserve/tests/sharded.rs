@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use piper::PipeOptions;
-use pipeserve::{JobSpec, Priority, ShardedService, SubmitError};
+use pipeserve::{JobSpec, Priority, ShardedService, Submit, SubmitError};
 
 /// Mixed fleet from several submitter threads: every accepted job must
 /// reach a terminal state, the per-shard ledgers must add up to the offered
@@ -61,7 +61,7 @@ fn concurrent_submissions_lose_no_job_and_respect_shard_budgets() {
                         accepted.fetch_add(1, Ordering::SeqCst);
                         handles.push((handle, iters));
                     }
-                    Err(SubmitError::QueueFull) => {
+                    Err(SubmitError::QueueFull(_)) => {
                         rejected.fetch_add(1, Ordering::SeqCst);
                     }
                     Err(e) => panic!("unexpected rejection: {e}"),
@@ -83,7 +83,7 @@ fn concurrent_submissions_lose_no_job_and_respect_shard_budgets() {
 
     // No lost jobs: the shard ledgers account for every accepted one, and
     // every iteration of every accepted job ran exactly once.
-    let snapshot = service.metrics();
+    let snapshot = service.sharded_metrics();
     assert_eq!(
         accepted.load(Ordering::SeqCst) + rejected.load(Ordering::SeqCst),
         120
@@ -164,7 +164,7 @@ fn sharded_outputs_match_serial_references() {
     // join() wakes as the terminal result lands, which is a hair before
     // the completion counters are bumped; drain() is ordered after both.
     service.drain();
-    let snapshot = service.metrics();
+    let snapshot = service.sharded_metrics();
     assert_eq!(snapshot.aggregate.jobs_completed, 12);
     let active_shards = snapshot
         .shards
@@ -219,7 +219,7 @@ fn cancellation_through_the_shard_layer_releases_frames() {
     // so give the last bumps a bounded moment to land.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     let snapshot = loop {
-        let snapshot = service.metrics();
+        let snapshot = service.sharded_metrics();
         if snapshot.aggregate.jobs_completed + snapshot.aggregate.jobs_cancelled == 6 {
             break snapshot;
         }

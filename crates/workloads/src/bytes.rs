@@ -63,6 +63,12 @@ pub struct ByteJob {
     /// The serial reference: `bytes in → bytes out`. Every parallel
     /// execution of the same input must produce exactly these bytes.
     pub serial: fn(&[u8]) -> Result<Vec<u8>, ByteJobError>,
+    /// Checks the input against the workload's codec and bounds without
+    /// building anything. After `validate` passes, `launch` and `serial`
+    /// on the same bytes cannot fail — which lets a server validate once
+    /// at admission and defer the launch (e.g. into a content-keyed
+    /// factory) infallibly.
+    pub validate: fn(&[u8]) -> Result<(), ByteJobError>,
     /// The streaming launch: validates the input and returns a deferred
     /// pipeline whose output items are written into `sink` in order.
     pub launch: fn(&[u8], ByteSink) -> Result<crate::PipeLaunch, ByteJobError>,
@@ -152,6 +158,10 @@ pub fn ferret_input(config: &ferret::FerretConfig) -> Vec<u8> {
     out
 }
 
+fn ferret_check(input: &[u8]) -> Result<(), ByteJobError> {
+    ferret_config(input).map(|_| ())
+}
+
 fn ferret_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
     Ok(ferret::serial_bytes(&ferret_config(input)?))
 }
@@ -190,6 +200,10 @@ pub fn x264_input(config: &x264::X264Config) -> Vec<u8> {
     out
 }
 
+fn x264_check(input: &[u8]) -> Result<(), ByteJobError> {
+    x264_config(input).map(|_| ())
+}
+
 fn x264_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
     Ok(x264::serial_bytes(&x264_config(input)?))
 }
@@ -217,6 +231,10 @@ pub fn pipefib_input(config: &pipefib::PipeFibConfig) -> Vec<u8> {
     out
 }
 
+fn pipefib_check(input: &[u8]) -> Result<(), ByteJobError> {
+    pipefib_config(input).map(|_| ())
+}
+
 fn pipefib_serial(input: &[u8]) -> Result<Vec<u8>, ByteJobError> {
     Ok(pipefib::serial_bytes(&pipefib_config(input)?))
 }
@@ -233,24 +251,28 @@ pub const REGISTRY: [ByteJob; 4] = [
         name: "dedup",
         summary: "raw stream in; tagged archive records (unique/duplicate) out",
         serial: dedup_serial,
+        validate: dedup_check,
         launch: dedup_launch,
     },
     ByteJob {
         name: "ferret",
         summary: "6×u32 params in; per-query ranked (id, distance-bits) lists out",
         serial: ferret_serial,
+        validate: ferret_check,
         launch: ferret_launch,
     },
     ByteJob {
         name: "x264",
         summary: "5×u32 params in; per-frame encode records out",
         serial: x264_serial,
+        validate: x264_check,
         launch: x264_launch,
     },
     ByteJob {
         name: "pipefib",
         summary: "u32 n + u32 block_bits in; bits of F_n (LSB first) out",
         serial: pipefib_serial,
+        validate: pipefib_check,
         launch: pipefib_launch,
     },
 ];
@@ -300,6 +322,7 @@ mod tests {
         let pool = piper::ThreadPool::new(4);
         for job in &REGISTRY {
             let input = small_input(job.name);
+            (job.validate)(&input).expect("canonical input validates");
             let expected = (job.serial)(&input).expect("serial reference");
             assert!(!expected.is_empty(), "{}: empty reference", job.name);
             let (sink, buf) = collecting_sink();
@@ -324,6 +347,11 @@ mod tests {
         let ferret = lookup("ferret").unwrap();
         assert!(matches!(
             (ferret.serial)(&[0u8; 3]),
+            Err(ByteJobError::InvalidInput(_))
+        ));
+        // validate agrees with the codecs: what serial rejects, it rejects.
+        assert!(matches!(
+            (ferret.validate)(&[0u8; 3]),
             Err(ByteJobError::InvalidInput(_))
         ));
         // Out-of-range param: 0 queries.

@@ -1,8 +1,10 @@
 //! Quickstart for the `pipeserve` multi-tenant pipeline executor.
 //!
-//! Runs a small service, submits a mixed set of jobs at different
-//! priorities, cancels one mid-flight, and prints the per-job results plus
-//! the service's aggregate metrics.
+//! Runs a small service behind the content-addressed result cache,
+//! submits a mixed set of jobs at different priorities through the one
+//! [`Submit`] surface, cancels one mid-flight, replays a content-keyed
+//! job to show a cache hit, and prints the per-job results plus the
+//! service's aggregate metrics.
 //!
 //! ```sh
 //! cargo run --release --example pipeline_service
@@ -13,7 +15,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use onthefly_pipeline::piper::{NodeOutcome, PipeOptions, PipelineIteration, Stage0};
-use onthefly_pipeline::pipeserve::{JobSpec, PipeService, Priority};
+use onthefly_pipeline::pipeserve::{
+    CachedService, ContentKey, JobSpec, OutputSink, PipeService, Priority, SinkLaunchFn, Submit,
+};
 use onthefly_pipeline::workloads;
 
 /// A hand-written SPS iteration: square in parallel, emit in order.
@@ -39,12 +43,16 @@ impl PipelineIteration for Square {
 }
 
 fn main() {
-    // One shared pool, a global frame budget, and a bounded queue.
-    let mut service = PipeService::builder()
-        .num_threads(4)
-        .frame_budget(64)
-        .max_queue(128)
-        .build();
+    // One shared pool, a global frame budget, a bounded queue — and a
+    // content-addressed result cache in front. Plain submissions pass
+    // straight through; keyed ones are cached and coalesced.
+    let service = CachedService::new(
+        PipeService::builder()
+            .num_threads(4)
+            .frame_budget(64)
+            .max_queue(128)
+            .build(),
+    );
     println!("service: {service:?}");
 
     // 1. A latency-sensitive hand-written pipeline job.
@@ -114,11 +122,47 @@ fn main() {
     );
     println!("endless  -> {:?}", endless.join());
 
+    // 4. The same dedup input as a *content-keyed* byte job, twice: the
+    //    first run streams through a pipeline and is cached; the replay is
+    //    answered from the cache — byte-identical, no pipeline launched.
+    let byte_job = workloads::bytes::lookup("dedup").expect("registered workload");
+    for round in 0..2 {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink_out = Arc::clone(&out);
+        let sink: OutputSink =
+            Box::new(move |bytes: &[u8]| sink_out.lock().unwrap().extend_from_slice(bytes));
+        let input = dedup_input.clone();
+        let launch = byte_job.launch;
+        let factory: SinkLaunchFn =
+            Box::new(move |sink| launch(&input, sink).expect("input validated up front"));
+        let keyed = service
+            .submit(
+                JobSpec::keyed(
+                    PipeOptions::with_throttle(8),
+                    ContentKey::new("dedup", &dedup_input),
+                    sink,
+                    factory,
+                )
+                .named("dedup-keyed"),
+            )
+            .expect("submit keyed dedup");
+        println!(
+            "keyed #{round} -> {:?} ({} archive bytes)",
+            keyed.join().is_completed(),
+            out.lock().unwrap().len()
+        );
+    }
+    let stats = service.cache_stats();
+    println!(
+        "cache: hits={} misses={} coalesced={} entries={} bytes={}/{}",
+        stats.hits, stats.misses, stats.coalesced, stats.entries, stats.bytes, stats.capacity_bytes
+    );
+
     service.drain();
     let m = service.metrics();
     println!(
         "service metrics: submitted={} admitted={} completed={} cancelled={} \
-         rejected={} peak_queue={} peak_frames={}/{}",
+         rejected={} peak_queue={} peak_frames={}/{} cache_hits={} coalesced={}",
         m.jobs_submitted,
         m.jobs_admitted,
         m.jobs_completed,
@@ -127,11 +171,13 @@ fn main() {
         m.peak_queue_depth,
         m.peak_frames_in_use,
         m.frame_budget,
+        m.cache_hits,
+        m.coalesced,
     );
-    let pm = service.pool_metrics();
+    let pm = service.inner().pool_metrics();
     println!(
         "pool metrics: pipes started={} completed={} cancelled={} steals={}",
         pm.pipes_started, pm.pipes_completed, pm.pipes_cancelled, pm.steals
     );
-    service.shutdown();
+    service.into_inner().shutdown();
 }
