@@ -1,8 +1,9 @@
 //! CI bench-regression gate.
 //!
-//! Quick-runs the two trajectory benches — `pipe_overhead` (per-node
-//! pipeline overhead) and `pipeserve_load` (multi-tenant job latency) — and
-//! fails if either regresses more than a threshold against the *committed*
+//! Quick-runs the three trajectory benches — `pipe_overhead` (per-node
+//! pipeline overhead), `pipeserve_load` (multi-tenant job latency) and
+//! `checksum_kernels` (serving data-path hash throughput) — and
+//! fails if any regresses more than a threshold against the *committed*
 //! baselines:
 //!
 //! * per-workload pipeline overhead vs `BENCH_piper_gate.json` — a
@@ -21,7 +22,11 @@
 //! * the zipf phase's content-cache figures vs the same baseline: the
 //!   `hit_rate` is a **floor** (the zipf sequence is deterministic, so a
 //!   drop means caching or coalescing logic re-runs pipelines it should
-//!   not), and the cached `latency_p99_ms` gates like any other latency.
+//!   not), and the cached `latency_p99_ms` gates like any other latency;
+//! * checksum-kernel throughput vs `BENCH_checksum.json`: `kernel_mb_per_s`
+//!   is a floor against the committed baseline, and the speedup over the
+//!   scalar reference must stay ≥ 3× — the kernels exist to beat the
+//!   references, so converging back towards them is itself the regression.
 //!
 //! A regression is `current > baseline × (1 + threshold) + slack`, with a
 //! 25 % default threshold (`--threshold PCT` or `BENCH_GATE_THRESHOLD`)
@@ -38,12 +43,14 @@
 //!
 //! Flags:
 //!
-//! * `--piper-json PATH` / `--pipeserve-json PATH` — gate existing result
-//!   files instead of quick-running the benches (the benches are found
-//!   next to this binary when it runs them itself);
-//! * `--piper-baseline PATH` / `--pipeserve-baseline PATH` — override the
-//!   committed baselines (default `BENCH_piper_gate.json` /
-//!   `BENCH_pipeserve.json`);
+//! * `--piper-json PATH` / `--pipeserve-json PATH` / `--checksum-json
+//!   PATH` — gate existing result files instead of quick-running the
+//!   benches (the benches are found next to this binary when it runs them
+//!   itself);
+//! * `--piper-baseline PATH` / `--pipeserve-baseline PATH` /
+//!   `--checksum-baseline PATH` — override the committed baselines
+//!   (default `BENCH_piper_gate.json` / `BENCH_pipeserve.json` /
+//!   `BENCH_checksum.json`);
 //! * `--threshold PCT` — the allowed regression percentage (default 25).
 //!
 //! JSON parsing is the same hand-rolled style the emitters use: the gate
@@ -151,6 +158,28 @@ fn parse_zipf(raw: &str) -> Option<(f64, f64)> {
     Some((hit_rate.parse().ok()?, p99.parse().ok()?))
 }
 
+/// `(kernel, kernel MB/s, speedup-over-scalar)` per entry from a
+/// `checksum_kernels` JSON.
+fn parse_checksum(raw: &str) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some((kernel, after)) = next_field(raw, at, "kernel") {
+        let Some((mbps, after)) = next_field(raw, after, "kernel_mb_per_s") else {
+            break;
+        };
+        let Some((speedup, after)) = next_field(raw, after, "speedup") else {
+            break;
+        };
+        out.push((
+            kernel,
+            mbps.parse().expect("numeric kernel_mb_per_s"),
+            speedup.parse().expect("numeric speedup"),
+        ));
+        at = after;
+    }
+    out
+}
+
 /// The smoke (lowest-rate) run of each shard configuration.
 fn smoke_runs(runs: &[(u64, f64, f64)]) -> Vec<(u64, f64)> {
     let mut by_shards: Vec<(u64, f64, f64)> = Vec::new();
@@ -216,6 +245,9 @@ fn main() {
     );
     let pipeserve_baseline = PathBuf::from(
         flag_value(&args, "--pipeserve-baseline").unwrap_or("BENCH_pipeserve.json".into()),
+    );
+    let checksum_baseline = PathBuf::from(
+        flag_value(&args, "--checksum-baseline").unwrap_or("BENCH_checksum.json".into()),
     );
 
     // How many times each self-run bench repeats; per-metric minima are
@@ -294,6 +326,34 @@ fn main() {
                 }
             }
             (best, zipf)
+        }
+    };
+    // Current checksum-kernel throughput: one file's entries, or the
+    // per-kernel best (max MB/s, max speedup) over GATE_RUNS quick runs.
+    let current_checksum: Vec<(String, f64, f64)> = match flag_value(&args, "--checksum-json") {
+        Some(path) => parse_checksum(&read(Path::new(&path))),
+        None => {
+            let mut best: Vec<(String, f64, f64)> = Vec::new();
+            for run in 0..GATE_RUNS {
+                let out = tmp.join(format!("bench_gate_checksum_{run}.json"));
+                let _ = std::fs::remove_file(&out);
+                run_sibling(
+                    "checksum_kernels",
+                    &["--quick"],
+                    &[("CHECKSUM_BENCH_OUT", out.to_str().expect("utf-8 temp path"))],
+                    &out,
+                );
+                for (kernel, mbps, speedup) in parse_checksum(&read(&out)) {
+                    match best.iter_mut().find(|(k, _, _)| *k == kernel) {
+                        Some(entry) => {
+                            entry.1 = entry.1.max(mbps);
+                            entry.2 = entry.2.max(speedup);
+                        }
+                        None => best.push((kernel, mbps, speedup)),
+                    }
+                }
+            }
+            best
         }
     };
 
@@ -381,6 +441,43 @@ fn main() {
                  current run"
             )),
         }
+    }
+
+    // Checksum-kernel gates, both floors: kernel MB/s must not fall more
+    // than the threshold below the committed baseline, and the
+    // speedup-over-scalar must stay at or above 3× — the optimised kernels
+    // exist to beat the reference, so drifting back towards it is the
+    // regression even if absolute MB/s still looks healthy on a fast host.
+    const SLACK_MBPS: f64 = 100.0;
+    const MIN_SPEEDUP: f64 = 3.0;
+    let baseline_checksum = parse_checksum(&read(&checksum_baseline));
+    assert!(
+        !current_checksum.is_empty() && !baseline_checksum.is_empty(),
+        "no checksum_kernels entries parsed"
+    );
+    for (kernel, base_mbps, _) in &baseline_checksum {
+        let Some((_, cur_mbps, cur_speedup)) =
+            current_checksum.iter().find(|(k, _, _)| k == kernel)
+        else {
+            missing.push(format!(
+                "checksum kernel {kernel:?} is in the baseline but not the current run"
+            ));
+            continue;
+        };
+        checks.push(Check {
+            metric: format!("{kernel}: kernel_mb_per_s (floor)"),
+            current: *cur_mbps,
+            baseline: *base_mbps,
+            limit: (base_mbps * (1.0 - threshold) - SLACK_MBPS).max(0.0),
+            lower_bound: true,
+        });
+        checks.push(Check {
+            metric: format!("{kernel}: speedup_vs_scalar (floor)"),
+            current: *cur_speedup,
+            baseline: MIN_SPEEDUP,
+            limit: MIN_SPEEDUP,
+            lower_bound: true,
+        });
     }
 
     // Content-cache gates: the zipf hit rate must not drop (a floor — a

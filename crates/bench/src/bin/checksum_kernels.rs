@@ -1,0 +1,154 @@
+//! Throughput microbenchmark for the checksum kernels
+//! (`BENCH_checksum.json` trajectory).
+//!
+//! The serving data path folds a CRC-32 over every wire frame and a
+//! SHA-256 over every streamed job input, so both kernels sit on the
+//! per-byte critical path of `piped`. This binary measures each kernel's
+//! single-core throughput in MB/s against its scalar reference
+//! implementation ([`checksum::crc32_scalar`], [`checksum::sha256_scalar`])
+//! on the same buffer, and reports the speedup — the figure the bench gate
+//! enforces a floor on (the optimised kernels must stay ≥ 3× scalar).
+//!
+//! Every timed run re-checks the kernel's digest against the scalar
+//! reference, so a fast-but-wrong kernel cannot post a number.
+//!
+//! Results go to `BENCH_checksum.json` (override with
+//! `CHECKSUM_BENCH_OUT`); set `CHECKSUM_BENCH_QUICK=1` (or `--quick`) for
+//! the seconds-scale smoke sizing CI uses.
+
+use std::time::Duration;
+
+use checksum::{crc32_scalar, sha256_scalar, Crc32, Sha256};
+use pipe_bench::{time_mean, Table};
+
+/// One kernel-vs-scalar measurement.
+struct Entry {
+    kernel: &'static str,
+    input_bytes: usize,
+    t_scalar: Duration,
+    t_kernel: Duration,
+}
+
+impl Entry {
+    fn scalar_mb_per_s(&self) -> f64 {
+        self.input_bytes as f64 / 1e6 / self.t_scalar.as_secs_f64().max(1e-12)
+    }
+
+    fn kernel_mb_per_s(&self) -> f64 {
+        self.input_bytes as f64 / 1e6 / self.t_kernel.as_secs_f64().max(1e-12)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.kernel_mb_per_s() / self.scalar_mb_per_s().max(1e-12)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"kernel\": \"{}\",\n",
+                "      \"input_bytes\": {},\n",
+                "      \"scalar_mb_per_s\": {:.1},\n",
+                "      \"kernel_mb_per_s\": {:.1},\n",
+                "      \"speedup\": {:.2}\n",
+                "    }}"
+            ),
+            self.kernel,
+            self.input_bytes,
+            self.scalar_mb_per_s(),
+            self.kernel_mb_per_s(),
+            self.speedup(),
+        )
+    }
+}
+
+/// A deterministic pseudo-random buffer (xorshift fill), so both
+/// implementations hash identical non-trivial content on every host.
+fn test_buffer(len: usize) -> Vec<u8> {
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut buf = Vec::with_capacity(len);
+    while buf.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        buf.extend_from_slice(&state.to_le_bytes());
+    }
+    buf.truncate(len);
+    buf
+}
+
+fn bench_crc32(data: &[u8], runs: usize) -> Entry {
+    let expected = crc32_scalar(data);
+    let t_scalar = time_mean(runs, || {
+        assert_eq!(crc32_scalar(std::hint::black_box(data)), expected);
+    });
+    let t_kernel = time_mean(runs, || {
+        let mut crc = Crc32::new();
+        crc.update(std::hint::black_box(data));
+        assert_eq!(crc.finalize(), expected, "CRC-32 kernel diverged");
+    });
+    Entry {
+        kernel: "crc32",
+        input_bytes: data.len(),
+        t_scalar,
+        t_kernel,
+    }
+}
+
+fn bench_sha256(data: &[u8], runs: usize) -> Entry {
+    let expected = sha256_scalar(data);
+    let t_scalar = time_mean(runs, || {
+        assert_eq!(sha256_scalar(std::hint::black_box(data)), expected);
+    });
+    let t_kernel = time_mean(runs, || {
+        let mut sha = Sha256::new();
+        sha.update(std::hint::black_box(data));
+        assert_eq!(sha.finalize(), expected, "SHA-256 kernel diverged");
+    });
+    Entry {
+        kernel: "sha256",
+        input_bytes: data.len(),
+        t_scalar,
+        t_kernel,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("CHECKSUM_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let out_path =
+        std::env::var("CHECKSUM_BENCH_OUT").unwrap_or_else(|_| "BENCH_checksum.json".to_string());
+
+    let (len, runs) = if quick { (4 << 20, 3) } else { (32 << 20, 5) };
+    let data = test_buffer(len);
+    let entries = vec![bench_crc32(&data, runs), bench_sha256(&data, runs)];
+
+    let mut table = Table::new(&["kernel", "input (MiB)", "scalar MB/s", "kernel MB/s", "x"]);
+    for e in &entries {
+        table.row(vec![
+            e.kernel.to_string(),
+            format!("{}", e.input_bytes >> 20),
+            format!("{:.0}", e.scalar_mb_per_s()),
+            format!("{:.0}", e.kernel_mb_per_s()),
+            format!("{:.2}", e.speedup()),
+        ]);
+    }
+    println!("checksum_kernels — optimised kernels vs scalar references");
+    println!("{}", table.render());
+
+    let entry_json: Vec<String> = entries.iter().map(Entry::json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"checksum_kernels\",\n",
+            "  \"quick\": {},\n",
+            "  \"entries\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        quick,
+        entry_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -178,6 +178,7 @@ fn main() {
         work_rounds: 500,
     };
 
+    let buf_before = checksum::buf::global_stats();
     let entries = vec![
         bench_pipefib(fib_n, runs, &pool1, &poolp),
         bench_uniform("uniform_fine", uniform_fine, runs, &pool1, &poolp),
@@ -189,6 +190,9 @@ fn main() {
             &poolp,
         ),
     ];
+    let buf_after = checksum::buf::global_stats();
+    let chunks_created = buf_after.chunks_created - buf_before.chunks_created;
+    let bytes_copied = buf_after.bytes_copied - buf_before.bytes_copied;
 
     let mut table = Table::new(&[
         "workload",
@@ -225,12 +229,20 @@ fn main() {
             "  \"label\": \"{}\",\n",
             "  \"quick\": {},\n",
             "  \"host_workers\": {},\n",
+            "  \"buf\": {{\n",
+            "    \"chunks_created\": {},\n",
+            "    \"bytes_copied\": {},\n",
+            "    \"copies_per_chunk\": {:.1}\n",
+            "  }},\n",
             "  \"entries\": [\n{}\n  ]{}\n",
             "}}\n"
         ),
         label,
         quick,
         p,
+        chunks_created,
+        bytes_copied,
+        bytes_copied as f64 / chunks_created.max(1) as f64,
         entry_json.join(",\n"),
         baseline_json,
     );

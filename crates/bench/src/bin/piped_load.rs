@@ -118,6 +118,12 @@ struct RunResult {
     completed: u64,
     wall: Duration,
     latencies_ms: Vec<f64>,
+    /// Total verified output bytes streamed back over the run.
+    output_bytes: u64,
+    /// Client-process [`checksum::buf`] gauge deltas over the run:
+    /// chunks minted and data-path bytes memcpy'd.
+    chunks_created: u64,
+    bytes_copied: u64,
     /// Cumulative executor metrics fetched over the wire after the run.
     metrics_json: String,
 }
@@ -145,6 +151,17 @@ impl RunResult {
         sorted[rank.min(sorted.len() - 1)]
     }
 
+    fn output_mb_per_s(&self) -> f64 {
+        self.output_bytes as f64 / 1e6 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Data-path memcpy'd bytes per chunk minted in the client process —
+    /// the zero-copy health metric (a regression shows up as this figure
+    /// creeping back towards the chunk size).
+    fn copies_per_chunk(&self) -> f64 {
+        self.bytes_copied as f64 / self.chunks_created.max(1) as f64
+    }
+
     fn json(&self) -> String {
         format!(
             concat!(
@@ -156,6 +173,11 @@ impl RunResult {
                 "      \"completed_jobs\": {},\n",
                 "      \"wall_s\": {:.4},\n",
                 "      \"throughput_jobs_per_s\": {:.1},\n",
+                "      \"output_bytes\": {},\n",
+                "      \"output_mb_per_s\": {:.2},\n",
+                "      \"client_chunks_created\": {},\n",
+                "      \"client_bytes_copied\": {},\n",
+                "      \"client_copies_per_chunk\": {:.1},\n",
                 "      \"latency_p50_ms\": {:.3},\n",
                 "      \"latency_p99_ms\": {:.3},\n",
                 "      \"service_metrics_cumulative\": {}\n",
@@ -168,6 +190,11 @@ impl RunResult {
             self.completed,
             self.wall.as_secs_f64(),
             self.throughput(),
+            self.output_bytes,
+            self.output_mb_per_s(),
+            self.chunks_created,
+            self.bytes_copied,
+            self.copies_per_chunk(),
             self.percentile(0.50),
             self.percentile(0.99),
             self.metrics_json,
@@ -196,6 +223,7 @@ struct ConnTally {
 /// Every completed job is verified byte-for-byte.
 fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: usize) -> RunResult {
     let interval = Duration::from_secs_f64(1.0 / rate);
+    let buf_before = checksum::buf::global_stats();
     let start = Instant::now();
     let mut submitters = Vec::with_capacity(connections);
     for t in 0..connections {
@@ -252,15 +280,22 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
         .map(|thread| thread.join().expect("submitter thread"))
         .collect();
     let wall = start.elapsed();
+    let buf_after = checksum::buf::global_stats();
 
     // Verify after the clock stops, so the published throughput measures
     // the service, not the harness's reference comparisons.
     let mut rejected = 0u64;
     let mut completed = 0u64;
+    let mut output_bytes = 0u64;
     let mut latencies_ms = Vec::with_capacity(offered);
     for tally in &tallies {
         rejected += tally.rejected;
         completed += tally.outputs.len() as u64;
+        output_bytes += tally
+            .outputs
+            .iter()
+            .map(|(_, o)| o.len() as u64)
+            .sum::<u64>();
         latencies_ms.extend_from_slice(&tally.latencies_ms);
         for (i, output) in &tally.outputs {
             let entry = mix.job(*i).0;
@@ -285,6 +320,9 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
         completed,
         wall,
         latencies_ms,
+        output_bytes,
+        chunks_created: buf_after.chunks_created - buf_before.chunks_created,
+        bytes_copied: buf_after.bytes_copied - buf_before.bytes_copied,
         metrics_json,
     }
 }
@@ -613,6 +651,8 @@ fn main() {
         "rejected",
         "completed",
         "thru (j/s)",
+        "out (MB/s)",
+        "cp/chunk (B)",
         "p50 (ms)",
         "p99 (ms)",
     ]);
@@ -623,6 +663,8 @@ fn main() {
             r.rejected.to_string(),
             r.completed.to_string(),
             format!("{:.1}", r.throughput()),
+            format!("{:.2}", r.output_mb_per_s()),
+            format!("{:.1}", r.copies_per_chunk()),
             format!("{:.2}", r.percentile(0.5)),
             format!("{:.2}", r.percentile(0.99)),
         ]);

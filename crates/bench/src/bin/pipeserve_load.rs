@@ -518,8 +518,9 @@ fn run_zipf(
         let job = workloads::bytes::lookup(doc.name).expect("registered workload");
         let out = Arc::new(Mutex::new(Vec::new()));
         let sink_out = Arc::clone(&out);
-        let sink: OutputSink =
-            Box::new(move |bytes: &[u8]| sink_out.lock().unwrap().extend_from_slice(bytes));
+        let sink: OutputSink = Box::new(move |chunk: checksum::buf::Chunk| {
+            sink_out.lock().unwrap().extend_from_slice(&chunk)
+        });
         let priority = [Priority::Interactive, Priority::Normal, Priority::Batch][i % 3];
         let options = PipeOptions::with_throttle(4);
         let base = if cached {

@@ -1,0 +1,516 @@
+//! Reference-counted, pool-backed byte buffers for the zero-copy serving
+//! data path.
+//!
+//! [`Chunk`] is a `Bytes`-style view: a cheaply cloneable, sliceable window
+//! over an immutable `Arc`'d allocation. Cloning or slicing a `Chunk` never
+//! copies payload bytes — it bumps a refcount and adjusts offsets. The
+//! allocation behind a `Chunk` can come from a [`BufPool`]: a size-classed
+//! free list that recycles buffers across jobs, so a steady-state server
+//! stops asking the allocator for payload memory altogether. When the last
+//! `Chunk` over a pooled allocation drops, the backing `Vec` returns to its
+//! pool's free list (from whichever thread the drop happens on).
+//!
+//! [`BufMut`] is the single-owner writable stage of the same lifecycle:
+//! checked out of a pool (or created standalone), filled through its
+//! `Vec<u8>` deref, then [`BufMut::freeze`]n into a `Chunk` without copying.
+//!
+//! The module also keeps process-wide counters (`chunks created`, `payload
+//! bytes explicitly copied`) that the bench harnesses report as
+//! copies-per-chunk; call [`note_copy`] wherever a data-path memcpy is
+//! deliberate so the gauge stays honest.
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Smallest pooled size class (4 KiB).
+const MIN_CLASS_SHIFT: u32 = 12;
+/// Largest pooled size class (1 MiB — matches `MAX_FRAME_BODY`).
+const MAX_CLASS_SHIFT: u32 = 20;
+const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
+/// Per-class cap on idle buffers kept for reuse; beyond this, returned
+/// buffers are simply freed (bounds idle pool memory at ~sum of
+/// 32 × class sizes ≈ 65 MiB for a fully hot pool, far less in practice).
+const MAX_FREE_PER_CLASS: usize = 32;
+
+/// Process-wide gauge: number of `Chunk`s materialised (freeze/from_vec/
+/// copies — not clones or slices, which are the zero-copy operations).
+static CHUNKS_CREATED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide gauge: payload bytes copied by explicit data-path memcpys.
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` payload bytes deliberately copied on the data path.
+pub fn note_copy(n: usize) {
+    BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide chunk/copy gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBufStats {
+    /// `Chunk`s materialised since process start.
+    pub chunks_created: u64,
+    /// Payload bytes explicitly copied on the data path.
+    pub bytes_copied: u64,
+}
+
+/// Reads the process-wide chunk/copy gauges.
+pub fn global_stats() -> GlobalBufStats {
+    GlobalBufStats {
+        chunks_created: CHUNKS_CREATED.load(Ordering::Relaxed),
+        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+    }
+}
+
+/// The shared state behind a [`BufPool`]: one free list per power-of-two
+/// size class plus hit/miss/recycle gauges.
+struct PoolShared {
+    classes: [Mutex<Vec<Vec<u8>>>; NUM_CLASSES],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl PoolShared {
+    fn new() -> Self {
+        PoolShared {
+            classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Class index for a request of `capacity` bytes, or `None` when the
+    /// request is larger than the biggest pooled class.
+    fn class_for(capacity: usize) -> Option<usize> {
+        let shift = usize::BITS - capacity.max(1).next_power_of_two().leading_zeros() - 1;
+        let shift = shift.max(MIN_CLASS_SHIFT);
+        if shift > MAX_CLASS_SHIFT {
+            None
+        } else {
+            Some((shift - MIN_CLASS_SHIFT) as usize)
+        }
+    }
+
+    fn class_bytes(class: usize) -> usize {
+        1usize << (MIN_CLASS_SHIFT + class as u32)
+    }
+
+    fn checkout(&self, capacity: usize) -> Vec<u8> {
+        match Self::class_for(capacity) {
+            Some(class) => {
+                if let Some(buf) = self.classes[class].lock().unwrap().pop() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    buf
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    Vec::with_capacity(Self::class_bytes(class))
+                }
+            }
+            None => {
+                // Oversized request: allocate exactly, never recycled.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    fn recycle(&self, mut buf: Vec<u8>) {
+        // Only buffers whose capacity is exactly a pooled class size go
+        // back on a free list; anything else (oversized, or grown past its
+        // class by a mid-write realloc) is freed.
+        let cap = buf.capacity();
+        let back = Self::class_for(cap)
+            .filter(|&class| Self::class_bytes(class) == cap)
+            .and_then(|class| {
+                let mut free = self.classes[class].lock().unwrap();
+                if free.len() < MAX_FREE_PER_CLASS {
+                    buf.clear();
+                    free.push(std::mem::take(&mut buf));
+                    Some(())
+                } else {
+                    None
+                }
+            });
+        match back {
+            Some(()) => {
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Gauges for one [`BufPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from a free list.
+    pub hits: u64,
+    /// Checkouts that had to allocate.
+    pub misses: u64,
+    /// Buffers returned to a free list after their last `Chunk` dropped.
+    pub recycled: u64,
+    /// Buffers freed instead of recycled (full free list or odd capacity).
+    pub discarded: u64,
+}
+
+/// A size-classed buffer pool. Cloning a `BufPool` shares the underlying
+/// free lists; the pool is fully thread-safe and buffers may be returned
+/// from any thread.
+#[derive(Clone)]
+pub struct BufPool {
+    shared: Arc<PoolShared>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufPool {
+            shared: Arc::new(PoolShared::new()),
+        }
+    }
+
+    /// Checks out a writable buffer with at least `capacity` bytes of
+    /// room. The buffer returns to this pool when it (or the last `Chunk`
+    /// frozen from it) drops.
+    pub fn get(&self, capacity: usize) -> BufMut {
+        BufMut {
+            vec: Some(self.shared.checkout(capacity)),
+            pool: Some(Arc::downgrade(&self.shared)),
+        }
+    }
+
+    /// Reads the pool gauges.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.shared.hits.load(Ordering::Relaxed),
+            misses: self.shared.misses.load(Ordering::Relaxed),
+            recycled: self.shared.recycled.load(Ordering::Relaxed),
+            discarded: self.shared.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The immutable allocation behind one or more [`Chunk`]s. Dropping the
+/// last reference hands the backing `Vec` back to its origin pool (if the
+/// pool is still alive).
+struct PoolAlloc {
+    buf: Vec<u8>,
+    pool: Option<Weak<PoolShared>>,
+}
+
+impl Drop for PoolAlloc {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take().and_then(|weak| weak.upgrade()) {
+            pool.recycle(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+fn empty_alloc() -> &'static Arc<PoolAlloc> {
+    static EMPTY: OnceLock<Arc<PoolAlloc>> = OnceLock::new();
+    EMPTY.get_or_init(|| {
+        Arc::new(PoolAlloc {
+            buf: Vec::new(),
+            pool: None,
+        })
+    })
+}
+
+/// A cheaply cloneable, sliceable, immutable view over a (possibly pooled)
+/// byte allocation. Clone and [`Chunk::slice`] are O(1) and never copy
+/// payload bytes.
+#[derive(Clone)]
+pub struct Chunk {
+    alloc: Arc<PoolAlloc>,
+    start: usize,
+    len: usize,
+}
+
+impl Chunk {
+    /// The empty chunk (no allocation).
+    pub fn empty() -> Self {
+        Chunk {
+            alloc: Arc::clone(empty_alloc()),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps an owned `Vec` as a chunk without copying. The vec is freed
+    /// normally when the last clone drops (it never entered a pool).
+    pub fn from_vec(vec: Vec<u8>) -> Self {
+        CHUNKS_CREATED.fetch_add(1, Ordering::Relaxed);
+        let len = vec.len();
+        Chunk {
+            alloc: Arc::new(PoolAlloc {
+                buf: vec,
+                pool: None,
+            }),
+            start: 0,
+            len,
+        }
+    }
+
+    /// Copies `data` into a fresh chunk. This is the explicit-copy
+    /// constructor — it counts toward the process copy gauge.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        note_copy(data.len());
+        Self::from_vec(data.to_vec())
+    }
+
+    /// Number of payload bytes in view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// O(1) sub-view of this chunk. Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Chunk {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for chunk of {}",
+            self.len
+        );
+        Chunk {
+            alloc: Arc::clone(&self.alloc),
+            start: self.start + start,
+            len: end - start,
+        }
+    }
+
+    /// The bytes in view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.alloc.buf[self.start..self.start + self.len]
+    }
+}
+
+impl Deref for Chunk {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Chunk {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Chunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Chunk {}
+
+impl PartialEq<[u8]> for Chunk {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Chunk {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl std::fmt::Debug for Chunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Chunk({} bytes)", self.len)
+    }
+}
+
+impl From<Vec<u8>> for Chunk {
+    fn from(vec: Vec<u8>) -> Self {
+        Chunk::from_vec(vec)
+    }
+}
+
+/// A single-owner writable buffer, optionally checked out of a [`BufPool`].
+/// Fill it through its `Vec<u8>` deref (so existing `encode_*_into(&mut
+/// Vec<u8>)` writers work unchanged), then [`freeze`](BufMut::freeze) it
+/// into an immutable [`Chunk`] without copying. Dropping an unfrozen
+/// `BufMut` returns the buffer to its pool.
+pub struct BufMut {
+    vec: Option<Vec<u8>>,
+    pool: Option<Weak<PoolShared>>,
+}
+
+impl BufMut {
+    /// A pool-less writable buffer with at least `capacity` bytes of room.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BufMut {
+            vec: Some(Vec::with_capacity(capacity)),
+            pool: None,
+        }
+    }
+
+    /// Freezes the written bytes into an immutable, cloneable [`Chunk`].
+    /// No bytes are copied; the allocation (and its pool membership)
+    /// carries over.
+    pub fn freeze(mut self) -> Chunk {
+        CHUNKS_CREATED.fetch_add(1, Ordering::Relaxed);
+        let vec = self.vec.take().expect("freeze consumes the buffer");
+        let len = vec.len();
+        Chunk {
+            alloc: Arc::new(PoolAlloc {
+                buf: vec,
+                pool: self.pool.take(),
+            }),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl Deref for BufMut {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        self.vec.as_ref().expect("buffer not frozen")
+    }
+}
+
+impl DerefMut for BufMut {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.vec.as_mut().expect("buffer not frozen")
+    }
+}
+
+impl Drop for BufMut {
+    fn drop(&mut self) {
+        if let Some(buf) = self.vec.take() {
+            if let Some(pool) = self.pool.take().and_then(|weak| weak.upgrade()) {
+                pool.recycle(buf);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BufMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BufMut({} bytes written)",
+            self.vec.as_ref().map_or(0, Vec::len)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_views_share_the_allocation() {
+        let c = Chunk::from_vec((0u8..64).collect());
+        let mid = c.slice(16..48);
+        assert_eq!(mid.len(), 32);
+        assert_eq!(mid[0], 16);
+        let sub = mid.slice(..8);
+        assert_eq!(&sub[..], &(16u8..24).collect::<Vec<_>>()[..]);
+        let clone = sub.clone();
+        drop(c);
+        drop(mid);
+        assert_eq!(&clone[..], &(16u8..24).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn pool_recycles_after_last_chunk_drop() {
+        let pool = BufPool::new();
+        let mut b = pool.get(100);
+        b.extend_from_slice(&[1, 2, 3]);
+        let chunk = b.freeze();
+        let view = chunk.slice(1..3);
+        drop(chunk);
+        assert_eq!(pool.stats().recycled, 0, "view still alive");
+        drop(view);
+        assert_eq!(pool.stats().recycled, 1);
+        // The next checkout of the same class is a hit.
+        let before = pool.stats().hits;
+        let _b2 = pool.get(100);
+        assert_eq!(pool.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn unfrozen_bufmut_returns_to_pool() {
+        let pool = BufPool::new();
+        drop(pool.get(8));
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn dead_pool_frees_instead_of_recycling() {
+        let pool = BufPool::new();
+        let b = pool.get(8);
+        let chunk = b.freeze();
+        drop(pool);
+        drop(chunk); // pool gone: must not panic, just frees
+    }
+
+    #[test]
+    fn oversized_requests_bypass_the_free_lists() {
+        let pool = BufPool::new();
+        let b = pool.get((1 << 20) + 1);
+        drop(b.freeze());
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.recycled, 0);
+        assert_eq!(s.discarded, 1);
+    }
+
+    #[test]
+    fn cross_thread_drop_recycles() {
+        let pool = BufPool::new();
+        let chunk = pool.get(64).freeze();
+        let handle = std::thread::spawn(move || drop(chunk));
+        handle.join().unwrap();
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(PoolShared::class_for(0), Some(0));
+        assert_eq!(PoolShared::class_for(1), Some(0));
+        assert_eq!(PoolShared::class_for(4096), Some(0));
+        assert_eq!(PoolShared::class_for(4097), Some(1));
+        assert_eq!(PoolShared::class_for(1 << 20), Some(8));
+        assert_eq!(PoolShared::class_for((1 << 20) + 1), None);
+    }
+}

@@ -16,18 +16,22 @@
 //! * [`chunker`] — content-defined chunking with a polynomial rolling hash
 //!   (Rabin-style), so chunk boundaries depend on content rather than
 //!   offsets, matching dedup's behaviour.
+//! * [`buf`] — reference-counted [`buf::Chunk`] views and the size-classed
+//!   [`buf::BufPool`], the buffer substrate of the zero-copy serving path.
 
 pub mod adler32;
+pub mod buf;
 pub mod chunker;
 pub mod crc32;
 pub mod sha1;
 pub mod sha256;
 
 pub use adler32::adler32;
+pub use buf::{BufMut, BufPool, Chunk};
 pub use chunker::{chunk_boundaries, split_chunks, ChunkerConfig};
-pub use crc32::{crc32, crc32_append, Crc32};
+pub use crc32::{crc32, crc32_append, crc32_scalar, Crc32};
 pub use sha1::{sha1, sha1_hex, Sha1, DIGEST_LEN};
-pub use sha256::{sha256, sha256_hex, Sha256, SHA256_DIGEST_LEN};
+pub use sha256::{sha256, sha256_hex, sha256_scalar, Sha256, SHA256_DIGEST_LEN};
 
 /// Which cryptographic digest fingerprints a chunk (dedup's Stage 1).
 ///

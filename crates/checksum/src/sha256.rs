@@ -5,6 +5,22 @@
 //! space. The workload crate lets the digest be selected, so both the
 //! paper-faithful configuration (SHA-1) and the stronger one can be
 //! exercised by the same pipeline code.
+//!
+//! The compression function has two kernels behind one entry point:
+//!
+//! * on x86-64 hosts with the SHA extensions (detected once at runtime),
+//!   whole runs of blocks go through `sha256rnds2`/`sha256msg1`/
+//!   `sha256msg2` — two rounds per instruction, with the message schedule
+//!   computed in vector registers;
+//! * everywhere else, a fully unrolled software kernel: the eight working
+//!   variables rotate by macro-argument permutation instead of register
+//!   shuffles, and the message schedule is a rolling 16-word window
+//!   expanded in place as each round consumes it, rather than a 64-entry
+//!   array materialised up front.
+//!
+//! The straightforward loop implementation is kept as [`sha256_scalar`] —
+//! the differential-test reference and the baseline for the
+//! `checksum_kernels` bench.
 
 /// Length of a SHA-256 digest in bytes.
 pub const SHA256_DIGEST_LEN: usize = 32;
@@ -20,6 +36,10 @@ const K: [u32; 64] = [
     0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
     0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const INIT: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// Incremental SHA-256 hasher.
@@ -43,10 +63,7 @@ impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
         Sha256 {
-            state: [
-                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-                0x5be0cd19,
-            ],
+            state: INIT,
             length: 0,
             buffer: [0u8; 64],
             buffered: 0,
@@ -64,16 +81,17 @@ impl Sha256 {
             data = &data[take..];
             if self.buffered == 64 {
                 let block = self.buffer;
-                self.process_block(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buffered = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.process_block(&b);
-            data = rest;
+        // Hand every whole block to the kernel in one call, straight from
+        // the caller's slice — no staging copy, and the SHA-NI path keeps
+        // its state in registers across the run.
+        let whole = data.len() - data.len() % 64;
+        if whole > 0 {
+            compress_blocks(&mut self.state, &data[..whole]);
+            data = &data[whole..];
         }
         if !data.is_empty() {
             self.buffer[..data.len()].copy_from_slice(data);
@@ -90,15 +108,250 @@ impl Sha256 {
         }
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
-        self.process_block(&block);
+        compress_blocks(&mut self.state, &block);
         let mut out = [0u8; SHA256_DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
     }
+}
 
-    fn process_block(&mut self, block: &[u8; 64]) {
+/// Compresses a run of whole 64-byte blocks (`data.len()` must be a
+/// multiple of 64), dispatching to the SHA-NI kernel when the host has
+/// the SHA extensions and to the unrolled software kernel otherwise.
+fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    if shani::available() {
+        // SAFETY: the required CPU features were verified at runtime.
+        unsafe { shani::compress_blocks(state, data) };
+        return;
+    }
+    for block in data.chunks_exact(64) {
+        compress(state, block.try_into().expect("64-byte block"));
+    }
+}
+
+/// Unrolled software compression function: 64 rounds expressed as macro
+/// invocations whose argument order rotates the working variables, with the
+/// message schedule expanded lazily over a 16-word ring.
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    // One round: only `d` and `h` are written, so rotating the argument
+    // order across invocations replaces the 8-way register shuffle of the
+    // loop form.
+    macro_rules! rnd {
+        ($a:ident,$b:ident,$c:ident,$d:ident,$e:ident,$f:ident,$g:ident,$h:ident,$i:expr,$wi:expr) => {{
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[$i])
+                .wrapping_add($wi);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        }};
+    }
+    // Schedule word for round $i >= 16, updated in place in the ring.
+    macro_rules! sched {
+        ($i:expr) => {{
+            let w15 = w[($i + 1) & 15];
+            let w2 = w[($i + 14) & 15];
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            w[$i & 15] = w[$i & 15]
+                .wrapping_add(s0)
+                .wrapping_add(w[($i + 9) & 15])
+                .wrapping_add(s1);
+            w[$i & 15]
+        }};
+    }
+    macro_rules! wload {
+        ($i:expr) => {
+            w[$i & 15]
+        };
+    }
+    macro_rules! eight {
+        ($i:expr, $get:ident) => {{
+            rnd!(a, b, c, d, e, f, g, h, $i, $get!($i));
+            rnd!(h, a, b, c, d, e, f, g, $i + 1, $get!($i + 1));
+            rnd!(g, h, a, b, c, d, e, f, $i + 2, $get!($i + 2));
+            rnd!(f, g, h, a, b, c, d, e, $i + 3, $get!($i + 3));
+            rnd!(e, f, g, h, a, b, c, d, $i + 4, $get!($i + 4));
+            rnd!(d, e, f, g, h, a, b, c, $i + 5, $get!($i + 5));
+            rnd!(c, d, e, f, g, h, a, b, $i + 6, $get!($i + 6));
+            rnd!(b, c, d, e, f, g, h, a, $i + 7, $get!($i + 7));
+        }};
+    }
+
+    eight!(0, wload);
+    eight!(8, wload);
+    eight!(16, sched);
+    eight!(24, sched);
+    eight!(32, sched);
+    eight!(40, sched);
+    eight!(48, sched);
+    eight!(56, sched);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// The x86-64 SHA-extensions kernel: two rounds per `sha256rnds2`, with
+/// the message schedule expanded four words at a time in vector registers
+/// (`sha256msg1`/`sha256msg2`). The working state stays in the ABEF/CDGH
+/// register split the instructions operate on for the whole block run.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::K;
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Runtime detection, probed once: `sha256rnds2` needs the SHA
+    /// extensions, the swizzles use SSSE3/SSE4.1.
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// # Safety
+    ///
+    /// The host must support the `sha`, `ssse3` and `sse4.1` features
+    /// (guaranteed when [`available`] returned true), and `data.len()`
+    /// must be a multiple of 64.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        // Big-endian word loads: one byte shuffle per 16 message bytes.
+        let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // `state` is [a,b,c,d,e,f,g,h]; sha256rnds2 wants the (ABEF, CDGH)
+        // split, so swizzle on the way in and back on the way out.
+        let dcba = _mm_loadu_si128(state.as_ptr().cast());
+        let hgfe = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let badc = _mm_shuffle_epi32(dcba, 0xB1);
+        let fehg = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(badc, fehg, 8);
+        let mut cdgh = _mm_blend_epi16(fehg, badc, 0xF0);
+
+        // Four K constants for rounds 4i..4i+4, packed for _mm_add_epi32.
+        macro_rules! k4 {
+            ($i:expr) => {
+                _mm_set_epi32(
+                    K[$i * 4 + 3] as i32,
+                    K[$i * 4 + 2] as i32,
+                    K[$i * 4 + 1] as i32,
+                    K[$i * 4] as i32,
+                )
+            };
+        }
+        // Four rounds on message words $w (one rnds2 per state half).
+        macro_rules! rounds4 {
+            ($w:expr, $i:expr) => {{
+                let wk = _mm_add_epi32($w, k4!($i));
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+            }};
+        }
+        // The next four schedule words from the previous sixteen
+        // ($w0 oldest): msg1 covers the sigma0 terms, the alignr adds
+        // W[t-7], msg2 finishes with sigma1 of the just-computed words.
+        macro_rules! sched4 {
+            ($w0:expr, $w1:expr, $w2:expr, $w3:expr) => {{
+                let partial =
+                    _mm_add_epi32(_mm_sha256msg1_epu32($w0, $w1), _mm_alignr_epi8($w3, $w2, 4));
+                _mm_sha256msg2_epu32(partial, $w3)
+            }};
+        }
+
+        for block in data.chunks_exact(64) {
+            let abef_in = abef;
+            let cdgh_in = cdgh;
+
+            let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), be_mask);
+            let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), be_mask);
+            let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), be_mask);
+            let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), be_mask);
+
+            rounds4!(w0, 0);
+            rounds4!(w1, 1);
+            rounds4!(w2, 2);
+            rounds4!(w3, 3);
+            let mut w4 = sched4!(w0, w1, w2, w3);
+            rounds4!(w4, 4);
+            w0 = sched4!(w1, w2, w3, w4);
+            rounds4!(w0, 5);
+            w1 = sched4!(w2, w3, w4, w0);
+            rounds4!(w1, 6);
+            w2 = sched4!(w3, w4, w0, w1);
+            rounds4!(w2, 7);
+            w3 = sched4!(w4, w0, w1, w2);
+            rounds4!(w3, 8);
+            w4 = sched4!(w0, w1, w2, w3);
+            rounds4!(w4, 9);
+            w0 = sched4!(w1, w2, w3, w4);
+            rounds4!(w0, 10);
+            w1 = sched4!(w2, w3, w4, w0);
+            rounds4!(w1, 11);
+            w2 = sched4!(w3, w4, w0, w1);
+            rounds4!(w2, 12);
+            w3 = sched4!(w4, w0, w1, w2);
+            rounds4!(w3, 13);
+            w4 = sched4!(w0, w1, w2, w3);
+            rounds4!(w4, 14);
+            w0 = sched4!(w1, w2, w3, w4);
+            rounds4!(w0, 15);
+
+            abef = _mm_add_epi32(abef, abef_in);
+            cdgh = _mm_add_epi32(cdgh, cdgh_in);
+        }
+
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), hgfe);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; SHA256_DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 via the straightforward loop implementation (64-entry
+/// schedule materialised up front, one `for` loop over the rounds). This is
+/// the reference the unrolled kernel is verified against and the baseline
+/// for the `checksum_kernels` bench; production callers should use
+/// [`sha256`].
+pub fn sha256_scalar(data: &[u8]) -> [u8; SHA256_DIGEST_LEN] {
+    fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -116,7 +369,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
@@ -137,22 +390,41 @@ impl Sha256 {
             b = a;
             a = temp1.wrapping_add(temp2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
-}
 
-/// One-shot SHA-256 of `data`.
-pub fn sha256(data: &[u8]) -> [u8; SHA256_DIGEST_LEN] {
-    let mut h = Sha256::new();
-    h.update(data);
-    h.finalize()
+    let mut state = INIT;
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        let mut b = [0u8; 64];
+        b.copy_from_slice(block);
+        compress_scalar(&mut state, &b);
+    }
+    // Padding: 0x80, zeros to 56 mod 64, then the bit length big-endian.
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() < 56 { 1 } else { 2 };
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    for i in 0..tail_blocks {
+        let mut b = [0u8; 64];
+        b.copy_from_slice(&tail[i * 64..i * 64 + 64]);
+        compress_scalar(&mut state, &b);
+    }
+    let mut out = [0u8; SHA256_DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
 }
 
 /// One-shot SHA-256 rendered as lowercase hex.
@@ -200,9 +472,18 @@ mod tests {
     }
 
     #[test]
+    fn scalar_reference_matches_kernel_on_boundary_lengths() {
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128, 200] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(sha256(&data), sha256_scalar(&data), "length {len}");
+        }
+    }
+
+    #[test]
     fn incremental_equals_one_shot() {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 241) as u8).collect();
         let oneshot = sha256(&data);
+        assert_eq!(oneshot, sha256_scalar(&data));
         for chunk_size in [1usize, 3, 63, 64, 65, 1000] {
             let mut h = Sha256::new();
             for chunk in data.chunks(chunk_size) {

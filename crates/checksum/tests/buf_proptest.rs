@@ -1,0 +1,179 @@
+//! Property-based tests for the pooled buffer layer and differential
+//! tests pinning the optimised checksum kernels bit-exact against their
+//! scalar references.
+
+use checksum::buf::{BufPool, Chunk};
+use checksum::crc32::{crc32_scalar, Crc32};
+use checksum::sha256::{sha256_scalar, Sha256};
+use proptest::prelude::*;
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..4_096)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ------------------------------------------------ Chunk / BufPool --
+
+    #[test]
+    fn slicing_matches_the_equivalent_byte_range(
+        data in payload(),
+        a in 0usize..4_096,
+        b in 0usize..4_096,
+    ) {
+        let (start, end) = (a.min(b).min(data.len()), a.max(b).min(data.len()));
+        let chunk = Chunk::from_vec(data.clone());
+        prop_assert_eq!(chunk.slice(start..end).as_slice(), &data[start..end]);
+        // Nested slices compose: slicing the slice re-indexes from its start.
+        let outer = chunk.slice(start..);
+        let inner_end = end - start;
+        prop_assert_eq!(outer.slice(..inner_end).as_slice(), &data[start..end]);
+    }
+
+    #[test]
+    fn clones_and_slices_alias_one_allocation(
+        data in proptest::collection::vec(any::<u8>(), 1..4_096),
+        cut in 0usize..4_096,
+    ) {
+        let cut = cut.min(data.len() - 1);
+        let chunk = Chunk::from_vec(data);
+        let clone = chunk.clone();
+        let tail = chunk.slice(cut..);
+        // All three views point into the same backing storage: the tail's
+        // first byte lives exactly `cut` bytes past the clone's base.
+        prop_assert_eq!(clone.as_slice().as_ptr(), chunk.as_slice().as_ptr());
+        prop_assert_eq!(
+            tail.as_slice().as_ptr() as usize,
+            chunk.as_slice().as_ptr() as usize + cut
+        );
+    }
+
+    #[test]
+    fn recycling_waits_for_the_last_view_to_drop(
+        len in 1usize..65_536,
+        cut in 0usize..65_536,
+    ) {
+        let pool = BufPool::new();
+        let mut buf = pool.get(len);
+        buf.extend_from_slice(&vec![0xA5u8; len]);
+        let chunk = buf.freeze();
+        let tail = chunk.slice(cut.min(len - 1)..);
+        drop(chunk);
+        // A surviving slice still pins the allocation.
+        prop_assert_eq!(pool.stats().recycled, 0);
+        drop(tail);
+        prop_assert_eq!(pool.stats().recycled, 1);
+        // The recycled buffer satisfies the next same-class request.
+        let _again = pool.get(len);
+        prop_assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn cross_thread_drops_recycle_into_the_owning_pool(lens in proptest::collection::vec(1usize..32_768, 1..8)) {
+        let pool = BufPool::new();
+        let chunks: Vec<Chunk> = lens
+            .iter()
+            .map(|&len| {
+                let mut buf = pool.get(len);
+                buf.extend_from_slice(&vec![0x5Au8; len]);
+                buf.freeze()
+            })
+            .collect();
+        let expect = chunks.len() as u64;
+        std::thread::spawn(move || drop(chunks)).join().unwrap();
+        prop_assert_eq!(pool.stats().recycled, expect);
+    }
+
+    #[test]
+    fn pooled_round_trips_preserve_bytes(data in payload()) {
+        let pool = BufPool::new();
+        let mut buf = pool.get(data.len());
+        buf.extend_from_slice(&data);
+        let chunk = buf.freeze();
+        prop_assert_eq!(chunk.as_slice(), data.as_slice());
+        prop_assert_eq!(chunk.len(), data.len());
+    }
+
+    // -------------------------------------- kernel vs scalar reference --
+
+    #[test]
+    fn crc32_kernel_matches_scalar_at_any_alignment(
+        data in payload(),
+        offset in 0usize..64,
+    ) {
+        // Shift the slice start so the slice-by-8 kernel sees every
+        // possible misalignment of its 8-byte inner loop.
+        let mut shifted = vec![0u8; offset];
+        shifted.extend_from_slice(&data);
+        let view = &shifted[offset..];
+        let mut kernel = Crc32::new();
+        kernel.update(view);
+        prop_assert_eq!(kernel.finalize(), crc32_scalar(view));
+    }
+
+    #[test]
+    fn crc32_kernel_matches_scalar_under_arbitrary_splits(
+        data in payload(),
+        splits in proptest::collection::vec(0usize..4_096, 0..6),
+    ) {
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s.min(data.len())).collect();
+        cuts.sort_unstable();
+        let mut kernel = Crc32::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(data.len())) {
+            kernel.update(&data[prev..cut]);
+            prev = cut;
+        }
+        prop_assert_eq!(kernel.finalize(), crc32_scalar(&data));
+    }
+
+    #[test]
+    fn sha256_kernel_matches_scalar_at_any_alignment(
+        data in payload(),
+        offset in 0usize..64,
+    ) {
+        let mut shifted = vec![0u8; offset];
+        shifted.extend_from_slice(&data);
+        let view = &shifted[offset..];
+        let mut kernel = Sha256::new();
+        kernel.update(view);
+        prop_assert_eq!(kernel.finalize(), sha256_scalar(view));
+    }
+
+    #[test]
+    fn sha256_kernel_matches_scalar_under_arbitrary_splits(
+        data in payload(),
+        splits in proptest::collection::vec(0usize..4_096, 0..6),
+    ) {
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s.min(data.len())).collect();
+        cuts.sort_unstable();
+        let mut kernel = Sha256::new();
+        let mut prev = 0;
+        for cut in cuts.into_iter().chain(std::iter::once(data.len())) {
+            kernel.update(&data[prev..cut]);
+            prev = cut;
+        }
+        prop_assert_eq!(kernel.finalize(), sha256_scalar(&data));
+    }
+
+    #[test]
+    fn digests_are_stable_across_chunk_views(data in payload(), pieces in 1usize..8) {
+        // Feeding the kernels through pooled Chunk slices (the serving
+        // data path) must equal hashing the contiguous input.
+        let chunk = Chunk::from_vec(data.clone());
+        let step = data.len().div_ceil(pieces).max(1);
+        let mut crc = Crc32::new();
+        let mut sha = Sha256::new();
+        let mut off = 0;
+        while off < chunk.len() {
+            let end = (off + step).min(chunk.len());
+            let view = chunk.slice(off..end);
+            crc.update(&view);
+            sha.update(&view);
+            off = end;
+        }
+        prop_assert_eq!(crc.finalize(), crc32_scalar(&data));
+        prop_assert_eq!(sha.finalize(), sha256_scalar(&data));
+    }
+}

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use checksum::buf::Chunk;
 use pipeserve::Priority;
 
 use crate::proto::{
@@ -219,7 +220,21 @@ impl PipedClient {
 
     /// Submits a job: streams `input`, waits for the server's verdict, and
     /// returns a handle on the accepted job.
+    ///
+    /// Borrowed input pays exactly one counted copy into a [`Chunk`]; use
+    /// [`PipedClient::submit_chunk`] when the caller already owns one to
+    /// stream fully zero-copy.
     pub fn submit(&self, options: &SubmitOptions, input: &[u8]) -> Result<RemoteJob, ClientError> {
+        self.submit_chunk(options, Chunk::copy_from_slice(input))
+    }
+
+    /// Zero-copy submission: every wire frame's payload is a view of
+    /// `input`, so nothing is copied between the caller and the socket.
+    pub fn submit_chunk(
+        &self,
+        options: &SubmitOptions,
+        input: Chunk,
+    ) -> Result<RemoteJob, ClientError> {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(JobEntry {
             state: Mutex::new(EntryState::default()),
@@ -244,11 +259,14 @@ impl PipedClient {
             throttle: options.throttle,
             deadline_ms: options.deadline_ms,
         }];
-        for part in input.chunks(CHUNK_BYTES) {
+        let mut off = 0;
+        while off < input.len() {
+            let end = (off + CHUNK_BYTES).min(input.len());
             frames.push(Frame::InputChunk {
                 ticket,
-                data: part.to_vec(),
+                data: input.slice(off..end),
             });
+            off = end;
         }
         frames.push(Frame::InputEof { ticket });
         if let Err(e) = self.send(&frames) {

@@ -20,9 +20,10 @@
 //! streamed OUTPUT → JOB_DONE, plus STATUS/CANCEL/METRICS/DRAIN control
 //! frames).
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
-use checksum::crc32;
+use checksum::buf::{BufMut, BufPool, Chunk};
+use checksum::{crc32, Crc32};
 
 /// Upper bound on a frame body. A peer advertising more is treated as
 /// corrupt ([`WireError::Oversized`]) — the length prefix is the first
@@ -191,8 +192,10 @@ pub enum Frame {
     InputChunk {
         /// Correlation id of the pending SUBMIT.
         ticket: u64,
-        /// The next input bytes.
-        data: Vec<u8>,
+        /// The next input bytes (a zero-copy view into the received frame
+        /// body on the read path; any cheaply-cloneable chunk on the write
+        /// path).
+        data: Chunk,
     },
     /// End of input: the server may now construct and submit the job.
     InputEof {
@@ -238,8 +241,10 @@ pub enum Frame {
     OutputChunk {
         /// Echoed correlation id.
         ticket: u64,
-        /// The next output bytes.
-        data: Vec<u8>,
+        /// The next output bytes (a clone of the pipeline's own output
+        /// chunk — the payload is never copied between the job and the
+        /// socket).
+        data: Chunk,
     },
     /// The job reached a terminal state; its output stream is complete.
     JobDone {
@@ -365,9 +370,26 @@ fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
 
 impl Frame {
     /// Encodes the frame body (tag + payload), without length prefix or
-    /// CRC.
+    /// CRC, into one contiguous buffer. The hot write path never calls
+    /// this — [`write_frame`] scatter-writes the header and the payload
+    /// chunk separately; this form serves tests and callers that want the
+    /// assembled bytes.
     pub fn encode_body(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        if let Some(payload) = self.encode_header_into(&mut out) {
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Scatter-encode step: writes the frame's *header* (tag + every field
+    /// up to, but not including, a trailing byte payload) into `out` and
+    /// returns the payload chunk if the frame carries one. The full body is
+    /// `header ++ u32-LE payload length ++ payload bytes` when a payload is
+    /// returned, else just `header` — [`write_frame`] flushes that shape
+    /// with one vectored write, borrowing the payload in place.
+    fn encode_header_into<'a>(&'a self, out: &mut Vec<u8>) -> Option<&'a Chunk> {
         match self {
             Frame::Submit {
                 ticket,
@@ -378,7 +400,7 @@ impl Frame {
             } => {
                 out.push(tag::SUBMIT);
                 out.extend_from_slice(&ticket.to_le_bytes());
-                put_bytes(&mut out, workload.as_bytes());
+                put_bytes(out, workload.as_bytes());
                 out.push(*priority);
                 out.extend_from_slice(&throttle.to_le_bytes());
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
@@ -386,7 +408,7 @@ impl Frame {
             Frame::InputChunk { ticket, data } => {
                 out.push(tag::INPUT_CHUNK);
                 out.extend_from_slice(&ticket.to_le_bytes());
-                put_bytes(&mut out, data);
+                return Some(data);
             }
             Frame::InputEof { ticket } => {
                 out.push(tag::INPUT_EOF);
@@ -415,12 +437,12 @@ impl Frame {
                 out.push(tag::REJECTED);
                 out.extend_from_slice(&ticket.to_le_bytes());
                 out.push(*code as u8);
-                put_bytes(&mut out, message.as_bytes());
+                put_bytes(out, message.as_bytes());
             }
             Frame::OutputChunk { ticket, data } => {
                 out.push(tag::OUTPUT_CHUNK);
                 out.extend_from_slice(&ticket.to_le_bytes());
-                put_bytes(&mut out, data);
+                return Some(data);
             }
             Frame::JobDone {
                 ticket,
@@ -430,7 +452,7 @@ impl Frame {
                 out.push(tag::JOB_DONE);
                 out.extend_from_slice(&ticket.to_le_bytes());
                 out.push(*status as u8);
-                put_bytes(&mut out, message.as_bytes());
+                put_bytes(out, message.as_bytes());
             }
             Frame::StatusReply { ticket, status } => {
                 out.push(tag::STATUS_REPLY);
@@ -439,16 +461,16 @@ impl Frame {
             }
             Frame::MetricsReply { json } => {
                 out.push(tag::METRICS_REPLY);
-                put_bytes(&mut out, json.as_bytes());
+                put_bytes(out, json.as_bytes());
             }
             Frame::DrainDone => out.push(tag::DRAIN_DONE),
             Frame::Error { code, message } => {
                 out.push(tag::ERROR);
                 out.push(*code as u8);
-                put_bytes(&mut out, message.as_bytes());
+                put_bytes(out, message.as_bytes());
             }
         }
-        out
+        None
     }
 
     /// Encodes the full wire representation: length prefix + body + CRC.
@@ -462,8 +484,10 @@ impl Frame {
         out
     }
 
-    /// Decodes a frame body (tag + payload, no length prefix / CRC).
-    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    /// Decodes a frame body (tag + payload, no length prefix / CRC). Byte
+    /// payloads come out as zero-copy [`Chunk`] slices of `body` — decoding
+    /// an input/output chunk never copies the payload.
+    pub fn decode_body(body: &Chunk) -> Result<Frame, WireError> {
         let mut cursor = Cursor { body, at: 0 };
         let tag = cursor.u8()?;
         let frame = match tag {
@@ -538,7 +562,7 @@ impl Frame {
 
 /// Bounds-checked little-endian reader over a frame body.
 struct Cursor<'a> {
-    body: &'a [u8],
+    body: &'a Chunk,
     at: usize,
 }
 
@@ -570,26 +594,104 @@ impl Cursor<'_> {
         ))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    /// A length-prefixed byte payload as a zero-copy view of the body.
+    fn bytes(&mut self) -> Result<Chunk, WireError> {
         let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
+        let start = self.at;
+        self.take(len)?;
+        Ok(self.body.slice(start..start + len))
     }
 
     fn string(&mut self) -> Result<String, WireError> {
-        String::from_utf8(self.bytes()?).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| WireError::Malformed("non-UTF-8 string"))
     }
 }
 
 // -------------------------------------------------------------------- io --
 
-/// Writes one frame (length prefix + body + CRC). The caller flushes.
+/// Writes every byte of `bufs`, preferring a single vectored write.
+/// Handles partial writes by rebuilding the remaining scatter list (stable
+/// Rust has no `IoSlice::advance`), which in the common case costs nothing:
+/// a frame almost always leaves in one `writev`.
+fn write_all_vectored(writer: &mut impl Write, bufs: &[&[u8]]) -> std::io::Result<()> {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+        let mut skip = written;
+        for buf in bufs {
+            if skip >= buf.len() {
+                skip -= buf.len();
+                continue;
+            }
+            slices.push(IoSlice::new(&buf[skip..]));
+            skip = 0;
+        }
+        match writer.write_vectored(&slices) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one frame (length prefix + body + CRC) with a single vectored
+/// write: `[prefix + header, borrowed payload bytes, CRC]`. A frame
+/// carrying a payload chunk never copies it into an assembly buffer — the
+/// CRC folds incrementally over header then payload, and the socket reads
+/// the payload from the chunk's own allocation. The caller flushes.
 pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
-    writer.write_all(&frame.to_wire_bytes())
+    // head = length prefix placeholder + header fields.
+    let mut head = Vec::with_capacity(64);
+    head.extend_from_slice(&[0u8; 4]);
+    let payload = frame.encode_header_into(&mut head);
+    let payload_bytes: &[u8] = match payload {
+        Some(chunk) => chunk,
+        None => &[],
+    };
+    if payload.is_some() {
+        head.extend_from_slice(&(payload_bytes.len() as u32).to_le_bytes());
+    }
+    let body_len = head.len() - 4 + payload_bytes.len();
+    debug_assert!(body_len <= MAX_FRAME_BODY, "frame body exceeds cap");
+    head[0..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&head[4..]);
+    crc.update(payload_bytes);
+    let crc = crc.finalize().to_le_bytes();
+    write_all_vectored(writer, &[&head, payload_bytes, &crc])
 }
 
 /// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (EOF at a
 /// frame boundary); EOF anywhere inside a frame is [`WireError::Truncated`].
 pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let Some(len) = read_frame_len(reader)? else {
+        return Ok(None);
+    };
+    finish_frame(reader, len, BufMut::with_capacity(len as usize))
+}
+
+/// [`read_frame`] with the body buffer checked out of `pool`: the frame
+/// body lands in a pooled allocation, and the decoded frame's payload
+/// chunk is a zero-copy view of it that returns the buffer to the pool
+/// when the last reference drops.
+pub fn read_frame_pooled(
+    reader: &mut impl Read,
+    pool: &BufPool,
+) -> Result<Option<Frame>, WireError> {
+    let Some(len) = read_frame_len(reader)? else {
+        return Ok(None);
+    };
+    finish_frame(reader, len, pool.get(len as usize))
+}
+
+/// Reads the 4-byte length prefix, distinguishing clean EOF (`None`) from
+/// truncation, and bounds-checks it.
+fn read_frame_len(reader: &mut impl Read) -> Result<Option<u32>, WireError> {
     // Read the first length byte alone so a clean EOF is distinguishable
     // from a truncation.
     let mut len_buf = [0u8; 4];
@@ -607,15 +709,25 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
     if len as usize > MAX_FRAME_BODY {
         return Err(WireError::Oversized { len });
     }
-    let mut body = vec![0u8; len as usize];
-    reader.read_exact(&mut body)?;
+    Ok(Some(len))
+}
+
+/// Reads body + CRC into `buf`, verifies, and decodes.
+fn finish_frame(
+    reader: &mut impl Read,
+    len: u32,
+    mut buf: BufMut,
+) -> Result<Option<Frame>, WireError> {
+    buf.resize(len as usize, 0);
+    reader.read_exact(&mut buf)?;
     let mut crc_buf = [0u8; 4];
     reader.read_exact(&mut crc_buf)?;
     let expected = u32::from_le_bytes(crc_buf);
-    let actual = crc32(&body);
+    let actual = crc32(&buf);
     if expected != actual {
         return Err(WireError::Corrupt { expected, actual });
     }
+    let body = buf.freeze();
     Frame::decode_body(&body).map(Some)
 }
 

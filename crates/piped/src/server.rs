@@ -46,19 +46,20 @@
 //! SIGTERM-equivalent shutdown used by CI.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use checksum::buf::{BufPool, Chunk};
 use pipeserve::{
     CachedService, ContentKey, JobResult, JobSpec, Priority, ShardedService, SinkLaunchFn, Submit,
 };
 use workloads::bytes::{ByteJob, ByteJobError, ByteSink};
 
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, Frame, WireJobStatus, CHUNK_BYTES, PRIORITY_BATCH,
+    read_frame_pooled, write_frame, ErrorCode, Frame, WireJobStatus, CHUNK_BYTES, PRIORITY_BATCH,
     PRIORITY_INTERACTIVE,
 };
 
@@ -129,6 +130,9 @@ impl Default for ServerConfig {
 struct Shared {
     service: CachedService<ShardedService>,
     config: ServerConfig,
+    /// Size-classed buffer pool feeding every connection's frame reads;
+    /// recycled allocations come back when the last [`Chunk`] view drops.
+    pool: BufPool,
     /// Set by DRAIN: reject new SUBMITs server-wide.
     draining: AtomicBool,
     /// Set to stop the accept loop.
@@ -235,6 +239,7 @@ impl PipedServer {
             shared: Arc::new(Shared {
                 service,
                 config,
+                pool: BufPool::new(),
                 draining: AtomicBool::new(false),
                 stop: AtomicBool::new(false),
             }),
@@ -391,8 +396,26 @@ struct PendingJob {
     priority: Priority,
     throttle: u32,
     deadline_ms: u32,
-    input: Vec<u8>,
+    /// Input segments exactly as they arrived off the wire — pooled
+    /// [`Chunk`]s held without copying until submission coalesces them.
+    input: Vec<Chunk>,
+    input_bytes: usize,
     hasher: checksum::Sha256,
+}
+
+/// Flattens a streamed input into one contiguous [`Chunk`]. Zero or one
+/// segments are free; more pay a single pooled copy (counted in the
+/// process-wide [`checksum::buf::global_stats`] gauges).
+fn coalesce_input(segments: Vec<Chunk>, total_bytes: usize, pool: &BufPool) -> Chunk {
+    if segments.len() <= 1 {
+        return segments.into_iter().next().unwrap_or_else(Chunk::empty);
+    }
+    let mut buf = pool.get(total_bytes);
+    for segment in &segments {
+        buf.extend_from_slice(segment);
+    }
+    checksum::buf::note_copy(total_bytes);
+    buf.freeze()
 }
 
 fn wire_priority(priority: u8) -> Priority {
@@ -430,14 +453,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let writer = std::thread::Builder::new()
         .name("piped-conn-writer".to_string())
         .spawn(move || {
-            let mut writer = BufWriter::new(write_half);
+            // `write_frame` is a single vectored write straight from the
+            // frame's scatter list (header, payload chunk, CRC) — no
+            // assembly buffer, so the socket is written directly.
+            let mut writer = write_half;
             while let Some(frame) = writer_outbound.pop() {
-                if write_frame(&mut writer, &frame).is_err() || writer.flush().is_err() {
+                if write_frame(&mut writer, &frame).is_err() {
                     writer_outbound.mark_dead();
                     return;
                 }
             }
-            let _ = writer.flush();
         })
         .expect("failed to spawn connection writer thread");
 
@@ -452,7 +477,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let mut dropped: HashSet<u64> = HashSet::new();
 
     loop {
-        let frame = match read_frame(&mut reader) {
+        let frame = match read_frame_pooled(&mut reader, &shared.pool) {
             Ok(Some(frame)) => frame,
             Ok(None) => break,
             Err(e) => {
@@ -506,6 +531,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                                 throttle,
                                 deadline_ms,
                                 input: Vec::new(),
+                                input_bytes: 0,
                                 hasher: checksum::Sha256::new(),
                             },
                         );
@@ -531,9 +557,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     });
                     break;
                 }
-                let pending_total: usize = pending.values().map(|p| p.input.len()).sum();
+                let pending_total: usize = pending.values().map(|p| p.input_bytes).sum();
                 let job = pending.get_mut(&ticket).expect("checked above");
-                if job.input.len() + data.len() > shared.config.max_input_bytes
+                if job.input_bytes + data.len() > shared.config.max_input_bytes
                     || pending_total + data.len() > shared.config.max_input_bytes
                 {
                     pending.remove(&ticket);
@@ -550,7 +576,8 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     continue;
                 }
                 job.hasher.update(&data);
-                job.input.extend_from_slice(&data);
+                job.input_bytes += data.len();
+                job.input.push(data);
             }
             Frame::InputEof { ticket } => {
                 let Some(job) = pending.remove(&ticket) else {
@@ -663,15 +690,19 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
         return;
     }
 
-    // The sink: the pipeline's final serial stage writes here, chunked and
-    // back-pressured by the outbound data window.
+    // The sink: the pipeline's final serial stage hands ownership of its
+    // output chunk here; wire framing re-slices the same allocation (no
+    // copy), back-pressured by the outbound data window.
     let sink_outbound = Arc::clone(&conn.outbound);
-    let sink: ByteSink = Box::new(move |bytes: &[u8]| {
-        for part in bytes.chunks(CHUNK_BYTES) {
+    let sink: ByteSink = Box::new(move |chunk: Chunk| {
+        let mut off = 0;
+        while off < chunk.len() {
+            let end = (off + CHUNK_BYTES).min(chunk.len());
             sink_outbound.push_data(Frame::OutputChunk {
                 ticket,
-                data: part.to_vec(),
+                data: chunk.slice(off..end),
             });
+            off = end;
         }
     });
     let options = if job.throttle > 0 {
@@ -679,12 +710,17 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
     } else {
         piper::PipeOptions::default()
     };
+    // Workload launch wants contiguous input. A single-segment stream
+    // (the common case: inputs under one wire chunk) passes its pooled
+    // buffer straight through; multi-segment streams pay exactly one
+    // counted copy into a pooled buffer.
+    let input: Chunk = coalesce_input(job.input, job.input_bytes, &shared.pool);
     let base = if shared.config.cache {
         // Keyed path: validate once at admission, then hand the cache
         // layer a key plus an infallible deferred launch — the factory may
         // run later (coalesced winner) or never (LRU hit), and the sink
         // alone decides where the bytes go.
-        if let Err(e) = (job.descriptor.validate)(&job.input) {
+        if let Err(e) = (job.descriptor.validate)(&input) {
             match e {
                 ByteJobError::InvalidInput(msg) => reject(ErrorCode::InvalidInput, msg),
                 ByteJobError::UnknownWorkload(name) => reject(ErrorCode::UnknownWorkload, name),
@@ -693,13 +729,12 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
         }
         let key = ContentKey::from_digest(job.descriptor.name, job.hasher.finalize());
         let descriptor = job.descriptor;
-        let input = job.input;
         let factory: SinkLaunchFn = Box::new(move |sink| {
             (descriptor.launch)(&input, sink).expect("input validated at admission")
         });
         JobSpec::keyed(options, key, sink, factory)
     } else {
-        let launch = match (job.descriptor.launch)(&job.input, sink) {
+        let launch = match (job.descriptor.launch)(&input, sink) {
             Ok(launch) => launch,
             Err(ByteJobError::InvalidInput(msg)) => {
                 reject(ErrorCode::InvalidInput, msg);

@@ -68,7 +68,10 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                         throttle,
                         deadline_ms,
                     },
-                    1 => Frame::InputChunk { ticket, data },
+                    1 => Frame::InputChunk {
+                        ticket,
+                        data: data.into(),
+                    },
                     2 => Frame::InputEof { ticket },
                     3 => Frame::Status { ticket },
                     4 => Frame::Cancel { ticket },
@@ -80,7 +83,10 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                         code,
                         message: text,
                     },
-                    9 => Frame::OutputChunk { ticket, data },
+                    9 => Frame::OutputChunk {
+                        ticket,
+                        data: data.into(),
+                    },
                     10 => Frame::JobDone {
                         ticket,
                         status,

@@ -175,7 +175,13 @@ impl ControlCore {
 
     /// Raises the peak-active high-water mark to at least `current`.
     pub(crate) fn update_peak(&self, current: usize) {
-        self.peak_active.fetch_max(current, Ordering::Relaxed);
+        // In the steady state the peak is reached early and never raised
+        // again, so check with a plain load before paying for the RMW; a
+        // racing reader may transiently see a lower peak either way (the
+        // counter is advisory until completion).
+        if self.peak_active.load(Ordering::Relaxed) < current {
+            self.peak_active.fetch_max(current, Ordering::Relaxed);
+        }
     }
 
     /// Signals completion if the producer has stopped and no iteration is
@@ -502,7 +508,11 @@ where
 
                 let k = self.ring.capacity() as u64;
                 if index >= k {
-                    Metrics::bump(&core.frame_reuses);
+                    // Single-writer (there is exactly one control token per
+                    // pipeline, and it runs control steps sequentially), so
+                    // the running total can be published with a plain store
+                    // instead of a read-modify-write.
+                    core.frame_reuses.store(index + 1 - k, Ordering::Relaxed);
                     Metrics::bump(&worker.metrics().frame_reuses);
                 }
 

@@ -103,6 +103,56 @@ fn status_word(iteration: u64, phase: u64) -> u64 {
     (iteration << 2) | phase
 }
 
+/// Per-`node_step` accumulator for the hot-path counters. Even a Relaxed
+/// `fetch_add` is a full read-modify-write on x86, and the per-node loop
+/// would otherwise pay four of them per node; batching them into plain
+/// locals and flushing once per scheduling quantum keeps the counters exact
+/// at every observable point (a flush always happens-before the frame is
+/// handed off or the iteration completes) while taking the RMWs off the
+/// per-node path.
+#[derive(Default)]
+struct NodeTally {
+    nodes: u64,
+    cross_checks: u64,
+    folded_checks: u64,
+}
+
+impl NodeTally {
+    /// Publishes and zeroes the accumulated counts. Called before any point
+    /// where frame ownership can escape this worker (a suspension publish,
+    /// an iteration completion), so the global counters are exact whenever
+    /// the pipeline can be observed as complete.
+    #[inline]
+    fn flush(&mut self, core: &ControlCore, worker: &WorkerThread) {
+        if self.nodes > 0 {
+            core.nodes.fetch_add(self.nodes, Ordering::Relaxed);
+            worker
+                .metrics()
+                .nodes_executed
+                .fetch_add(self.nodes, Ordering::Relaxed);
+            self.nodes = 0;
+        }
+        if self.cross_checks > 0 {
+            core.cross_checks
+                .fetch_add(self.cross_checks, Ordering::Relaxed);
+            worker
+                .metrics()
+                .cross_checks
+                .fetch_add(self.cross_checks, Ordering::Relaxed);
+            self.cross_checks = 0;
+        }
+        if self.folded_checks > 0 {
+            core.folded_checks
+                .fetch_add(self.folded_checks, Ordering::Relaxed);
+            worker
+                .metrics()
+                .folded_checks
+                .fetch_add(self.folded_checks, Ordering::Relaxed);
+            self.folded_checks = 0;
+        }
+    }
+}
+
 /// One recycled frame shell. Padded to its own cache-line pair so that the
 /// per-node traffic of adjacent iterations (which are adjacent slots) does
 /// not false-share.
@@ -259,7 +309,7 @@ where
         iteration: u64,
         stage: u64,
         use_cache: bool,
-        worker: &WorkerThread,
+        tally: &mut NodeTally,
     ) -> bool {
         if iteration == 0 {
             return true;
@@ -268,13 +318,11 @@ where
         if use_cache && self.core.dependency_folding {
             let cached = own.cached_prev_progress.load(Ordering::Relaxed);
             if cached > stage {
-                Metrics::bump(&self.core.folded_checks);
-                Metrics::bump(&worker.metrics().folded_checks);
+                tally.folded_checks += 1;
                 return true;
             }
         }
-        Metrics::bump(&self.core.cross_checks);
-        Metrics::bump(&worker.metrics().cross_checks);
+        tally.cross_checks += 1;
 
         let left = iteration - 1;
         let lslot = self.slot_of(left);
@@ -483,99 +531,133 @@ where
             self.seq_live(iteration),
             "node_step on a slot not owned by iteration {iteration}"
         );
-        loop {
-            // Owner-local reads: ownership handoffs already order them.
-            let stage = slot.progress.load(Ordering::Relaxed);
-            let needs_wait = slot.pending_wait.load(Ordering::Relaxed);
+        /// How the per-node loop below left the frame.
+        enum Exit {
+            /// The frame was handed off (suspended, or claimed by the
+            /// resuming neighbour): nothing more to do here.
+            Released,
+            /// The iteration's last node returned [`NodeOutcome::Done`].
+            Completed,
+        }
 
-            if needs_wait && !self.cross_satisfied(iteration, stage, true, worker) {
-                // Publish the suspension, then re-check without the cache
-                // to close the race with a concurrently advancing
-                // neighbour (Dekker, consumer side: the fence orders the
-                // status store before the progress re-read).
-                slot.status
-                    .store(status_word(iteration, PHASE_SUSPENDED), Ordering::Release);
-                fence(Ordering::SeqCst);
-                if self.cross_satisfied(iteration, stage, false, worker) {
-                    if slot
-                        .status
-                        .compare_exchange(
-                            status_word(iteration, PHASE_SUSPENDED),
-                            status_word(iteration, PHASE_RUNNING),
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
-                        .is_err()
-                    {
-                        // The left neighbour won the race and has already
-                        // re-scheduled this frame; drop our claim to it.
-                        return None;
+        let mut tally = NodeTally::default();
+        // One unwind guard around the whole scheduling quantum instead of
+        // one per node: `__rust_try` setup is small but real, and the
+        // per-node loop is the runtime's hottest path. A panic anywhere in
+        // the quantum terminates the iteration exactly as a per-node guard
+        // would (stage bookkeeping is already published through the slot
+        // atomics before each `run_node` call).
+        let exit = panic::catch_unwind(AssertUnwindSafe(|| {
+            loop {
+                // Owner-local reads: ownership handoffs already order them.
+                let stage = slot.progress.load(Ordering::Relaxed);
+                let needs_wait = slot.pending_wait.load(Ordering::Relaxed);
+
+                if needs_wait && !self.cross_satisfied(iteration, stage, true, &mut tally) {
+                    // Flush before publishing the suspension: the moment the
+                    // SUSPENDED store lands, the resuming neighbour may run
+                    // this frame to completion on another worker, and the
+                    // counters must already be exact if a stats reader
+                    // observes that completion.
+                    tally.flush(&self.core, worker);
+                    // Publish the suspension, then re-check without the cache
+                    // to close the race with a concurrently advancing
+                    // neighbour (Dekker, consumer side: the fence orders the
+                    // status store before the progress re-read).
+                    slot.status
+                        .store(status_word(iteration, PHASE_SUSPENDED), Ordering::Release);
+                    fence(Ordering::SeqCst);
+                    if self.cross_satisfied(iteration, stage, false, &mut tally) {
+                        if slot
+                            .status
+                            .compare_exchange(
+                                status_word(iteration, PHASE_SUSPENDED),
+                                status_word(iteration, PHASE_RUNNING),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_err()
+                        {
+                            // The left neighbour won the race and has already
+                            // re-scheduled this frame; drop our claim to it.
+                            tally.flush(&self.core, worker);
+                            return Exit::Released;
+                        }
+                        // We re-claimed the frame; fall through and execute.
+                    } else {
+                        Metrics::bump(&self.core.cross_suspensions);
+                        Metrics::bump(&worker.metrics().cross_suspensions);
+                        tally.flush(&self.core, worker);
+                        return Exit::Released;
                     }
-                    // We re-claimed the frame; fall through and execute.
-                } else {
-                    Metrics::bump(&self.core.cross_suspensions);
-                    Metrics::bump(&worker.metrics().cross_suspensions);
-                    return None;
+                }
+
+                // Execute node (iteration, stage).
+                tally.nodes += 1;
+                // SAFETY: the slot is live and this task is its unique owner
+                // (module docs), so the state cell is ours to borrow. The
+                // borrow ends before `complete` or the next handoff.
+                let state = unsafe {
+                    (*slot.state.get())
+                        .as_mut()
+                        .expect("iteration state must be present while the iteration is live")
+                };
+
+                match state.run_node(stage) {
+                    NodeOutcome::Done => {
+                        return Exit::Completed;
+                    }
+                    outcome @ (NodeOutcome::ContinueTo(_) | NodeOutcome::WaitFor(_)) => {
+                        let (next, is_wait) = match outcome {
+                            NodeOutcome::ContinueTo(next) => (next, false),
+                            NodeOutcome::WaitFor(next) => (next, true),
+                            NodeOutcome::Done => unreachable!(),
+                        };
+                        assert!(
+                            next > stage,
+                            "stage numbers must strictly increase within an iteration \
+                             (iteration {iteration}, stage {stage} -> {next})"
+                        );
+                        // Advance the stage counter *before* any check-right,
+                        // so a waiting right neighbour observes the new
+                        // progress (Dekker pairing with its suspend protocol;
+                        // the SeqCst fence lives inside check_right's caller
+                        // path below, right before the status read).
+                        slot.pending_wait.store(is_wait, Ordering::Relaxed);
+                        slot.progress.store(next, Ordering::Release);
+
+                        // Eager enabling checks right at every node boundary;
+                        // lazy enabling (the default, per the paper's
+                        // work-first principle) defers the check to moments
+                        // when it can be amortized against the span: an empty
+                        // deque now, or iteration completion later. The fence
+                        // is only paid when a check actually happens.
+                        if !self.core.lazy_enabling || worker.deque_is_empty() {
+                            fence(Ordering::SeqCst);
+                            self.check_right(iteration, worker);
+                        }
+                        // Continue with the next node of this iteration (PIPER
+                        // keeps the iteration as its assigned work).
+                    }
                 }
             }
+        }));
 
-            // Execute node (iteration, stage).
-            Metrics::bump(&self.core.nodes);
-            Metrics::bump(&worker.metrics().nodes_executed);
-            // SAFETY: the slot is live and this task is its unique owner
-            // (module docs), so the state cell is ours to borrow. The
-            // borrow ends before `complete` or the next handoff.
-            let state = unsafe {
-                (*slot.state.get())
-                    .as_mut()
-                    .expect("iteration state must be present while the iteration is live")
-            };
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| state.run_node(stage)));
-
-            match outcome {
-                Err(payload) => {
-                    // A panicking node terminates its iteration; the panic
-                    // is re-raised from pipe_while once the pipeline
-                    // drains.
-                    self.core.record_panic(payload);
-                    return self.complete(iteration, worker);
-                }
-                Ok(NodeOutcome::Done) => {
-                    return self.complete(iteration, worker);
-                }
-                Ok(outcome @ (NodeOutcome::ContinueTo(_) | NodeOutcome::WaitFor(_))) => {
-                    let (next, is_wait) = match outcome {
-                        NodeOutcome::ContinueTo(next) => (next, false),
-                        NodeOutcome::WaitFor(next) => (next, true),
-                        NodeOutcome::Done => unreachable!(),
-                    };
-                    assert!(
-                        next > stage,
-                        "stage numbers must strictly increase within an iteration \
-                         (iteration {iteration}, stage {stage} -> {next})"
-                    );
-                    // Advance the stage counter *before* any check-right,
-                    // so a waiting right neighbour observes the new
-                    // progress (Dekker pairing with its suspend protocol;
-                    // the SeqCst fence lives inside check_right's caller
-                    // path below, right before the status read).
-                    slot.pending_wait.store(is_wait, Ordering::Relaxed);
-                    slot.progress.store(next, Ordering::Release);
-
-                    // Eager enabling checks right at every node boundary;
-                    // lazy enabling (the default, per the paper's
-                    // work-first principle) defers the check to moments
-                    // when it can be amortized against the span: an empty
-                    // deque now, or iteration completion later. The fence
-                    // is only paid when a check actually happens.
-                    if !self.core.lazy_enabling || worker.deque_is_empty() {
-                        fence(Ordering::SeqCst);
-                        self.check_right(iteration, worker);
-                    }
-                    // Continue with the next node of this iteration (PIPER
-                    // keeps the iteration as its assigned work).
-                    continue;
-                }
+        match exit {
+            Ok(Exit::Released) => None,
+            Ok(Exit::Completed) => {
+                // Flush before `complete`: the counters must be exact by the
+                // time completion (and any stats reader it unblocks) can
+                // observe the pipeline as finished.
+                tally.flush(&self.core, worker);
+                self.complete(iteration, worker)
+            }
+            Err(payload) => {
+                // A panicking node terminates its iteration; the panic is
+                // re-raised from pipe_while once the pipeline drains.
+                self.core.record_panic(payload);
+                tally.flush(&self.core, worker);
+                self.complete(iteration, worker)
             }
         }
     }

@@ -37,6 +37,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
+use checksum::buf::Chunk;
 use piper::PipeStats;
 
 use crate::job::{
@@ -57,12 +58,28 @@ fn terminal_status(result: &JobResult) -> JobStatus {
     }
 }
 
-/// One stored output: the canonical byte stream plus the stats of the run
-/// that produced it (re-reported on every hit).
+/// One stored output: the canonical byte stream as the reference-counted
+/// segments the pipeline produced (hits clone the `Chunk`s — no payload
+/// copy), plus the stats of the run that produced it (re-reported on every
+/// hit).
 #[derive(Clone)]
 struct CachedOutput {
-    bytes: Arc<Vec<u8>>,
+    segments: Arc<Vec<Chunk>>,
+    /// Sum of the segment lengths (the LRU's byte accounting).
+    total_bytes: usize,
     stats: PipeStats,
+}
+
+/// Streams every non-empty segment of `segments` into `sink` as a clone
+/// (no payload copy). Subscriber catch-up is always whole-segment aligned:
+/// every path that advances a subscriber advances it to the end of the
+/// capture, so a laggard's resume point is a segment boundary.
+fn deliver_segments(segments: &[Chunk], sink: &mut OutputSink) {
+    for seg in segments {
+        if !seg.is_empty() {
+            sink(seg.clone());
+        }
+    }
 }
 
 /// A byte-budgeted LRU: `HashMap` for lookup, `BTreeMap<seq, key>` for
@@ -92,9 +109,9 @@ impl Lru {
     fn insert(&mut self, key: ContentKey, out: CachedOutput, capacity: usize) -> u64 {
         if let Some((seq, old)) = self.map.remove(&key) {
             self.order.remove(&seq);
-            self.total_bytes -= old.bytes.len();
+            self.total_bytes -= old.total_bytes;
         }
-        self.total_bytes += out.bytes.len();
+        self.total_bytes += out.total_bytes;
         let seq = self.next_seq;
         self.next_seq += 1;
         self.order.insert(seq, key.clone());
@@ -103,7 +120,7 @@ impl Lru {
         while self.total_bytes > capacity {
             let (_, key) = self.order.pop_first().expect("bytes imply entries");
             let (_, out) = self.map.remove(&key).expect("order tracks every entry");
-            self.total_bytes -= out.bytes.len();
+            self.total_bytes -= out.total_bytes;
             evicted += 1;
         }
         evicted
@@ -143,15 +160,19 @@ struct Subscriber {
     state: Arc<JobState>,
     /// The submitter's sink; taken when the subscriber cancels.
     sink: Option<OutputSink>,
-    /// How many bytes of `capture` this sink has already received.
+    /// How many capture *segments* this sink has already received (every
+    /// catch-up is whole-segment aligned, so a count suffices).
     delivered: usize,
 }
 
 /// Subscriber-list state guarded by the per-entry lock.
 struct InflightSubs {
-    /// Everything the underlying pipeline has produced so far (late
-    /// subscribers are caught up from it on attach).
-    capture: Vec<u8>,
+    /// Everything the underlying pipeline has produced so far, as the
+    /// `Chunk` segments it arrived in (late subscribers are caught up from
+    /// it on attach — clones, not copies).
+    capture: Vec<Chunk>,
+    /// Sum of the capture segment lengths.
+    capture_bytes: usize,
     subscribers: Vec<Subscriber>,
     /// Subscribers that have not cancelled.
     live: usize,
@@ -161,7 +182,7 @@ struct InflightSubs {
     /// (or taken back on QueueFull rollback).
     factory: Option<SinkLaunchFn>,
     /// Set by the terminal hook; later attach attempts resolve from here.
-    terminal: Option<(JobResult, Arc<Vec<u8>>)>,
+    terminal: Option<(JobResult, Arc<Vec<Chunk>>)>,
 }
 
 /// One in-flight keyed job that identical submissions coalesce onto.
@@ -172,12 +193,14 @@ pub(crate) struct Inflight {
 }
 
 impl Inflight {
-    /// The tee: appends `bytes` to the capture and fans the undelivered
-    /// tail out to every live subscriber. Runs from the pipeline's in-order
-    /// serial output stage, so calls arrive in canonical order.
-    fn deliver(&self, bytes: &[u8]) {
+    /// The tee: appends `chunk` to the capture (a reference-count bump —
+    /// the payload is never copied) and fans the undelivered segment tail
+    /// out to every live subscriber as clones. Runs from the pipeline's
+    /// in-order serial output stage, so calls arrive in canonical order.
+    fn deliver(&self, chunk: Chunk) {
         let mut subs = self.subs.lock().unwrap();
-        subs.capture.extend_from_slice(bytes);
+        subs.capture_bytes += chunk.len();
+        subs.capture.push(chunk);
         let InflightSubs {
             capture,
             subscribers,
@@ -186,7 +209,7 @@ impl Inflight {
         let len = capture.len();
         for sub in subscribers.iter_mut() {
             if let Some(sink) = sub.sink.as_mut() {
-                sink(&capture[sub.delivered..]);
+                deliver_segments(&capture[sub.delivered..], sink);
             }
             sub.delivered = len;
         }
@@ -245,19 +268,21 @@ impl Inflight {
         {
             table.inflight.remove(&self.key);
         }
-        let (bytes, subscribers) = {
+        let (segments, total_bytes, subscribers) = {
             let mut subs = self.subs.lock().unwrap();
-            let bytes = Arc::new(std::mem::take(&mut subs.capture));
-            subs.terminal = Some((result.clone(), Arc::clone(&bytes)));
+            let segments = Arc::new(std::mem::take(&mut subs.capture));
+            let total_bytes = subs.capture_bytes;
+            subs.terminal = Some((result.clone(), Arc::clone(&segments)));
             subs.underlying = None;
-            (bytes, std::mem::take(&mut subs.subscribers))
+            (segments, total_bytes, std::mem::take(&mut subs.subscribers))
         };
         if let JobResult::Completed(stats) = result {
-            if bytes.len() <= core.max_entry_bytes {
+            if total_bytes <= core.max_entry_bytes {
                 let evicted = table.lru.insert(
                     self.key.clone(),
                     CachedOutput {
-                        bytes: Arc::clone(&bytes),
+                        segments: Arc::clone(&segments),
+                        total_bytes,
                         stats: *stats,
                     },
                     core.capacity_bytes,
@@ -269,12 +294,12 @@ impl Inflight {
         // Finalize outside every lock: subscriber hooks (e.g. the piped
         // server's connection forwarding) may do arbitrary non-blocking
         // work. The tee already caught every live sink up, so only the
-        // (normally empty) tail is delivered here.
+        // (normally empty) segment tail is delivered here.
         let status = terminal_status(result);
         for mut sub in subscribers {
             if let Some(sink) = sub.sink.as_mut() {
-                if sub.delivered < bytes.len() {
-                    sink(&bytes[sub.delivered..]);
+                if sub.delivered < segments.len() {
+                    deliver_segments(&segments[sub.delivered..], sink);
                 }
             }
             sub.state.finalize(status, result.clone());
@@ -410,9 +435,7 @@ impl<S: Submit> CachedService<S> {
             drop(table);
             let state = self.new_state(name, priority, on_terminal);
             let mut sink = sink;
-            if !out.bytes.is_empty() {
-                sink(&out.bytes);
-            }
+            deliver_segments(&out.segments, &mut sink);
             // Deliver-then-finalize: a terminal hook (the piped server's
             // JOB_DONE frame) must order after the output bytes.
             state.finalize(JobStatus::Completed, JobResult::Completed(out.stats));
@@ -427,14 +450,14 @@ impl<S: Submit> CachedService<S> {
             drop(table);
             let state = self.new_state(name, priority, on_terminal);
             let mut subs = entry.subs.lock().unwrap();
-            if let Some((result, bytes)) = subs.terminal.clone() {
+            if let Some((result, segments)) = subs.terminal.clone() {
                 // Raced the terminal hook between the table and entry
                 // locks: resolve exactly like a hit.
                 drop(subs);
                 self.core.hits.fetch_add(1, Ordering::Relaxed);
                 let mut sink = sink;
-                if result.is_completed() && !bytes.is_empty() {
-                    sink(&bytes);
+                if result.is_completed() {
+                    deliver_segments(&segments, &mut sink);
                 }
                 state.finalize(terminal_status(&result), result);
                 return Ok(JobHandle {
@@ -444,9 +467,7 @@ impl<S: Submit> CachedService<S> {
             }
             self.core.coalesced.fetch_add(1, Ordering::Relaxed);
             let mut sink = sink;
-            if !subs.capture.is_empty() {
-                sink(&subs.capture); // catch up on bytes produced so far
-            }
+            deliver_segments(&subs.capture, &mut sink); // catch up so far
             let delivered = subs.capture.len();
             let index = subs.subscribers.len();
             subs.subscribers.push(Subscriber {
@@ -472,6 +493,7 @@ impl<S: Submit> CachedService<S> {
             core: Arc::downgrade(&self.core),
             subs: Mutex::new(InflightSubs {
                 capture: Vec::new(),
+                capture_bytes: 0,
                 subscribers: vec![Subscriber {
                     state: Arc::clone(&state),
                     sink: Some(sink),
@@ -493,7 +515,7 @@ impl<S: Submit> CachedService<S> {
                 .take()
                 .expect("factory present until the one launch");
             let tee_entry = Arc::clone(&launch_entry);
-            let tee: OutputSink = Box::new(move |bytes: &[u8]| tee_entry.deliver(bytes));
+            let tee: OutputSink = Box::new(move |chunk: Chunk| tee_entry.deliver(chunk));
             factory(tee)(pool, opts)
         });
         let hook_entry = Arc::clone(&entry);

@@ -20,7 +20,11 @@ pub type LaunchFn = Box<dyn FnOnce(&ThreadPool, PipeOptions) -> PipeHandle + Sen
 /// A byte-stream consumer for a keyed job's output (see [`JobSpec::keyed`]).
 /// Called from the pipeline's in-order serial stage with each produced
 /// chunk; chunks concatenated in call order are the job's canonical output.
-pub type OutputSink = Box<dyn FnMut(&[u8]) + Send>;
+///
+/// The chunk arrives as an owned reference-counted [`checksum::buf::Chunk`]:
+/// a caching tee can retain a clone and a connection writer can queue the
+/// same bytes without either copying the payload.
+pub type OutputSink = Box<dyn FnMut(checksum::buf::Chunk) + Send>;
 
 /// Builds a keyed job's launch closure around the sink that should receive
 /// its output (see [`JobSpec::keyed`]). A caching layer substitutes its own

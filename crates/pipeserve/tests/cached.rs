@@ -40,7 +40,9 @@ impl piper::PipelineIteration for Emit {
     fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
         let mut sink = self.sink.take().expect("single iteration");
         if !self.head.is_empty() {
-            sink(&self.head);
+            sink(checksum::buf::Chunk::from_vec(std::mem::take(
+                &mut self.head,
+            )));
         }
         if let Some(gate) = &self.gate {
             while !gate.load(Ordering::Acquire) {
@@ -48,7 +50,9 @@ impl piper::PipelineIteration for Emit {
             }
         }
         assert!(!self.panic_mid, "job panics after streaming its head");
-        sink(&self.tail);
+        sink(checksum::buf::Chunk::from_vec(std::mem::take(
+            &mut self.tail,
+        )));
         piper::NodeOutcome::Done
     }
 }
@@ -70,8 +74,8 @@ fn keyed_spec(
     let key = ContentKey::new(workload, input);
     let output = transform(input);
     let out = Arc::clone(out);
-    let sink: OutputSink = Box::new(move |bytes: &[u8]| {
-        out.lock().unwrap().extend_from_slice(bytes);
+    let sink: OutputSink = Box::new(move |chunk: checksum::buf::Chunk| {
+        out.lock().unwrap().extend_from_slice(&chunk);
     });
     let runs = Arc::clone(runs);
     let factory: SinkLaunchFn = Box::new(move |sink: OutputSink| {

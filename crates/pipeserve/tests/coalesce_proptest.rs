@@ -40,12 +40,16 @@ impl piper::PipelineIteration for Emit {
     fn run_node(&mut self, _stage: u64) -> piper::NodeOutcome {
         let mut sink = self.sink.take().expect("single iteration");
         if !self.head.is_empty() {
-            sink(&self.head);
+            sink(checksum::buf::Chunk::from_vec(std::mem::take(
+                &mut self.head,
+            )));
         }
         while !self.gate.load(Ordering::Acquire) {
             std::thread::yield_now();
         }
-        sink(&self.tail);
+        sink(checksum::buf::Chunk::from_vec(std::mem::take(
+            &mut self.tail,
+        )));
         piper::NodeOutcome::Done
     }
 }
@@ -59,8 +63,8 @@ fn keyed_spec(
     let key = ContentKey::new("prop", input);
     let output = transform(input);
     let out = Arc::clone(out);
-    let sink: OutputSink = Box::new(move |bytes: &[u8]| {
-        out.lock().unwrap().extend_from_slice(bytes);
+    let sink: OutputSink = Box::new(move |chunk: checksum::buf::Chunk| {
+        out.lock().unwrap().extend_from_slice(&chunk);
     });
     let runs = Arc::clone(runs);
     let gate = Arc::clone(gate);

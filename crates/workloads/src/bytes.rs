@@ -26,12 +26,16 @@
 //! this module only parses inputs and dispatches.
 
 use crate::{dedup, ferret, pipefib, x264};
+use checksum::buf::Chunk;
 
 /// The output channel of a byte job: the pipeline's final serial stage
-/// calls it once per finished item, in iteration order. Implementations
-/// may block to apply backpressure; the call happens on a pool worker
-/// inside a serial stage, so blocking throttles exactly that pipeline.
-pub type ByteSink = Box<dyn FnMut(&[u8]) + Send>;
+/// calls it once per finished item, in iteration order, handing over an
+/// owned reference-counted [`Chunk`] (so downstream consumers — a
+/// per-connection output queue, a response cache — can retain or slice the
+/// bytes without copying them). Implementations may block to apply
+/// backpressure; the call happens on a pool worker inside a serial stage,
+/// so blocking throttles exactly that pipeline.
+pub type ByteSink = Box<dyn FnMut(Chunk) + Send>;
 
 /// Why a byte job could not be constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -300,7 +304,7 @@ mod tests {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let sink_buf = Arc::clone(&buf);
         (
-            Box::new(move |chunk: &[u8]| sink_buf.lock().unwrap().extend_from_slice(chunk)),
+            Box::new(move |chunk: Chunk| sink_buf.lock().unwrap().extend_from_slice(&chunk)),
             buf,
         )
     }

@@ -363,7 +363,7 @@ pub fn piper_launch_bytes(input: &[u8], sink: crate::bytes::ByteSink) -> crate::
     let stages = make_stages_emitting(table, move |_seq, record| {
         let mut buf = Vec::new();
         encode_record_into(&record, &mut buf);
-        (sink.lock().unwrap())(&buf);
+        (sink.lock().unwrap())(checksum::buf::Chunk::from_vec(buf));
     });
     let pipeline = adapt_stages(stages);
     let producer = make_producer(&config, input);

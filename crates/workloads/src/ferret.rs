@@ -247,7 +247,7 @@ pub fn piper_launch_bytes(
             make_piper_pipeline_emitting(&config, &index, move |_id, results| {
                 let mut buf = Vec::new();
                 encode_ranking_into(&results, &mut buf);
-                (sink.lock().unwrap())(&buf);
+                (sink.lock().unwrap())(checksum::buf::Chunk::from_vec(buf));
             });
         pipeline.spawn(pool, options, producer)
     })

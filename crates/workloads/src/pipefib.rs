@@ -102,14 +102,17 @@ impl BitTable {
     }
 
     fn get(&self, number: usize, bit: usize) -> u8 {
+        // Acquire pairs with the Release store in `set`; the cross edge the
+        // runtime enforces is what sequences the two nodes, so no stronger
+        // ordering (and no full barrier on the per-node hot path) is needed.
         self.numbers[number]
             .get(bit)
-            .map(|a| a.load(Ordering::SeqCst))
+            .map(|a| a.load(Ordering::Acquire))
             .unwrap_or(0)
     }
 
     fn set(&self, number: usize, bit: usize, value: u8) {
-        self.numbers[number][bit].store(value, Ordering::SeqCst);
+        self.numbers[number][bit].store(value, Ordering::Release);
     }
 }
 
@@ -143,7 +146,10 @@ impl PipelineIteration for FibIteration {
         if block + 1 >= self.blocks {
             debug_assert_eq!(self.carry, 0, "upper bound on bits must absorb the carry");
             if let Some(sink) = self.sink.as_mut() {
-                sink(&extract_bits(&self.config, &self.table));
+                sink(checksum::buf::Chunk::from_vec(extract_bits(
+                    &self.config,
+                    &self.table,
+                )));
             }
             NodeOutcome::Done
         } else {

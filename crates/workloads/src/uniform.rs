@@ -105,11 +105,16 @@ impl Grid {
     }
 
     fn get(&self, iteration: usize, stage: usize) -> u64 {
-        self.values[iteration * self.stages + stage].load(Ordering::SeqCst)
+        // Acquire pairs with the Release store in `set`. Node (i, j) only
+        // reads (i-1, j) after the runtime's cross edge has sequenced the
+        // two nodes, so the grid itself needs no full SeqCst barrier — a
+        // barrier per node would otherwise dominate the measured per-node
+        // overhead on fine-grained configurations.
+        self.values[iteration * self.stages + stage].load(Ordering::Acquire)
     }
 
     fn set(&self, iteration: usize, stage: usize, value: u64) {
-        self.values[iteration * self.stages + stage].store(value, Ordering::SeqCst);
+        self.values[iteration * self.stages + stage].store(value, Ordering::Release);
     }
 }
 

@@ -381,7 +381,7 @@ pub fn piper_launch_bytes(config: &X264Config, sink: crate::bytes::ByteSink) -> 
     let emit: Arc<EmitFn> = Arc::new(move |record| {
         let mut buf = Vec::new();
         encode_frame_record_into(&record, &mut buf);
-        (sink.lock().unwrap())(&buf);
+        (sink.lock().unwrap())(checksum::buf::Chunk::from_vec(buf));
     });
     let config = config.clone();
     Box::new(move |pool, options| {

@@ -129,8 +129,9 @@ fn main() {
     for round in 0..2 {
         let out = Arc::new(Mutex::new(Vec::new()));
         let sink_out = Arc::clone(&out);
-        let sink: OutputSink =
-            Box::new(move |bytes: &[u8]| sink_out.lock().unwrap().extend_from_slice(bytes));
+        let sink: OutputSink = Box::new(move |chunk: checksum::buf::Chunk| {
+            sink_out.lock().unwrap().extend_from_slice(&chunk)
+        });
         let input = dedup_input.clone();
         let launch = byte_job.launch;
         let factory: SinkLaunchFn =
