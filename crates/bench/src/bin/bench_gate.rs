@@ -1,7 +1,8 @@
 //! CI bench-regression gate.
 //!
-//! Quick-runs the three trajectory benches — `pipe_overhead` (per-node
-//! pipeline overhead), `pipeserve_load` (multi-tenant job latency) and
+//! Quick-runs the four trajectory benches — `pipe_overhead` (per-node
+//! pipeline overhead), `pipeserve_load` (multi-tenant job latency),
+//! `piped_load` (end-to-end daemon latency over loopback TCP) and
 //! `checksum_kernels` (serving data-path hash throughput) — and
 //! fails if any regresses more than a threshold against the *committed*
 //! baselines:
@@ -23,6 +24,11 @@
 //!   `hit_rate` is a **floor** (the zipf sequence is deterministic, so a
 //!   drop means caching or coalescing logic re-runs pipelines it should
 //!   not), and the cached `latency_p99_ms` gates like any other latency;
+//! * the daemon's smoke-rate latency quantiles (`latency_p50_ms` and
+//!   `latency_p99_ms` of the lowest-rate run, client-observed over real
+//!   loopback TCP) vs `BENCH_piped.json` — the end-to-end figure the
+//!   observability layer itself reports, so instrumentation overhead
+//!   cannot creep in unguarded;
 //! * checksum-kernel throughput vs `BENCH_checksum.json`: `kernel_mb_per_s`
 //!   is a floor against the committed baseline, and the speedup over the
 //!   scalar reference must stay ≥ 3× — the kernels exist to beat the
@@ -43,14 +49,14 @@
 //!
 //! Flags:
 //!
-//! * `--piper-json PATH` / `--pipeserve-json PATH` / `--checksum-json
-//!   PATH` — gate existing result files instead of quick-running the
-//!   benches (the benches are found next to this binary when it runs them
-//!   itself);
+//! * `--piper-json PATH` / `--pipeserve-json PATH` / `--piped-json PATH` /
+//!   `--checksum-json PATH` — gate existing result files instead of
+//!   quick-running the benches (the benches are found next to this binary
+//!   when it runs them itself);
 //! * `--piper-baseline PATH` / `--pipeserve-baseline PATH` /
-//!   `--checksum-baseline PATH` — override the committed baselines
-//!   (default `BENCH_piper_gate.json` / `BENCH_pipeserve.json` /
-//!   `BENCH_checksum.json`);
+//!   `--piped-baseline PATH` / `--checksum-baseline PATH` — override the
+//!   committed baselines (default `BENCH_piper_gate.json` /
+//!   `BENCH_pipeserve.json` / `BENCH_piped.json` / `BENCH_checksum.json`);
 //! * `--threshold PCT` — the allowed regression percentage (default 25).
 //!
 //! JSON parsing is the same hand-rolled style the emitters use: the gate
@@ -145,6 +151,36 @@ fn parse_pipeserve(raw: &str) -> Vec<(u64, f64, f64)> {
         at = after;
     }
     out
+}
+
+/// `(arrival rate, p50 ms, p99 ms)` per run from a `piped_load` JSON. The
+/// scan is keyed on `arrival_rate_jobs_per_s`, so the trailing zipf and
+/// drain sections (which carry no arrival rate) are never misread as runs.
+fn parse_piped(raw: &str) -> Vec<(f64, f64, f64)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some((rate, after)) = next_field(raw, at, "arrival_rate_jobs_per_s") {
+        let Some((p50, after)) = next_field(raw, after, "latency_p50_ms") else {
+            break;
+        };
+        let Some((p99, after)) = next_field(raw, after, "latency_p99_ms") else {
+            break;
+        };
+        out.push((
+            rate.parse().expect("numeric arrival rate"),
+            p50.parse().expect("numeric p50"),
+            p99.parse().expect("numeric p99"),
+        ));
+        at = after;
+    }
+    out
+}
+
+/// The smoke (lowest-rate) run's `(p50, p99)` of a `piped_load` JSON.
+fn piped_smoke(runs: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+    runs.iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite rates"))
+        .map(|&(_, p50, p99)| (p50, p99))
 }
 
 /// `(hit_rate, cached latency_p99_ms)` from the `"zipf"` section of a
@@ -246,6 +282,8 @@ fn main() {
     let pipeserve_baseline = PathBuf::from(
         flag_value(&args, "--pipeserve-baseline").unwrap_or("BENCH_pipeserve.json".into()),
     );
+    let piped_baseline =
+        PathBuf::from(flag_value(&args, "--piped-baseline").unwrap_or("BENCH_piped.json".into()));
     let checksum_baseline = PathBuf::from(
         flag_value(&args, "--checksum-baseline").unwrap_or("BENCH_checksum.json".into()),
     );
@@ -326,6 +364,31 @@ fn main() {
                 }
             }
             (best, zipf)
+        }
+    };
+    // Current daemon smoke latency quantiles: one file's smoke run, or the
+    // per-quantile minimum over GATE_RUNS quick runs over loopback TCP.
+    let current_piped: Option<(f64, f64)> = match flag_value(&args, "--piped-json") {
+        Some(path) => piped_smoke(&parse_piped(&read(Path::new(&path)))),
+        None => {
+            let mut best: Option<(f64, f64)> = None;
+            for run in 0..GATE_RUNS {
+                let out = tmp.join(format!("bench_gate_piped_{run}.json"));
+                let _ = std::fs::remove_file(&out);
+                run_sibling(
+                    "piped_load",
+                    &["--quick"],
+                    &[("PIPED_BENCH_OUT", out.to_str().expect("utf-8 temp path"))],
+                    &out,
+                );
+                if let Some((p50, p99)) = piped_smoke(&parse_piped(&read(&out))) {
+                    best = Some(match best {
+                        Some((b50, b99)) => (b50.min(p50), b99.min(p99)),
+                        None => (p50, p99),
+                    });
+                }
+            }
+            best
         }
     };
     // Current checksum-kernel throughput: one file's entries, or the
@@ -441,6 +504,42 @@ fn main() {
                  current run"
             )),
         }
+    }
+
+    // Daemon smoke-latency gates: the end-to-end client-observed quantiles
+    // of the lowest-rate run. These are the exact figures the histogram
+    // layer reports, so they also bound the instrumentation's own cost.
+    match (
+        piped_smoke(&parse_piped(&read(&piped_baseline))),
+        current_piped,
+    ) {
+        (Some((base_p50, base_p99)), Some((cur_p50, cur_p99))) => {
+            checks.push(Check {
+                metric: "piped smoke: latency_p50_ms".to_string(),
+                current: cur_p50,
+                baseline: base_p50,
+                limit: base_p50 * (1.0 + threshold) + SLACK_MS,
+                lower_bound: false,
+            });
+            // Wider absolute slack than the in-process smoke gate: the
+            // quick run offers only 60 jobs, so its p99 is effectively the
+            // single slowest job — the first uncached x264 run (~20 ms) —
+            // while the full-mode baseline amortizes that cold start over
+            // 240 mostly-cached samples. A real regression (lock on the
+            // record path, lost zero-copy) still clears 35 ms easily.
+            const SLACK_MS_PIPED_P99: f64 = 35.0;
+            checks.push(Check {
+                metric: "piped smoke: latency_p99_ms".to_string(),
+                current: cur_p99,
+                baseline: base_p99,
+                limit: base_p99 * (1.0 + threshold) + SLACK_MS_PIPED_P99,
+                lower_bound: false,
+            });
+        }
+        (Some(_), None) => {
+            missing.push("piped_load smoke run is in the baseline but not the current run".into());
+        }
+        (None, _) => panic!("no piped_load runs parsed from the baseline"),
     }
 
     // Checksum-kernel gates, both floors: kernel MB/s must not fall more

@@ -117,7 +117,9 @@ struct RunResult {
     rejected: u64,
     completed: u64,
     wall: Duration,
-    latencies_ms: Vec<f64>,
+    /// End-to-end client-observed latency, recorded into a mergeable
+    /// [`obs::Histogram`] (quantiles overestimate by < 6.25 %).
+    latency: obs::HistogramSnapshot,
     /// Total verified output bytes streamed back over the run.
     output_bytes: u64,
     /// Client-process [`checksum::buf`] gauge deltas over the run:
@@ -142,13 +144,7 @@ impl RunResult {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.latency.quantile(p) as f64 / 1e6
     }
 
     fn output_mb_per_s(&self) -> f64 {
@@ -210,7 +206,9 @@ fn die(message: &str) -> ! {
 /// What one submitter connection measured.
 struct ConnTally {
     rejected: u64,
-    latencies_ms: Vec<f64>,
+    /// This connection's latency histogram; the caller merges the
+    /// per-connection snapshots (merge ≡ one shared histogram).
+    latency: obs::HistogramSnapshot,
     /// `(job index, output bytes)` of each completed job, verified by the
     /// caller after the clock stops.
     outputs: Vec<(usize, Vec<u8>)>,
@@ -252,7 +250,7 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
                     Err(e) => die(&format!("job {i}: submit failed: {e}")),
                 }
             }
-            let mut latencies_ms = Vec::with_capacity(accepted.len());
+            let latency = obs::Histogram::new();
             let mut outputs = Vec::with_capacity(accepted.len());
             for (job, i) in accepted {
                 let outcome = match job.wait() {
@@ -265,12 +263,12 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
                         outcome.status, outcome.message
                     ));
                 }
-                latencies_ms.push(outcome.latency.as_secs_f64() * 1e3);
+                latency.record_duration(outcome.latency);
                 outputs.push((i, outcome.output));
             }
             ConnTally {
                 rejected,
-                latencies_ms,
+                latency: latency.snapshot(),
                 outputs,
             }
         }));
@@ -287,7 +285,7 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
     let mut rejected = 0u64;
     let mut completed = 0u64;
     let mut output_bytes = 0u64;
-    let mut latencies_ms = Vec::with_capacity(offered);
+    let mut latency = obs::HistogramSnapshot::default();
     for tally in &tallies {
         rejected += tally.rejected;
         completed += tally.outputs.len() as u64;
@@ -296,7 +294,7 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
             .iter()
             .map(|(_, o)| o.len() as u64)
             .sum::<u64>();
-        latencies_ms.extend_from_slice(&tally.latencies_ms);
+        latency = latency.merge(&tally.latency);
         for (i, output) in &tally.outputs {
             let entry = mix.job(*i).0;
             if output != &entry.expected {
@@ -319,7 +317,7 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
         rejected,
         completed,
         wall,
-        latencies_ms,
+        latency,
         output_bytes,
         chunks_created: buf_after.chunks_created - buf_before.chunks_created,
         bytes_copied: buf_after.bytes_copied - buf_before.bytes_copied,
@@ -337,7 +335,7 @@ struct ZipfResult {
     offered: usize,
     completed: u64,
     wall: Duration,
-    latencies_ms: Vec<f64>,
+    latency: obs::HistogramSnapshot,
     /// Cache counter deltas over the phase, read via METRICS frames.
     hits: u64,
     misses: u64,
@@ -350,13 +348,7 @@ impl ZipfResult {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.latency.quantile(p) as f64 / 1e6
     }
 
     /// Fraction of submissions served without a fresh pipeline.
@@ -460,9 +452,9 @@ fn run_zipf_phase(addr: &str, distinct: usize, offered: usize, connections: usiz
             .filter(|(i, _)| i % connections == t)
             .map(|(_, doc)| doc)
             .collect();
-        submitters.push(std::thread::spawn(move || -> Vec<f64> {
+        submitters.push(std::thread::spawn(move || -> obs::HistogramSnapshot {
             let client = PipedClient::connect(&*addr).expect("connect for zipf phase");
-            let mut latencies_ms = Vec::with_capacity(share.len());
+            let latency = obs::Histogram::new();
             for doc_idx in share {
                 let (name, input, expected) = &docs[doc_idx];
                 // Closed loop per connection: submit, wait, verify.
@@ -482,23 +474,23 @@ fn run_zipf_phase(addr: &str, distinct: usize, offered: usize, connections: usiz
                         "zipf {name}: response differs from the serial reference"
                     ));
                 }
-                latencies_ms.push(outcome.latency.as_secs_f64() * 1e3);
+                latency.record_duration(outcome.latency);
             }
-            latencies_ms
+            latency.snapshot()
         }));
     }
-    let mut latencies_ms = Vec::with_capacity(offered);
+    let mut latency = obs::HistogramSnapshot::default();
     for thread in submitters {
-        latencies_ms.extend(thread.join().expect("zipf submitter thread"));
+        latency = latency.merge(&thread.join().expect("zipf submitter thread"));
     }
     let wall = start.elapsed();
     let after = metrics_client.metrics_json().expect("metrics after zipf");
     ZipfResult {
         distinct,
         offered,
-        completed: latencies_ms.len() as u64,
+        completed: latency.count(),
         wall,
-        latencies_ms,
+        latency,
         hits: metrics_counter(&after, "cache_hits") - metrics_counter(&before, "cache_hits"),
         misses: metrics_counter(&after, "cache_misses") - metrics_counter(&before, "cache_misses"),
         coalesced: metrics_counter(&after, "coalesced") - metrics_counter(&before, "coalesced"),

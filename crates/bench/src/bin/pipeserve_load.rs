@@ -183,7 +183,9 @@ struct RunResult {
     rejected: u64,
     completed: u64,
     wall: Duration,
-    latencies_ms: Vec<f64>,
+    /// Submit-to-terminal latency distribution (nanoseconds; quantiles
+    /// overestimate by < 6.25 %, see [`obs::Histogram`]).
+    latency: obs::HistogramSnapshot,
     /// The service's aggregate counters at the end of the run.
     metrics: ServiceMetricsSnapshot,
     /// Jobs placement routed to each shard.
@@ -204,13 +206,7 @@ impl RunResult {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.latency.quantile(p) as f64 / 1e6
     }
 
     fn json(&self) -> String {
@@ -294,7 +290,7 @@ fn run_at_rate(
     // Join everything first and stop the wall clock before running the
     // serial output verification, so the published throughput measures the
     // service, not the harness's reference comparisons.
-    let mut latencies_ms = Vec::with_capacity(handles.len());
+    let latency = obs::Histogram::new();
     let mut completed = 0u64;
     let mut verifiers: Vec<(Verifier, &'static str)> = Vec::with_capacity(handles.len());
     for (handle, verify, kind) in handles {
@@ -304,13 +300,7 @@ fn run_at_rate(
             std::process::exit(1);
         }
         completed += 1;
-        latencies_ms.push(
-            handle
-                .latency()
-                .expect("joined job has a latency")
-                .as_secs_f64()
-                * 1e3,
-        );
+        latency.record_duration(handle.latency().expect("joined job has a latency"));
         verifiers.push((verify, kind));
     }
     service.drain();
@@ -329,7 +319,7 @@ fn run_at_rate(
         rejected,
         completed,
         wall,
-        latencies_ms,
+        latency: latency.snapshot(),
         metrics: snapshot.aggregate,
         placements: snapshot.placements,
     }
@@ -426,7 +416,7 @@ struct ZipfRun {
     /// the harness resubmitted it.
     requeued: u64,
     wall: Duration,
-    latencies_ms: Vec<f64>,
+    latency: obs::HistogramSnapshot,
     stats: pipeserve::CacheStats,
 }
 
@@ -436,13 +426,7 @@ impl ZipfRun {
     }
 
     fn percentile(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        self.latency.quantile(p) as f64 / 1e6
     }
 
     /// Fraction of keyed submissions served without launching a fresh
@@ -555,20 +539,14 @@ fn run_zipf(
             }
         }
     }
-    let mut latencies_ms = Vec::with_capacity(handles.len());
+    let latency = obs::Histogram::new();
     for (handle, _, _) in &handles {
         let result = handle.join();
         if !result.is_completed() {
             eprintln!("ERROR: zipf job ended as {result:?}");
             std::process::exit(1);
         }
-        latencies_ms.push(
-            handle
-                .latency()
-                .expect("joined job has a latency")
-                .as_secs_f64()
-                * 1e3,
-        );
+        latency.record_duration(handle.latency().expect("joined job has a latency"));
     }
     service.drain();
     let wall = start.elapsed();
@@ -588,7 +566,7 @@ fn run_zipf(
         completed: handles.len() as u64,
         requeued,
         wall,
-        latencies_ms,
+        latency: latency.snapshot(),
         stats: service.cache_stats(),
     }
 }

@@ -1,0 +1,531 @@
+//! **obs** — zero-dependency observability primitives for the serving
+//! stack: a lock-free, mergeable log-linear histogram and a bounded
+//! per-worker event ring (the "flight recorder").
+//!
+//! Both types follow the repository's instrumentation discipline (see
+//! `crates/piper/src/metrics.rs`): relaxed atomics only, no locks, no
+//! allocation on the record path, so measurement never perturbs the
+//! scheduling fast paths it observes.
+//!
+//! # Histogram accuracy
+//!
+//! [`Histogram`] is log-linear with [`SUB_BITS`] = 4: each power-of-two
+//! octave is split into 16 equal-width linear buckets, and values below 16
+//! get exact unit buckets. A recorded value `x ≥ 16` therefore lands in a
+//! bucket whose width is less than `x / 16`. Quantile estimates report the
+//! bucket's inclusive **upper edge**, so for any quantile `q`:
+//!
+//! > `quantile(q)` is at least the exact `q`-quantile of the recorded
+//! > multiset and exceeds it by a factor strictly less than
+//! > `1 + 2⁻⁴ = 1.0625` (6.25 % relative error, always an overestimate;
+//! > values below 16 are exact).
+//!
+//! The histogram is unit-agnostic; the serving layers record nanoseconds.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` linear
+/// buckets, bounding quantile relative error by `2^-SUB_BITS` (6.25 %).
+pub const SUB_BITS: u32 = 4;
+
+const SUB_COUNT: usize = 1 << SUB_BITS;
+const SUB_MASK: u64 = (SUB_COUNT - 1) as u64;
+
+/// Total bucket count covering the full `u64` range: `SUB_COUNT` exact
+/// unit buckets plus `SUB_COUNT` sub-buckets for each of the 60 remaining
+/// octaves (exponents `SUB_BITS .. 64`).
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// The bucket index a value lands in.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let e = 63 - value.leading_zeros();
+        (((e - SUB_BITS + 1) as usize) << SUB_BITS)
+            + ((value >> (e - SUB_BITS)) & SUB_MASK) as usize
+    }
+}
+
+/// The largest value that maps to bucket `index` (the inclusive upper
+/// edge quantile estimates report).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let e = (index >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (index as u64) & SUB_MASK;
+        let width = 1u64 << (e - SUB_BITS);
+        // Wraps only for the very last bucket (2^64 - 1), where the
+        // arithmetic lands exactly on u64::MAX.
+        (1u64 << e)
+            .wrapping_add((sub + 1).wrapping_mul(width))
+            .wrapping_sub(1)
+    }
+}
+
+/// A lock-free log-linear bucket histogram (atomic `u64` buckets).
+///
+/// Any number of threads may [`record`](Histogram::record) concurrently;
+/// [`snapshot`](Histogram::snapshot) can be taken at any time without
+/// stopping recorders. See the [module docs](self) for the documented
+/// relative-error bound on quantile estimates.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    /// Sum of recorded values (wrapping; used for the mean only).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (≈ 7.6 KiB of zeroed buckets).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free: two relaxed `fetch_add`s.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of every bucket. The total count is derived
+    /// from the bucket reads themselves, so `count == Σ buckets` holds in
+    /// every snapshot even while recorders are running.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("p50", &snap.quantile(0.50))
+            .field("p99", &snap.quantile(0.99))
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: mergeable, subtractable, and
+/// the carrier of quantile estimates. Trailing empty buckets are trimmed,
+/// so a snapshot of a low-range distribution stays small.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile estimate (`q` in `[0, 1]`): the inclusive upper
+    /// edge of the bucket holding the `⌈q·count⌉`-th smallest value. See
+    /// the [module docs](self) for the ≤ 6.25 % overestimate bound.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(self.counts.len().saturating_sub(1))
+    }
+
+    /// Upper edge of the highest non-empty bucket (an overestimate of the
+    /// maximum recorded value by < 6.25 %). Returns 0 when empty.
+    pub fn max_value(&self) -> u64 {
+        match self.counts.iter().rposition(|&c| c != 0) {
+            Some(i) => bucket_upper(i),
+            None => 0,
+        }
+    }
+
+    /// How many recorded values are certainly `≤ bound`: the sum of every
+    /// bucket whose upper edge is `≤ bound` (a lower bound when `bound`
+    /// falls inside a bucket). This is the Prometheus `le` accumulator.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|(i, _)| bucket_upper(*i) <= bound)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Bucket-wise sum, for aggregating shards or workers. Merging `n`
+    /// snapshots is exactly equivalent to having recorded every value into
+    /// one histogram.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = vec![0u64; self.counts.len().max(other.counts.len())];
+        for (i, &c) in self.counts.iter().enumerate() {
+            counts[i] += c;
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            counts[i] += c;
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+        }
+    }
+
+    /// Bucket-wise saturating difference `self - earlier`, mirroring
+    /// `piper::MetricsSnapshot::since` — the distribution of values
+    /// recorded between the two snapshots.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts: Vec<u64> = self.counts.clone();
+        for (i, &c) in earlier.counts.iter().enumerate() {
+            if let Some(slot) = counts.get_mut(i) {
+                *slot = slot.saturating_sub(c);
+            }
+        }
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+        }
+    }
+
+    /// `(upper_edge, cumulative_count)` for every non-empty bucket, in
+    /// ascending order — the raw series a Prometheus exposition renders.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                cumulative += c;
+                out.push((bucket_upper(i), cumulative));
+            }
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------- flight recorder --
+
+/// What a flight-recorder event records. The discriminants are stable wire
+/// values (packed into the ring's atomics), so `0` is reserved for "empty
+/// slot".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A worker stole work from another worker's deque (`arg` = victim
+    /// worker index).
+    Steal = 1,
+    /// An iteration suspended on an unsatisfied cross edge (`arg` = stage).
+    Suspend = 2,
+    /// A suspended frame was resumed (`arg` = stage).
+    Resume = 3,
+    /// The control frame parked because the throttle window was full
+    /// (`arg` = effective window).
+    Throttle = 4,
+    /// The pool was resized (`arg` = new worker count).
+    Resize = 5,
+    /// A job panicked (`arg` = job id).
+    Panic = 6,
+}
+
+impl EventKind {
+    fn from_u8(value: u8) -> Option<EventKind> {
+        Some(match value {
+            1 => EventKind::Steal,
+            2 => EventKind::Suspend,
+            3 => EventKind::Resume,
+            4 => EventKind::Throttle,
+            5 => EventKind::Resize,
+            6 => EventKind::Panic,
+            _ => return None,
+        })
+    }
+
+    /// Lower-case name, for log lines and dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Steal => "steal",
+            EventKind::Suspend => "suspend",
+            EventKind::Resume => "resume",
+            EventKind::Throttle => "throttle",
+            EventKind::Resize => "resize",
+            EventKind::Panic => "panic",
+        }
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Coarse timestamp: microseconds since [`coarse_micros`]'s process
+    /// epoch.
+    pub at_micros: u64,
+    /// Event-kind-specific argument (see [`EventKind`]).
+    pub arg: u64,
+}
+
+/// Microseconds since the first call in this process (the flight
+/// recorder's shared epoch). Coarse by design: event ordering across
+/// workers only needs to be approximately right.
+pub fn coarse_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// A bounded, lock-free ring of scheduler events — the per-worker flight
+/// recorder. Writers never block and never allocate; when the ring is
+/// full the oldest events are overwritten. [`dump`](EventRing::dump) may
+/// race an active writer and then drops the (at most one) torn slot — the
+/// recorder is a diagnostic surface, not an audit log.
+pub struct EventRing {
+    /// Two words per slot: `kind << 56 | at_micros` then `arg`.
+    slots: Box<[AtomicU64]>,
+    head: AtomicU64,
+    capacity: usize,
+}
+
+impl EventRing {
+    /// Creates a ring holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(8).next_power_of_two();
+        EventRing {
+            slots: (0..capacity * 2).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Appends one event, overwriting the oldest if full. Lock-free.
+    #[inline]
+    pub fn push(&self, kind: EventKind, arg: u64) {
+        let at = coarse_micros() & ((1 << 56) - 1);
+        let index = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.capacity;
+        self.slots[index * 2 + 1].store(arg, Ordering::Relaxed);
+        self.slots[index * 2].store(((kind as u64) << 56) | at, Ordering::Release);
+    }
+
+    /// The retained events, oldest first (up to `capacity`). Best-effort
+    /// under concurrent writes: a slot being overwritten mid-dump may be
+    /// skipped or carry the new event.
+    pub fn dump(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let len = (head as usize).min(self.capacity);
+        let start = head - len as u64;
+        let mut out = Vec::with_capacity(len);
+        for logical in start..head {
+            let index = logical as usize % self.capacity;
+            let word = self.slots[index * 2].load(Ordering::Acquire);
+            let arg = self.slots[index * 2 + 1].load(Ordering::Relaxed);
+            if let Some(kind) = EventKind::from_u8((word >> 56) as u8) {
+                out.push(Event {
+                    kind,
+                    at_micros: word & ((1 << 56) - 1),
+                    arg,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Merges per-worker dumps into one `(worker, event)` series ordered by
+/// coarse timestamp — the shape a panic dump prints.
+pub fn merge_dumps(dumps: &[Vec<Event>]) -> Vec<(usize, Event)> {
+    let mut out: Vec<(usize, Event)> = dumps
+        .iter()
+        .enumerate()
+        .flat_map(|(worker, events)| events.iter().map(move |&e| (worker, e)))
+        .collect();
+    out.sort_by_key(|(_, e)| e.at_micros);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_monotone_and_cover_u64() {
+        let mut previous = None;
+        for i in 0..BUCKETS {
+            let upper = bucket_upper(i);
+            if let Some(p) = previous {
+                assert!(upper > p, "bucket {i} upper {upper} <= previous {p}");
+            }
+            previous = Some(upper);
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        for v in [16, 17, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_upper(i) >= v);
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_overestimates_by_less_than_the_documented_bound() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 37).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let exact = values[((q * 1000.0).ceil() as usize - 1).min(999)];
+            let estimate = snap.quantile(q);
+            assert!(estimate >= exact, "q={q}: {estimate} < {exact}");
+            assert!(
+                (estimate as f64) < exact as f64 * 1.0625,
+                "q={q}: {estimate} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_histogram_and_since_subtracts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let target = if v % 2 == 0 { &a } else { &b };
+            target.record(v * v);
+            all.record(v * v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(merged.since(&a.snapshot()), b.snapshot());
+        assert_eq!(merged.since(&merged).count(), 0);
+    }
+
+    #[test]
+    fn count_le_matches_cumulative_buckets() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count_le(0), 0);
+        assert_eq!(snap.count_le(5), 2);
+        assert_eq!(snap.count_le(u64::MAX), 5);
+        let series = snap.cumulative_buckets();
+        assert_eq!(series.len(), 5);
+        assert_eq!(series.last().unwrap().1, 5);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let ring = EventRing::new(8);
+        for i in 0..20u64 {
+            ring.push(EventKind::Steal, i);
+        }
+        let events = ring.dump();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().unwrap().arg, 12);
+        assert_eq!(events.last().unwrap().arg, 19);
+        assert!(events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_no_counts() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the observability histogram: quantile
+//! estimates stay within the documented ≤ 6.25 % overestimate of exact
+//! sorted-sample percentiles, `merge` is exactly equivalent to recording
+//! into one histogram, and concurrent recorders lose no counts.
+
+use obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Values spanning the regimes the bucketing treats differently: exact
+/// unit buckets (< 16), small log-linear buckets, and full-width values.
+fn value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..4_096,
+        (0u64..1_000_000_000).prop_map(|v| v * 1_000),
+        any::<u64>().prop_map(|v| v >> (v % 40)),
+    ]
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(value(), 1..512)
+}
+
+/// The exact `q`-quantile of a multiset: its `⌈q·n⌉`-th smallest value
+/// (the definition `HistogramSnapshot::quantile` estimates).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_documented_error(values in samples()) {
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0f64, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            if exact < 16 {
+                prop_assert_eq!(est, exact, "sub-16 values are exact (q={})", q);
+            } else {
+                prop_assert!(
+                    (est as f64) < (exact as f64) * 1.0625,
+                    "q={q}: estimate {est} exceeds exact {exact} by ≥ 6.25 %"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_sum_max_match_the_sample(values in samples()) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum(), sum);
+        let max = *values.iter().max().unwrap();
+        prop_assert!(snap.max_value() >= max);
+        prop_assert!(max < 16 || (snap.max_value() as f64) < (max as f64) * 1.0625);
+        // count_le at the estimate's edge must cover the target rank.
+        prop_assert_eq!(snap.count_le(snap.quantile(1.0)), snap.count());
+    }
+
+    #[test]
+    fn merge_equals_one_histogram(a in samples(), b in samples()) {
+        let merged = record_all(&a).merge(&record_all(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&all));
+    }
+
+    #[test]
+    fn since_recovers_the_delta(a in samples(), b in samples()) {
+        let h = Histogram::new();
+        for &v in &a {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &b {
+            h.record(v);
+        }
+        prop_assert_eq!(h.snapshot().since(&earlier), record_all(&b));
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_no_counts(values in samples(), threads in 2usize..5) {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for &v in &values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), (threads * values.len()) as u64);
+        let one: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        let mut total = 0u64;
+        for _ in 0..threads {
+            total = total.wrapping_add(one);
+        }
+        prop_assert_eq!(snap.sum(), total);
+    }
+}

@@ -32,6 +32,11 @@
 //! * `--exit-on-drain` — exit after a DRAIN completes (the
 //!   SIGTERM-equivalent shutdown: a client sends DRAIN, admitted jobs
 //!   finish, the process leaves).
+//! * `--metrics-addr ADDR` — serve the executor's metrics in Prometheus
+//!   text format over HTTP on ADDR (counters, gauges, and per-workload
+//!   latency histograms). Off by default.
+//! * `--slow-log-ms N` — log every job whose end-to-end service time
+//!   exceeds N ms as one structured stderr line. Off by default.
 
 use piped::{PipedServer, ServerConfig};
 
@@ -40,7 +45,8 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: piped [--listen ADDR] [--workers N] [--shards N] [--frame-budget N] \
          [--max-queue N] [--max-input-mb N] [--output-window N] [--cache-mb N] \
-         [--no-cache] [--addr-file PATH] [--exit-on-drain]"
+         [--no-cache] [--addr-file PATH] [--exit-on-drain] [--metrics-addr ADDR] \
+         [--slow-log-ms N]"
     );
     std::process::exit(2);
 }
@@ -81,6 +87,12 @@ fn main() {
             "--no-cache" => config.cache = false,
             "--addr-file" => addr_file = Some(parse_value("--addr-file", args.next())),
             "--exit-on-drain" => config.exit_on_drain = true,
+            "--metrics-addr" => {
+                config.metrics_addr = Some(parse_value("--metrics-addr", args.next()));
+            }
+            "--slow-log-ms" => {
+                config.slow_log_ms = Some(parse_value("--slow-log-ms", args.next()));
+            }
             "--help" | "-h" => usage_and_exit("pipeline job serving daemon"),
             other => usage_and_exit(&format!("unknown flag {other:?}")),
         }
@@ -95,6 +107,9 @@ fn main() {
     };
     let addr = server.local_addr().expect("bound listener has an address");
     println!("piped: listening on {addr}");
+    if let Some(metrics) = server.metrics_addr() {
+        println!("piped: serving metrics on http://{metrics}/metrics");
+    }
     println!(
         "piped: serving workloads: {}",
         workloads::bytes::names().join(", ")

@@ -36,6 +36,7 @@
 
 pub mod client;
 pub mod proto;
+pub mod scrape;
 pub mod server;
 
 pub use client::{ClientError, PipedClient, RemoteJob, RemoteOutcome, SubmitOptions};

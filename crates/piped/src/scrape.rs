@@ -1,0 +1,304 @@
+//! Prometheus text-format exposition for the daemon's metrics.
+//!
+//! [`render_prometheus`] turns the executor's
+//! [`pipeserve::ServiceMetricsSnapshot`] (plus the optional per-shard
+//! breakdown and pool stage timings) into the classic text format
+//! (version 0.0.4): `# HELP` / `# TYPE` headers, counters and gauges as
+//! single samples, and each latency histogram as the
+//! `_bucket{le=…}` / `_sum` / `_count` triplet. The daemon serves it from
+//! the hand-rolled HTTP listener behind `--metrics-addr` — one GET, one
+//! `200 text/plain`, no HTTP library.
+
+use pipeserve::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
+
+/// Escapes a label value per the Prometheus text format (backslash, quote
+/// and newline).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as seconds, the base unit Prometheus conventions
+/// expect for time series.
+fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Appends one histogram as `_bucket`/`_sum`/`_count` samples under an
+/// already-emitted `# TYPE <name> histogram` header. `labels` is the
+/// rendered label set *without* `le` (e.g. `workload="dedup",kind="run"`).
+fn histogram_series(out: &mut String, name: &str, labels: &str, h: &obs::HistogramSnapshot) {
+    for (upper, cumulative) in h.cumulative_buckets() {
+        out.push_str(&format!(
+            "{name}_bucket{{{labels},le=\"{}\"}} {cumulative}\n",
+            seconds(upper)
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", seconds(h.sum())));
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count()));
+}
+
+/// Renders the full scrape body. `sharded` adds per-shard gauges when the
+/// daemon runs more than one shard; `stage_timing` adds the pool-level
+/// per-stage node-timing histograms (indexed by stage slot).
+pub fn render_prometheus(
+    snapshot: &ServiceMetricsSnapshot,
+    sharded: Option<&ShardedMetricsSnapshot>,
+    stage_timing: &[obs::HistogramSnapshot],
+) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter(
+        &mut out,
+        "piped_jobs_submitted_total",
+        "Jobs accepted into the submission queue.",
+        snapshot.jobs_submitted,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_admitted_total",
+        "Jobs admitted by the controller and launched on the pool.",
+        snapshot.jobs_admitted,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_rejected_total",
+        "Submissions rejected by backpressure or budget.",
+        snapshot.jobs_rejected,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_completed_total",
+        "Jobs that ran every iteration.",
+        snapshot.jobs_completed,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_cancelled_total",
+        "Jobs cancelled (queued or mid-run).",
+        snapshot.jobs_cancelled,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_panicked_total",
+        "Jobs whose producer or a node panicked.",
+        snapshot.jobs_panicked,
+    );
+    counter(
+        &mut out,
+        "piped_jobs_expired_total",
+        "Jobs expired in the queue past their deadline.",
+        snapshot.jobs_expired,
+    );
+    counter(
+        &mut out,
+        "piped_cache_hits_total",
+        "Keyed submissions answered from the result cache.",
+        snapshot.cache_hits,
+    );
+    counter(
+        &mut out,
+        "piped_cache_misses_total",
+        "Keyed submissions that missed the cache and ran a pipeline.",
+        snapshot.cache_misses,
+    );
+    counter(
+        &mut out,
+        "piped_coalesced_total",
+        "Keyed submissions coalesced onto an identical in-flight pipeline.",
+        snapshot.coalesced,
+    );
+    gauge(
+        &mut out,
+        "piped_queue_depth",
+        "Current submission-queue depth.",
+        snapshot.queue_depth,
+    );
+    gauge(
+        &mut out,
+        "piped_running_jobs",
+        "Jobs currently executing on the pool.",
+        snapshot.running,
+    );
+    gauge(
+        &mut out,
+        "piped_frames_in_use",
+        "Iteration frames currently reserved.",
+        snapshot.frames_in_use,
+    );
+    gauge(
+        &mut out,
+        "piped_frame_budget",
+        "The configured global frame budget.",
+        snapshot.frame_budget,
+    );
+    gauge(
+        &mut out,
+        "piped_peak_queue_depth",
+        "High-water mark of the submission-queue depth.",
+        snapshot.peak_queue_depth,
+    );
+    gauge(
+        &mut out,
+        "piped_peak_frames_in_use",
+        "High-water mark of reserved iteration frames.",
+        snapshot.peak_frames_in_use,
+    );
+
+    if !snapshot.latency.is_empty() {
+        out.push_str(concat!(
+            "# HELP piped_latency_seconds Per-workload job latency ",
+            "(kind: queue_wait, first_node, run, service).\n",
+            "# TYPE piped_latency_seconds histogram\n"
+        ));
+        for w in &snapshot.latency {
+            let workload = label_escape(&w.workload);
+            for (kind, h) in [
+                ("queue_wait", &w.queue_wait),
+                ("first_node", &w.first_node),
+                ("run", &w.run),
+                ("service", &w.service),
+            ] {
+                let labels = format!("workload=\"{workload}\",kind=\"{kind}\"");
+                histogram_series(&mut out, "piped_latency_seconds", &labels, h);
+            }
+        }
+    }
+
+    if stage_timing.iter().any(|h| h.count() > 0) {
+        out.push_str(concat!(
+            "# HELP piped_stage_seconds Sampled per-stage pipeline node ",
+            "run time (the last slot aggregates deeper stages).\n",
+            "# TYPE piped_stage_seconds histogram\n"
+        ));
+        for (slot, h) in stage_timing.iter().enumerate() {
+            if h.count() == 0 {
+                continue;
+            }
+            let labels = format!("stage=\"{slot}\"");
+            histogram_series(&mut out, "piped_stage_seconds", &labels, h);
+        }
+    }
+
+    if let Some(sharded) = sharded {
+        gauge(
+            &mut out,
+            "piped_max_peak_queue_depth",
+            "True maximum of per-shard peak queue depths.",
+            sharded.max_peak_queue_depth,
+        );
+        gauge(
+            &mut out,
+            "piped_max_peak_frames_in_use",
+            "True maximum of per-shard peak frame reservations.",
+            sharded.max_peak_frames_in_use,
+        );
+        out.push_str(concat!(
+            "# HELP piped_shard_queue_depth Per-shard submission-queue depth.\n",
+            "# TYPE piped_shard_queue_depth gauge\n"
+        ));
+        for (i, shard) in sharded.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "piped_shard_queue_depth{{shard=\"{i}\"}} {}\n",
+                shard.queue_depth
+            ));
+        }
+        out.push_str(concat!(
+            "# HELP piped_shard_queue_wait_p99_seconds Per-shard all-workload ",
+            "99th-percentile queue wait.\n",
+            "# TYPE piped_shard_queue_wait_p99_seconds gauge\n"
+        ));
+        for (i, shard) in sharded.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "piped_shard_queue_wait_p99_seconds{{shard=\"{i}\"}} {}\n",
+                seconds(shard.queue_wait_p99_ns())
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let mut snapshot = ServiceMetricsSnapshot::default();
+        snapshot.jobs_submitted = 3;
+        snapshot.jobs_completed = 2;
+        let body = render_prometheus(&snapshot, None, &[]);
+        assert!(body.contains("# TYPE piped_jobs_submitted_total counter"));
+        assert!(body.contains("piped_jobs_submitted_total 3"));
+        assert!(body.contains("piped_jobs_completed_total 2"));
+        // No latency recorded: the histogram family is omitted entirely.
+        assert!(!body.contains("piped_latency_seconds"));
+        // Every line is a comment or a sample.
+        for line in body.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let h = obs::Histogram::new();
+        for ns in [1_000_000u64, 2_000_000, 4_000_000, 1_000_000_000] {
+            h.record(ns);
+        }
+        let w = pipeserve::WorkloadLatency {
+            workload: "dedup".to_string(),
+            service: h.snapshot(),
+            ..Default::default()
+        };
+        let mut snapshot = ServiceMetricsSnapshot::default();
+        snapshot.latency = vec![w];
+        let body = render_prometheus(&snapshot, None, &[]);
+        assert!(body.contains("# TYPE piped_latency_seconds histogram"));
+        assert!(body.contains(
+            "piped_latency_seconds_bucket{workload=\"dedup\",kind=\"service\",le=\"+Inf\"} 4"
+        ));
+        assert!(body.contains("piped_latency_seconds_count{workload=\"dedup\",kind=\"service\"} 4"));
+        // Bucket counts are monotone non-decreasing in le order.
+        let counts: Vec<u64> = body
+            .lines()
+            .filter(|l| {
+                l.starts_with("piped_latency_seconds_bucket{workload=\"dedup\",kind=\"service\"")
+            })
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -106,6 +106,15 @@ pub struct ServerConfig {
     pub cache_bytes: Option<usize>,
     /// Stop the accept loop after a drain completes.
     pub exit_on_drain: bool,
+    /// Bind a hand-rolled HTTP listener on this address and serve the
+    /// executor's metrics in Prometheus text format on every GET (see
+    /// [`crate::scrape`]). `None` (the default) disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Log every job whose end-to-end service time (submit → terminal)
+    /// exceeds this many milliseconds as one structured stderr line
+    /// (ticket, workload, status, timings, input bytes). `None` disables
+    /// the slow log.
+    pub slow_log_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +130,8 @@ impl Default for ServerConfig {
             cache: true,
             cache_bytes: None,
             exit_on_drain: false,
+            metrics_addr: None,
+            slow_log_ms: None,
         }
     }
 }
@@ -201,6 +212,7 @@ impl ServerHandle {
 pub struct PipedServer {
     listener: TcpListener,
     shared: Arc<Shared>,
+    metrics_addr: Option<std::net::SocketAddr>,
 }
 
 impl PipedServer {
@@ -208,6 +220,10 @@ impl PipedServer {
     /// builds the shared executor.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<PipedServer> {
         let listener = TcpListener::bind(addr)?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
         let shards = config.shards.max(1);
         let total_workers = if config.workers > 0 {
             config.workers
@@ -234,21 +250,42 @@ impl PipedServer {
             Some(bytes) => CachedService::with_capacity(sharded, bytes),
             None => CachedService::new(sharded),
         };
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            pool: BufPool::new(),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let metrics_addr = match metrics_listener {
+            Some(listener) => {
+                let bound = listener.local_addr()?;
+                let scrape_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("piped-metrics".to_string())
+                    .spawn(move || serve_scrapes(listener, scrape_shared))
+                    .expect("failed to spawn metrics scrape thread");
+                Some(bound)
+            }
+            None => None,
+        };
         Ok(PipedServer {
             listener,
-            shared: Arc::new(Shared {
-                service,
-                config,
-                pool: BufPool::new(),
-                draining: AtomicBool::new(false),
-                stop: AtomicBool::new(false),
-            }),
+            shared,
+            metrics_addr,
         })
     }
 
     /// The bound address (read the ephemeral port from here).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound address of the Prometheus scrape endpoint, when
+    /// [`ServerConfig::metrics_addr`] was set (read the ephemeral port
+    /// from here).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_addr
     }
 
     /// A cloneable control handle.
@@ -671,6 +708,109 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = writer.join();
 }
 
+/// Serves the Prometheus scrape endpoint: a hand-rolled HTTP/1.1 loop
+/// answering every request with the full text-format exposition (see
+/// [`crate::scrape`]). Scrapes are rare (seconds apart) and the body is
+/// small, so connections are handled serially on this one thread.
+fn serve_scrapes(listener: TcpListener, shared: Arc<Shared>) {
+    use std::io::{Read, Write};
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                // Drain the request head (we answer every method/path the
+                // same way); tolerate clients that close early.
+                let mut head = [0u8; 1024];
+                let _ = stream.read(&mut head);
+                let body = scrape_body(&shared);
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The current scrape body: aggregate metrics (with cache counters), the
+/// per-shard breakdown when sharded, and the pools' stage timings.
+fn scrape_body(shared: &Shared) -> String {
+    let aggregate = shared.service.metrics();
+    let stage_timing = shared.service.inner().stage_timing();
+    let sharded = if shared.service.inner().shards() > 1 {
+        let mut snapshot = shared.service.inner().sharded_metrics();
+        snapshot.aggregate = aggregate.clone();
+        Some(snapshot)
+    } else {
+        None
+    };
+    crate::scrape::render_prometheus(&aggregate, sharded.as_ref(), &stage_timing)
+}
+
+/// Terminal-hook instrumentation: the `--slow-log-ms` structured stderr
+/// line, and a flight-recorder dump when a job panicked (the events that
+/// led up to the crash, drained from every shard pool's rings).
+fn note_terminal(
+    shared: &Shared,
+    ticket: u64,
+    workload: &str,
+    submitted: std::time::Instant,
+    input_bytes: usize,
+    result: &JobResult,
+) {
+    if let JobResult::Panicked(message) = result {
+        let events = shared.service.inner().flight_events();
+        eprintln!(
+            "piped: job ticket={ticket} workload={workload} panicked: {message}; \
+             flight recorder ({} events):",
+            events.len()
+        );
+        for (shard, worker, e) in events {
+            eprintln!(
+                "piped:   [shard {shard} worker {worker}] +{}us {} arg={}",
+                e.at_micros,
+                e.kind.name(),
+                e.arg
+            );
+        }
+    }
+    if let Some(threshold_ms) = shared.config.slow_log_ms {
+        let service_ms = submitted.elapsed().as_secs_f64() * 1e3;
+        if service_ms >= threshold_ms as f64 {
+            let status = match result {
+                JobResult::Completed(_) => "completed",
+                JobResult::Cancelled(_) => "cancelled",
+                JobResult::Panicked(_) => "panicked",
+                JobResult::Expired => "expired",
+            };
+            let (first_node_ms, iterations) = match result.stats() {
+                Some(stats) => (stats.time_to_first_node_ns as f64 / 1e6, stats.iterations),
+                None => (0.0, 0),
+            };
+            eprintln!(
+                "piped: slow-job ticket={ticket} workload={workload} status={status} \
+                 service_ms={service_ms:.1} first_node_ms={first_node_ms:.3} \
+                 iterations={iterations} input_bytes={input_bytes}"
+            );
+        }
+    }
+}
+
 /// Builds and submits one byte job; sends ACCEPTED or REJECTED. (The
 /// input stream for the ticket ended with the EOF that triggered this
 /// call, so a rejection here needs no residual-frame tracking.)
@@ -748,10 +888,27 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
         JobSpec::from_launch(options, launch)
     };
     let hook_conn = Arc::clone(conn);
+    // Weak: the hook lives inside the executor's job table, and a strong
+    // Shared reference there would cycle through the service back to the
+    // hook until finalization.
+    let hook_shared = Arc::downgrade(shared);
+    let submitted = std::time::Instant::now();
+    let workload_name = job.descriptor.name;
+    let input_bytes = job.input_bytes;
     let mut spec = base
         .named(job.descriptor.name)
         .priority(job.priority)
         .on_terminal(move |result| {
+            if let Some(shared) = hook_shared.upgrade() {
+                note_terminal(
+                    &shared,
+                    ticket,
+                    workload_name,
+                    submitted,
+                    input_bytes,
+                    result,
+                );
+            }
             // Runs after the pipeline drained, i.e. after the final output
             // chunk was queued: JOB_DONE is ordered behind all output.
             hook_conn

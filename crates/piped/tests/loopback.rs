@@ -373,6 +373,186 @@ fn cancelling_a_still_queued_job_neither_hangs_nor_leaks() {
     handle.stop();
 }
 
+/// Extracts the numeric value of `"key":` from `json`, starting the scan
+/// at the first occurrence of `after` (scoping the lookup to one object).
+fn json_number(json: &str, after: &str, key: &str) -> f64 {
+    let start = json
+        .find(after)
+        .unwrap_or_else(|| panic!("{after:?} not found in {json}"));
+    let needle = format!("\"{key}\":");
+    let at = json[start..]
+        .find(&needle)
+        .map(|i| start + i + needle.len())
+        .unwrap_or_else(|| panic!("{key:?} not found after {after:?} in {json}"));
+    json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+#[test]
+fn metrics_frame_reports_monotone_latency_quantiles_per_workload() {
+    // Caching off: repeats must *execute* to land in the latency series
+    // (cache hits never run a pipeline, so they record no run latency).
+    let (addr, handle) = start_server(ServerConfig {
+        cache: false,
+        ..small_config()
+    });
+    let client = PipedClient::connect(addr).expect("connect");
+    // Run every workload a few times so each per-workload series has
+    // enough samples for distinct quantiles.
+    for _ in 0..3 {
+        for (name, input, expected) in reference_jobs() {
+            let job = client
+                .submit(&SubmitOptions::new(name).throttle(4), &input)
+                .expect("submit");
+            let outcome = job.wait().expect("wait");
+            assert_eq!(outcome.status, WireJobStatus::Completed);
+            assert_eq!(outcome.output, expected);
+        }
+    }
+    // Latency is recorded just before the terminal hook fires the JOB_DONE
+    // frame, but completion counters can land a hair later; poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let json = loop {
+        let json = client.metrics_json().expect("metrics");
+        if json.contains("\"dedup\":{\"queue_wait\":{\"count\":3") {
+            break json;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "latency series never saw 3 dedup jobs: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(json.contains("\"latency\":{"), "{json}");
+    for name in ["dedup", "ferret", "x264", "pipefib"] {
+        let scope = format!("\"{name}\":{{\"queue_wait\"");
+        assert!(json.contains(&scope), "{name} series missing: {json}");
+        // Every kind carries the quantile fields, and within each kind the
+        // quantile estimates are monotone: p50 ≤ p90 ≤ p99 ≤ p999 ≤ max.
+        for kind in ["queue_wait", "first_node", "run", "service"] {
+            let at = format!("\"{name}\":{{");
+            let json_tail = &json[json.find(&at).expect("workload object")..];
+            let kind_scope = format!("\"{kind}\":{{");
+            let p50 = json_number(json_tail, &kind_scope, "p50_ms");
+            let p90 = json_number(json_tail, &kind_scope, "p90_ms");
+            let p99 = json_number(json_tail, &kind_scope, "p99_ms");
+            let p999 = json_number(json_tail, &kind_scope, "p999_ms");
+            let max = json_number(json_tail, &kind_scope, "max_ms");
+            assert!(
+                p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max,
+                "{name}/{kind}: quantiles not monotone: {p50} {p90} {p99} {p999} {max}"
+            );
+        }
+        // Service latency is end-to-end, so it dominates the run time.
+        let at = format!("\"{name}\":{{");
+        let json_tail = &json[json.find(&at).expect("workload object")..];
+        let service_p50 = json_number(json_tail, "\"service\":{", "p50_ms");
+        let run_p50 = json_number(json_tail, "\"run\":{", "p50_ms");
+        assert!(service_p50 > 0.0, "{name}: service p50 is zero");
+        assert!(
+            service_p50 >= run_p50,
+            "{name}: service p50 {service_p50} < run p50 {run_p50}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_prometheus_text() {
+    use std::io::{Read, Write};
+
+    let server = PipedServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let scrape_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+
+    let client = PipedClient::connect(addr).expect("connect");
+    let (name, input, expected) = reference_jobs().remove(0);
+    let job = client
+        .submit(&SubmitOptions::new(name).throttle(4), &input)
+        .expect("submit");
+    assert_eq!(job.wait().expect("wait").output, expected);
+
+    // Plain HTTP GET against the scrape endpoint.
+    let mut conn = std::net::TcpStream::connect(scrape_addr).expect("connect scrape endpoint");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: piped\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "{response}"
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body split")
+        .1;
+
+    // Parse the text format: every non-comment line is `name{labels} value`
+    // or `name value`, and histogram bucket series are cumulative in `le`.
+    let mut bucket_lines = 0usize;
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("unparseable exposition line: {line:?}");
+        });
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "non-numeric sample value in {line:?}"
+        );
+        if series.contains("_bucket{") {
+            bucket_lines += 1;
+        }
+    }
+    assert!(bucket_lines > 0, "no histogram bucket series in:\n{body}");
+    assert!(
+        body.contains("# TYPE piped_jobs_completed_total counter"),
+        "{body}"
+    );
+    assert!(body.contains("piped_jobs_completed_total 1"), "{body}");
+    assert!(
+        body.contains("# TYPE piped_latency_seconds histogram"),
+        "{body}"
+    );
+    let series = format!("piped_latency_seconds_bucket{{workload=\"{name}\",kind=\"service\"");
+    assert!(body.contains(&series), "{series} missing in:\n{body}");
+    assert!(
+        body.contains("kind=\"service\",le=\"+Inf\"}"),
+        "no +Inf bucket: {body}"
+    );
+    // Cumulative `le` buckets of one series are monotone non-decreasing.
+    let mut last = 0.0f64;
+    for line in body.lines().filter(|l| l.starts_with(&series)) {
+        let value: f64 = line
+            .rsplit_once(' ')
+            .expect("sample value")
+            .1
+            .parse()
+            .expect("bucket count");
+        assert!(value >= last, "bucket counts not cumulative: {line}");
+        last = value;
+    }
+    handle.stop();
+}
+
 #[test]
 fn sharded_daemon_serves_jobs_and_reports_per_shard_metrics() {
     let (addr, handle) = start_server(ServerConfig {

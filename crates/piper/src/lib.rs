@@ -53,7 +53,7 @@ mod pipeline;
 mod pool;
 
 pub use forkjoin::{join, scope, Scope};
-pub use metrics::{Metrics, MetricsSnapshot, PipeStats};
+pub use metrics::{Metrics, MetricsSnapshot, PipeStats, StageTiming, STAGE_TIMING_SLOTS};
 pub use pipeline::{
     pipe_while, spawn_pipe, NodeOutcome, PipeHandle, PipeOptions, PipelineIteration, Stage0,
     StageKind, StagedPipeline,

@@ -10,6 +10,38 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of per-stage timing slots kept by the sampled stage profiler.
+/// Slot `s` holds stage `s` for `s < STAGE_TIMING_SLOTS - 1`; the last slot
+/// aggregates every deeper stage. (Stage 0 is the serial producer and runs
+/// on the control path, so slot 0 stays empty.)
+pub const STAGE_TIMING_SLOTS: usize = 8;
+
+/// Aggregate of the sampled node timings for one stage slot of one
+/// pipeline (see [`PipeStats::stage_timing`]). Samples are 1-in-N node
+/// executions (see [`crate::ThreadPool::stage_timing`] for the pool-wide
+/// distribution histograms), so `total_ns / samples` estimates the mean
+/// node latency of the stage, not its total work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Number of sampled node executions attributed to this stage slot.
+    pub samples: u64,
+    /// Summed wall-clock nanoseconds of the sampled executions.
+    pub total_ns: u64,
+    /// Largest sampled execution, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageTiming {
+    /// Mean sampled node latency in nanoseconds (0 when no samples).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.samples as f64
+        }
+    }
+}
+
 /// Monotonic counters kept by a [`crate::ThreadPool`].
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -50,6 +82,11 @@ pub struct Metrics {
     pub pipes_completed: AtomicU64,
     /// Pipelines whose handle requested cooperative cancellation.
     pub pipes_cancelled: AtomicU64,
+    /// Pool-wide distribution of sampled per-node latencies, one log-linear
+    /// histogram per stage slot (see [`STAGE_TIMING_SLOTS`]). Fed by the
+    /// 1-in-N stage sampler on the node hot path; snapshot through
+    /// [`crate::ThreadPool::stage_timing`].
+    pub stage_timing: [obs::Histogram; STAGE_TIMING_SLOTS],
 }
 
 impl Metrics {
@@ -197,6 +234,14 @@ pub struct PipeStats {
     /// the fixed `K` for non-adaptive pipelines; final value once the
     /// pipeline has completed).
     pub effective_window: u64,
+    /// Nanoseconds from pipeline spawn to the first node of the first
+    /// iteration starting to execute (0 if no node ever ran) — the
+    /// scheduling-latency component of a served job's life.
+    pub time_to_first_node_ns: u64,
+    /// Sampled per-stage node timings (1-in-N node executions; see
+    /// [`StageTiming`]). Slot `s` is stage `s`, with every stage
+    /// `>= STAGE_TIMING_SLOTS - 1` aggregated into the last slot.
+    pub stage_timing: [StageTiming; STAGE_TIMING_SLOTS],
 }
 
 #[cfg(test)]

@@ -26,9 +26,10 @@ use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::latch::{Latch, SpinLatch};
-use crate::metrics::{Metrics, PipeStats};
+use crate::metrics::{Metrics, PipeStats, StageTiming, STAGE_TIMING_SLOTS};
 use crate::pool::{ControlTask, NodeTask, Task, WorkerThread};
 
 use super::frame::IterRing;
@@ -108,6 +109,19 @@ pub(crate) struct ControlCore {
     pub(crate) frame_reuses: AtomicU64,
     pub(crate) adaptive_widenings: AtomicU64,
     pub(crate) adaptive_narrowings: AtomicU64,
+    /// When the pipeline was spawned, the origin of the first-node latency.
+    spawned_at: Instant,
+    /// Nanoseconds from spawn to the first node execution (0 = not yet;
+    /// real measurements are clamped up to 1). Written at most a handful of
+    /// times under a benign race (concurrent first quanta store near-equal
+    /// values), checked with one relaxed load per scheduling quantum.
+    pub(crate) first_node_ns: AtomicU64,
+    /// Sampled per-stage node-latency tallies (counts / summed ns / max
+    /// ns), flushed from the per-quantum `NodeTally` like every other
+    /// per-pipe counter. Slot layout as in [`StageTiming`].
+    pub(crate) stage_samples: [AtomicU64; STAGE_TIMING_SLOTS],
+    pub(crate) stage_total_ns: [AtomicU64; STAGE_TIMING_SLOTS],
+    pub(crate) stage_max_ns: [AtomicU64; STAGE_TIMING_SLOTS],
 }
 
 impl ControlCore {
@@ -155,7 +169,22 @@ impl ControlCore {
             frame_reuses: AtomicU64::new(0),
             adaptive_widenings: AtomicU64::new(0),
             adaptive_narrowings: AtomicU64::new(0),
+            spawned_at: Instant::now(),
+            first_node_ns: AtomicU64::new(0),
+            stage_samples: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_max_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         })
+    }
+
+    /// Records the spawn→first-node latency; called from the first
+    /// scheduling quantum of the pipeline (`first_node_ns` still 0). The
+    /// race between near-simultaneous first quanta is benign: both store
+    /// essentially the same elapsed time.
+    #[cold]
+    pub(crate) fn note_first_node(&self) {
+        let ns = self.spawned_at.elapsed().as_nanos().max(1) as u64;
+        self.first_node_ns.store(ns, Ordering::Relaxed);
     }
 
     /// The latch set when the pipeline has fully completed.
@@ -268,6 +297,12 @@ impl ControlCore {
             adaptive_widenings: self.adaptive_widenings.load(Ordering::Relaxed),
             adaptive_narrowings: self.adaptive_narrowings.load(Ordering::Relaxed),
             effective_window: self.effective_window.load(Ordering::Relaxed) as u64,
+            time_to_first_node_ns: self.first_node_ns.load(Ordering::Relaxed),
+            stage_timing: std::array::from_fn(|i| StageTiming {
+                samples: self.stage_samples[i].load(Ordering::Relaxed),
+                total_ns: self.stage_total_ns[i].load(Ordering::Relaxed),
+                max_ns: self.stage_max_ns[i].load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -438,6 +473,10 @@ where
             }
             Metrics::bump(&core.throttle_suspensions);
             Metrics::bump(&worker.metrics().throttle_suspensions);
+            worker.recorder().push(
+                obs::EventKind::Throttle,
+                core.effective_window.load(Ordering::Relaxed) as u64,
+            );
             // Release: a retiring iteration that Acquire-reads THROTTLED
             // also sees our `next_iteration`, which it needs to decide
             // whether its completion is the edge we are parked on.

@@ -115,9 +115,27 @@ struct NodeTally {
     nodes: u64,
     cross_checks: u64,
     folded_checks: u64,
+    /// Sampled per-stage node timings (1-in-N executions; the sampling
+    /// countdown lives on the worker so short quanta do not oversample).
+    /// Plain locals like the counters above, flushed per quantum.
+    stage_samples: [u64; crate::metrics::STAGE_TIMING_SLOTS],
+    stage_total_ns: [u64; crate::metrics::STAGE_TIMING_SLOTS],
+    stage_max_ns: [u64; crate::metrics::STAGE_TIMING_SLOTS],
 }
 
 impl NodeTally {
+    /// Folds one sampled node execution into the stage tallies and the
+    /// pool-wide stage histogram. Off the common path by construction: the
+    /// worker's countdown admits 1-in-N nodes.
+    #[inline]
+    fn stage_sample(&mut self, stage: u64, ns: u64, worker: &WorkerThread) {
+        let slot = (stage as usize).min(crate::metrics::STAGE_TIMING_SLOTS - 1);
+        self.stage_samples[slot] += 1;
+        self.stage_total_ns[slot] += ns;
+        self.stage_max_ns[slot] = self.stage_max_ns[slot].max(ns);
+        worker.metrics().stage_timing[slot].record(ns);
+    }
+
     /// Publishes and zeroes the accumulated counts. Called before any point
     /// where frame ownership can escape this worker (a suspension publish,
     /// an iteration completion), so the global counters are exact whenever
@@ -149,6 +167,16 @@ impl NodeTally {
                 .folded_checks
                 .fetch_add(self.folded_checks, Ordering::Relaxed);
             self.folded_checks = 0;
+        }
+        for slot in 0..crate::metrics::STAGE_TIMING_SLOTS {
+            if self.stage_samples[slot] > 0 {
+                core.stage_samples[slot].fetch_add(self.stage_samples[slot], Ordering::Relaxed);
+                core.stage_total_ns[slot].fetch_add(self.stage_total_ns[slot], Ordering::Relaxed);
+                core.stage_max_ns[slot].fetch_max(self.stage_max_ns[slot], Ordering::Relaxed);
+                self.stage_samples[slot] = 0;
+                self.stage_total_ns[slot] = 0;
+                self.stage_max_ns[slot] = 0;
+            }
         }
     }
 }
@@ -387,6 +415,7 @@ where
             // status word guarantees it is still iteration `right`, not a
             // later occupant of the slot); it becomes stealable work on our
             // deque (the PIPER "enabled vertex" push).
+            worker.recorder().push(obs::EventKind::Resume, wanted);
             worker.push(Task::Node {
                 ring: Arc::clone(self) as Arc<dyn NodeTask>,
                 slot: (right % self.slots.len() as u64) as u32,
@@ -531,6 +560,11 @@ where
             self.seq_live(iteration),
             "node_step on a slot not owned by iteration {iteration}"
         );
+        // Spawn→first-node latency: one relaxed load per scheduling quantum
+        // (not per node) until the first quantum records it.
+        if self.core.first_node_ns.load(Ordering::Relaxed) == 0 {
+            self.core.note_first_node();
+        }
         /// How the per-node loop below left the frame.
         enum Exit {
             /// The frame was handed off (suspended, or claimed by the
@@ -587,6 +621,7 @@ where
                     } else {
                         Metrics::bump(&self.core.cross_suspensions);
                         Metrics::bump(&worker.metrics().cross_suspensions);
+                        worker.recorder().push(obs::EventKind::Suspend, stage);
                         tally.flush(&self.core, worker);
                         return Exit::Released;
                     }
@@ -603,7 +638,16 @@ where
                         .expect("iteration state must be present while the iteration is live")
                 };
 
-                match state.run_node(stage) {
+                // Sampled stage timing: the worker's countdown admits 1-in-N
+                // nodes, so the common case pays one Cell decrement and the
+                // sampled case two clock reads.
+                let timer = worker.stage_sample_timer();
+                let outcome = state.run_node(stage);
+                if let Some(started) = timer {
+                    tally.stage_sample(stage, started.elapsed().as_nanos() as u64, worker);
+                }
+
+                match outcome {
                     NodeOutcome::Done => {
                         return Exit::Completed;
                     }
@@ -656,6 +700,7 @@ where
                 // A panicking node terminates its iteration; the panic is
                 // re-raised from pipe_while once the pipeline drains.
                 self.core.record_panic(payload);
+                worker.recorder().push(obs::EventKind::Panic, iteration);
                 tally.flush(&self.core, worker);
                 self.complete(iteration, worker)
             }

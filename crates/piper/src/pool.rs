@@ -72,11 +72,27 @@ struct ThreadInfo {
     retire: AtomicBool,
 }
 
+/// Capacity of each worker's flight-recorder ring: enough to reconstruct
+/// the last few scheduling decisions around an incident without holding
+/// more than a few KiB per worker.
+const RECORDER_CAPACITY: usize = 256;
+
+/// How many node executions pass between two sampled stage timings. At
+/// 1-in-64 the sampled path's two clock reads amortize to well under a
+/// nanosecond per node, invisible next to the per-node overhead floor.
+const STAGE_SAMPLE_PERIOD: u32 = 64;
+
 /// State shared by every worker of a pool.
 pub(crate) struct Registry {
     threads: Vec<ThreadInfo>,
     injector: Injector<Task>,
     pub(crate) metrics: Metrics,
+    /// Per-slot flight recorders (scheduler event rings); index-aligned
+    /// with `threads`. A slot's ring survives worker retire/respawn cycles,
+    /// so a dump sees across resizes.
+    recorders: Vec<obs::EventRing>,
+    /// Pool-level events that no single worker owns (resizes).
+    pool_recorder: obs::EventRing,
     sleepers: AtomicUsize,
     terminating: AtomicBool,
     /// Number of live worker threads (gauge; transiently lags a resize).
@@ -128,6 +144,10 @@ pub(crate) struct WorkerThread {
     index: usize,
     deque: Deque<Task>,
     rng: RefCell<XorShift64>,
+    /// Countdown to the next sampled stage timing (see
+    /// [`STAGE_SAMPLE_PERIOD`]); worker-local so short scheduling quanta do
+    /// not oversample.
+    sample_countdown: Cell<u32>,
 }
 
 impl WorkerThread {
@@ -156,6 +176,25 @@ impl WorkerThread {
 
     pub(crate) fn metrics(&self) -> &Metrics {
         &self.registry.metrics
+    }
+
+    /// This worker's flight-recorder ring.
+    pub(crate) fn recorder(&self) -> &obs::EventRing {
+        &self.registry.recorders[self.index]
+    }
+
+    /// 1-in-N sampling gate for stage timing: returns a start timestamp on
+    /// the sampled executions, `None` (one `Cell` decrement) otherwise.
+    #[inline]
+    pub(crate) fn stage_sample_timer(&self) -> Option<std::time::Instant> {
+        let remaining = self.sample_countdown.get();
+        if remaining == 0 {
+            self.sample_countdown.set(STAGE_SAMPLE_PERIOD - 1);
+            Some(std::time::Instant::now())
+        } else {
+            self.sample_countdown.set(remaining - 1);
+            None
+        }
     }
 
     /// True if this worker's deque is currently empty (used by lazy
@@ -220,6 +259,7 @@ impl WorkerThread {
                 match self.registry.threads[victim].stealer.steal() {
                     Steal::Success(task) => {
                         Metrics::bump(&self.registry.metrics.steals);
+                        self.recorder().push(obs::EventKind::Steal, victim as u64);
                         return Some(task);
                     }
                     Steal::Retry => continue,
@@ -406,6 +446,10 @@ impl PoolBuilder {
             threads: infos,
             injector: Injector::new(),
             metrics: Metrics::new(),
+            recorders: (0..slots)
+                .map(|_| obs::EventRing::new(RECORDER_CAPACITY))
+                .collect(),
+            pool_recorder: obs::EventRing::new(RECORDER_CAPACITY),
             sleepers: AtomicUsize::new(0),
             terminating: AtomicBool::new(false),
             active_workers: AtomicUsize::new(0),
@@ -451,6 +495,9 @@ fn spawn_worker(registry: &Arc<Registry>, index: usize) -> thread::JoinHandle<()
                 index,
                 deque: dq,
                 rng: RefCell::new(XorShift64::new(0x5851_F42D_4C95_7F2D ^ (index as u64 + 1))),
+                // Stagger the first sample per slot so workers do not all
+                // sample the same phase of a regular pipeline.
+                sample_countdown: Cell::new(index as u32 % STAGE_SAMPLE_PERIOD),
             };
             CURRENT_WORKER.with(|w| w.set(&worker as *const WorkerThread));
             worker.main_loop();
@@ -540,6 +587,11 @@ impl ThreadPool {
     pub fn resize(&self, target: usize) -> usize {
         let target = target.clamp(1, self.registry.num_slots());
         let mut current = self.resize_lock.lock().unwrap();
+        if target != *current {
+            self.registry
+                .pool_recorder
+                .push(obs::EventKind::Resize, target as u64);
+        }
         if target < *current {
             for idx in target..*current {
                 self.registry.threads[idx]
@@ -588,6 +640,31 @@ impl ThreadPool {
     /// Snapshot of the pool's scheduling counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.registry.metrics.snapshot()
+    }
+
+    /// Snapshots the pool-wide sampled stage-timing histograms, one per
+    /// stage slot (see [`crate::STAGE_TIMING_SLOTS`]): the distribution of
+    /// per-node wall-clock latency, sampled 1-in-N node executions.
+    pub fn stage_timing(&self) -> Vec<obs::HistogramSnapshot> {
+        self.registry
+            .metrics
+            .stage_timing
+            .iter()
+            .map(|h| h.snapshot())
+            .collect()
+    }
+
+    /// Dumps the flight recorder: every worker's retained scheduler events
+    /// (steal / suspend / resume / throttle / panic) plus pool-level events
+    /// (resize), merged into one series ordered by coarse timestamp. The
+    /// `usize` is the worker slot; pool-level events use slot
+    /// `max_threads()`. Best-effort under concurrent activity — this is a
+    /// diagnostic surface, not an audit log.
+    pub fn flight_events(&self) -> Vec<(usize, obs::Event)> {
+        let mut dumps: Vec<Vec<obs::Event>> =
+            self.registry.recorders.iter().map(|r| r.dump()).collect();
+        dumps.push(self.registry.pool_recorder.dump());
+        obs::merge_dumps(&dumps)
     }
 
     /// True if the calling thread is one of this pool's workers.

@@ -153,6 +153,10 @@ pub(crate) struct CacheCore {
     /// Id space for the cache-layer [`JobState`]s (hits and subscribers);
     /// disjoint from any inner service's ids.
     next_id: AtomicU64,
+    /// Shared latency recorder for cache-layer job states. They never pass
+    /// through a service's admission/completion paths, so nothing records
+    /// into it — sharing one avoids allocating a histogram set per hit.
+    latency: Arc<crate::metrics::LatencyRecorder>,
 }
 
 /// One subscriber of an in-flight keyed job.
@@ -367,6 +371,7 @@ impl<S: Submit> CachedService<S> {
                 coalesced: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
                 next_id: AtomicU64::new(0),
+                latency: Arc::new(crate::metrics::LatencyRecorder::default()),
             }),
         }
     }
@@ -407,7 +412,14 @@ impl<S: Submit> CachedService<S> {
         on_terminal: Option<crate::TerminalHook>,
     ) -> Arc<JobState> {
         let id = JobId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
-        JobState::new(id, spec_name, priority, 0, on_terminal)
+        JobState::new(
+            id,
+            spec_name,
+            priority,
+            0,
+            Arc::clone(&self.core.latency),
+            on_terminal,
+        )
     }
 
     /// The keyed submission path. `counted` selects the inner entry point

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use piper::{PipeHandle, PipeOptions, PipeStats, PipelineIteration, Stage0, ThreadPool};
 
 use crate::cache::Inflight;
+use crate::metrics::LatencyRecorder;
 use crate::service::ServiceInner;
 
 /// A deferred pipeline launch: given the pool and the job's options, start
@@ -346,6 +347,9 @@ pub(crate) struct JobCell {
     /// The detached pipeline handle, present while the job is running.
     pub(crate) pipe: Option<PipeHandle>,
     pub(crate) result: Option<JobResult>,
+    /// When the dispatcher admitted the job (set at launch; `None` for jobs
+    /// that never ran). Anchors the `run` latency histogram.
+    pub(crate) admitted_at: Option<Instant>,
     /// When the job reached its terminal state.
     pub(crate) finished_at: Option<Instant>,
     /// The terminal callback, taken (and run outside the lock) by the
@@ -363,6 +367,9 @@ pub(crate) struct JobState {
     /// while the job runs).
     pub(crate) frames: usize,
     pub(crate) submitted_at: Instant,
+    /// The workload's latency histograms, resolved once at submit time so
+    /// the admission and completion paths record without a registry lookup.
+    pub(crate) latency: Arc<LatencyRecorder>,
     pub(crate) cell: Mutex<JobCell>,
     pub(crate) done_cv: Condvar,
     pub(crate) cancel_requested: AtomicBool,
@@ -374,6 +381,7 @@ impl JobState {
         name: String,
         priority: Priority,
         frames: usize,
+        latency: Arc<LatencyRecorder>,
         on_terminal: Option<TerminalHook>,
     ) -> Arc<Self> {
         Arc::new(JobState {
@@ -382,10 +390,12 @@ impl JobState {
             priority,
             frames,
             submitted_at: Instant::now(),
+            latency,
             cell: Mutex::new(JobCell {
                 status: JobStatus::Queued,
                 pipe: None,
                 result: None,
+                admitted_at: None,
                 finished_at: None,
                 on_terminal,
             }),

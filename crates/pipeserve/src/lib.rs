@@ -90,7 +90,9 @@ pub use job::{
     ContentKey, JobHandle, JobId, JobResult, JobSpec, JobStatus, LaunchFn, OutputSink, Priority,
     SinkLaunchFn, TerminalHook,
 };
-pub use metrics::{ServiceMetricsSnapshot, ShardedMetricsSnapshot};
+pub use metrics::{
+    ServiceMetricsSnapshot, ShardedMetricsSnapshot, WorkloadLatency, UNNAMED_WORKLOAD,
+};
 pub use service::{PipeService, ServiceBuilder, SubmitError};
 pub use shard::{ShardedService, ShardedServiceBuilder};
 pub use submit::Submit;

@@ -2,7 +2,15 @@
 //! [`piper::Metrics`] so the two snapshots compose into one observability
 //! surface.
 
+use obs::{Histogram, HistogramSnapshot};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The workload label used for jobs submitted with an empty name, so every
+/// job lands in some latency series.
+pub const UNNAMED_WORKLOAD: &str = "_unnamed";
 
 /// Monotone counters kept by a [`crate::PipeService`] (relaxed atomics:
 /// instrumentation must not perturb dispatch).
@@ -30,9 +38,170 @@ impl ServiceMetrics {
     }
 }
 
+/// The four latency histograms kept per workload (job name). All values
+/// are nanoseconds; recording is lock-free (see [`obs::Histogram`]).
+#[derive(Debug, Default)]
+pub(crate) struct LatencyRecorder {
+    /// Submission → admission (time spent in the submission queue).
+    pub(crate) queue_wait: Histogram,
+    /// Admission → the first pipeline node executing (scheduler reaction
+    /// time, from `PipeStats::time_to_first_node_ns`).
+    pub(crate) first_node: Histogram,
+    /// Admission → terminal verdict (pure run time).
+    pub(crate) run: Histogram,
+    /// Submission → terminal verdict (what the client observes).
+    pub(crate) service: Histogram,
+}
+
+/// Per-workload [`LatencyRecorder`]s, keyed by job name. The map is only
+/// locked to *resolve* a recorder (once per submission) and to snapshot;
+/// the record path itself touches only the resolved `Arc`'s atomics.
+#[derive(Debug, Default)]
+pub(crate) struct LatencyRegistry {
+    workloads: Mutex<HashMap<String, Arc<LatencyRecorder>>>,
+}
+
+impl LatencyRegistry {
+    /// The recorder for `workload` (empty names map to
+    /// [`UNNAMED_WORKLOAD`]), creating it on first use.
+    pub(crate) fn recorder(&self, workload: &str) -> Arc<LatencyRecorder> {
+        let label = if workload.is_empty() {
+            UNNAMED_WORKLOAD
+        } else {
+            workload
+        };
+        let mut map = self.workloads.lock().unwrap();
+        match map.get(label) {
+            Some(recorder) => Arc::clone(recorder),
+            None => {
+                let recorder = Arc::new(LatencyRecorder::default());
+                map.insert(label.to_string(), Arc::clone(&recorder));
+                recorder
+            }
+        }
+    }
+
+    /// Snapshots every workload's histograms, sorted by workload name.
+    pub(crate) fn snapshot(&self) -> Vec<WorkloadLatency> {
+        let map = self.workloads.lock().unwrap();
+        let mut out: Vec<WorkloadLatency> = map
+            .iter()
+            .map(|(name, recorder)| WorkloadLatency {
+                workload: name.clone(),
+                queue_wait: recorder.queue_wait.snapshot(),
+                first_node: recorder.first_node.snapshot(),
+                run: recorder.run.snapshot(),
+                service: recorder.service.snapshot(),
+            })
+            .collect();
+        drop(map);
+        out.sort_by(|a, b| a.workload.cmp(&b.workload));
+        out
+    }
+}
+
+/// Point-in-time latency distributions for one workload (job name). All
+/// histograms are in nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkloadLatency {
+    /// The job name these distributions cover ([`UNNAMED_WORKLOAD`] for
+    /// jobs submitted without one).
+    pub workload: String,
+    /// Submission → admission.
+    pub queue_wait: HistogramSnapshot,
+    /// Admission → first pipeline node executing.
+    pub first_node: HistogramSnapshot,
+    /// Admission → terminal verdict.
+    pub run: HistogramSnapshot,
+    /// Submission → terminal verdict.
+    pub service: HistogramSnapshot,
+}
+
+/// Formats one histogram as the JSON object used throughout the metrics
+/// surface: counts plus quantiles converted from nanoseconds to
+/// fractional milliseconds.
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    format!(
+        concat!(
+            "{{\"count\":{},\"mean_ms\":{:.3},\"p50_ms\":{:.3},",
+            "\"p90_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3}}}"
+        ),
+        h.count(),
+        h.mean() / 1e6,
+        ms(h.quantile(0.50)),
+        ms(h.quantile(0.90)),
+        ms(h.quantile(0.99)),
+        ms(h.quantile(0.999)),
+        ms(h.max_value()),
+    )
+}
+
+/// Quotes and escapes `s` as a JSON string literal (workload names come
+/// from clients, so they cannot be trusted to be JSON-clean).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl WorkloadLatency {
+    /// Histogram-wise merge of two snapshots for the same workload.
+    fn merged_with(&self, other: &WorkloadLatency) -> WorkloadLatency {
+        WorkloadLatency {
+            workload: self.workload.clone(),
+            queue_wait: self.queue_wait.merge(&other.queue_wait),
+            first_node: self.first_node.merge(&other.first_node),
+            run: self.run.merge(&other.run),
+            service: self.service.merge(&other.service),
+        }
+    }
+
+    /// Renders the four distributions as one JSON object (without the
+    /// workload name, which is the enclosing map's key).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait\":{},\"first_node\":{},\"run\":{},\"service\":{}}}",
+            histogram_json(&self.queue_wait),
+            histogram_json(&self.first_node),
+            histogram_json(&self.run),
+            histogram_json(&self.service),
+        )
+    }
+}
+
+/// Merges two per-workload latency lists by workload name, preserving the
+/// sorted order both inputs maintain.
+fn merge_latency(a: Vec<WorkloadLatency>, b: Vec<WorkloadLatency>) -> Vec<WorkloadLatency> {
+    let mut map: BTreeMap<String, WorkloadLatency> = BTreeMap::new();
+    for w in a.into_iter().chain(b) {
+        match map.entry(w.workload.clone()) {
+            Entry::Occupied(mut e) => {
+                let merged = e.get().merged_with(&w);
+                e.insert(merged);
+            }
+            Entry::Vacant(e) => {
+                e.insert(w);
+            }
+        }
+    }
+    map.into_values().collect()
+}
+
 /// A point-in-time copy of a service's aggregate metrics, including the
 /// live queue/budget gauges.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ServiceMetricsSnapshot {
     /// Jobs accepted into the submission queue.
@@ -71,6 +240,9 @@ pub struct ServiceMetricsSnapshot {
     /// Keyed submissions coalesced onto an identical in-flight pipeline
     /// (zero for uncached executors).
     pub coalesced: u64,
+    /// Per-workload latency distributions (queue wait, time to first node,
+    /// run time, end-to-end service time), sorted by workload name.
+    pub latency: Vec<WorkloadLatency>,
 }
 
 impl ServiceMetricsSnapshot {
@@ -94,11 +266,28 @@ impl ServiceMetricsSnapshot {
         }
     }
 
+    /// The 99th-percentile queue wait in nanoseconds, merged across every
+    /// workload — the single scalar the sharded router's probe signal and
+    /// dashboards key on. Returns 0 when no job has been admitted yet.
+    pub fn queue_wait_p99_ns(&self) -> u64 {
+        self.latency
+            .iter()
+            .fold(HistogramSnapshot::default(), |acc, w| {
+                acc.merge(&w.queue_wait)
+            })
+            .quantile(0.99)
+    }
+
     /// Renders the snapshot as a single-line JSON object (hand-rolled, like
     /// the bench binaries — no serialization dependency). This is the one
     /// shared formatter behind both the `pipeserve_load` bench report and
     /// the `piped` METRICS wire frame.
     pub fn to_json(&self) -> String {
+        let latency: Vec<String> = self
+            .latency
+            .iter()
+            .map(|w| format!("{}:{}", json_string(&w.workload), w.to_json()))
+            .collect();
         format!(
             concat!(
                 "{{",
@@ -119,7 +308,8 @@ impl ServiceMetricsSnapshot {
                 "\"cache_misses\":{},",
                 "\"coalesced\":{},",
                 "\"frame_budget_utilization\":{:.4},",
-                "\"rejection_rate\":{:.4}",
+                "\"rejection_rate\":{:.4},",
+                "\"latency\":{{{}}}",
                 "}}"
             ),
             self.jobs_submitted,
@@ -140,6 +330,7 @@ impl ServiceMetricsSnapshot {
             self.coalesced,
             self.frame_budget_utilization(),
             self.rejection_rate(),
+            latency.join(","),
         )
     }
 }
@@ -168,6 +359,7 @@ impl std::ops::Add for ServiceMetricsSnapshot {
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             coalesced: self.coalesced + other.coalesced,
+            latency: merge_latency(self.latency, other.latency),
         }
     }
 }
@@ -185,22 +377,43 @@ pub struct ShardedMetricsSnapshot {
     /// Jobs the placement layer routed to each shard (counted at placement,
     /// i.e. before the shard's own admission verdict).
     pub placements: Vec<u64>,
+    /// True maximum of per-shard `peak_queue_depth` values — unlike the
+    /// aggregate's field, which is the *sum* of per-shard peaks.
+    pub max_peak_queue_depth: u64,
+    /// True maximum of per-shard `peak_frames_in_use` values.
+    pub max_peak_frames_in_use: u64,
 }
 
 impl ShardedMetricsSnapshot {
     /// Renders the snapshot as a single-line JSON object:
-    /// `{"aggregate": {...}, "shards": [{...}, ...], "placements": [...]}`.
+    /// `{"aggregate": {...}, "shards": [{...}, ...], "placements": [...],
+    /// "max_peak_queue_depth": N, "max_peak_frames_in_use": N,
+    /// "shard_queue_wait_p99_ms": [...]}`.
     /// This is what the `piped` METRICS wire frame carries for a sharded
     /// daemon; the `"aggregate"` object is the same shape single-shard
-    /// clients already parse.
+    /// clients already parse. `shard_queue_wait_p99_ms` is each shard's
+    /// all-workload queue-wait p99 — the congestion signal placement's
+    /// two-probe scoring reacts to, surfaced per shard.
     pub fn to_json(&self) -> String {
         let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
         let placements: Vec<String> = self.placements.iter().map(|p| p.to_string()).collect();
+        let queue_p99: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| format!("{:.3}", s.queue_wait_p99_ns() as f64 / 1e6))
+            .collect();
         format!(
-            "{{\"aggregate\":{},\"shards\":[{}],\"placements\":[{}]}}",
+            concat!(
+                "{{\"aggregate\":{},\"shards\":[{}],\"placements\":[{}],",
+                "\"max_peak_queue_depth\":{},\"max_peak_frames_in_use\":{},",
+                "\"shard_queue_wait_p99_ms\":[{}]}}"
+            ),
             self.aggregate.to_json(),
             shards.join(","),
             placements.join(","),
+            self.max_peak_queue_depth,
+            self.max_peak_frames_in_use,
+            queue_p99.join(","),
         )
     }
 }
@@ -217,15 +430,20 @@ mod tests {
             ..Default::default()
         };
         let snapshot = ShardedMetricsSnapshot {
-            aggregate: shard + shard,
-            shards: vec![shard, shard],
+            aggregate: shard.clone() + shard.clone(),
+            shards: vec![shard.clone(), shard],
             placements: vec![3, 2],
+            max_peak_queue_depth: 4,
+            max_peak_frames_in_use: 6,
         };
         let json = snapshot.to_json();
         assert!(json.contains("\"aggregate\":{\"jobs_submitted\":10"));
         assert!(json.contains("\"placements\":[3,2]"));
         assert_eq!(json.matches("\"frame_budget\":8").count(), 2);
         assert!(json.contains("\"frame_budget\":16"));
+        assert!(json.contains("\"max_peak_queue_depth\":4"));
+        assert!(json.contains("\"max_peak_frames_in_use\":6"));
+        assert!(json.contains("\"shard_queue_wait_p99_ms\":[0.000,0.000]"));
     }
 
     #[test]
@@ -248,6 +466,76 @@ mod tests {
         assert!(json.contains("\"cache_hits\":7"));
         assert!(json.contains("\"cache_misses\":4"));
         assert!(json.contains("\"coalesced\":1"));
+        assert!(json.contains("\"latency\":{}"));
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn latency_json_has_quantile_fields_per_workload() {
+        let registry = LatencyRegistry::default();
+        let recorder = registry.recorder("scan");
+        for ns in [1_000_000u64, 2_000_000, 40_000_000] {
+            recorder.queue_wait.record(ns);
+            recorder.service.record(ns * 2);
+        }
+        // Empty names fold into the fallback label.
+        registry.recorder("").service.record(5_000_000);
+        let snapshot = ServiceMetricsSnapshot {
+            latency: registry.snapshot(),
+            ..Default::default()
+        };
+        let json = snapshot.to_json();
+        assert!(json.contains("\"latency\":{\"_unnamed\":{"));
+        assert!(json.contains("\"scan\":{\"queue_wait\":{\"count\":3"));
+        for field in ["p50_ms", "p90_ms", "p99_ms", "p999_ms", "max_ms", "mean_ms"] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // 40 ms recorded => p99 estimate in [40, 42.5) ms.
+        let p99 = snapshot.latency[1].queue_wait.quantile(0.99);
+        assert!((40_000_000..42_500_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn adding_snapshots_merges_latency_by_workload() {
+        let left = LatencyRegistry::default();
+        left.recorder("a").service.record(10);
+        left.recorder("b").service.record(20);
+        let right = LatencyRegistry::default();
+        right.recorder("b").service.record(30);
+        right.recorder("c").service.record(40);
+        let sum = ServiceMetricsSnapshot {
+            latency: left.snapshot(),
+            ..Default::default()
+        } + ServiceMetricsSnapshot {
+            latency: right.snapshot(),
+            ..Default::default()
+        };
+        let names: Vec<&str> = sum.latency.iter().map(|w| w.workload.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(sum.latency[1].service.count(), 2);
+        assert_eq!(sum.latency[1].service.sum(), 50);
+    }
+
+    #[test]
+    fn queue_wait_p99_merges_across_workloads() {
+        let registry = LatencyRegistry::default();
+        for _ in 0..95 {
+            registry.recorder("fast").queue_wait.record(10);
+        }
+        for _ in 0..5 {
+            registry.recorder("slow").queue_wait.record(1_000_000);
+        }
+        let snapshot = ServiceMetricsSnapshot {
+            latency: registry.snapshot(),
+            ..Default::default()
+        };
+        let p99 = snapshot.queue_wait_p99_ns();
+        assert!(p99 >= 1_000_000, "p99 {p99} should see the slow workload");
+    }
+
+    #[test]
+    fn workload_names_are_json_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
     }
 }

@@ -22,7 +22,7 @@ use piper::{MetricsSnapshot, PipeOptions, ThreadPool};
 use crate::job::{
     HandleBackend, JobHandle, JobId, JobResult, JobSpec, JobState, JobStatus, LaunchFn,
 };
-use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+use crate::metrics::{LatencyRegistry, ServiceMetrics, ServiceMetricsSnapshot};
 use crate::submit::Submit;
 
 /// Why a submission was not accepted. See the [`crate::submit`] module docs
@@ -140,6 +140,9 @@ pub(crate) struct ServiceInner {
     frame_budget: usize,
     max_queue: usize,
     pub(crate) metrics: ServiceMetrics,
+    /// Per-workload latency histograms; jobs resolve their recorder once
+    /// at submit time (see [`crate::job::JobState::latency`]).
+    latency: LatencyRegistry,
     sched: Mutex<Sched>,
     /// Wakes the dispatcher (new submission, completion, cancellation,
     /// shutdown) and drain waiters (completion).
@@ -296,6 +299,14 @@ impl ServiceInner {
         }
 
         ServiceMetrics::bump(&self.metrics.jobs_admitted);
+        // Admission is the end of the queue wait; stamp it before the
+        // (user-code) launch closure runs so its cost lands in `run`, not
+        // `queue_wait`.
+        state
+            .latency
+            .queue_wait
+            .record_duration(state.submitted_at.elapsed());
+        let admitted_at = Instant::now();
         // The launch closure is user code (it may build pipelines, assert on
         // configurations, …): a panic must fail the *job*, not kill the
         // dispatcher thread — a dead dispatcher would wedge the service
@@ -322,6 +333,7 @@ impl ServiceInner {
                 cell.status = JobStatus::Running;
             }
             cell.pipe = Some(pipe.clone());
+            cell.admitted_at = Some(admitted_at);
         }
         // A cancel issued while the launch was in progress found the job in
         // neither the queue nor the cell and only set the flag: honour it
@@ -347,7 +359,10 @@ impl ServiceInner {
     /// records the terminal state, releases the frame reservation. Runs on
     /// whichever thread completes the pipeline.
     fn finish_job(self: &Arc<Self>, state: &Arc<JobState>) {
-        let pipe = state.cell.lock().unwrap().pipe.take();
+        let (pipe, admitted_at) = {
+            let mut cell = state.cell.lock().unwrap();
+            (cell.pipe.take(), cell.admitted_at)
+        };
         let Some(pipe) = pipe else {
             return; // already finalized
         };
@@ -360,12 +375,32 @@ impl ServiceInner {
                 JobResult::Panicked(panic_message(payload.as_ref())),
             ),
         };
+        let completed_stats = match (&status, &result) {
+            (JobStatus::Completed, JobResult::Completed(stats)) => Some(*stats),
+            _ => None,
+        };
         if state.finalize(status, result) {
             match status {
                 JobStatus::Completed => ServiceMetrics::bump(&self.metrics.jobs_completed),
                 JobStatus::Cancelled => ServiceMetrics::bump(&self.metrics.jobs_cancelled),
                 JobStatus::Failed => ServiceMetrics::bump(&self.metrics.jobs_panicked),
                 _ => {}
+            }
+            // Latency is recorded only for clean completions (the finalize
+            // guard makes this at-most-once): cancelled/panicked durations
+            // would poison the distributions clients size timeouts from.
+            if let Some(stats) = completed_stats {
+                let now = Instant::now();
+                if let Some(at) = admitted_at {
+                    state.latency.run.record_duration(now - at);
+                }
+                state
+                    .latency
+                    .service
+                    .record_duration(now - state.submitted_at);
+                if stats.time_to_first_node_ns > 0 {
+                    state.latency.first_node.record(stats.time_to_first_node_ns);
+                }
             }
         }
         self.release(state);
@@ -494,6 +529,7 @@ impl ServiceBuilder {
             frame_budget,
             max_queue: self.max_queue,
             metrics: ServiceMetrics::default(),
+            latency: LatencyRegistry::default(),
             sched: Mutex::new(Sched {
                 queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 queued: 0,
@@ -660,7 +696,8 @@ impl Submit for PipeService {
         } = spec;
         options.throttle_limit = Some(window);
         let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let state = JobState::new(id, name, priority, window, on_terminal);
+        let recorder = self.inner.latency.recorder(&name);
+        let state = JobState::new(id, name, priority, window, recorder, on_terminal);
         let queued = QueuedJob {
             state: Arc::clone(&state),
             options,
@@ -716,6 +753,7 @@ impl Submit for PipeService {
             cache_hits: 0,
             cache_misses: 0,
             coalesced: 0,
+            latency: self.inner.latency.snapshot(),
         }
     }
 }

@@ -333,6 +333,42 @@ impl ShardedService {
         Err((first, SubmitError::QueueFull(Box::new(spec))))
     }
 
+    /// Merged per-stage node-timing histograms across every shard's pool,
+    /// indexed by stage slot (see [`piper::STAGE_TIMING_SLOTS`]).
+    pub fn stage_timing(&self) -> Vec<obs::HistogramSnapshot> {
+        let mut merged: Vec<obs::HistogramSnapshot> = Vec::new();
+        for shard in &self.inner.shards {
+            for (slot, h) in shard.pool().stage_timing().into_iter().enumerate() {
+                if slot >= merged.len() {
+                    merged.push(h);
+                } else {
+                    merged[slot] = merged[slot].merge(&h);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Drains every shard pool's flight recorders into one
+    /// `(shard, worker, event)` series ordered by coarse timestamp — the
+    /// diagnostic dump a daemon prints when a job panics.
+    pub fn flight_events(&self) -> Vec<(usize, usize, obs::Event)> {
+        let mut out: Vec<(usize, usize, obs::Event)> = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, s)| {
+                s.pool()
+                    .flight_events()
+                    .into_iter()
+                    .map(move |(worker, event)| (shard, worker, event))
+            })
+            .collect();
+        out.sort_by_key(|(_, _, e)| e.at_micros);
+        out
+    }
+
     /// A point-in-time snapshot: the field-wise aggregate, the per-shard
     /// snapshots, and the placement counts. (The aggregate alone is what
     /// [`Submit::metrics`] returns.)
@@ -341,10 +377,19 @@ impl ShardedService {
             self.inner.shards.iter().map(|s| s.metrics()).collect();
         let aggregate = shards
             .iter()
-            .copied()
+            .cloned()
             .fold(ServiceMetricsSnapshot::default(), |acc, s| acc + s);
         ShardedMetricsSnapshot {
             aggregate,
+            // True maxima alongside the aggregate's sums-of-peaks: the sum
+            // is the safe upper bound, the max is what any single shard
+            // actually reached.
+            max_peak_queue_depth: shards.iter().map(|s| s.peak_queue_depth).max().unwrap_or(0),
+            max_peak_frames_in_use: shards
+                .iter()
+                .map(|s| s.peak_frames_in_use)
+                .max()
+                .unwrap_or(0),
             shards,
             placements: self
                 .inner
