@@ -245,9 +245,29 @@ fn run_at_rate(addr: &str, mix: &Mix, rate: f64, offered: usize, connections: us
                     std::thread::sleep(wait);
                 }
                 match client.submit(&options, &input) {
-                    Ok(job) => accepted.push((job, i)),
+                    Ok(job) => {
+                        // Every ACCEPTED carries a nonzero trace id.
+                        if job.trace_id() == 0 {
+                            die(&format!("job {i}: ACCEPTED carried a zero trace id"));
+                        }
+                        accepted.push((job, i));
+                    }
                     Err(ClientError::Rejected { .. }) => rejected += 1,
                     Err(e) => die(&format!("job {i}: submit failed: {e}")),
+                }
+            }
+            // One TRACE round-trip per connection while jobs are in
+            // flight: the span tree must answer under load (a live job
+            // answers partially; a finished one from the slow ring or
+            // with an empty list — all well-formed).
+            if let Some((job, i)) = accepted.first() {
+                match job.trace(&client) {
+                    Ok(json) => {
+                        if !json.contains("\"trace_id\"") || !json.contains("\"spans\"") {
+                            die(&format!("job {i}: malformed TRACE reply: {json}"));
+                        }
+                    }
+                    Err(e) => die(&format!("job {i}: TRACE failed: {e}")),
                 }
             }
             let latency = obs::Histogram::new();

@@ -274,6 +274,11 @@ fn run_at_rate(
     let start = Instant::now();
     let mut handles: Vec<(JobHandle, Verifier, &'static str)> = Vec::with_capacity(offered);
     let mut rejected = 0u64;
+    // Every 16th job carries a span-trace buffer, so the executor-level
+    // tracing path (root job span + queue_wait / admission / run children)
+    // runs under load, not just in unit tests. Verified after the drain.
+    let mut trace_seed = 0x0000_B5ED_5EED_u64;
+    let mut traced: Vec<(Arc<obs::TraceBuffer>, &'static str)> = Vec::new();
     for i in 0..offered {
         // Open-loop arrivals: stick to the absolute schedule even if
         // submission itself lags.
@@ -281,9 +286,21 @@ fn run_at_rate(
         if let Some(wait) = due.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let (kind, spec, verify) = mix.job(i);
+        let (kind, mut spec, verify) = mix.job(i);
+        let trace = if i % 16 == 0 {
+            let buffer = Arc::new(obs::TraceBuffer::new(splitmix64(&mut trace_seed), 64));
+            spec = spec.traced(Arc::clone(&buffer));
+            Some(buffer)
+        } else {
+            None
+        };
         match service.submit(spec) {
-            Ok(handle) => handles.push((handle, verify, kind)),
+            Ok(handle) => {
+                if let Some(buffer) = trace {
+                    traced.push((buffer, kind));
+                }
+                handles.push((handle, verify, kind));
+            }
             Err(_) => rejected += 1,
         }
     }
@@ -309,6 +326,36 @@ fn run_at_rate(
         if let Err(msg) = verify() {
             eprintln!("ERROR: {kind} job verification failed: {msg}");
             std::process::exit(1);
+        }
+    }
+    // Traced jobs joined as completed, so each buffer must hold the full
+    // lifecycle tree: exactly one root job span plus queue_wait, admission
+    // and run children parented to it.
+    for (buffer, kind) in &traced {
+        let spans = buffer.dump();
+        let roots = spans
+            .iter()
+            .filter(|s| s.id == obs::ROOT_SPAN_ID && s.kind == obs::SpanKind::Job)
+            .count();
+        if roots != 1 {
+            eprintln!("ERROR: traced {kind} job has {roots} root spans, want 1");
+            std::process::exit(1);
+        }
+        for want in [
+            obs::SpanKind::QueueWait,
+            obs::SpanKind::Admission,
+            obs::SpanKind::Run,
+        ] {
+            if !spans
+                .iter()
+                .any(|s| s.kind == want && s.parent == obs::ROOT_SPAN_ID)
+            {
+                eprintln!(
+                    "ERROR: traced {kind} job is missing a {} span under the root",
+                    want.name()
+                );
+                std::process::exit(1);
+            }
         }
     }
     let snapshot = service.sharded_metrics();

@@ -404,13 +404,307 @@ impl std::fmt::Debug for EventRing {
 
 /// Merges per-worker dumps into one `(worker, event)` series ordered by
 /// coarse timestamp — the shape a panic dump prints.
+///
+/// Ordering contract: globally sorted by `at_micros`; events with equal
+/// timestamps come out in worker-index order, and within one worker in
+/// that worker's dump order (oldest first, even for rings that wrapped
+/// and overwrote their oldest events).
 pub fn merge_dumps(dumps: &[Vec<Event>]) -> Vec<(usize, Event)> {
     let mut out: Vec<(usize, Event)> = dumps
         .iter()
         .enumerate()
         .flat_map(|(worker, events)| events.iter().map(move |&e| (worker, e)))
         .collect();
-    out.sort_by_key(|(_, e)| e.at_micros);
+    // A stable sort on (timestamp, worker): the flat_map above emits each
+    // worker's events in dump order, so intra-worker order is preserved
+    // for free, and the explicit worker key pins inter-worker ties
+    // instead of leaving them to collection order.
+    out.sort_by_key(|&(worker, e)| (e.at_micros, worker));
+    out
+}
+
+// ----------------------------------------------------------- span tracing --
+
+/// The span id every trace's root span uses. [`TraceBuffer::next_span_id`]
+/// starts handing out ids *above* this value, so the layer that owns the
+/// trace (the job submitter) can record the root last — when the job
+/// finishes — while children recorded earlier already point at it.
+pub const ROOT_SPAN_ID: u64 = 1;
+
+/// Deterministic 64-bit mixer (splitmix64) — the stack's trace-id
+/// generator. Advances `state` and returns the mixed output; any nonzero
+/// seed yields a full-period, well-distributed sequence.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a span measures. Discriminants are stable packed values (`0` is
+/// reserved for "uncommitted slot"), mirroring [`EventKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// The whole job, submit to terminal (the root span; `arg` = job id).
+    Job = 1,
+    /// Waiting in the submission queue for admission.
+    QueueWait = 2,
+    /// The admission step itself: binding the launch closure and spawning
+    /// the pipeline on the pool.
+    Admission = 3,
+    /// Pipeline execution, admission to terminal.
+    Run = 4,
+    /// A result-cache lookup (`arg`: 0 = miss, 1 = hit, 2 = coalesced).
+    CacheLookup = 5,
+    /// One sampled pipeline node execution (`arg` = stage number).
+    Stage = 6,
+}
+
+impl SpanKind {
+    fn from_u8(value: u8) -> Option<SpanKind> {
+        Some(match value {
+            1 => SpanKind::Job,
+            2 => SpanKind::QueueWait,
+            3 => SpanKind::Admission,
+            4 => SpanKind::Run,
+            5 => SpanKind::CacheLookup,
+            6 => SpanKind::Stage,
+            _ => return None,
+        })
+    }
+
+    /// Lower-case name, for trace dumps and Perfetto event names.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Job => "job",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Admission => "admission",
+            SpanKind::Run => "run",
+            SpanKind::CacheLookup => "cache_lookup",
+            SpanKind::Stage => "stage",
+        }
+    }
+}
+
+/// One decoded span record: a closed interval of the job's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Span id, unique within its trace ([`ROOT_SPAN_ID`] for the root).
+    pub id: u64,
+    /// Parent span id (0 for the root).
+    pub parent: u64,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Start, in [`coarse_micros`] ticks.
+    pub start_micros: u64,
+    /// End, in [`coarse_micros`] ticks (`>= start_micros`).
+    pub end_micros: u64,
+    /// Kind-specific argument (see [`SpanKind`]).
+    pub arg: u64,
+}
+
+/// A fixed-capacity, lock-free buffer of completed [`Span`]s — one per
+/// traced job.
+///
+/// The record path ([`record`](TraceBuffer::record)) claims a slot with
+/// one atomic increment and writes five words, the last with `Release`
+/// ordering as the commit mark; it never blocks, never allocates, and
+/// once the buffer is full further spans are counted in
+/// [`dropped`](TraceBuffer::dropped) and discarded (the earliest spans
+/// are the structural ones worth keeping). [`dump`](TraceBuffer::dump)
+/// may run concurrently with writers and skips uncommitted slots.
+pub struct TraceBuffer {
+    trace_id: u64,
+    /// Five words per slot: `kind << 56 | start_micros`, end, arg, id,
+    /// parent. The first word doubles as the commit mark (kind 0 = empty)
+    /// and is stored `Release`, last.
+    slots: Box<[AtomicU64]>,
+    /// Next slot to claim (may run past `capacity`; the excess is the
+    /// drop count).
+    next: AtomicU64,
+    /// Span-id allocator; starts just above [`ROOT_SPAN_ID`].
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+const SPAN_WORDS: usize = 5;
+
+/// Slots a [`TraceBuffer`] keeps free of best-effort spans (see
+/// [`TraceBuffer::record_elapsed_best_effort`]): enough for every
+/// lifecycle span a job records (root, cache lookup, queue wait,
+/// admission, run) plus slack for the advisory check's overshoot.
+pub const RESERVED_SPAN_SLOTS: usize = 8;
+
+impl TraceBuffer {
+    /// Creates a buffer for one trace, holding up to `capacity` spans
+    /// (minimum 8). All storage is allocated here; recording is
+    /// allocation-free.
+    pub fn new(trace_id: u64, capacity: usize) -> TraceBuffer {
+        let capacity = capacity.max(8);
+        TraceBuffer {
+            trace_id,
+            slots: (0..capacity * SPAN_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            next: AtomicU64::new(0),
+            next_id: AtomicU64::new(ROOT_SPAN_ID + 1),
+            capacity,
+        }
+    }
+
+    /// The trace id every span in this buffer belongs to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Allocates a fresh span id (unique within this trace, never
+    /// [`ROOT_SPAN_ID`]).
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one completed span. Lock-free and allocation-free; a span
+    /// arriving after the buffer filled is dropped (and counted).
+    #[inline]
+    pub fn record(
+        &self,
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        start_micros: u64,
+        end_micros: u64,
+        arg: u64,
+    ) {
+        let index = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        if index >= self.capacity {
+            return;
+        }
+        let base = index * SPAN_WORDS;
+        self.slots[base + 1].store(end_micros, Ordering::Relaxed);
+        self.slots[base + 2].store(arg, Ordering::Relaxed);
+        self.slots[base + 3].store(id, Ordering::Relaxed);
+        self.slots[base + 4].store(parent, Ordering::Relaxed);
+        let start = start_micros & ((1 << 56) - 1);
+        self.slots[base].store(((kind as u64) << 56) | start, Ordering::Release);
+    }
+
+    /// Convenience: records a span ending now whose duration is `elapsed`,
+    /// so callers timing with a monotonic [`Instant`] need no extra clock
+    /// read at span start.
+    #[inline]
+    pub fn record_elapsed(
+        &self,
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        elapsed: Duration,
+        arg: u64,
+    ) {
+        let end = coarse_micros();
+        let start = end.saturating_sub(elapsed.as_micros().min(u64::MAX as u128) as u64);
+        self.record(id, parent, kind, start, end, arg);
+    }
+
+    /// [`record_elapsed`](TraceBuffer::record_elapsed) for high-volume
+    /// best-effort spans (sampled per-stage timings): stops claiming
+    /// slots once only [`RESERVED_SPAN_SLOTS`] remain, so a long job's
+    /// stage samples can never crowd out its lifecycle spans (root, queue
+    /// wait, run, …). The check is advisory — concurrent recorders may
+    /// overshoot by at most one slot each — which the reserve absorbs.
+    #[inline]
+    pub fn record_elapsed_best_effort(
+        &self,
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        elapsed: Duration,
+        arg: u64,
+    ) {
+        let claimed = self.next.load(Ordering::Relaxed) as usize;
+        if claimed + RESERVED_SPAN_SLOTS >= self.capacity {
+            return;
+        }
+        self.record_elapsed(id, parent, kind, elapsed, arg);
+    }
+
+    /// How many spans were discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        (self.next.load(Ordering::Relaxed)).saturating_sub(self.capacity as u64)
+    }
+
+    /// The committed spans, sorted by start time (ties keep record order).
+    /// Safe to call while writers are still recording: a slot claimed but
+    /// not yet committed is skipped.
+    pub fn dump(&self) -> Vec<Span> {
+        let claimed = (self.next.load(Ordering::Acquire) as usize).min(self.capacity);
+        let mut out = Vec::with_capacity(claimed);
+        for index in 0..claimed {
+            let base = index * SPAN_WORDS;
+            let word = self.slots[base].load(Ordering::Acquire);
+            if let Some(kind) = SpanKind::from_u8((word >> 56) as u8) {
+                out.push(Span {
+                    id: self.slots[base + 3].load(Ordering::Relaxed),
+                    parent: self.slots[base + 4].load(Ordering::Relaxed),
+                    kind,
+                    start_micros: word & ((1 << 56) - 1),
+                    end_micros: self.slots[base + 1].load(Ordering::Relaxed),
+                    arg: self.slots[base + 2].load(Ordering::Relaxed),
+                });
+            }
+        }
+        out.sort_by_key(|s| s.start_micros);
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("trace_id", &format_args!("{:016x}", self.trace_id))
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the `traceEvents` array
+/// format), loadable directly in `ui.perfetto.dev` or
+/// `chrome://tracing`.
+///
+/// Each span becomes one complete (`"ph":"X"`) event with microsecond
+/// `ts`/`dur`; job-structure spans share track 1 so Perfetto nests them
+/// by containment, sampled stage spans go on track 2 (they come from
+/// concurrent workers and may overlap). Span/parent ids and the kind
+/// argument ride along in `args`.
+pub fn perfetto_json(trace_id: u64, spans: &[Span]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tid = match s.kind {
+            SpanKind::Stage => 2,
+            _ => 1,
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"piped\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"span\":{},\
+             \"parent\":{},\"arg\":{}}}}}",
+            s.kind.name(),
+            s.start_micros,
+            s.end_micros.saturating_sub(s.start_micros),
+            tid,
+            trace_id,
+            s.id,
+            s.parent,
+            s.arg,
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -508,6 +802,323 @@ mod tests {
         assert_eq!(events.first().unwrap().arg, 12);
         assert_eq!(events.last().unwrap().arg, 19);
         assert!(events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+    }
+
+    #[test]
+    fn splitmix64_is_deterministic_and_well_spread() {
+        let mut a = 0x1234_5678u64;
+        let mut b = 0x1234_5678u64;
+        let xs: Vec<u64> = (0..64).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..64).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<u64> = xs.iter().copied().collect();
+        assert_eq!(distinct.len(), xs.len());
+        assert!(xs.iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn trace_buffer_records_and_dumps_sorted() {
+        let buf = TraceBuffer::new(0xABCD, 16);
+        assert_eq!(buf.trace_id(), 0xABCD);
+        let child = buf.next_span_id();
+        assert_ne!(child, ROOT_SPAN_ID);
+        // Recorded out of start order; dump sorts by start time.
+        buf.record(child, ROOT_SPAN_ID, SpanKind::QueueWait, 50, 80, 0);
+        buf.record(ROOT_SPAN_ID, 0, SpanKind::Job, 10, 100, 7);
+        let spans = buf.dump();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Job);
+        assert_eq!(spans[0].id, ROOT_SPAN_ID);
+        assert_eq!(spans[0].arg, 7);
+        assert_eq!(spans[1].parent, ROOT_SPAN_ID);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_buffer_overflow_drops_and_counts() {
+        let buf = TraceBuffer::new(1, 8);
+        for i in 0..20u64 {
+            buf.record(
+                buf.next_span_id(),
+                ROOT_SPAN_ID,
+                SpanKind::Stage,
+                i,
+                i + 1,
+                i,
+            );
+        }
+        assert_eq!(buf.dump().len(), 8);
+        assert_eq!(buf.dropped(), 12);
+        // The earliest (structural) spans are the ones retained.
+        assert_eq!(buf.dump().first().unwrap().arg, 0);
+    }
+
+    #[test]
+    fn best_effort_spans_leave_the_reserved_tail_free() {
+        let buf = TraceBuffer::new(1, 16);
+        // Best-effort spam stops at capacity - RESERVED_SPAN_SLOTS…
+        for i in 0..100u64 {
+            buf.record_elapsed_best_effort(
+                buf.next_span_id(),
+                ROOT_SPAN_ID,
+                SpanKind::Stage,
+                Duration::from_micros(1),
+                i,
+            );
+        }
+        assert_eq!(buf.dump().len(), 16 - RESERVED_SPAN_SLOTS);
+        assert_eq!(buf.dropped(), 0, "reserve must not count as drops");
+        // …so lifecycle spans recorded afterwards always land.
+        buf.record_elapsed(ROOT_SPAN_ID, 0, SpanKind::Job, Duration::from_micros(5), 0);
+        assert!(buf.dump().iter().any(|s| s.kind == SpanKind::Job));
+    }
+
+    #[test]
+    fn record_elapsed_ends_now_and_never_underflows() {
+        let buf = TraceBuffer::new(1, 8);
+        // An elapsed time longer than the process has been alive must
+        // clamp the start to 0 rather than wrap.
+        buf.record_elapsed(2, 1, SpanKind::Run, Duration::from_secs(1 << 40), 0);
+        let spans = buf.dump();
+        assert_eq!(spans[0].start_micros, 0);
+        assert!(spans[0].end_micros >= spans[0].start_micros);
+    }
+
+    // A minimal JSON value and recursive-descent parser, enough to verify
+    // the Perfetto renderer emits *valid JSON* and to round-trip the span
+    // fields back out of it. Test-only; the production stack never parses
+    // JSON.
+    #[derive(Debug, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> &Json {
+            match self {
+                Json::Obj(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing key {key}")),
+                other => panic!("get({key}) on non-object {other:?}"),
+            }
+        }
+
+        fn num(&self) -> f64 {
+            match self {
+                Json::Num(n) => *n,
+                other => panic!("not a number: {other:?}"),
+            }
+        }
+
+        fn str(&self) -> &str {
+            match self {
+                Json::Str(s) => s,
+                other => panic!("not a string: {other:?}"),
+            }
+        }
+    }
+
+    fn parse_json(text: &str) -> Json {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let value = parse_value(bytes, &mut at);
+        skip_ws(bytes, &mut at);
+        assert_eq!(at, bytes.len(), "trailing garbage after JSON value");
+        value
+    }
+
+    fn skip_ws(b: &[u8], at: &mut usize) {
+        while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+            *at += 1;
+        }
+    }
+
+    fn expect(b: &[u8], at: &mut usize, c: u8) {
+        assert!(
+            *at < b.len() && b[*at] == c,
+            "expected {:?} at {at}",
+            c as char
+        );
+        *at += 1;
+    }
+
+    fn parse_value(b: &[u8], at: &mut usize) -> Json {
+        skip_ws(b, at);
+        match b[*at] {
+            b'{' => {
+                *at += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, at);
+                if b[*at] == b'}' {
+                    *at += 1;
+                    return Json::Obj(fields);
+                }
+                loop {
+                    skip_ws(b, at);
+                    let key = match parse_value(b, at) {
+                        Json::Str(s) => s,
+                        other => panic!("non-string key {other:?}"),
+                    };
+                    skip_ws(b, at);
+                    expect(b, at, b':');
+                    fields.push((key, parse_value(b, at)));
+                    skip_ws(b, at);
+                    match b[*at] {
+                        b',' => *at += 1,
+                        b'}' => {
+                            *at += 1;
+                            return Json::Obj(fields);
+                        }
+                        c => panic!("expected , or }} got {:?}", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                *at += 1;
+                let mut items = Vec::new();
+                skip_ws(b, at);
+                if b[*at] == b']' {
+                    *at += 1;
+                    return Json::Arr(items);
+                }
+                loop {
+                    items.push(parse_value(b, at));
+                    skip_ws(b, at);
+                    match b[*at] {
+                        b',' => *at += 1,
+                        b']' => {
+                            *at += 1;
+                            return Json::Arr(items);
+                        }
+                        c => panic!("expected , or ] got {:?}", c as char),
+                    }
+                }
+            }
+            b'"' => {
+                *at += 1;
+                let mut s = String::new();
+                loop {
+                    match b[*at] {
+                        b'"' => {
+                            *at += 1;
+                            return Json::Str(s);
+                        }
+                        b'\\' => {
+                            *at += 1;
+                            match b[*at] {
+                                b'"' => s.push('"'),
+                                b'\\' => s.push('\\'),
+                                b'n' => s.push('\n'),
+                                c => panic!("unsupported escape \\{}", c as char),
+                            }
+                            *at += 1;
+                        }
+                        c => {
+                            s.push(c as char);
+                            *at += 1;
+                        }
+                    }
+                }
+            }
+            b't' => {
+                assert_eq!(&b[*at..*at + 4], b"true");
+                *at += 4;
+                Json::Bool(true)
+            }
+            b'f' => {
+                assert_eq!(&b[*at..*at + 5], b"false");
+                *at += 5;
+                Json::Bool(false)
+            }
+            b'n' => {
+                assert_eq!(&b[*at..*at + 4], b"null");
+                *at += 4;
+                Json::Null
+            }
+            _ => {
+                let start = *at;
+                while *at < b.len()
+                    && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *at += 1;
+                }
+                Json::Num(text_slice(b, start, *at).parse().expect("bad number"))
+            }
+        }
+    }
+
+    fn text_slice(b: &[u8], from: usize, to: usize) -> &str {
+        std::str::from_utf8(&b[from..to]).unwrap()
+    }
+
+    #[test]
+    fn perfetto_json_parses_and_round_trips() {
+        let buf = TraceBuffer::new(0xDEAD_BEEF_0BAD_CAFE, 16);
+        let q = buf.next_span_id();
+        let r = buf.next_span_id();
+        buf.record(ROOT_SPAN_ID, 0, SpanKind::Job, 10, 500, 42);
+        buf.record(q, ROOT_SPAN_ID, SpanKind::QueueWait, 10, 60, 0);
+        buf.record(r, ROOT_SPAN_ID, SpanKind::Run, 60, 500, 0);
+        buf.record(
+            buf.next_span_id(),
+            ROOT_SPAN_ID,
+            SpanKind::Stage,
+            100,
+            140,
+            3,
+        );
+        let spans = buf.dump();
+        let rendered = perfetto_json(buf.trace_id(), &spans);
+
+        let doc = parse_json(&rendered);
+        let events = match doc.get("traceEvents") {
+            Json::Arr(items) => items,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        assert_eq!(events.len(), spans.len());
+
+        // Round-trip: rebuild each span from the parsed JSON and compare.
+        for (event, span) in events.iter().zip(&spans) {
+            assert_eq!(event.get("ph").str(), "X");
+            assert_eq!(event.get("name").str(), span.kind.name());
+            let args = event.get("args");
+            assert_eq!(
+                args.get("trace_id").str(),
+                format!("{:016x}", buf.trace_id())
+            );
+            let rebuilt = Span {
+                id: args.get("span").num() as u64,
+                parent: args.get("parent").num() as u64,
+                kind: span.kind,
+                start_micros: event.get("ts").num() as u64,
+                end_micros: event.get("ts").num() as u64 + event.get("dur").num() as u64,
+                arg: args.get("arg").num() as u64,
+            };
+            assert_eq!(&rebuilt, span);
+        }
+    }
+
+    #[test]
+    fn merge_dumps_orders_by_time_then_worker() {
+        let e = |at: u64, arg: u64| Event {
+            kind: EventKind::Steal,
+            at_micros: at,
+            arg,
+        };
+        let merged = merge_dumps(&[
+            vec![e(5, 0), e(9, 1)],
+            vec![e(5, 2), e(7, 3)],
+            vec![e(1, 4), e(5, 5)],
+        ]);
+        let order: Vec<(u64, usize)> = merged.iter().map(|&(w, ev)| (ev.at_micros, w)).collect();
+        assert_eq!(order, vec![(1, 2), (5, 0), (5, 1), (5, 2), (7, 1), (9, 0)]);
     }
 
     #[test]

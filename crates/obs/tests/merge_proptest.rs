@@ -1,0 +1,85 @@
+//! Property-based tests for `obs::merge_dumps`: per-worker event rings —
+//! including rings that wrapped and overwrote their oldest slots — merge
+//! into one series globally sorted by timestamp, with ties broken by
+//! worker index and each worker's own order preserved.
+
+use obs::{merge_dumps, Event, EventKind, EventRing};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wrapped_rings_merge_globally_sorted(
+        pushes in proptest::collection::vec(0usize..64, 1..6),
+        capacity in 4usize..20,
+    ) {
+        // Each worker gets its own small ring; push counts past the
+        // capacity force overwrite-oldest wrapping on most cases.
+        let dumps: Vec<Vec<Event>> = pushes
+            .iter()
+            .map(|&n| {
+                let ring = EventRing::new(capacity);
+                for i in 0..n {
+                    ring.push(EventKind::Steal, i as u64);
+                }
+                ring.dump()
+            })
+            .collect();
+        let merged = merge_dumps(&dumps);
+
+        // Nothing is lost or invented by the merge.
+        prop_assert_eq!(merged.len(), dumps.iter().map(Vec::len).sum::<usize>());
+
+        // Globally sorted by coarse timestamp; equal timestamps come out
+        // in worker-index order.
+        prop_assert!(merged
+            .windows(2)
+            .all(|w| (w[0].1.at_micros, w[0].0) <= (w[1].1.at_micros, w[1].0)));
+
+        // Stability: each worker's events appear in exactly its own dump
+        // order (oldest surviving event first, even after wrapping).
+        for (worker, dump) in dumps.iter().enumerate() {
+            let mine: Vec<Event> = merged
+                .iter()
+                .filter(|&&(w, _)| w == worker)
+                .map(|&(_, e)| e)
+                .collect();
+            prop_assert_eq!(&mine, dump);
+        }
+    }
+
+    #[test]
+    fn synthetic_ties_are_broken_by_worker_index(
+        per_worker in proptest::collection::vec(
+            proptest::collection::vec(0u64..8, 0..16),
+            1..5,
+        ),
+    ) {
+        // Hand-built dumps with deliberately colliding timestamps (each
+        // worker's dump is sorted, as EventRing::dump guarantees).
+        let dumps: Vec<Vec<Event>> = per_worker
+            .iter()
+            .map(|ts| {
+                let mut ts = ts.clone();
+                ts.sort_unstable();
+                ts.iter()
+                    .enumerate()
+                    .map(|(i, &at)| Event {
+                        kind: EventKind::Steal,
+                        at_micros: at,
+                        arg: i as u64,
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = merge_dumps(&dumps);
+        let keys: Vec<(u64, usize)> = merged
+            .iter()
+            .map(|&(w, e)| (e.at_micros, w))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(keys, sorted);
+    }
+}

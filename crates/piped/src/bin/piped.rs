@@ -36,7 +36,15 @@
 //!   text format over HTTP on ADDR (counters, gauges, and per-workload
 //!   latency histograms). Off by default.
 //! * `--slow-log-ms N` — log every job whose end-to-end service time
-//!   exceeds N ms as one structured stderr line. Off by default.
+//!   exceeds N ms as one structured stderr line (including its trace
+//!   id). Off by default.
+//! * `--trace-slow-ms N` — tail-based trace capture: retain the full
+//!   span tree of every job whose service time reaches N ms (0 = every
+//!   job) in a bounded ring, answerable post-hoc by a TRACE frame. Off
+//!   by default (TRACE then only answers live jobs).
+//! * `--trace-dir PATH` — also write each retained trace as a
+//!   Perfetto-loadable `trace-<id>.json` under PATH (created if
+//!   missing). Load one at <https://ui.perfetto.dev>.
 
 use piped::{PipedServer, ServerConfig};
 
@@ -46,7 +54,7 @@ fn usage_and_exit(message: &str) -> ! {
         "usage: piped [--listen ADDR] [--workers N] [--shards N] [--frame-budget N] \
          [--max-queue N] [--max-input-mb N] [--output-window N] [--cache-mb N] \
          [--no-cache] [--addr-file PATH] [--exit-on-drain] [--metrics-addr ADDR] \
-         [--slow-log-ms N]"
+         [--slow-log-ms N] [--trace-slow-ms N] [--trace-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -92,6 +100,12 @@ fn main() {
             }
             "--slow-log-ms" => {
                 config.slow_log_ms = Some(parse_value("--slow-log-ms", args.next()));
+            }
+            "--trace-slow-ms" => {
+                config.trace_slow_ms = Some(parse_value("--trace-slow-ms", args.next()));
+            }
+            "--trace-dir" => {
+                config.trace_dir = Some(parse_value("--trace-dir", args.next()));
             }
             "--help" | "-h" => usage_and_exit("pipeline job serving daemon"),
             other => usage_and_exit(&format!("unknown flag {other:?}")),

@@ -62,6 +62,9 @@ pub struct SubmitOptions {
     pub throttle: u32,
     /// Queue deadline in milliseconds (0 = none).
     pub deadline_ms: u32,
+    /// Trace context to propagate (0 = let the server assign one). The
+    /// effective id comes back via [`RemoteJob::trace_id`] either way.
+    pub trace_id: u64,
 }
 
 impl SubmitOptions {
@@ -72,6 +75,7 @@ impl SubmitOptions {
             priority: Priority::Normal,
             throttle: 0,
             deadline_ms: 0,
+            trace_id: 0,
         }
     }
 
@@ -90,6 +94,13 @@ impl SubmitOptions {
     /// Sets the queue deadline.
     pub fn deadline_ms(mut self, ms: u32) -> Self {
         self.deadline_ms = ms;
+        self
+    }
+
+    /// Propagates an upstream trace id (e.g. from a router fronting
+    /// several daemons) instead of letting the server assign one.
+    pub fn trace_id(mut self, id: u64) -> Self {
+        self.trace_id = id;
         self
     }
 }
@@ -112,7 +123,8 @@ pub struct RemoteOutcome {
 /// Per-ticket progress, filled in by the demultiplexer.
 #[derive(Default)]
 struct EntryState {
-    accepted: Option<Result<u64, (ErrorCode, String)>>,
+    /// `Ok((job_id, trace_id))` or the rejection.
+    accepted: Option<Result<(u64, u64), (ErrorCode, String)>>,
     output: Vec<u8>,
     done: Option<(WireJobStatus, String, Instant)>,
     status_reply: Option<WireJobStatus>,
@@ -130,6 +142,11 @@ struct ClientShared {
     entries: Mutex<HashMap<u64, Arc<JobEntry>>>,
     metrics: Mutex<Vec<String>>,
     metrics_cv: Condvar,
+    /// TRACE_REPLY bodies by ticket. Keyed (unlike `metrics`) because
+    /// trace answers stay useful after the job entry is gone — a TRACE
+    /// for a finished job answers from the server's slow-trace ring.
+    traces: Mutex<HashMap<u64, String>>,
+    trace_cv: Condvar,
     drained: Mutex<bool>,
     drain_cv: Condvar,
     conn_error: Mutex<Option<String>>,
@@ -145,6 +162,7 @@ impl ClientShared {
             entry.cv.notify_all();
         }
         self.metrics_cv.notify_all();
+        self.trace_cv.notify_all();
         self.drain_cv.notify_all();
     }
 
@@ -190,6 +208,8 @@ impl PipedClient {
             entries: Mutex::new(HashMap::new()),
             metrics: Mutex::new(Vec::new()),
             metrics_cv: Condvar::new(),
+            traces: Mutex::new(HashMap::new()),
+            trace_cv: Condvar::new(),
             drained: Mutex::new(false),
             drain_cv: Condvar::new(),
             conn_error: Mutex::new(None),
@@ -258,6 +278,7 @@ impl PipedClient {
             priority,
             throttle: options.throttle,
             deadline_ms: options.deadline_ms,
+            trace_id: options.trace_id,
         }];
         let mut off = 0;
         while off < input.len() {
@@ -291,11 +312,12 @@ impl PipedClient {
             }
         };
         match verdict {
-            Ok(job_id) => Ok(RemoteJob {
+            Ok((job_id, trace_id)) => Ok(RemoteJob {
                 shared: Arc::clone(&self.shared),
                 entry,
                 ticket,
                 job_id,
+                trace_id,
             }),
             Err((code, message)) => {
                 self.shared.entries.lock().unwrap().remove(&ticket);
@@ -337,6 +359,26 @@ impl PipedClient {
         }
     }
 
+    /// Round-trips a TRACE frame: the span tree the server recorded for
+    /// `ticket`, as the single-line JSON described on
+    /// [`Frame::TraceReply`]. Works while the job is live (a partial
+    /// tree) and after it finished, if the job was slow enough for the
+    /// server's tail-based capture; an unknown or unretained ticket
+    /// yields an empty `"spans"` list.
+    pub fn trace_json(&self, ticket: u64) -> Result<String, ClientError> {
+        self.send(&[Frame::Trace { ticket }])?;
+        let mut traces = self.shared.traces.lock().unwrap();
+        loop {
+            if let Some(json) = traces.remove(&ticket) {
+                return Ok(json);
+            }
+            if let Some(msg) = self.shared.conn_error.lock().unwrap().clone() {
+                return Err(ClientError::Connection(msg));
+            }
+            traces = self.shared.trace_cv.wait(traces).unwrap();
+        }
+    }
+
     /// Sends a cancel for `ticket` (used by [`RemoteJob::cancel`]).
     fn send_cancel(&self, ticket: u64) -> Result<(), ClientError> {
         self.send(&[Frame::Cancel { ticket }])
@@ -354,6 +396,7 @@ pub struct RemoteJob {
     entry: Arc<JobEntry>,
     ticket: u64,
     job_id: u64,
+    trace_id: u64,
 }
 
 impl std::fmt::Debug for RemoteJob {
@@ -374,6 +417,19 @@ impl RemoteJob {
     /// The server-side executor job id (diagnostics).
     pub fn job_id(&self) -> u64 {
         self.job_id
+    }
+
+    /// The job's effective trace id (from ACCEPTED: the propagated
+    /// SUBMIT value, or the server-assigned one; never 0). The same id
+    /// appears in the server's slow log and `trace-<id>.json` dumps.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Round-trips a TRACE frame for this job — see
+    /// [`PipedClient::trace_json`].
+    pub fn trace(&self, client: &PipedClient) -> Result<String, ClientError> {
+        client.trace_json(self.ticket)
     }
 
     /// Blocks until JOB_DONE and returns the terminal outcome with the
@@ -437,10 +493,14 @@ fn demux_loop(stream: TcpStream, shared: Arc<ClientShared>) {
     loop {
         match read_frame(&mut reader) {
             Ok(Some(frame)) => match frame {
-                Frame::Accepted { ticket, job_id } => {
+                Frame::Accepted {
+                    ticket,
+                    job_id,
+                    trace_id,
+                } => {
                     if let Some(entry) = shared.entry(ticket) {
                         let mut state = entry.state.lock().unwrap();
-                        state.accepted = Some(Ok(job_id));
+                        state.accepted = Some(Ok((job_id, trace_id)));
                         entry.cv.notify_all();
                     }
                 }
@@ -482,6 +542,10 @@ fn demux_loop(stream: TcpStream, shared: Arc<ClientShared>) {
                     shared.metrics.lock().unwrap().push(json);
                     shared.metrics_cv.notify_all();
                 }
+                Frame::TraceReply { ticket, json } => {
+                    shared.traces.lock().unwrap().insert(ticket, json);
+                    shared.trace_cv.notify_all();
+                }
                 Frame::DrainDone => {
                     *shared.drained.lock().unwrap() = true;
                     shared.drain_cv.notify_all();
@@ -500,7 +564,8 @@ fn demux_loop(stream: TcpStream, shared: Arc<ClientShared>) {
                 | Frame::Status { .. }
                 | Frame::Cancel { .. }
                 | Frame::Metrics
-                | Frame::Drain => {
+                | Frame::Drain
+                | Frame::Trace { .. } => {
                     shared.fail("peer sent a client-side frame".to_string());
                     return;
                 }

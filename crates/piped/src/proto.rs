@@ -17,8 +17,8 @@
 //!
 //! See `crates/piped/DESIGN.md` for the full frame table and the
 //! conversation structure (SUBMIT → input chunks → EOF → ACCEPTED →
-//! streamed OUTPUT → JOB_DONE, plus STATUS/CANCEL/METRICS/DRAIN control
-//! frames).
+//! streamed OUTPUT → JOB_DONE, plus STATUS/CANCEL/METRICS/DRAIN/TRACE
+//! control frames).
 
 use std::io::{IoSlice, Read, Write};
 
@@ -187,6 +187,11 @@ pub enum Frame {
         throttle: u32,
         /// Queue deadline in milliseconds (0 = none).
         deadline_ms: u32,
+        /// Client-supplied trace context: a nonzero value propagates an
+        /// upstream trace id (e.g. from a router in front of several
+        /// daemons); 0 asks the server to assign one. Either way the
+        /// effective id is echoed in [`Frame::Accepted`].
+        trace_id: u64,
     },
     /// A piece of the job's input buffer, in order.
     InputChunk {
@@ -219,6 +224,15 @@ pub enum Frame {
     /// Begin a graceful drain: admitted jobs complete, new SUBMITs are
     /// rejected server-wide, and [`Frame::DrainDone`] answers once idle.
     Drain,
+    /// Ask for the job's span tree (answered by [`Frame::TraceReply`]).
+    /// Live jobs answer from their in-flight trace buffer; terminal jobs
+    /// answer from the server's slow-trace ring if the job was retained
+    /// by tail-based capture, else with an empty span list (the tracing
+    /// analogue of a STATUS_REPLY `unknown`).
+    Trace {
+        /// Correlation id of the job.
+        ticket: u64,
+    },
 
     // -- server → client ---------------------------------------------------
     /// The job was admitted to the executor.
@@ -227,6 +241,11 @@ pub enum Frame {
         ticket: u64,
         /// The executor's job id (diagnostics only).
         job_id: u64,
+        /// The job's effective trace id (the client's nonzero SUBMIT value
+        /// if one was supplied, else server-assigned; never 0). Quote it
+        /// in a [`Frame::Trace`] request or grep it in the server's slow
+        /// log and trace dumps.
+        trace_id: u64,
     },
     /// The job was refused before execution; no output will follow.
     Rejected {
@@ -271,6 +290,14 @@ pub enum Frame {
     },
     /// Answer to [`Frame::Drain`]: every admitted job has finished.
     DrainDone,
+    /// Answer to [`Frame::Trace`]: the job's recorded span tree.
+    TraceReply {
+        /// Echoed correlation id.
+        ticket: u64,
+        /// Single-line JSON object: `{"trace_id":"<hex16>","ticket":N,`
+        /// `"spans":[{"id","parent","kind","start_us","end_us","arg"},…]}`.
+        json: String,
+    },
     /// A connection-level protocol error (not tied to a job).
     Error {
         /// Why.
@@ -289,6 +316,7 @@ mod tag {
     pub const CANCEL: u8 = 0x05;
     pub const METRICS: u8 = 0x06;
     pub const DRAIN: u8 = 0x07;
+    pub const TRACE: u8 = 0x08;
     pub const ACCEPTED: u8 = 0x81;
     pub const REJECTED: u8 = 0x82;
     pub const OUTPUT_CHUNK: u8 = 0x83;
@@ -297,6 +325,7 @@ mod tag {
     pub const METRICS_REPLY: u8 = 0x86;
     pub const DRAIN_DONE: u8 = 0x87;
     pub const ERROR: u8 = 0x88;
+    pub const TRACE_REPLY: u8 = 0x89;
 }
 
 /// What went wrong reading or decoding a frame. Every variant except
@@ -397,6 +426,7 @@ impl Frame {
                 priority,
                 throttle,
                 deadline_ms,
+                trace_id,
             } => {
                 out.push(tag::SUBMIT);
                 out.extend_from_slice(&ticket.to_le_bytes());
@@ -404,6 +434,7 @@ impl Frame {
                 out.push(*priority);
                 out.extend_from_slice(&throttle.to_le_bytes());
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&trace_id.to_le_bytes());
             }
             Frame::InputChunk { ticket, data } => {
                 out.push(tag::INPUT_CHUNK);
@@ -424,10 +455,19 @@ impl Frame {
             }
             Frame::Metrics => out.push(tag::METRICS),
             Frame::Drain => out.push(tag::DRAIN),
-            Frame::Accepted { ticket, job_id } => {
+            Frame::Trace { ticket } => {
+                out.push(tag::TRACE);
+                out.extend_from_slice(&ticket.to_le_bytes());
+            }
+            Frame::Accepted {
+                ticket,
+                job_id,
+                trace_id,
+            } => {
                 out.push(tag::ACCEPTED);
                 out.extend_from_slice(&ticket.to_le_bytes());
                 out.extend_from_slice(&job_id.to_le_bytes());
+                out.extend_from_slice(&trace_id.to_le_bytes());
             }
             Frame::Rejected {
                 ticket,
@@ -464,6 +504,11 @@ impl Frame {
                 put_bytes(out, json.as_bytes());
             }
             Frame::DrainDone => out.push(tag::DRAIN_DONE),
+            Frame::TraceReply { ticket, json } => {
+                out.push(tag::TRACE_REPLY);
+                out.extend_from_slice(&ticket.to_le_bytes());
+                put_bytes(out, json.as_bytes());
+            }
             Frame::Error { code, message } => {
                 out.push(tag::ERROR);
                 out.push(*code as u8);
@@ -504,6 +549,7 @@ impl Frame {
                     priority,
                     throttle: cursor.u32()?,
                     deadline_ms: cursor.u32()?,
+                    trace_id: cursor.u64()?,
                 }
             }
             tag::INPUT_CHUNK => Frame::InputChunk {
@@ -521,9 +567,13 @@ impl Frame {
             },
             tag::METRICS => Frame::Metrics,
             tag::DRAIN => Frame::Drain,
+            tag::TRACE => Frame::Trace {
+                ticket: cursor.u64()?,
+            },
             tag::ACCEPTED => Frame::Accepted {
                 ticket: cursor.u64()?,
                 job_id: cursor.u64()?,
+                trace_id: cursor.u64()?,
             },
             tag::REJECTED => Frame::Rejected {
                 ticket: cursor.u64()?,
@@ -547,6 +597,10 @@ impl Frame {
                 json: cursor.string()?,
             },
             tag::DRAIN_DONE => Frame::DrainDone,
+            tag::TRACE_REPLY => Frame::TraceReply {
+                ticket: cursor.u64()?,
+                json: cursor.string()?,
+            },
             tag::ERROR => Frame::Error {
                 code: ErrorCode::from_u8(cursor.u8()?)?,
                 message: cursor.string()?,

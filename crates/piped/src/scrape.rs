@@ -44,6 +44,45 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
     ));
 }
 
+fn gauge_f64(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Renders the scrape endpoint's self-metrics, appended to every
+/// exposition: how long this scrape's render took, when the daemon
+/// started (UNIX seconds), and a `piped_build_info` info-style gauge
+/// carrying the crate version and shard count as labels.
+pub fn render_self_metrics(scrape_seconds: f64, start_time_seconds: f64, shards: usize) -> String {
+    let mut out = String::with_capacity(512);
+    gauge_f64(
+        &mut out,
+        "piped_scrape_duration_seconds",
+        "Time spent rendering this scrape body.",
+        scrape_seconds,
+    );
+    gauge_f64(
+        &mut out,
+        "piped_start_time_seconds",
+        "Daemon start time, seconds since the UNIX epoch.",
+        start_time_seconds,
+    );
+    // Info-style gauge: the value is always 1, the payload is the labels.
+    // Label values must stay whitespace-free to keep every sample line at
+    // exactly two tokens (asserted by the render tests).
+    out.push_str(&format!(
+        concat!(
+            "# HELP piped_build_info Daemon build and topology info.\n",
+            "# TYPE piped_build_info gauge\n",
+            "piped_build_info{{version=\"{}\",shards=\"{}\"}} 1\n"
+        ),
+        label_escape(env!("CARGO_PKG_VERSION")),
+        shards
+    ));
+    out
+}
+
 /// Appends one histogram as `_bucket`/`_sum`/`_count` samples under an
 /// already-emitted `# TYPE <name> histogram` header. `labels` is the
 /// rendered label set *without* `le` (e.g. `workload="dedup",kind="run"`).
@@ -300,5 +339,22 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn self_metrics_are_well_formed() {
+        let body = render_self_metrics(0.000123, 1_700_000_000.5, 4);
+        assert!(body.contains("piped_scrape_duration_seconds 0.000123"));
+        assert!(body.contains("piped_start_time_seconds 1700000000.5"));
+        assert!(body.contains("piped_build_info{version=\""));
+        assert!(body.contains(",shards=\"4\"} 1"));
+        // Same invariant the main render tests assert: every line is a
+        // comment or exactly two whitespace-separated tokens.
+        for line in body.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 }

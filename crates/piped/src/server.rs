@@ -112,9 +112,20 @@ pub struct ServerConfig {
     pub metrics_addr: Option<String>,
     /// Log every job whose end-to-end service time (submit → terminal)
     /// exceeds this many milliseconds as one structured stderr line
-    /// (ticket, workload, status, timings, input bytes). `None` disables
-    /// the slow log.
+    /// (ticket, workload, status, timings, input bytes, trace id). `None`
+    /// disables the slow log.
     pub slow_log_ms: Option<u64>,
+    /// Tail-based trace capture: retain the full span tree of every job
+    /// whose service time reaches this many milliseconds (in a bounded
+    /// ring of the most recent [`SLOW_TRACE_RING`] slow traces, answerable
+    /// by a TRACE frame after the job finished, and dumped to
+    /// [`ServerConfig::trace_dir`] when set). `0` retains every job;
+    /// `None` disables retention — TRACE then only answers live jobs.
+    pub trace_slow_ms: Option<u64>,
+    /// Directory receiving one Perfetto-loadable JSON file
+    /// (`trace-<id>.json`, see [`obs::perfetto_json`]) per retained slow
+    /// trace. `None` keeps retained traces in memory only.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -132,8 +143,22 @@ impl Default for ServerConfig {
             exit_on_drain: false,
             metrics_addr: None,
             slow_log_ms: None,
+            trace_slow_ms: None,
+            trace_dir: None,
         }
     }
+}
+
+/// Capacity of the slow-trace ring: how many tail-captured span trees the
+/// server keeps for post-hoc TRACE queries and `--trace-dir` dumps.
+pub const SLOW_TRACE_RING: usize = 32;
+
+/// One tail-captured trace: the finished job's identity plus its dumped
+/// span tree, held in the server's bounded slow-trace ring.
+struct SlowTrace {
+    ticket: u64,
+    trace_id: u64,
+    spans: Vec<obs::Span>,
 }
 
 /// Shared state between the accept loop, connection threads and the
@@ -148,6 +173,13 @@ struct Shared {
     draining: AtomicBool,
     /// Set to stop the accept loop.
     stop: AtomicBool,
+    /// splitmix64 state for server-assigned trace ids (seeded from the
+    /// wall clock at bind).
+    trace_seed: Mutex<u64>,
+    /// Tail-captured span trees of the last [`SLOW_TRACE_RING`] slow jobs.
+    slow_traces: Mutex<VecDeque<SlowTrace>>,
+    /// Process start, exported as `piped_start_time_seconds`.
+    started_at: std::time::SystemTime,
 }
 
 impl Shared {
@@ -161,6 +193,77 @@ impl Shared {
             self.stop.store(true, Ordering::Release);
         }
     }
+
+    /// A fresh nonzero trace id (0 means "server-assign" on the wire, so
+    /// it is never handed out).
+    fn next_trace_id(&self) -> u64 {
+        let mut seed = self.trace_seed.lock().unwrap();
+        loop {
+            let id = obs::splitmix64(&mut seed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Retains a finished job's span tree in the slow-trace ring and, when
+    /// configured, writes its Perfetto dump to `trace_dir`.
+    fn retain_slow_trace(&self, ticket: u64, trace_id: u64, spans: Vec<obs::Span>) {
+        if let Some(dir) = &self.config.trace_dir {
+            let path = std::path::Path::new(dir).join(format!("trace-{trace_id:016x}.json"));
+            let _ = std::fs::write(path, obs::perfetto_json(trace_id, &spans));
+        }
+        let mut ring = self.slow_traces.lock().unwrap();
+        while ring.len() >= SLOW_TRACE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(SlowTrace {
+            ticket,
+            trace_id,
+            spans,
+        });
+    }
+
+    /// Answers a TRACE frame for a ticket that is no longer live: the most
+    /// recent tail-captured trace with that ticket, if any survives in the
+    /// ring.
+    fn slow_trace_json(&self, ticket: u64) -> Option<String> {
+        let ring = self.slow_traces.lock().unwrap();
+        ring.iter()
+            .rev()
+            .find(|t| t.ticket == ticket)
+            .map(|t| trace_json(t.trace_id, t.ticket, &t.spans))
+    }
+}
+
+/// Renders a TRACE_REPLY body: the span tree as one JSON object. Kinds are
+/// symbolic names, times are microseconds on the process-epoch clock
+/// ([`obs::coarse_micros`]), and the trace id is zero-padded hex — the
+/// same form it takes in the slow log and in `trace_dir` file names.
+fn trace_json(trace_id: u64, ticket: u64, spans: &[obs::Span]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(96 + spans.len() * 96);
+    let _ = write!(
+        out,
+        "{{\"trace_id\":\"{trace_id:016x}\",\"ticket\":{ticket},\"spans\":["
+    );
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"kind\":\"{}\",\"start_us\":{},\"end_us\":{},\"arg\":{}}}",
+            span.id,
+            span.parent,
+            span.kind.name(),
+            span.start_micros,
+            span.end_micros,
+            span.arg
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// A control handle on a running server, usable from any thread (tests,
@@ -250,12 +353,25 @@ impl PipedServer {
             Some(bytes) => CachedService::with_capacity(sharded, bytes),
             None => CachedService::new(sharded),
         };
+        if let Some(dir) = &config.trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let started_at = std::time::SystemTime::now();
+        // Seed the trace-id generator from the wall clock; splitmix64
+        // turns even adjacent seeds into well-spread id streams.
+        let seed = started_at
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
         let shared = Arc::new(Shared {
             service,
             config,
             pool: BufPool::new(),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            trace_seed: Mutex::new(seed),
+            slow_traces: Mutex::new(VecDeque::new()),
+            started_at,
         });
         let metrics_addr = match metrics_listener {
             Some(listener) => {
@@ -423,6 +539,10 @@ struct Conn {
     outbound: Arc<Outbound>,
     /// Live jobs of this connection, by ticket.
     jobs: Mutex<HashMap<u64, pipeserve::JobHandle>>,
+    /// Live jobs' trace buffers, by ticket: `(trace id, buffer)`. TRACE
+    /// answers in-flight jobs from here; the terminal hook removes the
+    /// entry (finished jobs answer from the slow-trace ring, if retained).
+    traces: Mutex<HashMap<u64, (u64, Arc<obs::TraceBuffer>)>>,
 }
 
 /// A SUBMIT whose input is still streaming in. The content digest is
@@ -433,6 +553,8 @@ struct PendingJob {
     priority: Priority,
     throttle: u32,
     deadline_ms: u32,
+    /// Client-supplied trace context (0 = server assigns at submission).
+    trace_id: u64,
     /// Input segments exactly as they arrived off the wire — pooled
     /// [`Chunk`]s held without copying until submission coalesces them.
     input: Vec<Chunk>,
@@ -506,6 +628,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let conn = Arc::new(Conn {
         outbound: Arc::clone(&outbound),
         jobs: Mutex::new(HashMap::new()),
+        traces: Mutex::new(HashMap::new()),
     });
     let mut reader = BufReader::new(stream);
     let mut pending: HashMap<u64, PendingJob> = HashMap::new();
@@ -532,6 +655,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 priority,
                 throttle,
                 deadline_ms,
+                trace_id,
             } => {
                 if pending.contains_key(&ticket) || conn.jobs.lock().unwrap().contains_key(&ticket)
                 {
@@ -567,6 +691,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                                 priority: wire_priority(priority),
                                 throttle,
                                 deadline_ms,
+                                trace_id,
                                 input: Vec::new(),
                                 input_bytes: 0,
                                 hasher: checksum::Sha256::new(),
@@ -678,6 +803,25 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 shared.begin_drain();
                 outbound.push_control(Frame::DrainDone);
             }
+            Frame::Trace { ticket } => {
+                // Live jobs answer from their in-flight buffer (a partial
+                // tree while running), finished jobs from the slow-trace
+                // ring; an unknown or unretained ticket gets an empty span
+                // list — the tracing analogue of STATUS_REPLY `unknown`.
+                let live = conn
+                    .traces
+                    .lock()
+                    .unwrap()
+                    .get(&ticket)
+                    .map(|(id, buffer)| (*id, Arc::clone(buffer)));
+                let json = match live {
+                    Some((trace_id, buffer)) => trace_json(trace_id, ticket, &buffer.dump()),
+                    None => shared
+                        .slow_trace_json(ticket)
+                        .unwrap_or_else(|| trace_json(0, ticket, &[])),
+                };
+                outbound.push_control(Frame::TraceReply { ticket, json });
+            }
             // Server→client frames arriving at the server are a protocol
             // violation; close the connection.
             Frame::Accepted { .. }
@@ -687,6 +831,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             | Frame::StatusReply { .. }
             | Frame::MetricsReply { .. }
             | Frame::DrainDone
+            | Frame::TraceReply { .. }
             | Frame::Error { .. } => {
                 outbound.push_control(Frame::Error {
                     code: ErrorCode::Protocol,
@@ -748,8 +893,10 @@ fn serve_scrapes(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// The current scrape body: aggregate metrics (with cache counters), the
-/// per-shard breakdown when sharded, and the pools' stage timings.
+/// per-shard breakdown when sharded, the pools' stage timings, and the
+/// endpoint's own self-metrics (scrape duration, start time, build info).
 fn scrape_body(shared: &Shared) -> String {
+    let render_started = std::time::Instant::now();
     let aggregate = shared.service.metrics();
     let stage_timing = shared.service.inner().stage_timing();
     let sharded = if shared.service.inner().shards() > 1 {
@@ -759,25 +906,42 @@ fn scrape_body(shared: &Shared) -> String {
     } else {
         None
     };
-    crate::scrape::render_prometheus(&aggregate, sharded.as_ref(), &stage_timing)
+    let mut body = crate::scrape::render_prometheus(&aggregate, sharded.as_ref(), &stage_timing);
+    let start_time_seconds = shared
+        .started_at
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    body.push_str(&crate::scrape::render_self_metrics(
+        render_started.elapsed().as_secs_f64(),
+        start_time_seconds,
+        shared.service.inner().shards(),
+    ));
+    body
 }
 
 /// Terminal-hook instrumentation: the `--slow-log-ms` structured stderr
-/// line, and a flight-recorder dump when a job panicked (the events that
-/// led up to the crash, drained from every shard pool's rings).
+/// line (carrying the job's trace id, so the line cross-references the
+/// TRACE frame, the slow-trace ring and any `--trace-dir` dump), a
+/// flight-recorder dump when a job panicked (the events that led up to
+/// the crash, drained from every shard pool's rings), and tail-based
+/// trace capture per [`ServerConfig::trace_slow_ms`]. Runs after the
+/// job's root span was recorded, so `trace.dump()` sees the full tree.
 fn note_terminal(
     shared: &Shared,
     ticket: u64,
     workload: &str,
     submitted: std::time::Instant,
     input_bytes: usize,
+    trace: &obs::TraceBuffer,
     result: &JobResult,
 ) {
+    let trace_id = trace.trace_id();
     if let JobResult::Panicked(message) = result {
         let events = shared.service.inner().flight_events();
         eprintln!(
-            "piped: job ticket={ticket} workload={workload} panicked: {message}; \
-             flight recorder ({} events):",
+            "piped: job ticket={ticket} workload={workload} trace={trace_id:016x} \
+             panicked: {message}; flight recorder ({} events):",
             events.len()
         );
         for (shard, worker, e) in events {
@@ -789,8 +953,8 @@ fn note_terminal(
             );
         }
     }
+    let service_ms = submitted.elapsed().as_secs_f64() * 1e3;
     if let Some(threshold_ms) = shared.config.slow_log_ms {
-        let service_ms = submitted.elapsed().as_secs_f64() * 1e3;
         if service_ms >= threshold_ms as f64 {
             let status = match result {
                 JobResult::Completed(_) => "completed",
@@ -805,8 +969,13 @@ fn note_terminal(
             eprintln!(
                 "piped: slow-job ticket={ticket} workload={workload} status={status} \
                  service_ms={service_ms:.1} first_node_ms={first_node_ms:.3} \
-                 iterations={iterations} input_bytes={input_bytes}"
+                 iterations={iterations} input_bytes={input_bytes} trace={trace_id:016x}"
             );
+        }
+    }
+    if let Some(threshold_ms) = shared.config.trace_slow_ms {
+        if service_ms >= threshold_ms as f64 {
+            shared.retain_slow_trace(ticket, trace_id, trace.dump());
         }
     }
 }
@@ -829,6 +998,17 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
         );
         return;
     }
+
+    // Every accepted job is traced: a client-propagated trace context (a
+    // nonzero SUBMIT trace id, e.g. from a router fronting several
+    // daemons) wins, else the server assigns one. The effective id is
+    // echoed in ACCEPTED.
+    let trace_id = if job.trace_id != 0 {
+        job.trace_id
+    } else {
+        shared.next_trace_id()
+    };
+    let trace = Arc::new(obs::TraceBuffer::new(trace_id, 64));
 
     // The sink: the pipeline's final serial stage hands ownership of its
     // output chunk here; wire framing re-slices the same allocation (no
@@ -895,17 +1075,23 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
     let submitted = std::time::Instant::now();
     let workload_name = job.descriptor.name;
     let input_bytes = job.input_bytes;
+    let hook_trace = Arc::clone(&trace);
     let mut spec = base
         .named(job.descriptor.name)
         .priority(job.priority)
+        .traced(Arc::clone(&trace))
         .on_terminal(move |result| {
             if let Some(shared) = hook_shared.upgrade() {
+                // The executor records the root span before this hook
+                // runs, so the dump taken here (and any tail capture)
+                // carries the complete tree.
                 note_terminal(
                     &shared,
                     ticket,
                     workload_name,
                     submitted,
                     input_bytes,
+                    &hook_trace,
                     result,
                 );
             }
@@ -915,11 +1101,19 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
                 .outbound
                 .push_control(terminal_frame(ticket, result));
             hook_conn.jobs.lock().unwrap().remove(&ticket);
+            hook_conn.traces.lock().unwrap().remove(&ticket);
         });
     if job.deadline_ms > 0 {
         spec = spec.queue_deadline(Duration::from_millis(job.deadline_ms as u64));
     }
 
+    // Registered before submission so the hook's remove (which may fire
+    // during `submit` for a job that finishes immediately) always sees
+    // the entry.
+    conn.traces
+        .lock()
+        .unwrap()
+        .insert(ticket, (trace_id, Arc::clone(&trace)));
     match shared.service.submit(spec) {
         Ok(handle) => {
             let job_id = handle.id().0;
@@ -933,9 +1127,15 @@ fn submit_job(shared: &Arc<Shared>, conn: &Arc<Conn>, ticket: u64, job: PendingJ
                     jobs.insert(ticket, handle);
                 }
             }
-            conn.outbound
-                .push_control(Frame::Accepted { ticket, job_id });
+            conn.outbound.push_control(Frame::Accepted {
+                ticket,
+                job_id,
+                trace_id,
+            });
         }
-        Err(e) => reject((&e).into(), e.to_string()),
+        Err(e) => {
+            conn.traces.lock().unwrap().remove(&ticket);
+            reject((&e).into(), e.to_string());
+        }
     }
 }

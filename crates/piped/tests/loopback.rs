@@ -553,6 +553,183 @@ fn metrics_endpoint_serves_parseable_prometheus_text() {
     handle.stop();
 }
 
+/// One span from a TRACE reply.
+#[derive(Debug)]
+struct SpanRec {
+    id: u64,
+    parent: u64,
+    kind: String,
+    start_us: u64,
+    end_us: u64,
+}
+
+/// Parses the single-line TRACE reply JSON (see [`piped::proto::Frame::TraceReply`])
+/// into its trace id and span list. Hand-rolled like the emitter: the
+/// format is fixed and flat, so keyed scans are unambiguous.
+fn parse_trace_reply(json: &str) -> (String, Vec<SpanRec>) {
+    fn num_after(s: &str, key: &str) -> u64 {
+        let at = s.find(key).unwrap_or_else(|| panic!("{key:?} not in {s}")) + key.len();
+        s[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("numeric field")
+    }
+    fn str_after(s: &str, key: &str) -> String {
+        let at = s.find(key).unwrap_or_else(|| panic!("{key:?} not in {s}")) + key.len();
+        s[at..]
+            .split('"')
+            .next()
+            .expect("closing quote")
+            .to_string()
+    }
+    let trace_id = str_after(json, "\"trace_id\":\"");
+    let spans = json
+        .split("{\"id\":")
+        .skip(1)
+        .map(|frag| SpanRec {
+            id: frag
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("span id"),
+            parent: num_after(frag, "\"parent\":"),
+            kind: str_after(frag, "\"kind\":\""),
+            start_us: num_after(frag, "\"start_us\":"),
+            end_us: num_after(frag, "\"end_us\":"),
+        })
+        .collect();
+    (trace_id, spans)
+}
+
+#[test]
+fn trace_frame_returns_a_well_formed_span_tree_for_every_workload() {
+    // Tolerance for cross-span timing comparisons: spans reconstruct their
+    // start from `coarse_micros() - elapsed`, so independent recordings of
+    // the same instant can disagree by the clock reads' skew.
+    const TOL_US: u64 = 2_000;
+
+    let trace_dir = std::env::temp_dir().join(format!("piped-trace-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    // trace_slow_ms 0 = tail-capture retains every finished job, so TRACE
+    // still answers after JOB_DONE (and each trace is dumped to disk).
+    let (addr, handle) = start_server(ServerConfig {
+        trace_slow_ms: Some(0),
+        trace_dir: Some(trace_dir.to_string_lossy().into_owned()),
+        ..small_config()
+    });
+    let client = PipedClient::connect(addr).expect("connect");
+
+    for (i, (name, input, expected)) in reference_jobs().into_iter().enumerate() {
+        // Alternate between server-assigned trace ids and a propagated
+        // client-supplied trace context.
+        let propagated = if i % 2 == 1 {
+            0xABCD_0000_0000_0000 + i as u64
+        } else {
+            0
+        };
+        let job = client
+            .submit(
+                &SubmitOptions::new(name).throttle(4).trace_id(propagated),
+                &input,
+            )
+            .unwrap_or_else(|e| panic!("{name}: submit failed: {e}"));
+        assert_ne!(job.trace_id(), 0, "{name}: ACCEPTED trace id is zero");
+        if propagated != 0 {
+            assert_eq!(
+                job.trace_id(),
+                propagated,
+                "{name}: propagated trace id not honoured"
+            );
+        }
+        let outcome = job.wait().expect("wait");
+        assert_eq!(outcome.status, WireJobStatus::Completed, "{name}");
+        assert_eq!(outcome.output, expected, "{name}");
+
+        let json = job
+            .trace(&client)
+            .unwrap_or_else(|e| panic!("{name}: trace failed: {e}"));
+        let (trace_id, spans) = parse_trace_reply(&json);
+        assert_eq!(
+            trace_id,
+            format!("{:016x}", job.trace_id()),
+            "{name}: trace id mismatch in reply"
+        );
+
+        // Exactly one root: the job span, id 1, parent 0, covering the
+        // whole service time.
+        let roots: Vec<&SpanRec> = spans.iter().filter(|s| s.kind == "job").collect();
+        assert_eq!(roots.len(), 1, "{name}: want one job span: {spans:?}");
+        let root = roots[0];
+        assert_eq!(root.id, 1, "{name}");
+        assert_eq!(root.parent, 0, "{name}");
+        assert!(root.end_us >= root.start_us, "{name}: inverted root span");
+
+        // The executor records queue-wait, admission and run children for
+        // every executed job.
+        for kind in ["queue_wait", "admission", "run"] {
+            assert!(
+                spans.iter().any(|s| s.kind == kind),
+                "{name}: no {kind} span in {spans:?}"
+            );
+        }
+        // Every child is parented to the root and covered by it.
+        for span in spans.iter().filter(|s| s.id != root.id) {
+            assert_eq!(span.parent, root.id, "{name}: orphan span {span:?}");
+            assert!(span.end_us >= span.start_us, "{name}: inverted {span:?}");
+            assert!(
+                span.start_us + TOL_US >= root.start_us,
+                "{name}: {span:?} starts before root {root:?}"
+            );
+            assert!(
+                span.end_us <= root.end_us + TOL_US,
+                "{name}: {span:?} ends after root {root:?}"
+            );
+        }
+        // Durations are consistent: queue wait + run fit in the service
+        // span.
+        let dur = |kind: &str| {
+            spans
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.end_us - s.start_us)
+                .sum::<u64>()
+        };
+        assert!(
+            dur("queue_wait") + dur("run") <= (root.end_us - root.start_us) + TOL_US,
+            "{name}: queue+run exceed the service span: {spans:?}"
+        );
+
+        // The tail-capture dump on disk agrees with the TRACE reply: same
+        // trace id in the file name, one Perfetto complete event ("ph":"X")
+        // per span.
+        let dump_path = trace_dir.join(format!("trace-{trace_id}.json"));
+        let dump = std::fs::read_to_string(&dump_path)
+            .unwrap_or_else(|e| panic!("{name}: no dump at {dump_path:?}: {e}"));
+        assert_eq!(
+            dump.matches("\"ph\":\"X\"").count(),
+            spans.len(),
+            "{name}: dump and TRACE reply disagree on span count"
+        );
+        assert!(
+            dump.contains(&format!("\"trace_id\":\"{trace_id}\"")),
+            "{name}: dump carries the wrong trace id"
+        );
+    }
+
+    // An unknown ticket answers with an empty span list, not an error.
+    let json = client
+        .trace_json(u64::MAX)
+        .expect("trace of unknown ticket");
+    let (_, spans) = parse_trace_reply(&json);
+    assert!(spans.is_empty(), "unknown ticket yielded spans: {json}");
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    handle.stop();
+}
+
 #[test]
 fn sharded_daemon_serves_jobs_and_reports_per_shard_metrics() {
     let (addr, handle) = start_server(ServerConfig {

@@ -42,8 +42,8 @@ fn bytes_strategy() -> impl Strategy<Value = Vec<u8>> {
 #[allow(clippy::type_complexity)]
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     (
-        0usize..15,
-        (any::<u64>(), any::<u64>()),
+        0usize..17,
+        (any::<u64>(), any::<u64>(), any::<u64>()),
         string_strategy(),
         bytes_strategy(),
         (0u8..3, any::<u32>(), any::<u32>()),
@@ -52,7 +52,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         .prop_map(
             |(
                 variant,
-                (ticket, job_id),
+                (ticket, job_id, trace_id),
                 text,
                 data,
                 (priority, throttle, deadline_ms),
@@ -67,6 +67,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                         priority,
                         throttle,
                         deadline_ms,
+                        trace_id,
                     },
                     1 => Frame::InputChunk {
                         ticket,
@@ -77,7 +78,11 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                     4 => Frame::Cancel { ticket },
                     5 => Frame::Metrics,
                     6 => Frame::Drain,
-                    7 => Frame::Accepted { ticket, job_id },
+                    7 => Frame::Accepted {
+                        ticket,
+                        job_id,
+                        trace_id,
+                    },
                     8 => Frame::Rejected {
                         ticket,
                         code,
@@ -95,6 +100,8 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                     11 => Frame::StatusReply { ticket, status },
                     12 => Frame::MetricsReply { json: text },
                     13 => Frame::DrainDone,
+                    14 => Frame::Trace { ticket },
+                    15 => Frame::TraceReply { ticket, json: text },
                     _ => Frame::Error {
                         code,
                         message: text,

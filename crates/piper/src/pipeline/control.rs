@@ -122,6 +122,11 @@ pub(crate) struct ControlCore {
     pub(crate) stage_samples: [AtomicU64; STAGE_TIMING_SLOTS],
     pub(crate) stage_total_ns: [AtomicU64; STAGE_TIMING_SLOTS],
     pub(crate) stage_max_ns: [AtomicU64; STAGE_TIMING_SLOTS],
+    /// Per-job span buffer, when the submitter asked for tracing
+    /// (see [`crate::PipeOptions::trace`]). Sampled node executions record
+    /// stage spans into it; untraced pipelines pay one `Option` check on
+    /// the (already cold) sampled path only.
+    trace: Option<Arc<obs::TraceBuffer>>,
 }
 
 impl ControlCore {
@@ -130,6 +135,7 @@ impl ControlCore {
         lazy_enabling: bool,
         dependency_folding: bool,
         adaptive_window: Option<usize>,
+        trace: Option<Arc<obs::TraceBuffer>>,
     ) -> Arc<Self> {
         let window_floor = adaptive_window
             .unwrap_or(throttle_limit)
@@ -174,7 +180,14 @@ impl ControlCore {
             stage_samples: std::array::from_fn(|_| AtomicU64::new(0)),
             stage_total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             stage_max_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            trace,
         })
+    }
+
+    /// The pipeline's span buffer, if the submitter attached one.
+    #[inline]
+    pub(crate) fn trace(&self) -> Option<&Arc<obs::TraceBuffer>> {
+        self.trace.as_ref()
     }
 
     /// Records the spawn→first-node latency; called from the first

@@ -644,7 +644,24 @@ where
                 let timer = worker.stage_sample_timer();
                 let outcome = state.run_node(stage);
                 if let Some(started) = timer {
-                    tally.stage_sample(stage, started.elapsed().as_nanos() as u64, worker);
+                    let elapsed = started.elapsed();
+                    tally.stage_sample(stage, elapsed.as_nanos() as u64, worker);
+                    // Traced jobs also get a span per sampled node,
+                    // re-using the elapsed time above: no extra clock
+                    // reads, and untraced pipelines pay one Option check
+                    // on this already-cold 1-in-64 branch. Best-effort:
+                    // stage samples stop once only the buffer's reserved
+                    // tail remains, so a long job's samples never crowd
+                    // out its lifecycle spans (root, queue wait, run).
+                    if let Some(trace) = self.core.trace() {
+                        trace.record_elapsed_best_effort(
+                            trace.next_span_id(),
+                            obs::ROOT_SPAN_ID,
+                            obs::SpanKind::Stage,
+                            elapsed,
+                            stage,
+                        );
+                    }
                 }
 
                 match outcome {

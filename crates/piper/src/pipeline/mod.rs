@@ -192,6 +192,12 @@ pub struct PipeOptions {
     /// may be simultaneously live. `None` (the default) keeps the paper's
     /// fixed-window behaviour.
     pub adaptive_window: Option<usize>,
+    /// Per-job span buffer for distributed tracing: when set, the runtime
+    /// records a sampled [`obs::SpanKind::Stage`] span (parented to
+    /// [`obs::ROOT_SPAN_ID`]) for each node execution the 1-in-64 stage
+    /// timing sampler admits. `None` (the default) records nothing; the
+    /// un-sampled hot path is identical either way.
+    pub trace: Option<std::sync::Arc<obs::TraceBuffer>>,
 }
 
 impl Default for PipeOptions {
@@ -201,6 +207,7 @@ impl Default for PipeOptions {
             lazy_enabling: true,
             dependency_folding: true,
             adaptive_window: None,
+            trace: None,
         }
     }
 }
@@ -269,6 +276,13 @@ impl PipeOptions {
         self.adaptive_window = Some(floor.max(1));
         self
     }
+
+    /// Attaches a span buffer for sampled per-stage tracing (see
+    /// [`PipeOptions::trace`]).
+    pub fn traced(mut self, buffer: std::sync::Arc<obs::TraceBuffer>) -> Self {
+        self.trace = Some(buffer);
+        self
+    }
 }
 
 /// Executes an on-the-fly pipeline (`pipe_while`) on `pool`, blocking the
@@ -321,6 +335,7 @@ where
         options.lazy_enabling,
         options.dependency_folding,
         options.adaptive_window,
+        options.trace.clone(),
     );
     let shared = PipeShared::new(core, producer);
     let core = shared.core_handle();

@@ -404,11 +404,14 @@ impl<S: Submit> CachedService<S> {
     }
 
     /// A fresh cache-layer job state (hits and coalesced subscribers get
-    /// their own ids, disjoint from the inner executor's).
+    /// their own ids, disjoint from the inner executor's). When the spec
+    /// was traced, the cache-layer state owns the trace's root span — the
+    /// inner executor's state, if one exists, records only children.
     fn new_state(
         &self,
         spec_name: String,
         priority: crate::Priority,
+        trace: Option<Arc<obs::TraceBuffer>>,
         on_terminal: Option<crate::TerminalHook>,
     ) -> Arc<JobState> {
         let id = JobId(self.core.next_id.fetch_add(1, Ordering::Relaxed));
@@ -418,6 +421,7 @@ impl<S: Submit> CachedService<S> {
             priority,
             0,
             Arc::clone(&self.core.latency),
+            trace.map(|buffer| crate::job::JobTrace { buffer, root: true }),
             on_terminal,
         )
     }
@@ -434,10 +438,31 @@ impl<S: Submit> CachedService<S> {
             queue_deadline,
             launch,
             on_terminal,
+            trace,
+            trace_root: _,
         } = spec;
         let LaunchKind::Keyed { key, sink, factory } = launch else {
             unreachable!("submit_keyed is only called for keyed specs");
         };
+
+        // Times the lookup span (recorded once the hit/coalesce/miss
+        // verdict is known); untraced submissions skip the clock read.
+        let lookup_started = trace.as_ref().map(|_| std::time::Instant::now());
+        let lookup_span = |verdict: u64| {
+            if let (Some(buffer), Some(started)) = (&trace, lookup_started) {
+                buffer.record_elapsed(
+                    buffer.next_span_id(),
+                    obs::ROOT_SPAN_ID,
+                    obs::SpanKind::CacheLookup,
+                    started.elapsed(),
+                    verdict,
+                );
+            }
+        };
+        // `arg` values of the cache-lookup span (`SpanKind::CacheLookup`).
+        const MISS: u64 = 0;
+        const HIT: u64 = 1;
+        const COALESCED: u64 = 2;
 
         let mut table = self.core.state.lock().unwrap();
 
@@ -445,7 +470,8 @@ impl<S: Submit> CachedService<S> {
         if let Some(out) = table.lru.get(&key) {
             self.core.hits.fetch_add(1, Ordering::Relaxed);
             drop(table);
-            let state = self.new_state(name, priority, on_terminal);
+            lookup_span(HIT);
+            let state = self.new_state(name, priority, trace, on_terminal);
             let mut sink = sink;
             deliver_segments(&out.segments, &mut sink);
             // Deliver-then-finalize: a terminal hook (the piped server's
@@ -460,13 +486,14 @@ impl<S: Submit> CachedService<S> {
         // 2. Identical job in flight: subscribe to it.
         if let Some(entry) = table.inflight.get(&key).map(Arc::clone) {
             drop(table);
-            let state = self.new_state(name, priority, on_terminal);
+            let state = self.new_state(name, priority, trace.clone(), on_terminal);
             let mut subs = entry.subs.lock().unwrap();
             if let Some((result, segments)) = subs.terminal.clone() {
                 // Raced the terminal hook between the table and entry
                 // locks: resolve exactly like a hit.
                 drop(subs);
                 self.core.hits.fetch_add(1, Ordering::Relaxed);
+                lookup_span(HIT);
                 let mut sink = sink;
                 if result.is_completed() {
                     deliver_segments(&segments, &mut sink);
@@ -478,6 +505,7 @@ impl<S: Submit> CachedService<S> {
                 });
             }
             self.core.coalesced.fetch_add(1, Ordering::Relaxed);
+            lookup_span(COALESCED);
             let mut sink = sink;
             deliver_segments(&subs.capture, &mut sink); // catch up so far
             let delivered = subs.capture.len();
@@ -499,7 +527,7 @@ impl<S: Submit> CachedService<S> {
         // 3. Miss: run it once, teed into the cache. The table lock is held
         // across the inner submission so a concurrent identical submission
         // cannot start a duplicate run between our miss and our insert.
-        let state = self.new_state(name.clone(), priority, on_terminal);
+        let state = self.new_state(name.clone(), priority, trace.clone(), on_terminal);
         let entry = Arc::new(Inflight {
             key: key.clone(),
             core: Arc::downgrade(&self.core),
@@ -536,6 +564,11 @@ impl<S: Submit> CachedService<S> {
             .named(name)
             .priority(priority)
             .on_terminal(move |result| hook_entry.on_terminal(&hook_core, result));
+        // The inner executor records the queue-wait/admission/run child
+        // spans into the same buffer; the root stays with the cache-layer
+        // state created above (the one covering the submitter's view).
+        inner_spec.trace = trace.clone();
+        inner_spec.trace_root = false;
         if let Some(deadline) = queue_deadline {
             inner_spec = inner_spec.queue_deadline(deadline);
         }
@@ -547,6 +580,7 @@ impl<S: Submit> CachedService<S> {
         match outcome {
             Ok(handle) => {
                 self.core.misses.fetch_add(1, Ordering::Relaxed);
+                lookup_span(MISS);
                 entry.subs.lock().unwrap().underlying = Some(handle);
                 table.inflight.insert(key, Arc::clone(&entry));
                 drop(table);
@@ -587,6 +621,7 @@ impl<S: Submit> CachedService<S> {
                     rebuilt = rebuilt.queue_deadline(deadline);
                 }
                 rebuilt.on_terminal = on_terminal;
+                rebuilt.trace = trace;
                 Err(SubmitError::QueueFull(Box::new(rebuilt)))
             }
             Err(err) => {

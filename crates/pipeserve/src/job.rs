@@ -178,6 +178,12 @@ pub struct JobSpec {
     pub(crate) queue_deadline: Option<Duration>,
     pub(crate) launch: LaunchKind,
     pub(crate) on_terminal: Option<TerminalHook>,
+    /// Per-job span buffer (see [`JobSpec::traced`]).
+    pub(crate) trace: Option<Arc<obs::TraceBuffer>>,
+    /// Whether the state created for this spec owns the trace's root span.
+    /// True for submitter-facing specs; a caching layer clears it on the
+    /// inner spec it forwards, so exactly one layer records the root.
+    pub(crate) trace_root: bool,
 }
 
 impl JobSpec {
@@ -204,6 +210,8 @@ impl JobSpec {
             queue_deadline: None,
             launch: LaunchKind::Plain(launch),
             on_terminal: None,
+            trace: None,
+            trace_root: true,
         }
     }
 
@@ -231,6 +239,8 @@ impl JobSpec {
             queue_deadline: None,
             launch: LaunchKind::Keyed { key, sink, factory },
             on_terminal: None,
+            trace: None,
+            trace_root: true,
         }
     }
 
@@ -269,6 +279,20 @@ impl JobSpec {
     /// contract. The last hook set wins.
     pub fn on_terminal(mut self, hook: impl FnOnce(&JobResult) + Send + 'static) -> Self {
         self.on_terminal = Some(Box::new(hook));
+        self
+    }
+
+    /// Attaches a per-job span buffer: the service records a root
+    /// [`obs::SpanKind::Job`] span covering submit→terminal plus
+    /// queue-wait, admission, run and (under a [`crate::CachedService`])
+    /// cache-lookup child spans into it, and the pipeline runtime adds
+    /// sampled per-stage spans (the buffer is also routed into
+    /// [`piper::PipeOptions::trace`]). Recording is lock-free and
+    /// allocation-free; the one allocation is the buffer itself, made by
+    /// the caller before submission.
+    pub fn traced(mut self, buffer: Arc<obs::TraceBuffer>) -> Self {
+        self.options.trace = Some(Arc::clone(&buffer));
+        self.trace = Some(buffer);
         self
     }
 
@@ -357,6 +381,14 @@ pub(crate) struct JobCell {
     pub(crate) on_terminal: Option<TerminalHook>,
 }
 
+/// A job state's view of its trace: the span buffer plus whether this
+/// state owns the root span (exactly one layer per trace does — see
+/// [`JobSpec::trace_root`]).
+pub(crate) struct JobTrace {
+    pub(crate) buffer: Arc<obs::TraceBuffer>,
+    pub(crate) root: bool,
+}
+
 /// The state shared between a [`JobHandle`], the service's job table and
 /// the dispatcher.
 pub(crate) struct JobState {
@@ -370,6 +402,8 @@ pub(crate) struct JobState {
     /// The workload's latency histograms, resolved once at submit time so
     /// the admission and completion paths record without a registry lookup.
     pub(crate) latency: Arc<LatencyRecorder>,
+    /// The job's span buffer, when the submitter asked for tracing.
+    pub(crate) trace: Option<JobTrace>,
     pub(crate) cell: Mutex<JobCell>,
     pub(crate) done_cv: Condvar,
     pub(crate) cancel_requested: AtomicBool,
@@ -382,6 +416,7 @@ impl JobState {
         priority: Priority,
         frames: usize,
         latency: Arc<LatencyRecorder>,
+        trace: Option<JobTrace>,
         on_terminal: Option<TerminalHook>,
     ) -> Arc<Self> {
         Arc::new(JobState {
@@ -391,6 +426,7 @@ impl JobState {
             frames,
             submitted_at: Instant::now(),
             latency,
+            trace,
             cell: Mutex::new(JobCell {
                 status: JobStatus::Queued,
                 pipe: None,
@@ -420,6 +456,20 @@ impl JobState {
             cell.pipe = None;
             cell.finished_at = Some(Instant::now());
             self.done_cv.notify_all();
+        }
+        // Close the trace's root span (submit → terminal) before the
+        // terminal hook runs: a hook that dumps the buffer (the piped
+        // daemon's tail-based capture) must see the complete tree.
+        if let Some(trace) = &self.trace {
+            if trace.root {
+                trace.buffer.record_elapsed(
+                    obs::ROOT_SPAN_ID,
+                    0,
+                    obs::SpanKind::Job,
+                    self.submitted_at.elapsed(),
+                    self.id.0,
+                );
+            }
         }
         if let Some((hook, result)) = hook {
             hook(&result);

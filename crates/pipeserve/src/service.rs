@@ -302,10 +302,17 @@ impl ServiceInner {
         // Admission is the end of the queue wait; stamp it before the
         // (user-code) launch closure runs so its cost lands in `run`, not
         // `queue_wait`.
-        state
-            .latency
-            .queue_wait
-            .record_duration(state.submitted_at.elapsed());
+        let waited = state.submitted_at.elapsed();
+        state.latency.queue_wait.record_duration(waited);
+        if let Some(trace) = &state.trace {
+            trace.buffer.record_elapsed(
+                trace.buffer.next_span_id(),
+                obs::ROOT_SPAN_ID,
+                obs::SpanKind::QueueWait,
+                waited,
+                0,
+            );
+        }
         let admitted_at = Instant::now();
         // The launch closure is user code (it may build pipelines, assert on
         // configurations, …): a panic must fail the *job*, not kill the
@@ -327,6 +334,17 @@ impl ServiceInner {
                 return;
             }
         };
+        // The admission span covers exactly the launch closure: sink
+        // binding plus pipeline construction and spawn.
+        if let Some(trace) = &state.trace {
+            trace.buffer.record_elapsed(
+                trace.buffer.next_span_id(),
+                obs::ROOT_SPAN_ID,
+                obs::SpanKind::Admission,
+                admitted_at.elapsed(),
+                0,
+            );
+        }
         {
             let mut cell = state.cell.lock().unwrap();
             if cell.result.is_none() {
@@ -379,6 +397,21 @@ impl ServiceInner {
             (JobStatus::Completed, JobResult::Completed(stats)) => Some(*stats),
             _ => None,
         };
+        // The run span (admission → pipeline terminal) must be in the
+        // buffer before finalize runs the terminal hook, which may dump
+        // the trace. Recorded for every outcome — a cancelled run's span
+        // reflects the time it actually held the pool.
+        if let Some(trace) = &state.trace {
+            if let Some(at) = admitted_at {
+                trace.buffer.record_elapsed(
+                    trace.buffer.next_span_id(),
+                    obs::ROOT_SPAN_ID,
+                    obs::SpanKind::Run,
+                    at.elapsed(),
+                    completed_stats.map_or(0, |s| s.iterations),
+                );
+            }
+        }
         if state.finalize(status, result) {
             match status {
                 JobStatus::Completed => ServiceMetrics::bump(&self.metrics.jobs_completed),
@@ -693,11 +726,17 @@ impl Submit for PipeService {
             queue_deadline,
             launch,
             on_terminal,
+            trace,
+            trace_root,
         } = spec;
         options.throttle_limit = Some(window);
         let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let recorder = self.inner.latency.recorder(&name);
-        let state = JobState::new(id, name, priority, window, recorder, on_terminal);
+        let trace = trace.map(|buffer| crate::job::JobTrace {
+            buffer,
+            root: trace_root,
+        });
+        let state = JobState::new(id, name, priority, window, recorder, trace, on_terminal);
         let queued = QueuedJob {
             state: Arc::clone(&state),
             options,
